@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Shared infrastructure for the figure/table bench binaries: flag
+ * parsing, the simulated-system base configuration, per-application
+ * input construction (Table V/VI proxies at laptop scale), and the full
+ * evaluation sweep used by Figs. 9-13.
+ *
+ * Flags: --quick (quarter-scale inputs, fewer of them) and --scale=F
+ * (multiply all input sizes). The default sizes keep working sets a few
+ * times larger than the scaled-down LLC, mirroring the paper's setup
+ * (see EXPERIMENTS.md).
+ */
+
+#ifndef PIPETTE_BENCH_COMMON_H
+#define PIPETTE_BENCH_COMMON_H
+
+#include <cstring>
+#include <memory>
+
+#include "harness/report.h"
+#include "harness/runner.h"
+#include "workloads/bfs.h"
+#include "workloads/cc.h"
+#include "workloads/graph.h"
+#include "workloads/matrix.h"
+#include "workloads/prd.h"
+#include "workloads/radii.h"
+#include "workloads/silo.h"
+#include "workloads/spmm.h"
+
+namespace pipette::bench {
+
+struct BenchOpts
+{
+    double scale = 1.0;
+    bool quick = false;
+
+    static BenchOpts
+    parse(int argc, char **argv)
+    {
+        BenchOpts o;
+        for (int i = 1; i < argc; i++) {
+            if (std::strcmp(argv[i], "--quick") == 0)
+                o.quick = true;
+            else if (std::strncmp(argv[i], "--scale=", 8) == 0)
+                o.scale = std::atof(argv[i] + 8);
+        }
+        if (o.quick)
+            o.scale *= 0.25;
+        return o;
+    }
+};
+
+inline SystemConfig
+baseConfig()
+{
+    SystemConfig cfg;
+    cfg.watchdogCycles = 2'000'000;
+    cfg.maxCycles = 2'000'000'000;
+    return cfg;
+}
+
+inline void
+printConfig(const BenchOpts &o)
+{
+    std::printf("system (Table IV, scaled): %s\n",
+                baseConfig().summary().c_str());
+    std::printf("input scale: %.2f%s\n", o.scale,
+                o.quick ? " (--quick)" : "");
+}
+
+/** One (workload, input) pair owning its input data. */
+struct AppInput
+{
+    std::string app;
+    std::string input;
+    std::shared_ptr<Graph> graph;         // graph apps
+    std::shared_ptr<SparseMatrix> matA;   // spmm
+    std::shared_ptr<SparseMatrix> matBt;  // spmm
+    std::function<std::unique_ptr<WorkloadBase>()> make;
+};
+
+/** Build the evaluation suite (per-app input scales; see above). */
+inline std::vector<AppInput>
+makeSuite(const BenchOpts &o)
+{
+    std::vector<AppInput> suite;
+
+    auto addGraphApp = [&](const std::string &app, double appScale,
+                           auto makeFn) {
+        auto inputs = makeTable5Inputs(o.scale * appScale);
+        for (auto &gi : inputs) {
+            if (o.quick && gi.name != "Co" && gi.name != "Rd")
+                continue;
+            AppInput ai;
+            ai.app = app;
+            ai.input = gi.name;
+            ai.graph = std::make_shared<Graph>(std::move(gi.graph));
+            ai.make = [g = ai.graph, makeFn] { return makeFn(g.get()); };
+            suite.push_back(std::move(ai));
+        }
+    };
+
+    addGraphApp("bfs", 0.6, [](const Graph *g) {
+        return std::unique_ptr<WorkloadBase>(new BfsWorkload(g));
+    });
+    addGraphApp("cc", 0.35, [](const Graph *g) {
+        return std::unique_ptr<WorkloadBase>(new CcWorkload(g));
+    });
+    addGraphApp("prd", 0.3, [](const Graph *g) {
+        PrdParams p;
+        p.maxIters = 3;
+        return std::unique_ptr<WorkloadBase>(new PrdWorkload(g, p));
+    });
+    addGraphApp("radii", 0.25, [](const Graph *g) {
+        RadiiParams p;
+        p.numSources = 16;
+        return std::unique_ptr<WorkloadBase>(new RadiiWorkload(g, p));
+    });
+
+    // SpMM over the Table VI proxies.
+    {
+        auto inputs = makeTable6Inputs(o.scale * 0.35);
+        for (auto &mi : inputs) {
+            if (o.quick && mi.name != "Ca" && mi.name != "Pe")
+                continue;
+            AppInput ai;
+            ai.app = "spmm";
+            ai.input = mi.name;
+            ai.matA = std::make_shared<SparseMatrix>(std::move(mi.matrix));
+            ai.matBt = std::make_shared<SparseMatrix>(
+                makeSparseMatrix(ai.matA->n,
+                                 ai.matA->avgNnzPerRow(), 777)
+                    .transpose());
+            ai.make = [a = ai.matA, bt = ai.matBt] {
+                SpmmWorkload::Options so;
+                so.numCols = 6;
+                return std::unique_ptr<WorkloadBase>(
+                    new SpmmWorkload(a.get(), bt.get(), so));
+            };
+            suite.push_back(std::move(ai));
+        }
+    }
+
+    // Silo / YCSB-C.
+    {
+        AppInput ai;
+        ai.app = "silo";
+        ai.input = "ycsb-c";
+        // Tree sized a few times past the scaled LLC, like the paper's
+        // 52 GB dataset vs its real LLC.
+        uint32_t keys = std::max(2000u,
+                                 static_cast<uint32_t>(120000 * o.scale));
+        uint32_t queries =
+            std::max(500u, static_cast<uint32_t>(5000 * o.scale));
+        ai.make = [keys, queries] {
+            SiloWorkload::Options so;
+            so.numKeys = keys;
+            so.numQueries = queries;
+            return std::unique_ptr<WorkloadBase>(new SiloWorkload(so));
+        };
+        suite.push_back(std::move(ai));
+    }
+    return suite;
+}
+
+inline const std::vector<std::string> &
+appOrder()
+{
+    static const std::vector<std::string> apps = {"bfs", "cc",  "prd",
+                                                  "radii", "spmm", "silo"};
+    return apps;
+}
+
+/** Full evaluation sweep (Figs. 9-13): 4 variants per input. */
+struct SweepResult
+{
+    std::vector<RunResult> runs;
+
+    const RunResult *
+    find(const std::string &app, const std::string &input,
+         Variant v) const
+    {
+        for (const RunResult &r : runs)
+            if (r.workload == app && r.input == input && r.variant == v)
+                return &r;
+        return nullptr;
+    }
+};
+
+// The sweep backs Figs. 9-13; cache its results on disk so running all
+// bench binaries in sequence simulates the suite only once. Delete
+// pipette_sweep_*.csv (or pass --fresh) to force re-simulation.
+inline std::string
+sweepCachePath(const BenchOpts &o)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "pipette_sweep_s%.3f%s.csv", o.scale,
+                  o.quick ? "_q" : "");
+    return buf;
+}
+
+inline bool
+loadSweepCache(const std::string &path, SweepResult *out)
+{
+    FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        return false;
+    char app[32], input[32];
+    int variant, verified, finished;
+    unsigned long long cycles, instrs;
+    RunResult r;
+    while (std::fscanf(f,
+                       "%31[^,],%31[^,],%d,%d,%d,%llu,%llu,%lf,"
+                       "%lf,%lf,%lf,%lf,%lf,%lf,%lf,%lf,%u\n",
+                       app, input, &variant, &verified, &finished,
+                       &cycles, &instrs, &r.ipc, &r.cpiFrac[0],
+                       &r.cpiFrac[1], &r.cpiFrac[2], &r.cpiFrac[3],
+                       &r.energy.coreDynamic, &r.energy.coreStatic,
+                       &r.energy.cache, &r.energy.dram,
+                       &r.numCores) == 17) {
+        r.workload = app;
+        r.input = input;
+        r.variant = static_cast<Variant>(variant);
+        r.verified = verified != 0;
+        r.finished = finished != 0;
+        r.cycles = cycles;
+        r.instrs = instrs;
+        out->runs.push_back(r);
+    }
+    std::fclose(f);
+    return !out->runs.empty();
+}
+
+inline void
+saveSweepCache(const std::string &path, const SweepResult &res)
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return;
+    for (const RunResult &r : res.runs) {
+        std::fprintf(
+            f, "%s,%s,%d,%d,%d,%llu,%llu,%.6f,%.6f,%.6f,%.6f,%.6f,"
+               "%.3f,%.3f,%.3f,%.3f,%u\n",
+            r.workload.c_str(), r.input.c_str(),
+            static_cast<int>(r.variant), r.verified ? 1 : 0,
+            r.finished ? 1 : 0,
+            static_cast<unsigned long long>(r.cycles),
+            static_cast<unsigned long long>(r.instrs), r.ipc,
+            r.cpiFrac[0], r.cpiFrac[1], r.cpiFrac[2], r.cpiFrac[3],
+            r.energy.coreDynamic, r.energy.coreStatic, r.energy.cache,
+            r.energy.dram, r.numCores);
+    }
+    std::fclose(f);
+}
+
+inline SweepResult
+runSweep(const BenchOpts &o, bool includeStreaming = true)
+{
+    SweepResult out;
+    std::string cache = sweepCachePath(o);
+    if (loadSweepCache(cache, &out)) {
+        std::fprintf(stderr, "  (sweep results loaded from %s)\n",
+                     cache.c_str());
+        return out;
+    }
+    Runner runner(baseConfig());
+    auto suite = makeSuite(o);
+    for (AppInput &ai : suite) {
+        for (Variant v : {Variant::Serial, Variant::DataParallel,
+                          Variant::Pipette, Variant::Streaming}) {
+            if (v == Variant::Streaming && !includeStreaming)
+                continue;
+            auto wl = ai.make();
+            uint32_t cores = v == Variant::Streaming ? 4 : 1;
+            RunResult r = runner.run(*wl, v, ai.input, cores);
+            std::fprintf(stderr, "  ran %-6s %-7s %-14s %10llu cycles%s\n",
+                         ai.app.c_str(), ai.input.c_str(),
+                         variantName(v),
+                         static_cast<unsigned long long>(r.cycles),
+                         r.verified ? "" : "  [VERIFY FAILED]");
+            out.runs.push_back(std::move(r));
+        }
+    }
+    saveSweepCache(cache, out);
+    return out;
+}
+
+} // namespace pipette::bench
+
+#endif // PIPETTE_BENCH_COMMON_H

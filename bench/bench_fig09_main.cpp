@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig. 9: speedup over the data-parallel baseline for serial, Pipette
+ * (one 4-thread core), and the 4-core streaming multicore, gmean across
+ * inputs per application; plus the per-core performance panel.
+ */
+
+#include "bench_common.h"
+
+using namespace pipette;
+using namespace pipette::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOpts o = BenchOpts::parse(argc, argv);
+    banner("Figure 9",
+           "Speedup over data-parallel (gmean across inputs) and "
+           "performance per core");
+    printConfig(o);
+
+    SweepResult sweep = runSweep(o);
+
+    Table t({"app", "serial", "data-par", "pipette", "streaming-4c",
+             "pipette/core", "streaming/core"});
+    std::vector<double> gmPip, gmStream, gmSerial;
+    for (const std::string &app : appOrder()) {
+        std::vector<double> sSer, sPip, sStr;
+        for (const RunResult &r : sweep.runs) {
+            if (r.workload != app || r.variant != Variant::DataParallel)
+                continue;
+            double dp = static_cast<double>(r.cycles);
+            auto ser = sweep.find(app, r.input, Variant::Serial);
+            auto pip = sweep.find(app, r.input, Variant::Pipette);
+            auto str = sweep.find(app, r.input, Variant::Streaming);
+            if (ser)
+                sSer.push_back(dp / static_cast<double>(ser->cycles));
+            if (pip)
+                sPip.push_back(dp / static_cast<double>(pip->cycles));
+            if (str)
+                sStr.push_back(dp / static_cast<double>(str->cycles));
+        }
+        if (sPip.empty())
+            continue;
+        double gs = gmean(sSer), gp = gmean(sPip), gt = gmean(sStr);
+        gmSerial.push_back(gs);
+        gmPip.push_back(gp);
+        gmStream.push_back(gt);
+        t.addRow({app, Table::num(gs), "1.00", Table::num(gp),
+                  Table::num(gt), Table::num(gp),
+                  Table::num(gt / 4.0)});
+    }
+    t.addRow({"gmean", Table::num(gmean(gmSerial)), "1.00",
+              Table::num(gmean(gmPip)), Table::num(gmean(gmStream)),
+              Table::num(gmean(gmPip)), Table::num(gmean(gmStream) / 4)});
+    t.print();
+    std::printf("\npaper shape: Pipette ~1.9x gmean over data-parallel "
+                "(up to 2.5x for BFS); streaming only ~22%% faster than "
+                "Pipette despite 4x the cores, so its per-core "
+                "performance is near serial.\n");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fig. 16: per-application effect of reference accelerators -- Pipette
+ * without and with RAs, as speedup over the no-RA configuration.
+ */
+
+#include "bench_common.h"
+
+using namespace pipette;
+using namespace pipette::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOpts o = BenchOpts::parse(argc, argv);
+    banner("Figure 16", "Pipette speedup from reference accelerators");
+    printConfig(o);
+
+    Runner runner(baseConfig());
+    // Representative input per app (road proxy for graphs, a mid-size
+    // matrix for SpMM), like the paper's per-app averages.
+    auto graphs = makeTable5Inputs(o.scale * 0.7);
+    Graph &rd = graphs[4].graph;
+    Graph &sk = graphs[3].graph;
+    auto mats = makeTable6Inputs(o.scale * 0.4);
+    SparseMatrix &A = mats[2].matrix;
+    SparseMatrix Bt =
+        makeSparseMatrix(A.n, A.avgNnzPerRow(), 777).transpose();
+
+    Table t({"app", "no-RA", "with-RA", "RA-speedup"});
+    std::vector<double> gains;
+    auto report = [&](const std::string &app, WorkloadBase &wlN,
+                      WorkloadBase &wlR, const std::string &input) {
+        auto rn = runner.run(wlN, Variant::PipetteNoRa, input);
+        auto rr = runner.run(wlR, Variant::Pipette, input);
+        double gain = static_cast<double>(rn.cycles) /
+                      static_cast<double>(rr.cycles);
+        gains.push_back(gain);
+        t.addRow({app, "1.00", Table::num(gain), Table::num(gain)});
+    };
+
+    {
+        BfsWorkload a(&rd), b(&rd);
+        report("bfs", a, b, "Rd");
+    }
+    {
+        CcWorkload a(&sk), b(&sk);
+        report("cc", a, b, "Sk");
+    }
+    {
+        PrdParams p;
+        p.maxIters = 3;
+        PrdWorkload a(&sk, p), b(&sk, p);
+        report("prd", a, b, "Sk");
+    }
+    {
+        RadiiParams p;
+        p.numSources = 16;
+        RadiiWorkload a(&rd, p), b(&rd, p);
+        report("radii", a, b, "Rd");
+    }
+    {
+        SpmmWorkload::Options so;
+        so.numCols = 6;
+        SpmmWorkload a(&A, &Bt, so), b(&A, &Bt, so);
+        report("spmm", a, b, "Cg");
+    }
+    {
+        SiloWorkload::Options so;
+        so.numKeys = std::max(2000u,
+                              static_cast<uint32_t>(40000 * o.scale));
+        so.numQueries =
+            std::max(500u, static_cast<uint32_t>(4000 * o.scale));
+        SiloWorkload a(so), b(so);
+        report("silo", a, b, "ycsb-c");
+    }
+    t.addRow({"gmean", "1.00", Table::num(gmean(gains)),
+              Table::num(gmean(gains))});
+    t.print();
+    std::printf("\npaper shape: RAs improve performance by ~38%% gmean; "
+                "BFS/CC/SpMM benefit substantially, PRD/Radii/Silo "
+                "modestly.\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fig. 17: multicore BFS -- serial (1 core), data-parallel (4 cores x 4
+ * threads), streaming single-threaded (one stage per core), and the
+ * replicated multicore-Pipette pipeline with cross-core neighbor
+ * partitioning; speedups over serial, gmean across graphs.
+ */
+
+#include "bench_common.h"
+
+using namespace pipette;
+using namespace pipette::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOpts o = BenchOpts::parse(argc, argv);
+    banner("Figure 17",
+           "Multicore BFS: data vs pipeline parallelism across 4 cores");
+    printConfig(o);
+
+    auto inputs = makeTable5Inputs(o.scale * 0.5);
+    Runner runner(baseConfig());
+
+    Table t({"graph", "serial-1c", "data-par-4c", "streaming-4c",
+             "pipette-multicore-4c"});
+    std::vector<double> gDp, gStr, gMc;
+    for (const GraphInput &gi : inputs) {
+        if (o.quick && gi.name != "Co" && gi.name != "Rd")
+            continue;
+        BfsWorkload w0(&gi.graph);
+        double serial = static_cast<double>(
+            runner.run(w0, Variant::Serial, gi.name, 1).cycles);
+        BfsWorkload w1(&gi.graph);
+        auto dp = runner.run(w1, Variant::DataParallel, gi.name, 4);
+        BfsWorkload w2(&gi.graph);
+        auto st = runner.run(w2, Variant::Streaming, gi.name, 4);
+        BfsWorkload w3(&gi.graph);
+        auto mc = runner.run(w3, Variant::MulticorePipette, gi.name, 4);
+        double sDp = serial / static_cast<double>(dp.cycles);
+        double sSt = serial / static_cast<double>(st.cycles);
+        double sMc = serial / static_cast<double>(mc.cycles);
+        gDp.push_back(sDp);
+        gStr.push_back(sSt);
+        gMc.push_back(sMc);
+        t.addRow({gi.name, "1.00", Table::num(sDp), Table::num(sSt),
+                  Table::num(sMc)});
+    }
+    t.addRow({"gmean", "1.00", Table::num(gmean(gDp)),
+              Table::num(gmean(gStr)), Table::num(gmean(gMc))});
+    t.print();
+    std::printf("\npaper shape: 16-thread data-parallel reaches only "
+                "~3.8x over serial; streaming is limited by per-stage "
+                "load imbalance; multicore Pipette performs best "
+                "(~5.9x) by replicating stages and partitioning "
+                "neighbors across cores through connectors.\n");
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's own building
+ * blocks: QRM operations, cache-hierarchy accesses, functional
+ * interpretation, and whole-core cycle throughput. These track the
+ * host-side cost of simulation, not simulated performance.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/system.h"
+#include "isa/assembler.h"
+#include "isa/interp.h"
+#include "mem/hierarchy.h"
+#include "pipette/qrm.h"
+#include "workloads/bfs.h"
+
+namespace pipette {
+namespace {
+
+void
+BM_QrmEnqueueDequeue(benchmark::State &state)
+{
+    Qrm qrm(16, 32, 148);
+    PhysRegId r = 5;
+    for (auto _ : state) {
+        qrm.enqueueSpec(0, r, false);
+        qrm.commitEnqueue(0);
+        benchmark::DoNotOptimize(qrm.dequeueSpec(0));
+        benchmark::DoNotOptimize(qrm.commitDequeue(0));
+    }
+}
+BENCHMARK(BM_QrmEnqueueDequeue);
+
+void
+BM_CacheHit(benchmark::State &state)
+{
+    MemConfig mc;
+    mc.prefetcherEnabled = false;
+    EventQueue eq;
+    MemoryHierarchy h(mc, 1, &eq);
+    h.access(0, 0x1000, false, 0, nullptr);
+    Cycle now = 100;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(h.access(0, 0x1000, false, now, nullptr));
+        now += 10;
+    }
+}
+BENCHMARK(BM_CacheHit);
+
+void
+BM_InterpInstrs(benchmark::State &state)
+{
+    Program p("loop");
+    Asm a(&p);
+    auto loop = a.label();
+    a.li(R::r1, 1'000'000'000);
+    a.bind(loop);
+    a.addi(R::r1, R::r1, -1);
+    a.bnei(R::r1, 0, loop);
+    a.halt();
+    a.finalize();
+
+    for (auto _ : state) {
+        state.PauseTiming();
+        MachineSpec spec;
+        spec.addThread(0, 0, &p);
+        SimMemory mem;
+        Interp in(spec, &mem);
+        state.ResumeTiming();
+        in.run(100'000); // 100k rounds = 200k instrs
+    }
+    state.SetItemsProcessed(state.iterations() * 200'000);
+}
+BENCHMARK(BM_InterpInstrs)->Unit(benchmark::kMillisecond);
+
+void
+BM_CoreCycles(benchmark::State &state)
+{
+    // Simulated-cycle throughput of the OOO core on a BFS kernel.
+    Graph g = makeGridGraph(48, 48, 7);
+    for (auto _ : state) {
+        state.PauseTiming();
+        SystemConfig cfg;
+        cfg.maxCycles = 200'000;
+        System sys(cfg);
+        BfsWorkload wl(&g);
+        BuildContext ctx(&sys);
+        wl.build(ctx, Variant::Pipette);
+        sys.configure(ctx.spec);
+        state.ResumeTiming();
+        auto res = sys.run();
+        state.SetIterationTime(static_cast<double>(res.cycles) * 1e-9);
+        benchmark::DoNotOptimize(res.cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * 200'000);
+}
+BENCHMARK(BM_CoreCycles)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace pipette
+
+BENCHMARK_MAIN();

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Building a custom pipeline-parallel kernel with the Pipette API: a
+ * sparse histogram. Stage 1 streams an index array (keys[i]), a
+ * reference accelerator fetches the current count of each key's bucket,
+ * and the update stage increments buckets -- the same fetch-ahead /
+ * re-check idiom BFS uses for distances (paper Sec. III-C).
+ *
+ * Also shows cross-core queues: the same pipeline is run a second time
+ * with its stages on two different cores joined by connectors.
+ *
+ * Build: cmake --build build && ./build/examples/custom_pipeline
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/system.h"
+#include "isa/assembler.h"
+#include "sim/rng.h"
+
+using namespace pipette;
+
+namespace {
+constexpr Reg QOUT{11};
+constexpr Reg QIN{12};
+
+struct Pipeline
+{
+    Program feed{"feed"};
+    Program update{"update"};
+    Addr updateHandler = 0;
+};
+
+/** Emit both stage programs (shared by the 1-core and 2-core runs). */
+Pipeline
+buildPrograms(uint64_t n, Addr keys, Addr buckets)
+{
+    Pipeline pl;
+    {
+        Asm a(&pl.feed);
+        auto loop = a.label();
+        a.li(R::r1, keys);
+        a.li(R::r2, 0);
+        a.bind(loop);
+        a.lw(QOUT, R::r1, 0); // the key load itself enqueues
+        a.addi(R::r1, R::r1, 4);
+        a.addi(R::r2, R::r2, 1);
+        a.blti(R::r2, static_cast<int64_t>(n), loop);
+        a.enqc(QOUT, R::zero);
+        a.halt();
+        a.finalize();
+    }
+    {
+        Asm a(&pl.update);
+        auto loop = a.label();
+        auto hdl = a.label("h");
+        a.li(R::r1, buckets);
+        a.bind(loop);
+        a.mov(R::r2, QIN); // key (from the RA's key/value stream)
+        a.mov(R::r3, QIN); // fetched count (may be stale: fetch-ahead)
+        a.slli(R::r4, R::r2, 3);
+        a.add(R::r4, R::r1, R::r4);
+        a.ld(R::r3, R::r4, 0); // re-check: reload the current count
+        a.addi(R::r3, R::r3, 1);
+        a.sd(R::r3, R::r4, 0);
+        a.jmp(loop);
+        a.bind(hdl);
+        a.halt();
+        a.finalize();
+        pl.updateHandler = pl.update.labels().at("h");
+    }
+    return pl;
+}
+} // namespace
+
+int
+main()
+{
+    const uint64_t n = 20000, nBuckets = 4096;
+
+    auto runOnce = [&](bool twoCores) -> Cycle {
+        SystemConfig cfg;
+        cfg.numCores = twoCores ? 2 : 1;
+        System sys(cfg);
+        SimAllocator alloc(0x100000);
+        Addr keys = alloc.alloc32(n);
+        Addr buckets = alloc.alloc64(nBuckets);
+        Rng rng(3);
+        std::vector<uint64_t> expect(nBuckets, 0);
+        for (uint64_t i = 0; i < n; i++) {
+            auto k = static_cast<uint32_t>(rng.uniformInt(0, nBuckets - 1));
+            sys.memory().write(keys + 4 * i, 4, k);
+            expect[k]++;
+        }
+        sys.memory().fill(buckets, 8 * nBuckets, 0);
+
+        static Pipeline pl; // programs must outlive the run
+        pl = buildPrograms(n, keys, buckets);
+
+        MachineSpec spec;
+        ThreadSpec &tf = spec.addThread(0, 0, &pl.feed);
+        tf.queueMaps.push_back({QOUT.idx, 0, QueueDir::Out});
+        CoreId updCore = twoCores ? 1 : 0;
+        ThreadSpec &tu =
+            spec.addThread(updCore, twoCores ? 0 : 1, &pl.update);
+        tu.deqHandler = static_cast<int64_t>(pl.updateHandler);
+
+        if (twoCores) {
+            // RA on core 0; its output crosses to core 1 via a connector.
+            spec.ras.push_back({0, 0, 1, buckets, 8, RaMode::IndirectKV});
+            tu.queueMaps.push_back({QIN.idx, 0, QueueDir::In});
+            spec.connectors.push_back({0, 1, 1, 0});
+        } else {
+            spec.ras.push_back({0, 0, 1, buckets, 8, RaMode::IndirectKV});
+            tu.queueMaps.push_back({QIN.idx, 1, QueueDir::In});
+        }
+
+        sys.configure(spec);
+        auto res = sys.run();
+        if (!res.finished) {
+            std::printf("did not finish!\n");
+            std::exit(1);
+        }
+        for (uint64_t b = 0; b < nBuckets; b++) {
+            if (sys.memory().read(buckets + 8 * b, 8) != expect[b]) {
+                std::printf("bucket %llu mismatch!\n",
+                            (unsigned long long)b);
+                std::exit(1);
+            }
+        }
+        return res.cycles;
+    };
+
+    Cycle one = runOnce(false);
+    Cycle two = runOnce(true);
+    std::printf("sparse histogram over %llu keys, %llu buckets: "
+                "verified on both placements\n",
+                (unsigned long long)n, (unsigned long long)nBuckets);
+    std::printf("  1 core  (SMT stages):        %llu cycles\n",
+                (unsigned long long)one);
+    std::printf("  2 cores (connector between): %llu cycles\n",
+                (unsigned long long)two);
+    std::printf("\nqueues are latency-insensitive interfaces: the same "
+                "programs run unchanged whether the stages share a core "
+                "or communicate through the on-chip network.\n");
+    return 0;
+}

@@ -1,0 +1,65 @@
+#include "core/bpred.h"
+
+namespace pipette {
+
+BranchPredictor::BranchPredictor(const CoreConfig &cfg, uint32_t numThreads)
+{
+    uint32_t phtEntries = 1u << cfg.gshareBits;
+    pht_.assign(phtEntries, 1); // weakly not-taken
+    phtMask_ = phtEntries - 1;
+    uint32_t btbEntries = cfg.btbEntries;
+    // round to power of two
+    uint32_t p = 1;
+    while (p < btbEntries)
+        p *= 2;
+    btb_.resize(p);
+    btbMask_ = p - 1;
+    hist_.assign(numThreads, 0);
+}
+
+bool
+BranchPredictor::predictCond(ThreadId tid, Addr pc)
+{
+    bool taken = pht_[phtIndex(tid, pc, hist_[tid])] >= 2;
+    hist_[tid] = (hist_[tid] << 1) | (taken ? 1 : 0);
+    return taken;
+}
+
+void
+BranchPredictor::updateCond(ThreadId tid, Addr pc, bool taken,
+                            uint64_t histAtPred)
+{
+    uint8_t &ctr = pht_[phtIndex(tid, pc, histAtPred)];
+    if (taken && ctr < 3)
+        ctr++;
+    else if (!taken && ctr > 0)
+        ctr--;
+}
+
+void
+BranchPredictor::restoreHistory(ThreadId tid, uint64_t h, bool actualTaken)
+{
+    hist_[tid] = (h << 1) | (actualTaken ? 1 : 0);
+}
+
+bool
+BranchPredictor::predictIndirect(ThreadId tid, Addr pc, Addr *target) const
+{
+    const BtbEntry &e = btb_[btbIndex(tid, pc)];
+    if (e.pc == pc && e.tid == tid) {
+        *target = e.target;
+        return true;
+    }
+    return false;
+}
+
+void
+BranchPredictor::updateIndirect(ThreadId tid, Addr pc, Addr target)
+{
+    BtbEntry &e = btb_[btbIndex(tid, pc)];
+    e.pc = pc;
+    e.tid = tid;
+    e.target = target;
+}
+
+} // namespace pipette

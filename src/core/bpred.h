@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Branch prediction: per-thread-history gshare for conditional branch
+ * direction and a BTB for indirect-jump (JR) targets. Direct targets are
+ * encoded in the instruction, so the BTB only serves JR (which Pipette
+ * handlers use heavily for `jr cvret`).
+ */
+
+#ifndef PIPETTE_CORE_BPRED_H
+#define PIPETTE_CORE_BPRED_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/types.h"
+
+namespace pipette {
+
+/** gshare + BTB branch predictor. */
+class BranchPredictor
+{
+  public:
+    BranchPredictor(const CoreConfig &cfg, uint32_t numThreads);
+
+    /** Predict direction and speculatively update the history. */
+    bool predictCond(ThreadId tid, Addr pc);
+    /** Train on the resolved outcome (history was updated at predict). */
+    void updateCond(ThreadId tid, Addr pc, bool taken, uint64_t histAtPred);
+    /** Current speculative history (checkpointed into each branch). */
+    uint64_t history(ThreadId tid) const { return hist_[tid]; }
+    /** Restore history after a squash. */
+    void restoreHistory(ThreadId tid, uint64_t h, bool actualTaken);
+
+    /** Predict an indirect target; false if no BTB entry. */
+    bool predictIndirect(ThreadId tid, Addr pc, Addr *target) const;
+    void updateIndirect(ThreadId tid, Addr pc, Addr target);
+
+  private:
+    uint32_t
+    phtIndex(ThreadId tid, Addr pc, uint64_t hist) const
+    {
+        uint64_t x = pc ^ hist ^ (static_cast<uint64_t>(tid) << 7);
+        return static_cast<uint32_t>(x) & phtMask_;
+    }
+    uint32_t
+    btbIndex(ThreadId tid, Addr pc) const
+    {
+        return static_cast<uint32_t>(pc * 0x9e3779b9u + tid) & btbMask_;
+    }
+
+    std::vector<uint8_t> pht_; // 2-bit counters
+    uint32_t phtMask_;
+    struct BtbEntry
+    {
+        Addr pc = ~0ull;
+        Addr target = 0;
+        ThreadId tid = 0;
+    };
+    std::vector<BtbEntry> btb_;
+    uint32_t btbMask_;
+    std::vector<uint64_t> hist_;
+};
+
+} // namespace pipette
+
+#endif // PIPETTE_CORE_BPRED_H

@@ -1,0 +1,1087 @@
+#include "core/core.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pipette {
+
+namespace {
+
+/** Mask a value to `bytes` width (forwarding, sub-word loads). */
+uint64_t
+maskToSize(uint64_t v, uint8_t bytes)
+{
+    if (bytes >= 8)
+        return v;
+    return v & ((1ull << (8 * bytes)) - 1);
+}
+
+bool
+rangesOverlap(Addr a1, uint8_t s1, Addr a2, uint8_t s2)
+{
+    return a1 < a2 + s2 && a2 < a1 + s1;
+}
+
+} // namespace
+
+Core::Core(CoreId id, const CoreConfig &cfg, SimMemory *mem,
+           MemoryHierarchy *hier, EventQueue *eq)
+    : id_(id), cfg_(cfg), mem_(mem), hier_(hier), eq_(eq),
+      prf_(cfg.physRegs),
+      qrm_(cfg.numQueues, cfg.queueCapacity, cfg.maxQueueRegs),
+      bpred_(cfg, cfg.smtThreads)
+{
+    threads_.resize(cfg.smtThreads);
+    for (ThreadCtx &t : threads_) {
+        t.renameMap.fill(INVALID_PREG);
+        t.mapDir.fill(-1);
+        t.mapQ.fill(INVALID_QUEUE);
+    }
+}
+
+void
+Core::addThread(const ThreadSpec &ts)
+{
+    panic_if(configured_, "addThread after configure");
+    panic_if(ts.tid >= threads_.size(), "thread id out of range");
+    ThreadCtx &t = threads_[ts.tid];
+    panic_if(t.active, "thread ", ts.tid, " attached twice");
+    t.active = true;
+    t.prog = ts.prog;
+    t.pc = 0;
+    t.deqHandler = ts.deqHandler;
+    t.enqHandler = ts.enqHandler;
+    for (const QueueMapSpec &m : ts.queueMaps) {
+        panic_if(m.archReg == reg::ZERO, "cannot queue-map r0");
+        fatal_if(m.queue >= cfg_.numQueues, "queue id out of range");
+        t.mapDir[m.archReg] = m.dir == QueueDir::In ? 0 : 1;
+        t.mapQ[m.archReg] = m.queue;
+    }
+    // Pin architectural registers to physical registers now.
+    for (uint32_t r = 0; r < NUM_ARCH_REGS; r++) {
+        PhysRegId p = prf_.alloc();
+        prf_.write(p, r == reg::ZERO ? 0 : ts.initRegs[r]);
+        t.renameMap[r] = p;
+    }
+}
+
+void
+Core::configure()
+{
+    panic_if(configured_, "configure called twice");
+    configured_ = true;
+    numActive_ = 0;
+    for (const ThreadCtx &t : threads_)
+        if (t.active)
+            numActive_++;
+    if (numActive_ == 0)
+        return; // idle core (e.g., unused stage slot)
+    robPerThread_ = cfg_.robEntries / numActive_;
+    lqPerThread_ = std::max(1u, cfg_.lqEntries / numActive_);
+    sqPerThread_ = std::max(1u, cfg_.sqEntries / numActive_);
+}
+
+bool
+Core::allHalted() const
+{
+    for (const ThreadCtx &t : threads_)
+        if (t.active && !t.halted)
+            return false;
+    return true;
+}
+
+bool
+Core::tryUseMemPort()
+{
+    if (memPortsUsed_ >= cfg_.numMemPorts)
+        return false;
+    memPortsUsed_++;
+    return true;
+}
+
+void
+Core::tick(Cycle now)
+{
+    panic_if(!configured_, "tick before configure");
+    memPortsUsed_ = 0;
+    aluUsed_ = 0;
+    mulUsed_ = 0;
+    issuedThisCycle_ = 0;
+
+    processWritebacks(now);
+    commit(now);
+    issue(now);
+    rename(now);
+    fetch(now);
+    drainStoreBuffers(now);
+    accountCpi(now);
+    stats_.cycles++;
+}
+
+// ---------------------------------------------------------------- fetch
+
+void
+Core::fetch(Cycle now)
+{
+    // ICOUNT: fetch from the thread with the fewest in-flight instrs.
+    int best = -1;
+    size_t bestCount = ~0ull;
+    for (uint32_t k = 0; k < threads_.size(); k++) {
+        uint32_t tid = (fetchRr_ + k) % threads_.size();
+        ThreadCtx &t = threads_[tid];
+        if (!t.active || t.halted || t.haltFetched)
+            continue;
+        if (t.fetchBlockedUntil > now)
+            continue;
+        if (t.fetchQ.size() >= cfg_.fetchBufferEntries)
+            continue;
+        size_t count = t.fetchQ.size() + t.rob.size();
+        if (count < bestCount) {
+            bestCount = count;
+            best = static_cast<int>(tid);
+        }
+    }
+    fetchRr_++;
+    if (best < 0)
+        return;
+
+    ThreadCtx &t = threads_[best];
+    ThreadId tid = static_cast<ThreadId>(best);
+    for (uint32_t n = 0; n < cfg_.fetchWidth; n++) {
+        if (t.fetchQ.size() >= cfg_.fetchBufferEntries)
+            break;
+        const Instr &si = t.prog->at(t.pc);
+        FetchedInst fi;
+        fi.pc = t.pc;
+        fi.si = &si;
+        fi.readyCycle = now + cfg_.frontendDelay;
+        stats_.fetchedInstrs++;
+
+        const OpInfo &info = opInfo(si.op);
+        bool endGroup = false;
+        if (info.isCondBranch) {
+            fi.histAtPred = bpred_.history(tid);
+            fi.predTaken = bpred_.predictCond(tid, t.pc);
+            fi.predTarget = static_cast<Addr>(si.target);
+            if (fi.predTaken) {
+                t.pc = fi.predTarget;
+                endGroup = true;
+            } else {
+                t.pc++;
+            }
+        } else if (info.isDirectJump) {
+            t.pc = static_cast<Addr>(si.target);
+            endGroup = true;
+        } else if (info.isIndirectJump) {
+            Addr tgt;
+            if (bpred_.predictIndirect(tid, t.pc, &tgt))
+                fi.predTarget = tgt;
+            else
+                fi.predTarget = t.pc + 1;
+            t.pc = fi.predTarget;
+            endGroup = true;
+        } else if (info.isHalt) {
+            t.haltFetched = true;
+            endGroup = true;
+        } else {
+            t.pc++;
+        }
+        t.fetchQ.push_back(fi);
+        if (endGroup)
+            break;
+    }
+}
+
+// --------------------------------------------------------------- rename
+
+void
+Core::rename(Cycle now)
+{
+    for (ThreadCtx &t : threads_)
+        t.renameStall = StallReason::Empty;
+
+    uint32_t width = cfg_.renameWidth;
+    for (uint32_t k = 0; k < threads_.size() && width > 0; k++) {
+        uint32_t tid = (renameRr_ + k) % threads_.size();
+        ThreadCtx &t = threads_[tid];
+        if (!t.active || t.halted)
+            continue;
+        while (width > 0) {
+            StallReason st = renameOne(static_cast<ThreadId>(tid), now);
+            t.renameStall = st;
+            if (st != StallReason::None)
+                break;
+            width--;
+        }
+    }
+    renameRr_++;
+}
+
+Core::StallReason
+Core::renameOne(ThreadId tid, Cycle now)
+{
+    ThreadCtx &t = threads_[tid];
+    if (t.fetchQ.empty() || t.fetchQ.front().readyCycle > now)
+        return StallReason::Empty;
+    const FetchedInst &fi = t.fetchQ.front();
+    const Instr &si = *fi.si;
+    const OpInfo &info = opInfo(si.op);
+
+    // ---- Classify operands.
+    ArchRegId srcRegs[3];
+    int nsrcRegs = 0;
+    if (info.readsRs1)
+        srcRegs[nsrcRegs++] = si.rs1;
+    if (info.readsRs2)
+        srcRegs[nsrcRegs++] = si.rs2;
+    if (info.readsRd)
+        srcRegs[nsrcRegs++] = si.rd;
+
+    bool isPeek = si.op == Op::PEEK;
+    bool isSkip = si.op == Op::SKIPTC;
+
+    // ---- Gate 1: every dequeue source needs a committed entry.
+    for (int i = 0; i < nsrcRegs; i++) {
+        ArchRegId r = srcRegs[i];
+        panic_if(t.mapDir[r] == 1, "read of output-mapped r",
+                 static_cast<int>(r), " at pc ", fi.pc, " in '",
+                 t.prog->name(), "'");
+        if (t.mapDir[r] == 0) {
+            for (int j = 0; j < i; j++) {
+                panic_if(t.mapDir[srcRegs[j]] == 0 &&
+                             t.mapQ[srcRegs[j]] == t.mapQ[r],
+                         "instruction dequeues queue twice at pc ", fi.pc);
+            }
+            if (!qrm_.canDequeueSpec(t.mapQ[r])) {
+                stats_.queueEmptyStalls++;
+                return StallReason::QueueEmpty;
+            }
+        }
+    }
+    if (isPeek || isSkip) {
+        panic_if(t.mapDir[si.rs1] != 0, "peek/skiptc on non-input reg at "
+                 "pc ", fi.pc, " in '", t.prog->name(), "'");
+    }
+    if (isPeek && !qrm_.canDequeueSpec(t.mapQ[si.rs1])) {
+        stats_.queueEmptyStalls++;
+        return StallReason::QueueEmpty;
+    }
+
+    // ---- Gate 2: control value at the head of a dequeue source?
+    QueueId trapQueue = INVALID_QUEUE;
+    for (int i = 0; i < nsrcRegs && trapQueue == INVALID_QUEUE; i++) {
+        ArchRegId r = srcRegs[i];
+        if (t.mapDir[r] == 0 && qrm_.headCtrl(t.mapQ[r]))
+            trapQueue = t.mapQ[r];
+    }
+    if (isPeek && trapQueue == INVALID_QUEUE &&
+        qrm_.headCtrl(t.mapQ[si.rs1])) {
+        trapQueue = t.mapQ[si.rs1];
+    }
+
+    // ---- Gate 3: destination enqueue conditions.
+    bool enq = info.writesRd && si.rd != reg::ZERO &&
+               t.mapDir[si.rd] == 1;
+    panic_if(info.writesRd && si.rd != reg::ZERO && t.mapDir[si.rd] == 0,
+             "write to input-mapped r", static_cast<int>(si.rd),
+             " at pc ", fi.pc);
+    panic_if(si.op == Op::ENQC && !enq,
+             "enqc destination not output-mapped at pc ", fi.pc);
+    bool enqTrap = false;
+    if (enq && trapQueue == INVALID_QUEUE) {
+        QueueId q = t.mapQ[si.rd];
+        if (qrm_.skipArmed(q) && si.op != Op::ENQC) {
+            enqTrap = true;
+        } else if (!qrm_.canEnqueueSpec(q)) {
+            stats_.queueFullStalls++;
+            return StallReason::QueueFull;
+        }
+    }
+
+    // ---- skiptc: find a control value among committed entries.
+    Qrm::CtrlScan scan;
+    if (isSkip && trapQueue == INVALID_QUEUE && !enqTrap) {
+        QueueId q = t.mapQ[si.rs1];
+        scan = qrm_.scanForCtrl(q);
+        if (!scan.found) {
+            // No CV yet. Once this skiptc is the oldest instruction of
+            // its thread it is non-speculative: drain committed data
+            // entries outright. Arm the queue only while no control
+            // value is in flight -- an uncommitted CV means the current
+            // work unit is ending by itself, and arming now would
+            // redirect the producer inside the *next* unit instead
+            // (wrong-abort race). Data-only in-flight entries are safe:
+            // they belong to the unit being skipped.
+            if (t.rob.empty()) {
+                while (qrm_.canDequeueNonSpec(q)) {
+                    bool ctrl = false;
+                    PhysRegId r = qrm_.dequeueNonSpec(q, &ctrl);
+                    panic_if(ctrl, "ctrl entry appeared mid-drain");
+                    prf_.free(r);
+                    stats_.skipDiscards++;
+                }
+                if (!qrm_.hasInflightCtrl(q))
+                    qrm_.armSkip(q);
+            }
+            stats_.queueEmptyStalls++;
+            return StallReason::QueueEmpty;
+        }
+    }
+
+    // ---- Effective micro-op and resource requirements.
+    Op effOp = si.op;
+    int ndest = 0;
+    if (trapQueue != INVALID_QUEUE) {
+        panic_if(t.deqHandler < 0, "control value with no dequeue handler "
+                 "(program '", t.prog->name(), "', pc ", fi.pc, ")");
+        effOp = Op::CVTRAP;
+        ndest = 3;
+    } else if (enqTrap) {
+        panic_if(t.enqHandler < 0, "skip armed with no enqueue handler "
+                 "(program '", t.prog->name(), "', pc ", fi.pc, ")");
+        effOp = Op::ENQTRAP;
+        ndest = 2;
+    } else if (info.writesRd && si.rd != reg::ZERO) {
+        ndest = 1;
+    }
+
+    bool isLoad = effOp == si.op && info.isLoad && !info.isAtomic;
+    bool isStore = effOp == si.op && info.isStore && !info.isAtomic;
+    bool isAtomic = effOp == si.op && info.isAtomic;
+
+    if (t.rob.size() >= robPerThread_ || iqOccupancy_ >= cfg_.iqEntries)
+        return StallReason::Resource;
+    if ((isLoad || isAtomic) && t.loadQ.size() >= lqPerThread_)
+        return StallReason::Resource;
+    if (isStore && t.storeQ.size() >= sqPerThread_)
+        return StallReason::Resource;
+    if (prf_.numFree() < static_cast<uint32_t>(ndest))
+        return StallReason::Resource;
+
+    // ---- Commit point of rename: build the DynInst and mutate state.
+    auto inst = std::make_shared<DynInst>();
+    inst->seq = ++seqCtr_;
+    inst->tid = tid;
+    inst->pc = fi.pc;
+    inst->si = &si;
+    inst->op = effOp;
+    inst->isLoad = isLoad;
+    inst->isStore = isStore;
+    inst->isAtomic = isAtomic;
+    inst->predTaken = fi.predTaken;
+    inst->predTarget = fi.predTarget;
+    inst->histAtPred = fi.histAtPred;
+    inst->isCondBranch = effOp == si.op && info.isCondBranch;
+    inst->isIndirect = effOp == si.op && info.isIndirectJump;
+
+    if (effOp == Op::CVTRAP) {
+        // Consume the CV, deliver payload, redirect to the handler.
+        inst->srcs[0] = qrm_.dequeueSpec(trapQueue);
+        inst->nsrc = 1;
+        inst->deqQueues[0] = trapQueue;
+        inst->ndeq = 1;
+        inst->cvQid = trapQueue;
+        inst->cvRet = fi.pc;
+        ArchRegId darch[3] = {reg::CVVAL, reg::CVQID, reg::CVRET};
+        for (int d = 0; d < 3; d++) {
+            inst->dests[d] = prf_.alloc();
+            inst->prevDests[d] = t.renameMap[darch[d]];
+            t.renameMap[darch[d]] = inst->dests[d];
+        }
+        inst->ndest = 3;
+        t.fetchQ.clear();
+        t.pc = static_cast<Addr>(t.deqHandler);
+        t.haltFetched = false;
+        stats_.cvTraps++;
+    } else if (effOp == Op::ENQTRAP) {
+        inst->cvQid = t.mapQ[si.rd];
+        inst->cvRet = fi.pc;
+        ArchRegId darch[2] = {reg::CVQID, reg::CVRET};
+        for (int d = 0; d < 2; d++) {
+            inst->dests[d] = prf_.alloc();
+            inst->prevDests[d] = t.renameMap[darch[d]];
+            t.renameMap[darch[d]] = inst->dests[d];
+        }
+        inst->ndest = 2;
+        t.fetchQ.clear();
+        t.pc = static_cast<Addr>(t.enqHandler);
+        t.haltFetched = false;
+        stats_.enqTraps++;
+    } else {
+        // Normal rename: sources.
+        if (isSkip) {
+            QueueId q = t.mapQ[si.rs1];
+            PhysRegId cvReg = INVALID_PREG;
+            for (uint32_t k = 0; k <= scan.offset; k++)
+                cvReg = qrm_.dequeueSpec(q);
+            inst->srcs[0] = cvReg;
+            inst->nsrc = 1;
+            inst->deqQueues[0] = q;
+            inst->skipConsumed = scan.offset + 1;
+            stats_.skipDiscards += scan.offset;
+        } else if (isPeek) {
+            inst->srcs[0] = qrm_.headReg(t.mapQ[si.rs1]);
+            inst->nsrc = 1;
+        } else {
+            for (int i = 0; i < nsrcRegs; i++) {
+                ArchRegId r = srcRegs[i];
+                if (t.mapDir[r] == 0) {
+                    QueueId q = t.mapQ[r];
+                    inst->srcs[i] = qrm_.dequeueSpec(q);
+                    inst->deqQueues[inst->ndeq++] = q;
+                } else {
+                    inst->srcs[i] = t.renameMap[r];
+                }
+            }
+            inst->nsrc = nsrcRegs;
+        }
+
+        // Destination.
+        if (ndest == 1) {
+            inst->dests[0] = prf_.alloc();
+            inst->ndest = 1;
+            if (enq) {
+                QueueId q = t.mapQ[si.rd];
+                inst->destIsQueue = true;
+                inst->enqQueue = q;
+                if (si.op == Op::ENQC && qrm_.skipArmed(q)) {
+                    inst->clearedSkip = true;
+                    qrm_.setSkipArmed(q, false);
+                }
+                qrm_.enqueueSpec(q, inst->dests[0], si.op == Op::ENQC);
+            } else {
+                inst->prevDests[0] = t.renameMap[si.rd];
+                t.renameMap[si.rd] = inst->dests[0];
+            }
+        }
+
+        // Branch checkpoint.
+        if (inst->isCondBranch || inst->isIndirect) {
+            inst->checkpoint =
+                std::make_unique<std::array<PhysRegId, NUM_ARCH_REGS>>(
+                    t.renameMap);
+        }
+    }
+
+    if (effOp != Op::CVTRAP && effOp != Op::ENQTRAP)
+        t.fetchQ.pop_front();
+
+    // Atomics are full fences (x86 LOCK semantics): younger loads must
+    // not execute before them. FENCE gets the same treatment.
+    if (effOp == Op::FENCE || isAtomic)
+        t.pendingFences.insert(inst->seq);
+
+    t.rob.push_back(inst);
+    if (inst->isLoad || inst->isAtomic)
+        t.loadQ.push_back(inst);
+    if (inst->isStore)
+        t.storeQ.push_back(inst);
+    iq_.push_back(inst);
+    inst->inIQ = true;
+    iqOccupancy_++;
+    return StallReason::None;
+}
+
+// ---------------------------------------------------------------- issue
+
+void
+Core::readSources(const DynInstPtr &inst, uint64_t *v1, uint64_t *v2,
+                  uint64_t *vd) const
+{
+    const OpInfo &info = opInfo(inst->si->op);
+    int i = 0;
+    *v1 = *v2 = *vd = 0;
+    if (inst->op == Op::CVTRAP || inst->op == Op::ENQTRAP ||
+        inst->op == Op::PEEK || inst->op == Op::SKIPTC) {
+        if (inst->nsrc > 0)
+            *v1 = prf_.read(inst->srcs[0]);
+        return;
+    }
+    if (info.readsRs1)
+        *v1 = prf_.read(inst->srcs[i++]);
+    if (info.readsRs2)
+        *v2 = prf_.read(inst->srcs[i++]);
+    if (info.readsRd)
+        *vd = prf_.read(inst->srcs[i++]);
+}
+
+void
+Core::applyWriteback(const DynInstPtr &inst,
+                     const std::array<uint64_t, DynInst::MAX_DESTS> &vals)
+{
+    inst->pendingCompletions--;
+    if (inst->squashed) {
+        if (inst->pendingCompletions == 0) {
+            for (int d = 0; d < inst->ndest; d++)
+                prf_.free(inst->dests[d]);
+        }
+        return;
+    }
+    for (int d = 0; d < inst->ndest; d++) {
+        prf_.write(inst->dests[d], vals[d]);
+        stats_.regWrites++;
+    }
+    inst->executed = true;
+}
+
+void
+Core::scheduleWriteback(const DynInstPtr &inst, Cycle when,
+                        std::array<uint64_t, DynInst::MAX_DESTS> vals)
+{
+    inst->pendingCompletions++;
+    Cycle now = eq_->now();
+    if (when > now && when - now < WB_RING) {
+        wbRing_[when % WB_RING].push_back(WbEntry{inst, vals});
+        return;
+    }
+    eq_->schedule(when, [this, inst, vals] { applyWriteback(inst, vals); });
+}
+
+void
+Core::processWritebacks(Cycle now)
+{
+    auto &slot = wbRing_[now % WB_RING];
+    for (WbEntry &e : slot)
+        applyWriteback(e.inst, e.vals);
+    slot.clear();
+}
+
+bool
+Core::isOldestInThread(const DynInstPtr &inst) const
+{
+    const ThreadCtx &t = threads_[inst->tid];
+    return !t.rob.empty() && t.rob.front() == inst;
+}
+
+bool
+Core::tryExecuteLoad(const DynInstPtr &inst, Cycle now)
+{
+    ThreadCtx &t = threads_[inst->tid];
+    // Memory ordering: wait for older fences.
+    if (!t.pendingFences.empty() && *t.pendingFences.begin() < inst->seq)
+        return false;
+    uint64_t v1, v2, vd;
+    readSources(inst, &v1, &v2, &vd);
+    Addr addr = v1 + static_cast<uint64_t>(inst->si->imm);
+    uint8_t size = opInfo(inst->si->op).memBytes;
+
+    // Conservative memory dependences: all older same-thread stores must
+    // have known addresses; forward only on exact matches.
+    const DynInstPtr *fwd = nullptr;
+    for (auto it = t.storeQ.rbegin(); it != t.storeQ.rend(); ++it) {
+        const DynInstPtr &s = *it;
+        if (s->seq > inst->seq)
+            continue;
+        if (!s->addrReady)
+            return false; // defer: unknown older store address
+        if (s->memAddr == addr && s->memSize == size) {
+            fwd = &s;
+            break;
+        }
+        if (rangesOverlap(s->memAddr, s->memSize, addr, size))
+            return false; // partial overlap: wait for the store to drain
+    }
+
+    if (fwd) {
+        inst->memAddr = addr;
+        inst->memSize = size;
+        scheduleWriteback(inst, now + 1,
+                          {maskToSize((*fwd)->storeData, size), 0, 0});
+        return true;
+    }
+
+    if (!tryUseMemPort())
+        return false;
+
+    inst->memAddr = addr;
+    inst->memSize = size;
+    inst->pendingCompletions++;
+    SimMemory *mem = mem_;
+    PhysRegFile *prf = &prf_;
+    CoreStats *st = &stats_;
+    hier_->access(id_, addr, false, now, [inst, mem, prf, st, addr, size] {
+        inst->pendingCompletions--;
+        if (inst->squashed) {
+            if (inst->pendingCompletions == 0) {
+                for (int d = 0; d < inst->ndest; d++)
+                    prf->free(inst->dests[d]);
+            }
+            return;
+        }
+        uint64_t val = mem->read(addr, size);
+        if (inst->ndest > 0) {
+            prf->write(inst->dests[0], val);
+            st->regWrites++;
+        }
+        inst->executed = true;
+    });
+    return true;
+}
+
+bool
+Core::executeInst(const DynInstPtr &inst, Cycle now)
+{
+    const Instr &si = *inst->si;
+    const OpInfo &info = opInfo(si.op);
+
+    switch (inst->op) {
+      case Op::CVTRAP: {
+        uint64_t v1, v2, vd;
+        readSources(inst, &v1, &v2, &vd);
+        scheduleWriteback(inst, now + 1, {v1, inst->cvQid, inst->cvRet});
+        return true;
+      }
+      case Op::ENQTRAP:
+        scheduleWriteback(inst, now + 1, {inst->cvQid, inst->cvRet, 0});
+        return true;
+      default:
+        break;
+    }
+
+    if (inst->isLoad)
+        return tryExecuteLoad(inst, now);
+
+    if (inst->isAtomic) {
+        if (!isOldestInThread(inst))
+            return false;
+        if (!threads_[inst->tid].storeBuffer.empty())
+            return false;
+        if (!tryUseMemPort())
+            return false;
+        uint64_t v1, v2, vd;
+        readSources(inst, &v1, &v2, &vd);
+        Addr addr = v1;
+        uint8_t size = info.memBytes;
+        uint64_t old = mem_->read(addr, size);
+        AtomicResult ar = evalAtomic(si.op, old, v2, vd);
+        if (ar.doStore)
+            mem_->write(addr, size, ar.newValue);
+        inst->memAddr = addr;
+        inst->memSize = size;
+        stats_.atomics++;
+        threads_[inst->tid].pendingFences.erase(inst->seq);
+        inst->pendingCompletions++;
+        PhysRegFile *prf = &prf_;
+        CoreStats *st = &stats_;
+        hier_->access(id_, addr, true, now, [inst, prf, st, old] {
+            inst->pendingCompletions--;
+            if (inst->squashed) {
+                panic("atomic squashed while in flight");
+            }
+            if (inst->ndest > 0) {
+                prf->write(inst->dests[0], old);
+                st->regWrites++;
+            }
+            inst->executed = true;
+        });
+        return true;
+    }
+
+    if (inst->isStore) {
+        uint64_t v1, v2, vd;
+        readSources(inst, &v1, &v2, &vd);
+        inst->memAddr = v1 + static_cast<uint64_t>(si.imm);
+        inst->memSize = info.memBytes;
+        inst->storeData = v2;
+        inst->addrReady = true;
+        scheduleWriteback(inst, now + 1, {0, 0, 0});
+        return true;
+    }
+
+    uint64_t v1, v2, vd;
+    readSources(inst, &v1, &v2, &vd);
+
+    if (inst->isCondBranch) {
+        bool useImm = si.op >= Op::BEQI && si.op <= Op::BGEI;
+        bool taken = evalBranch(
+            si.op, v1, useImm ? static_cast<uint64_t>(si.imm) : v2);
+        inst->actualTaken = taken;
+        inst->actualTarget =
+            taken ? static_cast<Addr>(si.target) : inst->pc + 1;
+        bpred_.updateCond(inst->tid, inst->pc, taken, inst->histAtPred);
+        stats_.branches++;
+        Addr predictedPc =
+            inst->predTaken ? inst->predTarget : inst->pc + 1;
+        scheduleWriteback(inst, now + 1, {0, 0, 0});
+        if (predictedPc != inst->actualTarget)
+            handleMispredict(inst, now);
+        return true;
+    }
+
+    if (inst->isIndirect) {
+        inst->actualTarget = v1;
+        inst->actualTaken = true;
+        bpred_.updateIndirect(inst->tid, inst->pc, v1);
+        stats_.branches++;
+        scheduleWriteback(inst, now + 1, {0, 0, 0});
+        if (inst->predTarget != inst->actualTarget)
+            handleMispredict(inst, now);
+        return true;
+    }
+
+    if (inst->op == Op::FENCE) {
+        if (!isOldestInThread(inst))
+            return false;
+        threads_[inst->tid].pendingFences.erase(inst->seq);
+        scheduleWriteback(inst, now + 1, {0, 0, 0});
+        return true;
+    }
+
+    uint64_t result = 0;
+    uint32_t latency = info.latency;
+    switch (inst->op) {
+      case Op::PEEK:
+      case Op::SKIPTC:
+        result = v1;
+        break;
+      case Op::ENQC:
+        result = v1;
+        break;
+      case Op::JAL:
+        result = inst->pc + 1;
+        break;
+      case Op::JMP:
+      case Op::HALT:
+      case Op::NOP:
+        break;
+      case Op::MUL:
+        result = evalAlu(si.op, v1, v2);
+        latency = cfg_.mulLatency;
+        break;
+      case Op::DIVU:
+      case Op::REMU: {
+        // Partially pipelined divider (Skylake-like): long latency,
+        // one new division every few cycles.
+        Cycle start = std::max(now, divBusyUntil_);
+        divBusyUntil_ = start + 4;
+        result = evalAlu(si.op, v1, v2);
+        scheduleWriteback(inst, start + cfg_.divLatency, {result, 0, 0});
+        return true;
+      }
+      default:
+        result = evalAlu(si.op, v1,
+                         info.readsRs2 ? v2
+                                       : static_cast<uint64_t>(si.imm));
+        break;
+    }
+    scheduleWriteback(inst, now + latency, {result, 0, 0});
+    return true;
+}
+
+void
+Core::issue(Cycle now)
+{
+    // Compact squashed/issued entries and issue in age order.
+    size_t w = 0;
+    bool mispredicted = false;
+    for (size_t i = 0; i < iq_.size(); i++) {
+        const DynInstPtr &inst = iq_[i];
+        // undoRename already cleared inIQ for squashed entries.
+        if (inst->squashed || inst->issued || !inst->inIQ)
+            continue; // drop from IQ
+        if (mispredicted || issuedThisCycle_ >= cfg_.issueWidth) {
+            if (w != i)
+                iq_[w] = std::move(iq_[i]);
+            w++;
+            continue;
+        }
+
+        // Source readiness.
+        bool ready = true;
+        for (int s = 0; s < inst->nsrc; s++) {
+            if (!prf_.isReady(inst->srcs[s])) {
+                ready = false;
+                break;
+            }
+        }
+        if (!ready) {
+            if (w != i)
+                iq_[w] = std::move(iq_[i]);
+            w++;
+            continue;
+        }
+
+        // Functional unit availability.
+        const OpInfo &info = opInfo(inst->op == Op::CVTRAP ||
+                                            inst->op == Op::ENQTRAP
+                                        ? Op::NOP
+                                        : inst->si->op);
+        bool fuOk = true;
+        switch (info.fu) {
+          case FuType::Alu:
+          case FuType::None:
+            fuOk = aluUsed_ < cfg_.numAlu;
+            break;
+          case FuType::Mul:
+            fuOk = mulUsed_ < cfg_.numMul;
+            break;
+          case FuType::Div:
+            fuOk = true; // serialized via divBusyUntil_
+            break;
+          case FuType::Mem:
+            fuOk = memPortsUsed_ < cfg_.numMemPorts;
+            break;
+        }
+        if (!fuOk) {
+            if (w != i)
+                iq_[w] = std::move(iq_[i]);
+            w++;
+            continue;
+        }
+
+        if (!executeInst(inst, now)) {
+            // Deferred (LSQ or at-head constraints).
+            if (w != i)
+                iq_[w] = std::move(iq_[i]);
+            w++;
+            continue;
+        }
+
+        switch (info.fu) {
+          case FuType::Alu:
+          case FuType::None:
+          case FuType::Div:
+            aluUsed_++;
+            break;
+          case FuType::Mul:
+            mulUsed_++;
+            break;
+          case FuType::Mem:
+            break; // ports accounted inside executeInst
+        }
+        inst->issued = true;
+        inst->inIQ = false;
+        iqOccupancy_--;
+        issuedThisCycle_++;
+        stats_.issuedUops++;
+        stats_.regReads += inst->nsrc;
+        if (inst->isCondBranch || inst->isIndirect) {
+            Addr predictedPc = inst->isIndirect
+                                   ? inst->predTarget
+                                   : (inst->predTaken ? inst->predTarget
+                                                      : inst->pc + 1);
+            if (predictedPc != inst->actualTarget)
+                mispredicted = true;
+        }
+    }
+    iq_.resize(w);
+}
+
+void
+Core::handleMispredict(const DynInstPtr &inst, Cycle now)
+{
+    ThreadCtx &t = threads_[inst->tid];
+    squashYounger(inst->tid, inst->seq);
+    panic_if(!inst->checkpoint, "mispredict without checkpoint");
+    t.renameMap = *inst->checkpoint;
+    if (inst->isCondBranch) {
+        bpred_.restoreHistory(inst->tid, inst->histAtPred,
+                              inst->actualTaken);
+    }
+    t.pc = inst->actualTarget;
+    t.fetchQ.clear();
+    t.haltFetched = false;
+    t.fetchBlockedUntil = now + cfg_.mispredictPenalty;
+    stats_.mispredicts++;
+}
+
+void
+Core::undoRename(const DynInstPtr &inst)
+{
+    inst->squashed = true;
+    if (inst->inIQ) {
+        inst->inIQ = false;
+        iqOccupancy_--;
+    }
+    // Reverse of the rename-time mutations, youngest-first.
+    if (inst->destIsQueue) {
+        PhysRegId r = qrm_.rollbackEnqueue(inst->enqQueue);
+        panic_if(r != inst->dests[0], "enqueue rollback mismatch");
+    }
+    if (inst->skipConsumed > 0) {
+        for (uint32_t k = 0; k < inst->skipConsumed; k++)
+            qrm_.rollbackDequeue(inst->deqQueues[0]);
+    } else {
+        for (int i = inst->ndeq - 1; i >= 0; i--)
+            qrm_.rollbackDequeue(inst->deqQueues[i]);
+    }
+    if (inst->clearedSkip)
+        qrm_.setSkipArmed(inst->enqQueue, true);
+    if (inst->op == Op::FENCE || inst->isAtomic)
+        threads_[inst->tid].pendingFences.erase(inst->seq);
+    if (inst->pendingCompletions == 0) {
+        for (int d = 0; d < inst->ndest; d++)
+            prf_.free(inst->dests[d]);
+    }
+    stats_.squashedInstrs++;
+}
+
+void
+Core::squashYounger(ThreadId tid, uint64_t seq)
+{
+    ThreadCtx &t = threads_[tid];
+    while (!t.rob.empty() && t.rob.back()->seq > seq) {
+        undoRename(t.rob.back());
+        t.rob.pop_back();
+    }
+    while (!t.loadQ.empty() && t.loadQ.back()->seq > seq)
+        t.loadQ.pop_back();
+    while (!t.storeQ.empty() && t.storeQ.back()->seq > seq)
+        t.storeQ.pop_back();
+}
+
+// --------------------------------------------------------------- commit
+
+void
+Core::commit(Cycle now)
+{
+    uint32_t budget = cfg_.commitWidth;
+    for (uint32_t k = 0; k < threads_.size() && budget > 0; k++) {
+        uint32_t tid = (commitRr_ + k) % threads_.size();
+        ThreadCtx &t = threads_[tid];
+        if (!t.active || t.halted)
+            continue;
+        while (budget > 0 && !t.rob.empty()) {
+            DynInstPtr inst = t.rob.front();
+            if (!inst->executed)
+                break;
+            if (inst->isStore) {
+                if (t.storeBuffer.size() >= cfg_.storeBufferEntries)
+                    break;
+                mem_->write(inst->memAddr, inst->memSize, inst->storeData);
+                t.storeBuffer.emplace_back(inst->memAddr, inst->memSize);
+                stats_.stores++;
+            }
+            if (inst->isLoad)
+                stats_.loads++;
+
+            if (inst->skipConsumed > 0) {
+                for (uint32_t i = 0; i < inst->skipConsumed; i++)
+                    prf_.free(qrm_.commitDequeue(inst->deqQueues[0]));
+                stats_.dequeues++;
+            } else {
+                for (int i = 0; i < inst->ndeq; i++) {
+                    prf_.free(qrm_.commitDequeue(inst->deqQueues[i]));
+                    stats_.dequeues++;
+                }
+            }
+            if (inst->destIsQueue) {
+                qrm_.commitEnqueue(inst->enqQueue);
+                stats_.enqueues++;
+                if (inst->si->op == Op::ENQC)
+                    stats_.ctrlValues++;
+            } else {
+                for (int d = 0; d < inst->ndest; d++) {
+                    if (inst->prevDests[d] != INVALID_PREG)
+                        prf_.free(inst->prevDests[d]);
+                }
+            }
+            if (inst->isLoad || inst->isAtomic) {
+                panic_if(t.loadQ.empty() || t.loadQ.front() != inst,
+                         "loadQ out of sync");
+                t.loadQ.pop_front();
+            }
+            if (inst->isStore) {
+                panic_if(t.storeQ.empty() || t.storeQ.front() != inst,
+                         "storeQ out of sync");
+                t.storeQ.pop_front();
+            }
+            if (cfg_.traceFile) {
+                std::fprintf(cfg_.traceFile, "%10llu c%u.t%u %5llu: %s\n",
+                             static_cast<unsigned long long>(now), id_,
+                             tid,
+                             static_cast<unsigned long long>(inst->pc),
+                             inst->op == inst->si->op
+                                 ? inst->si->toString().c_str()
+                                 : opInfo(inst->op).name);
+            }
+            t.rob.pop_front();
+            budget--;
+            stats_.committedInstrs++;
+            if (tid < 8)
+                stats_.committedPerThread[tid]++;
+            t.instrsCommitted++;
+            lastCommit_ = now;
+            if (inst->op == Op::HALT) {
+                t.halted = true;
+                break;
+            }
+        }
+    }
+    commitRr_++;
+}
+
+void
+Core::drainStoreBuffers(Cycle now)
+{
+    for (ThreadCtx &t : threads_) {
+        if (t.storeBuffer.empty())
+            continue;
+        if (!tryUseMemPort())
+            return;
+        auto [addr, size] = t.storeBuffer.front();
+        t.storeBuffer.pop_front();
+        hier_->access(id_, addr, true, now, nullptr);
+    }
+}
+
+// ------------------------------------------------------------- CPI stack
+
+void
+Core::accountCpi(Cycle now)
+{
+    (void)now;
+    CpiBucket bucket;
+    if (issuedThisCycle_ > 0) {
+        bucket = CpiBucket::Issue;
+    } else {
+        bool anyActive = false;
+        bool allQueue = true;
+        bool anyQueue = false;
+        bool anyBackend = false;
+        for (const ThreadCtx &t : threads_) {
+            if (!t.active || t.halted)
+                continue;
+            anyActive = true;
+            bool queueStall = t.renameStall == StallReason::QueueEmpty ||
+                              t.renameStall == StallReason::QueueFull;
+            anyQueue |= queueStall;
+            if (!queueStall)
+                allQueue = false;
+            if (!t.rob.empty() && !t.rob.front()->executed)
+                anyBackend = true;
+        }
+        if (!anyActive)
+            bucket = CpiBucket::Other;
+        else if (allQueue && anyQueue)
+            bucket = CpiBucket::Queue;
+        else if (anyBackend)
+            bucket = CpiBucket::Backend;
+        else if (anyQueue)
+            bucket = CpiBucket::Queue;
+        else
+            bucket = CpiBucket::Other;
+    }
+    stats_.cpiCycles[static_cast<size_t>(bucket)]++;
+}
+
+std::string
+Core::debugString() const
+{
+    std::ostringstream oss;
+    oss << "core " << id_ << ":\n";
+    for (size_t i = 0; i < threads_.size(); i++) {
+        const ThreadCtx &t = threads_[i];
+        if (!t.active)
+            continue;
+        oss << "  t" << i << ": pc=" << t.pc
+            << (t.halted ? " HALTED" : "") << " rob=" << t.rob.size()
+            << " fq=" << t.fetchQ.size() << " stall="
+            << static_cast<int>(t.renameStall)
+            << " committed=" << t.instrsCommitted << "\n";
+    }
+    oss << qrm_.debugString();
+    return oss.str();
+}
+
+} // namespace pipette

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * The out-of-order SMT core with integrated Pipette support.
+ *
+ * Pipeline: fetch (ICOUNT thread choice, branch prediction) -> decoupled
+ * fetch buffer -> rename/dispatch (register renaming, QRM interaction,
+ * CV/enqueue trap dispatch, resource allocation) -> unified issue queue
+ * -> execute (FU ports, LSQ, cache accesses via the event queue) ->
+ * in-order per-thread commit (frees registers, advances QRM committed
+ * pointers, drains stores).
+ *
+ * Pipette specifics (paper Secs. III-IV):
+ *  - an instruction whose source arch register is input-mapped dequeues
+ *    at rename (stalling on empty); one whose destination is
+ *    output-mapped enqueues (stalling on full / register budget);
+ *  - a dequeue or peek that finds a control value at the head becomes a
+ *    CVTRAP micro-op: it consumes the CV, writes cvval/cvqid/cvret, and
+ *    redirects fetch to the dequeue control handler;
+ *  - a data enqueue on a skip-armed queue becomes an ENQTRAP micro-op
+ *    redirecting to the enqueue control handler;
+ *  - skiptc consumes committed data entries until a CV; with no CV
+ *    available it waits until it is the oldest instruction of its
+ *    thread, then drains entries non-speculatively and arms the queue.
+ */
+
+#ifndef PIPETTE_CORE_CORE_H
+#define PIPETTE_CORE_CORE_H
+
+#include <deque>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/bpred.h"
+#include "core/dyn_inst.h"
+#include "isa/machine_spec.h"
+#include "mem/hierarchy.h"
+#include "mem/sim_memory.h"
+#include "pipette/qrm.h"
+#include "pipette/regfile.h"
+#include "sim/config.h"
+#include "sim/stats.h"
+
+namespace pipette {
+
+/** One simulated OOO SMT core. */
+class Core
+{
+  public:
+    Core(CoreId id, const CoreConfig &cfg, SimMemory *mem,
+         MemoryHierarchy *hier, EventQueue *eq);
+
+    /** Attach a software thread (before configure()). */
+    void addThread(const ThreadSpec &ts);
+    /** Finalize after all threads are attached: partition structures. */
+    void configure();
+
+    /** Advance one cycle. */
+    void tick(Cycle now);
+
+    bool allHalted() const;
+    CoreId id() const { return id_; }
+    const CoreConfig &config() const { return cfg_; }
+
+    CoreStats &stats() { return stats_; }
+    const CoreStats &stats() const { return stats_; }
+    Qrm &qrm() { return qrm_; }
+    PhysRegFile &prf() { return prf_; }
+
+    /** Claim a data-cache port this cycle (shared with RAs). */
+    bool tryUseMemPort();
+
+    /** Cycle of the most recent commit (watchdog support). */
+    Cycle lastCommitCycle() const { return lastCommit_; }
+
+    /**
+     * Architectural register value of a thread. Only meaningful when
+     * the thread has no in-flight instructions (e.g., after halting).
+     */
+    uint64_t
+    readArchReg(ThreadId tid, ArchRegId r) const
+    {
+        return prf_.read(threads_[tid].renameMap[r]);
+    }
+
+    /** Committed instruction count of one thread. */
+    uint64_t
+    threadInstrs(ThreadId tid) const
+    {
+        return threads_[tid].instrsCommitted;
+    }
+
+    /** Debug dump: per-thread PC and stall state. */
+    std::string debugString() const;
+
+  private:
+    struct FetchedInst
+    {
+        Addr pc;
+        const Instr *si;
+        Cycle readyCycle;
+        bool predTaken = false;
+        Addr predTarget = 0;
+        uint64_t histAtPred = 0;
+    };
+
+    enum class StallReason : uint8_t
+    {
+        None,
+        QueueEmpty,
+        QueueFull,
+        Resource,
+        Empty, ///< nothing to rename
+    };
+
+    struct ThreadCtx
+    {
+        bool active = false;
+        const Program *prog = nullptr;
+        Addr pc = 0;
+        bool halted = false;
+        bool haltFetched = false;
+        Cycle fetchBlockedUntil = 0;
+        int64_t deqHandler = -1;
+        int64_t enqHandler = -1;
+        std::array<PhysRegId, NUM_ARCH_REGS> renameMap;
+        std::array<int8_t, NUM_ARCH_REGS> mapDir;  // -1 none, 0 in, 1 out
+        std::array<QueueId, NUM_ARCH_REGS> mapQ;
+        std::deque<FetchedInst> fetchQ;
+        std::deque<DynInstPtr> rob;
+        std::deque<DynInstPtr> loadQ;
+        std::deque<DynInstPtr> storeQ;
+        std::deque<std::pair<Addr, uint8_t>> storeBuffer; // post-commit
+        /** Sequence numbers of in-flight FENCEs (younger loads wait). */
+        std::set<uint64_t> pendingFences;
+        StallReason renameStall = StallReason::Empty;
+        uint64_t instrsCommitted = 0;
+    };
+
+    // Pipeline stages
+    void fetch(Cycle now);
+    void rename(Cycle now);
+    void issue(Cycle now);
+    void commit(Cycle now);
+    void drainStoreBuffers(Cycle now);
+    void accountCpi(Cycle now);
+
+    /** Rename a single instruction; returns the stall reason. */
+    StallReason renameOne(ThreadId tid, Cycle now);
+
+    // Execution helpers
+    bool executeInst(const DynInstPtr &inst, Cycle now);
+    bool tryExecuteLoad(const DynInstPtr &inst, Cycle now);
+    void handleMispredict(const DynInstPtr &inst, Cycle now);
+    void squashYounger(ThreadId tid, uint64_t seq);
+    void undoRename(const DynInstPtr &inst);
+    void scheduleWriteback(const DynInstPtr &inst, Cycle when,
+                           std::array<uint64_t, DynInst::MAX_DESTS> vals);
+    void readSources(const DynInstPtr &inst, uint64_t *v1, uint64_t *v2,
+                     uint64_t *vd) const;
+    bool isOldestInThread(const DynInstPtr &inst) const;
+
+    /** Fixed-latency writebacks: per-cycle ring (cheaper than events). */
+    struct WbEntry
+    {
+        DynInstPtr inst;
+        std::array<uint64_t, DynInst::MAX_DESTS> vals;
+    };
+    static constexpr uint32_t WB_RING = 256;
+    void processWritebacks(Cycle now);
+    void applyWriteback(const DynInstPtr &inst,
+                        const std::array<uint64_t, DynInst::MAX_DESTS> &vals);
+
+    CoreId id_;
+    CoreConfig cfg_;
+    SimMemory *mem_;
+    MemoryHierarchy *hier_;
+    EventQueue *eq_;
+
+    std::array<std::vector<WbEntry>, WB_RING> wbRing_;
+
+    PhysRegFile prf_;
+    Qrm qrm_;
+    BranchPredictor bpred_;
+    std::vector<ThreadCtx> threads_;
+    std::vector<DynInstPtr> iq_;
+
+    // Partitioned sizes (set at configure()).
+    uint32_t robPerThread_ = 0;
+    uint32_t lqPerThread_ = 0;
+    uint32_t sqPerThread_ = 0;
+    uint32_t numActive_ = 0;
+
+    uint64_t seqCtr_ = 0;
+    uint32_t iqOccupancy_ = 0;
+    uint32_t fetchRr_ = 0;
+    uint32_t renameRr_ = 0;
+    uint32_t commitRr_ = 0;
+
+    // Per-cycle resources
+    uint32_t memPortsUsed_ = 0;
+    uint32_t aluUsed_ = 0;
+    uint32_t mulUsed_ = 0;
+    Cycle divBusyUntil_ = 0;
+    uint32_t issuedThisCycle_ = 0;
+
+    Cycle lastCommit_ = 0;
+    CoreStats stats_;
+    bool configured_ = false;
+};
+
+} // namespace pipette
+
+#endif // PIPETTE_CORE_CORE_H

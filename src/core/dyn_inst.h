@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Dynamic (in-flight) instruction state for the out-of-order core.
+ */
+
+#ifndef PIPETTE_CORE_DYN_INST_H
+#define PIPETTE_CORE_DYN_INST_H
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "isa/instr.h"
+#include "sim/types.h"
+
+namespace pipette {
+
+/** One in-flight instruction. */
+struct DynInst
+{
+    static constexpr int MAX_SRCS = 3;
+    static constexpr int MAX_DESTS = 3;
+
+    // --- Identity ---
+    uint64_t seq = 0; ///< core-wide age order
+    ThreadId tid = 0;
+    Addr pc = 0;
+    const Instr *si = nullptr;
+    /** Effective opcode (CVTRAP/ENQTRAP replace the fetched op). */
+    Op op = Op::NOP;
+
+    // --- Fetch / prediction ---
+    bool isCondBranch = false;
+    bool isIndirect = false;
+    bool predTaken = false;
+    Addr predTarget = 0;
+    uint64_t histAtPred = 0;
+
+    // --- Rename ---
+    int nsrc = 0;
+    std::array<PhysRegId, MAX_SRCS> srcs = {INVALID_PREG, INVALID_PREG,
+                                            INVALID_PREG};
+    int ndest = 0;
+    std::array<PhysRegId, MAX_DESTS> dests = {INVALID_PREG, INVALID_PREG,
+                                              INVALID_PREG};
+    std::array<PhysRegId, MAX_DESTS> prevDests = {INVALID_PREG,
+                                                  INVALID_PREG,
+                                                  INVALID_PREG};
+    /** Queues dequeued by this instruction (committed/rolled back). */
+    int ndeq = 0;
+    std::array<QueueId, 3> deqQueues = {INVALID_QUEUE, INVALID_QUEUE,
+                                        INVALID_QUEUE};
+    /** Destination is an enqueue (dests[0] entered the QRM). */
+    bool destIsQueue = false;
+    QueueId enqQueue = INVALID_QUEUE;
+    /** ENQC cleared this queue's skip-armed flag (restore on squash). */
+    bool clearedSkip = false;
+    /** skiptc: total entries consumed speculatively (discards + CV). */
+    uint32_t skipConsumed = 0;
+    /** Rename-map checkpoint (branches and indirect jumps). */
+    std::unique_ptr<std::array<PhysRegId, NUM_ARCH_REGS>> checkpoint;
+
+    // --- Trap payload (CVTRAP / ENQTRAP) ---
+    uint64_t cvQid = 0;
+    uint64_t cvRet = 0;
+
+    // --- Execution state ---
+    bool inIQ = false;
+    bool issued = false;
+    bool executed = false;
+    bool squashed = false;
+    int pendingCompletions = 0;
+
+    // Memory
+    Addr memAddr = 0;
+    uint8_t memSize = 0;
+    uint64_t storeData = 0;
+    bool addrReady = false;
+
+    // Branch resolution
+    bool actualTaken = false;
+    Addr actualTarget = 0;
+
+    bool isLoad = false;
+    bool isStore = false;
+    bool isAtomic = false;
+};
+
+using DynInstPtr = std::shared_ptr<DynInst>;
+
+} // namespace pipette
+
+#endif // PIPETTE_CORE_DYN_INST_H

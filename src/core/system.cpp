@@ -1,0 +1,142 @@
+#include "core/system.h"
+
+namespace pipette {
+
+System::System(const SystemConfig &cfg)
+    : cfg_(cfg), hier_(cfg.mem, cfg.numCores, &eq_)
+{
+    for (uint32_t c = 0; c < cfg.numCores; c++) {
+        cores_.push_back(std::make_unique<Core>(c, cfg.core, &mem_,
+                                                &hier_, &eq_));
+    }
+}
+
+void
+System::configure(const MachineSpec &spec)
+{
+    panic_if(configured_, "System::configure called twice");
+    configured_ = true;
+
+    for (const ThreadSpec &ts : spec.threads) {
+        fatal_if(ts.core >= cores_.size(), "thread on nonexistent core");
+        cores_[ts.core]->addThread(ts);
+    }
+    for (const QueueCapSpec &qc : spec.queueCaps) {
+        fatal_if(qc.core >= cores_.size(), "queue cap on bad core");
+        cores_[qc.core]->qrm().setCapacity(qc.queue, qc.capacity);
+    }
+    for (const RaSpec &rs : spec.ras) {
+        fatal_if(rs.core >= cores_.size(), "RA on nonexistent core");
+        Core *core = cores_[rs.core].get();
+        fatal_if(ras_.size() >=
+                     static_cast<size_t>(cfg_.core.numRAs) * cores_.size(),
+                 "too many reference accelerators configured");
+        ras_.push_back(std::make_unique<RefAccel>(
+            rs, cfg_.core.raCompletionBuf, &core->qrm(), &core->prf(),
+            &mem_, &hier_, &eq_, &core->stats(),
+            [core] { return core->tryUseMemPort(); }));
+    }
+    for (const ConnectorSpec &cs : spec.connectors) {
+        fatal_if(cs.fromCore >= cores_.size() ||
+                     cs.toCore >= cores_.size(),
+                 "connector on nonexistent core");
+        Core *from = cores_[cs.fromCore].get();
+        Core *to = cores_[cs.toCore].get();
+        connectors_.push_back(std::make_unique<Connector>(
+            cs, &from->qrm(), &from->prf(), &to->qrm(), &to->prf(),
+            &from->stats(), cfg_.connectorLatency,
+            cfg_.connectorBandwidth));
+    }
+    for (auto &core : cores_)
+        core->configure();
+}
+
+System::RunResult
+System::run()
+{
+    panic_if(!configured_, "System::run before configure");
+    RunResult res;
+    Cycle now = 0;
+    Cycle lastProgress = 0;
+    while (true) {
+        now++;
+        eq_.runUntil(now);
+        bool allHalted = true;
+        for (auto &core : cores_) {
+            core->tick(now);
+            allHalted &= core->allHalted();
+        }
+        for (auto &ra : ras_)
+            ra->tick(now);
+        for (auto &conn : connectors_)
+            conn->tick(now);
+
+        if (allHalted) {
+            res.finished = true;
+            break;
+        }
+        for (auto &core : cores_)
+            lastProgress = std::max(lastProgress, core->lastCommitCycle());
+        if (now - lastProgress > cfg_.watchdogCycles) {
+            res.deadlock = true;
+            warn("watchdog: no commit for ", cfg_.watchdogCycles,
+                 " cycles at cycle ", now);
+            for (auto &core : cores_)
+                warn(core->debugString());
+            break;
+        }
+        if (cfg_.maxCycles && now >= cfg_.maxCycles)
+            break;
+    }
+    res.cycles = now;
+    for (auto &core : cores_)
+        res.instrs += core->stats().committedInstrs;
+    return res;
+}
+
+CoreStats
+System::aggregateCoreStats() const
+{
+    CoreStats agg;
+    for (const auto &core : cores_) {
+        const CoreStats &s = core->stats();
+        agg.cycles = std::max(agg.cycles, s.cycles);
+        agg.committedInstrs += s.committedInstrs;
+        agg.issuedUops += s.issuedUops;
+        agg.squashedInstrs += s.squashedInstrs;
+        agg.fetchedInstrs += s.fetchedInstrs;
+        agg.branches += s.branches;
+        agg.mispredicts += s.mispredicts;
+        agg.loads += s.loads;
+        agg.stores += s.stores;
+        agg.atomics += s.atomics;
+        agg.enqueues += s.enqueues;
+        agg.dequeues += s.dequeues;
+        agg.ctrlValues += s.ctrlValues;
+        agg.cvTraps += s.cvTraps;
+        agg.enqTraps += s.enqTraps;
+        agg.skipDiscards += s.skipDiscards;
+        agg.queueFullStalls += s.queueFullStalls;
+        agg.queueEmptyStalls += s.queueEmptyStalls;
+        agg.regReads += s.regReads;
+        agg.regWrites += s.regWrites;
+        agg.raAccesses += s.raAccesses;
+        agg.raCvForwards += s.raCvForwards;
+        agg.connectorTransfers += s.connectorTransfers;
+        for (size_t i = 0; i < NUM_CPI_BUCKETS; i++)
+            agg.cpiCycles[i] += s.cpiCycles[i];
+    }
+    return agg;
+}
+
+std::map<std::string, double>
+System::dumpStats() const
+{
+    std::map<std::string, double> out;
+    for (size_t c = 0; c < cores_.size(); c++)
+        cores_[c]->stats().dump("core" + std::to_string(c), out);
+    hier_.dumpStats(out);
+    return out;
+}
+
+} // namespace pipette

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The full simulated system: cores, memory hierarchy, reference
+ * accelerators, connectors, and the run loop. A System is configured
+ * from a SystemConfig (hardware) plus a MachineSpec (software), the same
+ * spec the golden-model interpreter accepts.
+ */
+
+#ifndef PIPETTE_CORE_SYSTEM_H
+#define PIPETTE_CORE_SYSTEM_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/core.h"
+#include "pipette/connector.h"
+#include "pipette/ra.h"
+
+namespace pipette {
+
+/** Complete simulated machine. */
+class System
+{
+  public:
+    explicit System(const SystemConfig &cfg);
+
+    /** Functional memory (populate before configure/run). */
+    SimMemory &memory() { return mem_; }
+
+    /** Apply a software configuration. Call exactly once. */
+    void configure(const MachineSpec &spec);
+
+    struct RunResult
+    {
+        bool finished = false; ///< all threads halted
+        bool deadlock = false; ///< watchdog fired
+        Cycle cycles = 0;
+        uint64_t instrs = 0; ///< committed across all cores
+    };
+
+    /** Run to completion (or watchdog / maxCycles). */
+    RunResult run();
+
+    Core &core(CoreId c) { return *cores_[c]; }
+    uint32_t numCores() const { return static_cast<uint32_t>(cores_.size()); }
+    MemoryHierarchy &hierarchy() { return hier_; }
+    const SystemConfig &config() const { return cfg_; }
+
+    /** Aggregate statistics across all cores. */
+    CoreStats aggregateCoreStats() const;
+    /** Flatten everything into a name -> value map. */
+    std::map<std::string, double> dumpStats() const;
+
+  private:
+    SystemConfig cfg_;
+    EventQueue eq_;
+    SimMemory mem_;
+    MemoryHierarchy hier_;
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<std::unique_ptr<RefAccel>> ras_;
+    std::vector<std::unique_ptr<Connector>> connectors_;
+    bool configured_ = false;
+};
+
+} // namespace pipette
+
+#endif // PIPETTE_CORE_SYSTEM_H

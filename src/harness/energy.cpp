@@ -1,0 +1,44 @@
+#include "harness/energy.h"
+
+namespace pipette {
+
+EnergyBreakdown
+computeEnergy(const System &sys, const EnergyParams &p)
+{
+    EnergyBreakdown e;
+    auto &csys = const_cast<System &>(sys);
+    Cycle cycles = 0;
+    uint32_t activeCores = 0;
+
+    for (uint32_t c = 0; c < csys.numCores(); c++) {
+        const CoreStats &s = csys.core(c).stats();
+        cycles = std::max(cycles, s.cycles);
+        if (s.committedInstrs > 0)
+            activeCores++;
+        e.coreDynamic += p.perCommit * static_cast<double>(s.committedInstrs);
+        e.coreDynamic += p.perIssue * static_cast<double>(s.issuedUops);
+        e.coreDynamic += p.perRegRead * static_cast<double>(s.regReads);
+        e.coreDynamic += p.perRegWrite * static_cast<double>(s.regWrites);
+        e.coreDynamic += p.perRaAccess * static_cast<double>(s.raAccesses);
+        e.coreDynamic +=
+            p.perConnectorFlit * static_cast<double>(s.connectorTransfers);
+
+        const CacheStats &l1 = csys.hierarchy().l1Stats(c);
+        const CacheStats &l2 = csys.hierarchy().l2Stats(c);
+        e.cache += p.perL1 * static_cast<double>(l1.accesses + l1.prefetches);
+        e.cache += p.perL2 * static_cast<double>(l2.accesses);
+    }
+    const CacheStats &l3 = csys.hierarchy().l3Stats();
+    e.cache += p.perL3 * static_cast<double>(l3.accesses);
+    const MemStats &m = csys.hierarchy().memStats();
+    e.dram += p.perDram * static_cast<double>(m.dramReads + m.dramWrites);
+
+    double cyc = static_cast<double>(cycles);
+    e.coreStatic += p.coreStaticPerCycle * cyc * activeCores;
+    e.coreStatic += p.l2StaticPerCycle * cyc * csys.numCores();
+    e.coreStatic += p.l3StaticPerCycle * cyc;
+    e.dram += p.dramStaticPerCycle * cyc;
+    return e;
+}
+
+} // namespace pipette

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Event-count energy model standing in for the paper's McPAT + DDR3L
+ * flow (Sec. V-A). Energies are in arbitrary units chosen to match
+ * 22 nm relative costs; every figure reports values normalized to the
+ * data-parallel baseline, so only the ratios matter (see DESIGN.md's
+ * substitution table).
+ */
+
+#ifndef PIPETTE_HARNESS_ENERGY_H
+#define PIPETTE_HARNESS_ENERGY_H
+
+#include "core/system.h"
+
+namespace pipette {
+
+/** Energy split the paper's Fig. 12 reports. */
+struct EnergyBreakdown
+{
+    double coreDynamic = 0;
+    double coreStatic = 0;
+    double cache = 0;
+    double dram = 0;
+
+    double
+    total() const
+    {
+        return coreDynamic + coreStatic + cache + dram;
+    }
+};
+
+/** Per-event / per-cycle energy constants (arbitrary units). */
+struct EnergyParams
+{
+    double perCommit = 35;
+    double perIssue = 10;
+    double perRegRead = 4;
+    double perRegWrite = 6;
+    double perRaAccess = 8;
+    double perConnectorFlit = 15;
+
+    double perL1 = 20;
+    double perL2 = 60;
+    double perL3 = 250;
+    double perDram = 2500;
+
+    double coreStaticPerCycle = 40; ///< per core with >= 1 thread
+    double l2StaticPerCycle = 4;    ///< per core
+    double l3StaticPerCycle = 12;   ///< whole LLC
+    double dramStaticPerCycle = 10;
+};
+
+/** Compute the breakdown for a finished System run. */
+EnergyBreakdown computeEnergy(const System &sys,
+                              const EnergyParams &p = EnergyParams{});
+
+} // namespace pipette
+
+#endif // PIPETTE_HARNESS_ENERGY_H

@@ -1,0 +1,67 @@
+#include "harness/report.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "sim/logging.h"
+
+namespace pipette {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    panic_if(cells.size() != headers_.size(),
+             "table row width mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+void
+Table::print() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); c++)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); c++)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto printRow = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); c++)
+            std::printf("%-*s%s", static_cast<int>(widths[c]),
+                        row[c].c_str(),
+                        c + 1 == row.size() ? "\n" : "  ");
+    };
+    printRow(headers_);
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+    for (size_t i = 0; i + 2 < total; i++)
+        std::printf("-");
+    std::printf("\n");
+    for (const auto &row : rows_)
+        printRow(row);
+}
+
+void
+banner(const std::string &title, const std::string &subtitle)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+    if (!subtitle.empty())
+        std::printf("%s\n", subtitle.c_str());
+    std::printf("\n");
+}
+
+} // namespace pipette

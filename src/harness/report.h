@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Plain-text table/series printing for the benchmark harness. Each
+ * bench binary prints the rows/series of one of the paper's tables or
+ * figures through these helpers.
+ */
+
+#ifndef PIPETTE_HARNESS_REPORT_H
+#define PIPETTE_HARNESS_REPORT_H
+
+#include <string>
+#include <vector>
+
+namespace pipette {
+
+/** Simple aligned-column table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+    /** Format helper: fixed-point double. */
+    static std::string num(double v, int precision = 2);
+    /** Render to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a figure/table banner. */
+void banner(const std::string &title, const std::string &subtitle = "");
+
+} // namespace pipette
+
+#endif // PIPETTE_HARNESS_REPORT_H

@@ -1,0 +1,56 @@
+#include "harness/runner.h"
+
+#include <cmath>
+
+namespace pipette {
+
+RunResult
+Runner::run(WorkloadBase &wl, Variant v, const std::string &inputName,
+            uint32_t numCores)
+{
+    SystemConfig cfg = base_;
+    cfg.numCores = numCores;
+    System sys(cfg);
+    BuildContext ctx(&sys);
+    wl.build(ctx, v);
+    sys.configure(ctx.spec);
+    auto res = sys.run();
+
+    RunResult r;
+    r.workload = wl.name();
+    r.input = inputName;
+    r.variant = v;
+    r.numCores = numCores;
+    r.finished = res.finished;
+    r.cycles = res.cycles;
+    r.instrs = res.instrs;
+    r.ipc = res.cycles ? static_cast<double>(res.instrs) / res.cycles : 0;
+    r.verified = res.finished && wl.verify(sys);
+    if (!r.verified) {
+        warn(wl.name(), "/", variantName(v), " on ", inputName,
+             res.finished ? ": verification failed" : ": did not finish");
+    }
+    r.agg = sys.aggregateCoreStats();
+    double tot = 0;
+    for (size_t i = 0; i < NUM_CPI_BUCKETS; i++)
+        tot += static_cast<double>(r.agg.cpiCycles[i]);
+    for (size_t i = 0; i < NUM_CPI_BUCKETS; i++) {
+        r.cpiFrac[i] =
+            tot ? static_cast<double>(r.agg.cpiCycles[i]) / tot : 0;
+    }
+    r.energy = computeEnergy(sys);
+    return r;
+}
+
+double
+gmean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0;
+    for (double x : xs)
+        acc += std::log(x);
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+} // namespace pipette

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Experiment runner: builds a System for one (workload, variant) pair,
+ * runs it to completion, verifies the architectural result against the
+ * host reference, and collects the metrics every figure needs.
+ */
+
+#ifndef PIPETTE_HARNESS_RUNNER_H
+#define PIPETTE_HARNESS_RUNNER_H
+
+#include <string>
+
+#include "harness/energy.h"
+#include "workloads/workload.h"
+
+namespace pipette {
+
+/** Everything measured from one run. */
+struct RunResult
+{
+    std::string workload;
+    std::string input;
+    Variant variant = Variant::Serial;
+    bool verified = false;
+    bool finished = false;
+    Cycle cycles = 0;
+    uint64_t instrs = 0;
+    double ipc = 0;
+    /** Whole-system CPI-stack fractions (paper Fig. 11 buckets). */
+    std::array<double, NUM_CPI_BUCKETS> cpiFrac = {};
+    EnergyBreakdown energy;
+    CoreStats agg;
+    uint32_t numCores = 1;
+};
+
+/** Runs workloads under a base hardware configuration. */
+class Runner
+{
+  public:
+    explicit Runner(SystemConfig base) : base_(std::move(base)) {}
+
+    /**
+     * Run one variant. `numCores` overrides the base core count
+     * (streaming/multicore variants need 4). Fails the run (verified =
+     * false) rather than aborting on a mismatch.
+     */
+    RunResult run(WorkloadBase &wl, Variant v,
+                  const std::string &inputName, uint32_t numCores = 1);
+
+    SystemConfig &config() { return base_; }
+
+  private:
+    SystemConfig base_;
+};
+
+/** Geometric mean of a non-empty vector. */
+double gmean(const std::vector<double> &xs);
+
+} // namespace pipette
+
+#endif // PIPETTE_HARNESS_RUNNER_H

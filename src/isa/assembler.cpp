@@ -1,0 +1,187 @@
+#include "isa/assembler.h"
+
+#include <sstream>
+
+namespace pipette {
+
+std::string
+Instr::toString() const
+{
+    const OpInfo &info = opInfo(op);
+    std::ostringstream oss;
+    oss << info.name;
+    if (info.writesRd || info.readsRd)
+        oss << " r" << static_cast<int>(rd);
+    if (info.readsRs1)
+        oss << " r" << static_cast<int>(rs1);
+    if (info.readsRs2)
+        oss << " r" << static_cast<int>(rs2);
+    if (op == Op::PEEK || op == Op::SKIPTC || op == Op::JR)
+        oss << " r" << static_cast<int>(rs1);
+    if (imm != 0 || op == Op::LI)
+        oss << " #" << imm;
+    if (target >= 0)
+        oss << " ->" << target;
+    return oss.str();
+}
+
+std::string
+Program::listing() const
+{
+    std::ostringstream oss;
+    std::unordered_map<Addr, std::string> rev;
+    for (const auto &[name, pc] : labels_)
+        rev[pc] = name;
+    for (size_t i = 0; i < code_.size(); i++) {
+        auto it = rev.find(i);
+        if (it != rev.end())
+            oss << it->second << ":\n";
+        oss << "  " << i << ": " << code_[i].toString() << "\n";
+    }
+    return oss.str();
+}
+
+Asm::Asm(Program *prog) : prog_(prog)
+{
+    panic_if(!prog, "Asm requires a program");
+}
+
+Label
+Asm::label(const std::string &name)
+{
+    Label l{static_cast<int32_t>(labelPos_.size())};
+    labelPos_.push_back(-1);
+    labelName_.push_back(name);
+    return l;
+}
+
+void
+Asm::bind(Label l)
+{
+    panic_if(l.id < 0 || static_cast<size_t>(l.id) >= labelPos_.size(),
+             "bind of invalid label");
+    panic_if(labelPos_[l.id] >= 0, "label bound twice");
+    labelPos_[l.id] = static_cast<int64_t>(prog_->code_.size());
+    if (!labelName_[l.id].empty())
+        prog_->labels_[labelName_[l.id]] = prog_->code_.size();
+}
+
+Addr
+Asm::here() const
+{
+    return prog_->code_.size();
+}
+
+void
+Asm::finalize()
+{
+    panic_if(finalized_, "finalize called twice");
+    for (auto &[pc, id] : fixups_) {
+        panic_if(labelPos_[id] < 0, "unbound label '", labelName_[id],
+                 "' in program '", prog_->name(), "'");
+        prog_->code_[pc].target = static_cast<int32_t>(labelPos_[id]);
+    }
+    finalized_ = true;
+}
+
+void
+Asm::emit(Instr i)
+{
+    panic_if(finalized_, "emit after finalize");
+    const OpInfo &info = opInfo(i.op);
+    panic_if(info.writesRd && i.rd == reg::ZERO && !info.isAtomic &&
+                 (info.isLoad || i.op == Op::PEEK),
+             "r0 as destination of ", info.name, " discards the value");
+    prog_->code_.push_back(i);
+}
+
+void
+Asm::emit3(Op op, Reg rd, Reg a, Reg b)
+{
+    Instr i;
+    i.op = op;
+    i.rd = rd.idx;
+    i.rs1 = a.idx;
+    i.rs2 = b.idx;
+    emit(i);
+}
+
+void
+Asm::emitI(Op op, Reg rd, Reg a, int64_t imm)
+{
+    Instr i;
+    i.op = op;
+    i.rd = rd.idx;
+    i.rs1 = a.idx;
+    i.imm = imm;
+    emit(i);
+}
+
+void
+Asm::emitS(Op op, Reg val, Reg base, int64_t off)
+{
+    Instr i;
+    i.op = op;
+    i.rs1 = base.idx;
+    i.rs2 = val.idx;
+    i.imm = off;
+    emit(i);
+}
+
+void
+Asm::addFixup(Label t)
+{
+    panic_if(t.id < 0, "branch to invalid label");
+    fixups_.emplace_back(prog_->code_.size(), t.id);
+}
+
+void
+Asm::emitB(Op op, Reg a, Reg b, Label t)
+{
+    addFixup(t);
+    Instr i;
+    i.op = op;
+    i.rs1 = a.idx;
+    i.rs2 = b.idx;
+    emit(i);
+}
+
+void
+Asm::emitBI(Op op, Reg a, int64_t imm, Label t)
+{
+    addFixup(t);
+    Instr i;
+    i.op = op;
+    i.rs1 = a.idx;
+    i.imm = imm;
+    emit(i);
+}
+
+void
+Asm::jmp(Label t)
+{
+    addFixup(t);
+    emit(Instr{Op::JMP});
+}
+
+void
+Asm::jal(Reg rd, Label t)
+{
+    addFixup(t);
+    Instr i;
+    i.op = Op::JAL;
+    i.rd = rd.idx;
+    emit(i);
+}
+
+void
+Asm::li(Reg rd, uint64_t imm)
+{
+    Instr i;
+    i.op = Op::LI;
+    i.rd = rd.idx;
+    i.imm = static_cast<int64_t>(imm);
+    emit(i);
+}
+
+} // namespace pipette

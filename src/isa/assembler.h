@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Assembler DSL for writing mini-ISA programs from C++. All workloads
+ * (serial, data-parallel, and Pipette variants) are written against this
+ * builder; it provides labels with forward references and one method per
+ * opcode plus a few pseudo-instructions.
+ *
+ * Example:
+ * @code
+ *   Program p("count");
+ *   Asm a(&p);
+ *   auto loop = a.label("loop");
+ *   a.li(R::r1, 10);
+ *   a.bind(loop);
+ *   a.addi(R::r1, R::r1, -1);
+ *   a.bnei(R::r1, 0, loop);
+ *   a.halt();
+ *   a.finalize();
+ * @endcode
+ */
+
+#ifndef PIPETTE_ISA_ASSEMBLER_H
+#define PIPETTE_ISA_ASSEMBLER_H
+
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace pipette {
+
+/** Opaque label handle created by Asm::label(). */
+struct Label
+{
+    int32_t id = -1;
+};
+
+/** Instruction builder writing into a Program. */
+class Asm
+{
+  public:
+    explicit Asm(Program *prog);
+
+    /** Create a label (optionally named for listings/tests). */
+    Label label(const std::string &name = "");
+    /** Bind a label to the current position. */
+    void bind(Label l);
+    /** Current position (next instruction index). */
+    Addr here() const;
+
+    /**
+     * Patch all forward references. Must be called exactly once, after
+     * the last instruction is emitted.
+     */
+    void finalize();
+
+    // ALU register-register
+    void add(Reg rd, Reg a, Reg b) { emit3(Op::ADD, rd, a, b); }
+    void sub(Reg rd, Reg a, Reg b) { emit3(Op::SUB, rd, a, b); }
+    void mul(Reg rd, Reg a, Reg b) { emit3(Op::MUL, rd, a, b); }
+    void divu(Reg rd, Reg a, Reg b) { emit3(Op::DIVU, rd, a, b); }
+    void remu(Reg rd, Reg a, Reg b) { emit3(Op::REMU, rd, a, b); }
+    void and_(Reg rd, Reg a, Reg b) { emit3(Op::AND, rd, a, b); }
+    void or_(Reg rd, Reg a, Reg b) { emit3(Op::OR, rd, a, b); }
+    void xor_(Reg rd, Reg a, Reg b) { emit3(Op::XOR, rd, a, b); }
+    void sll(Reg rd, Reg a, Reg b) { emit3(Op::SLL, rd, a, b); }
+    void srl(Reg rd, Reg a, Reg b) { emit3(Op::SRL, rd, a, b); }
+    void sra(Reg rd, Reg a, Reg b) { emit3(Op::SRA, rd, a, b); }
+    void slt(Reg rd, Reg a, Reg b) { emit3(Op::SLT, rd, a, b); }
+    void sltu(Reg rd, Reg a, Reg b) { emit3(Op::SLTU, rd, a, b); }
+
+    // ALU register-immediate
+    void addi(Reg rd, Reg a, int64_t imm) { emitI(Op::ADDI, rd, a, imm); }
+    void andi(Reg rd, Reg a, int64_t imm) { emitI(Op::ANDI, rd, a, imm); }
+    void ori(Reg rd, Reg a, int64_t imm) { emitI(Op::ORI, rd, a, imm); }
+    void xori(Reg rd, Reg a, int64_t imm) { emitI(Op::XORI, rd, a, imm); }
+    void slli(Reg rd, Reg a, int64_t imm) { emitI(Op::SLLI, rd, a, imm); }
+    void srli(Reg rd, Reg a, int64_t imm) { emitI(Op::SRLI, rd, a, imm); }
+    void srai(Reg rd, Reg a, int64_t imm) { emitI(Op::SRAI, rd, a, imm); }
+    void slti(Reg rd, Reg a, int64_t imm) { emitI(Op::SLTI, rd, a, imm); }
+    void sltiu(Reg rd, Reg a, int64_t imm) { emitI(Op::SLTIU, rd, a, imm); }
+    void li(Reg rd, uint64_t imm);
+    /** Pseudo: register move. */
+    void mov(Reg rd, Reg a) { addi(rd, a, 0); }
+    void nop() { emit(Instr{Op::NOP}); }
+
+    // Memory (address = rs1 + imm)
+    void ld(Reg rd, Reg base, int64_t off) { emitI(Op::LD, rd, base, off); }
+    void lw(Reg rd, Reg base, int64_t off) { emitI(Op::LW, rd, base, off); }
+    void lh(Reg rd, Reg base, int64_t off) { emitI(Op::LH, rd, base, off); }
+    void lb(Reg rd, Reg base, int64_t off) { emitI(Op::LB, rd, base, off); }
+    void sd(Reg val, Reg base, int64_t off) { emitS(Op::SD, val, base, off); }
+    void sw(Reg val, Reg base, int64_t off) { emitS(Op::SW, val, base, off); }
+    void sh(Reg val, Reg base, int64_t off) { emitS(Op::SH, val, base, off); }
+    void sb(Reg val, Reg base, int64_t off) { emitS(Op::SB, val, base, off); }
+
+    // Branches
+    void beq(Reg a, Reg b, Label t) { emitB(Op::BEQ, a, b, t); }
+    void bne(Reg a, Reg b, Label t) { emitB(Op::BNE, a, b, t); }
+    void blt(Reg a, Reg b, Label t) { emitB(Op::BLT, a, b, t); }
+    void bge(Reg a, Reg b, Label t) { emitB(Op::BGE, a, b, t); }
+    void bltu(Reg a, Reg b, Label t) { emitB(Op::BLTU, a, b, t); }
+    void bgeu(Reg a, Reg b, Label t) { emitB(Op::BGEU, a, b, t); }
+    void beqi(Reg a, int64_t imm, Label t) { emitBI(Op::BEQI, a, imm, t); }
+    void bnei(Reg a, int64_t imm, Label t) { emitBI(Op::BNEI, a, imm, t); }
+    void blti(Reg a, int64_t imm, Label t) { emitBI(Op::BLTI, a, imm, t); }
+    void bgei(Reg a, int64_t imm, Label t) { emitBI(Op::BGEI, a, imm, t); }
+    void jmp(Label t);
+    void jal(Reg rd, Label t);
+    void jr(Reg a) { emitI(Op::JR, R::zero, a, 0); }
+
+    // Atomics: rd = old value; address = rs1; operand = rs2.
+    void amoadd(Reg rd, Reg addr, Reg val) { emit3(Op::AMOADD, rd, addr, val); }
+    void amoswap(Reg rd, Reg addr, Reg val) { emit3(Op::AMOSWAP, rd, addr, val); }
+    /** CAS: expected value is read from rd; rd receives the old value. */
+    void amocas(Reg rd, Reg addr, Reg newv) { emit3(Op::AMOCAS, rd, addr, newv); }
+    void amoor(Reg rd, Reg addr, Reg val) { emit3(Op::AMOOR, rd, addr, val); }
+    void amoand(Reg rd, Reg addr, Reg val) { emit3(Op::AMOAND, rd, addr, val); }
+    void amominu(Reg rd, Reg addr, Reg val) { emit3(Op::AMOMINU, rd, addr, val); }
+    void amomaxu(Reg rd, Reg addr, Reg val) { emit3(Op::AMOMAXU, rd, addr, val); }
+    // 32-bit atomic variants (zero-extended results)
+    void amoaddw(Reg rd, Reg addr, Reg val) { emit3(Op::AMOADDW, rd, addr, val); }
+    void amoswapw(Reg rd, Reg addr, Reg val) { emit3(Op::AMOSWAPW, rd, addr, val); }
+    void amocasw(Reg rd, Reg addr, Reg newv) { emit3(Op::AMOCASW, rd, addr, newv); }
+    void amoorw(Reg rd, Reg addr, Reg val) { emit3(Op::AMOORW, rd, addr, val); }
+    void amominuw(Reg rd, Reg addr, Reg val) { emit3(Op::AMOMINUW, rd, addr, val); }
+
+    // Pipette
+    /** Read the queue head (queue mapped at qreg) without consuming it. */
+    void peek(Reg rd, Reg qreg) { emitI(Op::PEEK, rd, qreg, 0); }
+    /** Enqueue src as a control value through the out-mapped qreg. */
+    void enqc(Reg qreg, Reg src) { emitI(Op::ENQC, qreg, src, 0); }
+    /** Skip to (and consume into rd) the next control value on qreg. */
+    void skiptc(Reg rd, Reg qreg) { emitI(Op::SKIPTC, rd, qreg, 0); }
+
+    void halt() { emit(Instr{Op::HALT}); }
+    /** Memory fence: younger loads wait until it retires. */
+    void fence() { emit(Instr{Op::FENCE}); }
+
+  private:
+    void emit(Instr i);
+    void emit3(Op op, Reg rd, Reg a, Reg b);
+    void emitI(Op op, Reg rd, Reg a, int64_t imm);
+    void emitS(Op op, Reg val, Reg base, int64_t off);
+    void emitB(Op op, Reg a, Reg b, Label t);
+    void emitBI(Op op, Reg a, int64_t imm, Label t);
+    void addFixup(Label t);
+
+    Program *prog_;
+    std::vector<int64_t> labelPos_;       // -1 until bound
+    std::vector<std::string> labelName_;
+    std::vector<std::pair<Addr, int32_t>> fixups_; // (instr idx, label id)
+    bool finalized_ = false;
+};
+
+} // namespace pipette
+
+#endif // PIPETTE_ISA_ASSEMBLER_H

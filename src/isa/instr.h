@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Static instruction representation and architectural register handles.
+ */
+
+#ifndef PIPETTE_ISA_INSTR_H
+#define PIPETTE_ISA_INSTR_H
+
+#include <cstdint>
+#include <string>
+
+#include "isa/opcodes.h"
+#include "sim/types.h"
+
+namespace pipette {
+
+/** Type-safe architectural register handle used by the assembler. */
+struct Reg
+{
+    ArchRegId idx = 0;
+
+    constexpr Reg() = default;
+    constexpr explicit Reg(ArchRegId i) : idx(i) {}
+    constexpr bool operator==(const Reg &o) const { return idx == o.idx; }
+};
+
+/** Architectural register constants (16 GPRs; see sim/types.h). */
+namespace R {
+constexpr Reg zero{0};
+constexpr Reg r1{1}, r2{2}, r3{3}, r4{4}, r5{5}, r6{6}, r7{7}, r8{8},
+    r9{9}, r10{10}, r11{11}, r12{12};
+/** CV payload register (written by the hardware on CV dispatch). */
+constexpr Reg cvval{reg::CVVAL};
+/** CV queue-id register. */
+constexpr Reg cvqid{reg::CVQID};
+/** CV return-PC register (JR R::cvret returns from a handler). */
+constexpr Reg cvret{reg::CVRET};
+} // namespace R
+
+/**
+ * One static instruction. PCs are instruction indices into the owning
+ * Program, not byte addresses.
+ */
+struct Instr
+{
+    Op op = Op::NOP;
+    ArchRegId rd = 0;
+    ArchRegId rs1 = 0;
+    ArchRegId rs2 = 0;
+    int64_t imm = 0;
+    /** Branch/jump target as an instruction index; -1 if none. */
+    int32_t target = -1;
+
+    /** Disassembly for traces and error messages. */
+    std::string toString() const;
+};
+
+} // namespace pipette
+
+#endif // PIPETTE_ISA_INSTR_H

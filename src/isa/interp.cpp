@@ -1,0 +1,406 @@
+#include "isa/interp.h"
+
+#include "sim/logging.h"
+
+namespace pipette {
+
+namespace {
+constexpr uint32_t
+queueKey(CoreId core, QueueId q)
+{
+    return (core << 8) | q;
+}
+} // namespace
+
+Interp::Interp(const MachineSpec &spec, SimMemory *mem,
+               uint32_t defaultQueueCap)
+    : spec_(spec), mem_(mem), defaultCap_(defaultQueueCap)
+{
+    for (const ThreadSpec &ts : spec.threads) {
+        FThread t;
+        t.spec = &ts;
+        t.regs = ts.initRegs;
+        t.regs[reg::ZERO] = 0;
+        t.mapDir.fill(-1);
+        t.mapQ.fill(INVALID_QUEUE);
+        for (const QueueMapSpec &m : ts.queueMaps) {
+            panic_if(m.archReg == reg::ZERO, "cannot queue-map r0");
+            t.mapDir[m.archReg] = m.dir == QueueDir::In ? 0 : 1;
+            t.mapQ[m.archReg] = m.queue;
+            queue(ts.core, m.queue); // materialize
+        }
+        threads_.push_back(t);
+    }
+    for (const RaSpec &rs : spec.ras) {
+        FRa ra;
+        ra.spec = &rs;
+        queue(rs.core, rs.inQueue);
+        queue(rs.core, rs.outQueue);
+        ras_.push_back(ra);
+    }
+    for (const ConnectorSpec &cs : spec.connectors) {
+        queue(cs.fromCore, cs.fromQueue);
+        queue(cs.toCore, cs.toQueue);
+    }
+    for (const QueueCapSpec &qc : spec.queueCaps)
+        queue(qc.core, qc.queue).cap = qc.capacity;
+}
+
+Interp::FQueue &
+Interp::queue(CoreId core, QueueId q)
+{
+    auto [it, inserted] = queues_.try_emplace(queueKey(core, q));
+    if (inserted)
+        it->second.cap = defaultCap_;
+    return it->second;
+}
+
+uint64_t
+Interp::reg(size_t idx, ArchRegId r) const
+{
+    return threads_[idx].regs[r];
+}
+
+uint64_t
+Interp::threadInstrs(size_t idx) const
+{
+    return threads_[idx].instrs;
+}
+
+Interp::Result
+Interp::run(uint64_t maxRounds)
+{
+    uint64_t rounds = 0;
+    while (rounds < maxRounds) {
+        rounds++;
+        bool progressed = false;
+        bool allHalted = true;
+        for (FThread &t : threads_) {
+            if (!t.halted) {
+                progressed |= stepThread(t);
+                allHalted &= t.halted;
+            }
+        }
+        for (FRa &ra : ras_)
+            progressed |= stepRa(ra);
+        for (const ConnectorSpec &c : spec_.connectors)
+            progressed |= stepConnector(c);
+
+        uint64_t total = 0;
+        for (const FThread &t : threads_)
+            total += t.instrs;
+        if (allHalted)
+            return {Status::Done, total, rounds};
+        if (!progressed)
+            return {Status::Deadlock, total, rounds};
+    }
+    uint64_t total = 0;
+    for (const FThread &t : threads_)
+        total += t.instrs;
+    return {Status::StepLimit, total, rounds};
+}
+
+bool
+Interp::stepThread(FThread &t)
+{
+    const Instr &in = t.spec->prog->at(t.pc);
+    const OpInfo &info = opInfo(in.op);
+    CoreId core = t.spec->core;
+
+    // Collect the architectural source registers this instruction reads.
+    // PEEK/SKIPTC name their queue via rs1 but do not "read" it as data.
+    ArchRegId srcs[3];
+    int nsrcs = 0;
+    if (info.readsRs1)
+        srcs[nsrcs++] = in.rs1;
+    if (info.readsRs2)
+        srcs[nsrcs++] = in.rs2;
+    if (info.readsRd)
+        srcs[nsrcs++] = in.rd;
+
+    // --- Gate 1: every dequeue source must have a committed entry. ---
+    for (int i = 0; i < nsrcs; i++) {
+        ArchRegId r = srcs[i];
+        panic_if(t.mapDir[r] == 1, "read of output-mapped r",
+                 static_cast<int>(r), " in ", in.toString());
+        if (t.mapDir[r] == 0 && queue(core, t.mapQ[r]).q.empty())
+            return false; // blocked on empty queue
+        for (int j = 0; j < i; j++) {
+            panic_if(t.mapDir[r] == 0 && t.mapDir[srcs[j]] == 0 &&
+                         t.mapQ[srcs[j]] == t.mapQ[r],
+                     "instruction dequeues the same queue twice: ",
+                     in.toString());
+        }
+    }
+
+    // PEEK/SKIPTC queue availability.
+    bool isPeek = in.op == Op::PEEK;
+    bool isSkip = in.op == Op::SKIPTC;
+    if (isPeek || isSkip) {
+        panic_if(t.mapDir[in.rs1] != 0, "peek/skiptc on non-input-mapped r",
+                 static_cast<int>(in.rs1));
+        FQueue &q = queue(core, t.mapQ[in.rs1]);
+        if (q.q.empty()) {
+            if (isSkip)
+                q.skipArmed = true;
+            return false;
+        }
+    }
+
+    // --- Gate 2: control value at the head of any dequeue source? ---
+    // Dispatch to the dequeue control handler, consuming the CV.
+    auto cvTrap = [&](QueueId qid, uint64_t value) {
+        panic_if(t.spec->deqHandler < 0,
+                 "control value dequeued with no handler (program '",
+                 t.spec->prog->name(), "' pc ", t.pc, ")");
+        t.regs[reg::CVVAL] = value;
+        t.regs[reg::CVQID] = qid;
+        t.regs[reg::CVRET] = t.pc;
+        t.pc = static_cast<Addr>(t.spec->deqHandler);
+        t.instrs++;
+    };
+
+    for (int i = 0; i < nsrcs; i++) {
+        ArchRegId r = srcs[i];
+        if (t.mapDir[r] != 0)
+            continue;
+        FQueue &q = queue(core, t.mapQ[r]);
+        if (q.q.front().second) {
+            uint64_t v = q.q.front().first;
+            q.q.pop_front();
+            cvTrap(t.mapQ[r], v);
+            return true;
+        }
+    }
+    if (isPeek) {
+        FQueue &q = queue(core, t.mapQ[in.rs1]);
+        if (q.q.front().second) {
+            uint64_t v = q.q.front().first;
+            q.q.pop_front();
+            cvTrap(t.mapQ[in.rs1], v);
+            return true;
+        }
+    }
+
+    // --- Gate 3: destination enqueue conditions. ---
+    bool enq = info.writesRd && in.rd != reg::ZERO && t.mapDir[in.rd] == 1;
+    panic_if(in.op == Op::ENQC && !enq, "enqc destination is not "
+             "output-mapped: ", in.toString());
+    if (enq) {
+        FQueue &q = queue(core, t.mapQ[in.rd]);
+        if (q.skipArmed && in.op != Op::ENQC) {
+            // Enqueue trap: redirect to the enqueue control handler; the
+            // enqueue does not happen and no source is consumed.
+            panic_if(t.spec->enqHandler < 0,
+                     "skip armed with no enqueue handler (program '",
+                     t.spec->prog->name(), "')");
+            t.regs[reg::CVQID] = t.mapQ[in.rd];
+            t.regs[reg::CVRET] = t.pc;
+            t.pc = static_cast<Addr>(t.spec->enqHandler);
+            t.instrs++;
+            return true;
+        }
+        if (q.full())
+            return false; // blocked on full queue
+    }
+
+    // --- SKIPTC main behaviour (head is data or ctrl, queue nonempty) ---
+    if (isSkip) {
+        FQueue &q = queue(core, t.mapQ[in.rs1]);
+        auto [v, ctrl] = q.q.front();
+        q.q.pop_front();
+        if (!ctrl)
+            return true; // discarded one data value; pc unchanged
+        q.skipArmed = false;
+        if (in.rd != reg::ZERO) {
+            if (enq)
+                queue(core, t.mapQ[in.rd]).push(v, false);
+            else
+                t.regs[in.rd] = v;
+        }
+        t.pc++;
+        t.instrs++;
+        return true;
+    }
+
+    // --- Consume dequeue sources and read register sources. ---
+    uint64_t vals[3] = {0, 0, 0};
+    for (int i = 0; i < nsrcs; i++) {
+        ArchRegId r = srcs[i];
+        if (t.mapDir[r] == 0) {
+            FQueue &q = queue(core, t.mapQ[r]);
+            vals[i] = q.q.front().first;
+            q.q.pop_front();
+        } else {
+            vals[i] = t.regs[r];
+        }
+    }
+    // Map positional values back to operand roles.
+    uint64_t v1 = 0, v2 = 0, vd = 0;
+    {
+        int i = 0;
+        if (info.readsRs1)
+            v1 = vals[i++];
+        if (info.readsRs2)
+            v2 = vals[i++];
+        if (info.readsRd)
+            vd = vals[i++];
+    }
+
+    // --- Execute. ---
+    uint64_t result = 0;
+    bool hasResult = info.writesRd;
+    Addr nextPc = t.pc + 1;
+
+    if (isPeek) {
+        result = queue(core, t.mapQ[in.rs1]).q.front().first;
+    } else if (in.op == Op::ENQC) {
+        result = v1;
+    } else if (info.isLoad && !info.isAtomic) {
+        result = mem_->read(v1 + static_cast<uint64_t>(in.imm),
+                            info.memBytes);
+    } else if (info.isStore && !info.isAtomic) {
+        mem_->write(v1 + static_cast<uint64_t>(in.imm), info.memBytes, v2);
+    } else if (info.isAtomic) {
+        Addr addr = v1;
+        uint64_t old = mem_->read(addr, info.memBytes);
+        AtomicResult ar = evalAtomic(in.op, old, v2, vd);
+        if (ar.doStore)
+            mem_->write(addr, info.memBytes, ar.newValue);
+        result = old;
+    } else if (info.isCondBranch) {
+        bool useImm = in.op >= Op::BEQI && in.op <= Op::BGEI;
+        bool taken = evalBranch(in.op, v1,
+                                useImm ? static_cast<uint64_t>(in.imm) : v2);
+        if (taken)
+            nextPc = static_cast<Addr>(in.target);
+    } else if (in.op == Op::JMP) {
+        nextPc = static_cast<Addr>(in.target);
+    } else if (in.op == Op::JAL) {
+        result = t.pc + 1;
+        nextPc = static_cast<Addr>(in.target);
+    } else if (in.op == Op::JR) {
+        nextPc = v1;
+    } else if (in.op == Op::HALT) {
+        t.halted = true;
+        t.instrs++;
+        return true;
+    } else if (in.op == Op::NOP || in.op == Op::FENCE) {
+        // nothing (the interpreter is sequentially consistent)
+    } else {
+        result = evalAlu(in.op, v1,
+                         info.readsRs2 ? v2 : static_cast<uint64_t>(in.imm));
+    }
+
+    // --- Write destination (register or enqueue). ---
+    if (hasResult && in.rd != reg::ZERO) {
+        panic_if(t.mapDir[in.rd] == 0, "write to input-mapped r",
+                 static_cast<int>(in.rd), " in ", in.toString());
+        if (enq)
+            queue(core, t.mapQ[in.rd]).push(result, in.op == Op::ENQC);
+        else
+            t.regs[in.rd] = result;
+    }
+
+    t.pc = nextPc;
+    t.instrs++;
+    return true;
+}
+
+bool
+Interp::stepRa(FRa &ra)
+{
+    const RaSpec &s = *ra.spec;
+    FQueue &in = queue(s.core, s.inQueue);
+    FQueue &out = queue(s.core, s.outQueue);
+
+    // Propagate a consumer-side skip upstream so the real producer
+    // thread takes the enqueue trap (see DESIGN.md).
+    if (out.skipArmed && !in.skipArmed)
+        in.skipArmed = true;
+
+    if (out.full())
+        return false;
+
+    if (s.mode == RaMode::Scan && ra.scanning) {
+        out.push(mem_->read(s.base + ra.cur * s.elemBytes, s.elemBytes),
+                 false);
+        ra.cur++;
+        if (ra.cur >= ra.end)
+            ra.scanning = false;
+        return true;
+    }
+
+    if (in.q.empty())
+        return false;
+    auto [v, ctrl] = in.q.front();
+
+    if (ctrl) {
+        panic_if(s.mode == RaMode::Scan && ra.haveStart,
+                 "control value between scan start and end");
+        in.q.pop_front();
+        out.push(v, true);
+        return true;
+    }
+
+    if (s.mode == RaMode::Indirect) {
+        in.q.pop_front();
+        out.push(mem_->read(s.base + v * s.elemBytes, s.elemBytes), false);
+        return true;
+    }
+
+    if (s.mode == RaMode::IndirectPair) {
+        // Needs space for both outputs (the timing model retires them
+        // back to back; keep the functional model all-or-nothing).
+        if (out.q.size() + 2 > out.cap)
+            return false;
+        in.q.pop_front();
+        out.push(mem_->read(s.base + v * s.elemBytes, s.elemBytes), false);
+        out.push(mem_->read(s.base + (v + 1) * s.elemBytes, s.elemBytes),
+                 false);
+        return true;
+    }
+
+    if (s.mode == RaMode::IndirectKV) {
+        if (out.q.size() + 2 > out.cap)
+            return false;
+        in.q.pop_front();
+        out.push(v, false);
+        out.push(mem_->read(s.base + v * s.elemBytes, s.elemBytes), false);
+        return true;
+    }
+
+    // Scan mode: collect start, then end.
+    in.q.pop_front();
+    if (!ra.haveStart) {
+        ra.start = v;
+        ra.haveStart = true;
+    } else {
+        ra.haveStart = false;
+        if (ra.start < v) {
+            ra.scanning = true;
+            ra.cur = ra.start;
+            ra.end = v;
+        }
+    }
+    return true;
+}
+
+bool
+Interp::stepConnector(const ConnectorSpec &c)
+{
+    FQueue &from = queue(c.fromCore, c.fromQueue);
+    FQueue &to = queue(c.toCore, c.toQueue);
+
+    if (to.skipArmed && !from.skipArmed)
+        from.skipArmed = true;
+
+    if (from.q.empty() || to.full())
+        return false;
+    auto [v, ctrl] = from.q.front();
+    from.q.pop_front();
+    to.push(v, ctrl);
+    return true;
+}
+
+} // namespace pipette

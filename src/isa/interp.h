@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Golden-model functional interpreter. Executes a MachineSpec with full
+ * Pipette semantics (blocking queues, control values, control handlers,
+ * skip_to_ctrl, reference accelerators, connectors) but no timing:
+ * agents are stepped round-robin, one instruction / transfer at a time.
+ *
+ * Used for (i) debugging workloads without out-of-order complexity and
+ * (ii) differential testing of the cycle-level core: both models must
+ * produce identical architectural memory contents.
+ */
+
+#ifndef PIPETTE_ISA_INTERP_H
+#define PIPETTE_ISA_INTERP_H
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/machine_spec.h"
+#include "mem/sim_memory.h"
+#include "sim/types.h"
+
+namespace pipette {
+
+/** Functional interpreter over a MachineSpec. */
+class Interp
+{
+  public:
+    enum class Status { Done, Deadlock, StepLimit };
+
+    struct Result
+    {
+        Status status;
+        /** Total instructions retired across all threads. */
+        uint64_t instrs;
+        /** Round-robin rounds executed. */
+        uint64_t rounds;
+    };
+
+    Interp(const MachineSpec &spec, SimMemory *mem,
+           uint32_t defaultQueueCap = 32);
+
+    /** Run until completion, deadlock, or the round limit. */
+    Result run(uint64_t maxRounds = 500'000'000);
+
+    /** Architectural register value of thread `idx` in spec order. */
+    uint64_t reg(size_t idx, ArchRegId r) const;
+    /** Instructions retired by thread `idx`. */
+    uint64_t threadInstrs(size_t idx) const;
+
+  private:
+    struct FQueue
+    {
+        std::deque<std::pair<uint64_t, bool>> q; // (value, ctrl)
+        uint32_t cap = 32;
+        bool skipArmed = false;
+
+        bool full() const { return q.size() >= cap; }
+
+        void
+        push(uint64_t v, bool ctrl)
+        {
+            if (ctrl)
+                skipArmed = false;
+            q.emplace_back(v, ctrl);
+        }
+    };
+
+    struct FThread
+    {
+        const ThreadSpec *spec;
+        Addr pc = 0;
+        std::array<uint64_t, NUM_ARCH_REGS> regs = {};
+        std::array<int8_t, NUM_ARCH_REGS> mapDir; // -1 none, 0 in, 1 out
+        std::array<QueueId, NUM_ARCH_REGS> mapQ;
+        bool halted = false;
+        uint64_t instrs = 0;
+    };
+
+    struct FRa
+    {
+        const RaSpec *spec;
+        bool scanning = false;
+        bool haveStart = false;
+        uint64_t start = 0, cur = 0, end = 0;
+    };
+
+    FQueue &queue(CoreId core, QueueId q);
+    bool stepThread(FThread &t);
+    bool stepRa(FRa &ra);
+    bool stepConnector(const ConnectorSpec &c);
+
+    const MachineSpec &spec_;
+    SimMemory *mem_;
+    std::vector<FThread> threads_;
+    std::vector<FRa> ras_;
+    std::unordered_map<uint32_t, FQueue> queues_;
+    uint32_t defaultCap_;
+};
+
+} // namespace pipette
+
+#endif // PIPETTE_ISA_INTERP_H

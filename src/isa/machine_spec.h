@@ -1,0 +1,114 @@
+/**
+ * @file
+ * MachineSpec describes the software side of a Pipette run: which
+ * programs run on which (core, thread), queue register mappings, control
+ * handlers, reference-accelerator configurations, and cross-core
+ * connectors. The same spec configures both the golden-model functional
+ * interpreter (isa/interp.h) and the cycle-level system (core/system.h).
+ *
+ * In the paper these configurations are made through privileged
+ * OS-mediated operations (Sec. III-C); here they are set up by the host
+ * before the run, which models the same thing.
+ */
+
+#ifndef PIPETTE_ISA_MACHINE_SPEC_H
+#define PIPETTE_ISA_MACHINE_SPEC_H
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "isa/program.h"
+#include "sim/types.h"
+
+namespace pipette {
+
+/** Direction of a queue register mapping. */
+enum class QueueDir : uint8_t { In, Out };
+
+/** One architectural register mapped to a queue endpoint. */
+struct QueueMapSpec
+{
+    ArchRegId archReg;
+    QueueId queue; ///< core-local queue id
+    QueueDir dir;
+};
+
+/** One hardware thread's software context. */
+struct ThreadSpec
+{
+    CoreId core = 0;
+    ThreadId tid = 0;
+    const Program *prog = nullptr;
+    /** Dequeue-control-handler PC; -1 if none registered. */
+    int64_t deqHandler = -1;
+    /** Enqueue-control-handler PC; -1 if none registered. */
+    int64_t enqHandler = -1;
+    std::vector<QueueMapSpec> queueMaps;
+    /** Initial architectural register values (arguments). */
+    std::array<uint64_t, NUM_ARCH_REGS> initRegs = {};
+};
+
+/** Reference accelerator access mode (paper Sec. IV-B). */
+enum class RaMode : uint8_t
+{
+    Indirect,     ///< input: index i    -> output: A[i]
+    IndirectPair, ///< input: index i    -> outputs: A[i], A[i+1]
+                  ///< (fetches offsets[v], offsets[v+1] in BFS)
+    IndirectKV,   ///< input: index i    -> outputs: i, A[i]
+    Scan,         ///< input: start, end -> outputs: A[start..end-1]
+};
+
+/** One configured reference accelerator. */
+struct RaSpec
+{
+    CoreId core = 0;
+    QueueId inQueue;
+    QueueId outQueue;
+    Addr base = 0;
+    uint32_t elemBytes = 8;
+    RaMode mode = RaMode::Indirect;
+};
+
+/** Explicit capacity override for one queue. */
+struct QueueCapSpec
+{
+    CoreId core = 0;
+    QueueId queue;
+    uint32_t capacity;
+};
+
+/** One cross-core connector bridging two core-local queues. */
+struct ConnectorSpec
+{
+    CoreId fromCore;
+    QueueId fromQueue;
+    CoreId toCore;
+    QueueId toQueue;
+};
+
+/** Complete software configuration of a run. */
+struct MachineSpec
+{
+    /** deque: addThread() references stay valid as threads are added. */
+    std::deque<ThreadSpec> threads;
+    std::vector<RaSpec> ras;
+    std::vector<ConnectorSpec> connectors;
+    std::vector<QueueCapSpec> queueCaps;
+
+    ThreadSpec &
+    addThread(CoreId core, ThreadId tid, const Program *prog)
+    {
+        threads.push_back(ThreadSpec{});
+        ThreadSpec &t = threads.back();
+        t.core = core;
+        t.tid = tid;
+        t.prog = prog;
+        return t;
+    }
+};
+
+} // namespace pipette
+
+#endif // PIPETTE_ISA_MACHINE_SPEC_H

@@ -1,0 +1,184 @@
+#include "isa/opcodes.h"
+
+#include <array>
+
+#include "sim/logging.h"
+
+namespace pipette {
+
+namespace {
+
+constexpr OpInfo
+alu(const char *name)
+{
+    return {name, FuType::Alu, true, true, false, true,
+            false, false, false, false, false, false, false, 0, 1};
+}
+
+constexpr OpInfo
+aluImm(const char *name)
+{
+    return {name, FuType::Alu, true, false, false, true,
+            false, false, false, false, false, false, false, 0, 1};
+}
+
+constexpr OpInfo
+load(const char *name, uint8_t bytes)
+{
+    return {name, FuType::Mem, true, false, false, true,
+            true, false, false, false, false, false, false, bytes, 1};
+}
+
+constexpr OpInfo
+store(const char *name, uint8_t bytes)
+{
+    return {name, FuType::Mem, true, true, false, false,
+            false, true, false, false, false, false, false, bytes, 1};
+}
+
+constexpr OpInfo
+branch(const char *name, bool reads_rs2)
+{
+    return {name, FuType::Alu, true, reads_rs2, false, false,
+            false, false, false, true, false, false, false, 0, 1};
+}
+
+constexpr OpInfo
+amo(const char *name, bool reads_rd, uint8_t bytes = 8)
+{
+    return {name, FuType::Mem, true, true, reads_rd, true,
+            true, true, true, false, false, false, false, bytes, 1};
+}
+
+// Order must match enum class Op.
+constexpr std::array<OpInfo, static_cast<size_t>(Op::NUM_OPS)> table = {{
+    alu("add"), alu("sub"),
+    {"mul", FuType::Mul, true, true, false, true,
+     false, false, false, false, false, false, false, 0, 3},
+    {"divu", FuType::Div, true, true, false, true,
+     false, false, false, false, false, false, false, 0, 20},
+    {"remu", FuType::Div, true, true, false, true,
+     false, false, false, false, false, false, false, 0, 20},
+    alu("and"), alu("or"), alu("xor"), alu("sll"), alu("srl"), alu("sra"),
+    alu("slt"), alu("sltu"),
+    aluImm("addi"), aluImm("andi"), aluImm("ori"), aluImm("xori"),
+    aluImm("slli"), aluImm("srli"), aluImm("srai"), aluImm("slti"),
+    aluImm("sltiu"),
+    // LI has no register sources
+    {"li", FuType::Alu, false, false, false, true,
+     false, false, false, false, false, false, false, 0, 1},
+    load("ld", 8), load("lw", 4), load("lh", 2), load("lb", 1),
+    store("sd", 8), store("sw", 4), store("sh", 2), store("sb", 1),
+    branch("beq", true), branch("bne", true), branch("blt", true),
+    branch("bge", true), branch("bltu", true), branch("bgeu", true),
+    branch("beqi", false), branch("bnei", false), branch("blti", false),
+    branch("bgei", false),
+    // JMP: unconditional direct
+    {"jmp", FuType::Alu, false, false, false, false,
+     false, false, false, false, true, false, false, 0, 1},
+    // JAL: link into rd
+    {"jal", FuType::Alu, false, false, false, true,
+     false, false, false, false, true, false, false, 0, 1},
+    // JR: indirect through rs1
+    {"jr", FuType::Alu, true, false, false, false,
+     false, false, false, false, false, true, false, 0, 1},
+    amo("amoadd", false), amo("amoswap", false), amo("amocas", true),
+    amo("amoor", false), amo("amoand", false), amo("amominu", false),
+    amo("amomaxu", false),
+    amo("amoaddw", false, 4), amo("amoswapw", false, 4),
+    amo("amocasw", true, 4), amo("amoorw", false, 4),
+    amo("amominuw", false, 4),
+    // PEEK: rs1 names the queue-mapped register; handled specially at
+    // rename (reads the queue head without consuming it).
+    {"peek", FuType::Alu, false, false, false, true,
+     false, false, false, false, false, false, false, 0, 1},
+    // ENQC: moves rs1 into a queue-out-mapped rd with the control bit.
+    {"enqc", FuType::Alu, true, false, false, true,
+     false, false, false, false, false, false, false, 0, 1},
+    // SKIPTC: rs1 names the queue; rd receives the control value.
+    {"skiptc", FuType::Alu, false, false, false, true,
+     false, false, false, false, false, false, false, 0, 1},
+    {"halt", FuType::None, false, false, false, false,
+     false, false, false, false, false, false, true, 0, 1},
+    {"nop", FuType::Alu, false, false, false, false,
+     false, false, false, false, false, false, false, 0, 1},
+    {"fence", FuType::None, false, false, false, false,
+     false, false, false, false, false, false, false, 0, 1},
+    // CVTRAP: internal; writes cvval/cvqid/cvret and redirects fetch.
+    {"cvtrap", FuType::Alu, false, false, false, false,
+     false, false, false, false, false, false, false, 0, 1},
+    // ENQTRAP: internal; writes cvqid/cvret and redirects fetch.
+    {"enqtrap", FuType::Alu, false, false, false, false,
+     false, false, false, false, false, false, false, 0, 1},
+}};
+
+} // namespace
+
+const OpInfo &
+opInfo(Op op)
+{
+    return table[static_cast<size_t>(op)];
+}
+
+uint64_t
+evalAlu(Op op, uint64_t a, uint64_t b)
+{
+    switch (op) {
+      case Op::ADD: case Op::ADDI: return a + b;
+      case Op::SUB: return a - b;
+      case Op::MUL: return a * b;
+      case Op::DIVU: return b ? a / b : ~0ull;
+      case Op::REMU: return b ? a % b : a;
+      case Op::AND: case Op::ANDI: return a & b;
+      case Op::OR: case Op::ORI: return a | b;
+      case Op::XOR: case Op::XORI: return a ^ b;
+      case Op::SLL: case Op::SLLI: return a << (b & 63);
+      case Op::SRL: case Op::SRLI: return a >> (b & 63);
+      case Op::SRA: case Op::SRAI:
+        return static_cast<uint64_t>(static_cast<int64_t>(a) >> (b & 63));
+      case Op::SLT: case Op::SLTI:
+        return static_cast<int64_t>(a) < static_cast<int64_t>(b) ? 1 : 0;
+      case Op::SLTU: case Op::SLTIU: return a < b ? 1 : 0;
+      case Op::LI: return b;
+      default:
+        panic("evalAlu on non-ALU op ", opInfo(op).name);
+    }
+}
+
+bool
+evalBranch(Op op, uint64_t a, uint64_t b)
+{
+    switch (op) {
+      case Op::BEQ: case Op::BEQI: return a == b;
+      case Op::BNE: case Op::BNEI: return a != b;
+      case Op::BLT: case Op::BLTI:
+        return static_cast<int64_t>(a) < static_cast<int64_t>(b);
+      case Op::BGE: case Op::BGEI:
+        return static_cast<int64_t>(a) >= static_cast<int64_t>(b);
+      case Op::BLTU: return a < b;
+      case Op::BGEU: return a >= b;
+      default:
+        panic("evalBranch on non-branch op ", opInfo(op).name);
+    }
+}
+
+AtomicResult
+evalAtomic(Op op, uint64_t oldVal, uint64_t operand, uint64_t expected)
+{
+    switch (op) {
+      case Op::AMOADD: case Op::AMOADDW: return {oldVal + operand, true};
+      case Op::AMOSWAP: case Op::AMOSWAPW: return {operand, true};
+      case Op::AMOCAS: case Op::AMOCASW:
+        return {operand, oldVal == expected};
+      case Op::AMOOR: case Op::AMOORW: return {oldVal | operand, true};
+      case Op::AMOAND: return {oldVal & operand, true};
+      case Op::AMOMINU: case Op::AMOMINUW:
+        return {operand < oldVal ? operand : oldVal, true};
+      case Op::AMOMAXU:
+        return {operand > oldVal ? operand : oldVal, true};
+      default:
+        panic("evalAtomic on non-atomic op ", opInfo(op).name);
+    }
+}
+
+} // namespace pipette

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The mini-ISA executed by the simulator. RISC-like 64-bit integer ISA
+ * with fused compare-and-branch (matching x86's fused cmp/jcc micro-ops),
+ * atomics, and the Pipette operations from Table II of the paper:
+ *
+ *  - register-mapped enqueue/dequeue (any instruction whose destination /
+ *    source architectural register is queue-mapped),
+ *  - peek,
+ *  - enq_ctrl (enqueue a control value),
+ *  - skip_to_ctrl,
+ *
+ * plus two internal micro-ops (CVTRAP / ENQTRAP) that the hardware
+ * fabricates when dispatching control-value and enqueue traps.
+ */
+
+#ifndef PIPETTE_ISA_OPCODES_H
+#define PIPETTE_ISA_OPCODES_H
+
+#include <cstdint>
+
+namespace pipette {
+
+enum class Op : uint8_t
+{
+    // ALU register-register
+    ADD, SUB, MUL, DIVU, REMU, AND, OR, XOR, SLL, SRL, SRA, SLT, SLTU,
+    // ALU register-immediate
+    ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI, SLTIU, LI,
+    // Loads (zero-extending) and stores
+    LD, LW, LH, LB, SD, SW, SH, SB,
+    // Control flow. B**I compare rs1 against an immediate.
+    BEQ, BNE, BLT, BGE, BLTU, BGEU, BEQI, BNEI, BLTI, BGEI,
+    JMP, JAL, JR,
+    // Atomics (read-modify-write; issue non-speculatively at ROB head).
+    // *W variants operate on 32-bit words (zero-extended results).
+    AMOADD, AMOSWAP, AMOCAS, AMOOR, AMOAND, AMOMINU, AMOMAXU,
+    AMOADDW, AMOSWAPW, AMOCASW, AMOORW, AMOMINUW,
+    // Pipette
+    PEEK, ENQC, SKIPTC,
+    // System. FENCE orders memory: it executes only as the oldest
+    // instruction of its thread and younger loads wait for it (models
+    // the load-ordering x86 enforces via replay-on-invalidation).
+    HALT, NOP, FENCE,
+    // Internal micro-ops fabricated by the core (not assembler-visible)
+    CVTRAP, ENQTRAP,
+    NUM_OPS,
+};
+
+/** Functional-unit classes for issue-port accounting. */
+enum class FuType : uint8_t { Alu, Mul, Div, Mem, None };
+
+/** Static per-opcode metadata. */
+struct OpInfo
+{
+    const char *name;
+    FuType fu;
+    bool readsRs1;
+    bool readsRs2;
+    bool readsRd;   ///< AMOCAS reads rd as the expected value
+    bool writesRd;
+    bool isLoad;
+    bool isStore;
+    bool isAtomic;
+    bool isCondBranch;
+    bool isDirectJump; ///< JMP/JAL: target known at fetch
+    bool isIndirectJump;
+    bool isHalt;
+    uint8_t memBytes; ///< access size for loads/stores/atomics
+    uint8_t latency;  ///< fixed execute latency (memory ops use caches)
+};
+
+/** Look up metadata for an opcode. */
+const OpInfo &opInfo(Op op);
+
+/** Evaluate an ALU op (imm forms receive the immediate as b). */
+uint64_t evalAlu(Op op, uint64_t a, uint64_t b);
+
+/** Evaluate a conditional branch (imm forms receive the immediate as b). */
+bool evalBranch(Op op, uint64_t a, uint64_t b);
+
+/**
+ * Evaluate an atomic: given the old memory value and the operand (rs2),
+ * plus the expected value for CAS (from rd), return the new memory value
+ * and whether the store happens. The instruction's result is always the
+ * old value.
+ */
+struct AtomicResult
+{
+    uint64_t newValue;
+    bool doStore;
+};
+AtomicResult evalAtomic(Op op, uint64_t oldVal, uint64_t operand,
+                        uint64_t expected);
+
+} // namespace pipette
+
+#endif // PIPETTE_ISA_OPCODES_H

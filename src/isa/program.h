@@ -1,0 +1,55 @@
+/**
+ * @file
+ * A Program is an immutable-after-finalize sequence of instructions with
+ * named labels, produced by the assembler DSL (isa/assembler.h).
+ */
+
+#ifndef PIPETTE_ISA_PROGRAM_H
+#define PIPETTE_ISA_PROGRAM_H
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/instr.h"
+#include "sim/logging.h"
+
+namespace pipette {
+
+/** A finalized instruction sequence for one thread. */
+class Program
+{
+  public:
+    explicit Program(std::string name = "prog") : name_(std::move(name)) {}
+
+    const Instr &
+    at(Addr pc) const
+    {
+        panic_if(pc >= code_.size(), "PC ", pc, " out of range in program '",
+                 name_, "' (", code_.size(), " instrs)");
+        return code_[pc];
+    }
+
+    size_t size() const { return code_.size(); }
+    const std::string &name() const { return name_; }
+
+    /** Resolved label positions (for tests and debugging). */
+    const std::unordered_map<std::string, Addr> &labels() const
+    {
+        return labels_;
+    }
+
+    /** Full disassembly listing. */
+    std::string listing() const;
+
+  private:
+    friend class Asm;
+
+    std::string name_;
+    std::vector<Instr> code_;
+    std::unordered_map<std::string, Addr> labels_;
+};
+
+} // namespace pipette
+
+#endif // PIPETTE_ISA_PROGRAM_H

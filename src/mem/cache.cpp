@@ -1,0 +1,79 @@
+#include "mem/cache.h"
+
+namespace pipette {
+
+namespace {
+uint32_t
+floorPow2(uint32_t x)
+{
+    uint32_t p = 1;
+    while (p * 2 <= x)
+        p *= 2;
+    return p;
+}
+} // namespace
+
+CacheArray::CacheArray(const CacheConfig &cfg, uint32_t lineBytes,
+                       const char *name)
+    : name_(name), ways_(cfg.ways)
+{
+    uint32_t lines = cfg.sizeBytes / lineBytes;
+    fatal_if(lines < ways_, "cache ", name, " smaller than one set");
+    numSets_ = floorPow2(lines / ways_);
+    lines_.resize(static_cast<size_t>(numSets_) * ways_);
+}
+
+CacheArray::Line *
+CacheArray::lookup(uint64_t lineAddr, bool touch)
+{
+    uint32_t set = setIndex(lineAddr);
+    Line *base = &lines_[static_cast<size_t>(set) * ways_];
+    for (uint32_t w = 0; w < ways_; w++) {
+        if (base[w].valid && base[w].tag == lineAddr) {
+            if (touch)
+                base[w].lruTick = ++tick_;
+            return &base[w];
+        }
+    }
+    return nullptr;
+}
+
+CacheArray::InsertResult
+CacheArray::insert(uint64_t lineAddr, bool dirty, bool prefetched)
+{
+    uint32_t set = setIndex(lineAddr);
+    Line *base = &lines_[static_cast<size_t>(set) * ways_];
+    Line *victim = &base[0];
+    for (uint32_t w = 0; w < ways_; w++) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lruTick < victim->lruTick)
+            victim = &base[w];
+    }
+    InsertResult res;
+    res.evictedValid = victim->valid;
+    res.evictedDirty = victim->valid && victim->dirty;
+    res.victimLineAddr = victim->tag;
+    victim->tag = lineAddr;
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->prefetched = prefetched;
+    victim->sharers = 0;
+    victim->ownerValid = false;
+    victim->lruTick = ++tick_;
+    return res;
+}
+
+bool
+CacheArray::invalidate(uint64_t lineAddr)
+{
+    Line *l = lookup(lineAddr, false);
+    if (!l)
+        return false;
+    l->valid = false;
+    return true;
+}
+
+} // namespace pipette

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Set-associative LRU tag array used by every cache level. Data is held
+ * functionally in SimMemory; the tag arrays model timing state only
+ * (presence, dirtiness, prefetched bit, and - at the shared L3 - the
+ * per-core sharer mask used for coarse coherence).
+ */
+
+#ifndef PIPETTE_MEM_CACHE_H
+#define PIPETTE_MEM_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/logging.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace pipette {
+
+/** Tag array with LRU replacement. */
+class CacheArray
+{
+  public:
+    CacheArray(const CacheConfig &cfg, uint32_t lineBytes,
+               const char *name);
+
+    struct Line
+    {
+        uint64_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched = false;
+        uint32_t sharers = 0; ///< core bitmask (used at the L3 only)
+        uint32_t owner = 0;   ///< modifying core (valid if ownerValid)
+        bool ownerValid = false;
+        uint64_t lruTick = 0;
+    };
+
+    /** Look up a line address; returns the line or nullptr on miss. */
+    Line *lookup(uint64_t lineAddr, bool touch = true);
+
+    /**
+     * Insert a line (on fill), evicting the LRU victim. Returns true and
+     * the victim line address via out-params when a dirty line was
+     * evicted (writeback).
+     */
+    struct InsertResult
+    {
+        bool evictedDirty = false;
+        bool evictedValid = false;
+        uint64_t victimLineAddr = 0;
+    };
+    InsertResult insert(uint64_t lineAddr, bool dirty, bool prefetched);
+
+    /** Invalidate a line if present; returns true if it was present. */
+    bool invalidate(uint64_t lineAddr);
+
+    uint32_t numSets() const { return numSets_; }
+    const char *name() const { return name_; }
+
+  private:
+    uint32_t setIndex(uint64_t lineAddr) const
+    {
+        return static_cast<uint32_t>(lineAddr) & (numSets_ - 1);
+    }
+
+    const char *name_;
+    uint32_t ways_;
+    uint32_t numSets_;
+    uint64_t tick_ = 0;
+    std::vector<Line> lines_; // numSets_ * ways_
+};
+
+} // namespace pipette
+
+#endif // PIPETTE_MEM_CACHE_H

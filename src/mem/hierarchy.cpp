@@ -1,0 +1,286 @@
+#include "mem/hierarchy.h"
+
+namespace pipette {
+
+MemoryHierarchy::MemoryHierarchy(const MemConfig &cfg, uint32_t numCores,
+                                 EventQueue *eq)
+    : cfg_(cfg), numCores_(numCores), eq_(eq)
+{
+    fatal_if(numCores > 32, "sharer mask supports up to 32 cores");
+    perCore_.resize(numCores);
+    for (uint32_t c = 0; c < numCores; c++) {
+        perCore_[c].l1 =
+            std::make_unique<CacheArray>(cfg.l1d, cfg.lineBytes, "l1d");
+        perCore_[c].l2 =
+            std::make_unique<CacheArray>(cfg.l2, cfg.lineBytes, "l2");
+        perCore_[c].l1Mshrs.capacity = cfg.l1d.mshrs;
+        perCore_[c].l2Mshrs.capacity = cfg.l2.mshrs;
+        if (cfg.prefetcherEnabled) {
+            perCore_[c].prefetcher =
+                std::make_unique<StreamPrefetcher>(cfg_, c, this);
+        }
+    }
+    l3_ = std::make_unique<CacheArray>(cfg.l3, cfg.lineBytes, "l3");
+    l3Mshrs_.capacity = cfg.l3.mshrs;
+    dramChannelFree_.resize(cfg.dramChannels, 0);
+}
+
+Cycle
+MemoryHierarchy::dramAccess(uint64_t lineAddr, bool isWrite, Cycle start)
+{
+    uint32_t ch = static_cast<uint32_t>(lineAddr) % cfg_.dramChannels;
+    Cycle issue = std::max(start, dramChannelFree_[ch]);
+    dramChannelFree_[ch] = issue + cfg_.dramCyclesPerReq;
+    memStats_.dramQueueCycles += issue - start;
+    if (isWrite) {
+        memStats_.dramWrites++;
+        return issue; // writes are posted
+    }
+    memStats_.dramReads++;
+    return issue + cfg_.dramLatency;
+}
+
+Cycle
+MemoryHierarchy::accessBelowL1(CoreId core, uint64_t lineAddr, bool isWrite,
+                               Cycle start, bool isPrefetch)
+{
+    PerCore &pc = perCore_[core];
+
+    // --- L2 ---
+    pc.l2Stats.accesses++;
+    Cycle l2Done = start + (cfg_.l2.latency - cfg_.l1d.latency);
+    CacheArray::Line *l2line = pc.l2->lookup(lineAddr);
+    if (l2line) {
+        if (isWrite)
+            l2line->dirty = true;
+        return l2Done;
+    }
+    pc.l2Stats.misses++;
+    Cycle l2Start = pc.l2Mshrs.admit(l2Done);
+
+    // --- L3 (shared, inclusive, tracks sharers/owner) ---
+    l3Stats_.accesses++;
+    Cycle l3Done = l2Start + (cfg_.l3.latency - cfg_.l2.latency);
+    CacheArray::Line *l3line = l3_->lookup(lineAddr);
+    Cycle fillTime;
+    if (l3line) {
+        if (l3line->prefetched) {
+            l3Stats_.prefetchHits++;
+            l3line->prefetched = false;
+        }
+        fillTime = l3Done;
+        // Coherence actions against remote private copies.
+        if (isWrite) {
+            uint32_t remote = l3line->sharers & ~(1u << core);
+            if (remote) {
+                for (uint32_t o = 0; o < numCores_; o++) {
+                    if (remote & (1u << o)) {
+                        perCore_[o].l1->invalidate(lineAddr);
+                        perCore_[o].l2->invalidate(lineAddr);
+                        perCore_[o].l1Stats.invalidations++;
+                    }
+                }
+                fillTime += cfg_.coherencePenalty;
+            }
+            l3line->sharers = 1u << core;
+            l3line->owner = core;
+            l3line->ownerValid = true;
+            l3line->dirty = true;
+        } else {
+            if (l3line->ownerValid && l3line->owner != core) {
+                fillTime += cfg_.coherencePenalty; // remote forward
+                l3line->ownerValid = false;
+            }
+            l3line->sharers |= 1u << core;
+        }
+    } else {
+        l3Stats_.misses++;
+        Cycle l3Start = l3Mshrs_.admit(l3Done);
+        fillTime = dramAccess(lineAddr, false, l3Start);
+        l3Mshrs_.track(fillTime);
+        auto ins = l3_->insert(lineAddr, isWrite, isPrefetch);
+        if (ins.evictedDirty) {
+            l3Stats_.writebacks++;
+            dramAccess(ins.victimLineAddr, true, fillTime);
+        }
+        if (ins.evictedValid) {
+            // Inclusive L3: back-invalidate private copies of the victim.
+            for (uint32_t o = 0; o < numCores_; o++) {
+                perCore_[o].l1->invalidate(ins.victimLineAddr);
+                perCore_[o].l2->invalidate(ins.victimLineAddr);
+            }
+        }
+        CacheArray::Line *nl = l3_->lookup(lineAddr, false);
+        nl->sharers = 1u << core;
+        nl->ownerValid = isWrite;
+        nl->owner = core;
+    }
+
+    pc.l2Mshrs.track(fillTime);
+    auto l2ins = pc.l2->insert(lineAddr, isWrite, isPrefetch);
+    if (l2ins.evictedDirty)
+        pc.l2Stats.writebacks++;
+    return fillTime;
+}
+
+Cycle
+MemoryHierarchy::access(CoreId core, Addr addr, bool isWrite, Cycle now,
+                        Callback cb)
+{
+    PerCore &pc = perCore_[core];
+    uint64_t lineAddr = addr / cfg_.lineBytes;
+
+    pc.l1Stats.accesses++;
+    Cycle done;
+    CacheArray::Line *l1line = pc.l1->lookup(lineAddr);
+    bool wasMiss = l1line == nullptr;
+    if (l1line) {
+        if (l1line->prefetched) {
+            pc.l1Stats.prefetchHits++;
+            l1line->prefetched = false;
+        }
+        if (isWrite)
+            l1line->dirty = true;
+        done = now + cfg_.l1d.latency;
+        // A "hit" on a line whose fill is still in flight completes no
+        // earlier than the fill.
+        auto it = pc.inflightLines.find(lineAddr);
+        if (it != pc.inflightLines.end() && it->second > done)
+            done = it->second;
+        // A write to a line not exclusively owned must still reach the
+        // L3 directory; approximate by an async ownership probe.
+        if (isWrite) {
+            CacheArray::Line *l3line = l3_->lookup(lineAddr, false);
+            if (l3line && (l3line->sharers & ~(1u << core))) {
+                for (uint32_t o = 0; o < numCores_; o++) {
+                    if (o != core && (l3line->sharers & (1u << o))) {
+                        perCore_[o].l1->invalidate(lineAddr);
+                        perCore_[o].l2->invalidate(lineAddr);
+                        perCore_[o].l1Stats.invalidations++;
+                    }
+                }
+                l3line->sharers = 1u << core;
+                l3line->owner = core;
+                l3line->ownerValid = true;
+                done += cfg_.coherencePenalty;
+            }
+        }
+    } else {
+        pc.l1Stats.misses++;
+        auto it = pc.inflightLines.find(lineAddr);
+        if (it != pc.inflightLines.end() && it->second > now) {
+            // Coalesce with the in-flight miss to the same line.
+            done = it->second;
+        } else {
+            Cycle start = pc.l1Mshrs.admit(now + cfg_.l1d.latency);
+            done = accessBelowL1(core, lineAddr, isWrite, start, false);
+            pc.l1Mshrs.track(done);
+            pc.inflightLines[lineAddr] = done;
+            if (pc.inflightLines.size() > 4096)
+                std::erase_if(pc.inflightLines, [now](const auto &kv) {
+                    return kv.second <= now;
+                });
+            auto ins = pc.l1->insert(lineAddr, isWrite, false);
+            if (ins.evictedDirty)
+                pc.l1Stats.writebacks++;
+        }
+    }
+
+    if (pc.prefetcher)
+        pc.prefetcher->observe(lineAddr, wasMiss, now);
+
+    if (cb)
+        eq_->schedule(done, std::move(cb));
+    return done;
+}
+
+void
+MemoryHierarchy::prefetchLine(CoreId core, uint64_t lineAddr, Cycle now)
+{
+    PerCore &pc = perCore_[core];
+    if (pc.l1->lookup(lineAddr, false))
+        return;
+    auto it = pc.inflightLines.find(lineAddr);
+    if (it != pc.inflightLines.end() && it->second > now)
+        return;
+    pc.l1Stats.prefetches++;
+    Cycle start = pc.l1Mshrs.admit(now + cfg_.l1d.latency);
+    Cycle done = accessBelowL1(core, lineAddr, false, start, true);
+    pc.l1Mshrs.track(done);
+    pc.inflightLines[lineAddr] = done;
+    auto ins = pc.l1->insert(lineAddr, false, true);
+    if (ins.evictedDirty)
+        pc.l1Stats.writebacks++;
+}
+
+void
+MemoryHierarchy::dumpStats(std::map<std::string, double> &out) const
+{
+    for (uint32_t c = 0; c < numCores_; c++) {
+        std::string p = "core" + std::to_string(c);
+        perCore_[c].l1Stats.dump(p + ".l1d", out);
+        perCore_[c].l2Stats.dump(p + ".l2", out);
+    }
+    l3Stats_.dump("l3", out);
+    memStats_.dump("mem", out);
+}
+
+StreamPrefetcher::StreamPrefetcher(const MemConfig &cfg, CoreId core,
+                                   MemoryHierarchy *hier)
+    : cfg_(cfg), core_(core), hier_(hier)
+{
+    streams_.resize(cfg.pfStreams);
+}
+
+void
+StreamPrefetcher::observe(uint64_t lineAddr, bool wasMiss, Cycle now)
+{
+    // Advance a matching stream.
+    for (Stream &s : streams_) {
+        if (!s.valid)
+            continue;
+        if (lineAddr == s.lastLine + static_cast<uint64_t>(s.stride)) {
+            s.lastLine = lineAddr;
+            s.confidence++;
+            s.lruTick = ++tick_;
+            if (s.confidence >= 2) {
+                for (uint32_t k = 1; k <= cfg_.pfDegree; k++) {
+                    hier_->prefetchLine(
+                        core_,
+                        lineAddr + static_cast<uint64_t>(s.stride) * k, now);
+                }
+            }
+            return;
+        }
+        if (lineAddr == s.lastLine)
+            return; // repeated access, not a new stream
+    }
+    if (!wasMiss)
+        return;
+    // Allocate a new stream on a miss (try ascending by default; a
+    // second miss one line below flips it to descending).
+    Stream *victim = &streams_[0];
+    for (Stream &s : streams_) {
+        if (!s.valid) {
+            victim = &s;
+            break;
+        }
+        if (s.lruTick < victim->lruTick)
+            victim = &s;
+    }
+    // Detect direction against existing entries' anchor points.
+    int64_t stride = 1;
+    for (Stream &s : streams_) {
+        if (s.valid && lineAddr + 1 == s.lastLine) {
+            stride = -1;
+            break;
+        }
+    }
+    victim->valid = true;
+    victim->lastLine = lineAddr;
+    victim->stride = stride;
+    victim->confidence = 0;
+    victim->lruTick = ++tick_;
+}
+
+} // namespace pipette

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Timing model of the memory hierarchy: per-core L1D and L2, shared L3,
+ * and DRAM with per-channel bandwidth. Latencies are computed at request
+ * time (instant-fill tag updates) with MSHR occupancy modeled via the
+ * completion times of in-flight misses; completions are delivered
+ * through the global event queue.
+ *
+ * Coherence is modeled coarsely: the inclusive L3 tracks a sharer mask
+ * and a modifying owner per line; writes invalidate remote private
+ * copies and reads of remotely-modified lines pay a forward penalty.
+ */
+
+#ifndef PIPETTE_MEM_HIERARCHY_H
+#define PIPETTE_MEM_HIERARCHY_H
+
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/cache.h"
+#include "mem/prefetcher.h"
+#include "sim/config.h"
+#include "sim/event_queue.h"
+#include "sim/stats.h"
+
+namespace pipette {
+
+/** The full cache + DRAM timing model. */
+class MemoryHierarchy
+{
+  public:
+    using Callback = std::function<void()>;
+
+    MemoryHierarchy(const MemConfig &cfg, uint32_t numCores,
+                    EventQueue *eq);
+
+    /**
+     * Issue a demand access. The callback (may be null for stores) is
+     * scheduled on the event queue at the completion cycle; the
+     * completion cycle is also returned for bookkeeping.
+     */
+    Cycle access(CoreId core, Addr addr, bool isWrite, Cycle now,
+                 Callback cb);
+
+    /** L1D hit latency (fast path known statically). */
+    uint32_t l1Latency() const { return cfg_.l1d.latency; }
+
+    const CacheStats &l1Stats(CoreId c) const { return perCore_[c].l1Stats; }
+    const CacheStats &l2Stats(CoreId c) const { return perCore_[c].l2Stats; }
+    const CacheStats &l3Stats() const { return l3Stats_; }
+    const MemStats &memStats() const { return memStats_; }
+
+    void dumpStats(std::map<std::string, double> &out) const;
+
+  private:
+    friend class StreamPrefetcher;
+
+    struct MshrPool
+    {
+        uint32_t capacity;
+        uint64_t full = 0; // stat
+        // Completion times of in-flight misses.
+        std::priority_queue<Cycle, std::vector<Cycle>, std::greater<>>
+            inflight;
+
+        /** Earliest cycle >= now at which a new miss can start. */
+        Cycle
+        admit(Cycle now)
+        {
+            while (!inflight.empty() && inflight.top() <= now)
+                inflight.pop();
+            if (inflight.size() < capacity)
+                return now;
+            full++;
+            return inflight.top();
+        }
+
+        void track(Cycle done) { inflight.push(done); }
+    };
+
+    struct PerCore
+    {
+        std::unique_ptr<CacheArray> l1;
+        std::unique_ptr<CacheArray> l2;
+        MshrPool l1Mshrs;
+        MshrPool l2Mshrs;
+        CacheStats l1Stats;
+        CacheStats l2Stats;
+        // Coalescing: completion time of in-flight L1 misses per line.
+        std::unordered_map<uint64_t, Cycle> inflightLines;
+        std::unique_ptr<StreamPrefetcher> prefetcher;
+    };
+
+    /** Timing of the path below the L1 (L2 -> L3 -> DRAM). */
+    Cycle accessBelowL1(CoreId core, uint64_t lineAddr, bool isWrite,
+                        Cycle start, bool isPrefetch);
+    /** DRAM service: returns completion cycle. */
+    Cycle dramAccess(uint64_t lineAddr, bool isWrite, Cycle start);
+    /** Issue a hardware prefetch of a line into the given core's L1. */
+    void prefetchLine(CoreId core, uint64_t lineAddr, Cycle now);
+
+    const MemConfig cfg_;
+    uint32_t numCores_;
+    EventQueue *eq_;
+    std::vector<PerCore> perCore_;
+    std::unique_ptr<CacheArray> l3_;
+    MshrPool l3Mshrs_;
+    CacheStats l3Stats_;
+    MemStats memStats_;
+    std::vector<Cycle> dramChannelFree_;
+};
+
+} // namespace pipette
+
+#endif // PIPETTE_MEM_HIERARCHY_H

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Functional simulated memory: a sparse, paged 64-bit byte-addressable
+ * address space, plus a bump allocator for laying out workload data.
+ *
+ * Reads of unmapped memory return zero without allocating, so wrong-path
+ * (speculative) accesses with garbage addresses are always safe.
+ */
+
+#ifndef PIPETTE_MEM_SIM_MEMORY_H
+#define PIPETTE_MEM_SIM_MEMORY_H
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/logging.h"
+#include "sim/types.h"
+
+namespace pipette {
+
+/** Sparse functional memory. */
+class SimMemory
+{
+  public:
+    static constexpr uint32_t PAGE_BITS = 16;
+    static constexpr uint64_t PAGE_SIZE = 1ull << PAGE_BITS;
+
+    /** Read `size` bytes (1,2,4,8) at addr, zero-extended to 64 bits. */
+    uint64_t
+    read(Addr addr, uint32_t size) const
+    {
+        uint64_t v = 0;
+        for (uint32_t i = 0; i < size; i++) {
+            const uint8_t *p = pageFor(addr + i);
+            uint8_t byte = p ? p[(addr + i) & (PAGE_SIZE - 1)] : 0;
+            v |= static_cast<uint64_t>(byte) << (8 * i);
+        }
+        return v;
+    }
+
+    /** Write the low `size` bytes of val at addr, allocating pages. */
+    void
+    write(Addr addr, uint32_t size, uint64_t val)
+    {
+        for (uint32_t i = 0; i < size; i++) {
+            uint8_t *p = pageForAlloc(addr + i);
+            p[(addr + i) & (PAGE_SIZE - 1)] =
+                static_cast<uint8_t>(val >> (8 * i));
+        }
+    }
+
+    /** Copy a host array of 64-bit words into simulated memory. */
+    void
+    writeArray64(Addr addr, const uint64_t *data, size_t n)
+    {
+        for (size_t i = 0; i < n; i++)
+            write(addr + 8 * i, 8, data[i]);
+    }
+
+    /** Copy a host array of 32-bit words into simulated memory. */
+    void
+    writeArray32(Addr addr, const uint32_t *data, size_t n)
+    {
+        for (size_t i = 0; i < n; i++)
+            write(addr + 4 * i, 4, data[i]);
+    }
+
+    /** Read back an array of 64-bit words. */
+    std::vector<uint64_t>
+    readArray64(Addr addr, size_t n) const
+    {
+        std::vector<uint64_t> out(n);
+        for (size_t i = 0; i < n; i++)
+            out[i] = read(addr + 8 * i, 8);
+        return out;
+    }
+
+    /** Read back an array of 32-bit words. */
+    std::vector<uint32_t>
+    readArray32(Addr addr, size_t n) const
+    {
+        std::vector<uint32_t> out(n);
+        for (size_t i = 0; i < n; i++)
+            out[i] = static_cast<uint32_t>(read(addr + 4 * i, 4));
+        return out;
+    }
+
+    /** Fill n bytes with a byte value. */
+    void
+    fill(Addr addr, size_t n, uint8_t byte)
+    {
+        for (size_t i = 0; i < n; i++)
+            write(addr + i, 1, byte);
+    }
+
+    /** Number of mapped pages (for tests). */
+    size_t mappedPages() const { return pages_.size(); }
+
+  private:
+    const uint8_t *
+    pageFor(Addr addr) const
+    {
+        auto it = pages_.find(addr >> PAGE_BITS);
+        return it == pages_.end() ? nullptr : it->second.get();
+    }
+
+    uint8_t *
+    pageForAlloc(Addr addr)
+    {
+        auto &p = pages_[addr >> PAGE_BITS];
+        if (!p) {
+            p = std::make_unique<uint8_t[]>(PAGE_SIZE);
+            std::memset(p.get(), 0, PAGE_SIZE);
+        }
+        return p.get();
+    }
+
+    std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> pages_;
+};
+
+/** Bump allocator carving regions out of a SimMemory address space. */
+class SimAllocator
+{
+  public:
+    explicit SimAllocator(Addr base = 0x10000) : next_(base) {}
+
+    /** Allocate `bytes` with the given alignment; returns the address. */
+    Addr
+    alloc(uint64_t bytes, uint64_t align = 64)
+    {
+        next_ = (next_ + align - 1) & ~(align - 1);
+        Addr a = next_;
+        next_ += bytes;
+        return a;
+    }
+
+    /** Allocate an array of 64-bit words. */
+    Addr alloc64(uint64_t words) { return alloc(words * 8, 64); }
+    /** Allocate an array of 32-bit words. */
+    Addr alloc32(uint64_t words) { return alloc(words * 4, 64); }
+
+    Addr brk() const { return next_; }
+
+  private:
+    Addr next_;
+};
+
+} // namespace pipette
+
+#endif // PIPETTE_MEM_SIM_MEMORY_H

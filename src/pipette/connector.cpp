@@ -1,0 +1,65 @@
+#include "pipette/connector.h"
+
+namespace pipette {
+
+Connector::Connector(const ConnectorSpec &spec, Qrm *fromQrm,
+                     PhysRegFile *fromPrf, Qrm *toQrm, PhysRegFile *toPrf,
+                     CoreStats *stats, uint32_t latency,
+                     uint32_t bandwidth)
+    : spec_(spec), fromQrm_(fromQrm), fromPrf_(fromPrf), toQrm_(toQrm),
+      toPrf_(toPrf), stats_(stats), latency_(latency),
+      bandwidth_(bandwidth)
+{
+}
+
+void
+Connector::tick(Cycle now)
+{
+    // Skip propagation: consumer-side arm reaches the real producer --
+    // but only while no control value is anywhere in the path (source
+    // queue or in-flight flits). If one is on its way it will clear the
+    // consumer-side arm on delivery; propagating now would redirect the
+    // producer inside the *next* work unit (wrong-abort race).
+    if (toQrm_->skipArmed(spec_.toQueue) &&
+        !fromQrm_->skipArmed(spec_.fromQueue)) {
+        bool ctrlInPath = fromQrm_->hasAnyCtrl(spec_.fromQueue);
+        for (const Flit &f : inflight_)
+            ctrlInPath |= f.ctrl;
+        if (!ctrlInPath)
+            fromQrm_->armSkip(spec_.fromQueue);
+    }
+
+    // Deliver arrived flits into the destination queue.
+    while (!inflight_.empty() && inflight_.front().arrival <= now) {
+        if (!toQrm_->canEnqueueNonSpec(spec_.toQueue) ||
+            toPrf_->numFree() == 0) {
+            break;
+        }
+        const Flit &f = inflight_.front();
+        PhysRegId r = toPrf_->alloc();
+        toPrf_->write(r, f.value);
+        toQrm_->enqueueNonSpec(spec_.toQueue, r, f.ctrl);
+        inflight_.pop_front();
+        stats_->connectorTransfers++;
+    }
+
+    // Send new flits, limited by bandwidth and credits: in-flight plus
+    // destination occupancy must stay within the destination capacity.
+    for (uint32_t b = 0; b < bandwidth_; b++) {
+        if (!fromQrm_->canDequeueNonSpec(spec_.fromQueue))
+            break;
+        uint64_t credits = toQrm_->capacity(spec_.toQueue);
+        if (inflight_.size() + toQrm_->totalSize(spec_.toQueue) >= credits)
+            break;
+        bool ctrl = false;
+        PhysRegId r = fromQrm_->dequeueNonSpec(spec_.fromQueue, &ctrl);
+        Flit f;
+        f.arrival = now + latency_;
+        f.value = fromPrf_->read(r);
+        f.ctrl = ctrl;
+        fromPrf_->free(r);
+        inflight_.push_back(f);
+    }
+}
+
+} // namespace pipette

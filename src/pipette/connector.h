@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Connectors (paper Sec. IV-C): simple FSMs that stream a queue from a
+ * producer core to a consumer core with credit-based flow control. The
+ * producer-side endpoint consumes committed entries non-speculatively;
+ * after the network latency the consumer-side endpoint enqueues them
+ * into the destination queue. In-flight entries plus destination
+ * occupancy never exceed the destination capacity (the credits), so the
+ * receiver state is strictly bounded. Skip arming propagates upstream.
+ */
+
+#ifndef PIPETTE_RT_CONNECTOR_H
+#define PIPETTE_RT_CONNECTOR_H
+
+#include <deque>
+
+#include "isa/machine_spec.h"
+#include "pipette/qrm.h"
+#include "pipette/regfile.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace pipette {
+
+/** One cross-core queue bridge. */
+class Connector
+{
+  public:
+    Connector(const ConnectorSpec &spec, Qrm *fromQrm,
+              PhysRegFile *fromPrf, Qrm *toQrm, PhysRegFile *toPrf,
+              CoreStats *stats, uint32_t latency, uint32_t bandwidth);
+
+    /** Advance one cycle. */
+    void tick(Cycle now);
+
+    /** True when nothing is in flight (quiesce/teardown check). */
+    bool idle() const { return inflight_.empty(); }
+
+  private:
+    struct Flit
+    {
+        Cycle arrival;
+        uint64_t value;
+        bool ctrl;
+    };
+
+    ConnectorSpec spec_;
+    Qrm *fromQrm_;
+    PhysRegFile *fromPrf_;
+    Qrm *toQrm_;
+    PhysRegFile *toPrf_;
+    CoreStats *stats_;
+    uint32_t latency_;
+    uint32_t bandwidth_;
+    std::deque<Flit> inflight_;
+};
+
+} // namespace pipette
+
+#endif // PIPETTE_RT_CONNECTOR_H

@@ -1,0 +1,166 @@
+#include "pipette/qrm.h"
+
+#include <sstream>
+
+namespace pipette {
+
+Qrm::Qrm(uint32_t numQueues, uint32_t defaultCap, uint32_t maxTotalRegs)
+    : maxRegs_(maxTotalRegs)
+{
+    qs_.resize(numQueues);
+    for (Queue &q : qs_) {
+        q.cap = defaultCap;
+        q.regs.assign(defaultCap, INVALID_PREG);
+        q.ctrl.assign(defaultCap, 0);
+    }
+}
+
+void
+Qrm::setCapacity(QueueId q, uint32_t cap)
+{
+    Queue &Q = at(q);
+    panic_if(Q.specTail != Q.commHead || Q.specHead != Q.commHead,
+             "resizing active queue ", static_cast<int>(q));
+    fatal_if(cap == 0, "queue capacity must be > 0");
+    Q.cap = cap;
+    Q.regs.assign(cap, INVALID_PREG);
+    Q.ctrl.assign(cap, 0);
+}
+
+void
+Qrm::enqueueSpec(QueueId q, PhysRegId reg, bool ctrl)
+{
+    Queue &Q = at(q);
+    panic_if(!canEnqueueSpec(q), "enqueueSpec on full queue ",
+             static_cast<int>(q));
+    size_t idx = Q.specTail % Q.cap;
+    Q.regs[idx] = reg;
+    Q.ctrl[idx] = ctrl;
+    Q.specTail++;
+    regsInUse_++;
+}
+
+PhysRegId
+Qrm::rollbackEnqueue(QueueId q)
+{
+    Queue &Q = at(q);
+    panic_if(Q.specTail == Q.commTail, "rollbackEnqueue past commit");
+    Q.specTail--;
+    regsInUse_--;
+    return Q.regs[Q.specTail % Q.cap];
+}
+
+void
+Qrm::commitEnqueue(QueueId q)
+{
+    Queue &Q = at(q);
+    panic_if(Q.commTail == Q.specTail, "commitEnqueue with no spec entry");
+    Q.commTail++;
+}
+
+bool
+Qrm::headCtrl(QueueId q) const
+{
+    const Queue &Q = at(q);
+    panic_if(!canDequeueSpec(q), "headCtrl on empty queue");
+    return Q.ctrl[Q.specHead % Q.cap] != 0;
+}
+
+PhysRegId
+Qrm::headReg(QueueId q) const
+{
+    const Queue &Q = at(q);
+    panic_if(!canDequeueSpec(q), "headReg on empty queue");
+    return Q.regs[Q.specHead % Q.cap];
+}
+
+PhysRegId
+Qrm::dequeueSpec(QueueId q)
+{
+    Queue &Q = at(q);
+    panic_if(!canDequeueSpec(q), "dequeueSpec on empty queue");
+    PhysRegId r = Q.regs[Q.specHead % Q.cap];
+    Q.specHead++;
+    return r;
+}
+
+void
+Qrm::rollbackDequeue(QueueId q)
+{
+    Queue &Q = at(q);
+    panic_if(Q.specHead == Q.commHead, "rollbackDequeue past commit");
+    Q.specHead--;
+}
+
+PhysRegId
+Qrm::commitDequeue(QueueId q)
+{
+    Queue &Q = at(q);
+    panic_if(Q.commHead == Q.specHead, "commitDequeue with no spec deq");
+    PhysRegId r = Q.regs[Q.commHead % Q.cap];
+    Q.commHead++;
+    regsInUse_--;
+    return r;
+}
+
+Qrm::CtrlScan
+Qrm::scanForCtrl(QueueId q) const
+{
+    const Queue &Q = at(q);
+    CtrlScan s;
+    for (uint64_t i = Q.specHead; i < Q.commTail; i++) {
+        if (Q.ctrl[i % Q.cap]) {
+            s.found = true;
+            s.offset = static_cast<uint32_t>(i - Q.specHead);
+            return s;
+        }
+    }
+    return s;
+}
+
+PhysRegId
+Qrm::dequeueNonSpec(QueueId q, bool *ctrl)
+{
+    Queue &Q = at(q);
+    panic_if(!canDequeueNonSpec(q), "dequeueNonSpec unavailable");
+    size_t idx = Q.commHead % Q.cap;
+    PhysRegId r = Q.regs[idx];
+    if (ctrl)
+        *ctrl = Q.ctrl[idx] != 0;
+    Q.commHead++;
+    Q.specHead++;
+    regsInUse_--;
+    return r;
+}
+
+void
+Qrm::enqueueNonSpec(QueueId q, PhysRegId reg, bool ctrl)
+{
+    Queue &Q = at(q);
+    panic_if(!canEnqueueNonSpec(q), "enqueueNonSpec on full queue");
+    size_t idx = Q.specTail % Q.cap;
+    Q.regs[idx] = reg;
+    Q.ctrl[idx] = ctrl;
+    Q.specTail++;
+    Q.commTail++;
+    regsInUse_++;
+    if (ctrl)
+        Q.skipArmed = false;
+}
+
+std::string
+Qrm::debugString() const
+{
+    std::ostringstream oss;
+    for (size_t i = 0; i < qs_.size(); i++) {
+        const Queue &Q = qs_[i];
+        if (Q.specTail == 0 && Q.commHead == 0)
+            continue;
+        oss << "q" << i << ": sh=" << Q.specHead << " st=" << Q.specTail
+            << " ch=" << Q.commHead << " ct=" << Q.commTail
+            << (Q.skipArmed ? " ARMED" : "") << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace pipette

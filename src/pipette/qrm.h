@@ -1,0 +1,189 @@
+/**
+ * @file
+ * The Queue Register Map (QRM), the core Pipette structure (paper
+ * Sec. IV-A). Queues live in the physical register file; the QRM tracks,
+ * per queue, a circular buffer of physical register indices plus
+ * speculative and committed head/tail pointers:
+ *
+ *  - enqueues advance the speculative tail at rename and the committed
+ *    tail at commit;
+ *  - dequeues advance the speculative head at rename and the committed
+ *    head at commit (whereupon the register is freed);
+ *  - dequeues may only consume committed entries (specHead < commTail),
+ *    so misspeculation in a producer never propagates to a consumer;
+ *  - recovery rolls the speculative pointers back.
+ *
+ * Reference accelerators and connectors act non-speculatively: their
+ * enqueues/dequeues advance both pointers at once.
+ *
+ * Pointers are absolute 64-bit counters; slot index = counter % capacity.
+ */
+
+#ifndef PIPETTE_RT_QRM_H
+#define PIPETTE_RT_QRM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/logging.h"
+#include "sim/types.h"
+
+namespace pipette {
+
+/** Queue Register Map: all Pipette queues of one core. */
+class Qrm
+{
+  public:
+    Qrm(uint32_t numQueues, uint32_t defaultCap, uint32_t maxTotalRegs);
+
+    uint32_t numQueues() const { return static_cast<uint32_t>(qs_.size()); }
+    void setCapacity(QueueId q, uint32_t cap);
+    uint32_t capacity(QueueId q) const { return qs_[q].cap; }
+
+    /** Registers currently held by all queues (budget accounting). */
+    uint32_t regsInUse() const { return regsInUse_; }
+    uint32_t maxRegs() const { return maxRegs_; }
+
+    // --- Producer (thread, speculative) ---
+    bool
+    canEnqueueSpec(QueueId q) const
+    {
+        const Queue &Q = qs_[q];
+        return Q.specTail - Q.commHead < Q.cap && regsInUse_ < maxRegs_;
+    }
+    /** True if enqueues are full purely due to queue capacity. */
+    bool
+    enqueueFull(QueueId q) const
+    {
+        const Queue &Q = qs_[q];
+        return Q.specTail - Q.commHead >= Q.cap;
+    }
+    void enqueueSpec(QueueId q, PhysRegId reg, bool ctrl);
+    /** Undo the youngest speculative enqueue; returns its register. */
+    PhysRegId rollbackEnqueue(QueueId q);
+    void commitEnqueue(QueueId q);
+
+    // --- Consumer (thread, speculative) ---
+    bool
+    canDequeueSpec(QueueId q) const
+    {
+        const Queue &Q = qs_[q];
+        return Q.specHead < Q.commTail;
+    }
+    bool headCtrl(QueueId q) const;
+    PhysRegId headReg(QueueId q) const;
+    /** Consume the head; returns its register (freed later, at commit). */
+    PhysRegId dequeueSpec(QueueId q);
+    void rollbackDequeue(QueueId q);
+    /** Commit the oldest dequeue; returns the register to free. */
+    PhysRegId commitDequeue(QueueId q);
+
+    // --- skip_to_ctrl support ---
+    struct CtrlScan
+    {
+        bool found = false;
+        uint32_t offset = 0; ///< entries from specHead to the CV
+    };
+    /** Find the first control value among committed entries. */
+    CtrlScan scanForCtrl(QueueId q) const;
+
+    /** Producer has renamed-but-uncommitted enqueues in flight. */
+    bool
+    hasInflightEnqueues(QueueId q) const
+    {
+        return qs_[q].specTail > qs_[q].commTail;
+    }
+
+    /** A control value is in flight (renamed but not committed). */
+    bool
+    hasInflightCtrl(QueueId q) const
+    {
+        const Queue &Q = qs_[q];
+        for (uint64_t i = Q.commTail; i < Q.specTail; i++)
+            if (Q.ctrl[i % Q.cap])
+                return true;
+        return false;
+    }
+
+    /** Any control value among unconsumed entries (incl. in flight). */
+    bool
+    hasAnyCtrl(QueueId q) const
+    {
+        const Queue &Q = qs_[q];
+        for (uint64_t i = Q.specHead; i < Q.specTail; i++)
+            if (Q.ctrl[i % Q.cap])
+                return true;
+        return false;
+    }
+
+    bool skipArmed(QueueId q) const { return qs_[q].skipArmed; }
+    void armSkip(QueueId q) { qs_[q].skipArmed = true; }
+    void setSkipArmed(QueueId q, bool v) { qs_[q].skipArmed = v; }
+
+    // --- Non-speculative agents (RAs, connectors, skiptc drain) ---
+    bool
+    canDequeueNonSpec(QueueId q) const
+    {
+        const Queue &Q = qs_[q];
+        return Q.commHead < Q.commTail && Q.specHead == Q.commHead;
+    }
+    /** Consume the committed head outright; returns the register. */
+    PhysRegId dequeueNonSpec(QueueId q, bool *ctrl);
+    bool
+    canEnqueueNonSpec(QueueId q) const
+    {
+        return canEnqueueSpec(q);
+    }
+    void enqueueNonSpec(QueueId q, PhysRegId reg, bool ctrl);
+
+    // --- Introspection ---
+    /** Committed occupancy (entries a consumer could dequeue). */
+    uint64_t
+    committedSize(QueueId q) const
+    {
+        return qs_[q].commTail - qs_[q].specHead;
+    }
+    /** Total entries holding registers (commHead..specTail). */
+    uint64_t
+    totalSize(QueueId q) const
+    {
+        return qs_[q].specTail - qs_[q].commHead;
+    }
+    bool empty(QueueId q) const { return totalSize(q) == 0; }
+
+    std::string debugString() const;
+
+  private:
+    struct Queue
+    {
+        std::vector<PhysRegId> regs;
+        std::vector<uint8_t> ctrl;
+        uint64_t specHead = 0, specTail = 0, commHead = 0, commTail = 0;
+        uint32_t cap = 0;
+        bool skipArmed = false;
+    };
+
+    Queue &
+    at(QueueId q)
+    {
+        panic_if(q >= qs_.size(), "queue id ", static_cast<int>(q),
+                 " out of range");
+        return qs_[q];
+    }
+    const Queue &
+    at(QueueId q) const
+    {
+        panic_if(q >= qs_.size(), "queue id ", static_cast<int>(q),
+                 " out of range");
+        return qs_[q];
+    }
+
+    std::vector<Queue> qs_;
+    uint32_t maxRegs_;
+    uint32_t regsInUse_ = 0;
+};
+
+} // namespace pipette
+
+#endif // PIPETTE_RT_QRM_H

@@ -1,0 +1,170 @@
+#include "pipette/ra.h"
+
+namespace pipette {
+
+RefAccel::RefAccel(const RaSpec &spec, uint32_t completionBufEntries,
+                   Qrm *qrm, PhysRegFile *prf, SimMemory *mem,
+                   MemoryHierarchy *hier, EventQueue *eq, CoreStats *stats,
+                   PortArbiter ports)
+    : spec_(spec), cbCapacity_(completionBufEntries), qrm_(qrm),
+      prf_(prf), mem_(mem), hier_(hier), eq_(eq), stats_(stats),
+      ports_(std::move(ports))
+{
+}
+
+void
+RefAccel::issueLoad(Addr addr, Cycle now,
+                    const std::shared_ptr<CbEntry> &entry)
+{
+    SimMemory *mem = mem_;
+    uint32_t bytes = spec_.elemBytes;
+    stats_->raAccesses++;
+    hier_->access(spec_.core, addr, false, now, [entry, mem, addr, bytes] {
+        entry->value = mem->read(addr, bytes);
+        entry->done = true;
+    });
+}
+
+void
+RefAccel::tick(Cycle now)
+{
+    // Propagate a consumer-side skip upstream (see header comment),
+    // but only while no control value is already in the path (input
+    // queue or completion buffer) -- it would clear the arm on arrival.
+    if (qrm_->skipArmed(spec_.outQueue) &&
+        !qrm_->skipArmed(spec_.inQueue)) {
+        bool ctrlInPath = qrm_->hasAnyCtrl(spec_.inQueue);
+        for (const auto &e : cb_)
+            ctrlInPath |= e->ctrl;
+        if (!ctrlInPath)
+            qrm_->armSkip(spec_.inQueue);
+    }
+
+    // 1. Retire completed entries, in order, into the output queue.
+    uint32_t retired = 0;
+    while (retired < 2 && !cb_.empty() && cb_.front()->done) {
+        if (!qrm_->canEnqueueNonSpec(spec_.outQueue) || prf_->numFree() == 0)
+            break;
+        auto &e = cb_.front();
+        PhysRegId r = prf_->alloc();
+        prf_->write(r, e->value);
+        qrm_->enqueueNonSpec(spec_.outQueue, r, e->ctrl);
+        if (e->ctrl)
+            stats_->raCvForwards++;
+        cb_.pop_front();
+        retired++;
+    }
+
+    // 2. Issue new work (one item per cycle).
+    if (pendingSecond_) {
+        // Second load of an IndirectPair waiting for a port.
+        if (!ports_())
+            return;
+        issueLoad(pendingAddr_, now, pendingEntry_);
+        pendingSecond_ = false;
+        pendingEntry_.reset();
+        return;
+    }
+
+    if (cb_.size() >= cbCapacity_)
+        return;
+
+    if (spec_.mode == RaMode::Scan && scanning_) {
+        if (!ports_())
+            return;
+        auto entry = std::make_shared<CbEntry>();
+        cb_.push_back(entry);
+        issueLoad(spec_.base + cur_ * spec_.elemBytes, now, entry);
+        cur_++;
+        if (cur_ >= end_)
+            scanning_ = false;
+        return;
+    }
+
+    if (!qrm_->canDequeueNonSpec(spec_.inQueue))
+        return;
+
+    bool headCtrl = qrm_->headCtrl(spec_.inQueue);
+    if (headCtrl) {
+        // Forward the CV through the completion buffer to keep ordering.
+        panic_if(spec_.mode == RaMode::Scan && haveStart_,
+                 "control value between scan start and end");
+        bool ctrl = false;
+        PhysRegId r = qrm_->dequeueNonSpec(spec_.inQueue, &ctrl);
+        auto entry = std::make_shared<CbEntry>();
+        entry->value = prf_->read(r);
+        entry->ctrl = true;
+        entry->done = true;
+        prf_->free(r);
+        cb_.push_back(entry);
+        return;
+    }
+
+    if (spec_.mode == RaMode::Indirect) {
+        if (!ports_())
+            return;
+        bool ctrl = false;
+        PhysRegId r = qrm_->dequeueNonSpec(spec_.inQueue, &ctrl);
+        uint64_t idx = prf_->read(r);
+        prf_->free(r);
+        auto entry = std::make_shared<CbEntry>();
+        cb_.push_back(entry);
+        issueLoad(spec_.base + idx * spec_.elemBytes, now, entry);
+        return;
+    }
+
+    if (spec_.mode == RaMode::IndirectPair) {
+        if (cb_.size() + 2 > cbCapacity_ || !ports_())
+            return;
+        bool ctrl = false;
+        PhysRegId r = qrm_->dequeueNonSpec(spec_.inQueue, &ctrl);
+        uint64_t idx = prf_->read(r);
+        prf_->free(r);
+        auto e1 = std::make_shared<CbEntry>();
+        auto e2 = std::make_shared<CbEntry>();
+        cb_.push_back(e1);
+        cb_.push_back(e2);
+        issueLoad(spec_.base + idx * spec_.elemBytes, now, e1);
+        // The second element usually shares the line; still one access.
+        pendingSecond_ = true;
+        pendingAddr_ = spec_.base + (idx + 1) * spec_.elemBytes;
+        pendingEntry_ = e2;
+        return;
+    }
+
+    if (spec_.mode == RaMode::IndirectKV) {
+        if (cb_.size() + 2 > cbCapacity_ || !ports_())
+            return;
+        bool ctrl = false;
+        PhysRegId r = qrm_->dequeueNonSpec(spec_.inQueue, &ctrl);
+        uint64_t idx = prf_->read(r);
+        prf_->free(r);
+        auto key = std::make_shared<CbEntry>();
+        key->value = idx;
+        key->done = true;
+        cb_.push_back(key);
+        auto val = std::make_shared<CbEntry>();
+        cb_.push_back(val);
+        issueLoad(spec_.base + idx * spec_.elemBytes, now, val);
+        return;
+    }
+
+    // Scan mode: consume start then end.
+    bool ctrl = false;
+    PhysRegId r = qrm_->dequeueNonSpec(spec_.inQueue, &ctrl);
+    uint64_t v = prf_->read(r);
+    prf_->free(r);
+    if (!haveStart_) {
+        start_ = v;
+        haveStart_ = true;
+    } else {
+        haveStart_ = false;
+        if (start_ < v) {
+            scanning_ = true;
+            cur_ = start_;
+            end_ = v;
+        }
+    }
+}
+
+} // namespace pipette

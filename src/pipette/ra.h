@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Reference accelerators (paper Sec. IV-B): small configurable units
+ * with one input and one output queue that offload producer-side
+ * long-latency loads. Two modes:
+ *
+ *  - indirect: for each input index i, fetch base[i];
+ *  - scan: for each input pair (start, end), fetch base[start..end-1].
+ *
+ * RAs act like non-speculative threads on the QRM: they consume
+ * committed input entries and their enqueues commit immediately. They
+ * opportunistically use spare data-cache ports (the port arbiter is
+ * provided by the core) and track outstanding loads in an in-order
+ * completion buffer. Control values pass through in order, and a
+ * consumer-side skip on the output queue is propagated upstream to the
+ * input queue so the real producer thread takes the enqueue trap.
+ */
+
+#ifndef PIPETTE_RT_RA_H
+#define PIPETTE_RT_RA_H
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "isa/machine_spec.h"
+#include "mem/hierarchy.h"
+#include "mem/sim_memory.h"
+#include "pipette/qrm.h"
+#include "pipette/regfile.h"
+#include "sim/stats.h"
+
+namespace pipette {
+
+/** One reference accelerator. */
+class RefAccel
+{
+  public:
+    /** Port arbiter: claims one data-cache port for this cycle. */
+    using PortArbiter = std::function<bool()>;
+
+    RefAccel(const RaSpec &spec, uint32_t completionBufEntries, Qrm *qrm,
+             PhysRegFile *prf, SimMemory *mem, MemoryHierarchy *hier,
+             EventQueue *eq, CoreStats *stats, PortArbiter ports);
+
+    /** Advance one cycle. */
+    void tick(Cycle now);
+
+    /** True if the RA holds no in-flight work (for quiesce checks). */
+    bool
+    idle() const
+    {
+        return cb_.empty() && !scanning_ && !haveStart_ && !pendingSecond_;
+    }
+
+  private:
+    struct CbEntry
+    {
+        uint64_t value = 0;
+        bool ctrl = false;
+        bool done = false;
+    };
+
+    void issueLoad(Addr addr, Cycle now,
+                   const std::shared_ptr<CbEntry> &entry);
+
+    RaSpec spec_;
+    uint32_t cbCapacity_;
+    Qrm *qrm_;
+    PhysRegFile *prf_;
+    SimMemory *mem_;
+    MemoryHierarchy *hier_;
+    EventQueue *eq_;
+    CoreStats *stats_;
+    PortArbiter ports_;
+
+    std::deque<std::shared_ptr<CbEntry>> cb_;
+    bool scanning_ = false;
+    bool haveStart_ = false;
+    uint64_t start_ = 0, cur_ = 0, end_ = 0;
+    /** IndirectPair: second load waiting for a port. */
+    bool pendingSecond_ = false;
+    Addr pendingAddr_ = 0;
+    std::shared_ptr<CbEntry> pendingEntry_;
+};
+
+} // namespace pipette
+
+#endif // PIPETTE_RT_RA_H

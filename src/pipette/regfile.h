@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Physical register file with an explicit free list. Shared by the
+ * renamer, the Pipette QRM (queues live in physical registers), and the
+ * reference accelerators.
+ */
+
+#ifndef PIPETTE_RT_REGFILE_H
+#define PIPETTE_RT_REGFILE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.h"
+#include "sim/types.h"
+
+namespace pipette {
+
+/** Physical integer register file + free list. */
+class PhysRegFile
+{
+  public:
+    explicit PhysRegFile(uint32_t n) : vals_(n, 0), ready_(n, 0)
+    {
+        freeList_.reserve(n);
+        for (uint32_t i = 0; i < n; i++)
+            freeList_.push_back(static_cast<PhysRegId>(n - 1 - i));
+    }
+
+    uint32_t numFree() const { return static_cast<uint32_t>(freeList_.size()); }
+    uint32_t size() const { return static_cast<uint32_t>(vals_.size()); }
+
+    /** Allocate a register; it starts not-ready. */
+    PhysRegId
+    alloc()
+    {
+        panic_if(freeList_.empty(), "physical register file exhausted");
+        PhysRegId r = freeList_.back();
+        freeList_.pop_back();
+        ready_[r] = 0;
+        return r;
+    }
+
+    /** Return a register to the free list. */
+    void
+    free(PhysRegId r)
+    {
+        panic_if(r == INVALID_PREG, "freeing invalid preg");
+        freeList_.push_back(r);
+    }
+
+    bool isReady(PhysRegId r) const { return ready_[r] != 0; }
+
+    uint64_t
+    read(PhysRegId r) const
+    {
+        return vals_[r];
+    }
+
+    /** Write a value and mark the register ready. */
+    void
+    write(PhysRegId r, uint64_t v)
+    {
+        vals_[r] = v;
+        ready_[r] = 1;
+    }
+
+    /** Mark ready without changing the value (pinned zero regs). */
+    void setReady(PhysRegId r) { ready_[r] = 1; }
+
+  private:
+    std::vector<uint64_t> vals_;
+    std::vector<uint8_t> ready_;
+    std::vector<PhysRegId> freeList_;
+};
+
+} // namespace pipette
+
+#endif // PIPETTE_RT_REGFILE_H

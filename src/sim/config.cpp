@@ -1,0 +1,24 @@
+#include "sim/config.h"
+
+#include <sstream>
+
+namespace pipette {
+
+std::string
+SystemConfig::summary() const
+{
+    std::ostringstream oss;
+    oss << numCores << " core(s), " << core.smtThreads << " SMT threads, "
+        << core.issueWidth << "-wide OOO, ROB " << core.robEntries
+        << ", IQ " << core.iqEntries << ", LQ/SQ " << core.lqEntries << "/"
+        << core.sqEntries << ", PRF " << core.physRegs << "; Pipette "
+        << (core.pipetteEnabled ? "on" : "off") << " (" << core.numQueues
+        << " queues x " << core.queueCapacity << ", " << core.numRAs
+        << " RAs); L1D " << mem.l1d.sizeBytes / 1024 << "KB, L2 "
+        << mem.l2.sizeBytes / 1024 << "KB, L3 "
+        << mem.l3.sizeBytes / 1024 << "KB, DRAM " << mem.dramLatency
+        << "cy";
+    return oss.str();
+}
+
+} // namespace pipette

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Configuration structures for the simulated system. Defaults follow the
+ * paper's Table IV: Skylake-like 6-wide OOO cores with 4 SMT threads,
+ * 212-entry PRF, 16 Pipette queues of 32 entries, 4 reference
+ * accelerators, and a 3-level cache hierarchy (scaled down together with
+ * the inputs; see DESIGN.md).
+ */
+
+#ifndef PIPETTE_SIM_CONFIG_H
+#define PIPETTE_SIM_CONFIG_H
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.h"
+
+namespace pipette {
+
+/** Parameters of one out-of-order SMT core. */
+struct CoreConfig
+{
+    /** Hardware threads per core. */
+    uint32_t smtThreads = 4;
+
+    uint32_t fetchWidth = 6;
+    uint32_t renameWidth = 6;
+    uint32_t issueWidth = 6;
+    uint32_t commitWidth = 6;
+
+    /** Cycles from fetch of an instruction until it is renameable. */
+    uint32_t frontendDelay = 4;
+
+    /** Reorder buffer entries, partitioned evenly among active threads. */
+    uint32_t robEntries = 224;
+    /** Unified issue-queue entries (shared among threads). */
+    uint32_t iqEntries = 97;
+    /** Load-queue entries, partitioned among active threads. */
+    uint32_t lqEntries = 72;
+    /** Store-queue entries, partitioned among active threads. */
+    uint32_t sqEntries = 56;
+    /** Physical integer registers (shared: architectural + rename + queues). */
+    uint32_t physRegs = 212;
+    /** Per-thread fetch buffer entries. */
+    uint32_t fetchBufferEntries = 24;
+    /** Per-thread post-commit store buffer entries. */
+    uint32_t storeBufferEntries = 16;
+    /** Cycles of fetch redirect penalty on a branch misprediction. */
+    uint32_t mispredictPenalty = 12;
+
+    /** Functional unit counts per cycle. */
+    uint32_t numAlu = 4;
+    uint32_t numMul = 1;
+    uint32_t numDiv = 1;
+    uint32_t numMemPorts = 2;
+
+    uint32_t mulLatency = 3;
+    uint32_t divLatency = 20;
+
+    /** log2 of gshare pattern-history-table entries. */
+    uint32_t gshareBits = 14;
+    /** Branch-target-buffer entries (indirect jumps). */
+    uint32_t btbEntries = 2048;
+
+    /** Enable Pipette hardware (queues, RAs). */
+    bool pipetteEnabled = true;
+    /** Number of architecturally visible queues. */
+    uint32_t numQueues = 16;
+    /** Default per-queue capacity in values. */
+    uint32_t queueCapacity = 32;
+    /**
+     * Cap on the number of physical registers all queues may collectively
+     * hold, preventing queues from starving rename (paper Sec. IV-A).
+     */
+    uint32_t maxQueueRegs = 148;
+    /** Reference accelerators per core. */
+    uint32_t numRAs = 4;
+    /** Completion-buffer entries per RA. */
+    uint32_t raCompletionBuf = 32;
+
+    /**
+     * Commit trace sink: when non-null, every committed instruction is
+     * logged as "cycle core.thread pc: disassembly" (debugging aid).
+     */
+    FILE *traceFile = nullptr;
+};
+
+/** Parameters of one cache level. */
+struct CacheConfig
+{
+    uint32_t sizeBytes;
+    uint32_t ways;
+    /** Access (hit) latency in cycles, cumulative from the request. */
+    uint32_t latency;
+    /** Maximum outstanding misses. */
+    uint32_t mshrs;
+};
+
+/** Parameters of the memory hierarchy. */
+struct MemConfig
+{
+    uint32_t lineBytes = 64;
+
+    // Capacities are scaled down together with the workload inputs so
+    // that working-set:LLC ratios match the paper's setup at laptop
+    // scale (see EXPERIMENTS.md); latencies stay Skylake-like.
+    CacheConfig l1d{32 * 1024, 8, 4, 10};
+    CacheConfig l2{128 * 1024, 8, 12, 20};
+    /** Shared last-level cache (total across cores). */
+    CacheConfig l3{512 * 1024, 16, 38, 64};
+
+    /** DRAM access latency in core cycles (after the L3 miss). */
+    uint32_t dramLatency = 140;
+    /** Minimum cycles between DRAM requests per channel (bandwidth). */
+    uint32_t dramCyclesPerReq = 4;
+    uint32_t dramChannels = 2;
+
+    bool prefetcherEnabled = true;
+    /** Concurrent streams tracked by the L1D stream prefetcher. */
+    uint32_t pfStreams = 16;
+    /** Lines prefetched ahead on a detected stream. */
+    uint32_t pfDegree = 4;
+
+    /** Extra latency for invalidating / forwarding remote copies. */
+    uint32_t coherencePenalty = 15;
+};
+
+/** Parameters of the whole simulated system. */
+struct SystemConfig
+{
+    uint32_t numCores = 1;
+    CoreConfig core;
+    MemConfig mem;
+
+    /** One-way latency of a cross-core connector, in cycles. */
+    uint32_t connectorLatency = 24;
+    /** Values a connector can move per cycle. */
+    uint32_t connectorBandwidth = 1;
+
+    /** Abort if no instruction commits anywhere for this many cycles. */
+    uint64_t watchdogCycles = 500'000;
+    /** Hard cap on simulated cycles (0 = unlimited). */
+    uint64_t maxCycles = 0;
+
+    /** Human-readable one-line summary (Table IV style). */
+    std::string summary() const;
+};
+
+} // namespace pipette
+
+#endif // PIPETTE_SIM_CONFIG_H

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Global event queue used for memory-system completion callbacks. The
+ * cores are cycle-driven; the event queue carries the asynchronous parts
+ * (cache miss completions, DRAM responses, connector deliveries).
+ */
+
+#ifndef PIPETTE_SIM_EVENT_QUEUE_H
+#define PIPETTE_SIM_EVENT_QUEUE_H
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/logging.h"
+#include "sim/types.h"
+
+namespace pipette {
+
+/** Min-heap of (cycle, insertion order) -> callback. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule cb to run at cycle `when` (must not be in the past). */
+    void
+    schedule(Cycle when, Callback cb)
+    {
+        panic_if(when < now_, "scheduling event in the past (", when,
+                 " < ", now_, ")");
+        heap_.push(Event{when, seq_++, std::move(cb)});
+    }
+
+    /** Run all events due at or before `cycle`, advancing time. */
+    void
+    runUntil(Cycle cycle)
+    {
+        now_ = cycle;
+        while (!heap_.empty() && heap_.top().when <= cycle) {
+            // Copy out before pop so the callback can schedule new events.
+            Callback cb = std::move(const_cast<Event &>(heap_.top()).cb);
+            heap_.pop();
+            cb();
+        }
+    }
+
+    bool empty() const { return heap_.empty(); }
+    Cycle now() const { return now_; }
+    size_t pending() const { return heap_.size(); }
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Event &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+    uint64_t seq_ = 0;
+    Cycle now_ = 0;
+};
+
+} // namespace pipette
+
+#endif // PIPETTE_SIM_EVENT_QUEUE_H

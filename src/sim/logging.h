@@ -1,0 +1,70 @@
+/**
+ * @file
+ * gem5-style status and error reporting: panic() for simulator bugs,
+ * fatal() for user/configuration errors, warn()/inform() for diagnostics.
+ */
+
+#ifndef PIPETTE_SIM_LOGGING_H
+#define PIPETTE_SIM_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace pipette {
+
+namespace detail {
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Minimal printf-free formatter: concatenates stream-formattable args. */
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+} // namespace detail
+
+/** Abort on a condition that indicates a simulator bug. */
+#define panic(...) \
+    ::pipette::detail::panicImpl(__FILE__, __LINE__, \
+                                 ::pipette::detail::format(__VA_ARGS__))
+
+/** Exit on a condition that is the user's fault (bad config, bad input). */
+#define fatal(...) \
+    ::pipette::detail::fatalImpl(__FILE__, __LINE__, \
+                                 ::pipette::detail::format(__VA_ARGS__))
+
+/** Warn about suspicious but non-fatal behaviour. */
+#define warn(...) \
+    ::pipette::detail::warnImpl(::pipette::detail::format(__VA_ARGS__))
+
+/** Informational status message. */
+#define inform(...) \
+    ::pipette::detail::informImpl(::pipette::detail::format(__VA_ARGS__))
+
+/** panic() unless the invariant holds. */
+#define panic_if(cond, ...) \
+    do { \
+        if (cond) { \
+            panic(__VA_ARGS__); \
+        } \
+    } while (0)
+
+/** fatal() unless the user-facing condition holds. */
+#define fatal_if(cond, ...) \
+    do { \
+        if (cond) { \
+            fatal(__VA_ARGS__); \
+        } \
+    } while (0)
+
+} // namespace pipette
+
+#endif // PIPETTE_SIM_LOGGING_H

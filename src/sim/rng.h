@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Deterministic, platform-independent pseudo-random number generation.
+ * std::mt19937_64 is portable but the standard distributions are not,
+ * so input generators use this splitmix64-based RNG exclusively.
+ */
+
+#ifndef PIPETTE_SIM_RNG_H
+#define PIPETTE_SIM_RNG_H
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace pipette {
+
+/** splitmix64 generator with convenience distributions. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [lo, hi], inclusive. */
+    uint64_t
+    uniformInt(uint64_t lo, uint64_t hi)
+    {
+        return lo + next() % (hi - lo + 1);
+    }
+
+    /** Uniform real in [0, 1). */
+    double
+    uniformReal()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** True with probability p. */
+    bool bernoulli(double p) { return uniformReal() < p; }
+
+  private:
+    uint64_t state_;
+};
+
+/**
+ * Zipfian integer sampler over [0, n), used by the YCSB-C workload
+ * generator. Precomputes the harmonic normalization once.
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(uint64_t n, double theta, uint64_t seed);
+
+    /** Draw one Zipf-distributed item in [0, n). */
+    uint64_t sample();
+
+  private:
+    uint64_t n_;
+    double theta_;
+    double alpha_;
+    double zetan_;
+    double eta_;
+    Rng rng_;
+};
+
+} // namespace pipette
+
+#endif // PIPETTE_SIM_RNG_H

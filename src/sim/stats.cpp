@@ -1,0 +1,91 @@
+#include "sim/stats.h"
+
+namespace pipette {
+
+const char *
+cpiBucketName(CpiBucket b)
+{
+    switch (b) {
+      case CpiBucket::Issue: return "issue";
+      case CpiBucket::Backend: return "backend";
+      case CpiBucket::Queue: return "queue";
+      case CpiBucket::Other: return "other";
+      default: return "?";
+    }
+}
+
+double
+CoreStats::ipc() const
+{
+    return cycles ? static_cast<double>(committedInstrs) /
+                        static_cast<double>(cycles)
+                  : 0.0;
+}
+
+void
+CoreStats::dump(const std::string &prefix,
+                std::map<std::string, double> &out) const
+{
+    out[prefix + ".cycles"] = static_cast<double>(cycles);
+    out[prefix + ".committedInstrs"] = static_cast<double>(committedInstrs);
+    out[prefix + ".issuedUops"] = static_cast<double>(issuedUops);
+    out[prefix + ".squashedInstrs"] = static_cast<double>(squashedInstrs);
+    out[prefix + ".fetchedInstrs"] = static_cast<double>(fetchedInstrs);
+    out[prefix + ".branches"] = static_cast<double>(branches);
+    out[prefix + ".mispredicts"] = static_cast<double>(mispredicts);
+    out[prefix + ".loads"] = static_cast<double>(loads);
+    out[prefix + ".stores"] = static_cast<double>(stores);
+    out[prefix + ".atomics"] = static_cast<double>(atomics);
+    out[prefix + ".enqueues"] = static_cast<double>(enqueues);
+    out[prefix + ".dequeues"] = static_cast<double>(dequeues);
+    out[prefix + ".ctrlValues"] = static_cast<double>(ctrlValues);
+    out[prefix + ".cvTraps"] = static_cast<double>(cvTraps);
+    out[prefix + ".enqTraps"] = static_cast<double>(enqTraps);
+    out[prefix + ".queueFullStalls"] = static_cast<double>(queueFullStalls);
+    out[prefix + ".queueEmptyStalls"] =
+        static_cast<double>(queueEmptyStalls);
+    out[prefix + ".regReads"] = static_cast<double>(regReads);
+    out[prefix + ".regWrites"] = static_cast<double>(regWrites);
+    out[prefix + ".raAccesses"] = static_cast<double>(raAccesses);
+    out[prefix + ".connectorTransfers"] =
+        static_cast<double>(connectorTransfers);
+    out[prefix + ".ipc"] = ipc();
+    for (size_t i = 0; i < NUM_CPI_BUCKETS; i++) {
+        out[prefix + ".cpi." + cpiBucketName(static_cast<CpiBucket>(i))] =
+            static_cast<double>(cpiCycles[i]);
+    }
+}
+
+double
+CacheStats::missRate() const
+{
+    return accesses ? static_cast<double>(misses) /
+                          static_cast<double>(accesses)
+                    : 0.0;
+}
+
+void
+CacheStats::dump(const std::string &prefix,
+                 std::map<std::string, double> &out) const
+{
+    out[prefix + ".accesses"] = static_cast<double>(accesses);
+    out[prefix + ".misses"] = static_cast<double>(misses);
+    out[prefix + ".missRate"] = missRate();
+    out[prefix + ".writebacks"] = static_cast<double>(writebacks);
+    out[prefix + ".prefetches"] = static_cast<double>(prefetches);
+    out[prefix + ".prefetchHits"] = static_cast<double>(prefetchHits);
+    out[prefix + ".invalidations"] = static_cast<double>(invalidations);
+    out[prefix + ".mshrFullEvents"] = static_cast<double>(mshrFullEvents);
+}
+
+void
+MemStats::dump(const std::string &prefix,
+               std::map<std::string, double> &out) const
+{
+    out[prefix + ".dramReads"] = static_cast<double>(dramReads);
+    out[prefix + ".dramWrites"] = static_cast<double>(dramWrites);
+    out[prefix + ".dramQueueCycles"] =
+        static_cast<double>(dramQueueCycles);
+}
+
+} // namespace pipette

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Statistics containers. Hot-path stats are plain struct fields; dump()
+ * flattens everything into a name->value map for reporting.
+ */
+
+#ifndef PIPETTE_SIM_STATS_H
+#define PIPETTE_SIM_STATS_H
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/types.h"
+
+namespace pipette {
+
+/**
+ * CPI-stack buckets (paper Fig. 11): each core cycle is attributed to
+ * exactly one bucket.
+ */
+enum class CpiBucket : uint8_t
+{
+    Issue,   ///< at least one micro-op issued this cycle
+    Backend, ///< blocked on memory / ROB (long-latency loads)
+    Queue,   ///< blocked on full/empty Pipette queues
+    Other,   ///< front-end and miscellaneous stalls
+    NumBuckets,
+};
+
+constexpr size_t NUM_CPI_BUCKETS =
+    static_cast<size_t>(CpiBucket::NumBuckets);
+
+/** Name of a CPI bucket for reports. */
+const char *cpiBucketName(CpiBucket b);
+
+/** Per-core statistics. */
+struct CoreStats
+{
+    uint64_t cycles = 0;
+    uint64_t committedInstrs = 0;
+    uint64_t committedPerThread[8] = {};
+    uint64_t issuedUops = 0;
+    uint64_t squashedInstrs = 0;
+    uint64_t fetchedInstrs = 0;
+    uint64_t branches = 0;
+    uint64_t mispredicts = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t atomics = 0;
+    uint64_t enqueues = 0;
+    uint64_t dequeues = 0;
+    uint64_t ctrlValues = 0;
+    uint64_t cvTraps = 0;
+    uint64_t enqTraps = 0;
+    uint64_t skipDiscards = 0;
+    uint64_t queueFullStalls = 0;
+    uint64_t queueEmptyStalls = 0;
+    uint64_t regReads = 0;
+    uint64_t regWrites = 0;
+    uint64_t raAccesses = 0;
+    uint64_t raCvForwards = 0;
+    uint64_t connectorTransfers = 0;
+    std::array<uint64_t, NUM_CPI_BUCKETS> cpiCycles = {};
+
+    double ipc() const;
+    void dump(const std::string &prefix,
+              std::map<std::string, double> &out) const;
+};
+
+/** Per-cache statistics. */
+struct CacheStats
+{
+    uint64_t accesses = 0;
+    uint64_t misses = 0;
+    uint64_t writebacks = 0;
+    uint64_t prefetches = 0;
+    uint64_t prefetchHits = 0;
+    uint64_t invalidations = 0;
+    uint64_t mshrFullEvents = 0;
+
+    double missRate() const;
+    void dump(const std::string &prefix,
+              std::map<std::string, double> &out) const;
+};
+
+/** Memory-side statistics. */
+struct MemStats
+{
+    uint64_t dramReads = 0;
+    uint64_t dramWrites = 0;
+    uint64_t dramQueueCycles = 0;
+
+    void dump(const std::string &prefix,
+              std::map<std::string, double> &out) const;
+};
+
+} // namespace pipette
+
+#endif // PIPETTE_SIM_STATS_H

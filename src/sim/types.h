@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every simulator subsystem.
+ */
+
+#ifndef PIPETTE_SIM_TYPES_H
+#define PIPETTE_SIM_TYPES_H
+
+#include <cstdint>
+#include <limits>
+
+namespace pipette {
+
+/** Simulated byte address (64-bit virtual address space). */
+using Addr = uint64_t;
+
+/** Simulation time in core clock cycles. */
+using Cycle = uint64_t;
+
+/** Hardware thread index within a core (0 .. smtThreads-1). */
+using ThreadId = uint32_t;
+
+/** Core index within the simulated system. */
+using CoreId = uint32_t;
+
+/** Physical register index within a core's register file. */
+using PhysRegId = uint16_t;
+
+/** Architectural register index (0 .. NUM_ARCH_REGS-1). */
+using ArchRegId = uint8_t;
+
+/** Pipette queue index within a core. */
+using QueueId = uint8_t;
+
+/** Sentinel for "no physical register". */
+constexpr PhysRegId INVALID_PREG = std::numeric_limits<PhysRegId>::max();
+
+/** Sentinel for "no queue". */
+constexpr QueueId INVALID_QUEUE = std::numeric_limits<QueueId>::max();
+
+/**
+ * Number of architectural integer registers per thread. Chosen to match
+ * x86-64's 16 GPRs, which is also what makes the paper's PRF arithmetic
+ * work out (212-entry PRF - 4 threads x 16 regs = 148 queue-mappable
+ * registers, the figure quoted in Table III).
+ */
+constexpr uint32_t NUM_ARCH_REGS = 16;
+
+/** Architectural register conventions. */
+namespace reg {
+/** Hardwired zero register. */
+constexpr ArchRegId ZERO = 0;
+/** Control-value payload, written by CV dispatch (dequeue of a CV). */
+constexpr ArchRegId CVVAL = 13;
+/** Queue id that delivered the control value / triggered the trap. */
+constexpr ArchRegId CVQID = 14;
+/** Return PC: address of the instruction that triggered the handler. */
+constexpr ArchRegId CVRET = 15;
+} // namespace reg
+
+} // namespace pipette
+
+#endif // PIPETTE_SIM_TYPES_H

@@ -1,0 +1,715 @@
+#include "workloads/bfs.h"
+
+namespace pipette {
+
+namespace {
+/** Queue-mapped register conventions for the pipeline stages. */
+constexpr Reg QO{11}; ///< output queue
+constexpr Reg QI{12}; ///< input queue
+} // namespace
+
+BfsWorkload::BfsWorkload(const Graph *g, Options opt) : g_(g), opt_(opt)
+{
+    fatal_if(opt.depth < 2 || opt.depth > 4, "BFS depth must be 2..4");
+    refDist_ = bfsReference(*g, opt.src);
+}
+
+BfsWorkload::Arrays
+BfsWorkload::installArrays(BuildContext &ctx, uint32_t numFringes)
+{
+    Arrays a;
+    a.off = installU32(ctx.mem(), ctx.alloc, g_->offsets);
+    a.ngh = installU32(ctx.mem(), ctx.alloc, g_->neighbors);
+    std::vector<uint32_t> dist(g_->numVertices, 0xFFFFFFFFu);
+    dist[opt_.src] = 0;
+    a.dist = installU32(ctx.mem(), ctx.alloc, dist);
+    distAddr_ = a.dist;
+    a.fA = ctx.alloc.alloc32(g_->numVertices + 1);
+    ctx.mem().write(a.fA, 4, opt_.src); // initial fringe = {src}
+    a.fB = ctx.alloc.alloc32(g_->numVertices + 1);
+    (void)numFringes;
+    a.globals = ctx.alloc.alloc(128);
+    ctx.mem().fill(a.globals, 128, 0);
+    return a;
+}
+
+bool
+BfsWorkload::verify(System &sys) const
+{
+    auto got = sys.memory().readArray32(distAddr_, g_->numVertices);
+    for (uint32_t v = 0; v < g_->numVertices; v++) {
+        if (got[v] != refDist_[v]) {
+            warn("bfs mismatch at v=", v, ": got ", got[v], " want ",
+                 refDist_[v]);
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+BfsWorkload::build(BuildContext &ctx, Variant v)
+{
+    switch (v) {
+      case Variant::Serial:
+        buildSerial(ctx);
+        break;
+      case Variant::DataParallel:
+        buildDataParallel(ctx);
+        break;
+      case Variant::Pipette:
+        buildPipeline(ctx, true, false);
+        break;
+      case Variant::PipetteNoRa:
+        buildPipeline(ctx, false, false);
+        break;
+      case Variant::Streaming:
+        buildPipeline(ctx, true, true);
+        break;
+      case Variant::MulticorePipette:
+        buildMulticore(ctx);
+        break;
+    }
+}
+
+// --------------------------------------------------------------- serial
+
+void
+BfsWorkload::buildSerial(BuildContext &ctx)
+{
+    Arrays A = installArrays(ctx);
+    Program *p = ctx.newProgram("bfs-serial");
+    Asm a(p);
+    // r1=off r2=ngh r3=dist r4=curF r5=nextF r6=curSize r7=nextIdx
+    // r8=cur_dist r9=i r10..r15 scratch
+    auto level = a.label("level");
+    auto vloop = a.label("vloop");
+    auto eloop = a.label("eloop");
+    auto edone = a.label("edone");
+    auto skip = a.label("skip");
+    auto levelDone = a.label("level_done");
+    auto done = a.label("done");
+
+    a.li(R::r7, 0);
+    a.bind(level);
+    a.li(R::r9, 0);
+    a.bind(vloop);
+    a.bgeu(R::r9, R::r6, levelDone);
+    a.slli(R::r10, R::r9, 2);
+    a.add(R::r10, R::r4, R::r10);
+    a.lw(R::r10, R::r10, 0); // v
+    a.slli(R::r11, R::r10, 2);
+    a.add(R::r11, R::r1, R::r11);
+    a.lw(R::r12, R::r11, 4); // end
+    a.lw(R::r11, R::r11, 0); // start
+    a.bind(eloop);
+    a.bgeu(R::r11, R::r12, edone);
+    a.slli(R::r10, R::r11, 2);
+    a.add(R::r10, R::r2, R::r10);
+    a.lw(R::r10, R::r10, 0); // ngh
+    a.slli(Reg{13}, R::r10, 2);
+    a.add(Reg{13}, R::r3, Reg{13});
+    a.lw(Reg{14}, Reg{13}, 0); // dist[ngh]
+    a.bnei(Reg{14}, static_cast<int64_t>(UNSET32), skip);
+    a.sw(R::r8, Reg{13}, 0);
+    a.slli(Reg{15}, R::r7, 2);
+    a.add(Reg{15}, R::r5, Reg{15});
+    a.sw(R::r10, Reg{15}, 0);
+    a.addi(R::r7, R::r7, 1);
+    a.bind(skip);
+    a.addi(R::r11, R::r11, 1);
+    a.jmp(eloop);
+    a.bind(edone);
+    a.addi(R::r9, R::r9, 1);
+    a.jmp(vloop);
+    a.bind(levelDone);
+    a.beqi(R::r7, 0, done);
+    a.mov(R::r10, R::r4);
+    a.mov(R::r4, R::r5);
+    a.mov(R::r5, R::r10);
+    a.mov(R::r6, R::r7);
+    a.li(R::r7, 0);
+    a.addi(R::r8, R::r8, 1);
+    a.jmp(level);
+    a.bind(done);
+    a.halt();
+    a.finalize();
+
+    ThreadSpec &t = ctx.spec.addThread(0, 0, p);
+    t.initRegs[1] = A.off;
+    t.initRegs[2] = A.ngh;
+    t.initRegs[3] = A.dist;
+    t.initRegs[4] = A.fA;
+    t.initRegs[5] = A.fB;
+    t.initRegs[6] = 1; // curSize
+    t.initRegs[8] = 1; // cur_dist
+}
+
+// -------------------------------------------------------- data-parallel
+
+void
+BfsWorkload::buildDataParallel(BuildContext &ctx)
+{
+    Arrays A = installArrays(ctx);
+    // Globals block (8-byte slots):
+    //   0: fringe cursor     8: curSize      16: nextIdx
+    //  24: barrier phase    32: barrier count
+    //  40: cur_dist         48: curF ptr     56: nextF ptr
+    ctx.mem().write(A.globals + 8, 8, 1);      // curSize = 1
+    ctx.mem().write(A.globals + 40, 8, 1);     // cur_dist = 1
+    ctx.mem().write(A.globals + 48, 8, A.fA);
+    ctx.mem().write(A.globals + 56, 8, A.fB);
+
+    uint32_t nThreads = ctx.numCores() * ctx.smtThreads();
+    const int64_t CHUNK = 8;
+
+    Program *p = ctx.newProgram("bfs-dp");
+    Asm a(p);
+    // r1=off r2=ngh r3=dist r4=G r5=tid r6=curF r7=curSize r8=cur_dist
+    // r9=i r10=chunkEnd r11..r15 scratch
+    auto level = a.label("level");
+    auto chunk = a.label("chunk");
+    auto noclamp = a.label("noclamp");
+    auto vloop = a.label("vloop");
+    auto eloop = a.label("eloop");
+    auto enext = a.label("enext");
+    auto edone = a.label("edone");
+    auto levelEnd = a.label("level_end");
+    auto notZero = a.label("not_zero");
+    auto done = a.label("done");
+
+    a.bind(level);
+    a.ld(R::r8, R::r4, 40); // cur_dist
+    a.ld(R::r6, R::r4, 48); // curF
+    a.ld(R::r7, R::r4, 8);  // curSize
+    a.bind(chunk);
+    a.li(Reg{11}, CHUNK);
+    a.amoadd(R::r9, R::r4, Reg{11}); // claim [r9, r9+CHUNK)
+    a.bgeu(R::r9, R::r7, levelEnd);
+    a.addi(R::r10, R::r9, CHUNK);
+    a.bltu(R::r10, R::r7, noclamp);
+    a.mov(R::r10, R::r7);
+    a.bind(noclamp);
+    a.bind(vloop);
+    a.bgeu(R::r9, R::r10, chunk);
+    a.slli(Reg{11}, R::r9, 2);
+    a.add(Reg{11}, R::r6, Reg{11});
+    a.lw(Reg{11}, Reg{11}, 0); // v
+    a.slli(Reg{12}, Reg{11}, 2);
+    a.add(Reg{12}, R::r1, Reg{12});
+    a.lw(Reg{13}, Reg{12}, 4); // end
+    a.lw(Reg{12}, Reg{12}, 0); // start
+    a.bind(eloop);
+    a.bgeu(Reg{12}, Reg{13}, edone);
+    a.slli(Reg{14}, Reg{12}, 2);
+    a.add(Reg{14}, R::r2, Reg{14});
+    a.lw(Reg{14}, Reg{14}, 0); // ngh
+    a.slli(Reg{15}, Reg{14}, 2);
+    a.add(Reg{15}, R::r3, Reg{15}); // &dist[ngh]
+    a.lw(Reg{11}, Reg{15}, 0);      // cheap pre-check
+    a.bnei(Reg{11}, static_cast<int64_t>(UNSET32), enext);
+    a.li(Reg{11}, static_cast<uint64_t>(UNSET32));
+    a.amocasw(Reg{11}, Reg{15}, R::r8); // claim dist[ngh] (32-bit)
+    a.bnei(Reg{11}, static_cast<int64_t>(UNSET32), enext);
+    // Won the vertex: append to the shared next fringe.
+    a.addi(Reg{15}, R::r4, 16);
+    a.li(Reg{11}, 1);
+    a.amoadd(Reg{11}, Reg{15}, Reg{11}); // next index
+    a.ld(Reg{15}, R::r4, 56);            // nextF
+    a.slli(Reg{11}, Reg{11}, 2);
+    a.add(Reg{15}, Reg{15}, Reg{11});
+    a.sw(Reg{14}, Reg{15}, 0);
+    a.bind(enext);
+    a.addi(Reg{12}, Reg{12}, 1);
+    a.jmp(eloop);
+    a.bind(edone);
+    a.addi(R::r9, R::r9, 1);
+    a.jmp(vloop);
+
+    a.bind(levelEnd);
+    emitBarrier(a, R::r4, 32, 24, nThreads, Reg{11}, Reg{12}, Reg{13});
+    // Thread 0 swaps fringes and resets counters.
+    auto notT0 = a.label("not_t0");
+    a.bnei(R::r5, 0, notT0);
+    a.ld(Reg{11}, R::r4, 48);
+    a.ld(Reg{12}, R::r4, 56);
+    a.sd(Reg{12}, R::r4, 48);
+    a.sd(Reg{11}, R::r4, 56);
+    a.ld(Reg{11}, R::r4, 16); // nextIdx
+    a.sd(Reg{11}, R::r4, 8);  // curSize = nextIdx
+    a.sd(R::zero, R::r4, 16);
+    a.sd(R::zero, R::r4, 0); // cursor = 0
+    a.ld(Reg{11}, R::r4, 40);
+    a.addi(Reg{11}, Reg{11}, 1);
+    a.sd(Reg{11}, R::r4, 40);
+    a.bind(notT0);
+    emitBarrier(a, R::r4, 32, 24, nThreads, Reg{11}, Reg{12}, Reg{13});
+    a.ld(Reg{11}, R::r4, 8);
+    a.bnei(Reg{11}, 0, notZero);
+    a.jmp(done);
+    a.bind(notZero);
+    a.jmp(level);
+    a.bind(done);
+    a.halt();
+    a.finalize();
+
+    for (CoreId c = 0; c < ctx.numCores(); c++) {
+        for (ThreadId t = 0; t < ctx.smtThreads(); t++) {
+            ThreadSpec &ts = ctx.spec.addThread(c, t, p);
+            ts.initRegs[1] = A.off;
+            ts.initRegs[2] = A.ngh;
+            ts.initRegs[3] = A.dist;
+            ts.initRegs[4] = A.globals;
+            ts.initRegs[5] = c * ctx.smtThreads() + t; // tid
+        }
+    }
+}
+
+// ------------------------------------------------------ pipeline stages
+
+Program *
+BfsWorkload::genFringe(BuildContext &ctx, bool emitOffsets,
+                       bool emitNeighbors, Addr *handler)
+{
+    Program *p = ctx.newProgram("bfs-fringe");
+    Asm a(p);
+    // r1=curF r2=nextF r3=curSize r4=i r5=scratch
+    // r6=offsets (if emitOffsets) r7=start r8=end
+    // r9=neighbors (if emitNeighbors) r10=scratch
+    auto level = a.label("level");
+    auto vloop = a.label("vloop");
+    auto next = a.label("next");
+    auto done = a.label("done");
+
+    a.bind(level);
+    a.li(R::r4, 0);
+    a.bind(vloop);
+    a.bgeu(R::r4, R::r3, next);
+    a.slli(R::r5, R::r4, 2);
+    a.add(R::r5, R::r1, R::r5);
+    if (!emitOffsets) {
+        a.lw(QO, R::r5, 0); // load of curF[i] enqueues v directly
+    } else {
+        a.lw(R::r5, R::r5, 0); // v
+        a.slli(R::r7, R::r5, 2);
+        a.add(R::r7, R::r6, R::r7);
+        a.lw(R::r8, R::r7, 4); // end
+        a.lw(R::r7, R::r7, 0); // start
+        if (!emitNeighbors) {
+            a.mov(QO, R::r7);
+            a.mov(QO, R::r8);
+        } else {
+            auto eloop = a.label("eloop");
+            auto edone = a.label("edone");
+            a.bind(eloop);
+            a.bgeu(R::r7, R::r8, edone);
+            a.slli(R::r10, R::r7, 2);
+            a.add(R::r10, R::r9, R::r10);
+            a.lw(QO, R::r10, 0); // load of ngh enqueues directly
+            a.addi(R::r7, R::r7, 1);
+            a.jmp(eloop);
+            a.bind(edone);
+        }
+    }
+    a.addi(R::r4, R::r4, 1);
+    a.jmp(vloop);
+    a.bind(next);
+    a.enqc(QO, R::zero); // CV_LEVEL_END
+    a.mov(R::r3, QI);    // next level size (blocks on feedback queue)
+    a.mov(R::r5, R::r1);
+    a.mov(R::r1, R::r2);
+    a.mov(R::r2, R::r5);
+    a.bnei(R::r3, 0, level);
+    a.li(R::r5, CV_DONE);
+    a.enqc(QO, R::r5);
+    a.halt();
+    a.finalize();
+    *handler = static_cast<Addr>(-1); // no dequeue handler needed
+    return p;
+}
+
+Program *
+BfsWorkload::genPump(BuildContext &ctx, Addr *handler)
+{
+    Program *p = ctx.newProgram("bfs-pump");
+    Asm a(p);
+    auto loop = a.label("loop");
+    auto hdl = a.label("hdl");
+    auto fin = a.label("fin");
+    a.bind(loop);
+    a.mov(QO, QI); // dequeue + enqueue in one micro-op
+    a.jmp(loop);
+    a.bind(hdl);
+    a.enqc(QO, R::cvval);
+    a.beqi(R::cvval, static_cast<int64_t>(CV_DONE), fin);
+    a.jr(R::cvret);
+    a.bind(fin);
+    a.halt();
+    a.finalize();
+    *handler = p->labels().at("hdl");
+    return p;
+}
+
+Program *
+BfsWorkload::genEnumerate(BuildContext &ctx, Addr *handler)
+{
+    Program *p = ctx.newProgram("bfs-enumerate");
+    Asm a(p);
+    // r1 = neighbors base
+    auto loop = a.label("loop");
+    auto eloop = a.label("eloop");
+    auto hdl = a.label("hdl");
+    auto fin = a.label("fin");
+    a.bind(loop);
+    a.mov(R::r2, QI); // start
+    a.mov(R::r3, QI); // end
+    a.bind(eloop);
+    a.bgeu(R::r2, R::r3, loop);
+    a.slli(R::r4, R::r2, 2);
+    a.add(R::r4, R::r1, R::r4);
+    a.lw(QO, R::r4, 0);
+    a.addi(R::r2, R::r2, 1);
+    a.jmp(eloop);
+    a.bind(hdl);
+    a.enqc(QO, R::cvval);
+    a.beqi(R::cvval, static_cast<int64_t>(CV_DONE), fin);
+    a.jr(R::cvret);
+    a.bind(fin);
+    a.halt();
+    a.finalize();
+    *handler = p->labels().at("hdl");
+    return p;
+}
+
+Program *
+BfsWorkload::genFetchDist(BuildContext &ctx, Addr *handler)
+{
+    Program *p = ctx.newProgram("bfs-fetchdist");
+    Asm a(p);
+    // r1 = dist base
+    auto loop = a.label("loop");
+    auto hdl = a.label("hdl");
+    auto fin = a.label("fin");
+    a.bind(loop);
+    a.mov(R::r2, QI); // ngh
+    a.slli(R::r3, R::r2, 2);
+    a.add(R::r3, R::r1, R::r3);
+    a.mov(QO, R::r2);  // enqueue ngh
+    a.lw(QO, R::r3, 0); // enqueue dist[ngh]
+    a.jmp(loop);
+    a.bind(hdl);
+    a.enqc(QO, R::cvval);
+    a.beqi(R::cvval, static_cast<int64_t>(CV_DONE), fin);
+    a.jr(R::cvret);
+    a.bind(fin);
+    a.halt();
+    a.finalize();
+    *handler = p->labels().at("hdl");
+    return p;
+}
+
+Program *
+BfsWorkload::genUpdate(BuildContext &ctx, bool loadsDist, Addr *handler)
+{
+    Program *p = ctx.newProgram("bfs-update");
+    Asm a(p);
+    // r1=dist r2=nextF(current) r3=nextIdx r4=cur_dist r6=other fringe
+    auto loop = a.label("loop");
+    auto hdl = a.label("hdl");
+    auto fin = a.label("fin");
+    a.li(R::r3, 0);
+    a.bind(loop);
+    a.mov(R::r5, QI); // ngh
+    if (loadsDist) {
+        a.slli(R::r8, R::r5, 2);
+        a.add(R::r8, R::r1, R::r8);
+        a.lw(R::r7, R::r8, 0);
+        a.bnei(R::r7, static_cast<int64_t>(UNSET32), loop);
+    } else {
+        a.mov(R::r7, QI); // fetched dist (possibly stale)
+        a.bnei(R::r7, static_cast<int64_t>(UNSET32), loop);
+        // Re-check: the prefetched distance may be stale (Sec. III-C).
+        a.slli(R::r8, R::r5, 2);
+        a.add(R::r8, R::r1, R::r8);
+        a.lw(R::r7, R::r8, 0);
+        a.bnei(R::r7, static_cast<int64_t>(UNSET32), loop);
+    }
+    a.sw(R::r4, R::r8, 0);
+    a.slli(R::r9, R::r3, 2);
+    a.add(R::r9, R::r2, R::r9);
+    a.sw(R::r5, R::r9, 0);
+    a.addi(R::r3, R::r3, 1);
+    a.jmp(loop);
+    a.bind(hdl);
+    a.beqi(R::cvval, static_cast<int64_t>(CV_DONE), fin);
+    a.mov(QO, R::r3); // send next-level size back (feedback queue)
+    a.addi(R::r4, R::r4, 1);
+    a.mov(R::r10, R::r2);
+    a.mov(R::r2, R::r6);
+    a.mov(R::r6, R::r10);
+    a.li(R::r3, 0);
+    a.jr(R::cvret);
+    a.bind(fin);
+    a.halt();
+    a.finalize();
+    *handler = p->labels().at("hdl");
+    return p;
+}
+
+// ------------------------------------------------------------ pipelines
+
+void
+BfsWorkload::buildPipeline(BuildContext &ctx, bool useRa, bool streaming)
+{
+    fatal_if(streaming && ctx.numCores() < 4,
+             "streaming BFS needs 4 cores");
+    fatal_if(streaming && !useRa, "streaming BFS is built with RAs");
+    Arrays A = installArrays(ctx);
+    uint32_t depth = opt_.depth;
+
+    auto addMap = [](ThreadSpec &t, Reg r, QueueId q, QueueDir d) {
+        t.queueMaps.push_back({r.idx, q, d});
+    };
+
+    if (streaming) {
+        // One stage per single-threaded core (paper Sec. VI-B):
+        //  core0: fringe + RA(offset pair)   -> conn ->
+        //  core1: pump  + RA(neighbor scan)  -> conn ->
+        //  core2: pump  + RA(dist KV)        -> conn ->
+        //  core3: update                     -> conn (feedback) -> core0
+        Addr h;
+        Program *fr = genFringe(ctx, false, false, &h);
+        ThreadSpec &t0 = ctx.spec.addThread(0, 0, fr);
+        t0.initRegs[1] = A.fA;
+        t0.initRegs[2] = A.fB;
+        t0.initRegs[3] = 1;
+        addMap(t0, QO, 0, QueueDir::Out); // q0: v -> RA pair
+        addMap(t0, QI, 2, QueueDir::In);  // q2: feedback in
+        ctx.spec.ras.push_back({0, 0, 1, A.off, 4, RaMode::IndirectPair});
+
+        Addr hPump1;
+        Program *pump1 = genPump(ctx, &hPump1);
+        ThreadSpec &t1 = ctx.spec.addThread(1, 0, pump1);
+        t1.deqHandler = static_cast<int64_t>(hPump1);
+        addMap(t1, QI, 0, QueueDir::In);  // from connector
+        addMap(t1, QO, 1, QueueDir::Out); // into scan RA
+        ctx.spec.ras.push_back({1, 1, 2, A.ngh, 4, RaMode::Scan});
+        ctx.spec.connectors.push_back({0, 1, 1, 0}); // core0.q1->core1.q0
+
+        Addr hPump2;
+        Program *pump2 = genPump(ctx, &hPump2);
+        ThreadSpec &t2 = ctx.spec.addThread(2, 0, pump2);
+        t2.deqHandler = static_cast<int64_t>(hPump2);
+        addMap(t2, QI, 0, QueueDir::In);
+        addMap(t2, QO, 1, QueueDir::Out);
+        ctx.spec.ras.push_back({2, 1, 2, A.dist, 4, RaMode::IndirectKV});
+        ctx.spec.connectors.push_back({1, 2, 2, 0}); // core1.q2->core2.q0
+
+        Addr hUpd;
+        Program *upd = genUpdate(ctx, false, &hUpd);
+        ThreadSpec &t3 = ctx.spec.addThread(3, 0, upd);
+        t3.deqHandler = static_cast<int64_t>(hUpd);
+        t3.initRegs[1] = A.dist;
+        t3.initRegs[2] = A.fB;
+        t3.initRegs[6] = A.fA;
+        t3.initRegs[4] = 1;
+        addMap(t3, QI, 0, QueueDir::In);
+        addMap(t3, QO, 1, QueueDir::Out); // feedback out
+        ctx.spec.connectors.push_back({2, 2, 3, 0}); // core2.q2->core3.q0
+        ctx.spec.connectors.push_back({3, 1, 0, 2}); // feedback
+        // Small feedback queues.
+        ctx.spec.queueCaps.push_back({0, 2, 4});
+        ctx.spec.queueCaps.push_back({3, 1, 4});
+        return;
+    }
+
+    // Single-core SMT pipeline. Queue ids are allocated sequentially.
+    QueueId nextQ = 0;
+    auto alloc = [&nextQ]() { return nextQ++; };
+
+    // Last stage: update.
+    Addr hUpd;
+    Program *upd = genUpdate(ctx, depth <= 3 && !useRa, &hUpd);
+
+    if (useRa) {
+        if (depth == 4) {
+            // T1 fringe -> RA pair -> RA scan -> RA kv -> T2 update.
+            QueueId q0 = alloc(), q1 = alloc(), q2 = alloc(),
+                    q3 = alloc(), qfb = alloc();
+            Addr h;
+            Program *fr = genFringe(ctx, false, false, &h);
+            ThreadSpec &t0 = ctx.spec.addThread(0, 0, fr);
+            t0.initRegs[1] = A.fA;
+            t0.initRegs[2] = A.fB;
+            t0.initRegs[3] = 1;
+            addMap(t0, QO, q0, QueueDir::Out);
+            addMap(t0, QI, qfb, QueueDir::In);
+            ctx.spec.ras.push_back(
+                {0, q0, q1, A.off, 4, RaMode::IndirectPair});
+            ctx.spec.ras.push_back({0, q1, q2, A.ngh, 4, RaMode::Scan});
+            ctx.spec.ras.push_back(
+                {0, q2, q3, A.dist, 4, RaMode::IndirectKV});
+            ThreadSpec &t1 = ctx.spec.addThread(0, 1, upd);
+            t1.deqHandler = static_cast<int64_t>(hUpd);
+            t1.initRegs[1] = A.dist;
+            t1.initRegs[2] = A.fB;
+            t1.initRegs[6] = A.fA;
+            t1.initRegs[4] = 1;
+            addMap(t1, QI, q3, QueueDir::In);
+            addMap(t1, QO, qfb, QueueDir::Out);
+            ctx.spec.queueCaps.push_back({0, q0, 16});
+            ctx.spec.queueCaps.push_back({0, qfb, 4});
+        } else if (depth == 3) {
+            // T1 fringe -> RA pair -> T2 enumerate -> RA kv -> T3 update.
+            QueueId q0 = alloc(), q1 = alloc(), q2 = alloc(),
+                    q3 = alloc(), qfb = alloc();
+            Addr h;
+            Program *fr = genFringe(ctx, false, false, &h);
+            ThreadSpec &t0 = ctx.spec.addThread(0, 0, fr);
+            t0.initRegs[1] = A.fA;
+            t0.initRegs[2] = A.fB;
+            t0.initRegs[3] = 1;
+            addMap(t0, QO, q0, QueueDir::Out);
+            addMap(t0, QI, qfb, QueueDir::In);
+            ctx.spec.ras.push_back(
+                {0, q0, q1, A.off, 4, RaMode::IndirectPair});
+            Addr hEnum;
+            Program *en = genEnumerate(ctx, &hEnum);
+            ThreadSpec &t1 = ctx.spec.addThread(0, 1, en);
+            t1.deqHandler = static_cast<int64_t>(hEnum);
+            t1.initRegs[1] = A.ngh;
+            addMap(t1, QI, q1, QueueDir::In);
+            addMap(t1, QO, q2, QueueDir::Out);
+            ctx.spec.ras.push_back(
+                {0, q2, q3, A.dist, 4, RaMode::IndirectKV});
+            ThreadSpec &t2 = ctx.spec.addThread(0, 2, upd);
+            t2.deqHandler = static_cast<int64_t>(hUpd);
+            t2.initRegs[1] = A.dist;
+            t2.initRegs[2] = A.fB;
+            t2.initRegs[6] = A.fA;
+            t2.initRegs[4] = 1;
+            addMap(t2, QI, q3, QueueDir::In);
+            addMap(t2, QO, qfb, QueueDir::Out);
+            ctx.spec.queueCaps.push_back({0, qfb, 4});
+        } else {
+            // depth 2: T1 fringe+off+enum -> RA kv -> T2 update.
+            QueueId q0 = alloc(), q1 = alloc(), qfb = alloc();
+            Addr h;
+            Program *fr = genFringe(ctx, true, true, &h);
+            ThreadSpec &t0 = ctx.spec.addThread(0, 0, fr);
+            t0.initRegs[1] = A.fA;
+            t0.initRegs[2] = A.fB;
+            t0.initRegs[3] = 1;
+            t0.initRegs[6] = A.off;
+            t0.initRegs[9] = A.ngh;
+            addMap(t0, QO, q0, QueueDir::Out);
+            addMap(t0, QI, qfb, QueueDir::In);
+            ctx.spec.ras.push_back(
+                {0, q0, q1, A.dist, 4, RaMode::IndirectKV});
+            ThreadSpec &t1 = ctx.spec.addThread(0, 1, upd);
+            t1.deqHandler = static_cast<int64_t>(hUpd);
+            t1.initRegs[1] = A.dist;
+            t1.initRegs[2] = A.fB;
+            t1.initRegs[6] = A.fA;
+            t1.initRegs[4] = 1;
+            addMap(t1, QI, q1, QueueDir::In);
+            addMap(t1, QO, qfb, QueueDir::Out);
+            ctx.spec.queueCaps.push_back({0, qfb, 4});
+        }
+        return;
+    }
+
+    // No-RA thread pipelines.
+    if (depth == 4) {
+        QueueId q0 = alloc(), q1 = alloc(), q2 = alloc(), qfb = alloc();
+        Addr h;
+        Program *fr = genFringe(ctx, true, false, &h);
+        ThreadSpec &t0 = ctx.spec.addThread(0, 0, fr);
+        t0.initRegs[1] = A.fA;
+        t0.initRegs[2] = A.fB;
+        t0.initRegs[3] = 1;
+        t0.initRegs[6] = A.off;
+        addMap(t0, QO, q0, QueueDir::Out);
+        addMap(t0, QI, qfb, QueueDir::In);
+        Addr hEnum;
+        Program *en = genEnumerate(ctx, &hEnum);
+        ThreadSpec &t1 = ctx.spec.addThread(0, 1, en);
+        t1.deqHandler = static_cast<int64_t>(hEnum);
+        t1.initRegs[1] = A.ngh;
+        addMap(t1, QI, q0, QueueDir::In);
+        addMap(t1, QO, q1, QueueDir::Out);
+        Addr hFd;
+        Program *fd = genFetchDist(ctx, &hFd);
+        ThreadSpec &t2 = ctx.spec.addThread(0, 2, fd);
+        t2.deqHandler = static_cast<int64_t>(hFd);
+        t2.initRegs[1] = A.dist;
+        addMap(t2, QI, q1, QueueDir::In);
+        addMap(t2, QO, q2, QueueDir::Out);
+        ThreadSpec &t3 = ctx.spec.addThread(0, 3, upd);
+        t3.deqHandler = static_cast<int64_t>(hUpd);
+        t3.initRegs[1] = A.dist;
+        t3.initRegs[2] = A.fB;
+        t3.initRegs[6] = A.fA;
+        t3.initRegs[4] = 1;
+        addMap(t3, QI, q2, QueueDir::In);
+        addMap(t3, QO, qfb, QueueDir::Out);
+        ctx.spec.queueCaps.push_back({0, qfb, 4});
+    } else if (depth == 3) {
+        QueueId q0 = alloc(), q1 = alloc(), qfb = alloc();
+        Addr h;
+        Program *fr = genFringe(ctx, true, false, &h);
+        ThreadSpec &t0 = ctx.spec.addThread(0, 0, fr);
+        t0.initRegs[1] = A.fA;
+        t0.initRegs[2] = A.fB;
+        t0.initRegs[3] = 1;
+        t0.initRegs[6] = A.off;
+        addMap(t0, QO, q0, QueueDir::Out);
+        addMap(t0, QI, qfb, QueueDir::In);
+        Addr hEnum;
+        Program *en = genEnumerate(ctx, &hEnum);
+        ThreadSpec &t1 = ctx.spec.addThread(0, 1, en);
+        t1.deqHandler = static_cast<int64_t>(hEnum);
+        t1.initRegs[1] = A.ngh;
+        addMap(t1, QI, q0, QueueDir::In);
+        addMap(t1, QO, q1, QueueDir::Out);
+        ThreadSpec &t2 = ctx.spec.addThread(0, 2, upd);
+        t2.deqHandler = static_cast<int64_t>(hUpd);
+        t2.initRegs[1] = A.dist;
+        t2.initRegs[2] = A.fB;
+        t2.initRegs[6] = A.fA;
+        t2.initRegs[4] = 1;
+        addMap(t2, QI, q1, QueueDir::In);
+        addMap(t2, QO, qfb, QueueDir::Out);
+        ctx.spec.queueCaps.push_back({0, qfb, 4});
+    } else {
+        QueueId q0 = alloc(), qfb = alloc();
+        Addr h;
+        Program *fr = genFringe(ctx, true, true, &h);
+        ThreadSpec &t0 = ctx.spec.addThread(0, 0, fr);
+        t0.initRegs[1] = A.fA;
+        t0.initRegs[2] = A.fB;
+        t0.initRegs[3] = 1;
+        t0.initRegs[6] = A.off;
+        t0.initRegs[9] = A.ngh;
+        addMap(t0, QO, q0, QueueDir::Out);
+        addMap(t0, QI, qfb, QueueDir::In);
+        ThreadSpec &t1 = ctx.spec.addThread(0, 1, upd);
+        t1.deqHandler = static_cast<int64_t>(hUpd);
+        t1.initRegs[1] = A.dist;
+        t1.initRegs[2] = A.fB;
+        t1.initRegs[6] = A.fA;
+        t1.initRegs[4] = 1;
+        addMap(t1, QI, q0, QueueDir::In);
+        addMap(t1, QO, qfb, QueueDir::Out);
+        ctx.spec.queueCaps.push_back({0, qfb, 4});
+    }
+}
+
+void
+BfsWorkload::buildMulticore(BuildContext &ctx)
+{
+    // Implemented in bfs_multicore.cpp.
+    buildMulticoreImpl(ctx);
+}
+
+} // namespace pipette

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Breadth-first search (paper Sec. II, Fig. 1): the flagship workload.
+ * Implements serial (PBFS-style), data-parallel (CAS-claimed distances,
+ * shared fringe, barriers), and Pipette pipelines of configurable depth
+ * (2/3/4 stages) with or without reference accelerators (Fig. 15), plus
+ * the streaming-multicore placement and the multicore-Pipette version
+ * with cross-core neighbor partitioning (Fig. 17).
+ *
+ * Pipeline stages follow Fig. 1(d): process current fringe -> enumerate
+ * neighbors -> fetch distances -> update data, decoupled across each
+ * long-latency indirection, with level changes and termination signaled
+ * through control values (CV_LEVEL_END / CV_DONE) and the next-level
+ * fringe size fed back through a dedicated queue.
+ */
+
+#ifndef PIPETTE_WORKLOADS_BFS_H
+#define PIPETTE_WORKLOADS_BFS_H
+
+#include "workloads/graph.h"
+#include "workloads/refimpl.h"
+#include "workloads/workload.h"
+
+namespace pipette {
+
+/** BFS workload over one input graph. */
+class BfsWorkload : public WorkloadBase
+{
+  public:
+    struct Options
+    {
+        uint32_t src = 0;
+        /** Pipeline stages for Pipette variants (2, 3, or 4; Fig. 15). */
+        uint32_t depth = 4;
+    };
+
+    explicit BfsWorkload(const Graph *g) : BfsWorkload(g, Options{}) {}
+    BfsWorkload(const Graph *g, Options opt);
+
+    std::string name() const override { return "bfs"; }
+    void build(BuildContext &ctx, Variant v) override;
+    bool verify(System &sys) const override;
+    bool supports(Variant) const override { return true; }
+
+  private:
+    struct Arrays
+    {
+        Addr off, ngh, dist, fA, fB, globals;
+    };
+    Arrays installArrays(BuildContext &ctx, uint32_t numFringes = 2);
+
+    void buildSerial(BuildContext &ctx);
+    void buildDataParallel(BuildContext &ctx);
+    void buildPipeline(BuildContext &ctx, bool useRa, bool streaming);
+    void buildMulticore(BuildContext &ctx);
+    /** Fig. 17 replicated-pipeline build (bfs_multicore.cpp). */
+    void buildMulticoreImpl(BuildContext &ctx);
+
+    // Stage program generators (see bfs.cpp for register conventions).
+    Program *genFringe(BuildContext &ctx, bool emitOffsets,
+                       bool emitNeighbors, Addr *handler);
+    Program *genPump(BuildContext &ctx, Addr *handler);
+    Program *genEnumerate(BuildContext &ctx, Addr *handler);
+    Program *genFetchDist(BuildContext &ctx, Addr *handler);
+    Program *genUpdate(BuildContext &ctx, bool loadsDist, Addr *handler);
+
+    const Graph *g_;
+    Options opt_;
+    std::vector<uint32_t> refDist_;
+    Addr distAddr_ = 0;
+};
+
+} // namespace pipette
+
+#endif // PIPETTE_WORKLOADS_BFS_H

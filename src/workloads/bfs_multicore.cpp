@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Multicore Pipette BFS (paper Sec. VI-F, Fig. 17): the pipeline is
+ * replicated across four cores, each owning a contiguous power-of-two
+ * range of vertices. Instead of per-edge shared-memory synchronization,
+ * neighbors are partitioned by owner and streamed to the owning core's
+ * update stage through cross-core connectors; only the per-level
+ * size/termination exchange uses shared memory (one counter + a
+ * 4-thread barrier per level).
+ *
+ * Per core:
+ *   T1 (fringe) -> RA(offset pair) -> RA(neighbor scan) -> Tpart
+ *   Tpart routes each neighbor to its owner (4 output queues; remote
+ *     ones bridged by connectors);
+ *   Tfwd merges the four per-source streams in round-robin source
+ *     order (level ends delimited by CVs) -> RA(dist KV) -> Tupd;
+ *   Tupd claims distances, builds the local next fringe, and at each
+ *     level end exchanges sizes globally and feeds T1 the local and
+ *     global next-level sizes.
+ */
+
+#include "workloads/bfs.h"
+
+namespace pipette {
+
+namespace {
+constexpr Reg QO{11};
+constexpr Reg QI{12};
+
+// Shared globals (8-byte slots).
+constexpr int64_t G_SIZE_A = 0; ///< next-size accumulator, even levels
+constexpr int64_t G_SIZE_B = 8; ///< next-size accumulator, odd levels
+constexpr int64_t G_COUNT = 16;
+constexpr int64_t G_PHASE = 24;
+
+uint32_t
+log2ceil(uint32_t x)
+{
+    uint32_t b = 0;
+    while ((1u << b) < x)
+        b++;
+    return b;
+}
+} // namespace
+
+void
+BfsWorkload::buildMulticoreImpl(BuildContext &ctx)
+{
+    constexpr uint32_t NC = 4;
+    fatal_if(ctx.numCores() != NC, "multicore BFS needs exactly 4 cores");
+
+    // --- Shared arrays.
+    Addr off = installU32(ctx.mem(), ctx.alloc, g_->offsets);
+    Addr nghArr = installU32(ctx.mem(), ctx.alloc, g_->neighbors);
+    std::vector<uint32_t> dist(g_->numVertices, 0xFFFFFFFFu);
+    dist[opt_.src] = 0;
+    Addr distA = installU32(ctx.mem(), ctx.alloc, dist);
+    distAddr_ = distA;
+    Addr globals = ctx.alloc.alloc(64);
+    ctx.mem().fill(globals, 64, 0);
+    (void)G_SIZE_A;
+    (void)G_SIZE_B;
+
+    // Ownership: owner(v) = min(v >> shift, 3).
+    uint32_t shift =
+        log2ceil(g_->numVertices) >= 2 ? log2ceil(g_->numVertices) - 2 : 0;
+    uint32_t srcOwner = std::min(opt_.src >> shift, NC - 1);
+
+    std::array<Addr, NC> fA, fB;
+    for (CoreId c = 0; c < NC; c++) {
+        fA[c] = ctx.alloc.alloc32(g_->numVertices + 1);
+        fB[c] = ctx.alloc.alloc32(g_->numVertices + 1);
+    }
+    ctx.mem().write(fA[srcOwner], 4, opt_.src);
+
+    auto addMap = [](ThreadSpec &t, Reg r, QueueId q, QueueDir d) {
+        t.queueMaps.push_back({r.idx, q, d});
+    };
+
+    for (CoreId c = 0; c < NC; c++) {
+        // ---- T1: local fringe streamer.
+        {
+            Program *p = ctx.newProgram("mbfs-fringe");
+            Asm a(p);
+            auto level = a.label();
+            auto vloop = a.label();
+            auto next = a.label();
+            a.bind(level);
+            a.li(R::r4, 0);
+            a.bind(vloop);
+            a.bgeu(R::r4, R::r3, next);
+            a.slli(R::r5, R::r4, 2);
+            a.add(R::r5, R::r1, R::r5);
+            a.lw(QO, R::r5, 0); // enqueue v
+            a.addi(R::r4, R::r4, 1);
+            a.jmp(vloop);
+            a.bind(next);
+            a.enqc(QO, R::zero); // CV_LEVEL_END
+            a.mov(R::r3, QI);    // local next size
+            a.mov(R::r6, QI);    // global next size
+            a.mov(R::r5, R::r1);
+            a.mov(R::r1, R::r2);
+            a.mov(R::r2, R::r5);
+            a.bnei(R::r6, 0, level);
+            a.li(R::r5, CV_DONE);
+            a.enqc(QO, R::r5);
+            a.halt();
+            a.finalize();
+            ThreadSpec &t = ctx.spec.addThread(c, 0, p);
+            t.initRegs[1] = fA[c];
+            t.initRegs[2] = fB[c];
+            t.initRegs[3] = c == srcOwner ? 1 : 0;
+            addMap(t, QO, 0, QueueDir::Out);
+            addMap(t, QI, 13, QueueDir::In);
+        }
+        ctx.spec.ras.push_back({c, 0, 1, off, 4, RaMode::IndirectPair});
+        ctx.spec.ras.push_back({c, 1, 2, nghArr, 4, RaMode::Scan});
+
+        // ---- Tpart: route neighbors by owner.
+        {
+            Program *p = ctx.newProgram("mbfs-part");
+            Asm a(p);
+            auto loop = a.label();
+            auto noclamp = a.label();
+            auto s0 = a.label();
+            auto s1 = a.label();
+            auto s2 = a.label();
+            auto hdl = a.label("hdl");
+            auto fin = a.label();
+            a.bind(loop);
+            a.mov(R::r1, QI); // ngh (traps on CV)
+            a.srli(R::r2, R::r1, static_cast<int64_t>(shift));
+            a.blti(R::r2, 3, noclamp);
+            a.li(R::r2, 3);
+            a.bind(noclamp);
+            a.beqi(R::r2, 0, s0);
+            a.beqi(R::r2, 1, s1);
+            a.beqi(R::r2, 2, s2);
+            a.mov(Reg{11}, R::r1); // owner 3
+            a.jmp(loop);
+            a.bind(s0);
+            a.mov(Reg{8}, R::r1);
+            a.jmp(loop);
+            a.bind(s1);
+            a.mov(Reg{9}, R::r1);
+            a.jmp(loop);
+            a.bind(s2);
+            a.mov(Reg{10}, R::r1);
+            a.jmp(loop);
+            a.bind(hdl);
+            // Broadcast the level/done CV to every owner stream.
+            a.enqc(Reg{8}, R::cvval);
+            a.enqc(Reg{9}, R::cvval);
+            a.enqc(Reg{10}, R::cvval);
+            a.enqc(Reg{11}, R::cvval);
+            a.beqi(R::cvval, static_cast<int64_t>(CV_DONE), fin);
+            a.jr(R::cvret);
+            a.bind(fin);
+            a.halt();
+            a.finalize();
+            ThreadSpec &t = ctx.spec.addThread(c, 1, p);
+            t.deqHandler = static_cast<int64_t>(p->labels().at("hdl"));
+            addMap(t, QI, 2, QueueDir::In);
+            // Owner o: local Tfwd input if o == c, else staging queue
+            // q3+o bridged by a connector to (o, q7+c).
+            Reg outRegs[NC] = {Reg{8}, Reg{9}, Reg{10}, Reg{11}};
+            for (uint32_t o = 0; o < NC; o++) {
+                if (o == c) {
+                    addMap(t, outRegs[o],
+                           static_cast<QueueId>(7 + c), QueueDir::Out);
+                } else {
+                    auto stage = static_cast<QueueId>(3 + o);
+                    addMap(t, outRegs[o], stage, QueueDir::Out);
+                    ctx.spec.connectors.push_back(
+                        {c, stage, o, static_cast<QueueId>(7 + c)});
+                }
+            }
+        }
+
+        // ---- Tfwd: merge the four per-source streams in order.
+        {
+            Program *p = ctx.newProgram("mbfs-fwd");
+            Asm a(p);
+            auto fwd0 = a.label("fwd0");
+            auto fwd1 = a.label("fwd1");
+            auto fwd2 = a.label("fwd2");
+            auto fwd3 = a.label("fwd3");
+            auto hdl = a.label("hdl");
+            auto dcol = a.label();
+            a.bind(fwd0);
+            a.mov(QO, Reg{8});
+            a.jmp(fwd0);
+            a.bind(fwd1);
+            a.mov(QO, Reg{9});
+            a.jmp(fwd1);
+            a.bind(fwd2);
+            a.mov(QO, Reg{10});
+            a.jmp(fwd2);
+            a.bind(fwd3);
+            a.mov(QO, QI);
+            a.jmp(fwd3);
+            a.bind(hdl);
+            a.beqi(R::cvval, static_cast<int64_t>(CV_DONE), dcol);
+            a.beqi(R::cvqid, 7, fwd1);
+            a.beqi(R::cvqid, 8, fwd2);
+            a.beqi(R::cvqid, 9, fwd3);
+            a.enqc(QO, R::cvval); // all four sources ended this level
+            a.jmp(fwd0);
+            a.bind(dcol);
+            // DONE arrives on source 0 first (round-robin); drain the
+            // other three DONEs, forward one, and stop.
+            a.skiptc(R::r1, Reg{9});
+            a.skiptc(R::r1, Reg{10});
+            a.skiptc(R::r1, QI);
+            a.enqc(QO, R::cvval);
+            a.halt();
+            a.finalize();
+            ThreadSpec &t = ctx.spec.addThread(c, 2, p);
+            t.deqHandler = static_cast<int64_t>(p->labels().at("hdl"));
+            addMap(t, Reg{8}, 7, QueueDir::In);
+            addMap(t, Reg{9}, 8, QueueDir::In);
+            addMap(t, Reg{10}, 9, QueueDir::In);
+            addMap(t, QI, 10, QueueDir::In);
+            addMap(t, QO, 11, QueueDir::Out);
+        }
+        ctx.spec.ras.push_back({c, 11, 12, distA, 4, RaMode::IndirectKV});
+
+        // ---- Tupd: claim distances, build the local next fringe, and
+        // synchronize sizes at each level end.
+        {
+            Program *p = ctx.newProgram("mbfs-update");
+            Asm a(p);
+            auto loop = a.label();
+            auto hdl = a.label("hdl");
+            auto noreset = a.label();
+            auto fin = a.label();
+            a.li(R::r3, 0);
+            a.bind(loop);
+            a.mov(R::r5, QI); // ngh
+            a.mov(R::r7, QI); // prefetched dist
+            a.bnei(R::r7, static_cast<int64_t>(UNSET32), loop);
+            a.slli(R::r8, R::r5, 2);
+            a.add(R::r8, R::r1, R::r8);
+            a.lw(R::r7, R::r8, 0); // re-check (RA value may be stale)
+            a.bnei(R::r7, static_cast<int64_t>(UNSET32), loop);
+            a.sw(R::r4, R::r8, 0);
+            a.slli(R::r9, R::r3, 2);
+            a.add(R::r9, R::r2, R::r9);
+            a.sw(R::r5, R::r9, 0);
+            a.addi(R::r3, R::r3, 1);
+            a.jmp(loop);
+            a.bind(hdl);
+            a.beqi(R::cvval, static_cast<int64_t>(CV_DONE), fin);
+            // Add the local count into this level's parity slot.
+            a.li(R::cvqid, globals);
+            a.andi(R::cvval, R::r4, 1);
+            a.slli(R::cvval, R::cvval, 3);
+            a.add(R::cvqid, R::cvqid, R::cvval);
+            a.amoadd(R::zero, R::cvqid, R::r3);
+            // Barrier #1 over the four update threads.
+            a.li(R::cvqid, globals);
+            emitBarrier(a, R::cvqid, G_COUNT, G_PHASE, NC, R::r5, R::r7,
+                        R::r8);
+            // Core 0 resets the other parity slot for the level after
+            // next (already read by everyone, not yet written).
+            a.bnei(R::r10, 0, noreset);
+            a.li(R::cvqid, globals);
+            a.andi(R::cvval, R::r4, 1);
+            a.xori(R::cvval, R::cvval, 1);
+            a.slli(R::cvval, R::cvval, 3);
+            a.add(R::cvqid, R::cvqid, R::cvval);
+            a.sd(R::zero, R::cvqid, 0);
+            a.bind(noreset);
+            // Barrier #2, then read the global total.
+            a.li(R::cvqid, globals);
+            emitBarrier(a, R::cvqid, G_COUNT, G_PHASE, NC, R::r5, R::r7,
+                        R::r8);
+            a.li(R::cvqid, globals);
+            a.andi(R::cvval, R::r4, 1);
+            a.slli(R::cvval, R::cvval, 3);
+            a.add(R::cvqid, R::cvqid, R::cvval);
+            a.ld(R::cvval, R::cvqid, 0); // global next size
+            a.mov(QO, R::r3);            // feedback: local size
+            a.mov(QO, R::cvval);         // feedback: global size
+            a.addi(R::r4, R::r4, 1);
+            a.mov(R::r9, R::r2);
+            a.mov(R::r2, R::r6);
+            a.mov(R::r6, R::r9);
+            a.li(R::r3, 0);
+            a.jr(R::cvret);
+            a.bind(fin);
+            a.halt();
+            a.finalize();
+            ThreadSpec &t = ctx.spec.addThread(c, 3, p);
+            t.deqHandler = static_cast<int64_t>(p->labels().at("hdl"));
+            t.initRegs[1] = distA;
+            t.initRegs[2] = fB[c];
+            t.initRegs[6] = fA[c];
+            t.initRegs[4] = 1; // cur_dist
+            t.initRegs[10] = c;
+            addMap(t, QI, 12, QueueDir::In);
+            addMap(t, QO, 13, QueueDir::Out);
+        }
+
+        // Queue capacities: stay within the register budget.
+        ctx.spec.queueCaps.push_back({c, 0, 16});
+        ctx.spec.queueCaps.push_back({c, 1, 16});
+        ctx.spec.queueCaps.push_back({c, 2, 16});
+        for (QueueId q = 3; q <= 10; q++)
+            ctx.spec.queueCaps.push_back({c, q, 8});
+        ctx.spec.queueCaps.push_back({c, 11, 8});
+        ctx.spec.queueCaps.push_back({c, 12, 16});
+        ctx.spec.queueCaps.push_back({c, 13, 4});
+    }
+}
+
+} // namespace pipette

@@ -1,0 +1,599 @@
+#include "workloads/cc.h"
+
+namespace pipette {
+
+namespace {
+constexpr Reg QO{11};
+constexpr Reg QI{12};
+} // namespace
+
+CcWorkload::CcWorkload(const Graph *g) : g_(g)
+{
+    refComp_ = ccReference(*g);
+}
+
+CcWorkload::Arrays
+CcWorkload::installArrays(BuildContext &ctx)
+{
+    Arrays a;
+    a.off = installU32(ctx.mem(), ctx.alloc, g_->offsets);
+    a.ngh = installU32(ctx.mem(), ctx.alloc, g_->neighbors);
+    std::vector<uint32_t> comp(g_->numVertices);
+    std::vector<uint32_t> fringe(g_->numVertices);
+    for (uint32_t v = 0; v < g_->numVertices; v++)
+        comp[v] = fringe[v] = v;
+    a.comp = installU32(ctx.mem(), ctx.alloc, comp);
+    compAddr_ = a.comp;
+    // Per-vertex epoch tags: a vertex is appended to the next fringe
+    // at most once per round (append iff epoch[v] != round). Epochs
+    // start at 0; rounds count from 1.
+    std::vector<uint32_t> epochs(g_->numVertices, 0);
+    a.flag = installU32(ctx.mem(), ctx.alloc, epochs);
+    a.fA = installU32(ctx.mem(), ctx.alloc, fringe);
+    a.fB = ctx.alloc.alloc32(g_->numVertices + 1);
+    a.globals = ctx.alloc.alloc(128);
+    ctx.mem().fill(a.globals, 128, 0);
+    return a;
+}
+
+bool
+CcWorkload::verify(System &sys) const
+{
+    auto got = sys.memory().readArray32(compAddr_, g_->numVertices);
+    for (uint32_t v = 0; v < g_->numVertices; v++) {
+        if (got[v] != refComp_[v]) {
+            warn("cc mismatch at v=", v, ": got ", got[v], " want ",
+                 refComp_[v]);
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+CcWorkload::build(BuildContext &ctx, Variant v)
+{
+    switch (v) {
+      case Variant::Serial:
+        buildSerial(ctx);
+        break;
+      case Variant::DataParallel:
+        buildDataParallel(ctx);
+        break;
+      case Variant::Pipette:
+        buildPipeline(ctx, true, false);
+        break;
+      case Variant::PipetteNoRa:
+        buildPipeline(ctx, false, false);
+        break;
+      case Variant::Streaming:
+        buildPipeline(ctx, true, true);
+        break;
+      default:
+        fatal("cc: unsupported variant");
+    }
+}
+
+// --------------------------------------------------------------- serial
+
+void
+CcWorkload::buildSerial(BuildContext &ctx)
+{
+    Arrays A = installArrays(ctx);
+    Program *p = ctx.newProgram("cc-serial");
+    Asm a(p);
+    // r1=off r2=ngh r3=comp r4=curF(ptr) r5=nextF r6=curF end
+    // r7=nextIdx r8=epoch r9=round tag r10=v r11..r15 scratch
+    auto vloop = a.label();
+    auto eloop = a.label();
+    auto enext = a.label();
+    auto edone = a.label();
+    auto levelDone = a.label();
+    auto oddSwap = a.label();
+    auto contLevel = a.label();
+    auto done = a.label();
+
+    a.li(R::r7, 0);
+    a.bind(vloop);
+    a.bgeu(R::r4, R::r6, levelDone);
+    a.lw(R::r10, R::r4, 0); // v
+    a.addi(R::r4, R::r4, 4);
+    a.slli(Reg{11}, R::r10, 2);
+    a.add(Reg{12}, R::r3, Reg{11});
+    a.lw(Reg{14}, Reg{12}, 0); // label = comp[v]
+    a.add(Reg{11}, R::r1, Reg{11});
+    a.lw(Reg{12}, Reg{11}, 4); // end
+    a.lw(Reg{11}, Reg{11}, 0); // start
+    a.bind(eloop);
+    a.bgeu(Reg{11}, Reg{12}, edone);
+    a.slli(R::r10, Reg{11}, 2);
+    a.add(R::r10, R::r2, R::r10);
+    a.lw(R::r10, R::r10, 0); // ngh
+    a.slli(Reg{13}, R::r10, 2);
+    a.add(Reg{13}, R::r3, Reg{13});
+    a.lw(Reg{15}, Reg{13}, 0); // comp[ngh]
+    a.bgeu(Reg{14}, Reg{15}, enext);
+    a.sw(Reg{14}, Reg{13}, 0); // comp[ngh] = label
+    // Epoch dedup: at most one fringe occurrence per round.
+    a.slli(Reg{13}, R::r10, 2);
+    a.add(Reg{13}, R::r8, Reg{13});
+    a.lw(Reg{15}, Reg{13}, 0);
+    a.beq(Reg{15}, R::r9, enext); // already appended this round
+    a.sw(R::r9, Reg{13}, 0);
+    a.slli(Reg{13}, R::r7, 2);
+    a.add(Reg{13}, R::r5, Reg{13});
+    a.sw(R::r10, Reg{13}, 0);
+    a.addi(R::r7, R::r7, 1);
+    a.bind(enext);
+    a.addi(Reg{11}, Reg{11}, 1);
+    a.jmp(eloop);
+    a.bind(edone);
+    a.jmp(vloop);
+    a.bind(levelDone);
+    a.beqi(R::r7, 0, done);
+    // Next round: swap fringes by round parity (bases as immediates).
+    a.andi(Reg{13}, R::r9, 1);
+    a.bnei(Reg{13}, 0, oddSwap);
+    a.li(R::r4, A.fA); // even round just ended: read A next... (below)
+    a.li(R::r5, A.fB);
+    a.jmp(contLevel);
+    a.bind(oddSwap);
+    a.li(R::r4, A.fB); // odd round wrote into fB: read it next
+    a.li(R::r5, A.fA);
+    a.bind(contLevel);
+    a.slli(R::r6, R::r7, 2);
+    a.add(R::r6, R::r4, R::r6);
+    a.li(R::r7, 0);
+    a.addi(R::r9, R::r9, 1);
+    a.jmp(vloop);
+    a.bind(done);
+    a.halt();
+    a.finalize();
+
+    ThreadSpec &t = ctx.spec.addThread(0, 0, p);
+    t.initRegs[1] = A.off;
+    t.initRegs[2] = A.ngh;
+    t.initRegs[3] = A.comp;
+    t.initRegs[4] = A.fA;
+    t.initRegs[5] = A.fB;
+    t.initRegs[6] = A.fA + 4ull * g_->numVertices; // fringe end
+    t.initRegs[8] = A.flag; // epoch array
+    t.initRegs[9] = 1;      // round tag
+}
+
+// -------------------------------------------------------- data-parallel
+
+void
+CcWorkload::buildDataParallel(BuildContext &ctx)
+{
+    Arrays A = installArrays(ctx);
+    // Globals: 0 cursor, 8 curSize, 16 nextIdx, 24 phase, 32 count,
+    // 48 curF, 56 nextF.
+    ctx.mem().write(A.globals + 8, 8, g_->numVertices);
+    ctx.mem().write(A.globals + 48, 8, A.fA);
+    ctx.mem().write(A.globals + 56, 8, A.fB);
+    ctx.mem().write(A.globals + 40, 8, 1); // round tag
+
+    uint32_t nThreads = ctx.numCores() * ctx.smtThreads();
+    const int64_t CHUNK = 8;
+
+    Program *p = ctx.newProgram("cc-dp");
+    Asm a(p);
+    // r1=off r2=ngh r3=comp r4=G r5=tid r6=curF r7=curSize r8=flag
+    // r9=i r10=chunkEnd r11..r15 scratch
+    auto level = a.label();
+    auto chunk = a.label();
+    auto noclamp = a.label();
+    auto vloop = a.label();
+    auto eloop = a.label();
+    auto enext = a.label();
+    auto edone = a.label();
+    auto levelEnd = a.label();
+    auto notT0 = a.label();
+    auto done = a.label();
+
+    a.bind(level);
+    a.ld(R::r6, R::r4, 48);
+    a.ld(R::r7, R::r4, 8);
+    a.bind(chunk);
+    a.li(Reg{11}, CHUNK);
+    a.amoadd(R::r9, R::r4, Reg{11});
+    a.bgeu(R::r9, R::r7, levelEnd);
+    a.addi(R::r10, R::r9, CHUNK);
+    a.bltu(R::r10, R::r7, noclamp);
+    a.mov(R::r10, R::r7);
+    a.bind(noclamp);
+    a.bind(vloop);
+    a.bgeu(R::r9, R::r10, chunk);
+    a.slli(Reg{11}, R::r9, 2);
+    a.add(Reg{11}, R::r6, Reg{11});
+    a.lw(Reg{11}, Reg{11}, 0); // v
+    a.slli(Reg{12}, Reg{11}, 2);
+    a.add(Reg{13}, R::r3, Reg{12});
+    a.lw(Reg{14}, Reg{13}, 0); // label
+    a.add(Reg{12}, R::r1, Reg{12});
+    a.lw(Reg{13}, Reg{12}, 4); // end
+    a.lw(Reg{12}, Reg{12}, 0); // start
+    a.bind(eloop);
+    a.bgeu(Reg{12}, Reg{13}, edone);
+    a.slli(Reg{15}, Reg{12}, 2);
+    a.add(Reg{15}, R::r2, Reg{15});
+    a.lw(Reg{15}, Reg{15}, 0); // ngh
+    a.slli(Reg{11}, Reg{15}, 2);
+    a.add(Reg{11}, R::r3, Reg{11});
+    a.amominuw(Reg{11}, Reg{11}, Reg{14}); // old = min-claim
+    a.bgeu(Reg{14}, Reg{11}, enext);       // no improvement
+    // Improved: epoch dedup (at most one occurrence per round). The
+    // atomic swap both claims the slot exactly once and orders the
+    // comp[] improvement before it (x86 LOCK semantics).
+    a.slli(Reg{11}, Reg{15}, 2);
+    a.add(Reg{11}, R::r8, Reg{11});
+    {
+        auto skipApp = a.label();
+        a.ld(R::r10, R::r4, 40); // round tag (r10 restored below)
+        a.amoswapw(Reg{11}, Reg{11}, R::r10); // old epoch
+        a.beq(Reg{11}, R::r10, skipApp); // already appended this round
+        a.addi(Reg{11}, R::r4, 16);
+        a.li(R::r10, 1);
+        a.amoadd(R::r10, Reg{11}, R::r10); // next index
+        a.ld(Reg{11}, R::r4, 56);
+        a.slli(R::r10, R::r10, 2);
+        a.add(Reg{11}, Reg{11}, R::r10);
+        a.sw(Reg{15}, Reg{11}, 0);
+        a.bind(skipApp);
+        // Restore the chunk end (r10 was clobbered): cursor claims are
+        // CHUNK-aligned, so chunkEnd = (i & ~(CHUNK-1)) + CHUNK.
+        a.andi(R::r10, R::r9, ~(CHUNK - 1));
+        a.addi(R::r10, R::r10, CHUNK);
+        auto noclamp2 = a.label();
+        a.bltu(R::r10, R::r7, noclamp2);
+        a.mov(R::r10, R::r7);
+        a.bind(noclamp2);
+    }
+    a.bind(enext);
+    a.addi(Reg{12}, Reg{12}, 1);
+    a.jmp(eloop);
+    a.bind(edone);
+    a.addi(R::r9, R::r9, 1);
+    a.jmp(vloop);
+
+    a.bind(levelEnd);
+    emitBarrier(a, R::r4, 32, 24, nThreads, Reg{11}, Reg{12}, Reg{13});
+    a.bnei(R::r5, 0, notT0);
+    a.ld(Reg{11}, R::r4, 48);
+    a.ld(Reg{12}, R::r4, 56);
+    a.sd(Reg{12}, R::r4, 48);
+    a.sd(Reg{11}, R::r4, 56);
+    a.ld(Reg{11}, R::r4, 16);
+    a.sd(Reg{11}, R::r4, 8);
+    a.sd(R::zero, R::r4, 16);
+    a.sd(R::zero, R::r4, 0);
+    a.ld(Reg{11}, R::r4, 40); // round tag++
+    a.addi(Reg{11}, Reg{11}, 1);
+    a.sd(Reg{11}, R::r4, 40);
+    a.bind(notT0);
+    emitBarrier(a, R::r4, 32, 24, nThreads, Reg{11}, Reg{12}, Reg{13});
+    a.ld(Reg{11}, R::r4, 8);
+    a.beqi(Reg{11}, 0, done);
+    a.jmp(level);
+    a.bind(done);
+    a.halt();
+    a.finalize();
+
+    for (CoreId c = 0; c < ctx.numCores(); c++) {
+        for (ThreadId t = 0; t < ctx.smtThreads(); t++) {
+            ThreadSpec &ts = ctx.spec.addThread(c, t, p);
+            ts.initRegs[1] = A.off;
+            ts.initRegs[2] = A.ngh;
+            ts.initRegs[3] = A.comp;
+            ts.initRegs[4] = A.globals;
+            ts.initRegs[5] = c * ctx.smtThreads() + t;
+            ts.initRegs[8] = A.flag;
+        }
+    }
+}
+
+// ------------------------------------------------------ pipeline stages
+
+Program *
+CcWorkload::genFringe(BuildContext &ctx, bool emitOffsets)
+{
+    Program *p = ctx.newProgram("cc-fringe");
+    Asm a(p);
+    // r1=curF r2=nextF r3=curSize r4=i r5=v r6=comp r7=flag
+    // r8=off (if emitOffsets) r9/r10 scratch
+    auto level = a.label();
+    auto vloop = a.label();
+    auto next = a.label();
+
+    a.bind(level);
+    a.li(R::r4, 0);
+    a.bind(vloop);
+    a.bgeu(R::r4, R::r3, next);
+    a.slli(R::r5, R::r4, 2);
+    a.add(R::r5, R::r1, R::r5);
+    a.lw(R::r5, R::r5, 0); // v
+    a.slli(R::r9, R::r5, 2);
+    a.add(R::r10, R::r6, R::r9);
+    a.lw(R::r10, R::r10, 0); // label
+    a.enqc(QO, R::r10);      // per-vertex label header
+    if (!emitOffsets) {
+        a.mov(QO, R::r5);
+    } else {
+        a.add(R::r9, R::r8, R::r9);
+        a.lw(R::r10, R::r9, 4);
+        a.lw(R::r9, R::r9, 0);
+        a.mov(QO, R::r9);
+        a.mov(QO, R::r10);
+    }
+    a.addi(R::r4, R::r4, 1);
+    a.jmp(vloop);
+    a.bind(next);
+    a.li(R::r5, static_cast<uint64_t>(LEVEL_END));
+    a.enqc(QO, R::r5);
+    a.mov(R::r3, QI);
+    a.mov(R::r5, R::r1);
+    a.mov(R::r1, R::r2);
+    a.mov(R::r2, R::r5);
+    a.bnei(R::r3, 0, level);
+    a.li(R::r5, static_cast<uint64_t>(DONE));
+    a.enqc(QO, R::r5);
+    a.halt();
+    a.finalize();
+    return p;
+}
+
+Program *
+CcWorkload::genPump(BuildContext &ctx, Addr *handler)
+{
+    Program *p = ctx.newProgram("cc-pump");
+    Asm a(p);
+    auto loop = a.label("loop");
+    auto hdl = a.label("hdl");
+    auto fin = a.label("fin");
+    a.bind(loop);
+    a.mov(QO, QI);
+    a.jmp(loop);
+    a.bind(hdl);
+    a.enqc(QO, R::cvval);
+    a.li(R::r1, static_cast<uint64_t>(DONE));
+    a.beq(R::cvval, R::r1, fin);
+    a.jr(R::cvret);
+    a.bind(fin);
+    a.halt();
+    a.finalize();
+    *handler = p->labels().at("hdl");
+    return p;
+}
+
+Program *
+CcWorkload::genEnumerate(BuildContext &ctx, Addr *handler)
+{
+    Program *p = ctx.newProgram("cc-enumerate");
+    Asm a(p);
+    auto loop = a.label("loop");
+    auto eloop = a.label();
+    auto hdl = a.label("hdl");
+    auto fin = a.label("fin");
+    a.bind(loop);
+    a.mov(R::r2, QI);
+    a.mov(R::r3, QI);
+    a.bind(eloop);
+    a.bgeu(R::r2, R::r3, loop);
+    a.slli(R::r4, R::r2, 2);
+    a.add(R::r4, R::r1, R::r4);
+    a.lw(QO, R::r4, 0);
+    a.addi(R::r2, R::r2, 1);
+    a.jmp(eloop);
+    a.bind(hdl);
+    a.enqc(QO, R::cvval);
+    a.li(R::r5, static_cast<uint64_t>(DONE));
+    a.beq(R::cvval, R::r5, fin);
+    a.jr(R::cvret);
+    a.bind(fin);
+    a.halt();
+    a.finalize();
+    *handler = p->labels().at("hdl");
+    return p;
+}
+
+Program *
+CcWorkload::genFetchComp(BuildContext &ctx, Addr *handler)
+{
+    Program *p = ctx.newProgram("cc-fetchcomp");
+    Asm a(p);
+    auto loop = a.label("loop");
+    auto hdl = a.label("hdl");
+    auto fin = a.label("fin");
+    a.bind(loop);
+    a.mov(R::r2, QI);
+    a.slli(R::r3, R::r2, 2);
+    a.add(R::r3, R::r1, R::r3);
+    a.mov(QO, R::r2);
+    a.lw(QO, R::r3, 0);
+    a.jmp(loop);
+    a.bind(hdl);
+    a.enqc(QO, R::cvval);
+    a.li(R::r5, static_cast<uint64_t>(DONE));
+    a.beq(R::cvval, R::r5, fin);
+    a.jr(R::cvret);
+    a.bind(fin);
+    a.halt();
+    a.finalize();
+    *handler = p->labels().at("hdl");
+    return p;
+}
+
+Program *
+CcWorkload::genUpdate(BuildContext &ctx, Addr *handler)
+{
+    Program *p = ctx.newProgram("cc-update");
+    Asm a(p);
+    // r1=comp r2=nextF r3=nextIdx r4=epoch r6=other fringe
+    // r9=round tag r10=curLabel
+    auto loop = a.label("loop");
+    auto hdl = a.label("hdl");
+    auto ctl = a.label();
+    auto fin = a.label("fin");
+    a.li(R::r3, 0);
+    a.bind(loop);
+    a.mov(R::r5, QI); // ngh
+    a.mov(R::r7, QI); // fetched comp[ngh] (monotone: >= current)
+    a.bgeu(R::r10, R::r7, loop);
+    a.slli(R::r8, R::r5, 2);
+    a.add(R::r8, R::r1, R::r8);
+    a.lw(R::r7, R::r8, 0); // re-check against the current value
+    a.bgeu(R::r10, R::r7, loop);
+    a.sw(R::r10, R::r8, 0);
+    // Epoch dedup (single writer: plain loads/stores suffice).
+    a.slli(R::r8, R::r5, 2);
+    a.add(R::r8, R::r4, R::r8);
+    a.lw(R::r7, R::r8, 0);
+    a.beq(R::r7, R::r9, loop); // already appended this round
+    a.sw(R::r9, R::r8, 0);
+    a.slli(R::r8, R::r3, 2);
+    a.add(R::r8, R::r2, R::r8);
+    a.sw(R::r5, R::r8, 0);
+    a.addi(R::r3, R::r3, 1);
+    a.jmp(loop);
+    a.bind(hdl);
+    a.srli(R::r7, R::cvval, 63);
+    a.bnei(R::r7, 0, ctl);
+    a.mov(R::r10, R::cvval); // label header
+    a.jr(R::cvret);
+    a.bind(ctl);
+    a.li(R::r7, static_cast<uint64_t>(DONE));
+    a.beq(R::cvval, R::r7, fin);
+    a.mov(QO, R::r3); // next-level size
+    a.mov(R::r7, R::r2);
+    a.mov(R::r2, R::r6);
+    a.mov(R::r6, R::r7);
+    a.li(R::r3, 0);
+    a.addi(R::r9, R::r9, 1); // round tag++
+    a.jr(R::cvret);
+    a.bind(fin);
+    a.halt();
+    a.finalize();
+    *handler = p->labels().at("hdl");
+    return p;
+}
+
+void
+CcWorkload::buildPipeline(BuildContext &ctx, bool useRa, bool streaming)
+{
+    fatal_if(streaming && ctx.numCores() < 4, "streaming CC needs 4 cores");
+    Arrays A = installArrays(ctx);
+
+    auto addMap = [](ThreadSpec &t, Reg r, QueueId q, QueueDir d) {
+        t.queueMaps.push_back({r.idx, q, d});
+    };
+    auto initFringe = [&](ThreadSpec &t, bool emitOffsets) {
+        t.initRegs[1] = A.fA;
+        t.initRegs[2] = A.fB;
+        t.initRegs[3] = g_->numVertices;
+        t.initRegs[6] = A.comp;
+        t.initRegs[7] = A.flag;
+        if (emitOffsets)
+            t.initRegs[8] = A.off;
+    };
+    auto initUpdate = [&](ThreadSpec &t) {
+        t.initRegs[1] = A.comp;
+        t.initRegs[2] = A.fB;
+        t.initRegs[6] = A.fA;
+        t.initRegs[4] = A.flag; // epoch array
+        t.initRegs[9] = 1;      // round tag
+    };
+
+    if (streaming) {
+        Program *fr = genFringe(ctx, false);
+        ThreadSpec &t0 = ctx.spec.addThread(0, 0, fr);
+        initFringe(t0, false);
+        addMap(t0, QO, 0, QueueDir::Out);
+        addMap(t0, QI, 2, QueueDir::In);
+        ctx.spec.ras.push_back({0, 0, 1, A.off, 4, RaMode::IndirectPair});
+
+        Addr h1;
+        Program *pump1 = genPump(ctx, &h1);
+        ThreadSpec &t1 = ctx.spec.addThread(1, 0, pump1);
+        t1.deqHandler = static_cast<int64_t>(h1);
+        addMap(t1, QI, 0, QueueDir::In);
+        addMap(t1, QO, 1, QueueDir::Out);
+        ctx.spec.ras.push_back({1, 1, 2, A.ngh, 4, RaMode::Scan});
+        ctx.spec.connectors.push_back({0, 1, 1, 0});
+
+        Addr h2;
+        Program *pump2 = genPump(ctx, &h2);
+        ThreadSpec &t2 = ctx.spec.addThread(2, 0, pump2);
+        t2.deqHandler = static_cast<int64_t>(h2);
+        addMap(t2, QI, 0, QueueDir::In);
+        addMap(t2, QO, 1, QueueDir::Out);
+        ctx.spec.ras.push_back({2, 1, 2, A.comp, 4, RaMode::IndirectKV});
+        ctx.spec.connectors.push_back({1, 2, 2, 0});
+
+        Addr hU;
+        Program *upd = genUpdate(ctx, &hU);
+        ThreadSpec &t3 = ctx.spec.addThread(3, 0, upd);
+        t3.deqHandler = static_cast<int64_t>(hU);
+        initUpdate(t3);
+        addMap(t3, QI, 0, QueueDir::In);
+        addMap(t3, QO, 1, QueueDir::Out);
+        ctx.spec.connectors.push_back({2, 2, 3, 0});
+        ctx.spec.connectors.push_back({3, 1, 0, 2});
+        ctx.spec.queueCaps.push_back({0, 2, 4});
+        ctx.spec.queueCaps.push_back({3, 1, 4});
+        return;
+    }
+
+    if (useRa) {
+        // T1 fringe -> RA pair -> RA scan -> RA kv(comp) -> T2 update.
+        Program *fr = genFringe(ctx, false);
+        ThreadSpec &t0 = ctx.spec.addThread(0, 0, fr);
+        initFringe(t0, false);
+        addMap(t0, QO, 0, QueueDir::Out);
+        addMap(t0, QI, 4, QueueDir::In);
+        ctx.spec.ras.push_back({0, 0, 1, A.off, 4, RaMode::IndirectPair});
+        ctx.spec.ras.push_back({0, 1, 2, A.ngh, 4, RaMode::Scan});
+        ctx.spec.ras.push_back({0, 2, 3, A.comp, 4, RaMode::IndirectKV});
+        Addr hU;
+        Program *upd = genUpdate(ctx, &hU);
+        ThreadSpec &t1 = ctx.spec.addThread(0, 1, upd);
+        t1.deqHandler = static_cast<int64_t>(hU);
+        initUpdate(t1);
+        addMap(t1, QI, 3, QueueDir::In);
+        addMap(t1, QO, 4, QueueDir::Out);
+        ctx.spec.queueCaps.push_back({0, 0, 16});
+        ctx.spec.queueCaps.push_back({0, 4, 4});
+        return;
+    }
+
+    // No-RA 4-thread pipeline.
+    Program *fr = genFringe(ctx, true);
+    ThreadSpec &t0 = ctx.spec.addThread(0, 0, fr);
+    initFringe(t0, true);
+    addMap(t0, QO, 0, QueueDir::Out);
+    addMap(t0, QI, 3, QueueDir::In);
+    Addr hE;
+    Program *en = genEnumerate(ctx, &hE);
+    ThreadSpec &t1 = ctx.spec.addThread(0, 1, en);
+    t1.deqHandler = static_cast<int64_t>(hE);
+    t1.initRegs[1] = A.ngh;
+    addMap(t1, QI, 0, QueueDir::In);
+    addMap(t1, QO, 1, QueueDir::Out);
+    Addr hF;
+    Program *fc = genFetchComp(ctx, &hF);
+    ThreadSpec &t2 = ctx.spec.addThread(0, 2, fc);
+    t2.deqHandler = static_cast<int64_t>(hF);
+    t2.initRegs[1] = A.comp;
+    addMap(t2, QI, 1, QueueDir::In);
+    addMap(t2, QO, 2, QueueDir::Out);
+    Addr hU;
+    Program *upd = genUpdate(ctx, &hU);
+    ThreadSpec &t3 = ctx.spec.addThread(0, 3, upd);
+    t3.deqHandler = static_cast<int64_t>(hU);
+    initUpdate(t3);
+    addMap(t3, QI, 2, QueueDir::In);
+    addMap(t3, QO, 3, QueueDir::Out);
+    ctx.spec.queueCaps.push_back({0, 3, 4});
+}
+
+} // namespace pipette

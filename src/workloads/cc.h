@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Connected components (paper Sec. V-B, from Ligra): min-label
+ * propagation over a shrinking frontier. The pipeline mirrors BFS
+ * (Fig. 1(d)) with one addition: the current vertex's label travels
+ * down the pipeline as a per-vertex control value, so the update stage
+ * needs no extra loads to know which label to propagate.
+ *
+ * CV protocol: values with bit 63 clear are per-vertex label headers;
+ * bit 63 set marks control (LEVEL_END / DONE).
+ */
+
+#ifndef PIPETTE_WORKLOADS_CC_H
+#define PIPETTE_WORKLOADS_CC_H
+
+#include "workloads/graph.h"
+#include "workloads/refimpl.h"
+#include "workloads/workload.h"
+
+namespace pipette {
+
+/** Connected-components workload over one input graph. */
+class CcWorkload : public WorkloadBase
+{
+  public:
+    explicit CcWorkload(const Graph *g);
+
+    std::string name() const override { return "cc"; }
+    void build(BuildContext &ctx, Variant v) override;
+    bool verify(System &sys) const override;
+
+    /** Simulated address of the component-label array (for tooling). */
+    Addr resultAddr() const { return compAddr_; }
+
+    static constexpr uint64_t HDR_BIT = 1ull << 63;
+    static constexpr uint64_t LEVEL_END = HDR_BIT;
+    static constexpr uint64_t DONE = HDR_BIT + 1;
+
+  private:
+    struct Arrays
+    {
+        Addr off, ngh, comp, flag, fA, fB, globals;
+    };
+    Arrays installArrays(BuildContext &ctx);
+
+    void buildSerial(BuildContext &ctx);
+    void buildDataParallel(BuildContext &ctx);
+    void buildPipeline(BuildContext &ctx, bool useRa, bool streaming);
+
+    Program *genFringe(BuildContext &ctx, bool emitOffsets);
+    Program *genPump(BuildContext &ctx, Addr *handler);
+    Program *genEnumerate(BuildContext &ctx, Addr *handler);
+    Program *genFetchComp(BuildContext &ctx, Addr *handler);
+    Program *genUpdate(BuildContext &ctx, Addr *handler);
+
+    const Graph *g_;
+    std::vector<uint32_t> refComp_;
+    Addr compAddr_ = 0;
+};
+
+} // namespace pipette
+
+#endif // PIPETTE_WORKLOADS_CC_H

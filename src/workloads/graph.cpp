@@ -1,0 +1,157 @@
+#include "workloads/graph.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/logging.h"
+
+namespace pipette {
+
+Graph
+buildCsr(uint32_t numVertices,
+         const std::vector<std::pair<uint32_t, uint32_t>> &edges)
+{
+    Graph g;
+    g.numVertices = numVertices;
+    g.offsets.assign(numVertices + 1, 0);
+    for (const auto &[u, v] : edges) {
+        panic_if(u >= numVertices || v >= numVertices,
+                 "edge endpoint out of range");
+        g.offsets[u + 1]++;
+    }
+    for (uint32_t v = 0; v < numVertices; v++)
+        g.offsets[v + 1] += g.offsets[v];
+    g.neighbors.resize(edges.size());
+    std::vector<uint32_t> cursor(g.offsets.begin(), g.offsets.end() - 1);
+    for (const auto &[u, v] : edges)
+        g.neighbors[cursor[u]++] = v;
+    return g;
+}
+
+namespace {
+
+/** Random permutation of 0..n-1. */
+std::vector<uint32_t>
+permutation(uint32_t n, Rng &rng)
+{
+    std::vector<uint32_t> p(n);
+    std::iota(p.begin(), p.end(), 0);
+    for (uint32_t i = n - 1; i > 0; i--)
+        std::swap(p[i], p[rng.uniformInt(0, i)]);
+    return p;
+}
+
+/** Dedup + drop self-loops + symmetrize an edge list. */
+std::vector<std::pair<uint32_t, uint32_t>>
+canonicalize(std::vector<std::pair<uint32_t, uint32_t>> edges)
+{
+    std::vector<std::pair<uint32_t, uint32_t>> out;
+    out.reserve(edges.size() * 2);
+    for (auto [u, v] : edges) {
+        if (u == v)
+            continue;
+        out.emplace_back(u, v);
+        out.emplace_back(v, u);
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+} // namespace
+
+Graph
+makeGridGraph(uint32_t rows, uint32_t cols, uint64_t seed)
+{
+    Rng rng(seed);
+    uint32_t n = rows * cols;
+    std::vector<uint32_t> perm = permutation(n, rng);
+    std::vector<std::pair<uint32_t, uint32_t>> edges;
+    edges.reserve(static_cast<size_t>(n) * 2);
+    auto id = [&](uint32_t r, uint32_t c) { return perm[r * cols + c]; };
+    for (uint32_t r = 0; r < rows; r++) {
+        for (uint32_t c = 0; c < cols; c++) {
+            if (c + 1 < cols)
+                edges.emplace_back(id(r, c), id(r, c + 1));
+            if (r + 1 < rows)
+                edges.emplace_back(id(r, c), id(r + 1, c));
+        }
+    }
+    return buildCsr(n, canonicalize(std::move(edges)));
+}
+
+Graph
+makeRmatGraph(uint32_t numVertices, uint32_t numEdges, uint64_t seed)
+{
+    Rng rng(seed);
+    uint32_t bits = 0;
+    while ((1u << bits) < numVertices)
+        bits++;
+    std::vector<std::pair<uint32_t, uint32_t>> edges;
+    edges.reserve(numEdges);
+    const double a = 0.57, b = 0.19, c = 0.19;
+    for (uint32_t e = 0; e < numEdges; e++) {
+        uint32_t u = 0, v = 0;
+        for (uint32_t d = 0; d < bits; d++) {
+            double p = rng.uniformReal();
+            if (p < a) {
+                // top-left quadrant
+            } else if (p < a + b) {
+                v |= 1u << d;
+            } else if (p < a + b + c) {
+                u |= 1u << d;
+            } else {
+                u |= 1u << d;
+                v |= 1u << d;
+            }
+        }
+        if (u < numVertices && v < numVertices)
+            edges.emplace_back(u, v);
+    }
+    return buildCsr(numVertices, canonicalize(std::move(edges)));
+}
+
+Graph
+makeUniformGraph(uint32_t numVertices, double avgDegree, uint64_t seed)
+{
+    Rng rng(seed);
+    // Undirected edges; symmetrization doubles degree.
+    auto targetEdges = static_cast<uint64_t>(
+        numVertices * avgDegree / 2.0);
+    std::vector<std::pair<uint32_t, uint32_t>> edges;
+    edges.reserve(targetEdges);
+    for (uint64_t e = 0; e < targetEdges; e++) {
+        edges.emplace_back(
+            static_cast<uint32_t>(rng.uniformInt(0, numVertices - 1)),
+            static_cast<uint32_t>(rng.uniformInt(0, numVertices - 1)));
+    }
+    return buildCsr(numVertices, canonicalize(std::move(edges)));
+}
+
+std::vector<GraphInput>
+makeTable5Inputs(double scale)
+{
+    auto s = [scale](uint32_t x) {
+        auto v = static_cast<uint32_t>(x * scale);
+        return std::max(v, 64u);
+    };
+    std::vector<GraphInput> inputs;
+    // Co: coAuthorsDBLP (collaboration, power law, avg degree ~6.3)
+    inputs.push_back(
+        {"Co", "collaboration", makeRmatGraph(s(16384), s(55000), 11)});
+    // Dy: hugetrace (dynamic simulation mesh, degree ~3)
+    inputs.push_back(
+        {"Dy", "dynamic simulation", makeUniformGraph(s(49152), 3.0, 22)});
+    // Fs: Freescale1 (circuit, degree ~5.6)
+    inputs.push_back(
+        {"Fs", "circuit simulation", makeUniformGraph(s(36864), 5.6, 33)});
+    // Sk: as-Skitter (internet topology, heavy-tailed, avg degree ~13)
+    inputs.push_back(
+        {"Sk", "internet", makeRmatGraph(s(18432), s(120000), 44)});
+    // Rd: USA road network (grid-like, degree ~2.4, huge diameter)
+    inputs.push_back(
+        {"Rd", "road network", makeGridGraph(s(320), s(320), 55)});
+    return inputs;
+}
+
+} // namespace pipette

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Host-side graph representation (CSR) and synthetic generators that
+ * approximate the paper's Table V inputs at laptop scale: 2D grids for
+ * road networks (high diameter, degree ~4), R-MAT for power-law graphs
+ * (collaboration / internet), and uniform random graphs for circuit /
+ * simulation meshes. All generators are deterministic given a seed.
+ */
+
+#ifndef PIPETTE_WORKLOADS_GRAPH_H
+#define PIPETTE_WORKLOADS_GRAPH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace pipette {
+
+/** Compressed-sparse-row graph (32-bit ids, as in common frameworks). */
+struct Graph
+{
+    uint32_t numVertices = 0;
+    std::vector<uint32_t> offsets;   // numVertices + 1
+    std::vector<uint32_t> neighbors; // numEdges
+
+    uint32_t numEdges() const { return static_cast<uint32_t>(neighbors.size()); }
+    uint32_t
+    degree(uint32_t v) const
+    {
+        return offsets[v + 1] - offsets[v];
+    }
+    double
+    avgDegree() const
+    {
+        return numVertices
+                   ? static_cast<double>(numEdges()) / numVertices
+                   : 0.0;
+    }
+};
+
+/** Build a CSR graph from an edge list (directed edges as given). */
+Graph buildCsr(uint32_t numVertices,
+               const std::vector<std::pair<uint32_t, uint32_t>> &edges);
+
+/**
+ * 2D grid graph (road-network proxy: degree <= 4, huge diameter).
+ * Vertex ids are randomly permuted so neighbor accesses are irregular,
+ * as they are with real road networks stored in arbitrary order.
+ */
+Graph makeGridGraph(uint32_t rows, uint32_t cols, uint64_t seed);
+
+/**
+ * R-MAT power-law graph (collaboration / internet proxy) with the
+ * classic (0.57, 0.19, 0.19, 0.05) parameters, symmetrized.
+ */
+Graph makeRmatGraph(uint32_t numVertices, uint32_t numEdges,
+                    uint64_t seed);
+
+/** Uniform random graph with the given average degree, symmetrized. */
+Graph makeUniformGraph(uint32_t numVertices, double avgDegree,
+                       uint64_t seed);
+
+/** A named input approximating one Table V row. */
+struct GraphInput
+{
+    std::string name;  ///< short tag used in the paper's plots (Co, Dy, ...)
+    std::string domain;
+    Graph graph;
+};
+
+/**
+ * The five Table V proxies, scaled to `scale` vertices for the largest
+ * (road) input; the others keep the paper's relative sizes and degree
+ * profiles. scale=1.0 means the default laptop-scale sizes.
+ */
+std::vector<GraphInput> makeTable5Inputs(double scale = 1.0);
+
+} // namespace pipette
+
+#endif // PIPETTE_WORKLOADS_GRAPH_H

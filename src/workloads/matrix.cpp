@@ -1,0 +1,100 @@
+#include "workloads/matrix.h"
+
+#include <algorithm>
+
+namespace pipette {
+
+SparseMatrix
+SparseMatrix::transpose() const
+{
+    SparseMatrix t;
+    t.n = n;
+    t.rowPtr.assign(n + 1, 0);
+    for (uint32_t c : colIdx)
+        t.rowPtr[c + 1]++;
+    for (uint32_t i = 0; i < n; i++)
+        t.rowPtr[i + 1] += t.rowPtr[i];
+    t.colIdx.resize(nnz());
+    t.values.resize(nnz());
+    std::vector<uint32_t> cursor(t.rowPtr.begin(), t.rowPtr.end() - 1);
+    for (uint32_t r = 0; r < n; r++) {
+        for (uint32_t k = rowPtr[r]; k < rowPtr[r + 1]; k++) {
+            uint32_t c = colIdx[k];
+            t.colIdx[cursor[c]] = r;
+            t.values[cursor[c]] = values[k];
+            cursor[c]++;
+        }
+    }
+    return t;
+}
+
+SparseMatrix
+makeSparseMatrix(uint32_t n, double avgNnz, uint64_t seed)
+{
+    Rng rng(seed);
+    SparseMatrix m;
+    m.n = n;
+    m.rowPtr.assign(n + 1, 0);
+    std::vector<std::vector<uint32_t>> rows(n);
+    for (uint32_t r = 0; r < n; r++) {
+        // Row lengths vary around the average (0.25x .. 1.75x).
+        auto len = static_cast<uint32_t>(
+            avgNnz * (0.25 + 1.5 * rng.uniformReal()) + 0.5);
+        auto &row = rows[r];
+        for (uint32_t k = 0; k < len; k++) {
+            uint32_t c;
+            if (rng.bernoulli(0.6)) {
+                // Banded: near the diagonal.
+                int64_t off =
+                    static_cast<int64_t>(rng.uniformInt(0, 64)) - 32;
+                int64_t cc = static_cast<int64_t>(r) + off;
+                c = static_cast<uint32_t>(
+                    std::clamp<int64_t>(cc, 0, n - 1));
+            } else {
+                c = static_cast<uint32_t>(rng.uniformInt(0, n - 1));
+            }
+            row.push_back(c);
+        }
+        std::sort(row.begin(), row.end());
+        row.erase(std::unique(row.begin(), row.end()), row.end());
+    }
+    for (uint32_t r = 0; r < n; r++)
+        m.rowPtr[r + 1] =
+            m.rowPtr[r] + static_cast<uint32_t>(rows[r].size());
+    m.colIdx.reserve(m.rowPtr[n]);
+    m.values.reserve(m.rowPtr[n]);
+    for (uint32_t r = 0; r < n; r++) {
+        for (uint32_t c : rows[r]) {
+            m.colIdx.push_back(c);
+            // Small integer values; products stay in 64 bits.
+            m.values.push_back(
+                static_cast<uint32_t>(rng.uniformInt(1, 9)));
+        }
+    }
+    return m;
+}
+
+std::vector<MatrixInput>
+makeTable6Inputs(double scale)
+{
+    auto s = [scale](uint32_t x) {
+        auto v = static_cast<uint32_t>(x * scale);
+        return std::max(v, 64u);
+    };
+    std::vector<MatrixInput> inputs;
+    inputs.push_back({"Am", "graph as matrix",
+                      makeSparseMatrix(s(16384), 8.0, 101)});
+    inputs.push_back({"Ca", "collaboration",
+                      makeSparseMatrix(s(4096), 8.1, 202)});
+    inputs.push_back({"Cg", "gel electrophoresis",
+                      makeSparseMatrix(s(8192), 15.6, 303)});
+    inputs.push_back({"Cu", "electromagnetics",
+                      makeSparseMatrix(s(8192), 16.2, 404)});
+    inputs.push_back({"Rn", "fluid dynamics",
+                      makeSparseMatrix(s(3072), 49.7, 505)});
+    inputs.push_back({"Pe", "structural",
+                      makeSparseMatrix(s(6144), 52.9, 606)});
+    return inputs;
+}
+
+} // namespace pipette

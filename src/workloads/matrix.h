@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Host-side sparse matrices (CSR) with integer values, plus generators
+ * approximating the paper's Table VI inputs by average non-zeros per
+ * row. Integer values keep the mini-ISA integer-only while preserving
+ * the memory behaviour of the SpMM kernel.
+ */
+
+#ifndef PIPETTE_WORKLOADS_MATRIX_H
+#define PIPETTE_WORKLOADS_MATRIX_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace pipette {
+
+/** CSR sparse matrix with 32-bit coordinates and values. */
+struct SparseMatrix
+{
+    uint32_t n = 0; ///< square: n x n
+    std::vector<uint32_t> rowPtr;  // n + 1
+    std::vector<uint32_t> colIdx;  // nnz, sorted within each row
+    std::vector<uint32_t> values;  // nnz
+
+    uint32_t nnz() const { return static_cast<uint32_t>(colIdx.size()); }
+    double
+    avgNnzPerRow() const
+    {
+        return n ? static_cast<double>(nnz()) / n : 0.0;
+    }
+
+    /** Transpose (gives CSC view of the same matrix). */
+    SparseMatrix transpose() const;
+};
+
+/**
+ * Random sparse matrix with roughly `avgNnz` non-zeros per row. Column
+ * positions are a blend of banded (local) and uniform (scattered)
+ * placement, like the physical-simulation matrices in Table VI.
+ */
+SparseMatrix makeSparseMatrix(uint32_t n, double avgNnz, uint64_t seed);
+
+/** A named input approximating one Table VI row. */
+struct MatrixInput
+{
+    std::string name;
+    std::string domain;
+    SparseMatrix matrix;
+};
+
+/** The six Table VI proxies (see EXPERIMENTS.md for the mapping). */
+std::vector<MatrixInput> makeTable6Inputs(double scale = 1.0);
+
+} // namespace pipette
+
+#endif // PIPETTE_WORKLOADS_MATRIX_H

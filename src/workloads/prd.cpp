@@ -1,0 +1,755 @@
+#include "workloads/prd.h"
+
+namespace pipette {
+
+namespace {
+constexpr Reg QO{11};  ///< phase-1 output / main chain
+constexpr Reg QI{12};  ///< feedback in (T1) / phase-1 data in (T2)
+constexpr Reg QO2{9};  ///< T1: phase-2 output; T2: phase-2 data in
+constexpr int64_t CHUNK = 8;
+
+constexpr int64_t G_CURSOR_A = 0;
+constexpr int64_t G_ACTIVE_CNT = 8;
+constexpr int64_t G_TOUCH_IDX = 16;
+constexpr int64_t G_PHASE = 24;
+constexpr int64_t G_COUNT = 32;
+constexpr int64_t G_CURSOR_B = 72;
+constexpr int64_t G_ACTIVE_IDX = 80;
+constexpr int64_t G_ITER = 88;
+} // namespace
+
+PrdWorkload::PrdWorkload(const Graph *g, PrdParams params)
+    : g_(g), params_(params)
+{
+    refRank_ = prdReference(*g, params);
+}
+
+PrdWorkload::Arrays
+PrdWorkload::installArrays(BuildContext &ctx)
+{
+    Arrays a;
+    a.off = installU32(ctx.mem(), ctx.alloc, g_->offsets);
+    a.ngh = installU32(ctx.mem(), ctx.alloc, g_->neighbors);
+    std::vector<uint32_t> deg(g_->numVertices);
+    std::vector<uint32_t> active(g_->numVertices);
+    for (uint32_t v = 0; v < g_->numVertices; v++) {
+        deg[v] = g_->degree(v);
+        active[v] = v;
+    }
+    a.deg = installU32(ctx.mem(), ctx.alloc, deg);
+    std::vector<uint64_t> delta(g_->numVertices, PrdParams::FP);
+    a.delta = installU64(ctx.mem(), ctx.alloc, delta);
+    a.acc = ctx.alloc.alloc64(g_->numVertices);
+    ctx.mem().fill(a.acc, 8ull * g_->numVertices, 0);
+    a.rank = ctx.alloc.alloc64(g_->numVertices);
+    ctx.mem().fill(a.rank, 8ull * g_->numVertices, 0);
+    rankAddr_ = a.rank;
+    a.active = installU32(ctx.mem(), ctx.alloc, active);
+    a.touched = ctx.alloc.alloc32(g_->numVertices + 1);
+    a.globals = ctx.alloc.alloc(128);
+    ctx.mem().fill(a.globals, 128, 0);
+    ctx.mem().write(a.globals + G_ACTIVE_CNT, 8, g_->numVertices);
+    return a;
+}
+
+bool
+PrdWorkload::verify(System &sys) const
+{
+    auto got = sys.memory().readArray64(rankAddr_, g_->numVertices);
+    for (uint32_t v = 0; v < g_->numVertices; v++) {
+        if (got[v] != refRank_[v]) {
+            warn("prd mismatch at v=", v, ": got ", got[v], " want ",
+                 refRank_[v]);
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+PrdWorkload::build(BuildContext &ctx, Variant v)
+{
+    switch (v) {
+      case Variant::Serial:
+        buildSerial(ctx);
+        break;
+      case Variant::DataParallel:
+        buildDataParallel(ctx);
+        break;
+      case Variant::Pipette:
+        buildPipeline(ctx, true, false);
+        break;
+      case Variant::PipetteNoRa:
+        buildPipeline(ctx, false, false);
+        break;
+      case Variant::Streaming:
+        buildPipeline(ctx, true, true);
+        break;
+      default:
+        fatal("prd: unsupported variant");
+    }
+}
+
+// --------------------------------------------------------------- serial
+
+void
+PrdWorkload::buildSerial(BuildContext &ctx)
+{
+    Arrays A = installArrays(ctx);
+    Program *p = ctx.newProgram("prd-serial");
+    Asm a(p);
+    // Persistent: r2=ngh r3=delta r4=deg r5=acc r10=54 r7=activePtr
+    // r9=activeEnd r12=touchedPtr r8=activeWritePtr(phase2)
+    auto iterTop = a.label();
+    auto p1v = a.label();
+    auto p1e = a.label();
+    auto p1noT = a.label();
+    auto p1done = a.label();
+    auto p2loop = a.label();
+    auto p2done = a.label();
+    auto done = a.label();
+
+    a.li(R::r10, PrdParams::ALPHA_NUM);
+    a.li(Reg{14}, g_->numVertices); // activeCount
+    a.bind(iterTop);
+    a.beqi(Reg{14}, 0, done);
+    a.li(R::r1, A.globals + G_ITER);
+    a.ld(Reg{15}, R::r1, 0);
+    a.bgei(Reg{15}, params_.maxIters, done);
+    a.addi(Reg{15}, Reg{15}, 1);
+    a.sd(Reg{15}, R::r1, 0);
+
+    // ---- Phase 1: distribute.
+    a.li(R::r7, A.active);
+    a.slli(R::r9, Reg{14}, 2);
+    a.add(R::r9, R::r7, R::r9);
+    a.li(R::r12, A.touched);
+    a.bind(p1v);
+    a.bgeu(R::r7, R::r9, p1done);
+    a.lw(Reg{13}, R::r7, 0); // v
+    a.addi(R::r7, R::r7, 4);
+    a.slli(R::r1, Reg{13}, 2);
+    a.add(R::r1, R::r4, R::r1);
+    a.lw(R::r1, R::r1, 0); // deg
+    a.beqi(R::r1, 0, p1v);
+    a.slli(Reg{15}, Reg{13}, 3);
+    a.add(Reg{15}, R::r3, Reg{15});
+    a.ld(Reg{15}, Reg{15}, 0); // delta
+    a.mul(Reg{15}, Reg{15}, R::r10);
+    a.srli(Reg{15}, Reg{15}, PrdParams::ALPHA_SHIFT);
+    a.divu(Reg{14}, Reg{15}, R::r1); // contrib
+    a.beqi(Reg{14}, 0, p1v);
+    a.li(R::r1, A.off);
+    a.slli(Reg{15}, Reg{13}, 2);
+    a.add(R::r1, R::r1, Reg{15});
+    a.lw(R::r6, R::r1, 0);   // e = start
+    a.lw(Reg{15}, R::r1, 4); // end
+    a.bind(p1e);
+    a.bgeu(R::r6, Reg{15}, p1v);
+    a.slli(Reg{11}, R::r6, 2);
+    a.add(Reg{11}, R::r2, Reg{11});
+    a.lw(Reg{11}, Reg{11}, 0); // ngh
+    a.slli(Reg{13}, Reg{11}, 3);
+    a.add(Reg{13}, R::r5, Reg{13});
+    a.ld(R::r1, Reg{13}, 0); // a
+    a.bnei(R::r1, 0, p1noT);
+    a.sw(Reg{11}, R::r12, 0); // touched append
+    a.addi(R::r12, R::r12, 4);
+    a.bind(p1noT);
+    a.add(R::r1, R::r1, Reg{14});
+    a.sd(R::r1, Reg{13}, 0);
+    a.addi(R::r6, R::r6, 1);
+    a.jmp(p1e);
+
+    // ---- Phase 2: apply.
+    a.bind(p1done);
+    a.li(R::r6, A.touched);
+    a.li(R::r8, A.active);
+    a.bind(p2loop);
+    a.bgeu(R::r6, R::r12, p2done);
+    a.lw(Reg{13}, R::r6, 0); // w
+    a.addi(R::r6, R::r6, 4);
+    a.slli(Reg{14}, Reg{13}, 3);
+    a.add(Reg{15}, R::r5, Reg{14});
+    a.ld(Reg{11}, Reg{15}, 0); // nd
+    a.sd(R::zero, Reg{15}, 0);
+    a.li(R::r1, A.rank);
+    a.add(Reg{15}, R::r1, Reg{14});
+    a.ld(R::r1, Reg{15}, 0);
+    a.add(R::r1, R::r1, Reg{11});
+    a.sd(R::r1, Reg{15}, 0);
+    a.li(R::r1, PrdParams::EPS);
+    a.bgeu(R::r1, Reg{11}, p2loop); // keep only nd > EPS
+    a.add(Reg{15}, R::r3, Reg{14});
+    a.sd(Reg{11}, Reg{15}, 0); // delta[w] = nd
+    a.sw(Reg{13}, R::r8, 0);   // active append
+    a.addi(R::r8, R::r8, 1 * 4);
+    a.jmp(p2loop);
+    a.bind(p2done);
+    a.li(R::r1, A.active);
+    a.sub(Reg{14}, R::r8, R::r1);
+    a.srli(Reg{14}, Reg{14}, 2); // new activeCount
+    a.jmp(iterTop);
+    a.bind(done);
+    a.halt();
+    a.finalize();
+
+    ThreadSpec &t = ctx.spec.addThread(0, 0, p);
+    t.initRegs[2] = A.ngh;
+    t.initRegs[3] = A.delta;
+    t.initRegs[4] = A.deg;
+    t.initRegs[5] = A.acc;
+}
+
+// -------------------------------------------------------- data-parallel
+
+void
+PrdWorkload::buildDataParallel(BuildContext &ctx)
+{
+    Arrays A = installArrays(ctx);
+    uint32_t nThreads = ctx.numCores() * ctx.smtThreads();
+
+    Program *p = ctx.newProgram("prd-dp");
+    Asm a(p);
+    // r1=G r2=ngh r3=delta r4=deg r5=acc r6=tid r9=i r10=chunkEnd
+    // scratch r7 r8 r11..r15
+    auto iterTop = a.label();
+    auto p1chunk = a.label();
+    auto p1nc = a.label();
+    auto p1v = a.label();
+    auto p1e = a.label();
+    auto p1noT = a.label();
+    auto p1edone = a.label();
+    auto p1end = a.label();
+    auto p2chunk = a.label();
+    auto p2nc = a.label();
+    auto p2v = a.label();
+    auto p2skip = a.label();
+    auto p2end = a.label();
+    auto notT0 = a.label();
+    auto done = a.label();
+
+    a.bind(iterTop);
+    a.ld(R::r7, R::r1, G_ACTIVE_CNT);
+    a.beqi(R::r7, 0, done);
+    a.ld(R::r8, R::r1, G_ITER);
+    a.bgei(R::r8, params_.maxIters, done);
+
+    // ---- Phase 1 over active[0..cnt).
+    a.bind(p1chunk);
+    a.li(Reg{11}, CHUNK);
+    a.amoadd(R::r9, R::r1, Reg{11}); // cursor A
+    a.bgeu(R::r9, R::r7, p1end);
+    a.addi(R::r10, R::r9, CHUNK);
+    a.bltu(R::r10, R::r7, p1nc);
+    a.mov(R::r10, R::r7);
+    a.bind(p1nc);
+    a.bind(p1v);
+    a.bgeu(R::r9, R::r10, p1chunk);
+    a.li(Reg{13}, A.active);
+    a.slli(Reg{12}, R::r9, 2);
+    a.add(Reg{13}, Reg{13}, Reg{12});
+    a.lw(Reg{13}, Reg{13}, 0); // v
+    a.slli(Reg{12}, Reg{13}, 2);
+    a.add(Reg{14}, R::r4, Reg{12});
+    a.lw(Reg{14}, Reg{14}, 0); // deg
+    a.beqi(Reg{14}, 0, p1edone);
+    a.slli(Reg{15}, Reg{13}, 3);
+    a.add(Reg{15}, R::r3, Reg{15});
+    a.ld(Reg{15}, Reg{15}, 0); // delta
+    a.li(R::r8, PrdParams::ALPHA_NUM);
+    a.mul(Reg{15}, Reg{15}, R::r8);
+    a.srli(Reg{15}, Reg{15}, PrdParams::ALPHA_SHIFT);
+    a.divu(Reg{14}, Reg{15}, Reg{14}); // contrib
+    a.beqi(Reg{14}, 0, p1edone);
+    a.li(R::r8, A.off);
+    a.add(R::r8, R::r8, Reg{12});
+    a.lw(Reg{12}, R::r8, 0);  // e = start
+    a.lw(Reg{13}, R::r8, 4);  // end
+    a.bind(p1e);
+    a.bgeu(Reg{12}, Reg{13}, p1edone);
+    a.slli(Reg{15}, Reg{12}, 2);
+    a.add(Reg{15}, R::r2, Reg{15});
+    a.lw(Reg{15}, Reg{15}, 0); // ngh
+    a.slli(R::r8, Reg{15}, 3);
+    a.add(R::r8, R::r5, R::r8);
+    a.amoadd(R::r8, R::r8, Reg{14}); // old = fetch-add contrib
+    a.bnei(R::r8, 0, p1noT);
+    // First toucher appends to the shared touched list.
+    a.addi(R::r8, R::r1, G_TOUCH_IDX);
+    a.li(R::r7, 1);
+    a.amoadd(R::r7, R::r8, R::r7);
+    a.li(R::r8, A.touched);
+    a.slli(R::r7, R::r7, 2);
+    a.add(R::r8, R::r8, R::r7);
+    a.sw(Reg{15}, R::r8, 0);
+    a.ld(R::r7, R::r1, G_ACTIVE_CNT); // restore r7 (phase-1 bound)
+    a.bind(p1noT);
+    a.addi(Reg{12}, Reg{12}, 1);
+    a.jmp(p1e);
+    a.bind(p1edone);
+    a.addi(R::r9, R::r9, 1);
+    a.jmp(p1v);
+
+    a.bind(p1end);
+    emitBarrier(a, R::r1, G_COUNT, G_PHASE, nThreads, Reg{11}, Reg{12},
+                Reg{13});
+
+    // ---- Phase 2 over touched[0..touchIdx).
+    a.ld(R::r7, R::r1, G_TOUCH_IDX);
+    a.bind(p2chunk);
+    a.li(Reg{11}, CHUNK);
+    a.addi(Reg{12}, R::r1, G_CURSOR_B);
+    a.amoadd(R::r9, Reg{12}, Reg{11});
+    a.bgeu(R::r9, R::r7, p2end);
+    a.addi(R::r10, R::r9, CHUNK);
+    a.bltu(R::r10, R::r7, p2nc);
+    a.mov(R::r10, R::r7);
+    a.bind(p2nc);
+    a.bind(p2v);
+    a.bgeu(R::r9, R::r10, p2chunk);
+    a.li(Reg{13}, A.touched);
+    a.slli(Reg{12}, R::r9, 2);
+    a.add(Reg{13}, Reg{13}, Reg{12});
+    a.lw(Reg{13}, Reg{13}, 0); // w
+    a.slli(Reg{14}, Reg{13}, 3);
+    a.add(Reg{15}, R::r5, Reg{14});
+    a.ld(Reg{11}, Reg{15}, 0); // nd (phase 1 complete; exclusive owner)
+    a.sd(R::zero, Reg{15}, 0);
+    a.li(R::r8, A.rank);
+    a.add(Reg{15}, R::r8, Reg{14});
+    a.ld(R::r8, Reg{15}, 0);
+    a.add(R::r8, R::r8, Reg{11});
+    a.sd(R::r8, Reg{15}, 0);
+    a.li(R::r8, PrdParams::EPS);
+    a.bgeu(R::r8, Reg{11}, p2skip);
+    a.add(Reg{15}, R::r3, Reg{14});
+    a.sd(Reg{11}, Reg{15}, 0); // delta[w] = nd
+    a.addi(R::r8, R::r1, G_ACTIVE_IDX);
+    a.li(Reg{14}, 1);
+    a.amoadd(Reg{14}, R::r8, Reg{14});
+    a.li(R::r8, A.active);
+    a.slli(Reg{14}, Reg{14}, 2);
+    a.add(R::r8, R::r8, Reg{14});
+    a.sw(Reg{13}, R::r8, 0);
+    a.bind(p2skip);
+    a.addi(R::r9, R::r9, 1);
+    a.jmp(p2v);
+
+    a.bind(p2end);
+    emitBarrier(a, R::r1, G_COUNT, G_PHASE, nThreads, Reg{11}, Reg{12},
+                Reg{13});
+    a.bnei(R::r6, 0, notT0);
+    a.ld(Reg{11}, R::r1, G_ACTIVE_IDX);
+    a.sd(Reg{11}, R::r1, G_ACTIVE_CNT);
+    a.sd(R::zero, R::r1, G_ACTIVE_IDX);
+    a.sd(R::zero, R::r1, G_TOUCH_IDX);
+    a.sd(R::zero, R::r1, G_CURSOR_A);
+    a.sd(R::zero, R::r1, G_CURSOR_B);
+    a.ld(Reg{11}, R::r1, G_ITER);
+    a.addi(Reg{11}, Reg{11}, 1);
+    a.sd(Reg{11}, R::r1, G_ITER);
+    a.bind(notT0);
+    emitBarrier(a, R::r1, G_COUNT, G_PHASE, nThreads, Reg{11}, Reg{12},
+                Reg{13});
+    a.jmp(iterTop);
+    a.bind(done);
+    a.halt();
+    a.finalize();
+
+    for (CoreId c = 0; c < ctx.numCores(); c++) {
+        for (ThreadId t = 0; t < ctx.smtThreads(); t++) {
+            ThreadSpec &ts = ctx.spec.addThread(c, t, p);
+            ts.initRegs[1] = A.globals;
+            ts.initRegs[2] = A.ngh;
+            ts.initRegs[3] = A.delta;
+            ts.initRegs[4] = A.deg;
+            ts.initRegs[5] = A.acc;
+            ts.initRegs[6] = c * ctx.smtThreads() + t;
+        }
+    }
+}
+
+// ------------------------------------------------------ pipeline stages
+
+Program *
+PrdWorkload::genStreamer(BuildContext &ctx, const Arrays &A,
+                         bool emitOffsets)
+{
+    Program *p = ctx.newProgram("prd-streamer");
+    Asm a(p);
+    // r1=ptr r2=iter r3=delta r4=deg r5=end r6/r7/r8 scratch r10=54
+    auto iterTop = a.label();
+    auto p1v = a.label();
+    auto p1end = a.label();
+    auto p2v = a.label();
+    auto p2end = a.label();
+    auto finish = a.label();
+
+    a.li(R::r10, PrdParams::ALPHA_NUM);
+    a.li(R::r2, 0);
+    a.li(R::r8, g_->numVertices); // activeCount
+    a.bind(iterTop);
+    a.beqi(R::r8, 0, finish);
+    a.bgei(R::r2, params_.maxIters, finish);
+    a.addi(R::r2, R::r2, 1);
+    a.li(R::r1, A.active);
+    a.slli(R::r5, R::r8, 2);
+    a.add(R::r5, R::r1, R::r5);
+    a.bind(p1v);
+    a.bgeu(R::r1, R::r5, p1end);
+    a.lw(R::r6, R::r1, 0); // v
+    a.addi(R::r1, R::r1, 4);
+    a.slli(R::r7, R::r6, 2);
+    a.add(R::r7, R::r4, R::r7);
+    a.lw(R::r7, R::r7, 0); // deg
+    a.beqi(R::r7, 0, p1v);
+    a.slli(R::r8, R::r6, 3);
+    a.add(R::r8, R::r3, R::r8);
+    a.ld(R::r8, R::r8, 0); // delta
+    a.mul(R::r8, R::r8, R::r10);
+    a.srli(R::r8, R::r8, PrdParams::ALPHA_SHIFT);
+    a.divu(R::r7, R::r8, R::r7); // contrib
+    a.beqi(R::r7, 0, p1v);
+    a.enqc(QO, R::r7); // contribution header
+    if (!emitOffsets) {
+        a.mov(QO, R::r6);
+    } else {
+        a.li(R::r7, A.off);
+        a.slli(R::r8, R::r6, 2);
+        a.add(R::r7, R::r7, R::r8);
+        a.lw(R::r8, R::r7, 4);
+        a.lw(R::r7, R::r7, 0);
+        a.mov(QO, R::r7);
+        a.mov(QO, R::r8);
+    }
+    a.jmp(p1v);
+    a.bind(p1end);
+    a.li(R::r6, static_cast<uint64_t>(PHASE1_END));
+    a.enqc(QO, R::r6);
+    a.mov(R::r8, QI); // touched count
+    // Phase 2: stream the touched list.
+    a.li(R::r1, A.touched);
+    a.slli(R::r5, R::r8, 2);
+    a.add(R::r5, R::r1, R::r5);
+    a.bind(p2v);
+    a.bgeu(R::r1, R::r5, p2end);
+    a.lw(QO2, R::r1, 0); // load enqueues w on the phase-2 queue
+    a.addi(R::r1, R::r1, 4);
+    a.jmp(p2v);
+    a.bind(p2end);
+    a.li(R::r6, static_cast<uint64_t>(PHASE2_END));
+    a.enqc(QO2, R::r6);
+    a.mov(R::r8, QI); // new active count
+    a.jmp(iterTop);
+    a.bind(finish);
+    a.li(R::r6, static_cast<uint64_t>(DONE));
+    a.enqc(QO, R::r6);
+    a.halt();
+    a.finalize();
+    return p;
+}
+
+Program *
+PrdWorkload::genPump(BuildContext &ctx, Addr *handler)
+{
+    Program *p = ctx.newProgram("prd-pump");
+    Asm a(p);
+    auto loop = a.label("loop");
+    auto hdl = a.label("hdl");
+    auto fin = a.label("fin");
+    a.bind(loop);
+    a.mov(QO, QI);
+    a.jmp(loop);
+    a.bind(hdl);
+    a.enqc(QO, R::cvval);
+    a.li(R::r1, static_cast<uint64_t>(DONE));
+    a.beq(R::cvval, R::r1, fin);
+    a.jr(R::cvret);
+    a.bind(fin);
+    a.halt();
+    a.finalize();
+    *handler = p->labels().at("hdl");
+    return p;
+}
+
+Program *
+PrdWorkload::genEnumerate(BuildContext &ctx, Addr *handler)
+{
+    Program *p = ctx.newProgram("prd-enumerate");
+    Asm a(p);
+    auto loop = a.label("loop");
+    auto eloop = a.label();
+    auto hdl = a.label("hdl");
+    auto fin = a.label("fin");
+    a.bind(loop);
+    a.mov(R::r2, QI);
+    a.mov(R::r3, QI);
+    a.bind(eloop);
+    a.bgeu(R::r2, R::r3, loop);
+    a.slli(R::r4, R::r2, 2);
+    a.add(R::r4, R::r1, R::r4);
+    a.lw(QO, R::r4, 0);
+    a.addi(R::r2, R::r2, 1);
+    a.jmp(eloop);
+    a.bind(hdl);
+    a.enqc(QO, R::cvval);
+    a.li(R::r5, static_cast<uint64_t>(DONE));
+    a.beq(R::cvval, R::r5, fin);
+    a.jr(R::cvret);
+    a.bind(fin);
+    a.halt();
+    a.finalize();
+    *handler = p->labels().at("hdl");
+    return p;
+}
+
+Program *
+PrdWorkload::genFetchAcc(BuildContext &ctx, Addr *handler)
+{
+    Program *p = ctx.newProgram("prd-fetchacc");
+    Asm a(p);
+    auto loop = a.label("loop");
+    auto hdl = a.label("hdl");
+    auto fin = a.label("fin");
+    a.bind(loop);
+    a.mov(R::r2, QI);
+    a.slli(R::r3, R::r2, 3);
+    a.add(R::r3, R::r1, R::r3);
+    a.mov(QO, R::r2);
+    a.ld(QO, R::r3, 0);
+    a.jmp(loop);
+    a.bind(hdl);
+    a.enqc(QO, R::cvval);
+    a.li(R::r5, static_cast<uint64_t>(DONE));
+    a.beq(R::cvval, R::r5, fin);
+    a.jr(R::cvret);
+    a.bind(fin);
+    a.halt();
+    a.finalize();
+    *handler = p->labels().at("hdl");
+    return p;
+}
+
+Program *
+PrdWorkload::genUpdate(BuildContext &ctx, const Arrays &A, bool loadsAcc,
+                       Addr *handler)
+{
+    Program *p = ctx.newProgram("prd-update");
+    Asm a(p);
+    // r1=acc r2=touchedPtr r3=rank r4=delta r6=activePtr r10=contrib
+    // In: QI = phase-1 data, QO2 = phase-2 data. Out: QO = feedback.
+    auto p1loop = a.label("p1loop");
+    auto p1noT = a.label();
+    auto p2loop = a.label("p2loop");
+    auto p2skip = a.label();
+    auto hdl = a.label("hdl");
+    auto ctl = a.label();
+    auto fin = a.label("fin");
+
+    a.bind(p1loop);
+    a.mov(R::r5, QI); // ngh
+    a.mov(R::r7, QI); // prefetched acc value (may be stale; reload)
+    a.slli(R::r8, R::r5, 3);
+    a.add(R::r8, R::r1, R::r8);
+    a.ld(R::r7, R::r8, 0); // current acc (L1 hit thanks to the RA)
+    a.bnei(R::r7, 0, p1noT);
+    a.sw(R::r5, R::r2, 0); // touched append
+    a.addi(R::r2, R::r2, 4);
+    a.bind(p1noT);
+    a.add(R::r7, R::r7, R::r10);
+    a.sd(R::r7, R::r8, 0);
+    a.jmp(p1loop);
+
+    a.bind(p2loop);
+    a.mov(R::r5, QO2); // w
+    if (loadsAcc) {
+        a.slli(R::r8, R::r5, 3);
+        a.add(R::r8, R::r1, R::r8);
+        a.ld(R::r7, R::r8, 0); // nd (phase 1 complete: accurate)
+    } else {
+        a.mov(R::r7, QO2); // nd via the RA (accurate after phase 1)
+        a.slli(R::r8, R::r5, 3);
+        a.add(R::r8, R::r1, R::r8);
+    }
+    a.sd(R::zero, R::r8, 0); // acc[w] = 0
+    a.slli(R::r8, R::r5, 3);
+    a.add(R::r8, R::r3, R::r8);
+    a.ld(R::r10, R::r8, 0);
+    a.add(R::r10, R::r10, R::r7);
+    a.sd(R::r10, R::r8, 0); // rank[w] += nd
+    a.li(R::r10, PrdParams::EPS);
+    a.bgeu(R::r10, R::r7, p2loop);
+    a.slli(R::r8, R::r5, 3);
+    a.add(R::r8, R::r4, R::r8);
+    a.sd(R::r7, R::r8, 0); // delta[w] = nd
+    a.sw(R::r5, R::r6, 0); // active append
+    a.addi(R::r6, R::r6, 4);
+    a.jmp(p2loop);
+
+    a.bind(hdl);
+    a.srli(R::r5, R::cvval, 63);
+    a.bnei(R::r5, 0, ctl);
+    a.mov(R::r10, R::cvval); // contribution header
+    a.jr(R::cvret);
+    a.bind(ctl);
+    {
+        auto tryP2 = a.label();
+        auto isDone = a.label();
+        a.li(R::r5, static_cast<uint64_t>(PHASE1_END));
+        a.bne(R::cvval, R::r5, tryP2);
+        // PHASE1_END: send touched count, reset pointers, go to phase 2.
+        a.li(R::r5, A.touched);
+        a.sub(R::r7, R::r2, R::r5);
+        a.srli(R::r7, R::r7, 2);
+        a.mov(QO, R::r7);
+        a.li(R::r2, A.touched);
+        a.li(R::r6, A.active);
+        a.jmp(p2loop);
+        a.bind(tryP2);
+        a.li(R::r5, static_cast<uint64_t>(DONE));
+        a.beq(R::cvval, R::r5, isDone);
+        // PHASE2_END: send active count, back to phase 1.
+        a.li(R::r5, A.active);
+        a.sub(R::r7, R::r6, R::r5);
+        a.srli(R::r7, R::r7, 2);
+        a.mov(QO, R::r7);
+        a.jmp(p1loop);
+        a.bind(isDone);
+        a.halt();
+    }
+    a.bind(fin);
+    a.halt();
+    a.finalize();
+    *handler = p->labels().at("hdl");
+    return p;
+}
+
+void
+PrdWorkload::buildPipeline(BuildContext &ctx, bool useRa, bool streaming)
+{
+    fatal_if(streaming && ctx.numCores() < 4,
+             "streaming prd needs 4 cores");
+    Arrays A = installArrays(ctx);
+
+    auto addMap = [](ThreadSpec &t, Reg r, QueueId q, QueueDir d) {
+        t.queueMaps.push_back({r.idx, q, d});
+    };
+    auto initStreamer = [&](ThreadSpec &t) {
+        t.initRegs[3] = A.delta;
+        t.initRegs[4] = A.deg;
+    };
+    auto initUpdate = [&](ThreadSpec &t) {
+        t.initRegs[1] = A.acc;
+        t.initRegs[2] = A.touched;
+        t.initRegs[3] = A.rank;
+        t.initRegs[4] = A.delta;
+        t.initRegs[6] = A.active;
+    };
+
+    if (streaming) {
+        // core0: streamer + RA(pair) + RA(acc kv, phase 2)
+        // core1: pump + RA(scan); core2: pump + RA(acc kv, phase 1)
+        // core3: update. Feedback and phase-2 data cross via connectors.
+        Program *st = genStreamer(ctx, A, false);
+        ThreadSpec &t0 = ctx.spec.addThread(0, 0, st);
+        initStreamer(t0);
+        addMap(t0, QO, 0, QueueDir::Out);  // phase-1 chain
+        addMap(t0, QO2, 3, QueueDir::Out); // phase-2 -> RA4 in
+        addMap(t0, QI, 2, QueueDir::In);   // feedback
+        ctx.spec.ras.push_back({0, 0, 1, A.off, 4, RaMode::IndirectPair});
+        ctx.spec.ras.push_back({0, 3, 4, A.acc, 8, RaMode::IndirectKV});
+
+        Addr h1;
+        Program *pump1 = genPump(ctx, &h1);
+        ThreadSpec &t1 = ctx.spec.addThread(1, 0, pump1);
+        t1.deqHandler = static_cast<int64_t>(h1);
+        addMap(t1, QI, 0, QueueDir::In);
+        addMap(t1, QO, 1, QueueDir::Out);
+        ctx.spec.ras.push_back({1, 1, 2, A.ngh, 4, RaMode::Scan});
+        ctx.spec.connectors.push_back({0, 1, 1, 0});
+
+        Addr h2;
+        Program *pump2 = genPump(ctx, &h2);
+        ThreadSpec &t2 = ctx.spec.addThread(2, 0, pump2);
+        t2.deqHandler = static_cast<int64_t>(h2);
+        addMap(t2, QI, 0, QueueDir::In);
+        addMap(t2, QO, 1, QueueDir::Out);
+        ctx.spec.ras.push_back({2, 1, 2, A.acc, 8, RaMode::IndirectKV});
+        ctx.spec.connectors.push_back({1, 2, 2, 0});
+
+        Addr hU;
+        Program *upd = genUpdate(ctx, A, false, &hU);
+        ThreadSpec &t3 = ctx.spec.addThread(3, 0, upd);
+        t3.deqHandler = static_cast<int64_t>(hU);
+        initUpdate(t3);
+        addMap(t3, QI, 0, QueueDir::In);   // phase-1 data
+        addMap(t3, QO2, 2, QueueDir::In);  // phase-2 data
+        addMap(t3, QO, 1, QueueDir::Out);  // feedback
+        ctx.spec.connectors.push_back({2, 2, 3, 0});
+        ctx.spec.connectors.push_back({0, 4, 3, 2}); // RA4 out -> core3
+        ctx.spec.connectors.push_back({3, 1, 0, 2}); // feedback
+        ctx.spec.queueCaps.push_back({0, 2, 4});
+        ctx.spec.queueCaps.push_back({3, 1, 4});
+        return;
+    }
+
+    if (useRa) {
+        // Phase 1: T1 -> RA pair -> RA scan -> RA kv(acc) -> T2.
+        // Phase 2: T1 -> RA kv(acc) -> T2. Feedback: T2 -> T1.
+        Program *st = genStreamer(ctx, A, false);
+        ThreadSpec &t0 = ctx.spec.addThread(0, 0, st);
+        initStreamer(t0);
+        addMap(t0, QO, 0, QueueDir::Out);
+        addMap(t0, QO2, 5, QueueDir::Out);
+        addMap(t0, QI, 4, QueueDir::In);
+        ctx.spec.ras.push_back({0, 0, 1, A.off, 4, RaMode::IndirectPair});
+        ctx.spec.ras.push_back({0, 1, 2, A.ngh, 4, RaMode::Scan});
+        ctx.spec.ras.push_back({0, 2, 3, A.acc, 8, RaMode::IndirectKV});
+        ctx.spec.ras.push_back({0, 5, 6, A.acc, 8, RaMode::IndirectKV});
+        Addr hU;
+        Program *upd = genUpdate(ctx, A, false, &hU);
+        ThreadSpec &t1 = ctx.spec.addThread(0, 1, upd);
+        t1.deqHandler = static_cast<int64_t>(hU);
+        initUpdate(t1);
+        addMap(t1, QI, 3, QueueDir::In);
+        addMap(t1, QO2, 6, QueueDir::In);
+        addMap(t1, QO, 4, QueueDir::Out);
+        ctx.spec.queueCaps.push_back({0, 0, 16});
+        ctx.spec.queueCaps.push_back({0, 4, 4});
+        return;
+    }
+
+    // No-RA 4-thread pipeline; phase 2 is a direct T1 -> T4 queue.
+    Program *st = genStreamer(ctx, A, true);
+    ThreadSpec &t0 = ctx.spec.addThread(0, 0, st);
+    initStreamer(t0);
+    addMap(t0, QO, 0, QueueDir::Out);
+    addMap(t0, QO2, 4, QueueDir::Out);
+    addMap(t0, QI, 3, QueueDir::In);
+    Addr hE;
+    Program *en = genEnumerate(ctx, &hE);
+    ThreadSpec &t1 = ctx.spec.addThread(0, 1, en);
+    t1.deqHandler = static_cast<int64_t>(hE);
+    t1.initRegs[1] = A.ngh;
+    addMap(t1, QI, 0, QueueDir::In);
+    addMap(t1, QO, 1, QueueDir::Out);
+    Addr hF;
+    Program *fa = genFetchAcc(ctx, &hF);
+    ThreadSpec &t2 = ctx.spec.addThread(0, 2, fa);
+    t2.deqHandler = static_cast<int64_t>(hF);
+    t2.initRegs[1] = A.acc;
+    addMap(t2, QI, 1, QueueDir::In);
+    addMap(t2, QO, 2, QueueDir::Out);
+    Addr hU;
+    Program *upd = genUpdate(ctx, A, true, &hU);
+    ThreadSpec &t3 = ctx.spec.addThread(0, 3, upd);
+    t3.deqHandler = static_cast<int64_t>(hU);
+    initUpdate(t3);
+    addMap(t3, QI, 2, QueueDir::In);
+    addMap(t3, QO2, 4, QueueDir::In);
+    addMap(t3, QO, 3, QueueDir::Out);
+    ctx.spec.queueCaps.push_back({0, 3, 4});
+}
+
+} // namespace pipette

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * PageRank-Delta (paper Sec. V-B, from Ligra): only vertices whose rank
+ * changed by more than a threshold stay active. Fixed-point integer
+ * arithmetic (2^-16 units, alpha = 54/64) keeps every variant
+ * bit-identical to the host reference.
+ *
+ * Each iteration has two pipelined phases:
+ *   phase 1 (distribute): stream active vertices; each vertex's
+ *     contribution rides ahead of its neighbor stream as a CV header;
+ *     the update stage accumulates into acc[] and builds the touched
+ *     list;
+ *   phase 2 (apply): stream the touched list; the update stage folds
+ *     acc into rank/delta and rebuilds the active list.
+ *
+ * CV protocol: bit 63 clear = contribution header; bit 63 set =
+ * PHASE1_END / PHASE2_END / DONE.
+ */
+
+#ifndef PIPETTE_WORKLOADS_PRD_H
+#define PIPETTE_WORKLOADS_PRD_H
+
+#include "workloads/graph.h"
+#include "workloads/refimpl.h"
+#include "workloads/workload.h"
+
+namespace pipette {
+
+/** PageRank-Delta workload over one input graph. */
+class PrdWorkload : public WorkloadBase
+{
+  public:
+    PrdWorkload(const Graph *g, PrdParams params);
+    explicit PrdWorkload(const Graph *g) : PrdWorkload(g, PrdParams{}) {}
+
+    std::string name() const override { return "prd"; }
+    void build(BuildContext &ctx, Variant v) override;
+    bool verify(System &sys) const override;
+
+    static constexpr uint64_t HDR_BIT = 1ull << 63;
+    static constexpr uint64_t PHASE1_END = HDR_BIT;
+    static constexpr uint64_t PHASE2_END = HDR_BIT + 1;
+    static constexpr uint64_t DONE = HDR_BIT + 2;
+
+  private:
+    struct Arrays
+    {
+        Addr off, ngh, deg, delta, acc, rank, active, touched, globals;
+    };
+    Arrays installArrays(BuildContext &ctx);
+
+    void buildSerial(BuildContext &ctx);
+    void buildDataParallel(BuildContext &ctx);
+    void buildPipeline(BuildContext &ctx, bool useRa, bool streaming);
+
+    Program *genStreamer(BuildContext &ctx, const Arrays &A,
+                         bool emitOffsets);
+    Program *genPump(BuildContext &ctx, Addr *handler);
+    Program *genEnumerate(BuildContext &ctx, Addr *handler);
+    Program *genFetchAcc(BuildContext &ctx, Addr *handler);
+    Program *genUpdate(BuildContext &ctx, const Arrays &A, bool loadsAcc,
+                       Addr *handler);
+
+    const Graph *g_;
+    PrdParams params_;
+    std::vector<uint64_t> refRank_;
+    Addr rankAddr_ = 0;
+};
+
+} // namespace pipette
+
+#endif // PIPETTE_WORKLOADS_PRD_H

@@ -1,0 +1,717 @@
+#include "workloads/radii.h"
+
+#include <algorithm>
+
+namespace pipette {
+
+namespace {
+constexpr Reg QO{11};
+constexpr Reg QI{12};
+constexpr int64_t CHUNK = 8;
+
+// Globals block layout (8-byte slots).
+constexpr int64_t G_CURSOR_A = 0;
+constexpr int64_t G_CURSIZE = 8;
+constexpr int64_t G_NEXTIDX = 16;
+constexpr int64_t G_PHASE = 24;
+constexpr int64_t G_COUNT = 32;
+constexpr int64_t G_CURF = 48;
+constexpr int64_t G_NEXTF = 56;
+constexpr int64_t G_CURSOR_B = 72;
+constexpr int64_t G_ROUND = 88;
+constexpr int64_t G_SAVE = 96;
+} // namespace
+
+RadiiWorkload::RadiiWorkload(const Graph *g, RadiiParams params)
+    : g_(g), params_(params)
+{
+    refRadii_ = radiiReference(*g, params);
+    sources_ = radiiSources(g->numVertices, params);
+}
+
+RadiiWorkload::Arrays
+RadiiWorkload::installArrays(BuildContext &ctx)
+{
+    Arrays a;
+    a.off = installU32(ctx.mem(), ctx.alloc, g_->offsets);
+    a.ngh = installU32(ctx.mem(), ctx.alloc, g_->neighbors);
+    std::vector<uint64_t> mask(g_->numVertices, 0);
+    for (uint32_t i = 0; i < sources_.size(); i++)
+        mask[sources_[i]] = 1ull << i;
+    a.mask = installU64(ctx.mem(), ctx.alloc, mask);
+    a.maskNext = ctx.alloc.alloc64(g_->numVertices);
+    ctx.mem().fill(a.maskNext, 8ull * g_->numVertices, 0);
+    a.radii = ctx.alloc.alloc32(g_->numVertices);
+    ctx.mem().fill(a.radii, 4ull * g_->numVertices, 0);
+    radiiAddr_ = a.radii;
+    std::vector<uint32_t> fringe = sources_;
+    std::sort(fringe.begin(), fringe.end());
+    a.fringe0 = static_cast<uint32_t>(fringe.size());
+    fringe.resize(g_->numVertices + 1, 0);
+    a.fA = installU32(ctx.mem(), ctx.alloc, fringe);
+    a.fB = ctx.alloc.alloc32(g_->numVertices + 1);
+    a.globals = ctx.alloc.alloc(128);
+    ctx.mem().fill(a.globals, 128, 0);
+    ctx.mem().write(a.globals + G_ROUND, 8, 1);
+    return a;
+}
+
+bool
+RadiiWorkload::verify(System &sys) const
+{
+    auto got = sys.memory().readArray32(radiiAddr_, g_->numVertices);
+    for (uint32_t v = 0; v < g_->numVertices; v++) {
+        if (got[v] != refRadii_[v]) {
+            warn("radii mismatch at v=", v, ": got ", got[v], " want ",
+                 refRadii_[v]);
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+RadiiWorkload::build(BuildContext &ctx, Variant v)
+{
+    switch (v) {
+      case Variant::Serial:
+        buildSerial(ctx);
+        break;
+      case Variant::DataParallel:
+        buildDataParallel(ctx);
+        break;
+      case Variant::Pipette:
+        buildPipeline(ctx, true, false);
+        break;
+      case Variant::PipetteNoRa:
+        buildPipeline(ctx, false, false);
+        break;
+      case Variant::Streaming:
+        buildPipeline(ctx, true, true);
+        break;
+      default:
+        fatal("radii: unsupported variant");
+    }
+}
+
+// --------------------------------------------------------------- serial
+
+void
+RadiiWorkload::buildSerial(BuildContext &ctx)
+{
+    Arrays A = installArrays(ctx);
+    Program *p = ctx.newProgram("radii-serial");
+    Asm a(p);
+    // r1=off r2=ngh r3=mask r4=curF r5=nextF r6=curSize r7=nextIdx
+    // r8=maskNext r9=i; r10..r15 scratch
+    auto round = a.label();
+    auto vloop = a.label();
+    auto eloop = a.label();
+    auto enext = a.label();
+    auto skipApp = a.label();
+    auto edone = a.label();
+    auto updateDone = a.label();
+    auto aloop = a.label();
+    auto adone = a.label();
+    auto done = a.label();
+
+    a.bind(round);
+    a.li(R::r9, 0);
+    a.bind(vloop);
+    a.bgeu(R::r9, R::r6, updateDone);
+    a.slli(R::r10, R::r9, 2);
+    a.add(R::r10, R::r4, R::r10);
+    a.lw(R::r10, R::r10, 0); // v
+    a.slli(Reg{15}, R::r10, 3);
+    a.add(Reg{15}, R::r3, Reg{15});
+    a.ld(Reg{15}, Reg{15}, 0); // vm = mask[v]
+    a.slli(Reg{11}, R::r10, 2);
+    a.add(Reg{11}, R::r1, Reg{11});
+    a.lw(Reg{12}, Reg{11}, 4); // end
+    a.lw(Reg{11}, Reg{11}, 0); // start
+    a.bind(eloop);
+    a.bgeu(Reg{11}, Reg{12}, edone);
+    a.slli(R::r10, Reg{11}, 2);
+    a.add(R::r10, R::r2, R::r10);
+    a.lw(R::r10, R::r10, 0); // ngh
+    a.slli(Reg{13}, R::r10, 3);
+    a.add(Reg{14}, R::r3, Reg{13});
+    a.ld(Reg{14}, Reg{14}, 0); // mask[ngh]
+    a.xori(Reg{14}, Reg{14}, -1);
+    a.and_(Reg{14}, Reg{15}, Reg{14}); // t = vm & ~mask[ngh]
+    a.beqi(Reg{14}, 0, enext);
+    a.add(Reg{13}, R::r8, Reg{13}); // &maskNext[ngh]
+    a.ld(Reg{14}, Reg{13}, 0);      // mn
+    a.bnei(Reg{14}, 0, skipApp);
+    a.slli(Reg{14}, R::r7, 2);
+    a.add(Reg{14}, R::r5, Reg{14});
+    a.sw(R::r10, Reg{14}, 0); // append ngh
+    a.addi(R::r7, R::r7, 1);
+    a.bind(skipApp);
+    a.ld(Reg{14}, Reg{13}, 0);
+    a.or_(Reg{14}, Reg{14}, Reg{15});
+    a.sd(Reg{14}, Reg{13}, 0);
+    a.bind(enext);
+    a.addi(Reg{11}, Reg{11}, 1);
+    a.jmp(eloop);
+    a.bind(edone);
+    a.addi(R::r9, R::r9, 1);
+    a.jmp(vloop);
+
+    a.bind(updateDone);
+    a.beqi(R::r7, 0, done);
+    // Apply phase over nextF[0..nextIdx).
+    a.li(R::r9, 0);
+    a.li(Reg{13}, A.radii);
+    a.li(Reg{14}, A.globals + G_ROUND);
+    a.ld(Reg{14}, Reg{14}, 0); // round
+    a.bind(aloop);
+    a.bgeu(R::r9, R::r7, adone);
+    a.slli(R::r10, R::r9, 2);
+    a.add(R::r10, R::r5, R::r10);
+    a.lw(R::r10, R::r10, 0); // w
+    a.slli(Reg{11}, R::r10, 3);
+    a.add(Reg{12}, R::r8, Reg{11});
+    a.ld(Reg{15}, Reg{12}, 0); // a = maskNext[w]
+    a.sd(R::zero, Reg{12}, 0);
+    a.add(Reg{12}, R::r3, Reg{11});
+    a.ld(Reg{11}, Reg{12}, 0); // m
+    a.or_(Reg{11}, Reg{11}, Reg{15});
+    a.sd(Reg{11}, Reg{12}, 0);
+    a.slli(Reg{11}, R::r10, 2);
+    a.add(Reg{11}, Reg{13}, Reg{11});
+    a.sw(Reg{14}, Reg{11}, 0); // radii[w] = round
+    a.addi(R::r9, R::r9, 1);
+    a.jmp(aloop);
+    a.bind(adone);
+    a.addi(Reg{14}, Reg{14}, 1);
+    a.li(R::r10, A.globals + G_ROUND);
+    a.sd(Reg{14}, R::r10, 0);
+    a.mov(R::r10, R::r4);
+    a.mov(R::r4, R::r5);
+    a.mov(R::r5, R::r10);
+    a.mov(R::r6, R::r7);
+    a.li(R::r7, 0);
+    a.jmp(round);
+    a.bind(done);
+    a.halt();
+    a.finalize();
+
+    ThreadSpec &t = ctx.spec.addThread(0, 0, p);
+    t.initRegs[1] = A.off;
+    t.initRegs[2] = A.ngh;
+    t.initRegs[3] = A.mask;
+    t.initRegs[4] = A.fA;
+    t.initRegs[5] = A.fB;
+    t.initRegs[6] = A.fringe0;
+    t.initRegs[8] = A.maskNext;
+}
+
+// -------------------------------------------------------- data-parallel
+
+void
+RadiiWorkload::buildDataParallel(BuildContext &ctx)
+{
+    Arrays A = installArrays(ctx);
+    ctx.mem().write(A.globals + G_CURSIZE, 8, A.fringe0);
+    ctx.mem().write(A.globals + G_CURF, 8, A.fA);
+    ctx.mem().write(A.globals + G_NEXTF, 8, A.fB);
+
+    uint32_t nThreads = ctx.numCores() * ctx.smtThreads();
+
+    Program *p = ctx.newProgram("radii-dp");
+    Asm a(p);
+    // r1=off r2=ngh r3=mask r4=G r5=tid r6=curF r7=curSize r8=maskNext
+    // r9=i r10=chunkEnd r11..r15 scratch
+    auto round = a.label();
+    auto chunk = a.label();
+    auto noclamp = a.label();
+    auto vloop = a.label();
+    auto eloop = a.label();
+    auto enext = a.label();
+    auto edone = a.label();
+    auto updateEnd = a.label();
+    auto applyChunk = a.label();
+    auto applyNoclamp = a.label();
+    auto aloop = a.label();
+    auto applyEnd = a.label();
+    auto notT0 = a.label();
+    auto done = a.label();
+
+    a.bind(round);
+    a.ld(R::r6, R::r4, G_CURF);
+    a.ld(R::r7, R::r4, G_CURSIZE);
+    a.bind(chunk);
+    a.li(Reg{11}, CHUNK);
+    a.amoadd(R::r9, R::r4, Reg{11}); // cursor A at offset 0
+    a.bgeu(R::r9, R::r7, updateEnd);
+    a.addi(R::r10, R::r9, CHUNK);
+    a.bltu(R::r10, R::r7, noclamp);
+    a.mov(R::r10, R::r7);
+    a.bind(noclamp);
+    a.bind(vloop);
+    a.bgeu(R::r9, R::r10, chunk);
+    a.slli(Reg{11}, R::r9, 2);
+    a.add(Reg{11}, R::r6, Reg{11});
+    a.lw(Reg{11}, Reg{11}, 0); // v
+    a.slli(Reg{15}, Reg{11}, 3);
+    a.add(Reg{15}, R::r3, Reg{15});
+    a.ld(Reg{15}, Reg{15}, 0); // vm
+    a.slli(Reg{12}, Reg{11}, 2);
+    a.add(Reg{12}, R::r1, Reg{12});
+    a.lw(Reg{13}, Reg{12}, 4); // end (temporarily)
+    a.lw(Reg{12}, Reg{12}, 0); // start
+    // Move end into r11 (v is dead).
+    a.mov(Reg{11}, Reg{13});
+    a.bind(eloop);
+    a.bgeu(Reg{12}, Reg{11}, edone);
+    a.slli(Reg{13}, Reg{12}, 2);
+    a.add(Reg{13}, R::r2, Reg{13});
+    a.lw(Reg{13}, Reg{13}, 0); // ngh
+    a.slli(Reg{14}, Reg{13}, 3);
+    a.add(Reg{14}, R::r3, Reg{14});
+    a.ld(Reg{14}, Reg{14}, 0);
+    a.xori(Reg{14}, Reg{14}, -1);
+    a.and_(Reg{14}, Reg{15}, Reg{14}); // t
+    a.beqi(Reg{14}, 0, enext);
+    a.slli(Reg{14}, Reg{13}, 3);
+    a.add(Reg{14}, R::r8, Reg{14});
+    a.amoor(Reg{14}, Reg{14}, Reg{15}); // old = fetch-or
+    a.bnei(Reg{14}, 0, enext);
+    // First toucher appends (exactly once per vertex per round).
+    a.addi(Reg{14}, R::r4, G_NEXTIDX);
+    a.li(R::r10, 1);
+    a.amoadd(R::r10, Reg{14}, R::r10);
+    a.ld(Reg{14}, R::r4, G_NEXTF);
+    a.slli(R::r10, R::r10, 2);
+    a.add(Reg{14}, Reg{14}, R::r10);
+    a.sw(Reg{13}, Reg{14}, 0);
+    // Restore the chunk end (claims are CHUNK-aligned).
+    a.andi(R::r10, R::r9, ~(CHUNK - 1));
+    a.addi(R::r10, R::r10, CHUNK);
+    {
+        auto nc = a.label();
+        a.bltu(R::r10, R::r7, nc);
+        a.mov(R::r10, R::r7);
+        a.bind(nc);
+    }
+    a.bind(enext);
+    a.addi(Reg{12}, Reg{12}, 1);
+    a.jmp(eloop);
+    a.bind(edone);
+    a.addi(R::r9, R::r9, 1);
+    a.jmp(vloop);
+
+    a.bind(updateEnd);
+    emitBarrier(a, R::r4, G_COUNT, G_PHASE, nThreads, Reg{11}, Reg{12},
+                Reg{13});
+    // Apply phase: chunked over nextF[0..nextIdx). r7 <- bound,
+    // r6 <- round (curF is reloaded next round).
+    a.ld(R::r7, R::r4, G_NEXTIDX);
+    a.ld(R::r6, R::r4, G_ROUND);
+    a.bind(applyChunk);
+    a.li(Reg{11}, CHUNK);
+    a.addi(Reg{12}, R::r4, G_CURSOR_B);
+    a.amoadd(R::r9, Reg{12}, Reg{11});
+    a.bgeu(R::r9, R::r7, applyEnd);
+    a.addi(R::r10, R::r9, CHUNK);
+    a.bltu(R::r10, R::r7, applyNoclamp);
+    a.mov(R::r10, R::r7);
+    a.bind(applyNoclamp);
+    a.bind(aloop);
+    a.bgeu(R::r9, R::r10, applyChunk);
+    a.ld(Reg{11}, R::r4, G_NEXTF);
+    a.slli(Reg{12}, R::r9, 2);
+    a.add(Reg{11}, Reg{11}, Reg{12});
+    a.lw(Reg{11}, Reg{11}, 0); // w
+    a.slli(Reg{12}, Reg{11}, 3);
+    a.add(Reg{13}, R::r8, Reg{12});
+    a.ld(Reg{14}, Reg{13}, 0); // a
+    a.sd(R::zero, Reg{13}, 0);
+    a.add(Reg{13}, R::r3, Reg{12});
+    a.ld(Reg{15}, Reg{13}, 0); // m
+    a.or_(Reg{15}, Reg{15}, Reg{14});
+    a.sd(Reg{15}, Reg{13}, 0);
+    a.li(Reg{13}, A.radii);
+    a.slli(Reg{12}, Reg{11}, 2);
+    a.add(Reg{13}, Reg{13}, Reg{12});
+    a.sw(R::r6, Reg{13}, 0); // radii[w] = round
+    a.addi(R::r9, R::r9, 1);
+    a.jmp(aloop);
+
+    a.bind(applyEnd);
+    emitBarrier(a, R::r4, G_COUNT, G_PHASE, nThreads, Reg{11}, Reg{12},
+                Reg{13});
+    a.bnei(R::r5, 0, notT0);
+    a.ld(Reg{11}, R::r4, G_CURF);
+    a.ld(Reg{12}, R::r4, G_NEXTF);
+    a.sd(Reg{12}, R::r4, G_CURF);
+    a.sd(Reg{11}, R::r4, G_NEXTF);
+    a.ld(Reg{11}, R::r4, G_NEXTIDX);
+    a.sd(Reg{11}, R::r4, G_CURSIZE);
+    a.sd(R::zero, R::r4, G_NEXTIDX);
+    a.sd(R::zero, R::r4, G_CURSOR_A);
+    a.sd(R::zero, R::r4, G_CURSOR_B);
+    a.ld(Reg{11}, R::r4, G_ROUND);
+    a.addi(Reg{11}, Reg{11}, 1);
+    a.sd(Reg{11}, R::r4, G_ROUND);
+    a.bind(notT0);
+    emitBarrier(a, R::r4, G_COUNT, G_PHASE, nThreads, Reg{11}, Reg{12},
+                Reg{13});
+    a.ld(Reg{11}, R::r4, G_CURSIZE);
+    a.beqi(Reg{11}, 0, done);
+    a.jmp(round);
+    a.bind(done);
+    a.halt();
+    a.finalize();
+
+    for (CoreId c = 0; c < ctx.numCores(); c++) {
+        for (ThreadId t = 0; t < ctx.smtThreads(); t++) {
+            ThreadSpec &ts = ctx.spec.addThread(c, t, p);
+            ts.initRegs[1] = A.off;
+            ts.initRegs[2] = A.ngh;
+            ts.initRegs[3] = A.mask;
+            ts.initRegs[4] = A.globals;
+            ts.initRegs[5] = c * ctx.smtThreads() + t;
+            ts.initRegs[8] = A.maskNext;
+        }
+    }
+}
+
+// ------------------------------------------------------ pipeline stages
+
+Program *
+RadiiWorkload::genFringe(BuildContext &ctx, bool emitOffsets)
+{
+    Program *p = ctx.newProgram("radii-fringe");
+    Asm a(p);
+    // r1=curF r2=nextF r3=curSize r4=i r5=v r6=mask
+    // r8=off (if emitOffsets) r9/r10 scratch
+    auto level = a.label();
+    auto vloop = a.label();
+    auto next = a.label();
+
+    a.bind(level);
+    a.li(R::r4, 0);
+    a.bind(vloop);
+    a.bgeu(R::r4, R::r3, next);
+    a.slli(R::r5, R::r4, 2);
+    a.add(R::r5, R::r1, R::r5);
+    a.lw(R::r5, R::r5, 0); // v
+    a.slli(R::r9, R::r5, 3);
+    a.add(R::r9, R::r6, R::r9);
+    a.ld(R::r9, R::r9, 0); // mask[v]
+    a.enqc(QO, R::r9);     // per-vertex mask header
+    if (!emitOffsets) {
+        a.mov(QO, R::r5);
+    } else {
+        a.slli(R::r9, R::r5, 2);
+        a.add(R::r9, R::r8, R::r9);
+        a.lw(R::r10, R::r9, 4);
+        a.lw(R::r9, R::r9, 0);
+        a.mov(QO, R::r9);
+        a.mov(QO, R::r10);
+    }
+    a.addi(R::r4, R::r4, 1);
+    a.jmp(vloop);
+    a.bind(next);
+    a.li(R::r5, static_cast<uint64_t>(LEVEL_END));
+    a.enqc(QO, R::r5);
+    a.mov(R::r3, QI);
+    a.mov(R::r5, R::r1);
+    a.mov(R::r1, R::r2);
+    a.mov(R::r2, R::r5);
+    a.bnei(R::r3, 0, level);
+    a.li(R::r5, static_cast<uint64_t>(DONE));
+    a.enqc(QO, R::r5);
+    a.halt();
+    a.finalize();
+    return p;
+}
+
+Program *
+RadiiWorkload::genPump(BuildContext &ctx, Addr *handler)
+{
+    Program *p = ctx.newProgram("radii-pump");
+    Asm a(p);
+    auto loop = a.label("loop");
+    auto hdl = a.label("hdl");
+    auto fin = a.label("fin");
+    a.bind(loop);
+    a.mov(QO, QI);
+    a.jmp(loop);
+    a.bind(hdl);
+    a.enqc(QO, R::cvval);
+    a.li(R::r1, static_cast<uint64_t>(DONE));
+    a.beq(R::cvval, R::r1, fin);
+    a.jr(R::cvret);
+    a.bind(fin);
+    a.halt();
+    a.finalize();
+    *handler = p->labels().at("hdl");
+    return p;
+}
+
+Program *
+RadiiWorkload::genEnumerate(BuildContext &ctx, Addr *handler)
+{
+    Program *p = ctx.newProgram("radii-enumerate");
+    Asm a(p);
+    auto loop = a.label("loop");
+    auto eloop = a.label();
+    auto hdl = a.label("hdl");
+    auto fin = a.label("fin");
+    a.bind(loop);
+    a.mov(R::r2, QI);
+    a.mov(R::r3, QI);
+    a.bind(eloop);
+    a.bgeu(R::r2, R::r3, loop);
+    a.slli(R::r4, R::r2, 2);
+    a.add(R::r4, R::r1, R::r4);
+    a.lw(QO, R::r4, 0);
+    a.addi(R::r2, R::r2, 1);
+    a.jmp(eloop);
+    a.bind(hdl);
+    a.enqc(QO, R::cvval);
+    a.li(R::r5, static_cast<uint64_t>(DONE));
+    a.beq(R::cvval, R::r5, fin);
+    a.jr(R::cvret);
+    a.bind(fin);
+    a.halt();
+    a.finalize();
+    *handler = p->labels().at("hdl");
+    return p;
+}
+
+Program *
+RadiiWorkload::genFetchMask(BuildContext &ctx, Addr *handler)
+{
+    Program *p = ctx.newProgram("radii-fetchmask");
+    Asm a(p);
+    auto loop = a.label("loop");
+    auto hdl = a.label("hdl");
+    auto fin = a.label("fin");
+    a.bind(loop);
+    a.mov(R::r2, QI);
+    a.slli(R::r3, R::r2, 3);
+    a.add(R::r3, R::r1, R::r3);
+    a.mov(QO, R::r2);
+    a.ld(QO, R::r3, 0);
+    a.jmp(loop);
+    a.bind(hdl);
+    a.enqc(QO, R::cvval);
+    a.li(R::r5, static_cast<uint64_t>(DONE));
+    a.beq(R::cvval, R::r5, fin);
+    a.jr(R::cvret);
+    a.bind(fin);
+    a.halt();
+    a.finalize();
+    *handler = p->labels().at("hdl");
+    return p;
+}
+
+Program *
+RadiiWorkload::genUpdate(BuildContext &ctx, const Arrays &A, Addr *handler)
+{
+    Program *p = ctx.newProgram("radii-update");
+    Asm a(p);
+    // r1=mask r2=nextF r3=nextIdx r4=maskNext r6=other fringe
+    // r10=current vertex's mask (set by the header CV handler)
+    auto loop = a.label("loop");
+    auto skipApp = a.label();
+    auto hdl = a.label("hdl");
+    auto ctl = a.label();
+    auto aloop = a.label();
+    auto adone = a.label();
+    auto fin = a.label("fin");
+
+    a.li(R::r3, 0);
+    a.bind(loop);
+    a.mov(R::r5, QI); // ngh
+    a.mov(R::r7, QI); // mask[ngh] (stable within a round)
+    a.xori(R::r7, R::r7, -1);
+    a.and_(R::r7, R::r10, R::r7); // t = vm & ~mask[ngh]
+    a.beqi(R::r7, 0, loop);
+    a.slli(R::r8, R::r5, 3);
+    a.add(R::r8, R::r4, R::r8); // &maskNext[ngh]
+    a.ld(R::r7, R::r8, 0);      // mn
+    a.bnei(R::r7, 0, skipApp);
+    a.slli(R::r9, R::r3, 2);
+    a.add(R::r9, R::r2, R::r9);
+    a.sw(R::r5, R::r9, 0); // append
+    a.addi(R::r3, R::r3, 1);
+    a.bind(skipApp);
+    a.ld(R::r7, R::r8, 0);
+    a.or_(R::r7, R::r7, R::r10);
+    a.sd(R::r7, R::r8, 0);
+    a.jmp(loop);
+
+    a.bind(hdl);
+    a.srli(R::r5, R::cvval, 63);
+    a.bnei(R::r5, 0, ctl);
+    a.mov(R::r10, R::cvval); // mask header
+    a.jr(R::cvret);
+    a.bind(ctl);
+    a.li(R::r5, static_cast<uint64_t>(DONE));
+    a.beq(R::cvval, R::r5, fin);
+    // LEVEL_END: apply phase. r13/r14 (cvval/cvqid) are scratch here.
+    a.li(R::cvqid, A.globals + G_SAVE);
+    a.sd(R::r6, R::cvqid, 0); // save the other-fringe pointer
+    a.li(R::r7, A.radii);
+    a.li(R::cvqid, A.globals + G_ROUND);
+    a.ld(R::r8, R::cvqid, 0); // round
+    a.li(R::r5, 0);
+    a.bind(aloop);
+    a.bgeu(R::r5, R::r3, adone);
+    a.slli(R::cvval, R::r5, 2);
+    a.add(R::cvval, R::r2, R::cvval);
+    a.lw(R::r6, R::cvval, 0); // w
+    a.slli(R::cvval, R::r6, 3);
+    a.add(R::cvqid, R::r4, R::cvval); // &maskNext[w]
+    a.ld(R::r9, R::cvqid, 0);
+    a.sd(R::zero, R::cvqid, 0);
+    a.add(R::cvqid, R::r1, R::cvval); // &mask[w]
+    a.ld(R::r10, R::cvqid, 0);
+    a.or_(R::r10, R::r10, R::r9);
+    a.sd(R::r10, R::cvqid, 0);
+    a.slli(R::cvval, R::r6, 2);
+    a.add(R::cvval, R::r7, R::cvval);
+    a.sw(R::r8, R::cvval, 0); // radii[w] = round
+    a.addi(R::r5, R::r5, 1);
+    a.jmp(aloop);
+    a.bind(adone);
+    a.addi(R::r8, R::r8, 1);
+    a.li(R::cvqid, A.globals + G_ROUND);
+    a.sd(R::r8, R::cvqid, 0);
+    a.mov(QO, R::r3); // feedback: next fringe size
+    a.li(R::cvqid, A.globals + G_SAVE);
+    a.ld(R::r6, R::cvqid, 0); // restore other fringe
+    a.mov(R::cvval, R::r2);
+    a.mov(R::r2, R::r6);
+    a.mov(R::r6, R::cvval);
+    a.li(R::r3, 0);
+    a.jr(R::cvret);
+    a.bind(fin);
+    a.halt();
+    a.finalize();
+    *handler = p->labels().at("hdl");
+    return p;
+}
+
+void
+RadiiWorkload::buildPipeline(BuildContext &ctx, bool useRa,
+                             bool streaming)
+{
+    fatal_if(streaming && ctx.numCores() < 4,
+             "streaming radii needs 4 cores");
+    Arrays A = installArrays(ctx);
+
+    auto addMap = [](ThreadSpec &t, Reg r, QueueId q, QueueDir d) {
+        t.queueMaps.push_back({r.idx, q, d});
+    };
+    auto initFringe = [&](ThreadSpec &t, bool emitOffsets) {
+        t.initRegs[1] = A.fA;
+        t.initRegs[2] = A.fB;
+        t.initRegs[3] = A.fringe0;
+        t.initRegs[6] = A.mask;
+        if (emitOffsets)
+            t.initRegs[8] = A.off;
+    };
+    auto initUpdate = [&](ThreadSpec &t) {
+        t.initRegs[1] = A.mask;
+        t.initRegs[2] = A.fB;
+        t.initRegs[6] = A.fA;
+        t.initRegs[4] = A.maskNext;
+    };
+
+    if (streaming) {
+        Program *fr = genFringe(ctx, false);
+        ThreadSpec &t0 = ctx.spec.addThread(0, 0, fr);
+        initFringe(t0, false);
+        addMap(t0, QO, 0, QueueDir::Out);
+        addMap(t0, QI, 2, QueueDir::In);
+        ctx.spec.ras.push_back({0, 0, 1, A.off, 4, RaMode::IndirectPair});
+
+        Addr h1;
+        Program *pump1 = genPump(ctx, &h1);
+        ThreadSpec &t1 = ctx.spec.addThread(1, 0, pump1);
+        t1.deqHandler = static_cast<int64_t>(h1);
+        addMap(t1, QI, 0, QueueDir::In);
+        addMap(t1, QO, 1, QueueDir::Out);
+        ctx.spec.ras.push_back({1, 1, 2, A.ngh, 4, RaMode::Scan});
+        ctx.spec.connectors.push_back({0, 1, 1, 0});
+
+        Addr h2;
+        Program *pump2 = genPump(ctx, &h2);
+        ThreadSpec &t2 = ctx.spec.addThread(2, 0, pump2);
+        t2.deqHandler = static_cast<int64_t>(h2);
+        addMap(t2, QI, 0, QueueDir::In);
+        addMap(t2, QO, 1, QueueDir::Out);
+        ctx.spec.ras.push_back({2, 1, 2, A.mask, 8, RaMode::IndirectKV});
+        ctx.spec.connectors.push_back({1, 2, 2, 0});
+
+        Addr hU;
+        Program *upd = genUpdate(ctx, A, &hU);
+        ThreadSpec &t3 = ctx.spec.addThread(3, 0, upd);
+        t3.deqHandler = static_cast<int64_t>(hU);
+        initUpdate(t3);
+        addMap(t3, QI, 0, QueueDir::In);
+        addMap(t3, QO, 1, QueueDir::Out);
+        ctx.spec.connectors.push_back({2, 2, 3, 0});
+        ctx.spec.connectors.push_back({3, 1, 0, 2});
+        ctx.spec.queueCaps.push_back({0, 2, 4});
+        ctx.spec.queueCaps.push_back({3, 1, 4});
+        return;
+    }
+
+    if (useRa) {
+        Program *fr = genFringe(ctx, false);
+        ThreadSpec &t0 = ctx.spec.addThread(0, 0, fr);
+        initFringe(t0, false);
+        addMap(t0, QO, 0, QueueDir::Out);
+        addMap(t0, QI, 4, QueueDir::In);
+        ctx.spec.ras.push_back({0, 0, 1, A.off, 4, RaMode::IndirectPair});
+        ctx.spec.ras.push_back({0, 1, 2, A.ngh, 4, RaMode::Scan});
+        ctx.spec.ras.push_back({0, 2, 3, A.mask, 8, RaMode::IndirectKV});
+        Addr hU;
+        Program *upd = genUpdate(ctx, A, &hU);
+        ThreadSpec &t1 = ctx.spec.addThread(0, 1, upd);
+        t1.deqHandler = static_cast<int64_t>(hU);
+        initUpdate(t1);
+        addMap(t1, QI, 3, QueueDir::In);
+        addMap(t1, QO, 4, QueueDir::Out);
+        ctx.spec.queueCaps.push_back({0, 0, 16});
+        ctx.spec.queueCaps.push_back({0, 4, 4});
+        return;
+    }
+
+    Program *fr = genFringe(ctx, true);
+    ThreadSpec &t0 = ctx.spec.addThread(0, 0, fr);
+    initFringe(t0, true);
+    addMap(t0, QO, 0, QueueDir::Out);
+    addMap(t0, QI, 3, QueueDir::In);
+    Addr hE;
+    Program *en = genEnumerate(ctx, &hE);
+    ThreadSpec &t1 = ctx.spec.addThread(0, 1, en);
+    t1.deqHandler = static_cast<int64_t>(hE);
+    t1.initRegs[1] = A.ngh;
+    addMap(t1, QI, 0, QueueDir::In);
+    addMap(t1, QO, 1, QueueDir::Out);
+    Addr hF;
+    Program *fm = genFetchMask(ctx, &hF);
+    ThreadSpec &t2 = ctx.spec.addThread(0, 2, fm);
+    t2.deqHandler = static_cast<int64_t>(hF);
+    t2.initRegs[1] = A.mask;
+    addMap(t2, QI, 1, QueueDir::In);
+    addMap(t2, QO, 2, QueueDir::Out);
+    Addr hU;
+    Program *upd = genUpdate(ctx, A, &hU);
+    ThreadSpec &t3 = ctx.spec.addThread(0, 3, upd);
+    t3.deqHandler = static_cast<int64_t>(hU);
+    initUpdate(t3);
+    addMap(t3, QI, 2, QueueDir::In);
+    addMap(t3, QO, 3, QueueDir::Out);
+    ctx.spec.queueCaps.push_back({0, 3, 4});
+}
+
+} // namespace pipette

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Radii estimation (paper Sec. V-B, from Ligra): K simultaneous BFS
+ * traversals tracked as per-vertex bit masks. Rounds are strictly
+ * synchronous: the update phase reads mask[] and accumulates into
+ * maskNext[], and an apply phase at the end of each round folds
+ * maskNext into mask and stamps radii. This makes every variant
+ * bit-identical to the host reference.
+ *
+ * The pipeline sends each fringe vertex's mask ahead of its neighbor
+ * stream as a per-vertex control value (masks use < 60 bits; CVs with
+ * bit 63 set are LEVEL_END / DONE).
+ */
+
+#ifndef PIPETTE_WORKLOADS_RADII_H
+#define PIPETTE_WORKLOADS_RADII_H
+
+#include "workloads/graph.h"
+#include "workloads/refimpl.h"
+#include "workloads/workload.h"
+
+namespace pipette {
+
+/** Radii-estimation workload over one input graph. */
+class RadiiWorkload : public WorkloadBase
+{
+  public:
+    RadiiWorkload(const Graph *g, RadiiParams params);
+    explicit RadiiWorkload(const Graph *g)
+        : RadiiWorkload(g, RadiiParams{})
+    {
+    }
+
+    std::string name() const override { return "radii"; }
+    void build(BuildContext &ctx, Variant v) override;
+    bool verify(System &sys) const override;
+
+    static constexpr uint64_t HDR_BIT = 1ull << 63;
+    static constexpr uint64_t LEVEL_END = HDR_BIT;
+    static constexpr uint64_t DONE = HDR_BIT + 1;
+
+  private:
+    struct Arrays
+    {
+        Addr off, ngh, mask, maskNext, radii, fA, fB, globals;
+        uint32_t fringe0;
+    };
+    Arrays installArrays(BuildContext &ctx);
+
+    void buildSerial(BuildContext &ctx);
+    void buildDataParallel(BuildContext &ctx);
+    void buildPipeline(BuildContext &ctx, bool useRa, bool streaming);
+
+    Program *genFringe(BuildContext &ctx, bool emitOffsets);
+    Program *genPump(BuildContext &ctx, Addr *handler);
+    Program *genEnumerate(BuildContext &ctx, Addr *handler);
+    Program *genFetchMask(BuildContext &ctx, Addr *handler);
+    Program *genUpdate(BuildContext &ctx, const Arrays &A, Addr *handler);
+
+    const Graph *g_;
+    RadiiParams params_;
+    std::vector<uint32_t> refRadii_;
+    std::vector<uint32_t> sources_;
+    Addr radiiAddr_ = 0;
+};
+
+} // namespace pipette
+
+#endif // PIPETTE_WORKLOADS_RADII_H

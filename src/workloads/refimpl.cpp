@@ -1,0 +1,299 @@
+#include "workloads/refimpl.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "sim/logging.h"
+
+namespace pipette {
+
+std::vector<uint32_t>
+bfsReference(const Graph &g, uint32_t src)
+{
+    std::vector<uint32_t> dist(g.numVertices, 0xFFFFFFFFu);
+    dist[src] = 0;
+    std::vector<uint32_t> fringe{src}, next;
+    uint32_t level = 1;
+    while (!fringe.empty()) {
+        next.clear();
+        for (uint32_t v : fringe) {
+            for (uint32_t e = g.offsets[v]; e < g.offsets[v + 1]; e++) {
+                uint32_t n = g.neighbors[e];
+                if (dist[n] == 0xFFFFFFFFu) {
+                    dist[n] = level;
+                    next.push_back(n);
+                }
+            }
+        }
+        fringe.swap(next);
+        level++;
+    }
+    return dist;
+}
+
+std::vector<uint32_t>
+ccReference(const Graph &g)
+{
+    // Min-label per component via BFS from each unvisited vertex.
+    std::vector<uint32_t> comp(g.numVertices, 0xFFFFFFFFu);
+    for (uint32_t s = 0; s < g.numVertices; s++) {
+        if (comp[s] != 0xFFFFFFFFu)
+            continue;
+        comp[s] = s;
+        std::queue<uint32_t> q;
+        q.push(s);
+        while (!q.empty()) {
+            uint32_t v = q.front();
+            q.pop();
+            for (uint32_t e = g.offsets[v]; e < g.offsets[v + 1]; e++) {
+                uint32_t n = g.neighbors[e];
+                if (comp[n] == 0xFFFFFFFFu) {
+                    comp[n] = s;
+                    q.push(n);
+                }
+            }
+        }
+    }
+    return comp;
+}
+
+std::vector<uint64_t>
+prdReference(const Graph &g, const PrdParams &p)
+{
+    uint32_t n = g.numVertices;
+    std::vector<uint64_t> rank(n, 0), delta(n, PrdParams::FP), acc(n, 0);
+    std::vector<uint32_t> active(n), touched;
+    std::iota(active.begin(), active.end(), 0);
+
+    for (uint32_t iter = 0; iter < p.maxIters && !active.empty();
+         iter++) {
+        touched.clear();
+        for (uint32_t v : active) {
+            uint32_t deg = g.degree(v);
+            if (deg == 0)
+                continue;
+            uint64_t contrib =
+                ((delta[v] * PrdParams::ALPHA_NUM) >>
+                 PrdParams::ALPHA_SHIFT) /
+                deg;
+            if (contrib == 0)
+                continue;
+            for (uint32_t e = g.offsets[v]; e < g.offsets[v + 1]; e++) {
+                uint32_t ngh = g.neighbors[e];
+                if (acc[ngh] == 0)
+                    touched.push_back(ngh);
+                acc[ngh] += contrib;
+            }
+        }
+        active.clear();
+        for (uint32_t w : touched) {
+            uint64_t nd = acc[w];
+            acc[w] = 0;
+            rank[w] += nd;
+            if (nd > PrdParams::EPS) {
+                delta[w] = nd;
+                active.push_back(w);
+            }
+        }
+    }
+    return rank;
+}
+
+std::vector<uint32_t>
+radiiSources(uint32_t numVertices, const RadiiParams &p)
+{
+    fatal_if(p.numSources >= 60, "Radii uses at most 59 mask bits");
+    fatal_if(p.numSources > numVertices, "more sources than vertices");
+    Rng rng(p.seed);
+    std::vector<bool> taken(numVertices, false);
+    std::vector<uint32_t> sources;
+    for (uint32_t i = 0; i < p.numSources; i++) {
+        uint32_t s;
+        do {
+            s = static_cast<uint32_t>(rng.uniformInt(0, numVertices - 1));
+        } while (taken[s]);
+        taken[s] = true;
+        sources.push_back(s);
+    }
+    return sources;
+}
+
+std::vector<uint32_t>
+radiiReference(const Graph &g, const RadiiParams &p)
+{
+    uint32_t n = g.numVertices;
+    std::vector<uint64_t> mask(n, 0), maskNext(n, 0);
+    std::vector<uint32_t> radii(n, 0);
+
+    std::vector<uint32_t> fringe = radiiSources(n, p);
+    for (uint32_t i = 0; i < fringe.size(); i++)
+        mask[fringe[i]] = 1ull << i;
+    std::sort(fringe.begin(), fringe.end());
+
+    uint32_t round = 1;
+    std::vector<uint32_t> next;
+    while (!fringe.empty()) {
+        next.clear();
+        // Update phase: strictly synchronous (reads mask[], writes
+        // maskNext[]); matches the pipelined implementation exactly.
+        for (uint32_t v : fringe) {
+            uint64_t vm = mask[v];
+            for (uint32_t e = g.offsets[v]; e < g.offsets[v + 1]; e++) {
+                uint32_t ngh = g.neighbors[e];
+                if ((vm & ~mask[ngh]) == 0)
+                    continue;
+                if (maskNext[ngh] == 0)
+                    next.push_back(ngh);
+                maskNext[ngh] |= vm;
+            }
+        }
+        // Apply phase.
+        for (uint32_t w : next) {
+            mask[w] |= maskNext[w];
+            maskNext[w] = 0;
+            radii[w] = round;
+        }
+        fringe.swap(next);
+        round++;
+    }
+    return radii;
+}
+
+std::vector<uint64_t>
+spmmReference(const SparseMatrix &A, const SparseMatrix &Bt,
+              const std::vector<uint32_t> &cols)
+{
+    std::vector<uint64_t> out(A.n * cols.size(), 0);
+    for (uint32_t i = 0; i < A.n; i++) {
+        for (size_t k = 0; k < cols.size(); k++) {
+            uint32_t j = cols[k];
+            uint64_t sum = 0;
+            uint32_t pa = A.rowPtr[i], ea = A.rowPtr[i + 1];
+            uint32_t pb = Bt.rowPtr[j], eb = Bt.rowPtr[j + 1];
+            while (pa < ea && pb < eb) {
+                uint32_t ca = A.colIdx[pa], cb = Bt.colIdx[pb];
+                if (ca == cb) {
+                    sum += static_cast<uint64_t>(A.values[pa]) *
+                           Bt.values[pb];
+                    pa++;
+                    pb++;
+                } else if (ca < cb) {
+                    pa++;
+                } else {
+                    pb++;
+                }
+            }
+            out[i * cols.size() + k] = sum;
+        }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------- Silo
+
+uint32_t
+BPlusTree::lookup(uint32_t key) const
+{
+    uint32_t node = rootIndex;
+    for (uint32_t level = 0; level + 1 < depth; level++) {
+        const uint32_t *w = &pool[node * NODE_WORDS];
+        uint32_t nkeys = w[0];
+        uint32_t i = 0;
+        while (i < nkeys && key >= w[1 + i])
+            i++;
+        node = w[1 + KEYS + i];
+    }
+    const uint32_t *w = &pool[node * NODE_WORDS];
+    uint32_t nkeys = w[0];
+    for (uint32_t i = 0; i < nkeys; i++) {
+        if (w[1 + i] == key)
+            return w[1 + KEYS + i];
+    }
+    panic("B+tree lookup of absent key ", key);
+}
+
+BPlusTree
+buildBPlusTree(uint32_t numKeys)
+{
+    BPlusTree t;
+    constexpr uint32_t K = BPlusTree::KEYS;
+    constexpr uint32_t W = BPlusTree::NODE_WORDS;
+
+    // Leaf level.
+    struct LevelNode
+    {
+        uint32_t index;
+        uint32_t minKey;
+    };
+    std::vector<LevelNode> level;
+    auto newNode = [&t]() {
+        uint32_t idx = static_cast<uint32_t>(t.pool.size() / W);
+        t.pool.resize(t.pool.size() + W, 0);
+        return idx;
+    };
+
+    for (uint32_t k = 0; k < numKeys; k += K) {
+        uint32_t idx = newNode();
+        uint32_t *w = &t.pool[idx * W];
+        uint32_t n = std::min(K, numKeys - k);
+        w[0] = n;
+        for (uint32_t i = 0; i < n; i++) {
+            w[1 + i] = k + i;
+            w[1 + K + i] = (k + i) * 2654435761u;
+        }
+        level.push_back({idx, k});
+    }
+    t.depth = 1;
+
+    // Internal levels (fanout K+1).
+    while (level.size() > 1) {
+        std::vector<LevelNode> up;
+        for (size_t c = 0; c < level.size(); c += K + 1) {
+            uint32_t idx = newNode();
+            uint32_t *w = &t.pool[idx * W];
+            uint32_t nchild = static_cast<uint32_t>(
+                std::min<size_t>(K + 1, level.size() - c));
+            w[0] = nchild - 1;
+            for (uint32_t i = 0; i < nchild; i++) {
+                w[1 + K + i] = level[c + i].index;
+                if (i > 0)
+                    w[1 + (i - 1)] = level[c + i].minKey;
+            }
+            up.push_back({idx, level[c].minKey});
+        }
+        level.swap(up);
+        t.depth++;
+    }
+    t.rootIndex = level[0].index;
+    return t;
+}
+
+std::vector<uint32_t>
+makeYcsbQueries(uint32_t numKeys, uint32_t numQueries, double theta,
+                uint64_t seed)
+{
+    ZipfSampler zipf(numKeys, theta, seed);
+    Rng rng(seed ^ 0xabcdef);
+    // Scatter popularity ranks over the key space.
+    std::vector<uint32_t> perm(numKeys);
+    std::iota(perm.begin(), perm.end(), 0);
+    for (uint32_t i = numKeys - 1; i > 0; i--)
+        std::swap(perm[i], perm[rng.uniformInt(0, i)]);
+
+    std::vector<uint32_t> queries(numQueries);
+    for (uint32_t q = 0; q < numQueries; q++)
+        queries[q] = perm[zipf.sample()];
+    return queries;
+}
+
+uint64_t
+siloReference(const BPlusTree &tree, const std::vector<uint32_t> &queries)
+{
+    uint64_t sum = 0;
+    for (uint32_t q : queries)
+        sum += tree.lookup(q);
+    return sum;
+}
+
+} // namespace pipette

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Host reference implementations used to verify every simulated
+ * workload variant. Each reference produces exactly the architectural
+ * result the simulated programs must compute (integer-exact).
+ */
+
+#ifndef PIPETTE_WORKLOADS_REFIMPL_H
+#define PIPETTE_WORKLOADS_REFIMPL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/graph.h"
+#include "workloads/matrix.h"
+
+namespace pipette {
+
+/** BFS distances from src (0xFFFFFFFF where unreachable). */
+std::vector<uint32_t> bfsReference(const Graph &g, uint32_t src);
+
+/** Connected components by min-label propagation: comp[v] = min id in
+ *  v's component. */
+std::vector<uint32_t> ccReference(const Graph &g);
+
+/** Parameters of the fixed-point PageRank-Delta kernel. */
+struct PrdParams
+{
+    uint32_t maxIters = 10;
+    /** Fixed-point scale: values are in units of 2^-16. */
+    static constexpr uint64_t FP = 1u << 16;
+    /** alpha = 54/64 = 0.84375 (damping). */
+    static constexpr uint64_t ALPHA_NUM = 54;
+    static constexpr uint32_t ALPHA_SHIFT = 6;
+    /** Activation threshold for |delta|. */
+    static constexpr uint64_t EPS = FP / 128;
+};
+
+/** Fixed-point PageRank-Delta ranks after convergence/maxIters. */
+std::vector<uint64_t> prdReference(const Graph &g, const PrdParams &p);
+
+/** Parameters of the Radii estimation kernel. */
+struct RadiiParams
+{
+    uint32_t numSources = 48; ///< low bits of the visited mask (< 60)
+    uint64_t seed = 7;
+};
+
+/** Radii estimates (round at which each vertex's mask last changed;
+ *  0 for untouched vertices). */
+std::vector<uint32_t> radiiReference(const Graph &g,
+                                     const RadiiParams &p);
+
+/** The K distinct source vertices, in generation order (source i owns
+ *  mask bit i). Shared by the reference and the simulated builds. */
+std::vector<uint32_t> radiiSources(uint32_t numVertices,
+                                   const RadiiParams &p);
+
+/**
+ * Inner-product SpMM sample: C[i][j] = dot(A_i, Bt_j) for every row i
+ * and every j in cols, where Bt is B's transpose (so Bt_j is B's column
+ * j as a sparse row). Returned row-major: result[i * cols.size() + k].
+ */
+std::vector<uint64_t> spmmReference(const SparseMatrix &A,
+                                    const SparseMatrix &Bt,
+                                    const std::vector<uint32_t> &cols);
+
+// ---------------------------------------------------------------- Silo
+
+/** Fixed-depth B+tree with 32-bit keys/values (Silo index proxy). */
+struct BPlusTree
+{
+    /** Keys per node (fanout = KEYS + 1 children for internal nodes). */
+    static constexpr uint32_t KEYS = 15;
+    /** Node layout in 32-bit words: [nkeys, keys[15], children[16]]. */
+    static constexpr uint32_t NODE_WORDS = 32;
+
+    uint32_t depth = 0;      ///< levels including the leaf level
+    uint32_t rootIndex = 0;  ///< node index of the root
+    /** Flat node pool; children are node indices (or values at leaves). */
+    std::vector<uint32_t> pool;
+
+    /** Look up a key; returns its value (keys are always present). */
+    uint32_t lookup(uint32_t key) const;
+};
+
+/** Build a fixed-depth B+tree over keys 0..numKeys-1 with
+ *  value(key) = key * 2654435761 (a hash, checked by verify). */
+BPlusTree buildBPlusTree(uint32_t numKeys);
+
+/** Zipfian YCSB-C query stream over the key space. */
+std::vector<uint32_t> makeYcsbQueries(uint32_t numKeys,
+                                      uint32_t numQueries, double theta,
+                                      uint64_t seed);
+
+/** Reference checksum: sum of looked-up values. */
+uint64_t siloReference(const BPlusTree &tree,
+                       const std::vector<uint32_t> &queries);
+
+} // namespace pipette
+
+#endif // PIPETTE_WORKLOADS_REFIMPL_H

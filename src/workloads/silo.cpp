@@ -1,0 +1,369 @@
+#include "workloads/silo.h"
+
+namespace pipette {
+
+namespace {
+constexpr Reg QO{11};   ///< packed (key, node) to the next stage
+constexpr Reg QI{12};   ///< packed (key, node) from the previous stage
+constexpr Reg QRO{9};   ///< node-header announce to the next stage's RA
+constexpr Reg QRI{10};  ///< node header from this stage's RA
+constexpr uint32_t NODE_SHIFT = 7; // 128-byte nodes
+} // namespace
+
+SiloWorkload::SiloWorkload(Options opt) : opt_(opt)
+{
+    tree_ = buildBPlusTree(opt.numKeys);
+    queries_ = makeYcsbQueries(opt.numKeys, opt.numQueries,
+                               opt.zipfTheta, opt.seed);
+    refSum_ = siloReference(tree_, queries_);
+    static_assert(BPlusTree::NODE_WORDS * 4 == 1u << NODE_SHIFT,
+                  "node size mismatch");
+}
+
+SiloWorkload::Arrays
+SiloWorkload::installArrays(BuildContext &ctx)
+{
+    Arrays a;
+    a.pool = installU32(ctx.mem(), ctx.alloc, tree_.pool);
+    a.queries = installU32(ctx.mem(), ctx.alloc, queries_);
+    a.result = ctx.alloc.alloc(8);
+    ctx.mem().write(a.result, 8, 0);
+    resultAddr_ = a.result;
+    a.globals = ctx.alloc.alloc(64);
+    ctx.mem().fill(a.globals, 64, 0);
+    return a;
+}
+
+bool
+SiloWorkload::verify(System &sys) const
+{
+    uint64_t got = sys.memory().read(resultAddr_, 8);
+    if (got != refSum_) {
+        warn("silo mismatch: got ", got, " want ", refSum_);
+        return false;
+    }
+    return true;
+}
+
+void
+SiloWorkload::build(BuildContext &ctx, Variant v)
+{
+    switch (v) {
+      case Variant::Serial:
+        buildSerial(ctx);
+        break;
+      case Variant::DataParallel:
+        buildDataParallel(ctx);
+        break;
+      case Variant::Pipette:
+        buildPipeline(ctx, true, false);
+        break;
+      case Variant::PipetteNoRa:
+        buildPipeline(ctx, false, false);
+        break;
+      case Variant::Streaming:
+        buildPipeline(ctx, false, true);
+        break;
+      default:
+        fatal("silo: unsupported variant");
+    }
+}
+
+// ----------------------------------------------------------- serial/DP
+
+namespace {
+
+/**
+ * Emit the full-lookup loop over queries [r1, r2). r5 = pool base,
+ * r6 = local sum. Ends with the sum in r6.
+ */
+void
+emitLookupLoop(Asm &a, const BPlusTree &tree, Addr poolBase)
+{
+    auto qloop = a.label();
+    auto desc = a.label();
+    auto scan = a.label();
+    auto fnd = a.label();
+    auto leaf = a.label();
+    auto lscan = a.label();
+    auto lfnd = a.label();
+    auto out = a.label();
+
+    Addr rootAddr = poolBase + static_cast<Addr>(tree.rootIndex) *
+                                   (BPlusTree::NODE_WORDS * 4);
+
+    a.bind(qloop);
+    a.bgeu(R::r1, R::r2, out);
+    a.lw(R::r3, R::r1, 0); // key
+    a.addi(R::r1, R::r1, 4);
+    a.li(R::r4, rootAddr);
+    a.li(Reg{11}, tree.depth - 1);
+    a.bind(desc);
+    a.beqi(Reg{11}, 0, leaf);
+    a.lw(R::r7, R::r4, 0); // nkeys
+    a.li(R::r8, 0);
+    a.bind(scan);
+    a.bgeu(R::r8, R::r7, fnd);
+    a.slli(R::r9, R::r8, 2);
+    a.add(R::r9, R::r4, R::r9);
+    a.lw(R::r10, R::r9, 4);
+    a.bltu(R::r3, R::r10, fnd);
+    a.addi(R::r8, R::r8, 1);
+    a.jmp(scan);
+    a.bind(fnd);
+    a.slli(R::r9, R::r8, 2);
+    a.add(R::r9, R::r4, R::r9);
+    a.lw(R::r9, R::r9, 4 * (1 + BPlusTree::KEYS)); // children[i]
+    a.slli(R::r9, R::r9, NODE_SHIFT);
+    a.li(R::r10, poolBase);
+    a.add(R::r4, R::r10, R::r9);
+    a.addi(Reg{11}, Reg{11}, -1);
+    a.jmp(desc);
+    a.bind(leaf);
+    a.lw(R::r7, R::r4, 0);
+    a.li(R::r8, 0);
+    a.bind(lscan);
+    a.bgeu(R::r8, R::r7, qloop); // absent key: skip (never happens)
+    a.slli(R::r9, R::r8, 2);
+    a.add(R::r9, R::r4, R::r9);
+    a.lw(R::r10, R::r9, 4);
+    a.beq(R::r10, R::r3, lfnd);
+    a.addi(R::r8, R::r8, 1);
+    a.jmp(lscan);
+    a.bind(lfnd);
+    a.lw(R::r10, R::r9, 4 * (1 + BPlusTree::KEYS)); // values[i]
+    a.add(R::r6, R::r6, R::r10);
+    a.jmp(qloop);
+    a.bind(out);
+}
+
+} // namespace
+
+void
+SiloWorkload::buildSerial(BuildContext &ctx)
+{
+    Arrays A = installArrays(ctx);
+    Program *p = ctx.newProgram("silo-serial");
+    Asm a(p);
+    a.li(R::r6, 0);
+    emitLookupLoop(a, tree_, A.pool);
+    a.li(R::r9, A.result);
+    a.sd(R::r6, R::r9, 0);
+    a.halt();
+    a.finalize();
+    ThreadSpec &t = ctx.spec.addThread(0, 0, p);
+    t.initRegs[1] = A.queries;
+    t.initRegs[2] = A.queries + 4ull * queries_.size();
+    t.initRegs[5] = A.pool;
+}
+
+void
+SiloWorkload::buildDataParallel(BuildContext &ctx)
+{
+    Arrays A = installArrays(ctx);
+    uint32_t nThreads = ctx.numCores() * ctx.smtThreads();
+    Program *p = ctx.newProgram("silo-dp");
+    Asm a(p);
+    a.li(R::r6, 0);
+    emitLookupLoop(a, tree_, A.pool);
+    // Fold the partial sum into the shared result atomically.
+    a.li(R::r9, A.result);
+    a.amoadd(R::zero, R::r9, R::r6);
+    a.halt();
+    a.finalize();
+
+    uint32_t per = static_cast<uint32_t>(queries_.size()) / nThreads;
+    for (CoreId c = 0; c < ctx.numCores(); c++) {
+        for (ThreadId t = 0; t < ctx.smtThreads(); t++) {
+            uint32_t idx = c * ctx.smtThreads() + t;
+            uint32_t lo = idx * per;
+            uint32_t hi = idx + 1 == nThreads
+                              ? static_cast<uint32_t>(queries_.size())
+                              : lo + per;
+            ThreadSpec &ts = ctx.spec.addThread(c, t, p);
+            ts.initRegs[1] = A.queries + 4ull * lo;
+            ts.initRegs[2] = A.queries + 4ull * hi;
+            ts.initRegs[5] = A.pool;
+        }
+    }
+}
+
+// ------------------------------------------------------ pipeline stages
+
+Program *
+SiloWorkload::genStage(BuildContext &ctx, const Arrays &A, uint32_t levels,
+                       bool first, bool last, bool raIn, bool raOut,
+                       Addr *handler)
+{
+    Program *p = ctx.newProgram("silo-stage");
+    Asm a(p);
+    auto loop = a.label("loop");
+    auto fin = a.label("fin");
+    auto hdl = a.label("hdl");
+
+    Addr rootAddr = A.pool + static_cast<Addr>(tree_.rootIndex) *
+                                 (BPlusTree::NODE_WORDS * 4);
+
+    if (last)
+        a.li(R::r1, 0); // sum
+    a.bind(loop);
+    if (first) {
+        a.bgeu(R::r1, R::r2, fin);
+        a.lw(R::r3, R::r1, 0); // key
+        a.addi(R::r1, R::r1, 4);
+        a.li(R::r4, rootAddr);
+    } else {
+        a.mov(R::r8, QI); // packed (key << 32 | node); traps on DONE
+        a.srli(R::r3, R::r8, 32);
+        a.andi(R::r4, R::r8, 0xFFFFFFFFll);
+        a.slli(R::r4, R::r4, NODE_SHIFT);
+        a.add(R::r4, R::r5, R::r4);
+    }
+    if (raIn)
+        a.mov(R::r8, QRI); // consume the header announce (L1 is warm)
+
+    for (uint32_t lvl = 0; lvl < levels; lvl++) {
+        bool leafLevel = last && lvl + 1 == levels;
+        if (lvl > 0) {
+            // r4 currently holds a child node index.
+            a.slli(R::r4, R::r4, NODE_SHIFT);
+            a.add(R::r4, R::r5, R::r4);
+        }
+        auto scan = a.label();
+        auto found = a.label();
+        // Key-compare scratch: the first stage keeps its query-stream
+        // end pointer in r2, so it scans through r10 instead (r10 is
+        // only queue-mapped on non-first stages).
+        Reg ks = first ? Reg{10} : Reg{2};
+        a.lw(R::r6, R::r4, 0); // nkeys
+        a.li(R::r7, 0);
+        a.bind(scan);
+        a.bgeu(R::r7, R::r6, leafLevel ? loop : found);
+        a.slli(R::r8, R::r7, 2);
+        a.add(R::r8, R::r4, R::r8);
+        if (leafLevel) {
+            a.lw(ks, R::r8, 4);
+            a.beq(ks, R::r3, found);
+        } else {
+            a.lw(ks, R::r8, 4);
+            a.bltu(R::r3, ks, found);
+        }
+        a.addi(R::r7, R::r7, 1);
+        a.jmp(scan);
+        a.bind(found);
+        // Recompute the slot address: the scan may exit with i == nkeys
+        // without having updated r8 for the final index.
+        a.slli(R::r8, R::r7, 2);
+        a.add(R::r8, R::r4, R::r8);
+        a.lw(R::r4, R::r8, 4 * (1 + BPlusTree::KEYS));
+        if (leafLevel) {
+            a.add(R::r1, R::r1, R::r4); // accumulate value
+        }
+    }
+    if (!last) {
+        a.slli(R::r8, R::r3, 32);
+        a.or_(R::r8, R::r8, R::r4);
+        a.mov(QO, R::r8);
+        if (raOut) {
+            // Announce the next node to the next stage's RA (the RA
+            // fetches pool[idx * 16] in 8-byte units -> header line).
+            a.slli(R::r8, R::r4, 4);
+            a.mov(QRO, R::r8);
+        }
+    }
+    a.jmp(loop);
+    a.bind(fin);
+    if (first) {
+        a.enqc(QO, R::zero); // DONE
+        a.halt();
+    }
+    a.bind(hdl);
+    if (!first) {
+        if (last) {
+            a.li(R::r8, A.result);
+            a.sd(R::r1, R::r8, 0);
+            a.halt();
+        } else {
+            a.enqc(QO, R::cvval);
+            a.halt();
+        }
+    }
+    a.finalize();
+    *handler = first ? static_cast<Addr>(-1) : p->labels().at("hdl");
+    return p;
+}
+
+void
+SiloWorkload::buildPipeline(BuildContext &ctx, bool useRa, bool streaming)
+{
+    Arrays A = installArrays(ctx);
+    uint32_t depth = tree_.depth;
+    uint32_t numStages =
+        std::min<uint32_t>(streaming ? ctx.numCores() : ctx.smtThreads(),
+                           std::min(4u, depth));
+    fatal_if(numStages < 2, "silo pipeline needs >= 2 stages");
+    fatal_if(streaming && ctx.numCores() < numStages,
+             "streaming silo needs one core per stage");
+
+    // Distribute levels: earlier stages take the extra ones.
+    std::vector<uint32_t> levels(numStages, depth / numStages);
+    for (uint32_t s = 0; s < depth % numStages; s++)
+        levels[s]++;
+
+    // First nodes handled by each stage s > 0 are announced by stage
+    // s-1 through an RA (queue ids: chain q0..; RA queues above).
+    auto addMap = [](ThreadSpec &t, Reg r, QueueId q, QueueDir d) {
+        t.queueMaps.push_back({r.idx, q, d});
+    };
+
+    for (uint32_t s = 0; s < numStages; s++) {
+        bool first = s == 0;
+        bool last = s + 1 == numStages;
+        bool raIn = useRa && !first;
+        bool raOut = useRa && !last;
+        Addr h;
+        Program *p = genStage(ctx, A, levels[s], first, last, raIn,
+                              raOut, &h);
+        CoreId core = streaming ? s : 0;
+        ThreadId tid = streaming ? 0 : static_cast<ThreadId>(s);
+        ThreadSpec &t = ctx.spec.addThread(core, tid, p);
+        if (!first)
+            t.deqHandler = static_cast<int64_t>(h);
+        t.initRegs[5] = A.pool;
+        if (first) {
+            t.initRegs[1] = A.queries;
+            t.initRegs[2] = A.queries + 4ull * queries_.size();
+        }
+
+        if (streaming) {
+            // Chain queue: local q0 out on producer, q0 in on consumer.
+            if (!first)
+                addMap(t, QI, 0, QueueDir::In);
+            if (!last) {
+                addMap(t, QO, 1, QueueDir::Out);
+                ctx.spec.connectors.push_back(
+                    {core, 1, core + 1, 0});
+            }
+        } else {
+            // Single core: chain queues 0..numStages-2; RA queues
+            // 8+2s (announce in) and 8+2s+1 (header out).
+            if (!first)
+                addMap(t, QI, static_cast<QueueId>(s - 1), QueueDir::In);
+            if (!last)
+                addMap(t, QO, static_cast<QueueId>(s), QueueDir::Out);
+            if (raOut) {
+                auto annQ = static_cast<QueueId>(8 + 2 * s);
+                addMap(t, QRO, annQ, QueueDir::Out);
+                ctx.spec.ras.push_back(
+                    {0, annQ, static_cast<QueueId>(annQ + 1), A.pool, 8,
+                     RaMode::Indirect});
+            }
+            if (raIn) {
+                addMap(t, QRI, static_cast<QueueId>(8 + 2 * (s - 1) + 1),
+                       QueueDir::In);
+            }
+        }
+    }
+}
+
+} // namespace pipette

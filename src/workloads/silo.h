@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Silo (paper Sec. V-B, Fig. 8): an in-memory database dominated by
+ * B+tree index lookups, driven by the read-only YCSB-C workload with
+ * Zipfian-distributed keys.
+ *
+ * The Pipette version pipelines lookups across tree levels: each stage
+ * owns a slice of levels, dequeues (key, node) pairs, walks its levels,
+ * and enqueues the pair for the next stage; the leaf stage accumulates
+ * the values. With RAs enabled, each stage's node fetch is announced by
+ * the previous stage through an indirect RA that pulls the node's
+ * header line into the L1 ahead of the stage's accesses.
+ *
+ * The paper's Silo re-enqueues lookups into a single stage's input
+ * queue (a cycle in the pipeline graph). Our queues are strictly
+ * point-to-point, so we unroll the cycle into a fixed-depth linear
+ * pipeline -- the tree has a fixed depth, so both forms perform the
+ * same per-level decoupling (see DESIGN.md).
+ */
+
+#ifndef PIPETTE_WORKLOADS_SILO_H
+#define PIPETTE_WORKLOADS_SILO_H
+
+#include "workloads/refimpl.h"
+#include "workloads/workload.h"
+
+namespace pipette {
+
+/** Silo/YCSB-C workload. */
+class SiloWorkload : public WorkloadBase
+{
+  public:
+    struct Options
+    {
+        uint32_t numKeys = 60000;
+        uint32_t numQueries = 8000;
+        double zipfTheta = 0.99;
+        uint64_t seed = 99;
+    };
+
+    explicit SiloWorkload(Options opt);
+    SiloWorkload() : SiloWorkload(Options{}) {}
+
+    std::string name() const override { return "silo"; }
+    void build(BuildContext &ctx, Variant v) override;
+    bool verify(System &sys) const override;
+
+  private:
+    struct Arrays
+    {
+        Addr pool, queries, result, globals;
+    };
+    Arrays installArrays(BuildContext &ctx);
+
+    void buildSerial(BuildContext &ctx);
+    void buildDataParallel(BuildContext &ctx);
+    void buildPipeline(BuildContext &ctx, bool useRa, bool streaming);
+
+    /**
+     * One pipeline stage walking `levels` tree levels. Stage kinds:
+     * first (reads the query stream), middle, last (accumulates).
+     */
+    Program *genStage(BuildContext &ctx, const Arrays &A, uint32_t levels,
+                      bool first, bool last, bool raIn, bool raOut,
+                      Addr *handler);
+
+    Options opt_;
+    BPlusTree tree_;
+    std::vector<uint32_t> queries_;
+    uint64_t refSum_ = 0;
+    Addr resultAddr_ = 0;
+};
+
+} // namespace pipette
+
+#endif // PIPETTE_WORKLOADS_SILO_H

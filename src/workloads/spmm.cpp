@@ -1,0 +1,488 @@
+#include "workloads/spmm.h"
+
+namespace pipette {
+
+namespace {
+// Merge-intersect queue registers.
+constexpr Reg QRI{9};   ///< row stream in
+constexpr Reg QCI{10};  ///< col stream in
+constexpr Reg QPA{11};  ///< matched A positions out (also CV channel)
+constexpr Reg QPB{12};  ///< matched B positions out
+// Streamer / accumulate registers.
+constexpr Reg QO{11};
+constexpr Reg QVA{9};
+constexpr Reg QVB{10};
+constexpr int64_t CHUNK = 4;
+} // namespace
+
+SpmmWorkload::SpmmWorkload(const SparseMatrix *a, const SparseMatrix *bt,
+                           Options opt)
+    : a_(a), bt_(bt), opt_(opt)
+{
+    fatal_if(a->n != bt->n, "spmm: dimension mismatch");
+    uint32_t nc = std::min(opt.numCols, a->n);
+    stride_ = std::max(1u, a->n / nc);
+    for (uint32_t k = 0; k < nc; k++)
+        cols_.push_back(k * stride_);
+    refC_ = spmmReference(*a, *bt, cols_);
+}
+
+SpmmWorkload::Arrays
+SpmmWorkload::installArrays(BuildContext &ctx)
+{
+    Arrays A;
+    A.rowPtrA = installU32(ctx.mem(), ctx.alloc, a_->rowPtr);
+    A.colIdxA = installU32(ctx.mem(), ctx.alloc, a_->colIdx);
+    A.valA = installU32(ctx.mem(), ctx.alloc, a_->values);
+    A.rowPtrB = installU32(ctx.mem(), ctx.alloc, bt_->rowPtr);
+    A.colIdxB = installU32(ctx.mem(), ctx.alloc, bt_->colIdx);
+    A.valB = installU32(ctx.mem(), ctx.alloc, bt_->values);
+    A.c = ctx.alloc.alloc64(static_cast<uint64_t>(a_->n) * cols_.size());
+    ctx.mem().fill(A.c, 8ull * a_->n * cols_.size(), 0);
+    cAddr_ = A.c;
+    A.globals = ctx.alloc.alloc(64);
+    ctx.mem().fill(A.globals, 64, 0);
+    return A;
+}
+
+bool
+SpmmWorkload::verify(System &sys) const
+{
+    auto got = sys.memory().readArray64(cAddr_, refC_.size());
+    for (size_t i = 0; i < refC_.size(); i++) {
+        if (got[i] != refC_[i]) {
+            warn("spmm mismatch at slot ", i, ": got ", got[i], " want ",
+                 refC_[i]);
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+SpmmWorkload::build(BuildContext &ctx, Variant v)
+{
+    switch (v) {
+      case Variant::Serial:
+        buildSerial(ctx);
+        break;
+      case Variant::DataParallel:
+        buildDataParallel(ctx);
+        break;
+      case Variant::Pipette:
+        buildPipeline(ctx, true, false);
+        break;
+      case Variant::PipetteNoRa:
+        buildPipeline(ctx, false, false);
+        break;
+      case Variant::Streaming:
+        buildPipeline(ctx, true, true);
+        break;
+      default:
+        fatal("spmm: unsupported variant");
+    }
+}
+
+// ----------------------------------------------------- serial / DP core
+
+void
+SpmmWorkload::emitSerialKernel(Asm &a, const Arrays &A, bool dataParallel,
+                               uint32_t nThreads)
+{
+    (void)nThreads;
+    // r1=rowPtrA r2=colIdxA r3=rowPtrB r4=colIdxB
+    // r5=i r6=k r7=pa r8=ea r9=pb r10=eb r11=sum r15=chunkEnd (DP)
+    auto iloop = a.label();
+    auto kloop = a.label();
+    auto merge = a.label();
+    auto lt = a.label();
+    auto gt = a.label();
+    auto eq = a.label();
+    auto mdone = a.label();
+    auto knext = a.label();
+    auto inext = a.label();
+    auto claim = a.label();
+    auto noclamp = a.label();
+    auto done = a.label();
+
+    uint32_t n = a_->n;
+    auto numCols = static_cast<int64_t>(cols_.size());
+
+    if (dataParallel) {
+        a.bind(claim);
+        a.li(Reg{12}, A.globals);
+        a.li(Reg{13}, CHUNK);
+        a.amoadd(R::r5, Reg{12}, Reg{13});
+        a.bgei(R::r5, n, done);
+        a.addi(Reg{15}, R::r5, CHUNK);
+        a.blti(Reg{15}, n, noclamp);
+        a.li(Reg{15}, n);
+        a.bind(noclamp);
+    } else {
+        a.li(R::r5, 0);
+    }
+    a.bind(iloop);
+    if (dataParallel)
+        a.bgeu(R::r5, Reg{15}, claim);
+    a.li(R::r6, 0);
+    a.bind(kloop);
+    a.slli(Reg{12}, R::r5, 2);
+    a.add(Reg{12}, R::r1, Reg{12});
+    a.lw(R::r7, Reg{12}, 0); // pa
+    a.lw(R::r8, Reg{12}, 4); // ea
+    a.li(Reg{12}, stride_);
+    a.mul(Reg{12}, R::r6, Reg{12}); // j
+    a.slli(Reg{12}, Reg{12}, 2);
+    a.add(Reg{12}, R::r3, Reg{12});
+    a.lw(R::r9, Reg{12}, 0);  // pb
+    a.lw(R::r10, Reg{12}, 4); // eb
+    a.li(Reg{11}, 0);         // sum
+    a.bind(merge);
+    a.bgeu(R::r7, R::r8, mdone);
+    a.bgeu(R::r9, R::r10, mdone);
+    a.slli(Reg{12}, R::r7, 2);
+    a.add(Reg{12}, R::r2, Reg{12});
+    a.lw(Reg{12}, Reg{12}, 0); // ca
+    a.slli(Reg{13}, R::r9, 2);
+    a.add(Reg{13}, R::r4, Reg{13});
+    a.lw(Reg{13}, Reg{13}, 0); // cb
+    a.beq(Reg{12}, Reg{13}, eq);
+    a.bltu(Reg{12}, Reg{13}, lt);
+    a.bind(gt);
+    a.addi(R::r9, R::r9, 1);
+    a.jmp(merge);
+    a.bind(lt);
+    a.addi(R::r7, R::r7, 1);
+    a.jmp(merge);
+    a.bind(eq);
+    a.li(Reg{12}, A.valA);
+    a.slli(Reg{13}, R::r7, 2);
+    a.add(Reg{12}, Reg{12}, Reg{13});
+    a.lw(Reg{12}, Reg{12}, 0); // va
+    a.li(Reg{13}, A.valB);
+    a.slli(Reg{14}, R::r9, 2);
+    a.add(Reg{13}, Reg{13}, Reg{14});
+    a.lw(Reg{13}, Reg{13}, 0); // vb
+    a.mul(Reg{12}, Reg{12}, Reg{13});
+    a.add(Reg{11}, Reg{11}, Reg{12});
+    a.addi(R::r7, R::r7, 1);
+    a.addi(R::r9, R::r9, 1);
+    a.jmp(merge);
+    a.bind(mdone);
+    a.li(Reg{12}, A.c);
+    a.li(Reg{13}, numCols);
+    a.mul(Reg{13}, R::r5, Reg{13});
+    a.add(Reg{13}, Reg{13}, R::r6);
+    a.slli(Reg{13}, Reg{13}, 3);
+    a.add(Reg{12}, Reg{12}, Reg{13});
+    a.sd(Reg{11}, Reg{12}, 0);
+    a.bind(knext);
+    a.addi(R::r6, R::r6, 1);
+    a.blti(R::r6, numCols, kloop);
+    a.bind(inext);
+    a.addi(R::r5, R::r5, 1);
+    if (dataParallel)
+        a.jmp(iloop);
+    else
+        a.blti(R::r5, n, iloop);
+    a.bind(done);
+    a.halt();
+}
+
+void
+SpmmWorkload::buildSerial(BuildContext &ctx)
+{
+    Arrays A = installArrays(ctx);
+    Program *p = ctx.newProgram("spmm-serial");
+    Asm a(p);
+    emitSerialKernel(a, A, false, 1);
+    a.finalize();
+    ThreadSpec &t = ctx.spec.addThread(0, 0, p);
+    t.initRegs[1] = A.rowPtrA;
+    t.initRegs[2] = A.colIdxA;
+    t.initRegs[3] = A.rowPtrB;
+    t.initRegs[4] = A.colIdxB;
+}
+
+void
+SpmmWorkload::buildDataParallel(BuildContext &ctx)
+{
+    Arrays A = installArrays(ctx);
+    uint32_t nThreads = ctx.numCores() * ctx.smtThreads();
+    Program *p = ctx.newProgram("spmm-dp");
+    Asm a(p);
+    emitSerialKernel(a, A, true, nThreads);
+    a.finalize();
+    for (CoreId c = 0; c < ctx.numCores(); c++) {
+        for (ThreadId t = 0; t < ctx.smtThreads(); t++) {
+            ThreadSpec &ts = ctx.spec.addThread(c, t, p);
+            ts.initRegs[1] = A.rowPtrA;
+            ts.initRegs[2] = A.colIdxA;
+            ts.initRegs[3] = A.rowPtrB;
+            ts.initRegs[4] = A.colIdxB;
+        }
+    }
+}
+
+// ------------------------------------------------------ pipeline stages
+
+Program *
+SpmmWorkload::genStream(BuildContext &ctx, const Arrays &A, bool isCols,
+                        Addr *enqHandler)
+{
+    Program *p = ctx.newProgram(isCols ? "spmm-cols" : "spmm-rows");
+    Asm a(p);
+    // r1=i r2=k r3=p r4=end r5=rowPtr r6=colIdx r9/r10 scratch
+    auto outer = a.label();
+    auto stream = a.label();
+    auto instDone = a.label();
+    auto next = a.label("next");
+    auto ehdl = a.label("ehdl");
+    auto fin = a.label();
+
+    a.li(R::r1, 0);
+    a.li(R::r2, 0);
+    a.bind(outer);
+    if (isCols) {
+        a.li(R::r9, stride_);
+        a.mul(R::r9, R::r2, R::r9); // j = k * stride
+        a.slli(R::r9, R::r9, 2);
+    } else {
+        a.slli(R::r9, R::r1, 2);
+    }
+    a.add(R::r9, R::r5, R::r9);
+    a.lw(R::r3, R::r9, 0);
+    a.lw(R::r4, R::r9, 4);
+    a.bind(stream);
+    a.bgeu(R::r3, R::r4, instDone);
+    a.slli(R::r9, R::r3, 2);
+    a.add(R::r9, R::r6, R::r9);
+    a.lw(R::r9, R::r9, 0); // coordinate
+    a.slli(R::r9, R::r9, 32);
+    a.or_(R::r9, R::r9, R::r3); // pack (coord << 32) | position
+    a.mov(QO, R::r9);           // enqueue (may raise the enq handler)
+    a.addi(R::r3, R::r3, 1);
+    a.jmp(stream);
+    a.bind(instDone);
+    a.enqc(QO, R::zero); // instance delimiter
+    a.bind(next);
+    a.addi(R::r2, R::r2, 1);
+    a.blti(R::r2, static_cast<int64_t>(cols_.size()), outer);
+    a.li(R::r2, 0);
+    a.addi(R::r1, R::r1, 1);
+    a.blti(R::r1, a_->n, outer);
+    a.jmp(fin);
+    // Enqueue control handler: the consumer skipped this instance
+    // (Fig. 5). Terminate it with a CV and move to the next one.
+    a.bind(ehdl);
+    a.enqc(QO, R::zero);
+    a.jmp(next);
+    a.bind(fin);
+    a.halt();
+    a.finalize();
+    *enqHandler = p->labels().at("ehdl");
+    return p;
+}
+
+Program *
+SpmmWorkload::genMerge(BuildContext &ctx, QueueId rowQ, QueueId colQ,
+                       Addr *handler)
+{
+    (void)colQ;
+    Program *p = ctx.newProgram("spmm-merge");
+    Asm a(p);
+    // In: QRI (rows), QCI (cols). Out: QPA (A positions + pair CVs),
+    // QPB (B positions). r5=pairCount r6=totalPairs.
+    auto merge = a.label("merge");
+    auto compare = a.label();
+    auto advA = a.label();
+    auto match = a.label();
+    auto hdl = a.label("hdl");
+    auto rowEnded = a.label();
+    auto pairEnd = a.label();
+    auto fin = a.label();
+
+    a.li(R::r5, 0); // pair counter
+    // Hold the current head of each stream in registers; only the side
+    // that advanced re-peeks (peeking a CV raises the handler).
+    a.bind(merge);
+    a.peek(R::r1, QRI);
+    a.srli(R::r3, R::r1, 32);
+    a.peek(R::r2, QCI);
+    a.srli(R::r4, R::r2, 32);
+    a.bind(compare);
+    a.beq(R::r3, R::r4, match);
+    a.bltu(R::r3, R::r4, advA);
+    a.mov(R::zero, QCI); // consume the smaller col coordinate
+    a.peek(R::r2, QCI);
+    a.srli(R::r4, R::r2, 32);
+    a.jmp(compare);
+    a.bind(advA);
+    a.mov(R::zero, QRI);
+    a.peek(R::r1, QRI);
+    a.srli(R::r3, R::r1, 32);
+    a.jmp(compare);
+    a.bind(match);
+    a.andi(R::r1, R::r1, 0xFFFFFFFFll);
+    a.mov(QPA, R::r1); // A value position
+    a.andi(R::r2, R::r2, 0xFFFFFFFFll);
+    a.mov(QPB, R::r2); // B value position
+    a.mov(R::zero, QRI);
+    a.mov(R::zero, QCI);
+    a.jmp(merge);
+
+    a.bind(hdl);
+    // One side delimited its instance; discard the other side up to its
+    // delimiter (possibly redirecting that producer, Fig. 5).
+    a.beqi(R::cvqid, static_cast<int64_t>(rowQ), rowEnded);
+    a.skiptc(R::r1, QRI); // col ended first: skip the rest of the row
+    a.jmp(pairEnd);
+    a.bind(rowEnded);
+    a.skiptc(R::r1, QCI);
+    a.bind(pairEnd);
+    a.enqc(QPA, R::zero); // pair delimiter for the accumulate stage
+    a.addi(R::r5, R::r5, 1);
+    a.bltu(R::r5, R::r6, merge);
+    a.li(R::r1, 1);
+    a.enqc(QPA, R::r1); // DONE
+    a.bind(fin);
+    a.halt();
+    a.finalize();
+    *handler = p->labels().at("hdl");
+    return p;
+}
+
+Program *
+SpmmWorkload::genAccum(BuildContext &ctx, const Arrays &A, bool loadsVals,
+                       Addr *handler)
+{
+    Program *p = ctx.newProgram("spmm-accum");
+    Asm a(p);
+    // In: QVA (values or positions), QVB. r1=C write ptr, r2=sum.
+    auto loop = a.label("loop");
+    auto hdl = a.label("hdl");
+    auto fin = a.label("fin");
+
+    a.bind(loop);
+    a.mov(R::r3, QVA); // traps on pair CV / DONE
+    a.mov(R::r4, QVB);
+    if (loadsVals) {
+        a.slli(R::r3, R::r3, 2);
+        a.add(R::r3, R::r5, R::r3); // r5 = valA base
+        a.lw(R::r3, R::r3, 0);
+        a.slli(R::r4, R::r4, 2);
+        a.add(R::r4, R::r6, R::r4); // r6 = valB base
+        a.lw(R::r4, R::r4, 0);
+    }
+    a.mul(R::r3, R::r3, R::r4);
+    a.add(R::r2, R::r2, R::r3);
+    a.jmp(loop);
+    a.bind(hdl);
+    a.beqi(R::cvval, 1, fin);
+    a.sd(R::r2, R::r1, 0);
+    a.addi(R::r1, R::r1, 8);
+    a.li(R::r2, 0);
+    a.jr(R::cvret);
+    a.bind(fin);
+    a.halt();
+    a.finalize();
+    (void)A;
+    *handler = p->labels().at("hdl");
+    return p;
+}
+
+void
+SpmmWorkload::buildPipeline(BuildContext &ctx, bool useRa, bool streaming)
+{
+    fatal_if(streaming && ctx.numCores() < 4,
+             "streaming spmm needs 4 cores");
+    Arrays A = installArrays(ctx);
+    uint64_t totalPairs = static_cast<uint64_t>(a_->n) * cols_.size();
+
+    auto addMap = [](ThreadSpec &t, Reg r, QueueId q, QueueDir d) {
+        t.queueMaps.push_back({r.idx, q, d});
+    };
+
+    CoreId rowsCore = 0, colsCore = 0, mergeCore = 0, accCore = 0;
+    ThreadId rowsTid = 0, colsTid = 1, mergeTid = 2, accTid = 3;
+    if (streaming) {
+        rowsCore = 0;
+        colsCore = 1;
+        mergeCore = 2;
+        accCore = 3;
+        rowsTid = colsTid = mergeTid = accTid = 0;
+    }
+
+    // Queue ids are core-local. Merge core hosts qR(0), qC(1), and the
+    // position queues; the accumulate core hosts the value queues.
+    QueueId qR = 0, qC = 1, qPA = 2, qPB = 3, qVA = 4, qVB = 5;
+
+    Addr ehRows;
+    Program *rows = genStream(ctx, A, false, &ehRows);
+    ThreadSpec &tr = ctx.spec.addThread(rowsCore, rowsTid, rows);
+    tr.enqHandler = static_cast<int64_t>(ehRows);
+    tr.initRegs[5] = A.rowPtrA;
+    tr.initRegs[6] = A.colIdxA;
+
+    Addr ehCols;
+    Program *cols = genStream(ctx, A, true, &ehCols);
+    ThreadSpec &tc = ctx.spec.addThread(colsCore, colsTid, cols);
+    tc.enqHandler = static_cast<int64_t>(ehCols);
+    tc.initRegs[5] = A.rowPtrB;
+    tc.initRegs[6] = A.colIdxB;
+
+    if (streaming) {
+        // Streams live on their own cores and connect into the merge
+        // core's qR/qC.
+        addMap(tr, QO, 0, QueueDir::Out);
+        ctx.spec.connectors.push_back({rowsCore, 0, mergeCore, qR});
+        addMap(tc, QO, 0, QueueDir::Out);
+        ctx.spec.connectors.push_back({colsCore, 0, mergeCore, qC});
+    } else {
+        addMap(tr, QO, qR, QueueDir::Out);
+        addMap(tc, QO, qC, QueueDir::Out);
+    }
+
+    Addr hM;
+    Program *merge = genMerge(ctx, qR, qC, &hM);
+    ThreadSpec &tm = ctx.spec.addThread(mergeCore, mergeTid, merge);
+    tm.deqHandler = static_cast<int64_t>(hM);
+    tm.initRegs[6] = totalPairs;
+    addMap(tm, QRI, qR, QueueDir::In);
+    addMap(tm, QCI, qC, QueueDir::In);
+    addMap(tm, QPA, qPA, QueueDir::Out);
+    addMap(tm, QPB, qPB, QueueDir::Out);
+
+    Addr hA;
+    Program *acc = genAccum(ctx, A, !useRa, &hA);
+    ThreadSpec &ta = ctx.spec.addThread(accCore, accTid, acc);
+    ta.deqHandler = static_cast<int64_t>(hA);
+    ta.initRegs[1] = A.c;
+    if (!useRa) {
+        ta.initRegs[5] = A.valA;
+        ta.initRegs[6] = A.valB;
+    }
+
+    if (useRa) {
+        // Position -> value fetch on the merge core.
+        ctx.spec.ras.push_back(
+            {mergeCore, qPA, qVA, A.valA, 4, RaMode::Indirect});
+        ctx.spec.ras.push_back(
+            {mergeCore, qPB, qVB, A.valB, 4, RaMode::Indirect});
+        if (streaming) {
+            addMap(ta, QVA, 0, QueueDir::In);
+            addMap(ta, QVB, 1, QueueDir::In);
+            ctx.spec.connectors.push_back({mergeCore, qVA, accCore, 0});
+            ctx.spec.connectors.push_back({mergeCore, qVB, accCore, 1});
+        } else {
+            addMap(ta, QVA, qVA, QueueDir::In);
+            addMap(ta, QVB, qVB, QueueDir::In);
+        }
+    } else {
+        // Accumulate dequeues positions directly and loads the values.
+        addMap(ta, QVA, qPA, QueueDir::In);
+        addMap(ta, QVB, qPB, QueueDir::In);
+    }
+}
+
+} // namespace pipette

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Inner-product sparse matrix-matrix multiply (paper Sec. III, Figs. 4
+ * and 5): for every row i of A and a fixed set of columns j of B
+ * (streamed as rows of B^T), merge-intersect the sparse coordinates and
+ * accumulate products of the matching values.
+ *
+ * This kernel exercises Pipette's full control-flow repertoire:
+ *  - stream stages delimit each row/column instance with a CV;
+ *  - merge-intersect peeks both streams (peeking a CV raises the
+ *    dequeue handler);
+ *  - when one side is exhausted early, merge-intersect issues
+ *    skip_to_ctrl on the other stream, which either discards the
+ *    remaining coordinates or redirects the producer through its
+ *    enqueue control handler to abort the instance (Fig. 5);
+ *  - matched coordinate positions flow to reference accelerators that
+ *    fetch the values for the accumulate stage.
+ */
+
+#ifndef PIPETTE_WORKLOADS_SPMM_H
+#define PIPETTE_WORKLOADS_SPMM_H
+
+#include "workloads/matrix.h"
+#include "workloads/refimpl.h"
+#include "workloads/workload.h"
+
+namespace pipette {
+
+/** SpMM workload over A and B (given as A and B-transpose). */
+class SpmmWorkload : public WorkloadBase
+{
+  public:
+    struct Options
+    {
+        /** Number of B columns evaluated per row of A. */
+        uint32_t numCols = 8;
+    };
+
+    SpmmWorkload(const SparseMatrix *a, const SparseMatrix *bt,
+                 Options opt);
+    SpmmWorkload(const SparseMatrix *a, const SparseMatrix *bt)
+        : SpmmWorkload(a, bt, Options{})
+    {
+    }
+
+    std::string name() const override { return "spmm"; }
+    void build(BuildContext &ctx, Variant v) override;
+    bool verify(System &sys) const override;
+
+  private:
+    struct Arrays
+    {
+        Addr rowPtrA, colIdxA, valA;
+        Addr rowPtrB, colIdxB, valB;
+        Addr c, globals;
+    };
+    Arrays installArrays(BuildContext &ctx);
+
+    void buildSerial(BuildContext &ctx);
+    void buildDataParallel(BuildContext &ctx);
+    void buildPipeline(BuildContext &ctx, bool useRa, bool streaming);
+
+    Program *genStream(BuildContext &ctx, const Arrays &A, bool isCols,
+                       Addr *enqHandler);
+    Program *genMerge(BuildContext &ctx, QueueId rowQ, QueueId colQ,
+                      Addr *handler);
+    Program *genAccum(BuildContext &ctx, const Arrays &A, bool loadsVals,
+                      Addr *handler);
+    /** Emit the shared merge loop body (serial and DP variants). */
+    void emitSerialKernel(Asm &a, const Arrays &A, bool dataParallel,
+                          uint32_t nThreads);
+
+    const SparseMatrix *a_;
+    const SparseMatrix *bt_;
+    Options opt_;
+    std::vector<uint32_t> cols_;
+    uint32_t stride_;
+    std::vector<uint64_t> refC_;
+    Addr cAddr_ = 0;
+};
+
+} // namespace pipette
+
+#endif // PIPETTE_WORKLOADS_SPMM_H

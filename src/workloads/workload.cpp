@@ -1,0 +1,73 @@
+#include "workloads/workload.h"
+
+namespace pipette {
+
+const char *
+variantName(Variant v)
+{
+    switch (v) {
+      case Variant::Serial: return "serial";
+      case Variant::DataParallel: return "data-parallel";
+      case Variant::Pipette: return "pipette";
+      case Variant::PipetteNoRa: return "pipette-nora";
+      case Variant::Streaming: return "streaming";
+      case Variant::MulticorePipette: return "multicore-pipette";
+      default: return "?";
+    }
+}
+
+bool
+WorkloadBase::supports(Variant v) const
+{
+    return v != Variant::MulticorePipette;
+}
+
+Addr
+installU32(SimMemory &mem, SimAllocator &alloc,
+           const std::vector<uint32_t> &data)
+{
+    Addr base = alloc.alloc32(data.size() ? data.size() : 1);
+    mem.writeArray32(base, data.data(), data.size());
+    return base;
+}
+
+Addr
+installU64(SimMemory &mem, SimAllocator &alloc,
+           const std::vector<uint64_t> &data)
+{
+    Addr base = alloc.alloc64(data.size() ? data.size() : 1);
+    mem.writeArray64(base, data.data(), data.size());
+    return base;
+}
+
+void
+emitBarrier(Asm &a, Reg gbase, int64_t countOff, int64_t phaseOff,
+            uint64_t n, Reg s1, Reg s2, Reg s3)
+{
+    auto wait = a.label();
+    auto spin = a.label();
+    auto after = a.label();
+    a.ld(s1, gbase, phaseOff);    // my phase
+    a.addi(s2, gbase, countOff);  // &count
+    a.li(s3, 1);
+    a.amoadd(s3, s2, s3);         // s3 = arrivals before me
+    a.bnei(s3, static_cast<int64_t>(n - 1), wait);
+    // Last arriver: reset the count, then advance the phase.
+    a.sd(R::zero, s2, 0);
+    a.addi(s2, gbase, phaseOff);
+    a.li(s3, 1);
+    a.amoadd(R::zero, s2, s3);
+    a.jmp(after);
+    a.bind(wait);
+    a.addi(s2, gbase, phaseOff);
+    a.bind(spin);
+    a.ld(s3, s2, 0);
+    a.beq(s3, s1, spin);
+    a.bind(after);
+    // Order post-barrier loads after the phase observation. The OOO
+    // core would otherwise hoist them above the spin exit and read
+    // stale pre-barrier values.
+    a.fence();
+}
+
+} // namespace pipette

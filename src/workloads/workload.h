@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Common infrastructure for the six benchmark workloads. Each workload
+ * builds simulated-memory data structures plus mini-ISA programs for
+ * every variant the paper evaluates:
+ *
+ *  - Serial: one thread on one core;
+ *  - DataParallel: all SMT threads of all cores, synchronizing through
+ *    shared memory (atomics + barriers);
+ *  - Pipette: pipeline stages time-multiplexed on one core's SMT
+ *    threads, with reference accelerators (the paper's default);
+ *  - PipetteNoRa: same without RAs;
+ *  - Streaming: one pipeline stage per single-threaded core, joined by
+ *    connectors (the paper's streaming-multicore baseline, Sec. VI-B);
+ *  - MulticorePipette: stages replicated across cores with cross-core
+ *    neighbor partitioning (paper Sec. VI-F, BFS only).
+ */
+
+#ifndef PIPETTE_WORKLOADS_WORKLOAD_H
+#define PIPETTE_WORKLOADS_WORKLOAD_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+#include "isa/assembler.h"
+#include "isa/machine_spec.h"
+#include "mem/sim_memory.h"
+
+namespace pipette {
+
+/** Benchmark variants (paper Sec. V-B / VI). */
+enum class Variant
+{
+    Serial,
+    DataParallel,
+    Pipette,
+    PipetteNoRa,
+    Streaming,
+    MulticorePipette,
+};
+
+const char *variantName(Variant v);
+
+/** Per-build state: owns the programs and accumulates the spec. */
+struct BuildContext
+{
+    System *sys;
+    SimAllocator alloc{0x100000};
+    MachineSpec spec;
+    std::vector<std::unique_ptr<Program>> programs;
+
+    explicit BuildContext(System *s) : sys(s) {}
+
+    Program *
+    newProgram(const std::string &name)
+    {
+        programs.push_back(std::make_unique<Program>(name));
+        return programs.back().get();
+    }
+
+    SimMemory &mem() { return sys->memory(); }
+    uint32_t numCores() const { return sys->numCores(); }
+    uint32_t smtThreads() const { return sys->config().core.smtThreads; }
+};
+
+/** Interface the experiment harness drives. */
+class WorkloadBase
+{
+  public:
+    virtual ~WorkloadBase() = default;
+    virtual std::string name() const = 0;
+    /** Populate memory and the machine spec for one variant. */
+    virtual void build(BuildContext &ctx, Variant v) = 0;
+    /** Check architectural results against the host reference. */
+    virtual bool verify(System &sys) const = 0;
+    /** Which variants this workload implements. */
+    virtual bool supports(Variant v) const;
+};
+
+// ------------------------------------------------------------- helpers
+
+/** Copy a host uint32 array into simulated memory; returns its base. */
+Addr installU32(SimMemory &mem, SimAllocator &alloc,
+                const std::vector<uint32_t> &data);
+/** Copy a host uint64 array into simulated memory; returns its base. */
+Addr installU64(SimMemory &mem, SimAllocator &alloc,
+                const std::vector<uint64_t> &data);
+
+/**
+ * Emit a centralized phase barrier over `n` threads. The globals block
+ * at `gbase` must reserve 8-byte slots at countOff and phaseOff
+ * (initialized to zero). Clobbers s1, s2, s3.
+ */
+void emitBarrier(Asm &a, Reg gbase, int64_t countOff, int64_t phaseOff,
+                 uint64_t n, Reg s1, Reg s2, Reg s3);
+
+/** Unvisited-distance sentinel used by the graph workloads. */
+constexpr uint64_t UNSET32 = 0xFFFFFFFFull;
+
+/** Control-value protocol shared by the pipelined graph workloads. */
+constexpr uint64_t CV_LEVEL_END = 0;
+constexpr uint64_t CV_DONE = 1;
+
+} // namespace pipette
+
+#endif // PIPETTE_WORKLOADS_WORKLOAD_H

@@ -1,0 +1,162 @@
+// Unit tests for the assembler DSL and static instruction metadata.
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "isa/opcodes.h"
+
+namespace pipette {
+namespace {
+
+TEST(Assembler, EmitsAndFinalizesForwardLabels)
+{
+    Program p("t");
+    Asm a(&p);
+    auto skip = a.label("skip");
+    a.li(R::r1, 5);
+    a.beqi(R::r1, 5, skip);
+    a.li(R::r1, 99);
+    a.bind(skip);
+    a.halt();
+    a.finalize();
+
+    ASSERT_EQ(p.size(), 4u);
+    EXPECT_EQ(p.at(1).op, Op::BEQI);
+    EXPECT_EQ(p.at(1).target, 3);
+    EXPECT_EQ(p.labels().at("skip"), 3u);
+}
+
+TEST(Assembler, BackwardLabel)
+{
+    Program p("t");
+    Asm a(&p);
+    auto loop = a.label("loop");
+    a.li(R::r1, 3);
+    a.bind(loop);
+    a.addi(R::r1, R::r1, -1);
+    a.bnei(R::r1, 0, loop);
+    a.halt();
+    a.finalize();
+    EXPECT_EQ(p.at(2).target, 1);
+}
+
+TEST(Assembler, UnboundLabelPanics)
+{
+    Program p("t");
+    Asm a(&p);
+    auto l = a.label("nowhere");
+    a.jmp(l);
+    EXPECT_DEATH(a.finalize(), "unbound label");
+}
+
+TEST(Assembler, DoubleBindPanics)
+{
+    Program p("t");
+    Asm a(&p);
+    auto l = a.label();
+    a.bind(l);
+    EXPECT_DEATH(a.bind(l), "bound twice");
+}
+
+TEST(Assembler, LoadToZeroRegPanics)
+{
+    Program p("t");
+    Asm a(&p);
+    EXPECT_DEATH(a.ld(R::zero, R::r1, 0), "r0 as destination");
+}
+
+TEST(Assembler, StoreFieldLayout)
+{
+    Program p("t");
+    Asm a(&p);
+    a.sd(R::r2, R::r3, 16); // value r2 at [r3+16]
+    a.finalize();
+    EXPECT_EQ(p.at(0).rs1, 3); // base
+    EXPECT_EQ(p.at(0).rs2, 2); // value
+    EXPECT_EQ(p.at(0).imm, 16);
+}
+
+TEST(Assembler, ListingContainsLabelsAndOps)
+{
+    Program p("t");
+    Asm a(&p);
+    auto l = a.label("top");
+    a.bind(l);
+    a.addi(R::r1, R::r1, 1);
+    a.jmp(l);
+    a.finalize();
+    std::string ls = p.listing();
+    EXPECT_NE(ls.find("top:"), std::string::npos);
+    EXPECT_NE(ls.find("addi"), std::string::npos);
+}
+
+TEST(OpInfo, MetadataConsistency)
+{
+    // Every opcode has a name and the table is aligned with the enum.
+    EXPECT_STREQ(opInfo(Op::ADD).name, "add");
+    EXPECT_STREQ(opInfo(Op::LI).name, "li");
+    EXPECT_STREQ(opInfo(Op::SD).name, "sd");
+    EXPECT_STREQ(opInfo(Op::BGEI).name, "bgei");
+    EXPECT_STREQ(opInfo(Op::AMOCAS).name, "amocas");
+    EXPECT_STREQ(opInfo(Op::SKIPTC).name, "skiptc");
+    EXPECT_STREQ(opInfo(Op::ENQTRAP).name, "enqtrap");
+
+    EXPECT_TRUE(opInfo(Op::LD).isLoad);
+    EXPECT_TRUE(opInfo(Op::SW).isStore);
+    EXPECT_TRUE(opInfo(Op::AMOCAS).readsRd);
+    EXPECT_FALSE(opInfo(Op::AMOADD).readsRd);
+    EXPECT_TRUE(opInfo(Op::BEQ).isCondBranch);
+    EXPECT_TRUE(opInfo(Op::JMP).isDirectJump);
+    EXPECT_TRUE(opInfo(Op::JR).isIndirectJump);
+    EXPECT_EQ(opInfo(Op::LW).memBytes, 4);
+    EXPECT_EQ(opInfo(Op::MUL).fu, FuType::Mul);
+    EXPECT_EQ(opInfo(Op::DIVU).fu, FuType::Div);
+}
+
+TEST(OpInfo, AluEval)
+{
+    EXPECT_EQ(evalAlu(Op::ADD, 2, 3), 5u);
+    EXPECT_EQ(evalAlu(Op::SUB, 2, 3), static_cast<uint64_t>(-1));
+    EXPECT_EQ(evalAlu(Op::MUL, 7, 6), 42u);
+    EXPECT_EQ(evalAlu(Op::DIVU, 42, 5), 8u);
+    EXPECT_EQ(evalAlu(Op::DIVU, 42, 0), ~0ull);
+    EXPECT_EQ(evalAlu(Op::REMU, 42, 5), 2u);
+    EXPECT_EQ(evalAlu(Op::SLL, 1, 8), 256u);
+    EXPECT_EQ(evalAlu(Op::SRA, static_cast<uint64_t>(-8), 1),
+              static_cast<uint64_t>(-4));
+    EXPECT_EQ(evalAlu(Op::SLT, static_cast<uint64_t>(-1), 0), 1u);
+    EXPECT_EQ(evalAlu(Op::SLTU, static_cast<uint64_t>(-1), 0), 0u);
+    EXPECT_EQ(evalAlu(Op::LI, 0, 1234), 1234u);
+}
+
+TEST(OpInfo, BranchEval)
+{
+    EXPECT_TRUE(evalBranch(Op::BEQ, 4, 4));
+    EXPECT_FALSE(evalBranch(Op::BNE, 4, 4));
+    EXPECT_TRUE(evalBranch(Op::BLT, static_cast<uint64_t>(-2), 1));
+    EXPECT_FALSE(evalBranch(Op::BLTU, static_cast<uint64_t>(-2), 1));
+    EXPECT_TRUE(evalBranch(Op::BGEU, static_cast<uint64_t>(-2), 1));
+}
+
+TEST(OpInfo, AtomicEval)
+{
+    auto r = evalAtomic(Op::AMOADD, 10, 5, 0);
+    EXPECT_EQ(r.newValue, 15u);
+    EXPECT_TRUE(r.doStore);
+
+    r = evalAtomic(Op::AMOCAS, 10, 99, 10);
+    EXPECT_TRUE(r.doStore);
+    EXPECT_EQ(r.newValue, 99u);
+    r = evalAtomic(Op::AMOCAS, 10, 99, 11);
+    EXPECT_FALSE(r.doStore);
+
+    r = evalAtomic(Op::AMOMINU, 10, 5, 0);
+    EXPECT_EQ(r.newValue, 5u);
+    r = evalAtomic(Op::AMOMAXU, 10, 5, 0);
+    EXPECT_EQ(r.newValue, 10u);
+    r = evalAtomic(Op::AMOOR, 0b1010, 0b0101, 0);
+    EXPECT_EQ(r.newValue, 0b1111u);
+}
+
+} // namespace
+} // namespace pipette

@@ -1,0 +1,207 @@
+// BFS workload tests: every variant x pipeline depth x graph shape must
+// produce exactly the reference distances, on both the functional
+// interpreter and the cycle-level simulator.
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "isa/interp.h"
+#include "workloads/bfs.h"
+
+namespace pipette {
+namespace {
+
+struct BfsCase
+{
+    const char *graphKind;
+    Variant variant;
+    uint32_t depth;
+};
+
+std::string
+caseName(const testing::TestParamInfo<BfsCase> &info)
+{
+    std::string s = std::string(info.param.graphKind) + "_" +
+                    variantName(info.param.variant) + "_d" +
+                    std::to_string(info.param.depth);
+    for (char &c : s)
+        if (c == '-')
+            c = '_';
+    return s;
+}
+
+Graph
+makeGraph(const std::string &kind)
+{
+    if (kind == "grid")
+        return makeGridGraph(24, 24, 5);
+    if (kind == "rmat")
+        return makeRmatGraph(512, 2048, 9);
+    if (kind == "uniform")
+        return makeUniformGraph(600, 4.0, 13);
+    return makeGridGraph(4, 4, 1);
+}
+
+class BfsVariants : public testing::TestWithParam<BfsCase>
+{
+};
+
+TEST_P(BfsVariants, MatchesReference)
+{
+    const BfsCase &c = GetParam();
+    Graph g = makeGraph(c.graphKind);
+
+    SystemConfig cfg;
+    cfg.numCores = c.variant == Variant::Streaming ? 4 : 1;
+    cfg.watchdogCycles = 200'000;
+    cfg.maxCycles = 100'000'000;
+    System sys(cfg);
+
+    BfsWorkload::Options opt;
+    opt.depth = c.depth;
+    BfsWorkload wl(&g, opt);
+    BuildContext ctx(&sys);
+    wl.build(ctx, c.variant);
+    sys.configure(ctx.spec);
+    auto res = sys.run();
+    ASSERT_TRUE(res.finished) << sys.core(0).debugString();
+    EXPECT_TRUE(wl.verify(sys));
+    EXPECT_GT(res.instrs, g.numEdges()); // actually did the work
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, BfsVariants,
+    testing::Values(
+        BfsCase{"grid", Variant::Serial, 4},
+        BfsCase{"grid", Variant::DataParallel, 4},
+        BfsCase{"grid", Variant::Pipette, 4},
+        BfsCase{"grid", Variant::Pipette, 3},
+        BfsCase{"grid", Variant::Pipette, 2},
+        BfsCase{"grid", Variant::PipetteNoRa, 4},
+        BfsCase{"grid", Variant::PipetteNoRa, 3},
+        BfsCase{"grid", Variant::PipetteNoRa, 2},
+        BfsCase{"grid", Variant::Streaming, 4},
+        BfsCase{"rmat", Variant::Serial, 4},
+        BfsCase{"rmat", Variant::DataParallel, 4},
+        BfsCase{"rmat", Variant::Pipette, 4},
+        BfsCase{"rmat", Variant::PipetteNoRa, 4},
+        BfsCase{"rmat", Variant::Streaming, 4},
+        BfsCase{"uniform", Variant::Pipette, 4},
+        BfsCase{"uniform", Variant::DataParallel, 4}),
+    caseName);
+
+TEST(BfsInterp, PipetteFunctionallyCorrectOnInterpreter)
+{
+    // The same machine spec must also pass on the golden-model
+    // interpreter (differential check of the Pipette semantics).
+    Graph g = makeGridGraph(12, 12, 3);
+    SystemConfig cfg;
+    System sys(cfg); // memory donor for the build
+    BfsWorkload wl(&g);
+    BuildContext ctx(&sys);
+    wl.build(ctx, Variant::Pipette);
+
+    Interp in(ctx.spec, &sys.memory());
+    auto res = in.run();
+    ASSERT_EQ(res.status, Interp::Status::Done);
+    EXPECT_TRUE(wl.verify(sys));
+}
+
+TEST(BfsInterp, DataParallelFunctionallyCorrectOnInterpreter)
+{
+    Graph g = makeRmatGraph(256, 1024, 17);
+    SystemConfig cfg;
+    System sys(cfg);
+    BfsWorkload wl(&g);
+    BuildContext ctx(&sys);
+    wl.build(ctx, Variant::DataParallel);
+
+    Interp in(ctx.spec, &sys.memory());
+    ASSERT_EQ(in.run().status, Interp::Status::Done);
+    EXPECT_TRUE(wl.verify(sys));
+}
+
+TEST(BfsPerf, PipetteBeatsSerialOnIrregularGraph)
+{
+    // Smoke-check the paper's headline direction on a small-but-real
+    // input: Pipette with RAs must be meaningfully faster than serial.
+    Graph g = makeGridGraph(48, 48, 21);
+
+    auto runCycles = [&](Variant v) {
+        SystemConfig cfg;
+        cfg.watchdogCycles = 500'000;
+        System sys(cfg);
+        BfsWorkload wl(&g);
+        BuildContext ctx(&sys);
+        wl.build(ctx, v);
+        sys.configure(ctx.spec);
+        auto res = sys.run();
+        EXPECT_TRUE(res.finished);
+        EXPECT_TRUE(wl.verify(sys));
+        return res.cycles;
+    };
+
+    Cycle serial = runCycles(Variant::Serial);
+    Cycle pipette = runCycles(Variant::Pipette);
+    EXPECT_LT(pipette, serial);
+}
+
+} // namespace
+} // namespace pipette
+
+namespace pipette {
+namespace {
+
+TEST(BfsMulticore, MatchesReferenceOnGrid)
+{
+    Graph g = makeGridGraph(24, 24, 5);
+    SystemConfig cfg;
+    cfg.numCores = 4;
+    cfg.watchdogCycles = 300'000;
+    cfg.maxCycles = 200'000'000;
+    System sys(cfg);
+    BfsWorkload wl(&g);
+    BuildContext ctx(&sys);
+    wl.build(ctx, Variant::MulticorePipette);
+    sys.configure(ctx.spec);
+    auto res = sys.run();
+    ASSERT_TRUE(res.finished)
+        << sys.core(0).debugString() << sys.core(1).debugString()
+        << sys.core(2).debugString() << sys.core(3).debugString();
+    EXPECT_TRUE(wl.verify(sys));
+    EXPECT_GT(sys.core(0).stats().connectorTransfers, 0u);
+}
+
+TEST(BfsMulticore, MatchesReferenceOnRmat)
+{
+    Graph g = makeRmatGraph(512, 2048, 9);
+    SystemConfig cfg;
+    cfg.numCores = 4;
+    cfg.watchdogCycles = 300'000;
+    cfg.maxCycles = 200'000'000;
+    System sys(cfg);
+    BfsWorkload wl(&g);
+    BuildContext ctx(&sys);
+    wl.build(ctx, Variant::MulticorePipette);
+    sys.configure(ctx.spec);
+    auto res = sys.run();
+    ASSERT_TRUE(res.finished) << sys.core(0).debugString();
+    EXPECT_TRUE(wl.verify(sys));
+}
+
+TEST(BfsMulticore, FunctionallyCorrectOnInterpreter)
+{
+    Graph g = makeUniformGraph(500, 4.0, 13);
+    SystemConfig cfg;
+    cfg.numCores = 4;
+    System sys(cfg);
+    BfsWorkload wl(&g);
+    BuildContext ctx(&sys);
+    wl.build(ctx, Variant::MulticorePipette);
+    Interp in(ctx.spec, &sys.memory());
+    ASSERT_EQ(in.run().status, Interp::Status::Done);
+    EXPECT_TRUE(wl.verify(sys));
+}
+
+} // namespace
+} // namespace pipette

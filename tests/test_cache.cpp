@@ -1,0 +1,216 @@
+// Unit tests for the cache tag arrays and the timing memory hierarchy.
+
+#include <gtest/gtest.h>
+
+#include "mem/hierarchy.h"
+
+namespace pipette {
+namespace {
+
+MemConfig
+smallConfig()
+{
+    MemConfig m;
+    m.l1d = {4 * 1024, 4, 4, 8};
+    m.l2 = {16 * 1024, 8, 12, 16};
+    m.l3 = {64 * 1024, 16, 38, 32};
+    m.prefetcherEnabled = false;
+    return m;
+}
+
+TEST(CacheArray, HitAfterInsert)
+{
+    CacheConfig cfg{4 * 1024, 4, 4, 8};
+    CacheArray c(cfg, 64, "t");
+    EXPECT_EQ(c.lookup(100), nullptr);
+    c.insert(100, false, false);
+    EXPECT_NE(c.lookup(100), nullptr);
+}
+
+TEST(CacheArray, LruEviction)
+{
+    // 4-way: fill one set with 5 lines; the first goes.
+    CacheConfig cfg{4 * 1024, 4, 4, 8};
+    CacheArray c(cfg, 64, "t");
+    uint32_t sets = c.numSets();
+    for (uint64_t i = 0; i < 5; i++)
+        c.insert(i * sets, false, false); // all map to set 0
+    EXPECT_EQ(c.lookup(0), nullptr);
+    for (uint64_t i = 1; i < 5; i++)
+        EXPECT_NE(c.lookup(i * sets), nullptr);
+}
+
+TEST(CacheArray, LruTouchProtects)
+{
+    CacheConfig cfg{4 * 1024, 4, 4, 8};
+    CacheArray c(cfg, 64, "t");
+    uint32_t sets = c.numSets();
+    for (uint64_t i = 0; i < 4; i++)
+        c.insert(i * sets, false, false);
+    c.lookup(0); // touch line 0 -> MRU
+    c.insert(4ull * sets, false, false);
+    EXPECT_NE(c.lookup(0), nullptr);      // protected
+    EXPECT_EQ(c.lookup(1ull * sets), nullptr); // victim was line 1
+}
+
+TEST(CacheArray, DirtyEvictionReported)
+{
+    CacheConfig cfg{4 * 1024, 4, 4, 8};
+    CacheArray c(cfg, 64, "t");
+    uint32_t sets = c.numSets();
+    c.insert(0, true, false);
+    for (uint64_t i = 1; i < 4; i++)
+        c.insert(i * sets, false, false);
+    auto res = c.insert(4ull * sets, false, false);
+    EXPECT_TRUE(res.evictedDirty);
+    EXPECT_EQ(res.victimLineAddr, 0u);
+}
+
+TEST(CacheArray, Invalidate)
+{
+    CacheConfig cfg{4 * 1024, 4, 4, 8};
+    CacheArray c(cfg, 64, "t");
+    c.insert(7, false, false);
+    EXPECT_TRUE(c.invalidate(7));
+    EXPECT_EQ(c.lookup(7), nullptr);
+    EXPECT_FALSE(c.invalidate(7));
+}
+
+TEST(Hierarchy, L1HitLatency)
+{
+    EventQueue eq;
+    MemoryHierarchy h(smallConfig(), 1, &eq);
+    Cycle done1 = h.access(0, 0x1000, false, 0, nullptr);
+    EXPECT_GT(done1, smallConfig().l1d.latency); // first access misses
+    Cycle done2 = h.access(0, 0x1008, false, done1, nullptr); // same line
+    EXPECT_EQ(done2, done1 + smallConfig().l1d.latency);
+    EXPECT_EQ(h.l1Stats(0).misses, 1u);
+    EXPECT_EQ(h.l1Stats(0).accesses, 2u);
+}
+
+TEST(Hierarchy, MissGoesToDram)
+{
+    MemConfig m = smallConfig();
+    EventQueue eq;
+    MemoryHierarchy h(m, 1, &eq);
+    Cycle done = h.access(0, 0x1000, false, 0, nullptr);
+    EXPECT_GE(done, m.l3.latency + m.dramLatency);
+    EXPECT_EQ(h.memStats().dramReads, 1u);
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction)
+{
+    MemConfig m = smallConfig();
+    EventQueue eq;
+    MemoryHierarchy h(m, 1, &eq);
+    // Fill enough lines to evict 0x0 from the 4KB L1 but not 16KB L2.
+    Cycle t = 0;
+    t = h.access(0, 0, false, t, nullptr);
+    for (Addr a = 4096; a < 4096 + 8 * 1024; a += 64)
+        t = h.access(0, a, false, t, nullptr);
+    uint64_t missesBefore = h.l2Stats(0).misses;
+    Cycle done = h.access(0, 0, false, t, nullptr);
+    EXPECT_EQ(h.l2Stats(0).misses, missesBefore); // L2 hit, no new miss
+    EXPECT_LT(done - t, m.l3.latency);            // faster than L3
+}
+
+TEST(Hierarchy, CallbackScheduledAtCompletion)
+{
+    EventQueue eq;
+    MemoryHierarchy h(smallConfig(), 1, &eq);
+    bool fired = false;
+    Cycle done = h.access(0, 0x5000, false, 0, [&] { fired = true; });
+    eq.runUntil(done - 1);
+    EXPECT_FALSE(fired);
+    eq.runUntil(done);
+    EXPECT_TRUE(fired);
+}
+
+TEST(Hierarchy, MshrsLimitParallelMisses)
+{
+    MemConfig m = smallConfig();
+    m.l1d.mshrs = 2;
+    EventQueue eq;
+    MemoryHierarchy h(m, 1, &eq);
+    // Three misses to distinct lines at the same cycle: the third must
+    // wait for an MSHR.
+    Cycle d1 = h.access(0, 0x10000, false, 0, nullptr);
+    Cycle d2 = h.access(0, 0x20000, false, 0, nullptr);
+    Cycle d3 = h.access(0, 0x30000, false, 0, nullptr);
+    EXPECT_GE(d3, std::min(d1, d2));
+    EXPECT_GT(h.l1Stats(0).misses, 0u);
+    EXPECT_GT(d3, d1); // serialized behind an earlier completion
+}
+
+TEST(Hierarchy, SameLineMissesCoalesce)
+{
+    EventQueue eq;
+    MemoryHierarchy h(smallConfig(), 1, &eq);
+    Cycle d1 = h.access(0, 0x10000, false, 0, nullptr);
+    Cycle d2 = h.access(0, 0x10008, false, 1, nullptr);
+    EXPECT_EQ(d2, d1); // rides the same in-flight miss
+    EXPECT_EQ(h.memStats().dramReads, 1u);
+}
+
+TEST(Hierarchy, DramBandwidthQueues)
+{
+    MemConfig m = smallConfig();
+    m.dramChannels = 1;
+    m.dramCyclesPerReq = 10;
+    EventQueue eq;
+    MemoryHierarchy h(m, 1, &eq);
+    Cycle d1 = h.access(0, 0x100000, false, 0, nullptr);
+    Cycle d2 = h.access(0, 0x200000, false, 0, nullptr);
+    EXPECT_EQ(d2, d1 + 10); // second request queued behind the first
+    EXPECT_GT(h.memStats().dramQueueCycles, 0u);
+}
+
+TEST(Hierarchy, WriteInvalidatesRemoteCopies)
+{
+    MemConfig m = smallConfig();
+    EventQueue eq;
+    MemoryHierarchy h(m, 2, &eq);
+    Cycle t = h.access(0, 0x1000, false, 0, nullptr);  // core 0 reads
+    t = h.access(1, 0x1000, false, t, nullptr);        // core 1 reads
+    EXPECT_EQ(h.l1Stats(1).misses, 1u);
+    t = h.access(0, 0x1000, true, t, nullptr);         // core 0 writes
+    EXPECT_GE(h.l1Stats(1).invalidations, 1u);
+    // Core 1's next read must miss again.
+    uint64_t missesBefore = h.l1Stats(1).misses;
+    h.access(1, 0x1000, false, t + 100, nullptr);
+    EXPECT_EQ(h.l1Stats(1).misses, missesBefore + 1);
+}
+
+TEST(Hierarchy, StreamPrefetcherHidesSequentialMisses)
+{
+    MemConfig m = smallConfig();
+    m.prefetcherEnabled = true;
+    EventQueue eq;
+    MemoryHierarchy h(m, 1, &eq);
+    // Walk 64 sequential lines with ample spacing: after the stream is
+    // detected, demand accesses should hit prefetched lines.
+    Cycle t = 0;
+    for (Addr a = 0; a < 64 * 64; a += 64) {
+        h.access(0, 0x100000 + a, false, t, nullptr);
+        t += 400;
+    }
+    EXPECT_GT(h.l1Stats(0).prefetches, 0u);
+    EXPECT_GT(h.l1Stats(0).prefetchHits, 10u);
+    // Most of the walk hits thanks to prefetching.
+    EXPECT_LT(h.l1Stats(0).misses, 20u);
+}
+
+TEST(Hierarchy, StatsDumpContainsKeys)
+{
+    EventQueue eq;
+    MemoryHierarchy h(smallConfig(), 1, &eq);
+    h.access(0, 0x1000, false, 0, nullptr);
+    std::map<std::string, double> out;
+    h.dumpStats(out);
+    EXPECT_TRUE(out.count("core0.l1d.accesses"));
+    EXPECT_TRUE(out.count("l3.misses"));
+    EXPECT_TRUE(out.count("mem.dramReads"));
+}
+
+} // namespace
+} // namespace pipette

@@ -1,0 +1,105 @@
+// Connected-components workload tests across all variants.
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "isa/interp.h"
+#include "workloads/cc.h"
+
+namespace pipette {
+namespace {
+
+struct CcCase
+{
+    const char *graphKind;
+    Variant variant;
+};
+
+std::string
+caseName(const testing::TestParamInfo<CcCase> &info)
+{
+    std::string s = std::string(info.param.graphKind) + "_" +
+                    variantName(info.param.variant);
+    for (char &c : s)
+        if (c == '-')
+            c = '_';
+    return s;
+}
+
+Graph
+makeGraph(const std::string &kind)
+{
+    if (kind == "grid")
+        return makeGridGraph(20, 20, 6);
+    if (kind == "rmat")
+        return makeRmatGraph(512, 1500, 10); // likely disconnected
+    return makeUniformGraph(500, 2.0, 14);   // many components
+}
+
+class CcVariants : public testing::TestWithParam<CcCase>
+{
+};
+
+TEST_P(CcVariants, MatchesReference)
+{
+    const CcCase &c = GetParam();
+    Graph g = makeGraph(c.graphKind);
+
+    SystemConfig cfg;
+    cfg.numCores = c.variant == Variant::Streaming ? 4 : 1;
+    cfg.watchdogCycles = 200'000;
+    cfg.maxCycles = 200'000'000;
+    System sys(cfg);
+
+    CcWorkload wl(&g);
+    BuildContext ctx(&sys);
+    wl.build(ctx, c.variant);
+    sys.configure(ctx.spec);
+    auto res = sys.run();
+    ASSERT_TRUE(res.finished) << sys.core(0).debugString();
+    EXPECT_TRUE(wl.verify(sys));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, CcVariants,
+    testing::Values(CcCase{"grid", Variant::Serial},
+                    CcCase{"grid", Variant::DataParallel},
+                    CcCase{"grid", Variant::Pipette},
+                    CcCase{"grid", Variant::PipetteNoRa},
+                    CcCase{"grid", Variant::Streaming},
+                    CcCase{"rmat", Variant::Serial},
+                    CcCase{"rmat", Variant::DataParallel},
+                    CcCase{"rmat", Variant::Pipette},
+                    CcCase{"rmat", Variant::PipetteNoRa},
+                    CcCase{"sparse", Variant::Pipette},
+                    CcCase{"sparse", Variant::DataParallel}),
+    caseName);
+
+TEST(CcInterp, PipetteFunctionallyCorrect)
+{
+    Graph g = makeRmatGraph(256, 700, 19);
+    SystemConfig cfg;
+    System sys(cfg);
+    CcWorkload wl(&g);
+    BuildContext ctx(&sys);
+    wl.build(ctx, Variant::Pipette);
+    Interp in(ctx.spec, &sys.memory());
+    ASSERT_EQ(in.run().status, Interp::Status::Done);
+    EXPECT_TRUE(wl.verify(sys));
+}
+
+TEST(CcInterp, DataParallelFunctionallyCorrect)
+{
+    Graph g = makeUniformGraph(400, 3.0, 23);
+    SystemConfig cfg;
+    System sys(cfg);
+    CcWorkload wl(&g);
+    BuildContext ctx(&sys);
+    wl.build(ctx, Variant::DataParallel);
+    Interp in(ctx.spec, &sys.memory());
+    ASSERT_EQ(in.run().status, Interp::Status::Done);
+    EXPECT_TRUE(wl.verify(sys));
+}
+
+} // namespace
+} // namespace pipette

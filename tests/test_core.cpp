@@ -1,0 +1,774 @@
+// Integration tests of the cycle-level OOO SMT core: scalar semantics,
+// branches and recovery, loads/stores/forwarding, atomics, and the full
+// Pipette machinery (queues, CV traps, skiptc, RAs, connectors), plus
+// differential checks against the golden-model interpreter.
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "isa/assembler.h"
+#include "isa/interp.h"
+
+namespace pipette {
+namespace {
+
+SystemConfig
+smallSys(uint32_t cores = 1)
+{
+    SystemConfig cfg;
+    cfg.numCores = cores;
+    cfg.watchdogCycles = 100'000;
+    cfg.maxCycles = 20'000'000;
+    return cfg;
+}
+
+TEST(Core, ArithmeticLoop)
+{
+    Program p("sum");
+    Asm a(&p);
+    auto loop = a.label();
+    a.li(R::r1, 0);
+    a.li(R::r2, 1);
+    a.bind(loop);
+    a.add(R::r1, R::r1, R::r2);
+    a.addi(R::r2, R::r2, 1);
+    a.blti(R::r2, 101, loop);
+    a.halt();
+    a.finalize();
+
+    System sys(smallSys());
+    MachineSpec spec;
+    spec.addThread(0, 0, &p);
+    sys.configure(spec);
+    auto res = sys.run();
+    ASSERT_TRUE(res.finished);
+    EXPECT_EQ(sys.core(0).readArchReg(0, 1), 5050u);
+    EXPECT_EQ(sys.core(0).stats().committedInstrs, 2u + 3 * 100 + 1);
+}
+
+TEST(Core, StoreLoadForwarding)
+{
+    Program p("fwd");
+    Asm a(&p);
+    a.li(R::r1, 0x20000);
+    a.li(R::r2, 123);
+    a.sd(R::r2, R::r1, 0);
+    a.ld(R::r3, R::r1, 0); // must forward from the uncommitted store
+    a.addi(R::r3, R::r3, 1);
+    a.halt();
+    a.finalize();
+
+    System sys(smallSys());
+    MachineSpec spec;
+    spec.addThread(0, 0, &p);
+    sys.configure(spec);
+    ASSERT_TRUE(sys.run().finished);
+    EXPECT_EQ(sys.core(0).readArchReg(0, 3), 124u);
+    EXPECT_EQ(sys.memory().read(0x20000, 8), 123u);
+}
+
+TEST(Core, PartialOverlapStoreLoad)
+{
+    Program p("partial");
+    Asm a(&p);
+    a.li(R::r1, 0x20000);
+    a.li(R::r2, 0x1122334455667788ull);
+    a.sd(R::r2, R::r1, 0);
+    a.lw(R::r3, R::r1, 4); // partial overlap: waits for the store
+    a.halt();
+    a.finalize();
+
+    System sys(smallSys());
+    MachineSpec spec;
+    spec.addThread(0, 0, &p);
+    sys.configure(spec);
+    ASSERT_TRUE(sys.run().finished);
+    EXPECT_EQ(sys.core(0).readArchReg(0, 3), 0x11223344u);
+}
+
+TEST(Core, DataDependentBranchesRecover)
+{
+    // Alternating hard-to-predict branches based on a xorshift PRNG;
+    // result checked against the interpreter.
+    Program p("branches");
+    Asm a(&p);
+    auto loop = a.label();
+    auto odd = a.label();
+    auto next = a.label();
+    a.li(R::r1, 12345); // prng state
+    a.li(R::r2, 0);     // sum
+    a.li(R::r3, 200);   // iterations
+    a.bind(loop);
+    // xorshift step
+    a.slli(R::r4, R::r1, 13);
+    a.xor_(R::r1, R::r1, R::r4);
+    a.srli(R::r4, R::r1, 7);
+    a.xor_(R::r1, R::r1, R::r4);
+    a.andi(R::r5, R::r1, 1);
+    a.bnei(R::r5, 0, odd);
+    a.addi(R::r2, R::r2, 3);
+    a.jmp(next);
+    a.bind(odd);
+    a.addi(R::r2, R::r2, 7);
+    a.bind(next);
+    a.addi(R::r3, R::r3, -1);
+    a.bnei(R::r3, 0, loop);
+    a.halt();
+    a.finalize();
+
+    MachineSpec spec;
+    spec.addThread(0, 0, &p);
+
+    SimMemory imem;
+    Interp in(spec, &imem);
+    ASSERT_EQ(in.run().status, Interp::Status::Done);
+
+    System sys(smallSys());
+    sys.configure(spec);
+    ASSERT_TRUE(sys.run().finished);
+    EXPECT_EQ(sys.core(0).readArchReg(0, 2), in.reg(0, 2));
+    EXPECT_GT(sys.core(0).stats().mispredicts, 10u); // genuinely hard
+}
+
+TEST(Core, JalJrRoundTrip)
+{
+    Program p("call");
+    Asm a(&p);
+    auto fn = a.label("fn");
+    auto done = a.label("done");
+    a.li(R::r1, 1);
+    a.jal(R::r10, fn);
+    a.li(R::r2, 3);
+    a.jmp(done);
+    a.bind(fn);
+    a.addi(R::r1, R::r1, 10);
+    a.jr(R::r10);
+    a.bind(done);
+    a.halt();
+    a.finalize();
+
+    System sys(smallSys());
+    MachineSpec spec;
+    spec.addThread(0, 0, &p);
+    sys.configure(spec);
+    ASSERT_TRUE(sys.run().finished);
+    EXPECT_EQ(sys.core(0).readArchReg(0, 1), 11u);
+    EXPECT_EQ(sys.core(0).readArchReg(0, 2), 3u);
+}
+
+TEST(Core, IndirectLoadChain)
+{
+    // r3 = C[B[A[i]]] summed over i -- the irregular pattern the paper
+    // targets. Checked against a host-computed expectation.
+    SimMemory ref;
+    const uint64_t n = 64;
+    Addr A = 0x100000, B = 0x120000, C = 0x140000;
+
+    Program p("chain");
+    Asm a(&p);
+    auto loop = a.label();
+    a.li(R::r1, 0); // i
+    a.li(R::r2, 0); // sum
+    a.li(R::r4, A);
+    a.li(R::r5, B);
+    a.li(R::r6, C);
+    a.bind(loop);
+    a.slli(R::r7, R::r1, 3);
+    a.add(R::r7, R::r4, R::r7);
+    a.ld(R::r8, R::r7, 0); // A[i]
+    a.slli(R::r8, R::r8, 3);
+    a.add(R::r8, R::r5, R::r8);
+    a.ld(R::r9, R::r8, 0); // B[A[i]]
+    a.slli(R::r9, R::r9, 3);
+    a.add(R::r9, R::r6, R::r9);
+    a.ld(R::r10, R::r9, 0); // C[B[A[i]]]
+    a.add(R::r2, R::r2, R::r10);
+    a.addi(R::r1, R::r1, 1);
+    a.blti(R::r1, static_cast<int64_t>(n), loop);
+    a.halt();
+    a.finalize();
+
+    System sys(smallSys());
+    uint64_t expect = 0;
+    {
+        // Pseudorandom permutation-ish contents.
+        for (uint64_t i = 0; i < n; i++)
+            sys.memory().write(A + 8 * i, 8, (i * 17 + 3) % n);
+        for (uint64_t i = 0; i < n; i++)
+            sys.memory().write(B + 8 * i, 8, (i * 29 + 11) % n);
+        for (uint64_t i = 0; i < n; i++)
+            sys.memory().write(C + 8 * i, 8, i * 1000);
+        for (uint64_t i = 0; i < n; i++)
+            expect += ((((i * 17 + 3) % n) * 29 + 11) % n) * 1000;
+    }
+    MachineSpec spec;
+    spec.addThread(0, 0, &p);
+    sys.configure(spec);
+    ASSERT_TRUE(sys.run().finished);
+    EXPECT_EQ(sys.core(0).readArchReg(0, 2), expect);
+}
+
+TEST(Core, AtomicsAcrossSmtThreads)
+{
+    Program p("incr");
+    Asm a(&p);
+    auto loop = a.label();
+    a.li(R::r1, 0x30000);
+    a.li(R::r2, 500);
+    a.li(R::r3, 1);
+    a.bind(loop);
+    a.amoadd(R::zero, R::r1, R::r3);
+    a.addi(R::r2, R::r2, -1);
+    a.bnei(R::r2, 0, loop);
+    a.halt();
+    a.finalize();
+
+    System sys(smallSys());
+    MachineSpec spec;
+    for (ThreadId t = 0; t < 4; t++)
+        spec.addThread(0, t, &p);
+    sys.configure(spec);
+    ASSERT_TRUE(sys.run().finished);
+    EXPECT_EQ(sys.memory().read(0x30000, 8), 2000u);
+}
+
+// ------------------------------------------------------- Pipette tests
+
+constexpr Reg QOUT = R::r11;
+constexpr Reg QIN = R::r12;
+
+TEST(CorePipette, ProducerConsumerSum)
+{
+    Program prod("prod");
+    {
+        Asm a(&prod);
+        auto loop = a.label();
+        a.li(R::r1, 1);
+        a.bind(loop);
+        a.mov(QOUT, R::r1);
+        a.addi(R::r1, R::r1, 1);
+        a.blti(R::r1, 1001, loop);
+        a.enqc(QOUT, R::zero);
+        a.halt();
+        a.finalize();
+    }
+    Program cons("cons");
+    Addr handler;
+    {
+        Asm a(&cons);
+        auto loop = a.label();
+        auto hdl = a.label("h");
+        a.li(R::r1, 0);
+        a.bind(loop);
+        a.add(R::r1, R::r1, QIN);
+        a.jmp(loop);
+        a.bind(hdl);
+        a.halt();
+        a.finalize();
+        handler = cons.labels().at("h");
+    }
+
+    System sys(smallSys());
+    MachineSpec spec;
+    spec.addThread(0, 0, &prod).queueMaps.push_back(
+        {QOUT.idx, 0, QueueDir::Out});
+    auto &tc = spec.addThread(0, 1, &cons);
+    tc.queueMaps.push_back({QIN.idx, 0, QueueDir::In});
+    tc.deqHandler = static_cast<int64_t>(handler);
+    sys.configure(spec);
+    auto res = sys.run();
+    ASSERT_TRUE(res.finished) << sys.core(0).debugString();
+    EXPECT_EQ(sys.core(0).readArchReg(1, 1), 500500u);
+    EXPECT_GT(sys.core(0).stats().enqueues, 1000u);
+    EXPECT_GT(sys.core(0).stats().dequeues, 1000u);
+    EXPECT_EQ(sys.core(0).stats().cvTraps, 1u);
+}
+
+TEST(CorePipette, PeekThenDequeue)
+{
+    Program prod("prod");
+    {
+        Asm a(&prod);
+        a.li(R::r1, 42);
+        a.mov(QOUT, R::r1);
+        a.enqc(QOUT, R::zero);
+        a.halt();
+        a.finalize();
+    }
+    Program cons("cons");
+    Addr handler;
+    {
+        Asm a(&cons);
+        auto hdl = a.label("h");
+        a.peek(R::r1, QIN);
+        a.peek(R::r2, QIN);
+        a.mov(R::r3, QIN);
+        a.mov(R::r4, QIN); // CV -> handler
+        a.halt();
+        a.bind(hdl);
+        a.halt();
+        a.finalize();
+        handler = cons.labels().at("h");
+    }
+    System sys(smallSys());
+    MachineSpec spec;
+    spec.addThread(0, 0, &prod).queueMaps.push_back(
+        {QOUT.idx, 0, QueueDir::Out});
+    auto &tc = spec.addThread(0, 1, &cons);
+    tc.queueMaps.push_back({QIN.idx, 0, QueueDir::In});
+    tc.deqHandler = static_cast<int64_t>(handler);
+    sys.configure(spec);
+    ASSERT_TRUE(sys.run().finished);
+    EXPECT_EQ(sys.core(0).readArchReg(1, 1), 42u);
+    EXPECT_EQ(sys.core(0).readArchReg(1, 2), 42u);
+    EXPECT_EQ(sys.core(0).readArchReg(1, 3), 42u);
+    EXPECT_EQ(sys.core(0).readArchReg(1, 4), 0u);
+}
+
+TEST(CorePipette, CvPayloadAndResume)
+{
+    // Producer: values 1..10 then CV(5), then 11..20 then CV(99).
+    Program prod("prod");
+    {
+        Asm a(&prod);
+        auto l1 = a.label();
+        auto l2 = a.label();
+        a.li(R::r1, 1);
+        a.bind(l1);
+        a.mov(QOUT, R::r1);
+        a.addi(R::r1, R::r1, 1);
+        a.blti(R::r1, 11, l1);
+        a.li(R::r2, 5);
+        a.enqc(QOUT, R::r2);
+        a.bind(l2);
+        a.mov(QOUT, R::r1);
+        a.addi(R::r1, R::r1, 1);
+        a.blti(R::r1, 21, l2);
+        a.li(R::r2, 99);
+        a.enqc(QOUT, R::r2);
+        a.halt();
+        a.finalize();
+    }
+    Program cons("cons");
+    Addr handler;
+    {
+        Asm a(&cons);
+        auto loop = a.label();
+        auto hdl = a.label("h");
+        auto end = a.label("e");
+        a.li(R::r1, 0); // data sum
+        a.li(R::r2, 0); // tag sum
+        a.bind(loop);
+        a.add(R::r1, R::r1, QIN);
+        a.jmp(loop);
+        a.bind(hdl);
+        a.add(R::r2, R::r2, R::cvval);
+        a.beqi(R::cvval, 99, end);
+        a.jr(R::cvret);
+        a.bind(end);
+        a.halt();
+        a.finalize();
+        handler = cons.labels().at("h");
+    }
+    System sys(smallSys());
+    MachineSpec spec;
+    spec.addThread(0, 0, &prod).queueMaps.push_back(
+        {QOUT.idx, 2, QueueDir::Out});
+    auto &tc = spec.addThread(0, 1, &cons);
+    tc.queueMaps.push_back({QIN.idx, 2, QueueDir::In});
+    tc.deqHandler = static_cast<int64_t>(handler);
+    sys.configure(spec);
+    ASSERT_TRUE(sys.run().finished) << sys.core(0).debugString();
+    EXPECT_EQ(sys.core(0).readArchReg(1, 1), 210u); // 1+..+20
+    EXPECT_EQ(sys.core(0).readArchReg(1, 2), 104u); // 5+99
+    EXPECT_EQ(sys.core(0).stats().cvTraps, 2u);
+}
+
+TEST(CorePipette, SkipToCtrlWithEnqueueTrap)
+{
+    // Same scenario as the interpreter test: endless producer rows,
+    // consumer skips, producer redirected through its enqueue handler.
+    Program prod("prod");
+    Addr enqHandler;
+    {
+        Asm a(&prod);
+        auto loop = a.label();
+        auto hdl = a.label("eh");
+        auto done = a.label("done");
+        a.li(R::r1, 0);
+        a.li(R::r2, 0);
+        a.bind(loop);
+        a.mov(QOUT, R::r1);
+        a.addi(R::r1, R::r1, 1);
+        a.jmp(loop);
+        a.bind(hdl);
+        a.addi(R::r2, R::r2, 1);
+        a.enqc(QOUT, R::r2);
+        a.beqi(R::r2, 2, done);
+        a.li(R::r1, 1000);
+        a.jmp(loop);
+        a.bind(done);
+        a.halt();
+        a.finalize();
+        enqHandler = prod.labels().at("eh");
+    }
+    Program cons("cons");
+    {
+        Asm a(&cons);
+        a.mov(R::r1, QIN);
+        a.skiptc(R::r2, QIN);
+        a.mov(R::r3, QIN);
+        a.skiptc(R::r4, QIN);
+        a.halt();
+        a.finalize();
+    }
+    System sys(smallSys());
+    MachineSpec spec;
+    auto &tp = spec.addThread(0, 0, &prod);
+    tp.queueMaps.push_back({QOUT.idx, 0, QueueDir::Out});
+    tp.enqHandler = static_cast<int64_t>(enqHandler);
+    spec.addThread(0, 1, &cons).queueMaps.push_back(
+        {QIN.idx, 0, QueueDir::In});
+    spec.queueCaps.push_back({0, 0, 8});
+    sys.configure(spec);
+    auto res = sys.run();
+    ASSERT_TRUE(res.finished) << sys.core(0).debugString();
+    EXPECT_EQ(sys.core(0).readArchReg(1, 1), 0u);
+    EXPECT_EQ(sys.core(0).readArchReg(1, 2), 1u);
+    EXPECT_EQ(sys.core(0).readArchReg(1, 3), 1000u);
+    EXPECT_EQ(sys.core(0).readArchReg(1, 4), 2u);
+    EXPECT_GE(sys.core(0).stats().enqTraps, 1u);
+    EXPECT_GT(sys.core(0).stats().skipDiscards, 0u);
+}
+
+TEST(CorePipette, RaIndirectPipeline)
+{
+    SimMemory *mem;
+    Addr arr = 0x80000;
+
+    Program prod("prod");
+    {
+        Asm a(&prod);
+        auto loop = a.label();
+        a.li(R::r1, 0);
+        a.bind(loop);
+        a.mov(QOUT, R::r1);
+        a.addi(R::r1, R::r1, 1);
+        a.blti(R::r1, 256, loop);
+        a.enqc(QOUT, R::zero);
+        a.halt();
+        a.finalize();
+    }
+    Program cons("cons");
+    Addr handler;
+    {
+        Asm a(&cons);
+        auto loop = a.label();
+        auto hdl = a.label("h");
+        a.li(R::r1, 0);
+        a.bind(loop);
+        a.add(R::r1, R::r1, QIN);
+        a.jmp(loop);
+        a.bind(hdl);
+        a.halt();
+        a.finalize();
+        handler = cons.labels().at("h");
+    }
+    System sys(smallSys());
+    mem = &sys.memory();
+    for (uint64_t i = 0; i < 256; i++)
+        mem->write(arr + 8 * i, 8, i * 3);
+
+    MachineSpec spec;
+    spec.addThread(0, 0, &prod).queueMaps.push_back(
+        {QOUT.idx, 0, QueueDir::Out});
+    auto &tc = spec.addThread(0, 1, &cons);
+    tc.queueMaps.push_back({QIN.idx, 1, QueueDir::In});
+    tc.deqHandler = static_cast<int64_t>(handler);
+    spec.ras.push_back({0, 0, 1, arr, 8, RaMode::Indirect});
+    sys.configure(spec);
+    ASSERT_TRUE(sys.run().finished) << sys.core(0).debugString();
+    uint64_t expect = 0;
+    for (uint64_t i = 0; i < 256; i++)
+        expect += i * 3;
+    EXPECT_EQ(sys.core(0).readArchReg(1, 1), expect);
+    EXPECT_GT(sys.core(0).stats().raAccesses, 200u);
+}
+
+TEST(CorePipette, RaScanPipeline)
+{
+    Addr arr = 0x90000;
+    Program prod("prod");
+    {
+        // Enqueue (i*10, i*10 + i) pairs for i in 1..8.
+        Asm a(&prod);
+        auto loop = a.label();
+        a.li(R::r1, 1);
+        a.bind(loop);
+        a.li(R::r2, 10);
+        a.mul(R::r3, R::r1, R::r2);
+        a.mov(QOUT, R::r3);          // start = i*10
+        a.add(R::r3, R::r3, R::r1);
+        a.mov(QOUT, R::r3);          // end = i*10 + i
+        a.addi(R::r1, R::r1, 1);
+        a.blti(R::r1, 9, loop);
+        a.enqc(QOUT, R::zero);
+        a.halt();
+        a.finalize();
+    }
+    Program cons("cons");
+    Addr handler;
+    {
+        Asm a(&cons);
+        auto loop = a.label();
+        auto hdl = a.label("h");
+        a.li(R::r1, 0);
+        a.li(R::r2, 0);
+        a.bind(loop);
+        a.add(R::r1, R::r1, QIN);
+        a.addi(R::r2, R::r2, 1);
+        a.jmp(loop);
+        a.bind(hdl);
+        a.halt();
+        a.finalize();
+        handler = cons.labels().at("h");
+    }
+    System sys(smallSys());
+    for (uint64_t i = 0; i < 128; i++)
+        sys.memory().write(arr + 4 * i, 4, 7 * i);
+
+    MachineSpec spec;
+    spec.addThread(0, 0, &prod).queueMaps.push_back(
+        {QOUT.idx, 0, QueueDir::Out});
+    auto &tc = spec.addThread(0, 1, &cons);
+    tc.queueMaps.push_back({QIN.idx, 1, QueueDir::In});
+    tc.deqHandler = static_cast<int64_t>(handler);
+    spec.ras.push_back({0, 0, 1, arr, 4, RaMode::Scan});
+    sys.configure(spec);
+    ASSERT_TRUE(sys.run().finished) << sys.core(0).debugString();
+    uint64_t sum = 0, count = 0;
+    for (uint64_t i = 1; i < 9; i++) {
+        for (uint64_t j = i * 10; j < i * 10 + i; j++) {
+            sum += 7 * j;
+            count++;
+        }
+    }
+    EXPECT_EQ(sys.core(0).readArchReg(1, 1), sum);
+    EXPECT_EQ(sys.core(0).readArchReg(1, 2), count);
+}
+
+TEST(CorePipette, ConnectorAcrossCores)
+{
+    Program prod("prod");
+    {
+        Asm a(&prod);
+        auto loop = a.label();
+        a.li(R::r1, 1);
+        a.bind(loop);
+        a.mov(QOUT, R::r1);
+        a.addi(R::r1, R::r1, 1);
+        a.blti(R::r1, 501, loop);
+        a.enqc(QOUT, R::zero);
+        a.halt();
+        a.finalize();
+    }
+    Program cons("cons");
+    Addr handler;
+    {
+        Asm a(&cons);
+        auto loop = a.label();
+        auto hdl = a.label("h");
+        a.li(R::r1, 0);
+        a.bind(loop);
+        a.add(R::r1, R::r1, QIN);
+        a.jmp(loop);
+        a.bind(hdl);
+        a.halt();
+        a.finalize();
+        handler = cons.labels().at("h");
+    }
+    System sys(smallSys(2));
+    MachineSpec spec;
+    spec.addThread(0, 0, &prod).queueMaps.push_back(
+        {QOUT.idx, 0, QueueDir::Out});
+    auto &tc = spec.addThread(1, 0, &cons);
+    tc.queueMaps.push_back({QIN.idx, 0, QueueDir::In});
+    tc.deqHandler = static_cast<int64_t>(handler);
+    spec.connectors.push_back({0, 0, 1, 0});
+    sys.configure(spec);
+    ASSERT_TRUE(sys.run().finished) << sys.core(0).debugString()
+                                    << sys.core(1).debugString();
+    EXPECT_EQ(sys.core(1).readArchReg(0, 1), 500u * 501 / 2);
+    EXPECT_GT(sys.core(0).stats().connectorTransfers, 500u);
+}
+
+TEST(CorePipette, QueueRegisterBudgetIsRespected)
+{
+    // Queue capacity 64 exceeds the register budget; the producer must
+    // stall on the budget rather than exhaust the PRF.
+    Program prod("prod");
+    {
+        Asm a(&prod);
+        auto loop = a.label();
+        a.li(R::r1, 0);
+        a.bind(loop);
+        a.mov(QOUT, R::r1);
+        a.addi(R::r1, R::r1, 1);
+        a.blti(R::r1, 200, loop);
+        a.halt();
+        a.finalize();
+    }
+    Program slow("slow");
+    Addr handler;
+    {
+        // Consumer dequeues with long dependency chains in between.
+        Asm a(&slow);
+        auto loop = a.label();
+        auto hdl = a.label("h");
+        a.li(R::r1, 0);
+        a.bind(loop);
+        a.add(R::r1, R::r1, QIN);
+        a.mul(R::r2, R::r1, R::r1);
+        a.mul(R::r2, R::r2, R::r2);
+        a.jmp(loop);
+        a.bind(hdl);
+        a.halt();
+        a.finalize();
+        handler = slow.labels().at("h");
+    }
+    SystemConfig cfg = smallSys();
+    cfg.core.maxQueueRegs = 16; // tight budget
+    System sys(cfg);
+    MachineSpec spec;
+    spec.addThread(0, 0, &prod).queueMaps.push_back(
+        {QOUT.idx, 0, QueueDir::Out});
+    auto &tc = spec.addThread(0, 1, &slow);
+    tc.queueMaps.push_back({QIN.idx, 0, QueueDir::In});
+    tc.deqHandler = static_cast<int64_t>(handler);
+    spec.queueCaps.push_back({0, 0, 64});
+    sys.configure(spec);
+    // Producer halts after 200 enqueues; consumer never sees a CV, so the
+    // consumer eventually deadlocks -- but the producer must finish,
+    // proving enqueues stall on the budget instead of crashing.
+    auto res = sys.run();
+    EXPECT_TRUE(res.deadlock); // consumer waits forever (no CV sent)
+    EXPECT_LE(sys.core(0).qrm().regsInUse(), 16u);
+}
+
+TEST(CorePipette, TimingMatchesInterpreterOnPipeline)
+{
+    // A 3-stage pipeline computing sum(A[B[i]]) with CV termination,
+    // run through both models; architectural results must agree.
+    const uint64_t n = 200;
+    Addr A = 0x100000, B = 0x200000, out = 0x300000;
+
+    Program stage0("s0"); // stream indices i, enqueue B[i]
+    {
+        Asm a(&stage0);
+        auto loop = a.label();
+        a.li(R::r1, 0);
+        a.li(R::r2, B);
+        a.bind(loop);
+        a.slli(R::r3, R::r1, 3);
+        a.add(R::r3, R::r2, R::r3);
+        a.ld(QOUT, R::r3, 0); // load directly enqueues (Fig. 3(d))
+        a.addi(R::r1, R::r1, 1);
+        a.blti(R::r1, static_cast<int64_t>(n), loop);
+        a.enqc(QOUT, R::zero);
+        a.halt();
+        a.finalize();
+    }
+    Program stage1("s1"); // dequeue idx, enqueue A[idx]
+    Addr h1;
+    {
+        Asm a(&stage1);
+        auto loop = a.label();
+        auto hdl = a.label("h");
+        a.li(R::r1, A);
+        a.bind(loop);
+        a.slli(R::r2, QIN, 3);
+        a.add(R::r2, R::r1, R::r2);
+        a.ld(QOUT, R::r2, 0);
+        a.jmp(loop);
+        a.bind(hdl);
+        a.enqc(QOUT, R::cvval);
+        a.halt();
+        a.finalize();
+        h1 = stage1.labels().at("h");
+    }
+    Program stage2("s2"); // accumulate
+    Addr h2;
+    {
+        Asm a(&stage2);
+        auto loop = a.label();
+        auto hdl = a.label("h");
+        a.li(R::r1, 0);
+        a.bind(loop);
+        a.add(R::r1, R::r1, QIN);
+        a.jmp(loop);
+        a.bind(hdl);
+        a.li(R::r2, out);
+        a.sd(R::r1, R::r2, 0);
+        a.halt();
+        a.finalize();
+        h2 = stage2.labels().at("h");
+    }
+
+    auto buildSpec = [&](MachineSpec &spec) {
+        auto &t0 = spec.addThread(0, 0, &stage0);
+        t0.queueMaps.push_back({QOUT.idx, 0, QueueDir::Out});
+        auto &t1 = spec.addThread(0, 1, &stage1);
+        t1.queueMaps.push_back({QIN.idx, 0, QueueDir::In});
+        t1.queueMaps.push_back({QOUT.idx, 1, QueueDir::Out});
+        t1.deqHandler = static_cast<int64_t>(h1);
+        auto &t2 = spec.addThread(0, 2, &stage2);
+        t2.queueMaps.push_back({QIN.idx, 1, QueueDir::In});
+        t2.deqHandler = static_cast<int64_t>(h2);
+    };
+    auto fillMem = [&](SimMemory &m) {
+        for (uint64_t i = 0; i < n; i++) {
+            m.write(B + 8 * i, 8, (i * 37 + 5) % n);
+            m.write(A + 8 * i, 8, i * i);
+        }
+    };
+
+    MachineSpec spec;
+    buildSpec(spec);
+
+    SimMemory imem;
+    fillMem(imem);
+    Interp in(spec, &imem);
+    ASSERT_EQ(in.run().status, Interp::Status::Done);
+
+    System sys(smallSys());
+    fillMem(sys.memory());
+    sys.configure(spec);
+    ASSERT_TRUE(sys.run().finished) << sys.core(0).debugString();
+
+    EXPECT_EQ(sys.memory().read(out, 8), imem.read(out, 8));
+    EXPECT_NE(sys.memory().read(out, 8), 0u);
+}
+
+TEST(CorePipette, DeadlockDetectedByWatchdog)
+{
+    Program cons("cons");
+    {
+        Asm a(&cons);
+        a.mov(R::r1, QIN);
+        a.halt();
+        a.finalize();
+    }
+    SystemConfig cfg = smallSys();
+    cfg.watchdogCycles = 5'000;
+    System sys(cfg);
+    MachineSpec spec;
+    spec.addThread(0, 0, &cons).queueMaps.push_back(
+        {QIN.idx, 0, QueueDir::In});
+    sys.configure(spec);
+    auto res = sys.run();
+    EXPECT_FALSE(res.finished);
+    EXPECT_TRUE(res.deadlock);
+}
+
+} // namespace
+} // namespace pipette

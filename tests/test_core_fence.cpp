@@ -1,0 +1,219 @@
+// Memory ordering and misc core behaviours: FENCE semantics, 32-bit
+// atomics, divider pipelining, and assorted corner cases of the
+// rename/commit machinery.
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "isa/assembler.h"
+#include "isa/interp.h"
+#include "workloads/workload.h"
+
+namespace pipette {
+namespace {
+
+TEST(Fence, OrdersSpinExitAgainstLaterLoads)
+{
+    // Producer: data = 41..; publish via flag. Consumer: spin on flag,
+    // fence, read data. Without the fence the consumer's data load can
+    // execute speculatively before the flag observation and read 0.
+    // Run many rounds to give the race room.
+    Addr data = 0x20000;
+    const int rounds = 50;
+
+    Program prod("prod");
+    {
+        Asm a(&prod);
+        auto loop = a.label();
+        auto spin = a.label();
+        a.li(R::r1, data);
+        a.li(R::r2, 0); // round
+        a.bind(loop);
+        a.addi(R::r3, R::r2, 100);
+        a.sd(R::r3, R::r1, 0); // data = round + 100
+        a.addi(R::r3, R::r2, 1);
+        a.sd(R::r3, R::r1, 8); // flag = round + 1
+        // Wait for the consumer to ack (flag set to 0 by consumer).
+        a.bind(spin);
+        a.ld(R::r3, R::r1, 8);
+        a.bnei(R::r3, 0, spin);
+        a.fence();
+        a.addi(R::r2, R::r2, 1);
+        a.blti(R::r2, rounds, loop);
+        a.halt();
+        a.finalize();
+    }
+    Program cons("cons");
+    {
+        Asm a(&cons);
+        auto loop = a.label();
+        auto spin = a.label();
+        a.li(R::r1, data);
+        a.li(R::r2, 0); // round
+        a.li(R::r4, 0); // sum of observed data
+        a.bind(loop);
+        a.bind(spin);
+        a.ld(R::r3, R::r1, 8);
+        a.beqi(R::r3, 0, spin);
+        a.fence();
+        a.ld(R::r3, R::r1, 0); // must see this round's data
+        a.add(R::r4, R::r4, R::r3);
+        a.sd(R::zero, R::r1, 8); // ack
+        a.addi(R::r2, R::r2, 1);
+        a.blti(R::r2, rounds, loop);
+        a.halt();
+        a.finalize();
+    }
+    SystemConfig cfg;
+    cfg.watchdogCycles = 200'000;
+    System sys(cfg);
+    MachineSpec spec;
+    spec.addThread(0, 0, &prod);
+    spec.addThread(0, 1, &cons);
+    sys.configure(spec);
+    ASSERT_TRUE(sys.run().finished);
+    uint64_t expect = 0;
+    for (int r = 0; r < rounds; r++)
+        expect += 100 + r;
+    EXPECT_EQ(sys.core(0).readArchReg(1, 4), expect);
+}
+
+TEST(Atomics32, WidthAndZeroExtension)
+{
+    Program p("a32");
+    Asm a(&p);
+    a.li(R::r1, 0x30000);
+    a.li(R::r2, 0xFFFFFFFFFFFFFFFFull);
+    a.sd(R::r2, R::r1, 0); // both words all-ones
+    a.li(R::r3, 1);
+    a.amoaddw(R::r4, R::r1, R::r3); // low word only
+    a.ld(R::r5, R::r1, 0);
+    a.halt();
+    a.finalize();
+    SystemConfig cfg;
+    System sys(cfg);
+    MachineSpec spec;
+    spec.addThread(0, 0, &p);
+    sys.configure(spec);
+    ASSERT_TRUE(sys.run().finished);
+    // Old value zero-extended.
+    EXPECT_EQ(sys.core(0).readArchReg(0, 4), 0xFFFFFFFFull);
+    // Low word wrapped to 0; high word untouched.
+    EXPECT_EQ(sys.core(0).readArchReg(0, 5), 0xFFFFFFFF00000000ull);
+}
+
+TEST(Atomics32, MinClaimSemantics)
+{
+    Program p("min");
+    Asm a(&p);
+    a.li(R::r1, 0x30000);
+    a.li(R::r2, 50);
+    a.sw(R::r2, R::r1, 0);
+    a.li(R::r3, 30);
+    a.amominuw(R::r4, R::r1, R::r3); // improves: old 50
+    a.li(R::r3, 40);
+    a.amominuw(R::r5, R::r1, R::r3); // no improvement: old 30
+    a.lw(R::r6, R::r1, 0);
+    a.halt();
+    a.finalize();
+    SystemConfig cfg;
+    System sys(cfg);
+    MachineSpec spec;
+    spec.addThread(0, 0, &p);
+    sys.configure(spec);
+    ASSERT_TRUE(sys.run().finished);
+    EXPECT_EQ(sys.core(0).readArchReg(0, 4), 50u);
+    EXPECT_EQ(sys.core(0).readArchReg(0, 5), 30u);
+    EXPECT_EQ(sys.core(0).readArchReg(0, 6), 30u);
+}
+
+TEST(Divider, IndependentDivsOverlap)
+{
+    // 32 independent divisions: with a pipelined divider this takes
+    // far less than 32 * latency cycles.
+    Program p("divs");
+    Asm a(&p);
+    auto loop = a.label();
+    a.li(R::r1, 1000000);
+    a.li(R::r2, 7);
+    a.li(R::r3, 0);
+    a.li(R::r4, 0);
+    a.bind(loop);
+    a.divu(R::r5, R::r1, R::r2); // independent each iteration
+    a.add(R::r4, R::r4, R::r5);
+    a.addi(R::r3, R::r3, 1);
+    a.blti(R::r3, 32, loop);
+    a.halt();
+    a.finalize();
+    SystemConfig cfg;
+    System sys(cfg);
+    MachineSpec spec;
+    spec.addThread(0, 0, &p);
+    sys.configure(spec);
+    auto res = sys.run();
+    ASSERT_TRUE(res.finished);
+    EXPECT_EQ(sys.core(0).readArchReg(0, 4), 32ull * (1000000 / 7));
+    // Far better than serialized 32 * 20 latency (plus loop overhead).
+    EXPECT_LT(res.cycles, 32 * 20);
+}
+
+TEST(Barrier, EmitBarrierSynchronizesFourThreads)
+{
+    // Each thread increments a shared counter, barriers, then reads it;
+    // all must observe the full count.
+    Addr g = 0x40000, counter = 0x40040;
+    Program p("bar");
+    Asm a(&p);
+    a.li(R::r4, g);
+    a.li(R::r1, counter);
+    a.li(R::r2, 1);
+    a.amoadd(R::zero, R::r1, R::r2);
+    emitBarrier(a, R::r4, 0, 8, 4, R::r5, R::r6, R::r7);
+    a.ld(R::r3, R::r1, 0);
+    a.halt();
+    a.finalize();
+    SystemConfig cfg;
+    System sys(cfg);
+    MachineSpec spec;
+    for (ThreadId t = 0; t < 4; t++)
+        spec.addThread(0, t, &p);
+    sys.configure(spec);
+    ASSERT_TRUE(sys.run().finished);
+    for (ThreadId t = 0; t < 4; t++)
+        EXPECT_EQ(sys.core(0).readArchReg(t, 3), 4u) << "thread " << t;
+}
+
+TEST(Barrier, ReusableAcrossManyRounds)
+{
+    // 20 consecutive barrier crossings; a phase-aliasing bug would
+    // deadlock or let threads slip a round.
+    Addr g = 0x50000, counter = 0x50040;
+    const int rounds = 20;
+    Program p("bars");
+    Asm a(&p);
+    auto loop = a.label();
+    a.li(R::r4, g);
+    a.li(R::r1, counter);
+    a.li(R::r8, 0);
+    a.bind(loop);
+    a.li(R::r2, 1);
+    a.amoadd(R::zero, R::r1, R::r2);
+    emitBarrier(a, R::r4, 0, 8, 4, R::r5, R::r6, R::r7);
+    a.addi(R::r8, R::r8, 1);
+    a.blti(R::r8, rounds, loop);
+    a.halt();
+    a.finalize();
+    SystemConfig cfg;
+    cfg.watchdogCycles = 200'000;
+    System sys(cfg);
+    MachineSpec spec;
+    for (ThreadId t = 0; t < 4; t++)
+        spec.addThread(0, t, &p);
+    sys.configure(spec);
+    ASSERT_TRUE(sys.run().finished);
+    EXPECT_EQ(sys.memory().read(counter, 8),
+              static_cast<uint64_t>(4 * rounds));
+}
+
+} // namespace
+} // namespace pipette

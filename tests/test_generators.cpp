@@ -1,0 +1,214 @@
+// Input generator and host-reference tests.
+
+#include <gtest/gtest.h>
+
+#include "workloads/graph.h"
+#include "workloads/matrix.h"
+#include "workloads/refimpl.h"
+
+namespace pipette {
+namespace {
+
+TEST(Graph, GridShape)
+{
+    Graph g = makeGridGraph(10, 10, 1);
+    EXPECT_EQ(g.numVertices, 100u);
+    // Interior vertices have degree 4; edges are symmetric.
+    EXPECT_EQ(g.numEdges(), 2u * (9 * 10 + 10 * 9));
+    for (uint32_t v = 0; v < g.numVertices; v++)
+        EXPECT_LE(g.degree(v), 4u);
+}
+
+TEST(Graph, GridIsConnectedUnderBfs)
+{
+    Graph g = makeGridGraph(8, 8, 2);
+    auto d = bfsReference(g, 0);
+    for (uint32_t v = 0; v < g.numVertices; v++)
+        EXPECT_NE(d[v], 0xFFFFFFFFu);
+}
+
+TEST(Graph, RmatIsSymmetricAndDeduped)
+{
+    Graph g = makeRmatGraph(256, 1024, 3);
+    // Every edge (u,v) has a reverse edge (v,u).
+    for (uint32_t u = 0; u < g.numVertices; u++) {
+        for (uint32_t e = g.offsets[u]; e < g.offsets[u + 1]; e++) {
+            uint32_t v = g.neighbors[e];
+            EXPECT_NE(u, v); // no self loops
+            bool found = false;
+            for (uint32_t f = g.offsets[v]; f < g.offsets[v + 1]; f++)
+                found |= g.neighbors[f] == u;
+            EXPECT_TRUE(found);
+        }
+    }
+}
+
+TEST(Graph, RmatIsSkewed)
+{
+    Graph g = makeRmatGraph(4096, 32768, 5);
+    uint32_t maxDeg = 0;
+    for (uint32_t v = 0; v < g.numVertices; v++)
+        maxDeg = std::max(maxDeg, g.degree(v));
+    // Power-law: the hub degree far exceeds the average.
+    EXPECT_GT(maxDeg, 8 * g.avgDegree());
+}
+
+TEST(Graph, GeneratorsAreDeterministic)
+{
+    Graph a = makeRmatGraph(512, 2048, 7);
+    Graph b = makeRmatGraph(512, 2048, 7);
+    EXPECT_EQ(a.neighbors, b.neighbors);
+    Graph c = makeRmatGraph(512, 2048, 8);
+    EXPECT_NE(a.neighbors, c.neighbors);
+}
+
+TEST(Graph, Table5InputsHaveExpectedProfiles)
+{
+    auto inputs = makeTable5Inputs(0.25);
+    ASSERT_EQ(inputs.size(), 5u);
+    EXPECT_EQ(inputs[0].name, "Co");
+    EXPECT_EQ(inputs[4].name, "Rd");
+    // Road proxy: low degree.
+    EXPECT_LT(inputs[4].graph.avgDegree(), 4.1);
+    // Internet proxy is denser than the road proxy.
+    EXPECT_GT(inputs[3].graph.avgDegree(), inputs[4].graph.avgDegree());
+}
+
+TEST(Matrix, GeneratorRespectsAvgNnz)
+{
+    SparseMatrix m = makeSparseMatrix(2048, 16.0, 9);
+    EXPECT_NEAR(m.avgNnzPerRow(), 16.0, 4.0);
+    // Rows are sorted and deduped.
+    for (uint32_t r = 0; r < m.n; r++) {
+        for (uint32_t k = m.rowPtr[r] + 1; k < m.rowPtr[r + 1]; k++)
+            EXPECT_LT(m.colIdx[k - 1], m.colIdx[k]);
+    }
+}
+
+TEST(Matrix, TransposeRoundTrip)
+{
+    SparseMatrix m = makeSparseMatrix(128, 8.0, 11);
+    SparseMatrix tt = m.transpose().transpose();
+    EXPECT_EQ(m.rowPtr, tt.rowPtr);
+    EXPECT_EQ(m.colIdx, tt.colIdx);
+    EXPECT_EQ(m.values, tt.values);
+}
+
+TEST(RefImpl, BfsDistancesOnKnownGrid)
+{
+    // Unpermuted 1D path as a degenerate grid.
+    Graph g = makeGridGraph(1, 10, 0); // permutation still applies
+    auto d = bfsReference(g, 0);
+    // BFS distances on a path sum to a known total regardless of perm.
+    uint64_t sum = 0, maxd = 0;
+    for (uint32_t v = 0; v < 10; v++) {
+        sum += d[v];
+        maxd = std::max<uint64_t>(maxd, d[v]);
+    }
+    // Path from some endpoint-or-middle: max distance <= 9.
+    EXPECT_LE(maxd, 9u);
+    EXPECT_GT(sum, 0u);
+}
+
+TEST(RefImpl, CcLabelsAreComponentMinima)
+{
+    // Two disjoint cliques via explicit edges.
+    std::vector<std::pair<uint32_t, uint32_t>> edges;
+    for (uint32_t u = 0; u < 4; u++)
+        for (uint32_t v = u + 1; v < 4; v++) {
+            edges.emplace_back(u, v);
+            edges.emplace_back(v, u);
+        }
+    for (uint32_t u = 4; u < 8; u++)
+        for (uint32_t v = u + 1; v < 8; v++) {
+            edges.emplace_back(u, v);
+            edges.emplace_back(v, u);
+        }
+    Graph g = buildCsr(8, edges);
+    auto comp = ccReference(g);
+    for (uint32_t v = 0; v < 4; v++)
+        EXPECT_EQ(comp[v], 0u);
+    for (uint32_t v = 4; v < 8; v++)
+        EXPECT_EQ(comp[v], 4u);
+}
+
+TEST(RefImpl, PrdConvergesAndIsDeterministic)
+{
+    Graph g = makeRmatGraph(256, 1024, 5);
+    PrdParams p;
+    auto r1 = prdReference(g, p);
+    auto r2 = prdReference(g, p);
+    EXPECT_EQ(r1, r2);
+    uint64_t total = 0;
+    for (uint64_t x : r1)
+        total += x;
+    EXPECT_GT(total, 0u);
+}
+
+TEST(RefImpl, RadiiBoundsAndSourceRounds)
+{
+    Graph g = makeGridGraph(12, 12, 4);
+    RadiiParams p;
+    p.numSources = 8;
+    auto radii = radiiReference(g, p);
+    uint32_t maxr = 0;
+    for (uint32_t r : radii)
+        maxr = std::max(maxr, r);
+    // On a 12x12 grid the eccentricity is at most 22.
+    EXPECT_LE(maxr, 23u);
+    EXPECT_GT(maxr, 3u);
+}
+
+TEST(RefImpl, SpmmMatchesDenseComputation)
+{
+    SparseMatrix A = makeSparseMatrix(64, 6.0, 21);
+    SparseMatrix B = makeSparseMatrix(64, 6.0, 22);
+    SparseMatrix Bt = B.transpose();
+    std::vector<uint32_t> cols = {0, 7, 13};
+    auto got = spmmReference(A, Bt, cols);
+
+    // Dense recomputation.
+    auto dense = [&](const SparseMatrix &m) {
+        std::vector<uint64_t> d(m.n * m.n, 0);
+        for (uint32_t r = 0; r < m.n; r++)
+            for (uint32_t k = m.rowPtr[r]; k < m.rowPtr[r + 1]; k++)
+                d[r * m.n + m.colIdx[k]] = m.values[k];
+        return d;
+    };
+    auto dA = dense(A), dB = dense(B);
+    for (uint32_t i = 0; i < A.n; i++) {
+        for (size_t kk = 0; kk < cols.size(); kk++) {
+            uint64_t sum = 0;
+            for (uint32_t k = 0; k < A.n; k++)
+                sum += dA[i * A.n + k] * dB[k * B.n + cols[kk]];
+            EXPECT_EQ(got[i * cols.size() + kk], sum);
+        }
+    }
+}
+
+TEST(RefImpl, BPlusTreeLookupAllKeys)
+{
+    BPlusTree t = buildBPlusTree(1000);
+    EXPECT_GE(t.depth, 3u);
+    for (uint32_t k = 0; k < 1000; k++)
+        EXPECT_EQ(t.lookup(k), k * 2654435761u);
+}
+
+TEST(RefImpl, BPlusTreeDepthGrowsWithKeys)
+{
+    EXPECT_LT(buildBPlusTree(50).depth, buildBPlusTree(50000).depth);
+}
+
+TEST(RefImpl, YcsbQueriesAreSkewed)
+{
+    auto qs = makeYcsbQueries(10000, 20000, 0.99, 3);
+    std::vector<uint32_t> counts(10000, 0);
+    for (uint32_t q : qs)
+        counts[q]++;
+    uint32_t maxc = *std::max_element(counts.begin(), counts.end());
+    // Zipf 0.99: the hottest key appears far above average (2 per key).
+    EXPECT_GT(maxc, 100u);
+}
+
+} // namespace
+} // namespace pipette

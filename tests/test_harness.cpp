@@ -1,0 +1,127 @@
+// Tests for the harness layer: runner metrics, energy model, gmean,
+// and the report tables.
+
+#include <gtest/gtest.h>
+
+#include "harness/report.h"
+#include "harness/runner.h"
+#include "workloads/bfs.h"
+
+namespace pipette {
+namespace {
+
+TEST(Gmean, BasicProperties)
+{
+    EXPECT_DOUBLE_EQ(gmean({4.0}), 4.0);
+    EXPECT_NEAR(gmean({1.0, 4.0}), 2.0, 1e-9);
+    EXPECT_NEAR(gmean({2.0, 2.0, 2.0}), 2.0, 1e-9);
+    EXPECT_EQ(gmean({}), 0.0);
+}
+
+TEST(Runner, CollectsConsistentMetrics)
+{
+    Graph g = makeGridGraph(16, 16, 3);
+    SystemConfig cfg;
+    Runner runner(cfg);
+    BfsWorkload wl(&g);
+    RunResult r = runner.run(wl, Variant::Serial, "grid");
+    EXPECT_TRUE(r.finished);
+    EXPECT_TRUE(r.verified);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.instrs, 0u);
+    EXPECT_NEAR(r.ipc,
+                static_cast<double>(r.instrs) /
+                    static_cast<double>(r.cycles),
+                1e-9);
+    double fracSum = 0;
+    for (double f : r.cpiFrac)
+        fracSum += f;
+    EXPECT_NEAR(fracSum, 1.0, 1e-6);
+    EXPECT_GT(r.energy.total(), 0.0);
+    EXPECT_EQ(r.workload, "bfs");
+    EXPECT_EQ(r.input, "grid");
+}
+
+TEST(Runner, FlagsVerificationFailuresWithoutAborting)
+{
+    // A workload whose verify always fails must come back as
+    // verified=false, not crash.
+    struct Broken : WorkloadBase
+    {
+        Graph g = makeGridGraph(4, 4, 1);
+        BfsWorkload inner{&g};
+        std::string name() const override { return "broken"; }
+        void
+        build(BuildContext &ctx, Variant v) override
+        {
+            inner.build(ctx, v);
+        }
+        bool verify(System &) const override { return false; }
+    };
+    SystemConfig cfg;
+    Runner runner(cfg);
+    Broken wl;
+    RunResult r = runner.run(wl, Variant::Serial, "x");
+    EXPECT_TRUE(r.finished);
+    EXPECT_FALSE(r.verified);
+}
+
+TEST(Energy, MoreWorkCostsMoreEnergy)
+{
+    auto runEnergy = [](uint32_t dim) {
+        Graph g = makeGridGraph(dim, dim, 3);
+        SystemConfig cfg;
+        Runner runner(cfg);
+        BfsWorkload wl(&g);
+        return runner.run(wl, Variant::Serial, "g").energy.total();
+    };
+    EXPECT_LT(runEnergy(12), runEnergy(32));
+}
+
+TEST(Energy, StreamingPaysMoreStaticThanPipette)
+{
+    // The 4-core streaming configuration burns static energy on
+    // poorly-utilized cores (paper Fig. 12's key point).
+    Graph g = makeGridGraph(24, 24, 3);
+    SystemConfig cfg;
+    Runner runner(cfg);
+    BfsWorkload wl1(&g);
+    auto pip = runner.run(wl1, Variant::Pipette, "g", 1);
+    BfsWorkload wl2(&g);
+    auto str = runner.run(wl2, Variant::Streaming, "g", 4);
+    ASSERT_TRUE(pip.verified);
+    ASSERT_TRUE(str.verified);
+    EXPECT_GT(str.energy.coreStatic, pip.energy.coreStatic);
+}
+
+TEST(Energy, BreakdownComponentsAreNonNegative)
+{
+    Graph g = makeGridGraph(10, 10, 3);
+    SystemConfig cfg;
+    Runner runner(cfg);
+    BfsWorkload wl(&g);
+    auto e = runner.run(wl, Variant::Pipette, "g").energy;
+    EXPECT_GE(e.coreDynamic, 0.0);
+    EXPECT_GE(e.coreStatic, 0.0);
+    EXPECT_GE(e.cache, 0.0);
+    EXPECT_GE(e.dram, 0.0);
+    EXPECT_NEAR(e.total(),
+                e.coreDynamic + e.coreStatic + e.cache + e.dram, 1e-9);
+}
+
+TEST(Report, TableFormatsNumbers)
+{
+    EXPECT_EQ(Table::num(1.234), "1.23");
+    EXPECT_EQ(Table::num(1.235, 1), "1.2");
+    EXPECT_EQ(Table::num(10, 0), "10");
+}
+
+TEST(Report, TableRejectsWrongWidth)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "width mismatch");
+}
+
+} // namespace
+} // namespace pipette

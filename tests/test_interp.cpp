@@ -1,0 +1,259 @@
+// Functional-interpreter tests: scalar ISA semantics, control flow,
+// memory, atomics, and multi-thread interleaving (no queues; queue
+// semantics are covered in test_interp_queues.cpp).
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "isa/interp.h"
+#include "mem/sim_memory.h"
+
+namespace pipette {
+namespace {
+
+/** Run a single-thread program to completion and return the interp. */
+struct SingleRun
+{
+    SimMemory mem;
+    MachineSpec spec;
+    std::unique_ptr<Interp> interp;
+    Interp::Result result;
+
+    explicit SingleRun(const Program *p,
+                       std::array<uint64_t, NUM_ARCH_REGS> init = {})
+    {
+        spec.addThread(0, 0, p).initRegs = init;
+        interp = std::make_unique<Interp>(spec, &mem);
+        result = interp->run();
+    }
+};
+
+TEST(Interp, ArithmeticLoop)
+{
+    Program p("sum");
+    Asm a(&p);
+    auto loop = a.label();
+    a.li(R::r1, 0);  // sum
+    a.li(R::r2, 1);  // i
+    a.bind(loop);
+    a.add(R::r1, R::r1, R::r2);
+    a.addi(R::r2, R::r2, 1);
+    a.blti(R::r2, 11, loop);
+    a.halt();
+    a.finalize();
+
+    SingleRun r(&p);
+    EXPECT_EQ(r.result.status, Interp::Status::Done);
+    EXPECT_EQ(r.interp->reg(0, 1), 55u);
+}
+
+TEST(Interp, LoadsAndStoresAllSizes)
+{
+    Program p("mem");
+    Asm a(&p);
+    a.li(R::r1, 0x20000);
+    a.li(R::r2, 0x1122334455667788ull);
+    a.sd(R::r2, R::r1, 0);
+    a.ld(R::r3, R::r1, 0);
+    a.lw(R::r4, R::r1, 0);
+    a.lh(R::r5, R::r1, 0);
+    a.lb(R::r6, R::r1, 0);
+    a.sb(R::r2, R::r1, 32);
+    a.lb(R::r7, R::r1, 32);
+    a.halt();
+    a.finalize();
+
+    SingleRun r(&p);
+    EXPECT_EQ(r.interp->reg(0, 3), 0x1122334455667788ull);
+    EXPECT_EQ(r.interp->reg(0, 4), 0x55667788u);
+    EXPECT_EQ(r.interp->reg(0, 5), 0x7788u);
+    EXPECT_EQ(r.interp->reg(0, 6), 0x88u);
+    EXPECT_EQ(r.interp->reg(0, 7), 0x88u);
+}
+
+TEST(Interp, UnmappedReadsReturnZero)
+{
+    Program p("unmapped");
+    Asm a(&p);
+    a.li(R::r1, 0xdead0000);
+    a.ld(R::r2, R::r1, 0);
+    a.halt();
+    a.finalize();
+    SingleRun r(&p);
+    EXPECT_EQ(r.interp->reg(0, 2), 0u);
+}
+
+TEST(Interp, JalAndJr)
+{
+    Program p("call");
+    Asm a(&p);
+    auto fn = a.label("fn");
+    auto done = a.label("done");
+    a.li(R::r1, 1);
+    a.jal(R::r10, fn);
+    a.li(R::r2, 3); // executed after return
+    a.jmp(done);
+    a.bind(fn);
+    a.addi(R::r1, R::r1, 10);
+    a.jr(R::r10);
+    a.bind(done);
+    a.halt();
+    a.finalize();
+
+    SingleRun r(&p);
+    EXPECT_EQ(r.result.status, Interp::Status::Done);
+    EXPECT_EQ(r.interp->reg(0, 1), 11u);
+    EXPECT_EQ(r.interp->reg(0, 2), 3u);
+}
+
+TEST(Interp, InitRegsArePassedThrough)
+{
+    Program p("args");
+    Asm a(&p);
+    a.add(R::r3, R::r1, R::r2);
+    a.halt();
+    a.finalize();
+    std::array<uint64_t, NUM_ARCH_REGS> init = {};
+    init[1] = 40;
+    init[2] = 2;
+    SingleRun r(&p, init);
+    EXPECT_EQ(r.interp->reg(0, 3), 42u);
+}
+
+TEST(Interp, ZeroRegisterIsAlwaysZero)
+{
+    Program p("zero");
+    Asm a(&p);
+    a.addi(R::zero, R::zero, 5); // write to r0 is discarded
+    a.add(R::r1, R::zero, R::zero);
+    a.halt();
+    a.finalize();
+    SingleRun r(&p);
+    EXPECT_EQ(r.interp->reg(0, 0), 0u);
+    EXPECT_EQ(r.interp->reg(0, 1), 0u);
+}
+
+TEST(Interp, AtomicsAreSequentiallyConsistentAcrossThreads)
+{
+    // Two threads each atomically add 1 to a shared counter 1000 times.
+    SimMemory mem;
+    Addr counter = 0x30000;
+    mem.write(counter, 8, 0);
+
+    Program p("incr");
+    Asm a(&p);
+    auto loop = a.label();
+    a.li(R::r1, counter);
+    a.li(R::r2, 1000);
+    a.li(R::r3, 1);
+    a.bind(loop);
+    a.amoadd(R::zero, R::r1, R::r3);
+    a.addi(R::r2, R::r2, -1);
+    a.bnei(R::r2, 0, loop);
+    a.halt();
+    a.finalize();
+
+    MachineSpec spec;
+    spec.addThread(0, 0, &p);
+    spec.addThread(0, 1, &p);
+    Interp in(spec, &mem);
+    auto res = in.run();
+    EXPECT_EQ(res.status, Interp::Status::Done);
+    EXPECT_EQ(mem.read(counter, 8), 2000u);
+}
+
+TEST(Interp, CasClaimsExactlyOnce)
+{
+    // N threads race to CAS a flag from 0 to their id+1; exactly one wins
+    // and every loser observes the winner's value.
+    SimMemory mem;
+    Addr flag = 0x40000;
+
+    auto makeProg = [&](uint64_t id) {
+        auto p = std::make_unique<Program>("cas" + std::to_string(id));
+        Asm a(p.get());
+        a.li(R::r1, flag);
+        a.li(R::r2, id + 1); // new value
+        a.li(R::r3, 0);      // expected (in rd for amocas)
+        a.mov(R::r4, R::r3);
+        a.amocas(R::r4, R::r1, R::r2); // r4 = old
+        a.halt();
+        a.finalize();
+        return p;
+    };
+
+    std::vector<std::unique_ptr<Program>> progs;
+    MachineSpec spec;
+    for (uint64_t t = 0; t < 4; t++) {
+        progs.push_back(makeProg(t));
+        spec.addThread(0, static_cast<ThreadId>(t), progs.back().get());
+    }
+    Interp in(spec, &mem);
+    ASSERT_EQ(in.run().status, Interp::Status::Done);
+
+    uint64_t final = mem.read(flag, 8);
+    ASSERT_GE(final, 1u);
+    ASSERT_LE(final, 4u);
+    int winners = 0;
+    for (size_t t = 0; t < 4; t++) {
+        if (in.reg(t, 4) == 0)
+            winners++; // saw 0 -> its CAS succeeded
+    }
+    EXPECT_EQ(winners, 1);
+    EXPECT_EQ(final, 1u); // round-robin: thread 0 always wins first
+}
+
+TEST(Interp, SpinBarrierBetweenThreads)
+{
+    // Thread 0 stores a value then sets a flag; thread 1 spins on the
+    // flag and then reads the value.
+    SimMemory mem;
+    Addr data = 0x50000, flagAddr = 0x50008;
+
+    Program p0("producer");
+    {
+        Asm a(&p0);
+        a.li(R::r1, data);
+        a.li(R::r2, 777);
+        a.sd(R::r2, R::r1, 0);
+        a.li(R::r3, 1);
+        a.sd(R::r3, R::r1, 8);
+        a.halt();
+        a.finalize();
+    }
+    Program p1("consumer");
+    {
+        Asm a(&p1);
+        auto spin = a.label();
+        a.li(R::r1, flagAddr);
+        a.bind(spin);
+        a.ld(R::r2, R::r1, 0);
+        a.beqi(R::r2, 0, spin);
+        a.ld(R::r3, R::r1, -8);
+        a.halt();
+        a.finalize();
+    }
+
+    MachineSpec spec;
+    spec.addThread(0, 0, &p0);
+    spec.addThread(0, 1, &p1);
+    Interp in(spec, &mem);
+    ASSERT_EQ(in.run().status, Interp::Status::Done);
+    EXPECT_EQ(in.reg(1, 3), 777u);
+}
+
+TEST(Interp, InstrCountsAreTracked)
+{
+    Program p("count");
+    Asm a(&p);
+    a.li(R::r1, 1);
+    a.li(R::r2, 2);
+    a.halt();
+    a.finalize();
+    SingleRun r(&p);
+    EXPECT_EQ(r.interp->threadInstrs(0), 3u);
+    EXPECT_EQ(r.result.instrs, 3u);
+}
+
+} // namespace
+} // namespace pipette

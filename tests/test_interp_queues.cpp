@@ -1,0 +1,569 @@
+// Functional tests of the Pipette queue semantics in the golden-model
+// interpreter: register-mapped enqueue/dequeue, blocking, control
+// values and handlers, peek, skip_to_ctrl with producer redirection,
+// reference accelerators, connectors, and deadlock detection.
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "isa/interp.h"
+#include "mem/sim_memory.h"
+
+namespace pipette {
+namespace {
+
+// Register conventions used throughout these tests: r11 is mapped as a
+// queue output on producers, r12 as a queue input on consumers.
+constexpr Reg QOUT = R::r11;
+constexpr Reg QIN = R::r12;
+
+TEST(InterpQueues, ProducerConsumerThroughQueue)
+{
+    // Producer enqueues 1..100 (terminated by a CV); consumer sums.
+    SimMemory mem;
+    Addr out = 0x20000;
+
+    Program prod("prod");
+    {
+        Asm a(&prod);
+        auto loop = a.label();
+        a.li(R::r1, 1);
+        a.bind(loop);
+        a.mov(QOUT, R::r1); // implicit enqueue via register mapping
+        a.addi(R::r1, R::r1, 1);
+        a.blti(R::r1, 101, loop);
+        a.enqc(QOUT, R::zero); // CV value 0 = done
+        a.halt();
+        a.finalize();
+    }
+
+    Program cons("cons");
+    Addr handler;
+    {
+        Asm a(&cons);
+        auto loop = a.label();
+        auto hdl = a.label("handler");
+        a.li(R::r1, 0); // sum
+        a.bind(loop);
+        a.add(R::r1, R::r1, QIN); // implicit dequeue
+        a.jmp(loop);
+        a.bind(hdl);
+        a.li(R::r2, out);
+        a.sd(R::r1, R::r2, 0);
+        a.halt();
+        a.finalize();
+        handler = cons.labels().at("handler");
+    }
+
+    MachineSpec spec;
+    auto &tp = spec.addThread(0, 0, &prod);
+    tp.queueMaps.push_back({QOUT.idx, 0, QueueDir::Out});
+    auto &tc = spec.addThread(0, 1, &cons);
+    tc.queueMaps.push_back({QIN.idx, 0, QueueDir::In});
+    tc.deqHandler = static_cast<int64_t>(handler);
+
+    Interp in(spec, &mem);
+    auto res = in.run();
+    ASSERT_EQ(res.status, Interp::Status::Done);
+    EXPECT_EQ(mem.read(out, 8), 5050u);
+}
+
+TEST(InterpQueues, BlockingBoundsQueueOccupancy)
+{
+    // Producer enqueues 100 values; consumer never dequeues -> producer
+    // blocks at capacity and the run deadlocks (detected).
+    Program prod("prod");
+    {
+        Asm a(&prod);
+        auto loop = a.label();
+        a.li(R::r1, 100);
+        a.bind(loop);
+        a.mov(QOUT, R::r1);
+        a.addi(R::r1, R::r1, -1);
+        a.bnei(R::r1, 0, loop);
+        a.halt();
+        a.finalize();
+    }
+    Program idle("idle");
+    {
+        Asm a(&idle);
+        auto spin = a.label();
+        a.bind(spin);
+        a.jmp(spin); // never dequeues, never halts
+        a.finalize();
+    }
+    MachineSpec spec;
+    spec.addThread(0, 0, &prod).queueMaps.push_back(
+        {QOUT.idx, 0, QueueDir::Out});
+    spec.addThread(0, 1, &idle).queueMaps.push_back(
+        {QIN.idx, 0, QueueDir::In});
+    SimMemory mem;
+    Interp in(spec, &mem, /*cap=*/8);
+    // The idle thread spins forever, so this hits the round limit rather
+    // than deadlock; the producer must have stopped at exactly 8 values.
+    auto res = in.run(10'000);
+    EXPECT_EQ(res.status, Interp::Status::StepLimit);
+    // Producer enqueued 8 then blocked: r1 = 100 - 8 = 92.
+    EXPECT_EQ(in.reg(0, 1), 92u);
+}
+
+TEST(InterpQueues, TrueDeadlockIsDetected)
+{
+    // Consumer dequeues from an empty queue nobody feeds.
+    Program cons("cons");
+    {
+        Asm a(&cons);
+        a.mov(R::r1, QIN);
+        a.halt();
+        a.finalize();
+    }
+    MachineSpec spec;
+    spec.addThread(0, 0, &cons).queueMaps.push_back(
+        {QIN.idx, 0, QueueDir::In});
+    SimMemory mem;
+    Interp in(spec, &mem);
+    EXPECT_EQ(in.run().status, Interp::Status::Deadlock);
+}
+
+TEST(InterpQueues, PeekDoesNotConsume)
+{
+    Program prod("prod");
+    {
+        Asm a(&prod);
+        a.li(R::r1, 42);
+        a.mov(QOUT, R::r1);
+        a.enqc(QOUT, R::zero);
+        a.halt();
+        a.finalize();
+    }
+    Program cons("cons");
+    Addr handler;
+    {
+        Asm a(&cons);
+        auto hdl = a.label("h");
+        a.peek(R::r1, QIN);
+        a.peek(R::r2, QIN); // same value again
+        a.mov(R::r3, QIN);  // now consume it
+        a.mov(R::r4, QIN);  // next entry is the CV -> handler
+        a.halt();           // unreachable
+        a.bind(hdl);
+        a.halt();
+        a.finalize();
+        handler = cons.labels().at("h");
+    }
+    MachineSpec spec;
+    spec.addThread(0, 0, &prod).queueMaps.push_back(
+        {QOUT.idx, 0, QueueDir::Out});
+    auto &tc = spec.addThread(0, 1, &cons);
+    tc.queueMaps.push_back({QIN.idx, 0, QueueDir::In});
+    tc.deqHandler = static_cast<int64_t>(handler);
+    SimMemory mem;
+    Interp in(spec, &mem);
+    ASSERT_EQ(in.run().status, Interp::Status::Done);
+    EXPECT_EQ(in.reg(1, 1), 42u);
+    EXPECT_EQ(in.reg(1, 2), 42u);
+    EXPECT_EQ(in.reg(1, 3), 42u);
+    EXPECT_EQ(in.reg(1, 4), 0u); // r4 write never happened (trap instead)
+}
+
+TEST(InterpQueues, ControlValueDeliversPayloadQidAndReturnPc)
+{
+    Program prod("prod");
+    {
+        Asm a(&prod);
+        a.li(R::r1, 7);
+        a.enqc(QOUT, R::r1);
+        a.halt();
+        a.finalize();
+    }
+    Program cons("cons");
+    Addr handler, deqPc;
+    {
+        Asm a(&cons);
+        auto hdl = a.label("h");
+        deqPc = a.here();
+        a.mov(R::r1, QIN); // traps immediately
+        a.halt();
+        a.bind(hdl);
+        a.halt();
+        a.finalize();
+        handler = cons.labels().at("h");
+    }
+    MachineSpec spec;
+    spec.addThread(0, 0, &prod).queueMaps.push_back(
+        {QOUT.idx, 3, QueueDir::Out});
+    auto &tc = spec.addThread(0, 1, &cons);
+    tc.queueMaps.push_back({QIN.idx, 3, QueueDir::In});
+    tc.deqHandler = static_cast<int64_t>(handler);
+    SimMemory mem;
+    Interp in(spec, &mem);
+    ASSERT_EQ(in.run().status, Interp::Status::Done);
+    EXPECT_EQ(in.reg(1, reg::CVVAL), 7u);
+    EXPECT_EQ(in.reg(1, reg::CVQID), 3u);
+    EXPECT_EQ(in.reg(1, reg::CVRET), deqPc);
+}
+
+TEST(InterpQueues, HandlerCanResumeWithJrCvret)
+{
+    // Producer sends 3 data values delimited by CVs carrying a tag; the
+    // consumer accumulates data and tags separately, resuming the
+    // interrupted dequeue with jr cvret.
+    Program prod("prod");
+    {
+        Asm a(&prod);
+        a.li(R::r1, 10);
+        a.mov(QOUT, R::r1);
+        a.li(R::r1, 20);
+        a.mov(QOUT, R::r1);
+        a.li(R::r2, 5);
+        a.enqc(QOUT, R::r2); // tag 5
+        a.li(R::r1, 30);
+        a.mov(QOUT, R::r1);
+        a.li(R::r2, 99);
+        a.enqc(QOUT, R::r2); // terminator tag 99
+        a.halt();
+        a.finalize();
+    }
+    Addr handler;
+    Program cons2("cons2");
+    {
+        Asm a(&cons2);
+        auto loop = a.label();
+        auto hdl = a.label("h");
+        auto end = a.label("end");
+        a.li(R::r1, 0);
+        a.li(R::r2, 0);
+        a.bind(loop);
+        a.add(R::r1, R::r1, QIN);
+        a.jmp(loop);
+        a.bind(hdl);
+        a.add(R::r2, R::r2, R::cvval);
+        a.beqi(R::cvval, 99, end);
+        a.jr(R::cvret);
+        a.bind(end);
+        a.halt();
+        a.finalize();
+        handler = cons2.labels().at("h");
+    }
+    MachineSpec spec;
+    spec.addThread(0, 0, &prod).queueMaps.push_back(
+        {QOUT.idx, 0, QueueDir::Out});
+    auto &tc = spec.addThread(0, 1, &cons2);
+    tc.queueMaps.push_back({QIN.idx, 0, QueueDir::In});
+    tc.deqHandler = static_cast<int64_t>(handler);
+    SimMemory mem;
+    Interp in(spec, &mem);
+    ASSERT_EQ(in.run().status, Interp::Status::Done);
+    EXPECT_EQ(in.reg(1, 1), 60u);      // 10+20+30
+    EXPECT_EQ(in.reg(1, 2), 104u);     // 5+99
+}
+
+TEST(InterpQueues, SkipToCtrlDiscardsAndRedirectsProducer)
+{
+    // Producer enqueues an endless stream of data values per "row" and
+    // relies on the consumer to skip. Consumer takes the first value of
+    // row 0, then skiptc; the producer's enqueue trap fires, its handler
+    // enqueues a CV with the next row id, and the consumer resumes.
+    Program prod("prod");
+    Addr enqHandler;
+    {
+        Asm a(&prod);
+        auto loop = a.label();
+        auto hdl = a.label("eh");
+        auto done = a.label("done");
+        a.li(R::r1, 0);  // value counter
+        a.li(R::r2, 0);  // row
+        a.bind(loop);
+        a.mov(QOUT, R::r1);
+        a.addi(R::r1, R::r1, 1);
+        a.jmp(loop);
+        a.bind(hdl);
+        a.addi(R::r2, R::r2, 1); // next row
+        a.enqc(QOUT, R::r2);
+        a.beqi(R::r2, 2, done); // after row 1 is skipped, stop
+        a.li(R::r1, 1000);      // row 1 values start at 1000
+        a.jmp(loop);
+        a.bind(done);
+        a.halt();
+        a.finalize();
+        enqHandler = prod.labels().at("eh");
+    }
+    Program cons("cons");
+    {
+        Asm a(&cons);
+        a.mov(R::r1, QIN);       // first value of row 0 (0)
+        a.skiptc(R::r2, QIN);    // discard rest, get CV (row 1)
+        a.mov(R::r3, QIN);       // first value of row 1 (1000)
+        a.skiptc(R::r4, QIN);    // CV (row 2)
+        a.halt();
+        a.finalize();
+    }
+    MachineSpec spec;
+    auto &tp = spec.addThread(0, 0, &prod);
+    tp.queueMaps.push_back({QOUT.idx, 0, QueueDir::Out});
+    tp.enqHandler = static_cast<int64_t>(enqHandler);
+    spec.addThread(0, 1, &cons).queueMaps.push_back(
+        {QIN.idx, 0, QueueDir::In});
+    SimMemory mem;
+    Interp in(spec, &mem, /*cap=*/4);
+    auto res = in.run();
+    ASSERT_EQ(res.status, Interp::Status::Done);
+    EXPECT_EQ(in.reg(1, 1), 0u);
+    EXPECT_EQ(in.reg(1, 2), 1u);    // row-1 CV
+    EXPECT_EQ(in.reg(1, 3), 1000u); // first value of row 1
+    EXPECT_EQ(in.reg(1, 4), 2u);    // row-2 CV
+}
+
+TEST(InterpQueues, RaIndirectMode)
+{
+    // Thread enqueues indices; RA fetches A[i]; consumer sums.
+    SimMemory mem;
+    Addr arr = 0x80000;
+    for (uint64_t i = 0; i < 64; i++)
+        mem.write(arr + 8 * i, 8, i * i);
+
+    Program prod("prod");
+    {
+        Asm a(&prod);
+        auto loop = a.label();
+        a.li(R::r1, 0);
+        a.bind(loop);
+        a.mov(QOUT, R::r1);
+        a.addi(R::r1, R::r1, 1);
+        a.blti(R::r1, 64, loop);
+        a.enqc(QOUT, R::zero);
+        a.halt();
+        a.finalize();
+    }
+    Program cons("cons");
+    Addr handler;
+    {
+        Asm a(&cons);
+        auto loop = a.label();
+        auto hdl = a.label("h");
+        a.li(R::r1, 0);
+        a.bind(loop);
+        a.add(R::r1, R::r1, QIN);
+        a.jmp(loop);
+        a.bind(hdl);
+        a.halt();
+        a.finalize();
+        handler = cons.labels().at("h");
+    }
+    MachineSpec spec;
+    spec.addThread(0, 0, &prod).queueMaps.push_back(
+        {QOUT.idx, 0, QueueDir::Out});
+    auto &tc = spec.addThread(0, 1, &cons);
+    tc.queueMaps.push_back({QIN.idx, 1, QueueDir::In});
+    tc.deqHandler = static_cast<int64_t>(handler);
+    RaSpec ra;
+    ra.core = 0;
+    ra.inQueue = 0;
+    ra.outQueue = 1;
+    ra.base = arr;
+    ra.elemBytes = 8;
+    ra.mode = RaMode::Indirect;
+    spec.ras.push_back(ra);
+
+    Interp in(spec, &mem);
+    ASSERT_EQ(in.run().status, Interp::Status::Done);
+    uint64_t expect = 0;
+    for (uint64_t i = 0; i < 64; i++)
+        expect += i * i;
+    EXPECT_EQ(in.reg(1, 1), expect);
+}
+
+TEST(InterpQueues, RaScanMode)
+{
+    // Thread enqueues (start, end) pairs; RA streams A[start..end).
+    SimMemory mem;
+    Addr arr = 0x90000;
+    for (uint64_t i = 0; i < 100; i++)
+        mem.write(arr + 4 * i, 4, 1000 + i);
+
+    Program prod("prod");
+    {
+        Asm a(&prod);
+        a.li(R::r1, 5);
+        a.mov(QOUT, R::r1); // start
+        a.li(R::r1, 8);
+        a.mov(QOUT, R::r1); // end -> elements 5,6,7
+        a.li(R::r1, 20);
+        a.mov(QOUT, R::r1);
+        a.li(R::r1, 20);
+        a.mov(QOUT, R::r1); // empty range -> nothing
+        a.li(R::r1, 50);
+        a.mov(QOUT, R::r1);
+        a.li(R::r1, 51);
+        a.mov(QOUT, R::r1); // element 50
+        a.enqc(QOUT, R::zero);
+        a.halt();
+        a.finalize();
+    }
+    Program cons("cons");
+    Addr handler;
+    {
+        Asm a(&cons);
+        auto loop = a.label();
+        auto hdl = a.label("h");
+        a.li(R::r1, 0); // sum
+        a.li(R::r2, 0); // count
+        a.bind(loop);
+        a.add(R::r1, R::r1, QIN);
+        a.addi(R::r2, R::r2, 1);
+        a.jmp(loop);
+        a.bind(hdl);
+        a.halt();
+        a.finalize();
+        handler = cons.labels().at("h");
+    }
+    MachineSpec spec;
+    spec.addThread(0, 0, &prod).queueMaps.push_back(
+        {QOUT.idx, 0, QueueDir::Out});
+    auto &tc = spec.addThread(0, 1, &cons);
+    tc.queueMaps.push_back({QIN.idx, 1, QueueDir::In});
+    tc.deqHandler = static_cast<int64_t>(handler);
+    RaSpec ra;
+    ra.core = 0;
+    ra.inQueue = 0;
+    ra.outQueue = 1;
+    ra.base = arr;
+    ra.elemBytes = 4;
+    ra.mode = RaMode::Scan;
+    spec.ras.push_back(ra);
+
+    Interp in(spec, &mem);
+    ASSERT_EQ(in.run().status, Interp::Status::Done);
+    EXPECT_EQ(in.reg(1, 2), 4u); // 3 + 0 + 1 elements
+    EXPECT_EQ(in.reg(1, 1), (1005u + 1006 + 1007) + 1050);
+}
+
+TEST(InterpQueues, ConnectorBridgesCores)
+{
+    // Producer on core 0, consumer on core 1, joined by a connector.
+    Program prod("prod");
+    {
+        Asm a(&prod);
+        auto loop = a.label();
+        a.li(R::r1, 1);
+        a.bind(loop);
+        a.mov(QOUT, R::r1);
+        a.addi(R::r1, R::r1, 1);
+        a.blti(R::r1, 33, loop);
+        a.enqc(QOUT, R::zero);
+        a.halt();
+        a.finalize();
+    }
+    Program cons("cons");
+    Addr handler;
+    {
+        Asm a(&cons);
+        auto loop = a.label();
+        auto hdl = a.label("h");
+        a.li(R::r1, 0);
+        a.bind(loop);
+        a.add(R::r1, R::r1, QIN);
+        a.jmp(loop);
+        a.bind(hdl);
+        a.halt();
+        a.finalize();
+        handler = cons.labels().at("h");
+    }
+    MachineSpec spec;
+    spec.addThread(0, 0, &prod).queueMaps.push_back(
+        {QOUT.idx, 0, QueueDir::Out});
+    auto &tc = spec.addThread(1, 0, &cons);
+    tc.queueMaps.push_back({QIN.idx, 0, QueueDir::In});
+    tc.deqHandler = static_cast<int64_t>(handler);
+    spec.connectors.push_back({0, 0, 1, 0});
+
+    SimMemory mem;
+    Interp in(spec, &mem);
+    ASSERT_EQ(in.run().status, Interp::Status::Done);
+    EXPECT_EQ(in.reg(1, 1), 32u * 33 / 2);
+}
+
+TEST(InterpQueues, CvPassesThroughRa)
+{
+    // CVs interleaved with data must come out of an RA in order.
+    SimMemory mem;
+    Addr arr = 0xa0000;
+    for (uint64_t i = 0; i < 16; i++)
+        mem.write(arr + 8 * i, 8, 100 + i);
+
+    Program prod("prod");
+    {
+        Asm a(&prod);
+        a.li(R::r1, 3);
+        a.mov(QOUT, R::r1); // A[3] = 103
+        a.li(R::r2, 55);
+        a.enqc(QOUT, R::r2); // CV(55)
+        a.li(R::r1, 4);
+        a.mov(QOUT, R::r1); // A[4] = 104
+        a.li(R::r2, 66);
+        a.enqc(QOUT, R::r2); // CV(66) terminator
+        a.halt();
+        a.finalize();
+    }
+    Program cons("cons");
+    Addr handler;
+    {
+        Asm a(&cons);
+        auto hdl = a.label("h");
+        auto end = a.label("end");
+        a.mov(R::r1, QIN); // 103
+        a.mov(R::r2, QIN); // traps on CV(55), then resumes here via jr
+        a.halt();          // reached only after second value... see below
+        a.bind(hdl);
+        a.beqi(R::cvval, 66, end);
+        a.mov(R::r3, R::cvval) /* 55 */;
+        a.jr(R::cvret); // retry the dequeue -> gets 104 into r2
+        a.bind(end);
+        a.halt();
+        a.finalize();
+        handler = cons.labels().at("h");
+    }
+    MachineSpec spec;
+    spec.addThread(0, 0, &prod).queueMaps.push_back(
+        {QOUT.idx, 0, QueueDir::Out});
+    auto &tc = spec.addThread(0, 1, &cons);
+    tc.queueMaps.push_back({QIN.idx, 1, QueueDir::In});
+    tc.deqHandler = static_cast<int64_t>(handler);
+    RaSpec ra{0, 0, 1, arr, 8, RaMode::Indirect};
+    spec.ras.push_back(ra);
+
+    Interp in(spec, &mem);
+    ASSERT_EQ(in.run().status, Interp::Status::Done);
+    EXPECT_EQ(in.reg(1, 1), 103u);
+    EXPECT_EQ(in.reg(1, 3), 55u);
+    EXPECT_EQ(in.reg(1, 2), 104u);
+}
+
+TEST(InterpQueues, DequeueOfCvWithoutHandlerPanics)
+{
+    Program prod("prod");
+    {
+        Asm a(&prod);
+        a.enqc(QOUT, R::zero);
+        a.halt();
+        a.finalize();
+    }
+    Program cons("cons");
+    {
+        Asm a(&cons);
+        a.mov(R::r1, QIN);
+        a.halt();
+        a.finalize();
+    }
+    MachineSpec spec;
+    spec.addThread(0, 0, &prod).queueMaps.push_back(
+        {QOUT.idx, 0, QueueDir::Out});
+    spec.addThread(0, 1, &cons).queueMaps.push_back(
+        {QIN.idx, 0, QueueDir::In});
+    SimMemory mem;
+    Interp in(spec, &mem);
+    EXPECT_DEATH(in.run(), "no handler");
+}
+
+} // namespace
+} // namespace pipette

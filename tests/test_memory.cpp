@@ -1,0 +1,87 @@
+// Unit tests for SimMemory and SimAllocator.
+
+#include <gtest/gtest.h>
+
+#include "mem/sim_memory.h"
+
+namespace pipette {
+namespace {
+
+TEST(SimMemory, ReadWriteRoundTrip)
+{
+    SimMemory m;
+    m.write(0x1234, 8, 0xdeadbeefcafef00dull);
+    EXPECT_EQ(m.read(0x1234, 8), 0xdeadbeefcafef00dull);
+    EXPECT_EQ(m.read(0x1234, 4), 0xcafef00du);
+    EXPECT_EQ(m.read(0x1238, 4), 0xdeadbeefu);
+    EXPECT_EQ(m.read(0x1234, 1), 0x0du);
+}
+
+TEST(SimMemory, UnmappedReadsZeroWithoutAllocating)
+{
+    SimMemory m;
+    EXPECT_EQ(m.read(0xffff'ffff'0000ull, 8), 0u);
+    EXPECT_EQ(m.mappedPages(), 0u);
+}
+
+TEST(SimMemory, CrossPageAccess)
+{
+    SimMemory m;
+    Addr boundary = SimMemory::PAGE_SIZE - 4;
+    m.write(boundary, 8, 0x1122334455667788ull);
+    EXPECT_EQ(m.read(boundary, 8), 0x1122334455667788ull);
+    EXPECT_EQ(m.mappedPages(), 2u);
+}
+
+TEST(SimMemory, PartialWritePreservesNeighbors)
+{
+    SimMemory m;
+    m.write(0x100, 8, ~0ull);
+    m.write(0x102, 2, 0);
+    EXPECT_EQ(m.read(0x100, 8), 0xffffffff0000ffffull);
+}
+
+TEST(SimMemory, ArrayHelpers)
+{
+    SimMemory m;
+    std::vector<uint64_t> v64 = {1, 2, 3, 4, 5};
+    m.writeArray64(0x2000, v64.data(), v64.size());
+    EXPECT_EQ(m.readArray64(0x2000, 5), v64);
+
+    std::vector<uint32_t> v32 = {10, 20, 30};
+    m.writeArray32(0x3000, v32.data(), v32.size());
+    EXPECT_EQ(m.readArray32(0x3000, 3), v32);
+}
+
+TEST(SimMemory, Fill)
+{
+    SimMemory m;
+    m.fill(0x4000, 16, 0xff);
+    EXPECT_EQ(m.read(0x4000, 8), ~0ull);
+    EXPECT_EQ(m.read(0x4008, 8), ~0ull);
+    EXPECT_EQ(m.read(0x4010, 8), 0u);
+}
+
+TEST(SimAllocator, AlignmentAndMonotonicity)
+{
+    SimAllocator a(0x10000);
+    Addr x = a.alloc(10, 64);
+    Addr y = a.alloc(1, 64);
+    Addr z = a.alloc(8, 8);
+    EXPECT_EQ(x % 64, 0u);
+    EXPECT_EQ(y % 64, 0u);
+    EXPECT_GE(y, x + 10);
+    EXPECT_GE(z, y + 1);
+    EXPECT_EQ(z % 8, 0u);
+}
+
+TEST(SimAllocator, DisjointRegions)
+{
+    SimAllocator a;
+    Addr x = a.alloc64(100);
+    Addr y = a.alloc64(100);
+    EXPECT_GE(y, x + 800);
+}
+
+} // namespace
+} // namespace pipette

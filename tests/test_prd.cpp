@@ -1,0 +1,124 @@
+// PageRank-Delta workload tests across all variants.
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "isa/interp.h"
+#include "workloads/prd.h"
+
+namespace pipette {
+namespace {
+
+struct PrdCase
+{
+    const char *graphKind;
+    Variant variant;
+};
+
+std::string
+caseName(const testing::TestParamInfo<PrdCase> &info)
+{
+    std::string s = std::string(info.param.graphKind) + "_" +
+                    variantName(info.param.variant);
+    for (char &c : s)
+        if (c == '-')
+            c = '_';
+    return s;
+}
+
+Graph
+makeGraph(const std::string &kind)
+{
+    if (kind == "grid")
+        return makeGridGraph(16, 16, 51);
+    if (kind == "rmat")
+        return makeRmatGraph(256, 1024, 53);
+    return makeUniformGraph(300, 4.0, 57);
+}
+
+class PrdVariants : public testing::TestWithParam<PrdCase>
+{
+};
+
+TEST_P(PrdVariants, MatchesReference)
+{
+    const PrdCase &c = GetParam();
+    Graph g = makeGraph(c.graphKind);
+
+    SystemConfig cfg;
+    cfg.numCores = c.variant == Variant::Streaming ? 4 : 1;
+    cfg.watchdogCycles = 300'000;
+    cfg.maxCycles = 300'000'000;
+    System sys(cfg);
+
+    PrdParams params;
+    params.maxIters = 6;
+    PrdWorkload wl(&g, params);
+    BuildContext ctx(&sys);
+    wl.build(ctx, c.variant);
+    sys.configure(ctx.spec);
+    auto res = sys.run();
+    ASSERT_TRUE(res.finished) << sys.core(0).debugString();
+    EXPECT_TRUE(wl.verify(sys));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, PrdVariants,
+    testing::Values(PrdCase{"grid", Variant::Serial},
+                    PrdCase{"grid", Variant::DataParallel},
+                    PrdCase{"grid", Variant::Pipette},
+                    PrdCase{"grid", Variant::PipetteNoRa},
+                    PrdCase{"grid", Variant::Streaming},
+                    PrdCase{"rmat", Variant::Serial},
+                    PrdCase{"rmat", Variant::DataParallel},
+                    PrdCase{"rmat", Variant::Pipette},
+                    PrdCase{"rmat", Variant::PipetteNoRa},
+                    PrdCase{"uniform", Variant::Pipette},
+                    PrdCase{"uniform", Variant::Streaming}),
+    caseName);
+
+TEST(PrdInterp, PipetteFunctionallyCorrect)
+{
+    Graph g = makeRmatGraph(200, 600, 61);
+    SystemConfig cfg;
+    System sys(cfg);
+    PrdParams params;
+    params.maxIters = 5;
+    PrdWorkload wl(&g, params);
+    BuildContext ctx(&sys);
+    wl.build(ctx, Variant::Pipette);
+    Interp in(ctx.spec, &sys.memory());
+    ASSERT_EQ(in.run().status, Interp::Status::Done);
+    EXPECT_TRUE(wl.verify(sys));
+}
+
+TEST(PrdInterp, DataParallelFunctionallyCorrect)
+{
+    Graph g = makeUniformGraph(250, 3.0, 67);
+    SystemConfig cfg;
+    System sys(cfg);
+    PrdParams params;
+    params.maxIters = 5;
+    PrdWorkload wl(&g, params);
+    BuildContext ctx(&sys);
+    wl.build(ctx, Variant::DataParallel);
+    Interp in(ctx.spec, &sys.memory());
+    ASSERT_EQ(in.run().status, Interp::Status::Done);
+    EXPECT_TRUE(wl.verify(sys));
+}
+
+TEST(PrdInterp, NoRaFunctionallyCorrect)
+{
+    Graph g = makeGridGraph(12, 12, 71);
+    SystemConfig cfg;
+    System sys(cfg);
+    PrdWorkload wl(&g);
+    BuildContext ctx(&sys);
+    wl.build(ctx, Variant::PipetteNoRa);
+    Interp in(ctx.spec, &sys.memory());
+    ASSERT_EQ(in.run().status, Interp::Status::Done);
+    EXPECT_TRUE(wl.verify(sys));
+}
+
+} // namespace
+} // namespace pipette

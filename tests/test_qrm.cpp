@@ -1,0 +1,161 @@
+// Unit tests for the Queue Register Map: pointer discipline,
+// speculative rollback, non-speculative agents, and the register budget.
+
+#include <gtest/gtest.h>
+
+#include "pipette/qrm.h"
+
+namespace pipette {
+namespace {
+
+TEST(Qrm, SpecEnqueueVisibleOnlyAfterCommit)
+{
+    Qrm q(4, 8, 64);
+    EXPECT_FALSE(q.canDequeueSpec(0));
+    q.enqueueSpec(0, 5, false);
+    EXPECT_FALSE(q.canDequeueSpec(0)); // not committed yet
+    q.commitEnqueue(0);
+    EXPECT_TRUE(q.canDequeueSpec(0));
+    EXPECT_EQ(q.headReg(0), 5);
+    EXPECT_FALSE(q.headCtrl(0));
+}
+
+TEST(Qrm, FifoOrder)
+{
+    Qrm q(1, 8, 64);
+    for (PhysRegId r = 10; r < 14; r++) {
+        q.enqueueSpec(0, r, false);
+        q.commitEnqueue(0);
+    }
+    for (PhysRegId r = 10; r < 14; r++)
+        EXPECT_EQ(q.dequeueSpec(0), r);
+    for (PhysRegId r = 10; r < 14; r++)
+        EXPECT_EQ(q.commitDequeue(0), r);
+}
+
+TEST(Qrm, CapacityBlocksEnqueue)
+{
+    Qrm q(1, 4, 64);
+    for (int i = 0; i < 4; i++)
+        q.enqueueSpec(0, static_cast<PhysRegId>(i), false);
+    EXPECT_FALSE(q.canEnqueueSpec(0));
+    EXPECT_TRUE(q.enqueueFull(0));
+    // Committing the enqueues does not free space; dequeue-commit does.
+    for (int i = 0; i < 4; i++)
+        q.commitEnqueue(0);
+    EXPECT_FALSE(q.canEnqueueSpec(0));
+    q.dequeueSpec(0);
+    EXPECT_FALSE(q.canEnqueueSpec(0)); // spec dequeue is not enough
+    q.commitDequeue(0);
+    EXPECT_TRUE(q.canEnqueueSpec(0));
+}
+
+TEST(Qrm, RollbackEnqueueRestoresState)
+{
+    Qrm q(1, 4, 64);
+    q.enqueueSpec(0, 7, true);
+    EXPECT_EQ(q.regsInUse(), 1u);
+    EXPECT_EQ(q.rollbackEnqueue(0), 7);
+    EXPECT_EQ(q.regsInUse(), 0u);
+    EXPECT_EQ(q.totalSize(0), 0u);
+}
+
+TEST(Qrm, RollbackDequeueRestoresHead)
+{
+    Qrm q(1, 4, 64);
+    q.enqueueSpec(0, 9, false);
+    q.commitEnqueue(0);
+    EXPECT_EQ(q.dequeueSpec(0), 9);
+    EXPECT_FALSE(q.canDequeueSpec(0));
+    q.rollbackDequeue(0);
+    EXPECT_TRUE(q.canDequeueSpec(0));
+    EXPECT_EQ(q.headReg(0), 9);
+}
+
+TEST(Qrm, CtrlBitTracked)
+{
+    Qrm q(1, 4, 64);
+    q.enqueueSpec(0, 1, false);
+    q.commitEnqueue(0);
+    q.enqueueSpec(0, 2, true);
+    q.commitEnqueue(0);
+    EXPECT_FALSE(q.headCtrl(0));
+    q.dequeueSpec(0);
+    EXPECT_TRUE(q.headCtrl(0));
+}
+
+TEST(Qrm, ScanForCtrl)
+{
+    Qrm q(1, 8, 64);
+    for (int i = 0; i < 3; i++) {
+        q.enqueueSpec(0, static_cast<PhysRegId>(i), false);
+        q.commitEnqueue(0);
+    }
+    EXPECT_FALSE(q.scanForCtrl(0).found);
+    q.enqueueSpec(0, 50, true);
+    // Not committed: scan must not see it.
+    EXPECT_FALSE(q.scanForCtrl(0).found);
+    q.commitEnqueue(0);
+    auto s = q.scanForCtrl(0);
+    EXPECT_TRUE(s.found);
+    EXPECT_EQ(s.offset, 3u);
+}
+
+TEST(Qrm, NonSpecAgentsBypassSpeculation)
+{
+    Qrm q(2, 4, 64);
+    q.enqueueNonSpec(0, 3, false);
+    EXPECT_TRUE(q.canDequeueSpec(0));  // immediately visible
+    bool ctrl = true;
+    EXPECT_EQ(q.dequeueNonSpec(0, &ctrl), 3);
+    EXPECT_FALSE(ctrl);
+    EXPECT_EQ(q.regsInUse(), 0u);
+}
+
+TEST(Qrm, NonSpecCtrlEnqueueClearsSkipArm)
+{
+    Qrm q(1, 4, 64);
+    q.armSkip(0);
+    q.enqueueNonSpec(0, 1, false);
+    EXPECT_TRUE(q.skipArmed(0)); // data does not clear
+    q.enqueueNonSpec(0, 2, true);
+    EXPECT_FALSE(q.skipArmed(0)); // CV clears
+}
+
+TEST(Qrm, RegisterBudgetSharedAcrossQueues)
+{
+    Qrm q(2, 8, 6);
+    for (int i = 0; i < 3; i++)
+        q.enqueueSpec(0, static_cast<PhysRegId>(i), false);
+    for (int i = 0; i < 3; i++)
+        q.enqueueSpec(1, static_cast<PhysRegId>(10 + i), false);
+    EXPECT_FALSE(q.canEnqueueSpec(0)); // budget, not capacity
+    EXPECT_FALSE(q.enqueueFull(0));
+    EXPECT_FALSE(q.canEnqueueSpec(1));
+}
+
+TEST(Qrm, WrapAroundManyTimes)
+{
+    Qrm q(1, 3, 64);
+    for (int round = 0; round < 50; round++) {
+        PhysRegId r = static_cast<PhysRegId>(round);
+        q.enqueueSpec(0, r, round % 5 == 0);
+        q.commitEnqueue(0);
+        EXPECT_EQ(q.headCtrl(0), round % 5 == 0);
+        EXPECT_EQ(q.dequeueSpec(0), r);
+        EXPECT_EQ(q.commitDequeue(0), r);
+    }
+    EXPECT_EQ(q.regsInUse(), 0u);
+}
+
+TEST(Qrm, ResizeInactiveQueueOnly)
+{
+    Qrm q(2, 4, 64);
+    q.setCapacity(0, 16);
+    EXPECT_EQ(q.capacity(0), 16u);
+    q.enqueueSpec(1, 1, false);
+    EXPECT_DEATH(q.setCapacity(1, 16), "resizing active queue");
+}
+
+} // namespace
+} // namespace pipette

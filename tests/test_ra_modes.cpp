@@ -1,0 +1,228 @@
+// Reference-accelerator mode tests (IndirectPair / IndirectKV) on both
+// the interpreter and the cycle-level core, plus connector credit and
+// RA skip-propagation behaviour.
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "isa/assembler.h"
+#include "isa/interp.h"
+
+namespace pipette {
+namespace {
+
+constexpr Reg QOUT = R::r11;
+constexpr Reg QIN = R::r12;
+
+struct PairSetup
+{
+    Program prod{"prod"};
+    Program cons{"cons"};
+    Addr handler = 0;
+    MachineSpec spec;
+
+    PairSetup(Addr arr, RaMode mode, uint32_t elemBytes, uint32_t n)
+    {
+        {
+            Asm a(&prod);
+            auto loop = a.label();
+            a.li(R::r1, 0);
+            a.bind(loop);
+            a.mov(QOUT, R::r1);
+            a.addi(R::r1, R::r1, 1);
+            a.blti(R::r1, n, loop);
+            a.enqc(QOUT, R::zero);
+            a.halt();
+            a.finalize();
+        }
+        {
+            Asm a(&cons);
+            auto loop = a.label();
+            auto hdl = a.label("h");
+            a.li(R::r1, 0); // sum of first-of-pair
+            a.li(R::r2, 0); // sum of second-of-pair
+            a.bind(loop);
+            a.add(R::r1, R::r1, QIN);
+            a.add(R::r2, R::r2, QIN);
+            a.jmp(loop);
+            a.bind(hdl);
+            a.halt();
+            a.finalize();
+            handler = cons.labels().at("h");
+        }
+        spec.addThread(0, 0, &prod).queueMaps.push_back(
+            {QOUT.idx, 0, QueueDir::Out});
+        auto &tc = spec.addThread(0, 1, &cons);
+        tc.queueMaps.push_back({QIN.idx, 1, QueueDir::In});
+        tc.deqHandler = static_cast<int64_t>(handler);
+        spec.ras.push_back({0, 0, 1, arr, elemBytes, mode});
+    }
+};
+
+TEST(RaModes, IndirectPairOnInterpreterAndCore)
+{
+    const uint32_t n = 40;
+    // A[i] = i * 11; pair mode yields (A[i], A[i+1]).
+    uint64_t sumLo = 0, sumHi = 0;
+    for (uint32_t i = 0; i < n; i++) {
+        sumLo += 11ull * i;
+        sumHi += 11ull * (i + 1);
+    }
+
+    for (int timing = 0; timing < 2; timing++) {
+        SystemConfig cfg;
+        System sys(cfg);
+        Addr arr = 0x80000;
+        for (uint32_t i = 0; i <= n; i++)
+            sys.memory().write(arr + 4 * i, 4, 11 * i);
+        PairSetup s(arr, RaMode::IndirectPair, 4, n);
+        if (timing) {
+            sys.configure(s.spec);
+            ASSERT_TRUE(sys.run().finished);
+            EXPECT_EQ(sys.core(0).readArchReg(1, 1), sumLo);
+            EXPECT_EQ(sys.core(0).readArchReg(1, 2), sumHi);
+        } else {
+            Interp in(s.spec, &sys.memory());
+            ASSERT_EQ(in.run().status, Interp::Status::Done);
+            EXPECT_EQ(in.reg(1, 1), sumLo);
+            EXPECT_EQ(in.reg(1, 2), sumHi);
+        }
+    }
+}
+
+TEST(RaModes, IndirectKvOnInterpreterAndCore)
+{
+    const uint32_t n = 40;
+    uint64_t sumKeys = 0, sumVals = 0;
+    for (uint32_t i = 0; i < n; i++) {
+        sumKeys += i;
+        sumVals += 1000ull + 3 * i;
+    }
+    for (int timing = 0; timing < 2; timing++) {
+        SystemConfig cfg;
+        System sys(cfg);
+        Addr arr = 0x90000;
+        for (uint32_t i = 0; i < n; i++)
+            sys.memory().write(arr + 8 * i, 8, 1000 + 3 * i);
+        PairSetup s(arr, RaMode::IndirectKV, 8, n);
+        if (timing) {
+            sys.configure(s.spec);
+            ASSERT_TRUE(sys.run().finished);
+            EXPECT_EQ(sys.core(0).readArchReg(1, 1), sumKeys);
+            EXPECT_EQ(sys.core(0).readArchReg(1, 2), sumVals);
+        } else {
+            Interp in(s.spec, &sys.memory());
+            ASSERT_EQ(in.run().status, Interp::Status::Done);
+            EXPECT_EQ(in.reg(1, 1), sumKeys);
+            EXPECT_EQ(in.reg(1, 2), sumVals);
+        }
+    }
+}
+
+TEST(Connector, LatencyDelaysFirstDelivery)
+{
+    // Measure that the consumer finishes later with a slower connector.
+    auto runWith = [](uint32_t latency) {
+        Program prod("prod");
+        {
+            Asm a(&prod);
+            auto loop = a.label();
+            a.li(R::r1, 0);
+            a.bind(loop);
+            a.mov(QOUT, R::r1);
+            a.addi(R::r1, R::r1, 1);
+            a.blti(R::r1, 200, loop);
+            a.enqc(QOUT, R::zero);
+            a.halt();
+            a.finalize();
+        }
+        Program cons("cons");
+        Addr handler;
+        {
+            Asm a(&cons);
+            auto loop = a.label();
+            auto hdl = a.label("h");
+            a.bind(loop);
+            a.add(R::r1, R::r1, QIN);
+            a.jmp(loop);
+            a.bind(hdl);
+            a.halt();
+            a.finalize();
+            handler = cons.labels().at("h");
+        }
+        SystemConfig cfg;
+        cfg.numCores = 2;
+        cfg.connectorLatency = latency;
+        System sys(cfg);
+        MachineSpec spec;
+        spec.addThread(0, 0, &prod).queueMaps.push_back(
+            {QOUT.idx, 0, QueueDir::Out});
+        auto &tc = spec.addThread(1, 0, &cons);
+        tc.queueMaps.push_back({QIN.idx, 0, QueueDir::In});
+        tc.deqHandler = static_cast<int64_t>(handler);
+        spec.connectors.push_back({0, 0, 1, 0});
+        // Keep programs alive for the run.
+        static std::vector<std::unique_ptr<Program>> keep;
+        keep.push_back(std::make_unique<Program>(std::move(prod)));
+        keep.push_back(std::make_unique<Program>(std::move(cons)));
+        spec.threads[0].prog = keep[keep.size() - 2].get();
+        spec.threads[1].prog = keep[keep.size() - 1].get();
+        sys.configure(spec);
+        auto res = sys.run();
+        EXPECT_TRUE(res.finished);
+        EXPECT_EQ(sys.core(1).readArchReg(0, 1), 200ull * 199 / 2);
+        return res.cycles;
+    };
+    Cycle fast = runWith(4);
+    Cycle slow = runWith(400);
+    EXPECT_GT(slow, fast);
+}
+
+TEST(Connector, CreditsBoundInflightState)
+{
+    // A never-consuming receiver: the producer can run at most
+    // capacity(dest) values ahead through the connector.
+    Program prod("prod");
+    {
+        Asm a(&prod);
+        auto loop = a.label();
+        a.li(R::r1, 0);
+        a.bind(loop);
+        a.mov(QOUT, R::r1);
+        a.addi(R::r1, R::r1, 1);
+        a.blti(R::r1, 1000, loop);
+        a.halt();
+        a.finalize();
+    }
+    Program idle("idle");
+    {
+        Asm a(&idle);
+        auto spin = a.label();
+        a.bind(spin);
+        a.jmp(spin);
+        a.finalize();
+    }
+    SystemConfig cfg;
+    cfg.numCores = 2;
+    cfg.watchdogCycles = 20'000;
+    cfg.maxCycles = 100'000;
+    System sys(cfg);
+    MachineSpec spec;
+    spec.addThread(0, 0, &prod).queueMaps.push_back(
+        {QOUT.idx, 0, QueueDir::Out});
+    spec.addThread(1, 0, &idle).queueMaps.push_back(
+        {QIN.idx, 0, QueueDir::In});
+    spec.connectors.push_back({0, 0, 1, 0});
+    spec.queueCaps.push_back({0, 0, 8});
+    spec.queueCaps.push_back({1, 0, 8});
+    sys.configure(spec);
+    sys.run(); // hits maxCycles (idle thread never halts)
+    // Producer got at most srcCap + credits(=destCap) values out.
+    uint64_t sent = sys.core(0).readArchReg(0, 1);
+    EXPECT_LE(sent, 8u + 8u + 1u);
+    // Receiver-side state never exceeded its capacity.
+    EXPECT_LE(sys.core(1).qrm().totalSize(0), 8u);
+}
+
+} // namespace
+} // namespace pipette

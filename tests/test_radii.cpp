@@ -1,0 +1,111 @@
+// Radii-estimation workload tests across all variants.
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "isa/interp.h"
+#include "workloads/radii.h"
+
+namespace pipette {
+namespace {
+
+struct RadiiCase
+{
+    const char *graphKind;
+    Variant variant;
+};
+
+std::string
+caseName(const testing::TestParamInfo<RadiiCase> &info)
+{
+    std::string s = std::string(info.param.graphKind) + "_" +
+                    variantName(info.param.variant);
+    for (char &c : s)
+        if (c == '-')
+            c = '_';
+    return s;
+}
+
+Graph
+makeGraph(const std::string &kind)
+{
+    if (kind == "grid")
+        return makeGridGraph(18, 18, 31);
+    if (kind == "rmat")
+        return makeRmatGraph(400, 1400, 37);
+    return makeUniformGraph(400, 3.5, 41);
+}
+
+class RadiiVariants : public testing::TestWithParam<RadiiCase>
+{
+};
+
+TEST_P(RadiiVariants, MatchesReference)
+{
+    const RadiiCase &c = GetParam();
+    Graph g = makeGraph(c.graphKind);
+
+    SystemConfig cfg;
+    cfg.numCores = c.variant == Variant::Streaming ? 4 : 1;
+    cfg.watchdogCycles = 300'000;
+    cfg.maxCycles = 300'000'000;
+    System sys(cfg);
+
+    RadiiParams params;
+    params.numSources = 12;
+    RadiiWorkload wl(&g, params);
+    BuildContext ctx(&sys);
+    wl.build(ctx, c.variant);
+    sys.configure(ctx.spec);
+    auto res = sys.run();
+    ASSERT_TRUE(res.finished) << sys.core(0).debugString();
+    EXPECT_TRUE(wl.verify(sys));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, RadiiVariants,
+    testing::Values(RadiiCase{"grid", Variant::Serial},
+                    RadiiCase{"grid", Variant::DataParallel},
+                    RadiiCase{"grid", Variant::Pipette},
+                    RadiiCase{"grid", Variant::PipetteNoRa},
+                    RadiiCase{"grid", Variant::Streaming},
+                    RadiiCase{"rmat", Variant::Serial},
+                    RadiiCase{"rmat", Variant::DataParallel},
+                    RadiiCase{"rmat", Variant::Pipette},
+                    RadiiCase{"rmat", Variant::PipetteNoRa},
+                    RadiiCase{"uniform", Variant::Pipette},
+                    RadiiCase{"uniform", Variant::DataParallel}),
+    caseName);
+
+TEST(RadiiInterp, PipetteFunctionallyCorrect)
+{
+    Graph g = makeGridGraph(14, 14, 43);
+    SystemConfig cfg;
+    System sys(cfg);
+    RadiiParams params;
+    params.numSources = 6;
+    RadiiWorkload wl(&g, params);
+    BuildContext ctx(&sys);
+    wl.build(ctx, Variant::Pipette);
+    Interp in(ctx.spec, &sys.memory());
+    ASSERT_EQ(in.run().status, Interp::Status::Done);
+    EXPECT_TRUE(wl.verify(sys));
+}
+
+TEST(RadiiInterp, DataParallelFunctionallyCorrect)
+{
+    Graph g = makeUniformGraph(300, 3.0, 47);
+    SystemConfig cfg;
+    System sys(cfg);
+    RadiiParams params;
+    params.numSources = 10;
+    RadiiWorkload wl(&g, params);
+    BuildContext ctx(&sys);
+    wl.build(ctx, Variant::DataParallel);
+    Interp in(ctx.spec, &sys.memory());
+    ASSERT_EQ(in.run().status, Interp::Status::Done);
+    EXPECT_TRUE(wl.verify(sys));
+}
+
+} // namespace
+} // namespace pipette

@@ -1,0 +1,205 @@
+// Regression tests for concurrency/protocol bugs found (and fixed)
+// during development. Each test documents the failure mode it guards.
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "isa/assembler.h"
+#include "isa/interp.h"
+#include "workloads/cc.h"
+#include "workloads/spmm.h"
+
+namespace pipette {
+namespace {
+
+constexpr Reg QOUT = R::r11;
+constexpr Reg QIN = R::r12;
+
+// Bug 1: skip_to_ctrl armed the queue while the producer's end-of-unit
+// CV was still in flight (renamed but uncommitted), redirecting the
+// producer inside the *next* unit. The consumer here skips immediately
+// after the producer finishes each unit, maximizing the race window.
+TEST(Regression, SkipArmMustNotFireWithCvInFlight)
+{
+    Program prod("prod");
+    Addr eh;
+    {
+        Asm a(&prod);
+        auto unit = a.label();
+        auto body = a.label();
+        auto hdl = a.label("eh");
+        auto done = a.label();
+        a.li(R::r1, 0); // unit counter
+        a.bind(unit);
+        a.li(R::r2, 0);
+        a.bind(body);
+        // Pack (unit << 16 | i) so misrouted values are detectable.
+        a.slli(R::r3, R::r1, 16);
+        a.or_(R::r3, R::r3, R::r2);
+        a.mov(QOUT, R::r3);
+        a.addi(R::r2, R::r2, 1);
+        a.blti(R::r2, 6, body);
+        a.enqc(QOUT, R::r1); // unit delimiter carries the unit id
+        a.addi(R::r1, R::r1, 1);
+        a.blti(R::r1, 50, unit);
+        a.jmp(done);
+        a.bind(hdl); // consumer skipped: abort this unit
+        a.enqc(QOUT, R::r1);
+        a.addi(R::r1, R::r1, 1);
+        a.blti(R::r1, 50, unit);
+        a.bind(done);
+        a.halt();
+        a.finalize();
+        eh = prod.labels().at("eh");
+    }
+    Program cons("cons");
+    {
+        Asm a(&cons);
+        auto loop = a.label();
+        auto end = a.label();
+        // Take the first value of each unit, then skip to the CV; the
+        // CVs must arrive in strict unit order 0,1,2,...
+        a.li(R::r1, 0); // expected unit id
+        a.li(R::r4, 0); // mismatch count
+        a.bind(loop);
+        a.mov(R::r2, QIN);    // first value of the unit
+        a.skiptc(R::r3, QIN); // -> unit delimiter
+        {
+            auto ok = a.label();
+            a.beq(R::r3, R::r1, ok);
+            a.addi(R::r4, R::r4, 1); // out-of-order delimiter!
+            a.bind(ok);
+        }
+        a.addi(R::r1, R::r1, 1);
+        a.blti(R::r1, 50, loop);
+        a.bind(end);
+        a.halt();
+        a.finalize();
+    }
+    SystemConfig cfg;
+    cfg.watchdogCycles = 200'000;
+    System sys(cfg);
+    MachineSpec spec;
+    auto &tp = spec.addThread(0, 0, &prod);
+    tp.queueMaps.push_back({QOUT.idx, 0, QueueDir::Out});
+    tp.enqHandler = static_cast<int64_t>(eh);
+    spec.addThread(0, 1, &cons).queueMaps.push_back(
+        {QIN.idx, 0, QueueDir::In});
+    spec.queueCaps.push_back({0, 0, 4});
+    sys.configure(spec);
+    ASSERT_TRUE(sys.run().finished) << sys.core(0).debugString();
+    EXPECT_EQ(sys.core(0).readArchReg(1, 4), 0u); // all CVs in order
+}
+
+// Bug 2: the same wrong-abort race across a connector -- the CV can be
+// in a network flit when the consumer skips. This is the SpMM streaming
+// configuration that originally failed.
+TEST(Regression, SpmmStreamingSkipAcrossConnectors)
+{
+    SparseMatrix A = makeSparseMatrix(800, 16.0, 303);
+    SparseMatrix Bt =
+        makeSparseMatrix(A.n, A.avgNnzPerRow(), 777).transpose();
+    SystemConfig cfg;
+    cfg.numCores = 4;
+    cfg.watchdogCycles = 500'000;
+    System sys(cfg);
+    SpmmWorkload wl(&A, &Bt);
+    BuildContext ctx(&sys);
+    wl.build(ctx, Variant::Streaming);
+    sys.configure(ctx.spec);
+    ASSERT_TRUE(sys.run().finished);
+    EXPECT_TRUE(wl.verify(sys));
+}
+
+// Bug 3: CC's original fringe dedup cleared a flag with a plain store
+// and then read the label -- StoreLoad reordering (legal on x86 without
+// a locked op, and in our OOO model) lost concurrent improvements. The
+// epoch protocol removed the window; this pins CC data-parallel at the
+// size where it originally failed.
+TEST(Regression, CcDataParallelAtFailingScale)
+{
+    Graph g = makeUniformGraph(9830, 3.0, 22);
+    SystemConfig cfg;
+    cfg.watchdogCycles = 2'000'000;
+    System sys(cfg);
+    CcWorkload wl(&g);
+    BuildContext ctx(&sys);
+    wl.build(ctx, Variant::DataParallel);
+    sys.configure(ctx.spec);
+    ASSERT_TRUE(sys.run().finished);
+    EXPECT_TRUE(wl.verify(sys));
+}
+
+// Bug 4: fringe arrays overflowed when a vertex could be appended more
+// than once per round (the original flag protocol allowed geometric
+// duplicate growth from initial flags of 0). The epoch protocol bounds
+// occurrences to one per round; this checks a dense-component graph
+// that originally overflowed.
+TEST(Regression, CcFringeStaysBounded)
+{
+    Graph g = makeUniformGraph(104, 3.0, 23);
+    SystemConfig cfg;
+    System sys(cfg);
+    CcWorkload wl(&g);
+    BuildContext ctx(&sys);
+    wl.build(ctx, Variant::DataParallel);
+    Interp in(ctx.spec, &sys.memory());
+    ASSERT_EQ(in.run().status, Interp::Status::Done);
+    EXPECT_TRUE(wl.verify(sys));
+}
+
+// Bug 5: loads executing speculatively past a spin-loop exit read stale
+// values (missed wakeup); barriers now end with a FENCE. This runs a
+// producer/consumer flag handshake that deadlocked (and timed out)
+// before the fix. Covered further in test_core_fence.cpp; this variant
+// uses the shared emitBarrier helper exactly as the workloads do.
+TEST(Regression, BarrierPublishesSizesToAllThreads)
+{
+    // Thread 0 writes a value pre-barrier; all threads must read it
+    // post-barrier, 30 rounds in a row.
+    Addr g = 0x60000, slot = 0x60040;
+    const int rounds = 30;
+    Program p("pub");
+    Asm a(&p);
+    auto loop = a.label();
+    auto notT0 = a.label();
+    a.li(R::r4, g);
+    a.li(R::r1, slot);
+    a.li(R::r8, 0); // round
+    a.li(R::r9, 0); // mismatches
+    a.bind(loop);
+    a.bnei(R::r5, 0, notT0);
+    a.addi(R::r2, R::r8, 1000);
+    a.sd(R::r2, R::r1, 0);
+    a.bind(notT0);
+    emitBarrier(a, R::r4, 0, 8, 4, R::r2, R::r3, R::r6);
+    a.ld(R::r2, R::r1, 0);
+    a.addi(R::r3, R::r8, 1000);
+    {
+        auto ok = a.label();
+        a.beq(R::r2, R::r3, ok);
+        a.addi(R::r9, R::r9, 1);
+        a.bind(ok);
+    }
+    emitBarrier(a, R::r4, 0, 8, 4, R::r2, R::r3, R::r6);
+    a.addi(R::r8, R::r8, 1);
+    a.blti(R::r8, rounds, loop);
+    a.halt();
+    a.finalize();
+
+    SystemConfig cfg;
+    cfg.watchdogCycles = 300'000;
+    System sys(cfg);
+    MachineSpec spec;
+    for (ThreadId t = 0; t < 4; t++) {
+        ThreadSpec &ts = spec.addThread(0, t, &p);
+        ts.initRegs[5] = t;
+    }
+    sys.configure(spec);
+    ASSERT_TRUE(sys.run().finished);
+    for (ThreadId t = 0; t < 4; t++)
+        EXPECT_EQ(sys.core(0).readArchReg(t, 9), 0u) << "thread " << t;
+}
+
+} // namespace
+} // namespace pipette

@@ -1,0 +1,100 @@
+// Silo (B+tree / YCSB-C) workload tests across all variants.
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "isa/interp.h"
+#include "workloads/silo.h"
+
+namespace pipette {
+namespace {
+
+SiloWorkload::Options
+smallOpts(uint32_t keys = 3000, uint32_t queries = 600)
+{
+    SiloWorkload::Options o;
+    o.numKeys = keys;
+    o.numQueries = queries;
+    return o;
+}
+
+struct SiloCase
+{
+    uint32_t keys;
+    Variant variant;
+};
+
+std::string
+caseName(const testing::TestParamInfo<SiloCase> &info)
+{
+    std::string s = "k" + std::to_string(info.param.keys) + "_" +
+                    variantName(info.param.variant);
+    for (char &c : s)
+        if (c == '-')
+            c = '_';
+    return s;
+}
+
+class SiloVariants : public testing::TestWithParam<SiloCase>
+{
+};
+
+TEST_P(SiloVariants, MatchesReference)
+{
+    const SiloCase &c = GetParam();
+    SystemConfig cfg;
+    cfg.numCores = c.variant == Variant::Streaming ? 4 : 1;
+    cfg.watchdogCycles = 300'000;
+    cfg.maxCycles = 300'000'000;
+    System sys(cfg);
+
+    SiloWorkload wl(smallOpts(c.keys));
+    BuildContext ctx(&sys);
+    wl.build(ctx, c.variant);
+    sys.configure(ctx.spec);
+    auto res = sys.run();
+    ASSERT_TRUE(res.finished) << sys.core(0).debugString();
+    EXPECT_TRUE(wl.verify(sys));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, SiloVariants,
+    testing::Values(SiloCase{3000, Variant::Serial},
+                    SiloCase{3000, Variant::DataParallel},
+                    SiloCase{3000, Variant::Pipette},
+                    SiloCase{3000, Variant::PipetteNoRa},
+                    SiloCase{3000, Variant::Streaming},
+                    // Deeper tree: stages own multiple levels.
+                    SiloCase{50000, Variant::Pipette},
+                    SiloCase{50000, Variant::Serial},
+                    SiloCase{50000, Variant::DataParallel},
+                    // Shallow tree: depth < stages.
+                    SiloCase{200, Variant::Pipette}),
+    caseName);
+
+TEST(SiloInterp, PipetteFunctionallyCorrect)
+{
+    SystemConfig cfg;
+    System sys(cfg);
+    SiloWorkload wl(smallOpts(2000, 400));
+    BuildContext ctx(&sys);
+    wl.build(ctx, Variant::Pipette);
+    Interp in(ctx.spec, &sys.memory());
+    ASSERT_EQ(in.run().status, Interp::Status::Done);
+    EXPECT_TRUE(wl.verify(sys));
+}
+
+TEST(SiloInterp, DataParallelFunctionallyCorrect)
+{
+    SystemConfig cfg;
+    System sys(cfg);
+    SiloWorkload wl(smallOpts(2000, 400));
+    BuildContext ctx(&sys);
+    wl.build(ctx, Variant::DataParallel);
+    Interp in(ctx.spec, &sys.memory());
+    ASSERT_EQ(in.run().status, Interp::Status::Done);
+    EXPECT_TRUE(wl.verify(sys));
+}
+
+} // namespace
+} // namespace pipette
