@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_per_input.dir/bench_fig13_per_input.cpp.o"
+  "CMakeFiles/bench_fig13_per_input.dir/bench_fig13_per_input.cpp.o.d"
+  "bench_fig13_per_input"
+  "bench_fig13_per_input.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_per_input.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_ras.dir/bench_fig16_ras.cpp.o"
+  "CMakeFiles/bench_fig16_ras.dir/bench_fig16_ras.cpp.o.d"
+  "bench_fig16_ras"
+  "bench_fig16_ras.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_ras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_multicore.dir/bench_fig17_multicore.cpp.o"
+  "CMakeFiles/bench_fig17_multicore.dir/bench_fig17_multicore.cpp.o.d"
+  "bench_fig17_multicore"
+  "bench_fig17_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

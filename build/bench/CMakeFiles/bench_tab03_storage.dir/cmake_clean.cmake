@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab03_storage.dir/bench_tab03_storage.cpp.o"
+  "CMakeFiles/bench_tab03_storage.dir/bench_tab03_storage.cpp.o.d"
+  "bench_tab03_storage"
+  "bench_tab03_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab03_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab05_06_inputs.dir/bench_tab05_06_inputs.cpp.o"
+  "CMakeFiles/bench_tab05_06_inputs.dir/bench_tab05_06_inputs.cpp.o.d"
+  "bench_tab05_06_inputs"
+  "bench_tab05_06_inputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab05_06_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_tab05_06_inputs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfs_pipeline.dir/bfs_pipeline.cpp.o"
+  "CMakeFiles/bfs_pipeline.dir/bfs_pipeline.cpp.o.d"
+  "bfs_pipeline"
+  "bfs_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfs_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmm_skip.dir/spmm_skip.cpp.o"
+  "CMakeFiles/spmm_skip.dir/spmm_skip.cpp.o.d"
+  "spmm_skip"
+  "spmm_skip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmm_skip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bpred.cpp" "src/core/CMakeFiles/pipette_core.dir/bpred.cpp.o" "gcc" "src/core/CMakeFiles/pipette_core.dir/bpred.cpp.o.d"
+  "/root/repo/src/core/core.cpp" "src/core/CMakeFiles/pipette_core.dir/core.cpp.o" "gcc" "src/core/CMakeFiles/pipette_core.dir/core.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/core/CMakeFiles/pipette_core.dir/system.cpp.o" "gcc" "src/core/CMakeFiles/pipette_core.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipette/CMakeFiles/pipette_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pipette_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pipette_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pipette_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

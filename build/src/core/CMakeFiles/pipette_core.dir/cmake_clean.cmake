@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipette_core.dir/bpred.cpp.o"
+  "CMakeFiles/pipette_core.dir/bpred.cpp.o.d"
+  "CMakeFiles/pipette_core.dir/core.cpp.o"
+  "CMakeFiles/pipette_core.dir/core.cpp.o.d"
+  "CMakeFiles/pipette_core.dir/system.cpp.o"
+  "CMakeFiles/pipette_core.dir/system.cpp.o.d"
+  "libpipette_core.a"
+  "libpipette_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipette_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

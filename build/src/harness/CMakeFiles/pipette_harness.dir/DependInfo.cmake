@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/energy.cpp" "src/harness/CMakeFiles/pipette_harness.dir/energy.cpp.o" "gcc" "src/harness/CMakeFiles/pipette_harness.dir/energy.cpp.o.d"
+  "/root/repo/src/harness/report.cpp" "src/harness/CMakeFiles/pipette_harness.dir/report.cpp.o" "gcc" "src/harness/CMakeFiles/pipette_harness.dir/report.cpp.o.d"
+  "/root/repo/src/harness/runner.cpp" "src/harness/CMakeFiles/pipette_harness.dir/runner.cpp.o" "gcc" "src/harness/CMakeFiles/pipette_harness.dir/runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/pipette_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pipette_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipette/CMakeFiles/pipette_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pipette_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pipette_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pipette_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

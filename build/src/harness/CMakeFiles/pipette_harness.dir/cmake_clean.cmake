@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipette_harness.dir/energy.cpp.o"
+  "CMakeFiles/pipette_harness.dir/energy.cpp.o.d"
+  "CMakeFiles/pipette_harness.dir/report.cpp.o"
+  "CMakeFiles/pipette_harness.dir/report.cpp.o.d"
+  "CMakeFiles/pipette_harness.dir/runner.cpp.o"
+  "CMakeFiles/pipette_harness.dir/runner.cpp.o.d"
+  "libpipette_harness.a"
+  "libpipette_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipette_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

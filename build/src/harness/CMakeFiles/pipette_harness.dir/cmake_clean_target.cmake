@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpipette_harness.a"
+)

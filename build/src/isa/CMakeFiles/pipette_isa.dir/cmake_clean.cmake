@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipette_isa.dir/assembler.cpp.o"
+  "CMakeFiles/pipette_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/pipette_isa.dir/interp.cpp.o"
+  "CMakeFiles/pipette_isa.dir/interp.cpp.o.d"
+  "CMakeFiles/pipette_isa.dir/opcodes.cpp.o"
+  "CMakeFiles/pipette_isa.dir/opcodes.cpp.o.d"
+  "libpipette_isa.a"
+  "libpipette_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipette_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

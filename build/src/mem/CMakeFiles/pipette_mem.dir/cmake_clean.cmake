@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipette_mem.dir/cache.cpp.o"
+  "CMakeFiles/pipette_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/pipette_mem.dir/hierarchy.cpp.o"
+  "CMakeFiles/pipette_mem.dir/hierarchy.cpp.o.d"
+  "libpipette_mem.a"
+  "libpipette_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipette_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

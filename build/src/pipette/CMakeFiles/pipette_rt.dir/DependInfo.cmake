@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipette/connector.cpp" "src/pipette/CMakeFiles/pipette_rt.dir/connector.cpp.o" "gcc" "src/pipette/CMakeFiles/pipette_rt.dir/connector.cpp.o.d"
+  "/root/repo/src/pipette/qrm.cpp" "src/pipette/CMakeFiles/pipette_rt.dir/qrm.cpp.o" "gcc" "src/pipette/CMakeFiles/pipette_rt.dir/qrm.cpp.o.d"
+  "/root/repo/src/pipette/ra.cpp" "src/pipette/CMakeFiles/pipette_rt.dir/ra.cpp.o" "gcc" "src/pipette/CMakeFiles/pipette_rt.dir/ra.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pipette_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pipette_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pipette_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipette_rt.dir/connector.cpp.o"
+  "CMakeFiles/pipette_rt.dir/connector.cpp.o.d"
+  "CMakeFiles/pipette_rt.dir/qrm.cpp.o"
+  "CMakeFiles/pipette_rt.dir/qrm.cpp.o.d"
+  "CMakeFiles/pipette_rt.dir/ra.cpp.o"
+  "CMakeFiles/pipette_rt.dir/ra.cpp.o.d"
+  "libpipette_rt.a"
+  "libpipette_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipette_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipette_sim.dir/config.cpp.o"
+  "CMakeFiles/pipette_sim.dir/config.cpp.o.d"
+  "CMakeFiles/pipette_sim.dir/logging.cpp.o"
+  "CMakeFiles/pipette_sim.dir/logging.cpp.o.d"
+  "CMakeFiles/pipette_sim.dir/rng.cpp.o"
+  "CMakeFiles/pipette_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/pipette_sim.dir/stats.cpp.o"
+  "CMakeFiles/pipette_sim.dir/stats.cpp.o.d"
+  "libpipette_sim.a"
+  "libpipette_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipette_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bfs.cpp" "src/workloads/CMakeFiles/pipette_workloads.dir/bfs.cpp.o" "gcc" "src/workloads/CMakeFiles/pipette_workloads.dir/bfs.cpp.o.d"
+  "/root/repo/src/workloads/bfs_multicore.cpp" "src/workloads/CMakeFiles/pipette_workloads.dir/bfs_multicore.cpp.o" "gcc" "src/workloads/CMakeFiles/pipette_workloads.dir/bfs_multicore.cpp.o.d"
+  "/root/repo/src/workloads/cc.cpp" "src/workloads/CMakeFiles/pipette_workloads.dir/cc.cpp.o" "gcc" "src/workloads/CMakeFiles/pipette_workloads.dir/cc.cpp.o.d"
+  "/root/repo/src/workloads/graph.cpp" "src/workloads/CMakeFiles/pipette_workloads.dir/graph.cpp.o" "gcc" "src/workloads/CMakeFiles/pipette_workloads.dir/graph.cpp.o.d"
+  "/root/repo/src/workloads/matrix.cpp" "src/workloads/CMakeFiles/pipette_workloads.dir/matrix.cpp.o" "gcc" "src/workloads/CMakeFiles/pipette_workloads.dir/matrix.cpp.o.d"
+  "/root/repo/src/workloads/prd.cpp" "src/workloads/CMakeFiles/pipette_workloads.dir/prd.cpp.o" "gcc" "src/workloads/CMakeFiles/pipette_workloads.dir/prd.cpp.o.d"
+  "/root/repo/src/workloads/radii.cpp" "src/workloads/CMakeFiles/pipette_workloads.dir/radii.cpp.o" "gcc" "src/workloads/CMakeFiles/pipette_workloads.dir/radii.cpp.o.d"
+  "/root/repo/src/workloads/refimpl.cpp" "src/workloads/CMakeFiles/pipette_workloads.dir/refimpl.cpp.o" "gcc" "src/workloads/CMakeFiles/pipette_workloads.dir/refimpl.cpp.o.d"
+  "/root/repo/src/workloads/silo.cpp" "src/workloads/CMakeFiles/pipette_workloads.dir/silo.cpp.o" "gcc" "src/workloads/CMakeFiles/pipette_workloads.dir/silo.cpp.o.d"
+  "/root/repo/src/workloads/spmm.cpp" "src/workloads/CMakeFiles/pipette_workloads.dir/spmm.cpp.o" "gcc" "src/workloads/CMakeFiles/pipette_workloads.dir/spmm.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/workloads/CMakeFiles/pipette_workloads.dir/workload.cpp.o" "gcc" "src/workloads/CMakeFiles/pipette_workloads.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pipette_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipette/CMakeFiles/pipette_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pipette_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pipette_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pipette_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipette_workloads.dir/bfs.cpp.o"
+  "CMakeFiles/pipette_workloads.dir/bfs.cpp.o.d"
+  "CMakeFiles/pipette_workloads.dir/bfs_multicore.cpp.o"
+  "CMakeFiles/pipette_workloads.dir/bfs_multicore.cpp.o.d"
+  "CMakeFiles/pipette_workloads.dir/cc.cpp.o"
+  "CMakeFiles/pipette_workloads.dir/cc.cpp.o.d"
+  "CMakeFiles/pipette_workloads.dir/graph.cpp.o"
+  "CMakeFiles/pipette_workloads.dir/graph.cpp.o.d"
+  "CMakeFiles/pipette_workloads.dir/matrix.cpp.o"
+  "CMakeFiles/pipette_workloads.dir/matrix.cpp.o.d"
+  "CMakeFiles/pipette_workloads.dir/prd.cpp.o"
+  "CMakeFiles/pipette_workloads.dir/prd.cpp.o.d"
+  "CMakeFiles/pipette_workloads.dir/radii.cpp.o"
+  "CMakeFiles/pipette_workloads.dir/radii.cpp.o.d"
+  "CMakeFiles/pipette_workloads.dir/refimpl.cpp.o"
+  "CMakeFiles/pipette_workloads.dir/refimpl.cpp.o.d"
+  "CMakeFiles/pipette_workloads.dir/silo.cpp.o"
+  "CMakeFiles/pipette_workloads.dir/silo.cpp.o.d"
+  "CMakeFiles/pipette_workloads.dir/spmm.cpp.o"
+  "CMakeFiles/pipette_workloads.dir/spmm.cpp.o.d"
+  "CMakeFiles/pipette_workloads.dir/workload.cpp.o"
+  "CMakeFiles/pipette_workloads.dir/workload.cpp.o.d"
+  "libpipette_workloads.a"
+  "libpipette_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipette_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_fence.dir/test_core_fence.cpp.o"
+  "CMakeFiles/test_core_fence.dir/test_core_fence.cpp.o.d"
+  "test_core_fence"
+  "test_core_fence.pdb"
+  "test_core_fence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_fence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

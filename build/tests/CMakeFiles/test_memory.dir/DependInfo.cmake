@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_memory.cpp" "tests/CMakeFiles/test_memory.dir/test_memory.cpp.o" "gcc" "tests/CMakeFiles/test_memory.dir/test_memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/pipette_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/pipette_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pipette_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipette/CMakeFiles/pipette_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pipette_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pipette_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pipette_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prd.dir/test_prd.cpp.o"
+  "CMakeFiles/test_prd.dir/test_prd.cpp.o.d"
+  "test_prd"
+  "test_prd.pdb"
+  "test_prd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

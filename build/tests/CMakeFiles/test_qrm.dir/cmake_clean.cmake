@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qrm.dir/test_qrm.cpp.o"
+  "CMakeFiles/test_qrm.dir/test_qrm.cpp.o.d"
+  "test_qrm"
+  "test_qrm.pdb"
+  "test_qrm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qrm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ra_modes.dir/test_ra_modes.cpp.o"
+  "CMakeFiles/test_ra_modes.dir/test_ra_modes.cpp.o.d"
+  "test_ra_modes"
+  "test_ra_modes.pdb"
+  "test_ra_modes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ra_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_radii.dir/test_radii.cpp.o"
+  "CMakeFiles/test_radii.dir/test_radii.cpp.o.d"
+  "test_radii"
+  "test_radii.pdb"
+  "test_radii[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_radii.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_silo.dir/test_silo.cpp.o"
+  "CMakeFiles/test_silo.dir/test_silo.cpp.o.d"
+  "test_silo"
+  "test_silo.pdb"
+  "test_silo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_silo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
