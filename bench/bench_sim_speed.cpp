@@ -2,11 +2,17 @@
  * @file
  * google-benchmark microbenchmarks of the simulator's own building
  * blocks: QRM operations, cache-hierarchy accesses, functional
- * interpretation, and whole-core cycle throughput. These track the
- * host-side cost of simulation, not simulated performance.
+ * interpretation, and whole-core cycle throughput, plus end-to-end
+ * KIPS (simulated kilo-instructions per host second) runs of BFS.
+ * These track the host-side cost of simulation, not simulated
+ * performance. Results are also written to BENCH_sim_speed.json so
+ * successive PRs can track the host-perf trajectory.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
 
 #include "core/system.h"
 #include "isa/assembler.h"
@@ -47,6 +53,23 @@ BM_CacheHit(benchmark::State &state)
     }
 }
 BENCHMARK(BM_CacheHit);
+
+void
+BM_EventQueueSchedule(benchmark::State &state)
+{
+    // Cost of scheduling + dispatching one short-latency completion,
+    // the per-cache-hit path of the memory hierarchy.
+    EventQueue eq;
+    Cycle now = 0;
+    uint64_t sink = 0;
+    for (auto _ : state) {
+        now++;
+        eq.schedule(now + 4, [&sink] { sink++; });
+        eq.runUntil(now);
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueSchedule);
 
 void
 BM_InterpInstrs(benchmark::State &state)
@@ -97,7 +120,66 @@ BM_CoreCycles(benchmark::State &state)
 }
 BENCHMARK(BM_CoreCycles)->Unit(benchmark::kMillisecond);
 
+/**
+ * End-to-end host throughput: run BFS to completion and report KIPS
+ * (simulated kilo-instructions committed per host second). This is the
+ * number the ROADMAP's "as fast as the hardware allows" goal tracks.
+ */
+void
+BM_BfsKips(benchmark::State &state, Variant v)
+{
+    Graph g = makeGridGraph(56, 56, 7);
+    uint64_t instrs = 0;
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        SystemConfig cfg;
+        cfg.maxCycles = 20'000'000;
+        System sys(cfg);
+        BfsWorkload wl(&g);
+        BuildContext ctx(&sys);
+        wl.build(ctx, v);
+        sys.configure(ctx.spec);
+        state.ResumeTiming();
+        auto res = sys.run();
+        instrs += res.instrs;
+        cycles += res.cycles;
+        benchmark::DoNotOptimize(res.cycles);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(instrs));
+    state.counters["KIPS"] = benchmark::Counter(
+        static_cast<double>(instrs) / 1e3, benchmark::Counter::kIsRate);
+    state.counters["sim_cycles"] = benchmark::Counter(
+        static_cast<double>(cycles) / static_cast<double>(state.iterations()));
+}
+BENCHMARK_CAPTURE(BM_BfsKips, serial, Variant::Serial)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_BfsKips, pipette, Variant::Pipette)
+    ->Unit(benchmark::kMillisecond);
+
 } // namespace
 } // namespace pipette
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Emit the JSON artifact by default so CI and future PRs can diff
+    // host-perf numbers; explicit --benchmark_out still wins.
+    std::vector<char *> args(argv, argv + argc);
+    bool haveOut = false;
+    for (int i = 1; i < argc; i++)
+        haveOut |= std::strncmp(argv[i], "--benchmark_out", 15) == 0;
+    std::string outFlag = "--benchmark_out=BENCH_sim_speed.json";
+    std::string fmtFlag = "--benchmark_out_format=json";
+    if (!haveOut) {
+        args.push_back(outFlag.data());
+        args.push_back(fmtFlag.data());
+    }
+    int nargs = static_cast<int>(args.size());
+    benchmark::Initialize(&nargs, args.data());
+    if (benchmark::ReportUnrecognizedArguments(nargs, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

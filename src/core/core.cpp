@@ -1,6 +1,7 @@
 #include "core/core.h"
 
 #include <algorithm>
+#include <iterator>
 #include <sstream>
 
 namespace pipette {
@@ -22,11 +23,39 @@ rangesOverlap(Addr a1, uint8_t s1, Addr a2, uint8_t s2)
     return a1 < a2 + s2 && a2 < a1 + s1;
 }
 
+/**
+ * DynInst pool sizing: live instructions are bounded by the ROB plus
+ * issue-queue/LSQ residue, and squashed instructions can linger while
+ * outstanding memory completions hold references. The generous default
+ * makes exhaustion (a rename stall) unreachable in practice, keeping
+ * simulated timing identical to an unbounded allocator.
+ */
+uint32_t
+dynInstPoolCapacity(const CoreConfig &cfg)
+{
+    if (cfg.dynInstPoolEntries)
+        return cfg.dynInstPoolEntries;
+    return cfg.robEntries + cfg.iqEntries +
+           8 * (cfg.lqEntries + cfg.sqEntries) + 1024;
+}
+
+uint32_t
+checkpointArenaCapacity(const CoreConfig &cfg)
+{
+    if (cfg.checkpointArenaEntries)
+        return cfg.checkpointArenaEntries;
+    // Checkpoints are freed with their instruction, so the in-flight
+    // branch population is bounded by the DynInst pool.
+    return dynInstPoolCapacity(cfg);
+}
+
 } // namespace
 
 Core::Core(CoreId id, const CoreConfig &cfg, SimMemory *mem,
            MemoryHierarchy *hier, EventQueue *eq)
     : id_(id), cfg_(cfg), mem_(mem), hier_(hier), eq_(eq),
+      ckptArena_(checkpointArenaCapacity(cfg)),
+      pool_(dynInstPoolCapacity(cfg)),
       prf_(cfg.physRegs),
       qrm_(cfg.numQueues, cfg.queueCapacity, cfg.maxQueueRegs),
       bpred_(cfg, cfg.smtThreads)
@@ -37,6 +66,21 @@ Core::Core(CoreId id, const CoreConfig &cfg, SimMemory *mem,
         t.mapDir.fill(-1);
         t.mapQ.fill(INVALID_QUEUE);
     }
+    // Wakeup-driven issue: track ready transitions and pre-size the
+    // issue-stage buffers so the steady state never reallocates.
+    prf_.enableReadyLog();
+    regWaiters_.resize(cfg.physRegs);
+    // A register's waiter list is cleared on every ready transition;
+    // between transitions it can hold at most the IQ population (plus
+    // briefly-stale squashed entries), so one IQ's worth of capacity
+    // per register keeps the wakeup path reallocation-free.
+    for (auto &ws : regWaiters_)
+        ws.reserve(cfg.iqEntries);
+    for (auto &slot : wbRing_)
+        slot.reserve(64); // > issue width x latencies landing together
+    eligible_.reserve(cfg.iqEntries);
+    wokenBuf_.reserve(cfg.iqEntries);
+    mergeBuf_.reserve(cfg.iqEntries);
 }
 
 void
@@ -71,21 +115,56 @@ Core::configure()
     panic_if(configured_, "configure called twice");
     configured_ = true;
     numActive_ = 0;
-    for (const ThreadCtx &t : threads_)
-        if (t.active)
+    activeTids_.clear();
+    for (uint32_t tid = 0; tid < threads_.size(); tid++) {
+        if (threads_[tid].active) {
             numActive_++;
+            activeTids_.push_back(static_cast<ThreadId>(tid));
+        }
+    }
     if (numActive_ == 0)
         return; // idle core (e.g., unused stage slot)
     robPerThread_ = cfg_.robEntries / numActive_;
     lqPerThread_ = std::max(1u, cfg_.lqEntries / numActive_);
     sqPerThread_ = std::max(1u, cfg_.sqEntries / numActive_);
+    for (ThreadCtx &t : threads_) {
+        t.fetchQ.init(cfg_.fetchBufferEntries);
+        t.rob.init(robPerThread_);
+        t.loadQ.init(lqPerThread_);
+        t.storeQ.init(sqPerThread_);
+        t.storeBuffer.init(cfg_.storeBufferEntries);
+        // Precompute, per PC, whether rename's queue gates apply: the
+        // queue maps and program are fixed from here on. Pipette ops
+        // always take the gate path (their operands must be
+        // queue-mapped; the gates also hold the malformed-program
+        // diagnostics).
+        if (!t.active)
+            continue;
+        t.queueFreeByPc.assign(t.prog->size(), 0);
+        for (Addr pc = 0; pc < t.prog->size(); pc++) {
+            const Instr &si = t.prog->at(pc);
+            const OpInfo &info = opInfo(si.op);
+            bool qf = si.op != Op::PEEK && si.op != Op::SKIPTC &&
+                      si.op != Op::ENQC;
+            if (qf && info.readsRs1 && t.mapDir[si.rs1] != -1)
+                qf = false;
+            if (qf && info.readsRs2 && t.mapDir[si.rs2] != -1)
+                qf = false;
+            if (qf && info.readsRd && t.mapDir[si.rd] != -1)
+                qf = false;
+            if (qf && info.writesRd && si.rd != reg::ZERO &&
+                t.mapDir[si.rd] != -1)
+                qf = false;
+            t.queueFreeByPc[pc] = qf ? 1 : 0;
+        }
+    }
 }
 
 bool
 Core::allHalted() const
 {
-    for (const ThreadCtx &t : threads_)
-        if (t.active && !t.halted)
+    for (ThreadId tid : activeTids_)
+        if (!threads_[tid].halted)
             return false;
     return true;
 }
@@ -126,10 +205,12 @@ Core::fetch(Cycle now)
     // ICOUNT: fetch from the thread with the fewest in-flight instrs.
     int best = -1;
     size_t bestCount = ~0ull;
-    for (uint32_t k = 0; k < threads_.size(); k++) {
-        uint32_t tid = (fetchRr_ + k) % threads_.size();
+    size_t nAct = activeTids_.size();
+    size_t start = rrStart(fetchRr_);
+    for (size_t j = 0; j < nAct; j++) {
+        ThreadId tid = activeTids_[(start + j) % nAct];
         ThreadCtx &t = threads_[tid];
-        if (!t.active || t.halted || t.haltFetched)
+        if (t.halted || t.haltFetched)
             continue;
         if (t.fetchBlockedUntil > now)
             continue;
@@ -151,13 +232,15 @@ Core::fetch(Cycle now)
         if (t.fetchQ.size() >= cfg_.fetchBufferEntries)
             break;
         const Instr &si = t.prog->at(t.pc);
+        const OpInfo &info = opInfo(si.op);
         FetchedInst fi;
         fi.pc = t.pc;
         fi.si = &si;
+        fi.info = &info;
         fi.readyCycle = now + cfg_.frontendDelay;
+        fi.queueFree = t.queueFreeByPc[t.pc] != 0;
         stats_.fetchedInstrs++;
 
-        const OpInfo &info = opInfo(si.op);
         bool endGroup = false;
         if (info.isCondBranch) {
             fi.histAtPred = bpred_.history(tid);
@@ -197,17 +280,19 @@ Core::fetch(Cycle now)
 void
 Core::rename(Cycle now)
 {
-    for (ThreadCtx &t : threads_)
-        t.renameStall = StallReason::Empty;
+    for (ThreadId tid : activeTids_)
+        threads_[tid].renameStall = StallReason::Empty;
 
     uint32_t width = cfg_.renameWidth;
-    for (uint32_t k = 0; k < threads_.size() && width > 0; k++) {
-        uint32_t tid = (renameRr_ + k) % threads_.size();
+    size_t nAct = activeTids_.size();
+    size_t start = rrStart(renameRr_);
+    for (size_t j = 0; j < nAct && width > 0; j++) {
+        ThreadId tid = activeTids_[(start + j) % nAct];
         ThreadCtx &t = threads_[tid];
-        if (!t.active || t.halted)
+        if (t.halted)
             continue;
         while (width > 0) {
-            StallReason st = renameOne(static_cast<ThreadId>(tid), now);
+            StallReason st = renameOne(tid, now);
             t.renameStall = st;
             if (st != StallReason::None)
                 break;
@@ -225,7 +310,33 @@ Core::renameOne(ThreadId tid, Cycle now)
         return StallReason::Empty;
     const FetchedInst &fi = t.fetchQ.front();
     const Instr &si = *fi.si;
-    const OpInfo &info = opInfo(si.op);
+    const OpInfo &info = *fi.info;
+
+    // Queue-stall fast path: the gates are a pure function of the
+    // instruction, the (static) queue maps, the state of the queues the
+    // instruction touches, the register budget (only when the stall was
+    // budget-bound), and -- for skiptc's oldest-instruction drain --
+    // the ROB occupancy. While a stalled instruction's key is
+    // unchanged, the recorded outcome (including the stat bump) is
+    // exactly what re-running the gates would do.
+    if (t.stallMemo != StallReason::None && t.stallSi == fi.si &&
+        t.stallPc == fi.pc && t.stallRobSize == t.rob.size() &&
+        (!t.stallNeedRegs || t.stallRegsVersion == qrm_.regsVersion())) {
+        bool hit = true;
+        for (uint8_t i = 0; i < t.stallNq; i++) {
+            if (qrm_.version(t.stallQs[i]) != t.stallQv[i]) {
+                hit = false;
+                break;
+            }
+        }
+        if (hit) {
+            if (t.stallMemo == StallReason::QueueEmpty)
+                stats_.queueEmptyStalls++;
+            else
+                stats_.queueFullStalls++;
+            return t.stallMemo;
+        }
+    }
 
     // ---- Classify operands.
     ArchRegId srcRegs[3];
@@ -240,6 +351,54 @@ Core::renameOne(ThreadId tid, Cycle now)
     bool isPeek = si.op == Op::PEEK;
     bool isSkip = si.op == Op::SKIPTC;
 
+    // Record a queue stall in the memo: snapshot the versions of every
+    // queue the gates may consult for this instruction (a superset of
+    // those actually consulted is safe -- it only costs extra misses).
+    auto queueStall = [&](StallReason r) {
+        if (r == StallReason::QueueEmpty)
+            stats_.queueEmptyStalls++;
+        else
+            stats_.queueFullStalls++;
+        t.stallMemo = r;
+        t.stallSi = fi.si;
+        t.stallPc = fi.pc;
+        t.stallRobSize = t.rob.size();
+        uint8_t nq = 0;
+        for (int i = 0; i < nsrcRegs; i++) {
+            if (t.mapDir[srcRegs[i]] == 0) {
+                t.stallQs[nq] = t.mapQ[srcRegs[i]];
+                t.stallQv[nq] = qrm_.version(t.stallQs[nq]);
+                nq++;
+            }
+        }
+        if (isPeek || isSkip) {
+            t.stallQs[nq] = t.mapQ[si.rs1];
+            t.stallQv[nq] = qrm_.version(t.stallQs[nq]);
+            nq++;
+        }
+        bool needRegs = false;
+        if (info.writesRd && si.rd != reg::ZERO && t.mapDir[si.rd] == 1) {
+            QueueId q = t.mapQ[si.rd];
+            t.stallQs[nq] = q;
+            t.stallQv[nq] = qrm_.version(q);
+            nq++;
+            // canEnqueueSpec also reads the shared register budget; a
+            // capacity-bound stall stays a stall no matter how the
+            // budget moves, so only budget-bound stalls key on it.
+            needRegs = r == StallReason::QueueFull && !qrm_.enqueueFull(q);
+        }
+        t.stallNq = nq;
+        t.stallNeedRegs = needRegs;
+        t.stallRegsVersion = qrm_.regsVersion();
+        return r;
+    };
+
+    QueueId trapQueue = INVALID_QUEUE;
+    bool enq = false;
+    bool enqTrap = false;
+    Qrm::CtrlScan scan;
+    if (!fi.queueFree) {
+
     // ---- Gate 1: every dequeue source needs a committed entry.
     for (int i = 0; i < nsrcRegs; i++) {
         ArchRegId r = srcRegs[i];
@@ -252,23 +411,18 @@ Core::renameOne(ThreadId tid, Cycle now)
                              t.mapQ[srcRegs[j]] == t.mapQ[r],
                          "instruction dequeues queue twice at pc ", fi.pc);
             }
-            if (!qrm_.canDequeueSpec(t.mapQ[r])) {
-                stats_.queueEmptyStalls++;
-                return StallReason::QueueEmpty;
-            }
+            if (!qrm_.canDequeueSpec(t.mapQ[r]))
+                return queueStall(StallReason::QueueEmpty);
         }
     }
     if (isPeek || isSkip) {
         panic_if(t.mapDir[si.rs1] != 0, "peek/skiptc on non-input reg at "
                  "pc ", fi.pc, " in '", t.prog->name(), "'");
     }
-    if (isPeek && !qrm_.canDequeueSpec(t.mapQ[si.rs1])) {
-        stats_.queueEmptyStalls++;
-        return StallReason::QueueEmpty;
-    }
+    if (isPeek && !qrm_.canDequeueSpec(t.mapQ[si.rs1]))
+        return queueStall(StallReason::QueueEmpty);
 
     // ---- Gate 2: control value at the head of a dequeue source?
-    QueueId trapQueue = INVALID_QUEUE;
     for (int i = 0; i < nsrcRegs && trapQueue == INVALID_QUEUE; i++) {
         ArchRegId r = srcRegs[i];
         if (t.mapDir[r] == 0 && qrm_.headCtrl(t.mapQ[r]))
@@ -280,26 +434,22 @@ Core::renameOne(ThreadId tid, Cycle now)
     }
 
     // ---- Gate 3: destination enqueue conditions.
-    bool enq = info.writesRd && si.rd != reg::ZERO &&
-               t.mapDir[si.rd] == 1;
+    enq = info.writesRd && si.rd != reg::ZERO && t.mapDir[si.rd] == 1;
     panic_if(info.writesRd && si.rd != reg::ZERO && t.mapDir[si.rd] == 0,
              "write to input-mapped r", static_cast<int>(si.rd),
              " at pc ", fi.pc);
     panic_if(si.op == Op::ENQC && !enq,
              "enqc destination not output-mapped at pc ", fi.pc);
-    bool enqTrap = false;
     if (enq && trapQueue == INVALID_QUEUE) {
         QueueId q = t.mapQ[si.rd];
         if (qrm_.skipArmed(q) && si.op != Op::ENQC) {
             enqTrap = true;
         } else if (!qrm_.canEnqueueSpec(q)) {
-            stats_.queueFullStalls++;
-            return StallReason::QueueFull;
+            return queueStall(StallReason::QueueFull);
         }
     }
 
     // ---- skiptc: find a control value among committed entries.
-    Qrm::CtrlScan scan;
     if (isSkip && trapQueue == INVALID_QUEUE && !enqTrap) {
         QueueId q = t.mapQ[si.rs1];
         scan = qrm_.scanForCtrl(q);
@@ -323,10 +473,11 @@ Core::renameOne(ThreadId tid, Cycle now)
                 if (!qrm_.hasInflightCtrl(q))
                     qrm_.armSkip(q);
             }
-            stats_.queueEmptyStalls++;
-            return StallReason::QueueEmpty;
+            return queueStall(StallReason::QueueEmpty);
         }
     }
+
+    } // if (!fi.queueFree)
 
     // ---- Effective micro-op and resource requirements.
     Op effOp = si.op;
@@ -357,9 +508,19 @@ Core::renameOne(ThreadId tid, Cycle now)
         return StallReason::Resource;
     if (prf_.numFree() < static_cast<uint32_t>(ndest))
         return StallReason::Resource;
+    if (pool_.numFree() == 0) {
+        stats_.dynInstPoolStalls++;
+        return StallReason::Resource;
+    }
+    bool needsCkpt = effOp == si.op &&
+                     (info.isCondBranch || info.isIndirectJump);
+    if (needsCkpt && ckptArena_.numFree() == 0) {
+        stats_.checkpointStalls++;
+        return StallReason::Resource;
+    }
 
     // ---- Commit point of rename: build the DynInst and mutate state.
-    auto inst = std::make_shared<DynInst>();
+    DynInstPtr inst(pool_.tryAcquire());
     inst->seq = ++seqCtr_;
     inst->tid = tid;
     inst->pc = fi.pc;
@@ -455,11 +616,11 @@ Core::renameOne(ThreadId tid, Cycle now)
             }
         }
 
-        // Branch checkpoint.
+        // Branch checkpoint (arena slot reserved above).
         if (inst->isCondBranch || inst->isIndirect) {
-            inst->checkpoint =
-                std::make_unique<std::array<PhysRegId, NUM_ARCH_REGS>>(
-                    t.renameMap);
+            inst->checkpoint = ckptArena_.alloc();
+            inst->ckptArena = &ckptArena_;
+            *inst->checkpoint = t.renameMap;
         }
     }
 
@@ -476,7 +637,21 @@ Core::renameOne(ThreadId tid, Cycle now)
         t.loadQ.push_back(inst);
     if (inst->isStore)
         t.storeQ.push_back(inst);
-    iq_.push_back(inst);
+
+    // Enter the issue queue: ready entries go straight to eligible_
+    // (rename order == age order); the rest sleep on the waiter list of
+    // each unready source until its ready transition wakes them.
+    uint32_t waits = 0;
+    for (int s = 0; s < inst->nsrc; s++) {
+        PhysRegId r = inst->srcs[s];
+        if (!prf_.isReady(r)) {
+            regWaiters_[r].push_back(IqWaiter{inst.get(), inst->seq});
+            waits++;
+        }
+    }
+    inst->waitCnt = static_cast<uint8_t>(waits);
+    if (waits == 0)
+        eligible_.push_back(inst);
     inst->inIQ = true;
     iqOccupancy_++;
     return StallReason::None;
@@ -568,8 +743,8 @@ Core::tryExecuteLoad(const DynInstPtr &inst, Cycle now)
     // Conservative memory dependences: all older same-thread stores must
     // have known addresses; forward only on exact matches.
     const DynInstPtr *fwd = nullptr;
-    for (auto it = t.storeQ.rbegin(); it != t.storeQ.rend(); ++it) {
-        const DynInstPtr &s = *it;
+    for (size_t k = t.storeQ.size(); k-- > 0;) {
+        const DynInstPtr &s = t.storeQ[k];
         if (s->seq > inst->seq)
             continue;
         if (!s->addrReady)
@@ -771,32 +946,57 @@ Core::executeInst(const DynInstPtr &inst, Cycle now)
 void
 Core::issue(Cycle now)
 {
-    // Compact squashed/issued entries and issue in age order.
+    // Drain ready transitions accumulated since the last scan and wake
+    // the sleeping consumers of each register. The wakeup entries carry
+    // the seq recorded at rename; a mismatch means the pool slot was
+    // recycled (squash) and the entry is stale.
+    std::vector<PhysRegId> &readyLog = prf_.readyLog();
+    for (PhysRegId r : readyLog) {
+        std::vector<IqWaiter> &ws = regWaiters_[r];
+        for (const IqWaiter &wt : ws) {
+            DynInst *di = wt.inst;
+            if (di->seq != wt.seq || di->squashed || !di->inIQ)
+                continue;
+            if (--di->waitCnt == 0)
+                wokenBuf_.push_back(DynInstPtr(di));
+        }
+        ws.clear();
+    }
+    readyLog.clear();
+
+    // Merge the woken entries into the age-ordered eligible list so
+    // issue order matches a full age-ordered scan exactly.
+    if (!wokenBuf_.empty()) {
+        std::sort(wokenBuf_.begin(), wokenBuf_.end(),
+                  [](const DynInstPtr &a, const DynInstPtr &b) {
+                      return a->seq < b->seq;
+                  });
+        mergeBuf_.clear();
+        std::merge(std::make_move_iterator(eligible_.begin()),
+                   std::make_move_iterator(eligible_.end()),
+                   std::make_move_iterator(wokenBuf_.begin()),
+                   std::make_move_iterator(wokenBuf_.end()),
+                   std::back_inserter(mergeBuf_),
+                   [](const DynInstPtr &a, const DynInstPtr &b) {
+                       return a->seq < b->seq;
+                   });
+        eligible_.swap(mergeBuf_);
+        wokenBuf_.clear();
+    }
+
+    // Compact squashed/issued entries and issue in age order. All
+    // entries here have ready sources (readiness never reverts while an
+    // instruction is in flight).
     size_t w = 0;
     bool mispredicted = false;
-    for (size_t i = 0; i < iq_.size(); i++) {
-        const DynInstPtr &inst = iq_[i];
+    for (size_t i = 0; i < eligible_.size(); i++) {
+        const DynInstPtr &inst = eligible_[i];
         // undoRename already cleared inIQ for squashed entries.
         if (inst->squashed || inst->issued || !inst->inIQ)
             continue; // drop from IQ
         if (mispredicted || issuedThisCycle_ >= cfg_.issueWidth) {
             if (w != i)
-                iq_[w] = std::move(iq_[i]);
-            w++;
-            continue;
-        }
-
-        // Source readiness.
-        bool ready = true;
-        for (int s = 0; s < inst->nsrc; s++) {
-            if (!prf_.isReady(inst->srcs[s])) {
-                ready = false;
-                break;
-            }
-        }
-        if (!ready) {
-            if (w != i)
-                iq_[w] = std::move(iq_[i]);
+                eligible_[w] = std::move(eligible_[i]);
             w++;
             continue;
         }
@@ -824,7 +1024,7 @@ Core::issue(Cycle now)
         }
         if (!fuOk) {
             if (w != i)
-                iq_[w] = std::move(iq_[i]);
+                eligible_[w] = std::move(eligible_[i]);
             w++;
             continue;
         }
@@ -832,7 +1032,7 @@ Core::issue(Cycle now)
         if (!executeInst(inst, now)) {
             // Deferred (LSQ or at-head constraints).
             if (w != i)
-                iq_[w] = std::move(iq_[i]);
+                eligible_[w] = std::move(eligible_[i]);
             w++;
             continue;
         }
@@ -864,7 +1064,7 @@ Core::issue(Cycle now)
                 mispredicted = true;
         }
     }
-    iq_.resize(w);
+    eligible_.resize(w);
 }
 
 void
@@ -936,20 +1136,25 @@ void
 Core::commit(Cycle now)
 {
     uint32_t budget = cfg_.commitWidth;
-    for (uint32_t k = 0; k < threads_.size() && budget > 0; k++) {
-        uint32_t tid = (commitRr_ + k) % threads_.size();
+    size_t nAct = activeTids_.size();
+    size_t start = rrStart(commitRr_);
+    for (size_t j = 0; j < nAct && budget > 0; j++) {
+        ThreadId tid = activeTids_[(start + j) % nAct];
         ThreadCtx &t = threads_[tid];
-        if (!t.active || t.halted)
+        if (t.halted)
             continue;
         while (budget > 0 && !t.rob.empty()) {
-            DynInstPtr inst = t.rob.front();
+            // Raw pointer: the ROB keeps the instruction alive until
+            // pop_front below, and copying the handle every attempt is
+            // measurable refcount churn.
+            DynInst *inst = t.rob.front().get();
             if (!inst->executed)
                 break;
             if (inst->isStore) {
                 if (t.storeBuffer.size() >= cfg_.storeBufferEntries)
                     break;
                 mem_->write(inst->memAddr, inst->memSize, inst->storeData);
-                t.storeBuffer.emplace_back(inst->memAddr, inst->memSize);
+                t.storeBuffer.push_back({inst->memAddr, inst->memSize});
                 stats_.stores++;
             }
             if (inst->isLoad)
@@ -977,12 +1182,12 @@ Core::commit(Cycle now)
                 }
             }
             if (inst->isLoad || inst->isAtomic) {
-                panic_if(t.loadQ.empty() || t.loadQ.front() != inst,
+                panic_if(t.loadQ.empty() || t.loadQ.front().get() != inst,
                          "loadQ out of sync");
                 t.loadQ.pop_front();
             }
             if (inst->isStore) {
-                panic_if(t.storeQ.empty() || t.storeQ.front() != inst,
+                panic_if(t.storeQ.empty() || t.storeQ.front().get() != inst,
                          "storeQ out of sync");
                 t.storeQ.pop_front();
             }
@@ -995,14 +1200,15 @@ Core::commit(Cycle now)
                                  ? inst->si->toString().c_str()
                                  : opInfo(inst->op).name);
             }
-            t.rob.pop_front();
+            bool isHalt = inst->op == Op::HALT;
+            t.rob.pop_front(); // may release `inst` back to the pool
             budget--;
             stats_.committedInstrs++;
             if (tid < 8)
                 stats_.committedPerThread[tid]++;
             t.instrsCommitted++;
             lastCommit_ = now;
-            if (inst->op == Op::HALT) {
+            if (isHalt) {
                 t.halted = true;
                 break;
             }
@@ -1014,7 +1220,8 @@ Core::commit(Cycle now)
 void
 Core::drainStoreBuffers(Cycle now)
 {
-    for (ThreadCtx &t : threads_) {
+    for (ThreadId tid : activeTids_) {
+        ThreadCtx &t = threads_[tid];
         if (t.storeBuffer.empty())
             continue;
         if (!tryUseMemPort())
@@ -1039,8 +1246,9 @@ Core::accountCpi(Cycle now)
         bool allQueue = true;
         bool anyQueue = false;
         bool anyBackend = false;
-        for (const ThreadCtx &t : threads_) {
-            if (!t.active || t.halted)
+        for (ThreadId tid : activeTids_) {
+            const ThreadCtx &t = threads_[tid];
+            if (t.halted)
                 continue;
             anyActive = true;
             bool queueStall = t.renameStall == StallReason::QueueEmpty ||

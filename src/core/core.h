@@ -26,7 +26,6 @@
 #ifndef PIPETTE_CORE_CORE_H
 #define PIPETTE_CORE_CORE_H
 
-#include <deque>
 #include <memory>
 #include <set>
 #include <vector>
@@ -66,6 +65,10 @@ class Core
     const CoreStats &stats() const { return stats_; }
     Qrm &qrm() { return qrm_; }
     PhysRegFile &prf() { return prf_; }
+    /** In-flight instruction pool (host-perf instrumentation). */
+    const DynInstPool &dynInstPool() const { return pool_; }
+    /** Rename-checkpoint arena (host-perf instrumentation). */
+    const CheckpointArena &checkpointArena() const { return ckptArena_; }
 
     /** Claim a data-cache port this cycle (shared with RAs). */
     bool tryUseMemPort();
@@ -98,10 +101,18 @@ class Core
     {
         Addr pc;
         const Instr *si;
+        const OpInfo *info; ///< cached opInfo(si->op)
         Cycle readyCycle;
         bool predTaken = false;
         Addr predTarget = 0;
         uint64_t histAtPred = 0;
+        /**
+         * No operand register is queue-mapped (and the op is not a
+         * Pipette op), so the rename queue gates are no-ops. The queue
+         * maps are fixed per thread, so this is known at fetch; rename
+         * uses it to skip the gate checks entirely.
+         */
+        bool queueFree = false;
     };
 
     enum class StallReason : uint8_t
@@ -126,15 +137,38 @@ class Core
         std::array<PhysRegId, NUM_ARCH_REGS> renameMap;
         std::array<int8_t, NUM_ARCH_REGS> mapDir;  // -1 none, 0 in, 1 out
         std::array<QueueId, NUM_ARCH_REGS> mapQ;
-        std::deque<FetchedInst> fetchQ;
-        std::deque<DynInstPtr> rob;
-        std::deque<DynInstPtr> loadQ;
-        std::deque<DynInstPtr> storeQ;
-        std::deque<std::pair<Addr, uint8_t>> storeBuffer; // post-commit
+        /** Per-PC: no operand is queue-mapped (precomputed at
+         *  configure(); the maps and program are fixed by then). */
+        std::vector<uint8_t> queueFreeByPc;
+        // Fixed-capacity rings, sized at configure() (see BoundedDeque:
+        // the pipeline queues must not touch the heap in steady state).
+        BoundedDeque<FetchedInst> fetchQ;
+        BoundedDeque<DynInstPtr> rob;
+        BoundedDeque<DynInstPtr> loadQ;
+        BoundedDeque<DynInstPtr> storeQ;
+        BoundedDeque<std::pair<Addr, uint8_t>> storeBuffer; // post-commit
         /** Sequence numbers of in-flight FENCEs (younger loads wait). */
         std::set<uint64_t> pendingFences;
         StallReason renameStall = StallReason::Empty;
         uint64_t instrsCommitted = 0;
+        /**
+         * Queue-stall memo: when rename stalled on QueueEmpty/QueueFull,
+         * the outcome can only change if one of the queues the gates
+         * consult mutates (per-queue QRM version), the shared register
+         * budget moves (only when the stall was budget-bound), or, for
+         * skiptc's oldest-instruction drain, the ROB occupancy changes.
+         * Retry cycles with an unchanged key return the memoized reason
+         * without re-running the gates.
+         */
+        StallReason stallMemo = StallReason::None;
+        const Instr *stallSi = nullptr;
+        Addr stallPc = 0;
+        uint64_t stallRobSize = 0;
+        uint8_t stallNq = 0;
+        bool stallNeedRegs = false;
+        std::array<QueueId, 4> stallQs;
+        std::array<uint64_t, 4> stallQv;
+        uint64_t stallRegsVersion = 0;
     };
 
     // Pipeline stages
@@ -147,6 +181,22 @@ class Core
 
     /** Rename a single instruction; returns the stall reason. */
     StallReason renameOne(ThreadId tid, Cycle now);
+
+    /**
+     * Index into activeTids_ where a round-robin walk with counter `rr`
+     * starts. Walking activeTids_ cyclically from here visits the same
+     * threads in the same order as the former `(rr + k) % smtThreads`
+     * scan over every SMT slot restricted to active threads.
+     */
+    size_t
+    rrStart(uint32_t rr) const
+    {
+        uint32_t pivot = rr % static_cast<uint32_t>(threads_.size());
+        for (size_t i = 0; i < activeTids_.size(); i++)
+            if (activeTids_[i] >= pivot)
+                return i;
+        return 0;
+    }
 
     // Execution helpers
     bool executeInst(const DynInstPtr &inst, Cycle now);
@@ -177,19 +227,46 @@ class Core
     MemoryHierarchy *hier_;
     EventQueue *eq_;
 
+    // Fixed-capacity backing stores for the allocation-free rename
+    // path. Declared before every container of DynInstPtr so they are
+    // destroyed after the last handle drops.
+    CheckpointArena ckptArena_;
+    DynInstPool pool_;
+
     std::array<std::vector<WbEntry>, WB_RING> wbRing_;
 
     PhysRegFile prf_;
     Qrm qrm_;
     BranchPredictor bpred_;
     std::vector<ThreadCtx> threads_;
-    std::vector<DynInstPtr> iq_;
+
+    /**
+     * Issue queue, wakeup-driven. Entries whose sources are all ready
+     * sit in eligible_ in age order; entries with unready sources sleep
+     * on the per-register waiter lists and are moved to eligible_ when
+     * the register's ready transition is drained from the PRF ready
+     * log. issue() therefore scans only issue candidates instead of
+     * polling every in-flight instruction each cycle.
+     */
+    std::vector<DynInstPtr> eligible_;
+    /** A sleeping entry; seq detects stale pointers to recycled slots. */
+    struct IqWaiter
+    {
+        DynInst *inst;
+        uint64_t seq;
+    };
+    std::vector<std::vector<IqWaiter>> regWaiters_;
+    std::vector<DynInstPtr> wokenBuf_; ///< woken this cycle (scratch)
+    std::vector<DynInstPtr> mergeBuf_; ///< merge scratch
 
     // Partitioned sizes (set at configure()).
     uint32_t robPerThread_ = 0;
     uint32_t lqPerThread_ = 0;
     uint32_t sqPerThread_ = 0;
     uint32_t numActive_ = 0;
+    /** Active thread ids, ascending; the per-cycle stage loops walk
+     *  this instead of every SMT slot. */
+    std::vector<ThreadId> activeTids_;
 
     uint64_t seqCtr_ = 0;
     uint32_t iqOccupancy_ = 0;

@@ -1,19 +1,31 @@
 /**
  * @file
  * Dynamic (in-flight) instruction state for the out-of-order core.
+ *
+ * DynInsts are pool-managed: the core acquires one from a fixed
+ * free-list pool at rename and PooledPtr references keep it alive in
+ * the ROB, load/store queues, issue queue, and in-flight completion
+ * callbacks. The last reference drop returns it (and its rename-map
+ * checkpoint, if any) to the pool/arena, so the steady-state rename ->
+ * commit path never touches the host heap.
  */
 
 #ifndef PIPETTE_CORE_DYN_INST_H
 #define PIPETTE_CORE_DYN_INST_H
 
 #include <array>
-#include <memory>
-#include <vector>
 
 #include "isa/instr.h"
+#include "sim/pool.h"
 #include "sim/types.h"
 
 namespace pipette {
+
+/** Rename-map snapshot taken at branches and indirect jumps. */
+using RenameCheckpoint = std::array<PhysRegId, NUM_ARCH_REGS>;
+
+/** Fixed arena of checkpoint slots, bounded by in-flight branches. */
+using CheckpointArena = SlotArena<RenameCheckpoint>;
 
 /** One in-flight instruction. */
 struct DynInst
@@ -57,8 +69,8 @@ struct DynInst
     bool clearedSkip = false;
     /** skiptc: total entries consumed speculatively (discards + CV). */
     uint32_t skipConsumed = 0;
-    /** Rename-map checkpoint (branches and indirect jumps). */
-    std::unique_ptr<std::array<PhysRegId, NUM_ARCH_REGS>> checkpoint;
+    /** Rename-map checkpoint slot (branches and indirect jumps). */
+    RenameCheckpoint *checkpoint = nullptr;
 
     // --- Trap payload (CVTRAP / ENQTRAP) ---
     uint64_t cvQid = 0;
@@ -66,6 +78,8 @@ struct DynInst
 
     // --- Execution state ---
     bool inIQ = false;
+    /** Unready sources; the entry sleeps on wakeup lists until zero. */
+    uint8_t waitCnt = 0;
     bool issued = false;
     bool executed = false;
     bool squashed = false;
@@ -84,9 +98,27 @@ struct DynInst
     bool isLoad = false;
     bool isStore = false;
     bool isAtomic = false;
+
+    // --- Pool management (see sim/pool.h) ---
+    uint32_t poolRefs = 0;
+    ObjectPool<DynInst> *poolOwner = nullptr;
+    /** Arena the checkpoint came from (set when checkpoint is taken). */
+    CheckpointArena *ckptArena = nullptr;
+
+    /** Return external resources and restore default state (pool hook). */
+    void
+    poolReset()
+    {
+        if (checkpoint)
+            ckptArena->free(checkpoint);
+        ObjectPool<DynInst> *owner = poolOwner;
+        *this = DynInst{};
+        poolOwner = owner;
+    }
 };
 
-using DynInstPtr = std::shared_ptr<DynInst>;
+using DynInstPool = ObjectPool<DynInst>;
+using DynInstPtr = PooledPtr<DynInst>;
 
 } // namespace pipette
 

@@ -11,6 +11,13 @@ System::System(const SystemConfig &cfg)
     }
 }
 
+System::~System()
+{
+    // Pending events hold handles into the cores' DynInst pools; drop
+    // them while the cores (declared after eq_) are still alive.
+    eq_.clear();
+}
+
 void
 System::configure(const MachineSpec &spec)
 {
@@ -94,6 +101,45 @@ System::run()
     return res;
 }
 
+System::RunResult
+System::runFor(Cycle n)
+{
+    panic_if(!configured_, "System::runFor before configure");
+    RunResult res;
+    Cycle stop = stepNow_ + n;
+    while (stepNow_ < stop) {
+        stepNow_++;
+        eq_.runUntil(stepNow_);
+        bool allHalted = true;
+        for (auto &core : cores_) {
+            core->tick(stepNow_);
+            allHalted &= core->allHalted();
+        }
+        for (auto &ra : ras_)
+            ra->tick(stepNow_);
+        for (auto &conn : connectors_)
+            conn->tick(stepNow_);
+
+        if (allHalted) {
+            res.finished = true;
+            break;
+        }
+        for (auto &core : cores_)
+            stepLastProgress_ =
+                std::max(stepLastProgress_, core->lastCommitCycle());
+        if (stepNow_ - stepLastProgress_ > cfg_.watchdogCycles) {
+            res.deadlock = true;
+            break;
+        }
+        if (cfg_.maxCycles && stepNow_ >= cfg_.maxCycles)
+            break;
+    }
+    res.cycles = stepNow_;
+    for (auto &core : cores_)
+        res.instrs += core->stats().committedInstrs;
+    return res;
+}
+
 CoreStats
 System::aggregateCoreStats() const
 {
@@ -118,6 +164,8 @@ System::aggregateCoreStats() const
         agg.skipDiscards += s.skipDiscards;
         agg.queueFullStalls += s.queueFullStalls;
         agg.queueEmptyStalls += s.queueEmptyStalls;
+        agg.dynInstPoolStalls += s.dynInstPoolStalls;
+        agg.checkpointStalls += s.checkpointStalls;
         agg.regReads += s.regReads;
         agg.regWrites += s.regWrites;
         agg.raAccesses += s.raAccesses;

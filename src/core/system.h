@@ -25,6 +25,7 @@ class System
 {
   public:
     explicit System(const SystemConfig &cfg);
+    ~System();
 
     /** Functional memory (populate before configure/run). */
     SimMemory &memory() { return mem_; }
@@ -42,6 +43,14 @@ class System
 
     /** Run to completion (or watchdog / maxCycles). */
     RunResult run();
+
+    /**
+     * Resumable variant of run() for host-instrumentation tests:
+     * advance at most `n` further cycles, then return. Call repeatedly;
+     * `finished` is set once every thread halts. Do not mix with run()
+     * on the same System.
+     */
+    RunResult runFor(Cycle n);
 
     Core &core(CoreId c) { return *cores_[c]; }
     uint32_t numCores() const { return static_cast<uint32_t>(cores_.size()); }
@@ -62,6 +71,8 @@ class System
     std::vector<std::unique_ptr<RefAccel>> ras_;
     std::vector<std::unique_ptr<Connector>> connectors_;
     bool configured_ = false;
+    Cycle stepNow_ = 0;          ///< runFor() cursor
+    Cycle stepLastProgress_ = 0; ///< runFor() watchdog cursor
 };
 
 } // namespace pipette

@@ -51,7 +51,9 @@ amo(const char *name, bool reads_rd, uint8_t bytes = 8)
 }
 
 // Order must match enum class Op.
-constexpr std::array<OpInfo, static_cast<size_t>(Op::NUM_OPS)> table = {{
+} // namespace
+
+const OpInfo opInfoTable[static_cast<size_t>(Op::NUM_OPS)] = {
     alu("add"), alu("sub"),
     {"mul", FuType::Mul, true, true, false, true,
      false, false, false, false, false, false, false, 0, 3},
@@ -110,15 +112,7 @@ constexpr std::array<OpInfo, static_cast<size_t>(Op::NUM_OPS)> table = {{
     // ENQTRAP: internal; writes cvqid/cvret and redirects fetch.
     {"enqtrap", FuType::Alu, false, false, false, false,
      false, false, false, false, false, false, false, 0, 1},
-}};
-
-} // namespace
-
-const OpInfo &
-opInfo(Op op)
-{
-    return table[static_cast<size_t>(op)];
-}
+};
 
 uint64_t
 evalAlu(Op op, uint64_t a, uint64_t b)

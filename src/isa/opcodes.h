@@ -17,6 +17,7 @@
 #ifndef PIPETTE_ISA_OPCODES_H
 #define PIPETTE_ISA_OPCODES_H
 
+#include <cstddef>
 #include <cstdint>
 
 namespace pipette {
@@ -70,8 +71,16 @@ struct OpInfo
     uint8_t latency;  ///< fixed execute latency (memory ops use caches)
 };
 
-/** Look up metadata for an opcode. */
-const OpInfo &opInfo(Op op);
+/** Static metadata table, indexed by Op (defined in opcodes.cpp). */
+extern const OpInfo opInfoTable[static_cast<size_t>(Op::NUM_OPS)];
+
+/** Look up metadata for an opcode. Inline: this sits on the per-cycle
+ *  fetch/rename/issue paths of the core model. */
+inline const OpInfo &
+opInfo(Op op)
+{
+    return opInfoTable[static_cast<size_t>(op)];
+}
 
 /** Evaluate an ALU op (imm forms receive the immediate as b). */
 uint64_t evalAlu(Op op, uint64_t a, uint64_t b);

@@ -144,9 +144,9 @@ MemoryHierarchy::access(CoreId core, Addr addr, bool isWrite, Cycle now,
         done = now + cfg_.l1d.latency;
         // A "hit" on a line whose fill is still in flight completes no
         // earlier than the fill.
-        auto it = pc.inflightLines.find(lineAddr);
-        if (it != pc.inflightLines.end() && it->second > done)
-            done = it->second;
+        Cycle fill = pc.inflightLines.lookup(lineAddr);
+        if (fill > done)
+            done = fill;
         // A write to a line not exclusively owned must still reach the
         // L3 directory; approximate by an async ownership probe.
         if (isWrite) {
@@ -167,19 +167,15 @@ MemoryHierarchy::access(CoreId core, Addr addr, bool isWrite, Cycle now,
         }
     } else {
         pc.l1Stats.misses++;
-        auto it = pc.inflightLines.find(lineAddr);
-        if (it != pc.inflightLines.end() && it->second > now) {
+        Cycle fill = pc.inflightLines.lookup(lineAddr);
+        if (fill > now) {
             // Coalesce with the in-flight miss to the same line.
-            done = it->second;
+            done = fill;
         } else {
             Cycle start = pc.l1Mshrs.admit(now + cfg_.l1d.latency);
             done = accessBelowL1(core, lineAddr, isWrite, start, false);
             pc.l1Mshrs.track(done);
-            pc.inflightLines[lineAddr] = done;
-            if (pc.inflightLines.size() > 4096)
-                std::erase_if(pc.inflightLines, [now](const auto &kv) {
-                    return kv.second <= now;
-                });
+            pc.inflightLines.insert(lineAddr, done, now);
             auto ins = pc.l1->insert(lineAddr, isWrite, false);
             if (ins.evictedDirty)
                 pc.l1Stats.writebacks++;
@@ -200,14 +196,13 @@ MemoryHierarchy::prefetchLine(CoreId core, uint64_t lineAddr, Cycle now)
     PerCore &pc = perCore_[core];
     if (pc.l1->lookup(lineAddr, false))
         return;
-    auto it = pc.inflightLines.find(lineAddr);
-    if (it != pc.inflightLines.end() && it->second > now)
+    if (pc.inflightLines.lookup(lineAddr) > now)
         return;
     pc.l1Stats.prefetches++;
     Cycle start = pc.l1Mshrs.admit(now + cfg_.l1d.latency);
     Cycle done = accessBelowL1(core, lineAddr, false, start, true);
     pc.l1Mshrs.track(done);
-    pc.inflightLines[lineAddr] = done;
+    pc.inflightLines.insert(lineAddr, done, now);
     auto ins = pc.l1->insert(lineAddr, false, true);
     if (ins.evictedDirty)
         pc.l1Stats.writebacks++;

@@ -14,10 +14,8 @@
 #ifndef PIPETTE_MEM_HIERARCHY_H
 #define PIPETTE_MEM_HIERARCHY_H
 
-#include <functional>
 #include <memory>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/cache.h"
@@ -28,11 +26,124 @@
 
 namespace pipette {
 
+/**
+ * Open-addressing map from line address to the completion cycle of the
+ * in-flight miss to that line, with preallocated storage. Every reader
+ * compares the stored cycle against `now`, so an expired entry
+ * (completion <= now) is semantically absent; insertion therefore
+ * reuses expired slots in place of tombstones, and the periodic
+ * in-place rebuild drops them outright. The node-per-miss churn of the
+ * std::unordered_map this replaces was one of the last heap-allocation
+ * sources in the simulation hot loop.
+ *
+ * A slot with val == 0 is empty (completion cycles are always > now at
+ * insertion time, hence nonzero).
+ */
+class InflightLineMap
+{
+  public:
+    InflightLineMap() : slots_(INITIAL_SLOTS), spare_(INITIAL_SLOTS) {}
+
+    /** Completion cycle recorded for the line, or 0 if none. Callers
+     *  must compare against now/done; expired entries may linger. */
+    Cycle
+    lookup(uint64_t key) const
+    {
+        uint64_t i = indexOf(key);
+        while (slots_[i].val != 0) {
+            if (slots_[i].key == key)
+                return slots_[i].val;
+            i = (i + 1) & (slots_.size() - 1);
+        }
+        return 0;
+    }
+
+    /** Record (or refresh) the line's completion cycle `val` (> now). */
+    void
+    insert(uint64_t key, Cycle val, Cycle now)
+    {
+        uint64_t mask = slots_.size() - 1;
+        uint64_t i = indexOf(key);
+        uint64_t reuse = NO_SLOT;
+        while (slots_[i].val != 0) {
+            if (slots_[i].key == key) {
+                slots_[i].val = val;
+                return;
+            }
+            // Remember the first expired slot on the probe chain; it
+            // can hold the new entry without breaking later chains
+            // (the slot stays non-empty, so probing continues past it).
+            if (reuse == NO_SLOT && slots_[i].val <= now)
+                reuse = i;
+            i = (i + 1) & mask;
+        }
+        if (reuse != NO_SLOT)
+            i = reuse;
+        else
+            used_++;
+        slots_[i] = Slot{key, val};
+        if (used_ * 8 > slots_.size() * 5)
+            rebuild(now);
+    }
+
+  private:
+    struct Slot
+    {
+        uint64_t key = 0;
+        Cycle val = 0; ///< 0 = empty slot
+    };
+
+    static constexpr size_t INITIAL_SLOTS = 8192; ///< power of two
+    static constexpr uint64_t NO_SLOT = ~0ull;
+
+    uint64_t
+    indexOf(uint64_t key) const
+    {
+        // Fibonacci mixing: line addresses are near-sequential.
+        return (key * 0x9E3779B97F4A7C15ull) >> shift_;
+    }
+
+    /** Repack live entries into the spare buffer and swap. Runs every
+     *  ~used_/2 insertions at most; no allocation unless the table is
+     *  genuinely full of unexpired entries (bounded by the number of
+     *  misses in flight, far below INITIAL_SLOTS in practice). */
+    void
+    rebuild(Cycle now)
+    {
+        if (used_ * 4 > slots_.size() * 3) {
+            // Pathological: mostly-live table. Grow both buffers.
+            slots_.resize(slots_.size() * 2);
+            spare_.resize(spare_.size() * 2);
+            shift_--;
+        }
+        std::swap(slots_, spare_);
+        for (Slot &s : slots_)
+            s.val = 0;
+        used_ = 0;
+        uint64_t mask = slots_.size() - 1;
+        for (const Slot &s : spare_) {
+            if (s.val <= now)
+                continue; // empty or expired
+            uint64_t i = indexOf(s.key);
+            while (slots_[i].val != 0)
+                i = (i + 1) & mask;
+            slots_[i] = s;
+            used_++;
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::vector<Slot> spare_; ///< scratch for allocation-free rebuilds
+    size_t used_ = 0;         ///< non-empty slots (live or expired)
+    uint32_t shift_ = 64 - 13; ///< 64 - log2(slots_.size())
+};
+
 /** The full cache + DRAM timing model. */
 class MemoryHierarchy
 {
   public:
-    using Callback = std::function<void()>;
+    /** Completion callback; inline storage, so scheduling is alloc-free. */
+    using Callback = EventQueue::Callback;
 
     MemoryHierarchy(const MemConfig &cfg, uint32_t numCores,
                     EventQueue *eq);
@@ -90,7 +201,7 @@ class MemoryHierarchy
         CacheStats l1Stats;
         CacheStats l2Stats;
         // Coalescing: completion time of in-flight L1 misses per line.
-        std::unordered_map<uint64_t, Cycle> inflightLines;
+        InflightLineMap inflightLines;
         std::unique_ptr<StreamPrefetcher> prefetcher;
     };
 

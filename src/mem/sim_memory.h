@@ -32,6 +32,18 @@ class SimMemory
     uint64_t
     read(Addr addr, uint32_t size) const
     {
+        // Fast path: the access stays within one page, so one page
+        // lookup covers every byte (the common case by far).
+        if (((addr ^ (addr + size - 1)) >> PAGE_BITS) == 0) {
+            const uint8_t *p = pageFor(addr);
+            if (!p)
+                return 0;
+            const uint8_t *b = p + (addr & (PAGE_SIZE - 1));
+            uint64_t v = 0;
+            for (uint32_t i = 0; i < size; i++)
+                v |= static_cast<uint64_t>(b[i]) << (8 * i);
+            return v;
+        }
         uint64_t v = 0;
         for (uint32_t i = 0; i < size; i++) {
             const uint8_t *p = pageFor(addr + i);
@@ -45,6 +57,12 @@ class SimMemory
     void
     write(Addr addr, uint32_t size, uint64_t val)
     {
+        if (((addr ^ (addr + size - 1)) >> PAGE_BITS) == 0) {
+            uint8_t *b = pageForAlloc(addr) + (addr & (PAGE_SIZE - 1));
+            for (uint32_t i = 0; i < size; i++)
+                b[i] = static_cast<uint8_t>(val >> (8 * i));
+            return;
+        }
         for (uint32_t i = 0; i < size; i++) {
             uint8_t *p = pageForAlloc(addr + i);
             p[(addr + i) & (PAGE_SIZE - 1)] =

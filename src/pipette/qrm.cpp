@@ -19,6 +19,7 @@ void
 Qrm::setCapacity(QueueId q, uint32_t cap)
 {
     Queue &Q = at(q);
+    Q.version++;
     panic_if(Q.specTail != Q.commHead || Q.specHead != Q.commHead,
              "resizing active queue ", static_cast<int>(q));
     fatal_if(cap == 0, "queue capacity must be > 0");
@@ -31,6 +32,7 @@ void
 Qrm::enqueueSpec(QueueId q, PhysRegId reg, bool ctrl)
 {
     Queue &Q = at(q);
+    Q.version++;
     panic_if(!canEnqueueSpec(q), "enqueueSpec on full queue ",
              static_cast<int>(q));
     size_t idx = Q.specTail % Q.cap;
@@ -38,15 +40,18 @@ Qrm::enqueueSpec(QueueId q, PhysRegId reg, bool ctrl)
     Q.ctrl[idx] = ctrl;
     Q.specTail++;
     regsInUse_++;
+    regsVersion_++;
 }
 
 PhysRegId
 Qrm::rollbackEnqueue(QueueId q)
 {
     Queue &Q = at(q);
+    Q.version++;
     panic_if(Q.specTail == Q.commTail, "rollbackEnqueue past commit");
     Q.specTail--;
     regsInUse_--;
+    regsVersion_++;
     return Q.regs[Q.specTail % Q.cap];
 }
 
@@ -54,6 +59,7 @@ void
 Qrm::commitEnqueue(QueueId q)
 {
     Queue &Q = at(q);
+    Q.version++;
     panic_if(Q.commTail == Q.specTail, "commitEnqueue with no spec entry");
     Q.commTail++;
 }
@@ -78,6 +84,7 @@ PhysRegId
 Qrm::dequeueSpec(QueueId q)
 {
     Queue &Q = at(q);
+    Q.version++;
     panic_if(!canDequeueSpec(q), "dequeueSpec on empty queue");
     PhysRegId r = Q.regs[Q.specHead % Q.cap];
     Q.specHead++;
@@ -88,6 +95,7 @@ void
 Qrm::rollbackDequeue(QueueId q)
 {
     Queue &Q = at(q);
+    Q.version++;
     panic_if(Q.specHead == Q.commHead, "rollbackDequeue past commit");
     Q.specHead--;
 }
@@ -96,10 +104,12 @@ PhysRegId
 Qrm::commitDequeue(QueueId q)
 {
     Queue &Q = at(q);
+    Q.version++;
     panic_if(Q.commHead == Q.specHead, "commitDequeue with no spec deq");
     PhysRegId r = Q.regs[Q.commHead % Q.cap];
     Q.commHead++;
     regsInUse_--;
+    regsVersion_++;
     return r;
 }
 
@@ -122,6 +132,7 @@ PhysRegId
 Qrm::dequeueNonSpec(QueueId q, bool *ctrl)
 {
     Queue &Q = at(q);
+    Q.version++;
     panic_if(!canDequeueNonSpec(q), "dequeueNonSpec unavailable");
     size_t idx = Q.commHead % Q.cap;
     PhysRegId r = Q.regs[idx];
@@ -130,6 +141,7 @@ Qrm::dequeueNonSpec(QueueId q, bool *ctrl)
     Q.commHead++;
     Q.specHead++;
     regsInUse_--;
+    regsVersion_++;
     return r;
 }
 
@@ -137,6 +149,7 @@ void
 Qrm::enqueueNonSpec(QueueId q, PhysRegId reg, bool ctrl)
 {
     Queue &Q = at(q);
+    Q.version++;
     panic_if(!canEnqueueNonSpec(q), "enqueueNonSpec on full queue");
     size_t idx = Q.specTail % Q.cap;
     Q.regs[idx] = reg;
@@ -144,6 +157,7 @@ Qrm::enqueueNonSpec(QueueId q, PhysRegId reg, bool ctrl)
     Q.specTail++;
     Q.commTail++;
     regsInUse_++;
+    regsVersion_++;
     if (ctrl)
         Q.skipArmed = false;
 }

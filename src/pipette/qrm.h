@@ -45,6 +45,19 @@ class Qrm
     uint32_t regsInUse() const { return regsInUse_; }
     uint32_t maxRegs() const { return maxRegs_; }
 
+    /**
+     * Monotonic counter bumped by every mutating operation on queue q.
+     * All the rename-gate predicates (canDequeueSpec, headCtrl,
+     * scanForCtrl, skipArmed, ...) read only per-queue state, so a
+     * stalled rename whose queues' versions have not changed must stall
+     * again; the core and the RAs use this to skip re-evaluating the
+     * gates on retry cycles.
+     */
+    uint64_t version(QueueId q) const { return qs_[q].version; }
+    /** Bumped whenever the shared register budget (regsInUse) moves;
+     *  canEnqueueSpec additionally depends on this. */
+    uint64_t regsVersion() const { return regsVersion_; }
+
     // --- Producer (thread, speculative) ---
     bool
     canEnqueueSpec(QueueId q) const
@@ -118,8 +131,18 @@ class Qrm
     }
 
     bool skipArmed(QueueId q) const { return qs_[q].skipArmed; }
-    void armSkip(QueueId q) { qs_[q].skipArmed = true; }
-    void setSkipArmed(QueueId q, bool v) { qs_[q].skipArmed = v; }
+    void
+    armSkip(QueueId q)
+    {
+        qs_[q].skipArmed = true;
+        qs_[q].version++;
+    }
+    void
+    setSkipArmed(QueueId q, bool v)
+    {
+        qs_[q].skipArmed = v;
+        qs_[q].version++;
+    }
 
     // --- Non-speculative agents (RAs, connectors, skiptc drain) ---
     bool
@@ -160,6 +183,7 @@ class Qrm
         std::vector<PhysRegId> regs;
         std::vector<uint8_t> ctrl;
         uint64_t specHead = 0, specTail = 0, commHead = 0, commTail = 0;
+        uint64_t version = 1;
         uint32_t cap = 0;
         bool skipArmed = false;
     };
@@ -182,6 +206,7 @@ class Qrm
     std::vector<Queue> qs_;
     uint32_t maxRegs_;
     uint32_t regsInUse_ = 0;
+    uint64_t regsVersion_ = 1;
 };
 
 } // namespace pipette

@@ -10,11 +10,11 @@ RefAccel::RefAccel(const RaSpec &spec, uint32_t completionBufEntries,
       prf_(prf), mem_(mem), hier_(hier), eq_(eq), stats_(stats),
       ports_(std::move(ports))
 {
+    cb_.init(completionBufEntries);
 }
 
 void
-RefAccel::issueLoad(Addr addr, Cycle now,
-                    const std::shared_ptr<CbEntry> &entry)
+RefAccel::issueLoad(Addr addr, Cycle now, CbEntry *entry)
 {
     SimMemory *mem = mem_;
     uint32_t bytes = spec_.elemBytes;
@@ -28,28 +28,35 @@ RefAccel::issueLoad(Addr addr, Cycle now,
 void
 RefAccel::tick(Cycle now)
 {
+    // Idle fast path: no in-flight work and neither queue has changed
+    // since the last do-nothing tick, so this tick cannot act either.
+    if (idleValid_ && cb_.empty() && !pendingSecond_ && !scanning_ &&
+        idleInV_ == qrm_->version(spec_.inQueue) &&
+        idleOutV_ == qrm_->version(spec_.outQueue))
+        return;
+
     // Propagate a consumer-side skip upstream (see header comment),
     // but only while no control value is already in the path (input
     // queue or completion buffer) -- it would clear the arm on arrival.
     if (qrm_->skipArmed(spec_.outQueue) &&
         !qrm_->skipArmed(spec_.inQueue)) {
         bool ctrlInPath = qrm_->hasAnyCtrl(spec_.inQueue);
-        for (const auto &e : cb_)
-            ctrlInPath |= e->ctrl;
+        for (size_t i = 0; i < cb_.size(); i++)
+            ctrlInPath |= cb_[i].ctrl;
         if (!ctrlInPath)
             qrm_->armSkip(spec_.inQueue);
     }
 
     // 1. Retire completed entries, in order, into the output queue.
     uint32_t retired = 0;
-    while (retired < 2 && !cb_.empty() && cb_.front()->done) {
+    while (retired < 2 && !cb_.empty() && cb_.front().done) {
         if (!qrm_->canEnqueueNonSpec(spec_.outQueue) || prf_->numFree() == 0)
             break;
-        auto &e = cb_.front();
+        const CbEntry &e = cb_.front();
         PhysRegId r = prf_->alloc();
-        prf_->write(r, e->value);
-        qrm_->enqueueNonSpec(spec_.outQueue, r, e->ctrl);
-        if (e->ctrl)
+        prf_->write(r, e.value);
+        qrm_->enqueueNonSpec(spec_.outQueue, r, e.ctrl);
+        if (e.ctrl)
             stats_->raCvForwards++;
         cb_.pop_front();
         retired++;
@@ -62,7 +69,7 @@ RefAccel::tick(Cycle now)
             return;
         issueLoad(pendingAddr_, now, pendingEntry_);
         pendingSecond_ = false;
-        pendingEntry_.reset();
+        pendingEntry_ = nullptr;
         return;
     }
 
@@ -72,17 +79,24 @@ RefAccel::tick(Cycle now)
     if (spec_.mode == RaMode::Scan && scanning_) {
         if (!ports_())
             return;
-        auto entry = std::make_shared<CbEntry>();
-        cb_.push_back(entry);
-        issueLoad(spec_.base + cur_ * spec_.elemBytes, now, entry);
+        cb_.push_back(CbEntry{});
+        issueLoad(spec_.base + cur_ * spec_.elemBytes, now, &cb_.back());
         cur_++;
         if (cur_ >= end_)
             scanning_ = false;
         return;
     }
 
-    if (!qrm_->canDequeueNonSpec(spec_.inQueue))
+    if (!qrm_->canDequeueNonSpec(spec_.inQueue)) {
+        // This tick did nothing and holds no in-flight work: sleep
+        // until one of the queues mutates.
+        if (cb_.empty() && !pendingSecond_ && !scanning_) {
+            idleValid_ = true;
+            idleInV_ = qrm_->version(spec_.inQueue);
+            idleOutV_ = qrm_->version(spec_.outQueue);
+        }
         return;
+    }
 
     bool headCtrl = qrm_->headCtrl(spec_.inQueue);
     if (headCtrl) {
@@ -91,10 +105,10 @@ RefAccel::tick(Cycle now)
                  "control value between scan start and end");
         bool ctrl = false;
         PhysRegId r = qrm_->dequeueNonSpec(spec_.inQueue, &ctrl);
-        auto entry = std::make_shared<CbEntry>();
-        entry->value = prf_->read(r);
-        entry->ctrl = true;
-        entry->done = true;
+        CbEntry entry;
+        entry.value = prf_->read(r);
+        entry.ctrl = true;
+        entry.done = true;
         prf_->free(r);
         cb_.push_back(entry);
         return;
@@ -107,9 +121,8 @@ RefAccel::tick(Cycle now)
         PhysRegId r = qrm_->dequeueNonSpec(spec_.inQueue, &ctrl);
         uint64_t idx = prf_->read(r);
         prf_->free(r);
-        auto entry = std::make_shared<CbEntry>();
-        cb_.push_back(entry);
-        issueLoad(spec_.base + idx * spec_.elemBytes, now, entry);
+        cb_.push_back(CbEntry{});
+        issueLoad(spec_.base + idx * spec_.elemBytes, now, &cb_.back());
         return;
     }
 
@@ -120,10 +133,10 @@ RefAccel::tick(Cycle now)
         PhysRegId r = qrm_->dequeueNonSpec(spec_.inQueue, &ctrl);
         uint64_t idx = prf_->read(r);
         prf_->free(r);
-        auto e1 = std::make_shared<CbEntry>();
-        auto e2 = std::make_shared<CbEntry>();
-        cb_.push_back(e1);
-        cb_.push_back(e2);
+        cb_.push_back(CbEntry{});
+        CbEntry *e1 = &cb_.back();
+        cb_.push_back(CbEntry{});
+        CbEntry *e2 = &cb_.back();
         issueLoad(spec_.base + idx * spec_.elemBytes, now, e1);
         // The second element usually shares the line; still one access.
         pendingSecond_ = true;
@@ -139,13 +152,12 @@ RefAccel::tick(Cycle now)
         PhysRegId r = qrm_->dequeueNonSpec(spec_.inQueue, &ctrl);
         uint64_t idx = prf_->read(r);
         prf_->free(r);
-        auto key = std::make_shared<CbEntry>();
-        key->value = idx;
-        key->done = true;
+        CbEntry key;
+        key.value = idx;
+        key.done = true;
         cb_.push_back(key);
-        auto val = std::make_shared<CbEntry>();
-        cb_.push_back(val);
-        issueLoad(spec_.base + idx * spec_.elemBytes, now, val);
+        cb_.push_back(CbEntry{});
+        issueLoad(spec_.base + idx * spec_.elemBytes, now, &cb_.back());
         return;
     }
 

@@ -19,15 +19,14 @@
 #ifndef PIPETTE_RT_RA_H
 #define PIPETTE_RT_RA_H
 
-#include <deque>
 #include <functional>
-#include <memory>
 
 #include "isa/machine_spec.h"
 #include "mem/hierarchy.h"
 #include "mem/sim_memory.h"
 #include "pipette/qrm.h"
 #include "pipette/regfile.h"
+#include "sim/pool.h"
 #include "sim/stats.h"
 
 namespace pipette {
@@ -54,6 +53,14 @@ class RefAccel
     }
 
   private:
+    /**
+     * Completion-buffer entry. Entries live by value in the bounded
+     * ring below; an in-flight load's callback holds a raw pointer to
+     * its slot. That is safe because ring slots never move, and a slot
+     * is recycled only after its entry retires, which requires `done`
+     * -- set by the callback itself, so no callback can outlive its
+     * slot.
+     */
     struct CbEntry
     {
         uint64_t value = 0;
@@ -61,8 +68,7 @@ class RefAccel
         bool done = false;
     };
 
-    void issueLoad(Addr addr, Cycle now,
-                   const std::shared_ptr<CbEntry> &entry);
+    void issueLoad(Addr addr, Cycle now, CbEntry *entry);
 
     RaSpec spec_;
     uint32_t cbCapacity_;
@@ -74,14 +80,23 @@ class RefAccel
     CoreStats *stats_;
     PortArbiter ports_;
 
-    std::deque<std::shared_ptr<CbEntry>> cb_;
+    BoundedDeque<CbEntry> cb_;
     bool scanning_ = false;
     bool haveStart_ = false;
     uint64_t start_ = 0, cur_ = 0, end_ = 0;
     /** IndirectPair: second load waiting for a port. */
     bool pendingSecond_ = false;
     Addr pendingAddr_ = 0;
-    std::shared_ptr<CbEntry> pendingEntry_;
+    CbEntry *pendingEntry_ = nullptr;
+    /**
+     * Idle memo: with no in-flight work, a tick can only act if the
+     * input or output queue mutated since the last do-nothing tick
+     * (everything tick() consults in that state is per-queue QRM
+     * state). Keyed on both queues' versions.
+     */
+    bool idleValid_ = false;
+    uint64_t idleInV_ = 0;
+    uint64_t idleOutV_ = 0;
 };
 
 } // namespace pipette

@@ -62,16 +62,46 @@ class PhysRegFile
     write(PhysRegId r, uint64_t v)
     {
         vals_[r] = v;
-        ready_[r] = 1;
+        if (!ready_[r]) {
+            ready_[r] = 1;
+            if (logReadyTransitions_)
+                readyLog_.push_back(r);
+        }
     }
 
     /** Mark ready without changing the value (pinned zero regs). */
-    void setReady(PhysRegId r) { ready_[r] = 1; }
+    void
+    setReady(PhysRegId r)
+    {
+        if (!ready_[r]) {
+            ready_[r] = 1;
+            if (logReadyTransitions_)
+                readyLog_.push_back(r);
+        }
+    }
+
+    /**
+     * Record every not-ready -> ready transition in readyLog(). The
+     * core's issue stage uses the log to wake sleeping issue-queue
+     * entries instead of polling isReady every cycle. Off by default so
+     * standalone users of PhysRegFile never accumulate an undrained log.
+     */
+    void
+    enableReadyLog()
+    {
+        logReadyTransitions_ = true;
+        readyLog_.reserve(vals_.size());
+    }
+
+    /** Registers made ready since the log was last cleared by the owner. */
+    std::vector<PhysRegId> &readyLog() { return readyLog_; }
 
   private:
     std::vector<uint64_t> vals_;
     std::vector<uint8_t> ready_;
     std::vector<PhysRegId> freeList_;
+    std::vector<PhysRegId> readyLog_;
+    bool logReadyTransitions_ = false;
 };
 
 } // namespace pipette

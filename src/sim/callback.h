@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Small-buffer-optimized, move-only callable for simulation events.
+ *
+ * std::function heap-allocates any capture larger than ~16 bytes, which
+ * put one malloc/free pair on every cache-miss completion and every
+ * event-queue writeback. InlineCallback instead embeds the closure in a
+ * fixed inline buffer and refuses (at compile time) closures that do not
+ * fit, so scheduling an event never touches the heap.
+ */
+
+#ifndef PIPETTE_SIM_CALLBACK_H
+#define PIPETTE_SIM_CALLBACK_H
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace pipette {
+
+/** Move-only `void()` callable with inline storage; never allocates. */
+class InlineCallback
+{
+  public:
+    /**
+     * Closure capacity in bytes. Sized for the largest hot-path capture
+     * (a load-miss completion: pooled inst handle + memory/regfile/stat
+     * pointers + address/size). Growing it is free until events stop
+     * fitting in a cache line or two.
+     */
+    static constexpr size_t CAPACITY = 64;
+
+    InlineCallback() = default;
+    InlineCallback(std::nullptr_t) {}
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                  !std::is_same_v<std::decay_t<F>, std::nullptr_t>>>
+    InlineCallback(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(sizeof(Fn) <= CAPACITY,
+                      "closure too large for InlineCallback: shrink the "
+                      "capture or raise CAPACITY");
+        static_assert(alignof(Fn) <= alignof(std::max_align_t));
+        static_assert(std::is_nothrow_move_constructible_v<Fn>);
+        new (buf_) Fn(std::forward<F>(f));
+        invoke_ = [](void *p) { (*static_cast<Fn *>(p))(); };
+        relocate_ = [](void *src, void *dst) {
+            Fn *s = static_cast<Fn *>(src);
+            if (dst)
+                new (dst) Fn(std::move(*s));
+            s->~Fn();
+        };
+    }
+
+    InlineCallback(InlineCallback &&o) noexcept
+        : invoke_(o.invoke_), relocate_(o.relocate_)
+    {
+        if (relocate_)
+            relocate_(o.buf_, buf_);
+        o.invoke_ = nullptr;
+        o.relocate_ = nullptr;
+    }
+
+    InlineCallback &
+    operator=(InlineCallback &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            invoke_ = o.invoke_;
+            relocate_ = o.relocate_;
+            if (relocate_)
+                relocate_(o.buf_, buf_);
+            o.invoke_ = nullptr;
+            o.relocate_ = nullptr;
+        }
+        return *this;
+    }
+
+    InlineCallback(const InlineCallback &) = delete;
+    InlineCallback &operator=(const InlineCallback &) = delete;
+
+    ~InlineCallback() { reset(); }
+
+    void operator()() { invoke_(buf_); }
+
+    explicit operator bool() const { return invoke_ != nullptr; }
+
+  private:
+    void
+    reset()
+    {
+        if (relocate_)
+            relocate_(buf_, nullptr);
+        invoke_ = nullptr;
+        relocate_ = nullptr;
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[CAPACITY];
+    void (*invoke_)(void *) = nullptr;
+    /** Move-construct *src into dst (or just destroy src if dst null). */
+    void (*relocate_)(void *src, void *dst) = nullptr;
+};
+
+} // namespace pipette
+
+#endif // PIPETTE_SIM_CALLBACK_H

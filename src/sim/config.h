@@ -79,6 +79,19 @@ struct CoreConfig
     uint32_t raCompletionBuf = 32;
 
     /**
+     * DynInst pool capacity (0 = derive from ROB/LQ/SQ sizes). The pool
+     * bounds in-flight instructions including squashed ones waiting on
+     * outstanding memory completions; an exhausted pool stalls rename.
+     * The default never stalls; small values are for testing.
+     */
+    uint32_t dynInstPoolEntries = 0;
+    /**
+     * Rename-checkpoint arena capacity (0 = match the DynInst pool).
+     * Bounds in-flight branches; exhaustion stalls rename.
+     */
+    uint32_t checkpointArenaEntries = 0;
+
+    /**
      * Commit trace sink: when non-null, every committed instruction is
      * logged as "cycle core.thread pc: disassembly" (debugging aid).
      */

@@ -3,25 +3,45 @@
  * Global event queue used for memory-system completion callbacks. The
  * cores are cycle-driven; the event queue carries the asynchronous parts
  * (cache miss completions, DRAM responses, connector deliveries).
+ *
+ * Implementation: a hierarchical timing wheel. Events within WHEEL_SPAN
+ * cycles of now (cache hits, L2/L3 fills, ordinary DRAM responses) go
+ * into a per-cycle bucket; rarer far-future events (deeply queued DRAM
+ * under congestion) fall back to a binary heap. Buckets are intrusive
+ * FIFO lists of nodes drawn from a slab-backed free list, so the pool's
+ * high-water mark is the maximum number of simultaneously pending
+ * events -- reached once, early -- and the steady state performs no
+ * heap allocation at all. Callbacks are InlineCallback, so capturing a
+ * completion closure never allocates either.
+ *
+ * Ordering contract (unchanged from the binary-heap implementation):
+ * events run in ascending (when, seq) order, where seq is the global
+ * schedule order. An event scheduled during a callback for the same
+ * cycle runs within the same runUntil call, after all earlier events.
  */
 
 #ifndef PIPETTE_SIM_EVENT_QUEUE_H
 #define PIPETTE_SIM_EVENT_QUEUE_H
 
-#include <functional>
-#include <queue>
+#include <algorithm>
+#include <array>
+#include <memory>
 #include <vector>
 
+#include "sim/callback.h"
 #include "sim/logging.h"
 #include "sim/types.h"
 
 namespace pipette {
 
-/** Min-heap of (cycle, insertion order) -> callback. */
+/** Timing wheel + far-future heap of (cycle, insertion order) -> callback. */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InlineCallback;
+
+    /** Cycles covered by the near-future bucket array (power of two). */
+    static constexpr uint32_t WHEEL_SPAN = 1024;
 
     /** Schedule cb to run at cycle `when` (must not be in the past). */
     void
@@ -29,43 +49,188 @@ class EventQueue
     {
         panic_if(when < now_, "scheduling event in the past (", when,
                  " < ", now_, ")");
-        heap_.push(Event{when, seq_++, std::move(cb)});
+        pending_++;
+        if (when - now_ < WHEEL_SPAN) {
+            Bucket &b = wheel_[when & (WHEEL_SPAN - 1)];
+            WheelNode *n = allocNode();
+            n->seq = seq_++;
+            n->cb = std::move(cb);
+            n->next = nullptr;
+            if (b.tail)
+                b.tail->next = n;
+            else
+                b.head = n;
+            b.tail = n;
+            wheelCount_++;
+            nearScheduled_++;
+        } else {
+            heap_.push_back(Event{when, seq_++, std::move(cb)});
+            std::push_heap(heap_.begin(), heap_.end(), laterThan);
+            farScheduled_++;
+        }
     }
 
     /** Run all events due at or before `cycle`, advancing time. */
     void
     runUntil(Cycle cycle)
     {
-        now_ = cycle;
-        while (!heap_.empty() && heap_.top().when <= cycle) {
-            // Copy out before pop so the callback can schedule new events.
-            Callback cb = std::move(const_cast<Event &>(heap_.top()).cb);
-            heap_.pop();
-            cb();
+        // Catch stragglers scheduled at == now_ since the last call.
+        if (pending_ > 0 && dueAt(now_))
+            runCycle(now_);
+        while (now_ < cycle && pending_ > 0) {
+            if (wheelCount_ == 0) {
+                // Everything lives in the far heap: jump straight to
+                // its top instead of walking empty buckets.
+                if (heap_.empty() || heap_.front().when > cycle)
+                    break;
+                now_ = std::max(now_ + 1, heap_.front().when);
+            } else {
+                now_++;
+            }
+            if (dueAt(now_))
+                runCycle(now_);
         }
+        now_ = cycle;
     }
 
-    bool empty() const { return heap_.empty(); }
+    /** Drop all pending events without running them (teardown). */
+    void
+    clear()
+    {
+        for (Bucket &b : wheel_) {
+            while (b.head) {
+                WheelNode *n = b.head;
+                b.head = n->next;
+                n->cb = Callback(); // release the closure
+                freeNode(n);
+            }
+            b.tail = nullptr;
+        }
+        heap_.clear();
+        wheelCount_ = 0;
+        pending_ = 0;
+    }
+
+    bool empty() const { return pending_ == 0; }
     Cycle now() const { return now_; }
-    size_t pending() const { return heap_.size(); }
+    size_t pending() const { return pending_; }
+
+    /** Events that took the near-future (bucket array) path. */
+    uint64_t nearScheduled() const { return nearScheduled_; }
+    /** Events that fell back to the far-future heap. */
+    uint64_t farScheduled() const { return farScheduled_; }
 
   private:
+    struct WheelNode
+    {
+        uint64_t seq = 0;
+        Callback cb;
+        WheelNode *next = nullptr;
+    };
+
+    /** Intrusive FIFO list; append at tail, run from head. */
+    struct Bucket
+    {
+        WheelNode *head = nullptr;
+        WheelNode *tail = nullptr;
+    };
+
     struct Event
     {
         Cycle when;
         uint64_t seq;
         Callback cb;
-
-        bool
-        operator>(const Event &o) const
-        {
-            return when != o.when ? when > o.when : seq > o.seq;
-        }
     };
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+    static constexpr size_t NODE_CHUNK = 1024;
+
+    static bool
+    laterThan(const Event &a, const Event &b)
+    {
+        return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+
+    WheelNode *
+    allocNode()
+    {
+        if (!freeNodes_) {
+            // New slab: nodes are threaded onto the free list once and
+            // recycled forever after. The number of slabs is set by the
+            // peak count of pending events, so allocation stops for
+            // good once the busiest phase has been seen.
+            chunks_.push_back(std::make_unique<WheelNode[]>(NODE_CHUNK));
+            WheelNode *slab = chunks_.back().get();
+            for (size_t i = 0; i < NODE_CHUNK; i++) {
+                slab[i].next = freeNodes_;
+                freeNodes_ = &slab[i];
+            }
+        }
+        WheelNode *n = freeNodes_;
+        freeNodes_ = n->next;
+        return n;
+    }
+
+    void
+    freeNode(WheelNode *n)
+    {
+        n->next = freeNodes_;
+        freeNodes_ = n;
+    }
+
+    /** Anything due at exactly cycle `c`? (runCycle on an empty due
+     *  set is a no-op; skipping it keeps idle cycles cheap.) */
+    bool
+    dueAt(Cycle c) const
+    {
+        return wheel_[c & (WHEEL_SPAN - 1)].head != nullptr ||
+               (!heap_.empty() && heap_.front().when <= c);
+    }
+
+    /**
+     * Run every event due at cycle `c`, merging the wheel bucket (in
+     * seq order by construction) with due heap events by seq.
+     * Re-reading the bucket head each iteration keeps appends during a
+     * callback safe: a same-cycle event lands at the tail and is
+     * reached before the loop exits.
+     */
+    void
+    runCycle(Cycle c)
+    {
+        Bucket &b = wheel_[c & (WHEEL_SPAN - 1)];
+        while (true) {
+            WheelNode *n = b.head;
+            bool haveHeap = !heap_.empty() && heap_.front().when <= c;
+            if (n && (!haveHeap || n->seq < heap_.front().seq)) {
+                b.head = n->next;
+                if (!b.head)
+                    b.tail = nullptr;
+                Callback cb = std::move(n->cb);
+                freeNode(n); // safe: cb is moved out already
+                wheelCount_--;
+                pending_--;
+                cb();
+            } else if (haveHeap) {
+                std::pop_heap(heap_.begin(), heap_.end(), laterThan);
+                Event ev = std::move(heap_.back());
+                heap_.pop_back();
+                pending_--;
+                ev.cb();
+            } else {
+                break;
+            }
+        }
+    }
+
+    std::array<Bucket, WHEEL_SPAN> wheel_;
+    std::vector<Event> heap_; ///< min-heap on (when, seq) via laterThan
+    std::vector<std::unique_ptr<WheelNode[]>> chunks_; ///< node slabs
+    WheelNode *freeNodes_ = nullptr;
+    size_t pending_ = 0;
+    size_t wheelCount_ = 0;
     uint64_t seq_ = 0;
     Cycle now_ = 0;
+    uint64_t nearScheduled_ = 0;
+    uint64_t farScheduled_ = 0;
 };
 
 } // namespace pipette

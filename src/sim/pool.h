@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Fixed-capacity allocation pools for simulation hot paths.
+ *
+ * The steady-state simulation loop must not hit the host heap: a
+ * make_shared per renamed instruction and a make_unique per branch
+ * checkpoint dominated host time on the benchmark sweeps. This header
+ * provides the two building blocks that replace them:
+ *
+ *  - ObjectPool<T> / PooledPtr<T>: a free-list slab of T plus an
+ *    intrusive (non-atomic) refcounted handle. All storage is allocated
+ *    once at construction; acquire/release are push/pop on a
+ *    pre-reserved free list. When the pool is exhausted, tryAcquire
+ *    returns null and the caller is expected to stall (the core maps
+ *    this to a rename Resource stall), never to fall back to the heap.
+ *
+ *  - SlotArena<T>: a fixed slab of T with a ring buffer of free slot
+ *    indices, for objects with bounded population but unordered
+ *    release (rename-map checkpoints: allocated in program order, freed
+ *    from both ends by commit and squash).
+ *
+ *  - BoundedDeque<T>: a fixed-capacity ring replacement for the
+ *    std::deque pipeline queues (ROB, fetch buffer, LSQ). std::deque
+ *    allocates and frees 512-byte chunks as the queue wraps, which both
+ *    costs host time and breaks the zero-allocation steady state.
+ *
+ * Both expose counters so tests can assert the hot loop performed zero
+ * heap allocations after warmup (see test_pool.cpp / test_determinism).
+ */
+
+#ifndef PIPETTE_SIM_POOL_H
+#define PIPETTE_SIM_POOL_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.h"
+
+namespace pipette {
+
+template <typename T> class ObjectPool;
+
+/**
+ * Intrusive refcounted handle to a pool-managed object. T must provide
+ * `uint32_t poolRefs`, `ObjectPool<T> *poolOwner`, and `void
+ * poolReset()` (release external resources and restore the
+ * default-constructed state, preserving poolOwner). The refcount is
+ * non-atomic: pooled objects belong to one simulated core and are never
+ * shared across host threads.
+ */
+template <typename T>
+class PooledPtr
+{
+  public:
+    PooledPtr() = default;
+    explicit PooledPtr(T *p) noexcept : p_(p)
+    {
+        if (p_)
+            p_->poolRefs++;
+    }
+    PooledPtr(const PooledPtr &o) noexcept : p_(o.p_)
+    {
+        if (p_)
+            p_->poolRefs++;
+    }
+    PooledPtr(PooledPtr &&o) noexcept : p_(o.p_) { o.p_ = nullptr; }
+    PooledPtr &
+    operator=(const PooledPtr &o) noexcept
+    {
+        if (o.p_)
+            o.p_->poolRefs++;
+        drop();
+        p_ = o.p_;
+        return *this;
+    }
+    PooledPtr &
+    operator=(PooledPtr &&o) noexcept
+    {
+        if (this != &o) {
+            drop();
+            p_ = o.p_;
+            o.p_ = nullptr;
+        }
+        return *this;
+    }
+    ~PooledPtr() noexcept { drop(); }
+
+    T *operator->() const { return p_; }
+    T &operator*() const { return *p_; }
+    T *get() const { return p_; }
+    explicit operator bool() const { return p_ != nullptr; }
+    bool operator==(const PooledPtr &o) const { return p_ == o.p_; }
+    bool operator!=(const PooledPtr &o) const { return p_ != o.p_; }
+
+    void
+    reset()
+    {
+        drop();
+        p_ = nullptr;
+    }
+
+  private:
+    void
+    drop()
+    {
+        if (p_ && --p_->poolRefs == 0)
+            p_->poolOwner->release(p_);
+    }
+
+    T *p_ = nullptr;
+};
+
+/** Fixed-capacity free-list pool. All allocation happens up front. */
+template <typename T>
+class ObjectPool
+{
+  public:
+    explicit ObjectPool(uint32_t capacity) : slab_(capacity)
+    {
+        free_.reserve(capacity);
+        for (uint32_t i = capacity; i-- > 0;) {
+            slab_[i].poolOwner = this;
+            free_.push_back(&slab_[i]);
+        }
+    }
+
+    // The slab hands out interior pointers; it must never move.
+    ObjectPool(const ObjectPool &) = delete;
+    ObjectPool &operator=(const ObjectPool &) = delete;
+
+    /** Next free object (default-constructed state), or null if empty. */
+    T *
+    tryAcquire()
+    {
+        if (free_.empty()) {
+            exhausted_++;
+            return nullptr;
+        }
+        T *p = free_.back();
+        free_.pop_back();
+        acquires_++;
+        return p;
+    }
+
+    /** Return an object; called by PooledPtr when refs hit zero. */
+    void
+    release(T *p)
+    {
+        p->poolReset();
+        free_.push_back(p); // never reallocates: size <= capacity
+    }
+
+    uint32_t capacity() const { return static_cast<uint32_t>(slab_.size()); }
+    uint32_t numFree() const { return static_cast<uint32_t>(free_.size()); }
+    uint32_t inUse() const { return capacity() - numFree(); }
+    /** Lifetime acquisitions (all free-list hits; none touch the heap). */
+    uint64_t acquires() const { return acquires_; }
+    /** Times tryAcquire found the pool empty (caller stalled). */
+    uint64_t exhausted() const { return exhausted_; }
+
+  private:
+    std::vector<T> slab_;
+    std::vector<T *> free_;
+    uint64_t acquires_ = 0;
+    uint64_t exhausted_ = 0;
+};
+
+/**
+ * Fixed slab of T with a ring buffer of free slot indices. alloc() pops
+ * from the ring head, free() pushes to the tail; capacity bounds the
+ * population (for checkpoints: the max number of in-flight branches,
+ * itself bounded by the ROB).
+ */
+template <typename T>
+class SlotArena
+{
+  public:
+    explicit SlotArena(uint32_t capacity)
+        : slab_(capacity), ring_(capacity)
+    {
+        for (uint32_t i = 0; i < capacity; i++)
+            ring_[i] = i;
+        freeCount_ = capacity;
+    }
+
+    SlotArena(const SlotArena &) = delete;
+    SlotArena &operator=(const SlotArena &) = delete;
+
+    /** Grab a slot, or null when all slots are live (caller stalls). */
+    T *
+    alloc()
+    {
+        if (freeCount_ == 0) {
+            exhausted_++;
+            return nullptr;
+        }
+        uint32_t slot = ring_[head_];
+        head_ = next(head_);
+        freeCount_--;
+        allocs_++;
+        return &slab_[slot];
+    }
+
+    void
+    free(T *p)
+    {
+        auto slot = static_cast<uint32_t>(p - slab_.data());
+        panic_if(slot >= slab_.size(), "SlotArena::free of foreign pointer");
+        panic_if(freeCount_ >= slab_.size(), "SlotArena double free");
+        ring_[tail_] = slot;
+        tail_ = next(tail_);
+        freeCount_++;
+    }
+
+    uint32_t capacity() const { return static_cast<uint32_t>(slab_.size()); }
+    uint32_t numFree() const { return freeCount_; }
+    uint32_t inUse() const { return capacity() - freeCount_; }
+    uint64_t allocs() const { return allocs_; }
+    uint64_t exhausted() const { return exhausted_; }
+
+  private:
+    uint32_t
+    next(uint32_t i) const
+    {
+        return i + 1 == ring_.size() ? 0 : i + 1;
+    }
+
+    std::vector<T> slab_;
+    std::vector<uint32_t> ring_; ///< circular buffer of free slot indices
+    uint32_t head_ = 0;          ///< next slot to hand out
+    uint32_t tail_ = 0;          ///< where freed slots are returned
+    uint32_t freeCount_ = 0;
+    uint64_t allocs_ = 0;
+    uint64_t exhausted_ = 0;
+};
+
+/**
+ * Fixed-capacity double-ended queue over a power-of-two ring. The
+ * storage is sized once by init(); push/pop never touch the heap.
+ * Indices are monotonically increasing 64-bit counters, so wraparound
+ * of the ring is just a mask. Popped slots are reset to T{} so handles
+ * (e.g. PooledPtr) release their referents immediately.
+ */
+template <typename T>
+class BoundedDeque
+{
+  public:
+    /** Size the ring for at least `capacity` elements. Not reentrant
+     *  with live contents; call once before use. */
+    void
+    init(uint32_t capacity)
+    {
+        uint32_t cap = 1;
+        while (cap < capacity)
+            cap <<= 1;
+        buf_.assign(cap, T{});
+        mask_ = cap - 1;
+        head_ = tail_ = 0;
+    }
+
+    bool empty() const { return head_ == tail_; }
+    size_t size() const { return tail_ - head_; }
+
+    T &front() { return buf_[head_ & mask_]; }
+    const T &front() const { return buf_[head_ & mask_]; }
+    T &back() { return buf_[(tail_ - 1) & mask_]; }
+    const T &back() const { return buf_[(tail_ - 1) & mask_]; }
+
+    /** i-th element counted from the front. */
+    T &operator[](size_t i) { return buf_[(head_ + i) & mask_]; }
+    const T &operator[](size_t i) const { return buf_[(head_ + i) & mask_]; }
+
+    void
+    push_back(const T &v)
+    {
+        panic_if(size() > mask_, "BoundedDeque overflow");
+        buf_[tail_ & mask_] = v;
+        tail_++;
+    }
+
+    void
+    push_back(T &&v)
+    {
+        panic_if(size() > mask_, "BoundedDeque overflow");
+        buf_[tail_ & mask_] = std::move(v);
+        tail_++;
+    }
+
+    void
+    pop_front()
+    {
+        panic_if(empty(), "BoundedDeque::pop_front on empty");
+        buf_[head_ & mask_] = T{};
+        head_++;
+    }
+
+    void
+    pop_back()
+    {
+        panic_if(empty(), "BoundedDeque::pop_back on empty");
+        tail_--;
+        buf_[tail_ & mask_] = T{};
+    }
+
+    void
+    clear()
+    {
+        while (!empty())
+            pop_front();
+    }
+
+  private:
+    std::vector<T> buf_;
+    uint64_t mask_ = 0;
+    uint64_t head_ = 0;
+    uint64_t tail_ = 0;
+};
+
+} // namespace pipette
+
+#endif // PIPETTE_SIM_POOL_H

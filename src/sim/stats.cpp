@@ -44,6 +44,10 @@ CoreStats::dump(const std::string &prefix,
     out[prefix + ".queueFullStalls"] = static_cast<double>(queueFullStalls);
     out[prefix + ".queueEmptyStalls"] =
         static_cast<double>(queueEmptyStalls);
+    out[prefix + ".dynInstPoolStalls"] =
+        static_cast<double>(dynInstPoolStalls);
+    out[prefix + ".checkpointStalls"] =
+        static_cast<double>(checkpointStalls);
     out[prefix + ".regReads"] = static_cast<double>(regReads);
     out[prefix + ".regWrites"] = static_cast<double>(regWrites);
     out[prefix + ".raAccesses"] = static_cast<double>(raAccesses);

@@ -57,6 +57,10 @@ struct CoreStats
     uint64_t skipDiscards = 0;
     uint64_t queueFullStalls = 0;
     uint64_t queueEmptyStalls = 0;
+    /** Rename stalls from an exhausted DynInst pool (should stay 0). */
+    uint64_t dynInstPoolStalls = 0;
+    /** Rename stalls from an exhausted checkpoint arena (should stay 0). */
+    uint64_t checkpointStalls = 0;
     uint64_t regReads = 0;
     uint64_t regWrites = 0;
     uint64_t raAccesses = 0;

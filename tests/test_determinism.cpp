@@ -1,0 +1,167 @@
+// Determinism regression tests. The host-performance work (instruction
+// pooling, timing wheel, queue-stall memoization) must not perturb
+// simulated behavior: every workload's cycle count and stats are pinned
+// to golden values recorded before that work, and running the same
+// configuration twice in one process must be bit-identical.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/system.h"
+#include "workloads/bfs.h"
+#include "workloads/cc.h"
+#include "workloads/graph.h"
+#include "workloads/matrix.h"
+#include "workloads/prd.h"
+#include "workloads/radii.h"
+#include "workloads/silo.h"
+#include "workloads/spmm.h"
+
+namespace pipette {
+namespace {
+
+struct GoldenCase
+{
+    const char *workload;
+    Variant variant;
+    uint64_t cycles;
+    uint64_t instrs;
+    uint64_t squashed;
+    uint64_t enqueues;
+    uint64_t dequeues;
+};
+
+// Recorded from the seed simulator (pre-pooling) on the configurations
+// below. Any change to these numbers is a simulated-behavior change and
+// must be intentional, not a side effect of host-side optimization.
+const GoldenCase kGolden[] = {
+    {"bfs", Variant::Serial, 156469, 88660, 145543, 0, 0},
+    {"bfs", Variant::Pipette, 92599, 51220, 42536, 1735, 12615},
+    {"cc", Variant::Serial, 487852, 481468, 622204, 0, 0},
+    {"cc", Variant::Pipette, 394676, 362338, 131575, 16983, 74199},
+    {"radii", Variant::Serial, 6243995, 4545820, 9356785, 0, 0},
+    {"radii", Variant::Pipette, 3844583, 3561173, 2119712, 95487, 418781},
+    {"prd", Variant::Serial, 1798685, 1404987, 1768091, 0, 0},
+    {"prd", Variant::Pipette, 870350, 1298036, 556825, 48041, 172841},
+    {"spmm", Variant::Serial, 105304, 108495, 92332, 0, 0},
+    {"spmm", Variant::Pipette, 84148, 152320, 24679, 11711, 10469},
+    {"silo", Variant::Serial, 62467, 70723, 38944, 0, 0},
+    {"silo", Variant::Pipette, 34845, 75529, 14137, 1602, 1602},
+};
+
+std::string
+caseName(const testing::TestParamInfo<GoldenCase> &info)
+{
+    return std::string(info.param.workload) + "_" +
+           variantName(info.param.variant);
+}
+
+/** Build the workload named in the case on the canonical inputs. */
+std::unique_ptr<WorkloadBase>
+makeWorkload(const std::string &name, Graph *g, SparseMatrix *A,
+             SparseMatrix *Bt)
+{
+    if (name == "bfs")
+        return std::make_unique<BfsWorkload>(g);
+    if (name == "cc")
+        return std::make_unique<CcWorkload>(g);
+    if (name == "radii")
+        return std::make_unique<RadiiWorkload>(g);
+    if (name == "prd")
+        return std::make_unique<PrdWorkload>(g);
+    if (name == "spmm") {
+        SpmmWorkload::Options o;
+        o.numCols = 6;
+        return std::make_unique<SpmmWorkload>(A, Bt, o);
+    }
+    SiloWorkload::Options o;
+    o.numKeys = 2000;
+    o.numQueries = 400;
+    return std::make_unique<SiloWorkload>(o);
+}
+
+struct RunOutcome
+{
+    System::RunResult res;
+    CoreStats agg;
+    std::map<std::string, double> stats;
+    bool verified = false;
+};
+
+RunOutcome
+runCase(const std::string &workload, Variant v)
+{
+    Graph g = makeGridGraph(40, 40, 11);
+    SparseMatrix A = makeSparseMatrix(96, 8, 81);
+    SparseMatrix B = makeSparseMatrix(96, 8, 82);
+    SparseMatrix Bt = B.transpose();
+
+    SystemConfig cfg;
+    cfg.watchdogCycles = 300'000;
+    cfg.maxCycles = 500'000'000;
+    System sys(cfg);
+    auto wl = makeWorkload(workload, &g, &A, &Bt);
+    BuildContext ctx(&sys);
+    wl->build(ctx, v);
+    sys.configure(ctx.spec);
+
+    RunOutcome out;
+    out.res = sys.run();
+    out.agg = sys.aggregateCoreStats();
+    out.stats = sys.dumpStats();
+    out.verified = wl->verify(sys);
+    return out;
+}
+
+class GoldenStats : public testing::TestWithParam<GoldenCase>
+{
+};
+
+TEST_P(GoldenStats, MatchesSeedExactly)
+{
+    const GoldenCase &c = GetParam();
+    RunOutcome out = runCase(c.workload, c.variant);
+
+    ASSERT_TRUE(out.res.finished);
+    EXPECT_TRUE(out.verified);
+    EXPECT_EQ(out.res.cycles, c.cycles);
+    EXPECT_EQ(out.res.instrs, c.instrs);
+    EXPECT_EQ(out.agg.squashedInstrs, c.squashed);
+    EXPECT_EQ(out.agg.enqueues, c.enqueues);
+    EXPECT_EQ(out.agg.dequeues, c.dequeues);
+
+    // Default pool sizing must be invisible to simulated timing: no
+    // rename ever stalled on pool or arena exhaustion.
+    EXPECT_EQ(out.agg.dynInstPoolStalls, 0u);
+    EXPECT_EQ(out.agg.checkpointStalls, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, GoldenStats,
+                         testing::ValuesIn(kGolden), caseName);
+
+// Same configuration, same process, two fresh Systems: every stat in
+// the full dump must match bit for bit. Catches any dependence on host
+// state (pointer values, allocation order, hash iteration order).
+TEST(Determinism, RunTwiceIsBitIdentical)
+{
+    RunOutcome a = runCase("bfs", Variant::Pipette);
+    RunOutcome b = runCase("bfs", Variant::Pipette);
+    ASSERT_TRUE(a.res.finished);
+    ASSERT_TRUE(b.res.finished);
+    EXPECT_EQ(a.res.cycles, b.res.cycles);
+    EXPECT_EQ(a.res.instrs, b.res.instrs);
+    EXPECT_EQ(a.stats, b.stats);
+}
+
+TEST(Determinism, RunTwiceIsBitIdenticalSerial)
+{
+    RunOutcome a = runCase("silo", Variant::Serial);
+    RunOutcome b = runCase("silo", Variant::Serial);
+    ASSERT_TRUE(a.res.finished);
+    ASSERT_TRUE(b.res.finished);
+    EXPECT_EQ(a.stats, b.stats);
+}
+
+} // namespace
+} // namespace pipette

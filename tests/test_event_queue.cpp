@@ -1,0 +1,159 @@
+// Timing-wheel event queue tests, beyond the basic ordering coverage in
+// test_bpred.cpp: the far-future heap fallback, wheel wraparound across
+// laps, near/far interleaving at the same cycle, scheduling during
+// callbacks, and the path counters.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace pipette {
+namespace {
+
+TEST(TimingWheel, FarFutureEventsFallBackToHeap)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(EventQueue::WHEEL_SPAN + 100, [&] { order.push_back(2); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    EXPECT_EQ(eq.nearScheduled(), 1u);
+    EXPECT_EQ(eq.farScheduled(), 1u);
+
+    eq.runUntil(EventQueue::WHEEL_SPAN + 99);
+    EXPECT_EQ(order, (std::vector<int>{1}));
+    eq.runUntil(EventQueue::WHEEL_SPAN + 100);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(TimingWheel, NearAndFarInterleaveBySeqAtSameCycle)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    const Cycle when = EventQueue::WHEEL_SPAN + 50;
+    // First from beyond the wheel horizon (heap), ...
+    eq.schedule(when, [&] { order.push_back(0); });
+    // ... then advance until `when` is within the wheel and add bucket
+    // events around it. FIFO order within the cycle must still hold.
+    eq.runUntil(100);
+    eq.schedule(when, [&] { order.push_back(1); });
+    eq.schedule(when, [&] { order.push_back(2); });
+    eq.runUntil(when);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(TimingWheel, BucketsAreReusedAcrossLaps)
+{
+    EventQueue eq;
+    int fired = 0;
+    // Same bucket index on three successive laps of the wheel.
+    for (int lap = 0; lap < 3; lap++) {
+        Cycle when = 7 + static_cast<Cycle>(lap) * EventQueue::WHEEL_SPAN;
+        // Advance to within the wheel horizon of `when` first.
+        if (when > EventQueue::WHEEL_SPAN)
+            eq.runUntil(when - EventQueue::WHEEL_SPAN + 1);
+        eq.schedule(when, [&] { fired++; });
+        eq.runUntil(when - 1);
+        EXPECT_EQ(fired, lap) << "event must not fire a lap early";
+        eq.runUntil(when);
+        EXPECT_EQ(fired, lap + 1);
+    }
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(TimingWheel, RunUntilJumpsOverEmptyCyclesWithOnlyHeapEvents)
+{
+    EventQueue eq;
+    std::vector<Cycle> firedAt;
+    eq.schedule(5'000, [&] { firedAt.push_back(eq.now()); });
+    eq.schedule(90'000, [&] { firedAt.push_back(eq.now()); });
+    eq.runUntil(1'000'000);
+    EXPECT_EQ(firedAt, (std::vector<Cycle>{5'000, 90'000}));
+    EXPECT_EQ(eq.now(), 1'000'000u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(TimingWheel, CallbackMayScheduleForTheSameCycle)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] {
+        order.push_back(1);
+        eq.schedule(10, [&] { order.push_back(2); });
+    });
+    eq.runUntil(10);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}))
+        << "same-cycle event scheduled during a callback must run "
+           "within the same runUntil call";
+}
+
+TEST(TimingWheel, CallbackMayScheduleBeyondTheWheelHorizon)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(1, [&] {
+        order.push_back(1);
+        eq.schedule(1 + 4 * EventQueue::WHEEL_SPAN,
+                    [&] { order.push_back(2); });
+    });
+    eq.runUntil(4 * EventQueue::WHEEL_SPAN);
+    EXPECT_EQ(order, (std::vector<int>{1}));
+    eq.runUntil(1 + 4 * EventQueue::WHEEL_SPAN);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(TimingWheel, StressOrderingMatchesScheduleOrderWithinCycle)
+{
+    EventQueue eq;
+    // Deterministic LCG; no host randomness in tests.
+    uint64_t state = 12345;
+    auto next = [&] {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        return state >> 33;
+    };
+
+    struct Fired
+    {
+        Cycle when;
+        int seq;
+        bool operator==(const Fired &o) const
+        {
+            return when == o.when && seq == o.seq;
+        }
+    };
+    std::vector<Fired> fired;
+    std::vector<Fired> expected;
+    for (int i = 0; i < 500; i++) {
+        // Mix of near (within the wheel) and far (heap) horizons.
+        Cycle when = 1 + next() % (3 * EventQueue::WHEEL_SPAN);
+        expected.push_back({when, i});
+        eq.schedule(when, [&fired, &eq, i] {
+            fired.push_back({eq.now(), i});
+        });
+    }
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const Fired &a, const Fired &b) {
+                         return a.when < b.when;
+                     });
+    eq.runUntil(3 * EventQueue::WHEEL_SPAN + 1);
+    EXPECT_EQ(fired, expected);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(TimingWheel, ClearDropsEverything)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(3, [&] { fired++; });
+    eq.schedule(2 * EventQueue::WHEEL_SPAN, [&] { fired++; });
+    EXPECT_EQ(eq.pending(), 2u);
+    eq.clear();
+    EXPECT_TRUE(eq.empty());
+    eq.runUntil(3 * EventQueue::WHEEL_SPAN);
+    EXPECT_EQ(fired, 0);
+}
+
+} // namespace
+} // namespace pipette

@@ -1,0 +1,298 @@
+// Fixed-capacity pool tests (sim/pool.h): ObjectPool/PooledPtr
+// refcounting and reuse, SlotArena out-of-order release, BoundedDeque
+// ring behavior, plus end-to-end checks that a deliberately undersized
+// pool stalls rename (instead of corrupting state or touching the heap)
+// and that the steady-state run loop performs zero host allocations.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <new>
+
+#include "core/system.h"
+#include "sim/pool.h"
+#include "workloads/bfs.h"
+
+// Host-heap instrumentation for the zero-allocation steady-state test:
+// count every operator-new in the process. Single-threaded, so a plain
+// counter is enough.
+namespace {
+size_t g_hostAllocs = 0;
+}
+
+void *
+operator new(size_t n)
+{
+    g_hostAllocs++;
+    if (void *p = std::malloc(n))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](size_t n)
+{
+    g_hostAllocs++;
+    if (void *p = std::malloc(n))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new(size_t n, std::align_val_t al)
+{
+    g_hostAllocs++;
+    if (void *p = std::aligned_alloc(static_cast<size_t>(al), n))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](size_t n, std::align_val_t al)
+{
+    g_hostAllocs++;
+    if (void *p = std::aligned_alloc(static_cast<size_t>(al), n))
+        return p;
+    throw std::bad_alloc();
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, size_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, size_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+namespace pipette {
+namespace {
+
+struct Obj
+{
+    uint32_t poolRefs = 0;
+    ObjectPool<Obj> *poolOwner = nullptr;
+    int value = 0;
+    int resets = 0;
+
+    void
+    poolReset()
+    {
+        value = 0;
+        resets++;
+    }
+};
+
+TEST(ObjectPoolTest, ExhaustionReturnsNullNotHeap)
+{
+    ObjectPool<Obj> pool(3);
+    EXPECT_EQ(pool.capacity(), 3u);
+    EXPECT_EQ(pool.numFree(), 3u);
+
+    PooledPtr<Obj> a(pool.tryAcquire());
+    PooledPtr<Obj> b(pool.tryAcquire());
+    PooledPtr<Obj> c(pool.tryAcquire());
+    ASSERT_TRUE(a && b && c);
+    EXPECT_EQ(pool.inUse(), 3u);
+
+    // Pool empty: tryAcquire must report exhaustion, never allocate.
+    EXPECT_EQ(pool.tryAcquire(), nullptr);
+    EXPECT_EQ(pool.tryAcquire(), nullptr);
+    EXPECT_EQ(pool.exhausted(), 2u);
+    EXPECT_EQ(pool.acquires(), 3u);
+}
+
+TEST(ObjectPoolTest, ReleaseOnLastRefAndReuse)
+{
+    ObjectPool<Obj> pool(2);
+    Obj *raw = nullptr;
+    {
+        PooledPtr<Obj> a(pool.tryAcquire());
+        a->value = 42;
+        raw = a.get();
+
+        PooledPtr<Obj> copy = a; // refcount 2
+        EXPECT_EQ(raw->poolRefs, 2u);
+        a.reset();
+        EXPECT_EQ(pool.inUse(), 1u) << "live copy must keep the slot";
+        EXPECT_EQ(raw->poolRefs, 1u);
+    } // copy dies -> slot released, poolReset ran
+    EXPECT_EQ(pool.numFree(), 2u);
+    EXPECT_EQ(raw->resets, 1);
+    EXPECT_EQ(raw->value, 0);
+
+    // The freed slot is handed out again (LIFO free list).
+    PooledPtr<Obj> b(pool.tryAcquire());
+    EXPECT_EQ(b.get(), raw);
+}
+
+TEST(ObjectPoolTest, MoveTransfersWithoutRefchurn)
+{
+    ObjectPool<Obj> pool(1);
+    PooledPtr<Obj> a(pool.tryAcquire());
+    Obj *raw = a.get();
+    PooledPtr<Obj> b = std::move(a);
+    EXPECT_FALSE(a);
+    EXPECT_EQ(b.get(), raw);
+    EXPECT_EQ(raw->poolRefs, 1u);
+    b = PooledPtr<Obj>(); // move-assign empty drops the slot
+    EXPECT_EQ(pool.numFree(), 1u);
+}
+
+TEST(SlotArenaTest, OutOfOrderFreeAndExhaustion)
+{
+    SlotArena<int> arena(3);
+    int *a = arena.alloc();
+    int *b = arena.alloc();
+    int *c = arena.alloc();
+    ASSERT_TRUE(a && b && c);
+    EXPECT_EQ(arena.alloc(), nullptr);
+    EXPECT_EQ(arena.exhausted(), 1u);
+
+    // Checkpoints free from both ends (commit and squash): release the
+    // middle first, then the ends, and make sure every slot comes back.
+    arena.free(b);
+    arena.free(a);
+    EXPECT_EQ(arena.numFree(), 2u);
+    int *d = arena.alloc();
+    int *e = arena.alloc();
+    ASSERT_TRUE(d && e);
+    EXPECT_EQ(arena.alloc(), nullptr);
+    arena.free(c);
+    arena.free(d);
+    arena.free(e);
+    EXPECT_EQ(arena.numFree(), 3u);
+    EXPECT_EQ(arena.allocs(), 5u);
+}
+
+TEST(BoundedDequeTest, WrapsWithoutAllocating)
+{
+    BoundedDeque<int> dq;
+    dq.init(4);
+    // Push/pop far more than the capacity so head/tail wrap many times.
+    for (int lap = 0; lap < 100; lap++) {
+        dq.push_back(lap);
+        dq.push_back(lap + 1000);
+        EXPECT_EQ(dq.front(), lap);
+        EXPECT_EQ(dq.back(), lap + 1000);
+        EXPECT_EQ(dq[1], lap + 1000);
+        dq.pop_front();
+        dq.pop_front();
+        EXPECT_TRUE(dq.empty());
+    }
+    dq.push_back(1);
+    dq.push_back(2);
+    dq.pop_back();
+    EXPECT_EQ(dq.back(), 1);
+    dq.clear();
+    EXPECT_TRUE(dq.empty());
+}
+
+// An undersized DynInst pool must surface as a rename stall (counted in
+// dynInstPoolStalls) while still producing a correct run -- exhaustion
+// is a stall, never UB or a heap fallback.
+TEST(PoolIntegration, TinyDynInstPoolStallsButStaysCorrect)
+{
+    Graph g = makeGridGraph(12, 12, 3);
+    SystemConfig cfg;
+    cfg.watchdogCycles = 200'000;
+    cfg.maxCycles = 100'000'000;
+    cfg.core.dynInstPoolEntries = 4; // far below ROB size
+    System sys(cfg);
+    BfsWorkload wl(&g);
+    BuildContext ctx(&sys);
+    wl.build(ctx, Variant::Serial);
+    sys.configure(ctx.spec);
+    auto res = sys.run();
+    ASSERT_TRUE(res.finished) << sys.core(0).debugString();
+    EXPECT_TRUE(wl.verify(sys));
+    EXPECT_GT(sys.core(0).stats().dynInstPoolStalls, 0u);
+    EXPECT_EQ(sys.core(0).dynInstPool().capacity(), 4u);
+    EXPECT_EQ(sys.core(0).dynInstPool().inUse(), 0u)
+        << "all instructions must return to the pool at halt";
+}
+
+TEST(PoolIntegration, TinyCheckpointArenaStallsButStaysCorrect)
+{
+    Graph g = makeGridGraph(12, 12, 3);
+    SystemConfig cfg;
+    cfg.watchdogCycles = 200'000;
+    cfg.maxCycles = 100'000'000;
+    cfg.core.checkpointArenaEntries = 1; // one in-flight branch at a time
+    System sys(cfg);
+    BfsWorkload wl(&g);
+    BuildContext ctx(&sys);
+    wl.build(ctx, Variant::Serial);
+    sys.configure(ctx.spec);
+    auto res = sys.run();
+    ASSERT_TRUE(res.finished) << sys.core(0).debugString();
+    EXPECT_TRUE(wl.verify(sys));
+    EXPECT_GT(sys.core(0).stats().checkpointStalls, 0u);
+    EXPECT_EQ(sys.core(0).checkpointArena().inUse(), 0u);
+}
+
+// The headline property of this change: once warm, the run loop makes
+// zero host heap allocations -- instructions come from the pool,
+// checkpoints from the arena, events from the timing wheel's retained
+// buckets, and every pipeline queue is a pre-sized ring.
+TEST(PoolIntegration, ZeroHostAllocationsInSteadyState)
+{
+    Graph g = makeGridGraph(24, 24, 5);
+    SystemConfig cfg;
+    cfg.watchdogCycles = 200'000;
+    cfg.maxCycles = 100'000'000;
+    System sys(cfg);
+    BfsWorkload wl(&g);
+    BuildContext ctx(&sys);
+    wl.build(ctx, Variant::Pipette);
+    sys.configure(ctx.spec);
+
+    // Warm up: first-touch pages, wheel bucket capacities, MSHR lists.
+    auto res = sys.runFor(30'000);
+    ASSERT_FALSE(res.finished) << "warmup consumed the whole run; "
+                                  "enlarge the graph";
+
+    size_t allocsBefore = g_hostAllocs;
+    res = sys.runFor(10'000);
+    size_t allocsAfterWarmup = g_hostAllocs - allocsBefore;
+    EXPECT_EQ(allocsAfterWarmup, 0u)
+        << "steady-state simulation must not touch the host heap";
+
+    // And the run still completes correctly afterwards.
+    while (!res.finished && !res.deadlock)
+        res = sys.runFor(100'000);
+    ASSERT_TRUE(res.finished);
+    EXPECT_TRUE(wl.verify(sys));
+
+    // Default-sized pools must never have been the bottleneck.
+    EXPECT_EQ(sys.core(0).stats().dynInstPoolStalls, 0u);
+    EXPECT_EQ(sys.core(0).stats().checkpointStalls, 0u);
+    EXPECT_EQ(sys.core(0).dynInstPool().exhausted(), 0u);
+    EXPECT_GT(sys.core(0).dynInstPool().acquires(),
+              sys.core(0).stats().committedInstrs / 2);
+}
+
+} // namespace
+} // namespace pipette
