@@ -49,7 +49,7 @@ main(int argc, char **argv)
         t.addRow({rows[i].name,
                   Table::num(serialCycles / static_cast<double>(
                                                 rs[i].cycles)),
-                  Table::num(rs[i].ipc), rs[i].verified ? "yes" : "NO"});
+                  Table::num(rs[i].ipc), runStatus(rs[i])});
     }
     t.print();
     std::printf("\npaper shape: serial IPC ~0.43; data-parallel only "

@@ -4,6 +4,8 @@
 #include <iterator>
 #include <sstream>
 
+#include "debug/guardrails.h"
+
 namespace pipette {
 
 namespace {
@@ -463,13 +465,17 @@ Core::renameOne(ThreadId tid, Cycle now)
             // (wrong-abort race). Data-only in-flight entries are safe:
             // they belong to the unit being skipped.
             if (t.rob.empty()) {
+                uint32_t drained = 0;
                 while (qrm_.canDequeueNonSpec(q)) {
                     bool ctrl = false;
                     PhysRegId r = qrm_.dequeueNonSpec(q, &ctrl);
                     panic_if(ctrl, "ctrl entry appeared mid-drain");
                     prf_.free(r);
                     stats_.skipDiscards++;
+                    drained++;
                 }
+                if (drained > 0 && guardrails_)
+                    guardrails_->onSkipDrain(now, id_, tid, q, drained);
                 if (!qrm_.hasInflightCtrl(q))
                     qrm_.armSkip(q);
             }
@@ -508,13 +514,14 @@ Core::renameOne(ThreadId tid, Cycle now)
         return StallReason::Resource;
     if (prf_.numFree() < static_cast<uint32_t>(ndest))
         return StallReason::Resource;
-    if (pool_.numFree() == 0) {
+    if (pool_.numFree() == 0 || now < poolBlockedUntil_) {
         stats_.dynInstPoolStalls++;
         return StallReason::Resource;
     }
     bool needsCkpt = effOp == si.op &&
                      (info.isCondBranch || info.isIndirectJump);
-    if (needsCkpt && ckptArena_.numFree() == 0) {
+    if (needsCkpt &&
+        (ckptArena_.numFree() == 0 || now < ckptBlockedUntil_)) {
         stats_.checkpointStalls++;
         return StallReason::Resource;
     }
@@ -1089,6 +1096,8 @@ void
 Core::undoRename(const DynInstPtr &inst)
 {
     inst->squashed = true;
+    if (guardrails_)
+        guardrails_->onSquash(eq_->now(), id_, *inst);
     if (inst->inIQ) {
         inst->inIQ = false;
         iqOccupancy_--;
@@ -1200,6 +1209,8 @@ Core::commit(Cycle now)
                                  ? inst->si->toString().c_str()
                                  : opInfo(inst->op).name);
             }
+            if (guardrails_)
+                guardrails_->onCommit(now, id_, tid, *inst, prf_, *mem_);
             bool isHalt = inst->op == Op::HALT;
             t.rob.pop_front(); // may release `inst` back to the pool
             budget--;
@@ -1271,6 +1282,74 @@ Core::accountCpi(Cycle now)
             bucket = CpiBucket::Other;
     }
     stats_.cpiCycles[static_cast<size_t>(bucket)]++;
+}
+
+void
+Core::collectWaitInfo(Cycle now,
+                      std::vector<debug::ThreadWaitInfo> *out) const
+{
+    for (ThreadId tid : activeTids_) {
+        const ThreadCtx &t = threads_[tid];
+        debug::ThreadWaitInfo w;
+        w.core = id_;
+        w.tid = tid;
+        w.halted = t.halted;
+        w.pc = t.pc;
+        w.committed = t.instrsCommitted;
+        w.robSize = t.rob.size();
+        switch (t.renameStall) {
+          case StallReason::QueueEmpty:
+            w.wait = debug::WaitState::QueueEmpty;
+            break;
+          case StallReason::QueueFull:
+            w.wait = debug::WaitState::QueueFull;
+            break;
+          case StallReason::Resource:
+            w.wait = debug::WaitState::Resource;
+            break;
+          case StallReason::Empty:
+            w.wait = debug::WaitState::FetchEmpty;
+            break;
+          case StallReason::None:
+            w.wait = debug::WaitState::None;
+            break;
+        }
+        // Which queues is the stalled instruction blocked on? Reclassify
+        // the head of the fetch queue the same way rename's gates do.
+        if (!t.halted && !t.fetchQ.empty() &&
+            (w.wait == debug::WaitState::QueueEmpty ||
+             w.wait == debug::WaitState::QueueFull)) {
+            const FetchedInst &fi = t.fetchQ.front();
+            const Instr &si = *fi.si;
+            const OpInfo &info = *fi.info;
+            if (w.wait == debug::WaitState::QueueEmpty) {
+                ArchRegId srcRegs[3];
+                int n = 0;
+                if (info.readsRs1)
+                    srcRegs[n++] = si.rs1;
+                if (info.readsRs2)
+                    srcRegs[n++] = si.rs2;
+                if (info.readsRd)
+                    srcRegs[n++] = si.rd;
+                for (int i = 0; i < n; i++) {
+                    if (t.mapDir[srcRegs[i]] == 0)
+                        w.waitEmpty.push_back(t.mapQ[srcRegs[i]]);
+                }
+                if ((si.op == Op::PEEK || si.op == Op::SKIPTC) &&
+                    t.mapDir[si.rs1] == 0) {
+                    w.waitEmpty.push_back(t.mapQ[si.rs1]);
+                }
+            } else if (info.writesRd && si.rd != reg::ZERO &&
+                       t.mapDir[si.rd] == 1) {
+                w.waitFull.push_back(t.mapQ[si.rd]);
+            }
+        }
+        w.poolExhausted = pool_.numFree() == 0;
+        w.ckptExhausted = ckptArena_.numFree() == 0;
+        w.faultBlocked =
+            now < poolBlockedUntil_ || now < ckptBlockedUntil_;
+        out->push_back(w);
+    }
 }
 
 std::string

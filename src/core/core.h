@@ -32,6 +32,7 @@
 
 #include "core/bpred.h"
 #include "core/dyn_inst.h"
+#include "debug/deadlock.h"
 #include "isa/machine_spec.h"
 #include "mem/hierarchy.h"
 #include "mem/sim_memory.h"
@@ -41,6 +42,10 @@
 #include "sim/stats.h"
 
 namespace pipette {
+
+namespace debug {
+class Guardrails;
+} // namespace debug
 
 /** One simulated OOO SMT core. */
 class Core
@@ -64,7 +69,10 @@ class Core
     CoreStats &stats() { return stats_; }
     const CoreStats &stats() const { return stats_; }
     Qrm &qrm() { return qrm_; }
+    const Qrm &qrm() const { return qrm_; }
     PhysRegFile &prf() { return prf_; }
+    const PhysRegFile &prf() const { return prf_; }
+    uint32_t numActiveThreads() const { return numActive_; }
     /** In-flight instruction pool (host-perf instrumentation). */
     const DynInstPool &dynInstPool() const { return pool_; }
     /** Rename-checkpoint arena (host-perf instrumentation). */
@@ -95,6 +103,27 @@ class Core
 
     /** Debug dump: per-thread PC and stall state. */
     std::string debugString() const;
+
+    /**
+     * Attach the guardrails hook target (commit oracle, flight
+     * recorder). Null (the default) disables every hook: each hook site
+     * is a single pointer test, so timing and statistics stay
+     * bit-identical with guardrails off.
+     */
+    void setGuardrails(debug::Guardrails *g) { guardrails_ = g; }
+
+    /**
+     * Fault injection (FaultKind::BlockDynInstPool /
+     * BlockCheckpointArena): rename treats the pool/arena as exhausted
+     * until the given cycle, bumping the same stall statistics as
+     * organic exhaustion.
+     */
+    void injectPoolBlock(Cycle until) { poolBlockedUntil_ = until; }
+    void injectCheckpointBlock(Cycle until) { ckptBlockedUntil_ = until; }
+
+    /** Append every active thread's wait snapshot (deadlock diagnosis). */
+    void collectWaitInfo(Cycle now,
+                         std::vector<debug::ThreadWaitInfo> *out) const;
 
   private:
     struct FetchedInst
@@ -284,6 +313,12 @@ class Core
     Cycle lastCommit_ = 0;
     CoreStats stats_;
     bool configured_ = false;
+
+    /** Guardrail hooks; null = disabled (single-branch hook sites). */
+    debug::Guardrails *guardrails_ = nullptr;
+    /** Fault injection: rename sees the pool/arena as exhausted. */
+    Cycle poolBlockedUntil_ = 0;
+    Cycle ckptBlockedUntil_ = 0;
 };
 
 } // namespace pipette

@@ -1,5 +1,9 @@
 #include "core/system.h"
 
+#include <sstream>
+
+#include "debug/invariants.h"
+
 namespace pipette {
 
 System::System(const SystemConfig &cfg)
@@ -18,11 +22,26 @@ System::~System()
     eq_.clear();
 }
 
+const char *
+System::stopReasonName(StopReason r)
+{
+    switch (r) {
+      case StopReason::None: return "running";
+      case StopReason::Finished: return "finished";
+      case StopReason::WatchdogDeadlock: return "watchdog-deadlock";
+      case StopReason::OracleDivergence: return "oracle-divergence";
+      case StopReason::InvariantViolation: return "invariant-violation";
+      case StopReason::MaxCycles: return "max-cycles";
+    }
+    return "?";
+}
+
 void
 System::configure(const MachineSpec &spec)
 {
     panic_if(configured_, "System::configure called twice");
     configured_ = true;
+    spec_ = spec; // kept for deadlock diagnosis and the lockstep oracle
 
     for (const ThreadSpec &ts : spec.threads) {
         fatal_if(ts.core >= cores_.size(), "thread on nonexistent core");
@@ -56,49 +75,208 @@ System::configure(const MachineSpec &spec)
     }
     for (auto &core : cores_)
         core->configure();
+
+    if (cfg_.guardrails.enabled()) {
+        guardrails_ = std::make_unique<debug::Guardrails>(
+            cfg_.guardrails, &spec_, cfg_.core.queueCapacity);
+        for (auto &core : cores_)
+            core->setGuardrails(guardrails_.get());
+        faultsPending_ = cfg_.guardrails.faults;
+        for (const FaultInjection &f : faultsPending_) {
+            switch (f.kind) {
+              case FaultKind::DropConnectorCredits:
+                fatal_if(f.index >= connectors_.size(),
+                         "fault: connector index out of range");
+                break;
+              case FaultKind::DelayRaCompletion:
+                fatal_if(f.index >= ras_.size(),
+                         "fault: RA index out of range");
+                break;
+              default:
+                fatal_if(f.core >= cores_.size(),
+                         "fault: core out of range");
+                break;
+            }
+        }
+    }
+}
+
+void
+System::applyFaults(Cycle now)
+{
+    for (size_t i = 0; i < faultsPending_.size();) {
+        FaultInjection &f = faultsPending_[i];
+        if (now < f.atCycle) {
+            i++;
+            continue;
+        }
+        // duration 0 = for the rest of the run.
+        Cycle until = f.duration ? f.atCycle + f.duration
+                                 : ~static_cast<Cycle>(0);
+        bool applied = true;
+        switch (f.kind) {
+          case FaultKind::DropConnectorCredits:
+            connectors_[f.index]->injectStall(until);
+            break;
+          case FaultKind::DelayRaCompletion:
+            ras_[f.index]->injectStall(until);
+            break;
+          case FaultKind::BlockDynInstPool:
+            cores_[f.core]->injectPoolBlock(until);
+            break;
+          case FaultKind::BlockCheckpointArena:
+            cores_[f.core]->injectCheckpointBlock(until);
+            break;
+          case FaultKind::FlipQueuePayload: {
+            // Needs a committed data entry at the head to corrupt; if
+            // none is there yet, retry on later cycles.
+            Qrm &qrm = cores_[f.core]->qrm();
+            if (qrm.canDequeueSpec(f.queue) && !qrm.headCtrl(f.queue)) {
+                PhysRegFile &prf = cores_[f.core]->prf();
+                PhysRegId r = qrm.headReg(f.queue);
+                prf.write(r, prf.read(r) ^ (1ull << (f.bit & 63)));
+            } else {
+                applied = false;
+            }
+            break;
+          }
+          case FaultKind::CorruptQueueState:
+            cores_[f.core]->qrm().injectTailCorruption(f.queue);
+            break;
+        }
+        if (applied) {
+            faultsPending_.erase(faultsPending_.begin() +
+                                 static_cast<ptrdiff_t>(i));
+        } else {
+            i++;
+        }
+    }
+}
+
+bool
+System::checkInvariants(std::string *err) const
+{
+    for (const auto &core : cores_) {
+        if (!debug::checkQrmConsistency(core->qrm(), core->id(), err))
+            return false;
+    }
+    for (const auto &conn : connectors_) {
+        const ConnectorSpec &cs = conn->spec();
+        const Qrm &toQrm = cores_[cs.toCore]->qrm();
+        if (!debug::checkConnectorCredits(
+                cs.fromCore, cs.fromQueue, cs.toCore, cs.toQueue,
+                conn->inflightSize(), toQrm.totalSize(cs.toQueue),
+                toQrm.capacity(cs.toQueue), err)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string
+System::diagnose(Cycle now, Cycle sinceCommit)
+{
+    std::vector<debug::ThreadWaitInfo> tw;
+    std::vector<debug::QueueSnapshot> qs;
+    std::vector<debug::RaSnapshot> rs;
+    std::vector<debug::ConnectorSnapshot> cs;
+    for (const auto &core : cores_) {
+        core->collectWaitInfo(now, &tw);
+        for (QueueId q = 0; q < core->qrm().numQueues(); q++)
+            qs.push_back({core->id(), q, core->qrm().diag(q)});
+    }
+    for (const auto &ra : ras_) {
+        rs.push_back({ra->spec().core, ra->spec().inQueue,
+                      ra->spec().outQueue, ra->cbSize(), !ra->idle(),
+                      now < ra->stalledUntil()});
+    }
+    for (const auto &conn : connectors_) {
+        const ConnectorSpec &c = conn->spec();
+        const Qrm &toQrm = cores_[c.toCore]->qrm();
+        cs.push_back({c.fromCore, c.fromQueue, c.toCore, c.toQueue,
+                      conn->inflightSize(), toQrm.capacity(c.toQueue),
+                      toQrm.totalSize(c.toQueue),
+                      now < conn->stalledUntil()});
+    }
+    debug::DeadlockReport rep =
+        debug::diagnoseDeadlock(spec_, tw, qs, rs, cs, now, sinceCommit);
+    std::string text = rep.text;
+    if (guardrails_) {
+        std::string fd = guardrails_->flightDump();
+        if (!fd.empty())
+            text += fd;
+    }
+    return text;
+}
+
+std::string
+System::drainLeakCheck()
+{
+    // Quiesce: in-flight completions (cache misses, writeback ring
+    // residue) hold DynInst and register references; run them out by
+    // ticking the halted machine until the event queue stays empty for
+    // a comfortable margin (the writeback ring spans 256 cycles).
+    Cycle qn = stepNow_;
+    uint32_t calm = 0;
+    while (calm < 512) {
+        if (qn - stepNow_ > 1'000'000)
+            return "drain: event queue failed to quiesce within 1M cycles";
+        qn++;
+        eq_.runUntil(qn);
+        for (auto &core : cores_)
+            core->tick(qn);
+        for (auto &ra : ras_)
+            ra->tick(qn);
+        for (auto &conn : connectors_)
+            conn->tick(qn);
+        calm = eq_.empty() ? calm + 1 : 0;
+    }
+
+    std::ostringstream oss;
+    for (const auto &core : cores_) {
+        if (core->dynInstPool().inUse() != 0) {
+            oss << "drain leak: core " << static_cast<int>(core->id())
+                << " DynInst pool still holds "
+                << core->dynInstPool().inUse() << " objects";
+            return oss.str();
+        }
+        if (core->checkpointArena().inUse() != 0) {
+            oss << "drain leak: core " << static_cast<int>(core->id())
+                << " checkpoint arena still holds "
+                << core->checkpointArena().inUse() << " slots";
+            return oss.str();
+        }
+        std::string err;
+        if (!debug::checkQrmConsistency(core->qrm(), core->id(), &err))
+            return err;
+        // Register conservation: every physical register is either
+        // free, pinned by a thread's architectural map, or held by a
+        // queue entry.
+        uint64_t held = 0;
+        for (QueueId q = 0; q < core->qrm().numQueues(); q++)
+            held += core->qrm().totalSize(q);
+        uint64_t accounted =
+            core->prf().numFree() +
+            static_cast<uint64_t>(NUM_ARCH_REGS) *
+                core->numActiveThreads() +
+            held;
+        if (accounted != core->prf().size()) {
+            oss << "drain leak: core " << static_cast<int>(core->id())
+                << " register accounting: free " << core->prf().numFree()
+                << " + pinned "
+                << NUM_ARCH_REGS * core->numActiveThreads()
+                << " + queued " << held << " = " << accounted << " != "
+                << core->prf().size() << " physical registers";
+            return oss.str();
+        }
+    }
+    return "";
 }
 
 System::RunResult
 System::run()
 {
-    panic_if(!configured_, "System::run before configure");
-    RunResult res;
-    Cycle now = 0;
-    Cycle lastProgress = 0;
-    while (true) {
-        now++;
-        eq_.runUntil(now);
-        bool allHalted = true;
-        for (auto &core : cores_) {
-            core->tick(now);
-            allHalted &= core->allHalted();
-        }
-        for (auto &ra : ras_)
-            ra->tick(now);
-        for (auto &conn : connectors_)
-            conn->tick(now);
-
-        if (allHalted) {
-            res.finished = true;
-            break;
-        }
-        for (auto &core : cores_)
-            lastProgress = std::max(lastProgress, core->lastCommitCycle());
-        if (now - lastProgress > cfg_.watchdogCycles) {
-            res.deadlock = true;
-            warn("watchdog: no commit for ", cfg_.watchdogCycles,
-                 " cycles at cycle ", now);
-            for (auto &core : cores_)
-                warn(core->debugString());
-            break;
-        }
-        if (cfg_.maxCycles && now >= cfg_.maxCycles)
-            break;
-    }
-    res.cycles = now;
-    for (auto &core : cores_)
-        res.instrs += core->stats().committedInstrs;
-    return res;
+    return runFor(~static_cast<Cycle>(0));
 }
 
 System::RunResult
@@ -106,10 +284,32 @@ System::runFor(Cycle n)
 {
     panic_if(!configured_, "System::runFor before configure");
     RunResult res;
-    Cycle stop = stepNow_ + n;
+    if (guardrails_)
+        guardrails_->beginRun(mem_);
+    bool watchInvariants = cfg_.guardrails.invariantChecks;
+    Cycle stop = n > ~static_cast<Cycle>(0) - stepNow_
+                     ? ~static_cast<Cycle>(0)
+                     : stepNow_ + n;
     while (stepNow_ < stop) {
         stepNow_++;
         eq_.runUntil(stepNow_);
+
+        if (!faultsPending_.empty())
+            applyFaults(stepNow_);
+        // Check invariants before any stage can act on state a fault
+        // (or a bug) corrupted this cycle: a phantom committed entry
+        // must be caught before a consumer dequeues it.
+        if (watchInvariants) {
+            std::string err;
+            if (!checkInvariants(&err)) {
+                if (guardrails_)
+                    guardrails_->reportInvariantViolation(err);
+                res.stopReason = StopReason::InvariantViolation;
+                res.diagnosis = err;
+                break;
+            }
+        }
+
         bool allHalted = true;
         for (auto &core : cores_) {
             core->tick(stepNow_);
@@ -120,8 +320,18 @@ System::runFor(Cycle n)
         for (auto &conn : connectors_)
             conn->tick(stepNow_);
 
+        if (guardrails_ && guardrails_->failed()) {
+            res.stopReason =
+                guardrails_->failure() ==
+                        debug::GuardrailFailure::OracleDivergence
+                    ? StopReason::OracleDivergence
+                    : StopReason::InvariantViolation;
+            res.diagnosis = guardrails_->report();
+            break;
+        }
         if (allHalted) {
             res.finished = true;
+            res.stopReason = StopReason::Finished;
             break;
         }
         for (auto &core : cores_)
@@ -129,14 +339,42 @@ System::runFor(Cycle n)
                 std::max(stepLastProgress_, core->lastCommitCycle());
         if (stepNow_ - stepLastProgress_ > cfg_.watchdogCycles) {
             res.deadlock = true;
+            res.stopReason = StopReason::WatchdogDeadlock;
+            res.diagnosis =
+                diagnose(stepNow_, stepNow_ - stepLastProgress_);
+            warn("watchdog: no commit for ", cfg_.watchdogCycles,
+                 " cycles at cycle ", stepNow_, "\n", res.diagnosis);
             break;
         }
-        if (cfg_.maxCycles && stepNow_ >= cfg_.maxCycles)
+        if (cfg_.maxCycles && stepNow_ >= cfg_.maxCycles) {
+            res.stopReason = StopReason::MaxCycles;
             break;
+        }
     }
     res.cycles = stepNow_;
     for (auto &core : cores_)
         res.instrs += core->stats().committedInstrs;
+
+    // Failure reports carry the flight recorder when it is on.
+    if (guardrails_ && !res.diagnosis.empty() &&
+        res.stopReason != StopReason::WatchdogDeadlock) {
+        std::string fd = guardrails_->flightDump();
+        if (!fd.empty())
+            res.diagnosis += "\n" + fd;
+    }
+
+    // Leak accounting at drain: everything transient must be back in
+    // its pool once the machine has fully wound down.
+    if (res.finished && watchInvariants) {
+        std::string err = drainLeakCheck();
+        if (!err.empty()) {
+            res.finished = false;
+            res.stopReason = StopReason::InvariantViolation;
+            res.diagnosis = err;
+            if (guardrails_)
+                guardrails_->reportInvariantViolation(err);
+        }
+    }
     return res;
 }
 

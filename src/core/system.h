@@ -4,6 +4,14 @@
  * accelerators, connectors, and the run loop. A System is configured
  * from a SystemConfig (hardware) plus a MachineSpec (software), the same
  * spec the golden-model interpreter accepts.
+ *
+ * Guardrails (SystemConfig::guardrails): the run loop can drive a
+ * lockstep commit oracle, per-cycle structural invariant checks, a
+ * deadlock diagnoser on watchdog fire, deterministic fault injection,
+ * and a crash flight recorder. Every abnormal stop is reported as a
+ * structured StopReason plus a textual diagnosis instead of a crash or
+ * a bare "deadlock" bit. All of it is inert (and the simulation
+ * bit-identical) when the config is left at its defaults.
  */
 
 #ifndef PIPETTE_CORE_SYSTEM_H
@@ -15,6 +23,7 @@
 #include <vector>
 
 #include "core/core.h"
+#include "debug/guardrails.h"
 #include "pipette/connector.h"
 #include "pipette/ra.h"
 
@@ -33,15 +42,33 @@ class System
     /** Apply a software configuration. Call exactly once. */
     void configure(const MachineSpec &spec);
 
+    /** Why the run loop returned. */
+    enum class StopReason : uint8_t
+    {
+        None,               ///< runFor() budget elapsed, still running
+        Finished,           ///< all threads halted
+        WatchdogDeadlock,   ///< no commit for watchdogCycles
+        OracleDivergence,   ///< lockstep oracle caught a wrong commit
+        InvariantViolation, ///< structural invariant check failed
+        MaxCycles,          ///< cfg.maxCycles reached
+    };
+
+    static const char *stopReasonName(StopReason r);
+
     struct RunResult
     {
         bool finished = false; ///< all threads halted
         bool deadlock = false; ///< watchdog fired
+        StopReason stopReason = StopReason::None;
+        /** Structured failure report (divergence / deadlock diagnosis /
+         *  invariant violation), with the flight-recorder dump appended
+         *  when the recorder is enabled. Empty on clean finishes. */
+        std::string diagnosis;
         Cycle cycles = 0;
         uint64_t instrs = 0; ///< committed across all cores
     };
 
-    /** Run to completion (or watchdog / maxCycles). */
+    /** Run to completion (or watchdog / guardrail stop / maxCycles). */
     RunResult run();
 
     /**
@@ -63,6 +90,15 @@ class System
     std::map<std::string, double> dumpStats() const;
 
   private:
+    /** Apply due fault injections; removes one-shot faults once taken. */
+    void applyFaults(Cycle now);
+    /** Per-cycle structural checks; false + err on first violation. */
+    bool checkInvariants(std::string *err) const;
+    /** Watchdog diagnosis: wait-for graph + queue state + flight dump. */
+    std::string diagnose(Cycle now, Cycle sinceCommit);
+    /** Post-finish quiesce + pool/register leak accounting ("" = ok). */
+    std::string drainLeakCheck();
+
     SystemConfig cfg_;
     EventQueue eq_;
     SimMemory mem_;
@@ -73,6 +109,12 @@ class System
     bool configured_ = false;
     Cycle stepNow_ = 0;          ///< runFor() cursor
     Cycle stepLastProgress_ = 0; ///< runFor() watchdog cursor
+
+    /** Software spec copy for deadlock diagnosis and the oracle. */
+    MachineSpec spec_;
+    std::unique_ptr<debug::Guardrails> guardrails_;
+    /** Faults not yet (fully) applied; drained as they fire. */
+    std::vector<FaultInjection> faultsPending_;
 };
 
 } // namespace pipette

@@ -1,0 +1,271 @@
+#include "debug/deadlock.h"
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace pipette {
+namespace debug {
+
+namespace {
+
+constexpr uint32_t
+qkey(CoreId core, QueueId q)
+{
+    return (static_cast<uint32_t>(core) << 8) | q;
+}
+
+/** Wait-for graph node: threads, then RAs, then connectors. */
+struct Node
+{
+    bool live = false; ///< progressing, or relieved by a live node
+    bool dead = false; ///< can never act again (halted/stalled/blocked)
+    std::vector<uint32_t> waitQueues; ///< queue keys this node waits on
+    bool waitOnProducers = false;     ///< else waits on consumers
+};
+
+} // namespace
+
+const char *
+waitStateName(WaitState w)
+{
+    switch (w) {
+      case WaitState::None: return "running";
+      case WaitState::FetchEmpty: return "frontend";
+      case WaitState::QueueEmpty: return "dequeue-on-empty";
+      case WaitState::QueueFull: return "enqueue-on-full";
+      case WaitState::Resource: return "resource";
+    }
+    return "?";
+}
+
+DeadlockReport
+diagnoseDeadlock(const MachineSpec &spec,
+                 const std::vector<ThreadWaitInfo> &threads,
+                 const std::vector<QueueSnapshot> &queues,
+                 const std::vector<RaSnapshot> &ras,
+                 const std::vector<ConnectorSnapshot> &conns, Cycle now,
+                 Cycle sinceCommit)
+{
+    const size_t nT = threads.size(), nR = ras.size(), nC = conns.size();
+    std::vector<Node> nodes(nT + nR + nC);
+
+    std::unordered_map<uint32_t, const QueueSnapshot *> qmap;
+    for (const QueueSnapshot &qs : queues)
+        qmap[qkey(qs.core, qs.queue)] = &qs;
+
+    // Producer/consumer topology from the software spec.
+    std::unordered_map<uint32_t, std::vector<size_t>> producers, consumers;
+    for (size_t i = 0; i < nT; i++) {
+        for (const ThreadSpec &ts : spec.threads) {
+            if (ts.core != threads[i].core || ts.tid != threads[i].tid)
+                continue;
+            for (const QueueMapSpec &m : ts.queueMaps) {
+                auto &side = m.dir == QueueDir::Out ? producers : consumers;
+                side[qkey(ts.core, m.queue)].push_back(i);
+            }
+        }
+    }
+    for (size_t j = 0; j < nR; j++) {
+        consumers[qkey(ras[j].core, ras[j].inQueue)].push_back(nT + j);
+        producers[qkey(ras[j].core, ras[j].outQueue)].push_back(nT + j);
+    }
+    for (size_t k = 0; k < nC; k++) {
+        consumers[qkey(conns[k].fromCore, conns[k].fromQueue)]
+            .push_back(nT + nR + k);
+        producers[qkey(conns[k].toCore, conns[k].toQueue)]
+            .push_back(nT + nR + k);
+    }
+
+    auto committedSize = [&](uint32_t key) -> uint64_t {
+        auto it = qmap.find(key);
+        if (it == qmap.end())
+            return 0;
+        return it->second->d.commTail - it->second->d.specHead;
+    };
+    auto hasSpace = [&](uint32_t key) -> bool {
+        auto it = qmap.find(key);
+        if (it == qmap.end())
+            return true;
+        const Qrm::QueueDiag &d = it->second->d;
+        return d.specTail - d.commHead < d.cap;
+    };
+
+    // Initial liveness.
+    for (size_t i = 0; i < nT; i++) {
+        const ThreadWaitInfo &t = threads[i];
+        Node &n = nodes[i];
+        if (t.halted) {
+            n.dead = true;
+        } else if (t.wait == WaitState::QueueEmpty) {
+            n.waitOnProducers = true;
+            for (QueueId q : t.waitEmpty) {
+                uint32_t key = qkey(t.core, q);
+                if (committedSize(key) > 0)
+                    n.live = true; // not actually blocked: slow progress
+                n.waitQueues.push_back(key);
+            }
+        } else if (t.wait == WaitState::QueueFull) {
+            for (QueueId q : t.waitFull)
+                n.waitQueues.push_back(qkey(t.core, q));
+        } else if (t.wait == WaitState::Resource && t.faultBlocked) {
+            n.dead = true; // injected pool/checkpoint block: unrelievable
+        } else {
+            // Running, frontend-stalled, or organically resource-bound:
+            // in-flight completions can still unblock it, so count it as
+            // able to act (the verdict becomes livelock/slow progress).
+            n.live = true;
+        }
+    }
+    for (size_t j = 0; j < nR; j++) {
+        const RaSnapshot &r = ras[j];
+        Node &n = nodes[nT + j];
+        uint32_t inKey = qkey(r.core, r.inQueue);
+        uint32_t outKey = qkey(r.core, r.outQueue);
+        if (r.stalled) {
+            n.dead = true;
+        } else if (r.cbSize > 0 || r.busy || committedSize(inKey) > 0) {
+            if (hasSpace(outKey))
+                n.live = true;
+            else
+                n.waitQueues.push_back(outKey); // waits on consumers
+        } else {
+            n.waitOnProducers = true;
+            n.waitQueues.push_back(inKey);
+        }
+    }
+    for (size_t k = 0; k < nC; k++) {
+        const ConnectorSnapshot &c = conns[k];
+        Node &n = nodes[nT + nR + k];
+        uint32_t fromKey = qkey(c.fromCore, c.fromQueue);
+        uint32_t toKey = qkey(c.toCore, c.toQueue);
+        bool fromAvail = committedSize(fromKey) > 0;
+        bool credits = c.inflight + c.destOccupancy < c.credits;
+        if (c.stalled) {
+            n.dead = true;
+        } else if ((c.inflight > 0 && hasSpace(toKey)) ||
+                   (fromAvail && credits)) {
+            n.live = true;
+        } else if (fromAvail || c.inflight > 0) {
+            n.waitQueues.push_back(toKey); // credit/space exhaustion
+        } else {
+            n.waitOnProducers = true;
+            n.waitQueues.push_back(fromKey);
+        }
+    }
+
+    // Relievability fixpoint.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (Node &n : nodes) {
+            if (n.live || n.dead)
+                continue;
+            for (uint32_t key : n.waitQueues) {
+                auto &side = n.waitOnProducers ? producers : consumers;
+                auto it = side.find(key);
+                if (it == side.end())
+                    continue;
+                for (size_t rel : it->second) {
+                    if (nodes[rel].live) {
+                        n.live = true;
+                        changed = true;
+                        break;
+                    }
+                }
+                if (n.live)
+                    break;
+            }
+        }
+    }
+
+    bool anyLive = false;
+    for (const Node &n : nodes)
+        anyLive |= n.live;
+
+    DeadlockReport rep;
+    rep.trueDeadlock = !anyLive;
+
+    std::ostringstream oss;
+    oss << "deadlock diagnosis at cycle " << now << " (no commit for "
+        << sinceCommit << " cycles)\n";
+    oss << "  verdict: "
+        << (rep.trueDeadlock
+                ? "TRUE DEADLOCK (no agent can make progress: wait "
+                  "cycle or dead-end starvation)"
+                : "livelock / slow progress (some agents can still act)")
+        << "\n";
+
+    std::unordered_set<uint32_t> interesting;
+    for (const Node &n : nodes)
+        for (uint32_t key : n.waitQueues)
+            interesting.insert(key);
+
+    for (size_t i = 0; i < nT; i++) {
+        const ThreadWaitInfo &t = threads[i];
+        oss << "  core " << static_cast<int>(t.core) << " t"
+            << static_cast<int>(t.tid) << ": pc=" << t.pc
+            << " committed=" << t.committed << " rob=" << t.robSize;
+        if (t.halted) {
+            oss << " HALTED\n";
+            continue;
+        }
+        oss << " wait=" << waitStateName(t.wait);
+        for (QueueId q : t.waitEmpty)
+            oss << " empty:q" << static_cast<int>(q);
+        for (QueueId q : t.waitFull)
+            oss << " full:q" << static_cast<int>(q);
+        if (t.poolExhausted)
+            oss << " dyninst-pool-exhausted";
+        if (t.ckptExhausted)
+            oss << " checkpoint-arena-exhausted";
+        if (t.faultBlocked)
+            oss << " (fault-injected block)";
+        oss << (nodes[i].live ? "" : " [unrelievable]") << "\n";
+    }
+    for (size_t j = 0; j < nR; j++) {
+        const RaSnapshot &r = ras[j];
+        oss << "  ra core " << static_cast<int>(r.core) << " q"
+            << static_cast<int>(r.inQueue) << "->q"
+            << static_cast<int>(r.outQueue) << ": cb=" << r.cbSize
+            << (r.busy ? " busy" : "") << (r.stalled ? " STALLED" : "")
+            << (nodes[nT + j].live ? "" : " [unrelievable]") << "\n";
+        interesting.insert(qkey(r.core, r.inQueue));
+        interesting.insert(qkey(r.core, r.outQueue));
+    }
+    for (size_t k = 0; k < nC; k++) {
+        const ConnectorSnapshot &c = conns[k];
+        oss << "  connector c" << static_cast<int>(c.fromCore) << ".q"
+            << static_cast<int>(c.fromQueue) << " -> c"
+            << static_cast<int>(c.toCore) << ".q"
+            << static_cast<int>(c.toQueue) << ": inflight=" << c.inflight
+            << " credits=" << c.credits
+            << " dest-occupancy=" << c.destOccupancy
+            << (c.inflight + c.destOccupancy >= c.credits
+                    ? " CREDIT-EXHAUSTED"
+                    : "")
+            << (c.stalled ? " STALLED" : "")
+            << (nodes[nT + nR + k].live ? "" : " [unrelievable]") << "\n";
+        interesting.insert(qkey(c.fromCore, c.fromQueue));
+        interesting.insert(qkey(c.toCore, c.toQueue));
+    }
+    for (const QueueSnapshot &qs : queues) {
+        uint32_t key = qkey(qs.core, qs.queue);
+        const Qrm::QueueDiag &d = qs.d;
+        bool occupied = d.specTail != d.commHead;
+        if (!occupied && !d.skipArmed && !interesting.count(key))
+            continue;
+        oss << "  queue c" << static_cast<int>(qs.core) << ".q"
+            << static_cast<int>(qs.queue) << ": cap=" << d.cap
+            << " committed=" << d.commTail - d.specHead
+            << " total=" << d.specTail - d.commHead
+            << " specHead=" << d.specHead << " specTail=" << d.specTail
+            << " commHead=" << d.commHead << " commTail=" << d.commTail
+            << (d.skipArmed ? " skip-armed" : "") << "\n";
+    }
+    rep.text = oss.str();
+    return rep;
+}
+
+} // namespace debug
+} // namespace pipette

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Watchdog deadlock diagnoser. When the run loop's watchdog fires, the
+ * System collects a snapshot of every agent's wait state (threads
+ * stalled on empty/full queues or exhausted resources, RA and connector
+ * progress state, per-queue QRM pointers) and this module classifies it:
+ *
+ *  - build the thread <-> queue wait-for relation (dequeue-on-empty,
+ *    enqueue-on-full, connector credit exhaustion, RA completion
+ *    stalls), with queue producer/consumer topology taken from the
+ *    MachineSpec;
+ *  - run a relievability fixpoint: a waiting agent is relievable if
+ *    some agent that could unblock it is progressing or itself
+ *    relievable. If no agent is live at the end, the waits form a true
+ *    deadlock (a cycle, or starvation behind a halted/stalled agent);
+ *    otherwise the system is livelocked or just slow.
+ *
+ * The report lists every non-halted agent's wait edges plus occupancy
+ * and head/tail state of each involved queue, so a wedged pipeline is
+ * diagnosable from the log alone.
+ */
+
+#ifndef PIPETTE_DEBUG_DEADLOCK_H
+#define PIPETTE_DEBUG_DEADLOCK_H
+
+#include <string>
+#include <vector>
+
+#include "isa/machine_spec.h"
+#include "pipette/qrm.h"
+#include "sim/types.h"
+
+namespace pipette {
+namespace debug {
+
+/** What a thread's rename stage is blocked on (if anything). */
+enum class WaitState : uint8_t
+{
+    None,       ///< renaming normally
+    FetchEmpty, ///< nothing renameable (frontend / redirect)
+    QueueEmpty, ///< dequeue source(s) have no committed entry
+    QueueFull,  ///< enqueue destination is full / register budget
+    Resource,   ///< ROB/IQ/LSQ/PRF/pool/checkpoint exhaustion
+};
+
+/** Per-thread wait snapshot, collected by Core::collectWaitInfo(). */
+struct ThreadWaitInfo
+{
+    CoreId core = 0;
+    ThreadId tid = 0;
+    bool halted = false;
+    Addr pc = 0;
+    uint64_t committed = 0;
+    uint64_t robSize = 0;
+    WaitState wait = WaitState::None;
+    /** Local queue ids the stalled instruction dequeues (QueueEmpty). */
+    std::vector<QueueId> waitEmpty;
+    /** Local queue id the stalled instruction enqueues (QueueFull). */
+    std::vector<QueueId> waitFull;
+    /** Resource-wait detail flags. */
+    bool poolExhausted = false;
+    bool ckptExhausted = false;
+    /** Rename blocked by an injected pool/checkpoint fault. */
+    bool faultBlocked = false;
+};
+
+/** Per-queue snapshot (one row per materialized queue). */
+struct QueueSnapshot
+{
+    CoreId core = 0;
+    QueueId queue = 0;
+    Qrm::QueueDiag d;
+};
+
+/** Per-RA snapshot. */
+struct RaSnapshot
+{
+    CoreId core = 0;
+    QueueId inQueue = 0;
+    QueueId outQueue = 0;
+    size_t cbSize = 0;
+    bool busy = false;    ///< scanning or mid-pair (holds work)
+    bool stalled = false; ///< fault-injected freeze active
+};
+
+/** Per-connector snapshot. */
+struct ConnectorSnapshot
+{
+    CoreId fromCore = 0;
+    QueueId fromQueue = 0;
+    CoreId toCore = 0;
+    QueueId toQueue = 0;
+    size_t inflight = 0;
+    uint64_t credits = 0;       ///< destination capacity
+    uint64_t destOccupancy = 0; ///< totalSize of the destination queue
+    bool stalled = false;
+};
+
+struct DeadlockReport
+{
+    /** No agent can make progress: a wait cycle or dead-end starvation. */
+    bool trueDeadlock = false;
+    std::string text;
+};
+
+/** Classify a watchdog firing; all snapshots are read-only inputs. */
+DeadlockReport diagnoseDeadlock(const MachineSpec &spec,
+                                const std::vector<ThreadWaitInfo> &threads,
+                                const std::vector<QueueSnapshot> &queues,
+                                const std::vector<RaSnapshot> &ras,
+                                const std::vector<ConnectorSnapshot> &conns,
+                                Cycle now, Cycle sinceCommit);
+
+const char *waitStateName(WaitState w);
+
+} // namespace debug
+} // namespace pipette
+
+#endif // PIPETTE_DEBUG_DEADLOCK_H

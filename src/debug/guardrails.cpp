@@ -1,0 +1,116 @@
+#include "debug/guardrails.h"
+
+#include <sstream>
+
+namespace pipette {
+namespace debug {
+
+Guardrails::Guardrails(const GuardrailConfig &cfg, const MachineSpec *spec,
+                       uint32_t defaultQueueCap)
+    : cfg_(cfg), spec_(spec), defaultQueueCap_(defaultQueueCap)
+{
+}
+
+Guardrails::~Guardrails() = default;
+
+void
+Guardrails::beginRun(const SimMemory &mem)
+{
+    if (cfg_.lockstepOracle && !oracle_) {
+        oracle_ = std::make_unique<LockstepOracle>(*spec_, mem,
+                                                   defaultQueueCap_);
+    }
+}
+
+void
+Guardrails::record(CoreId core, ThreadId tid, const FlightEvent &e)
+{
+    if (cfg_.flightRecorderDepth == 0)
+        return;
+    auto &ring = flight_[(static_cast<uint32_t>(core) << 8) | tid];
+    ring.push_back(e);
+    if (ring.size() > cfg_.flightRecorderDepth)
+        ring.pop_front();
+}
+
+void
+Guardrails::onCommit(Cycle now, CoreId core, ThreadId tid,
+                     const DynInst &inst, const PhysRegFile &prf,
+                     const SimMemory &mem)
+{
+    record(core, tid,
+           FlightEvent{FlightEvent::Kind::Commit, now, inst.pc, inst.op,
+                       inst.destIsQueue ? inst.enqQueue : INVALID_QUEUE, 0});
+    if (oracle_ && !failed() &&
+        !oracle_->onCommit(now, core, tid, inst, prf, mem)) {
+        failure_ = GuardrailFailure::OracleDivergence;
+        report_ = oracle_->report();
+    }
+}
+
+void
+Guardrails::onSquash(Cycle now, CoreId core, const DynInst &inst)
+{
+    record(core, inst.tid,
+           FlightEvent{FlightEvent::Kind::Squash, now, inst.pc, inst.op,
+                       inst.destIsQueue ? inst.enqQueue : INVALID_QUEUE, 0});
+}
+
+void
+Guardrails::onSkipDrain(Cycle now, CoreId core, ThreadId tid, QueueId q,
+                        uint32_t n)
+{
+    record(core, tid,
+           FlightEvent{FlightEvent::Kind::SkipDrain, now, 0, Op::SKIPTC, q,
+                       n});
+    if (oracle_ && !failed() && !oracle_->onSkipDrain(now, core, tid, q, n)) {
+        failure_ = GuardrailFailure::OracleDivergence;
+        report_ = oracle_->report();
+    }
+}
+
+void
+Guardrails::reportInvariantViolation(const std::string &text)
+{
+    if (failed())
+        return;
+    failure_ = GuardrailFailure::InvariantViolation;
+    report_ = text;
+}
+
+std::string
+Guardrails::flightDump() const
+{
+    if (cfg_.flightRecorderDepth == 0 || flight_.empty())
+        return "";
+    std::ostringstream oss;
+    oss << "flight recorder (last " << cfg_.flightRecorderDepth
+        << " events per thread):\n";
+    for (const auto &[key, ring] : flight_) {
+        oss << "  core " << (key >> 8) << " t" << (key & 0xff) << ":\n";
+        for (const FlightEvent &e : ring) {
+            oss << "    " << e.cycle << " ";
+            switch (e.kind) {
+              case FlightEvent::Kind::Commit:
+                oss << "commit pc=" << e.pc << " " << opInfo(e.op).name;
+                if (e.queue != INVALID_QUEUE)
+                    oss << " enq:q" << static_cast<int>(e.queue);
+                break;
+              case FlightEvent::Kind::Squash:
+                oss << "squash pc=" << e.pc << " " << opInfo(e.op).name;
+                if (e.queue != INVALID_QUEUE)
+                    oss << " enq:q" << static_cast<int>(e.queue);
+                break;
+              case FlightEvent::Kind::SkipDrain:
+                oss << "skip-drain q" << static_cast<int>(e.queue) << " x"
+                    << e.count;
+                break;
+            }
+            oss << "\n";
+        }
+    }
+    return oss.str();
+}
+
+} // namespace debug
+} // namespace pipette

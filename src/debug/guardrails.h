@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Guardrails facade: the single object the core and the System talk to
+ * when `SystemConfig::guardrails` is enabled. It owns
+ *
+ *  - the lockstep commit oracle (debug/oracle.h), fed one commit at a
+ *    time from the core's commit stage;
+ *  - the crash flight recorder: a bounded ring of the last N commits,
+ *    squashes, and non-speculative queue drains per hardware thread,
+ *    dumped into every failure report so the events leading up to a
+ *    divergence, deadlock, or invariant violation are visible;
+ *  - the failure latch the System polls each cycle to stop the run with
+ *    a structured StopReason instead of crashing on corrupted state.
+ *
+ * Cost when disabled: the core holds a null Guardrails pointer and every
+ * hook site is a single branch, so golden statistics are bit-identical.
+ */
+
+#ifndef PIPETTE_DEBUG_GUARDRAILS_H
+#define PIPETTE_DEBUG_GUARDRAILS_H
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/dyn_inst.h"
+#include "debug/oracle.h"
+#include "isa/machine_spec.h"
+#include "sim/config.h"
+
+namespace pipette {
+namespace debug {
+
+/** Which guardrail tripped (System maps this onto its StopReason). */
+enum class GuardrailFailure : uint8_t
+{
+    None,
+    OracleDivergence,
+    InvariantViolation,
+};
+
+/** Per-run guardrail state; owned by the System, hooked by the cores. */
+class Guardrails
+{
+  public:
+    /** `spec` must outlive this object (the System's stored copy). */
+    Guardrails(const GuardrailConfig &cfg, const MachineSpec *spec,
+               uint32_t defaultQueueCap);
+    ~Guardrails();
+
+    /**
+     * Arm the run-time guardrails. Called at the top of every
+     * System::runFor; the oracle snapshots the (now fully populated)
+     * memory image on the first call only.
+     */
+    void beginRun(const SimMemory &mem);
+
+    // --- Core hooks (call sites guard on a null Guardrails*) ---
+    void onCommit(Cycle now, CoreId core, ThreadId tid, const DynInst &inst,
+                  const PhysRegFile &prf, const SimMemory &mem);
+    void onSquash(Cycle now, CoreId core, const DynInst &inst);
+    void onSkipDrain(Cycle now, CoreId core, ThreadId tid, QueueId q,
+                     uint32_t n);
+
+    /** Latch an invariant violation found by the System's cycle check. */
+    void reportInvariantViolation(const std::string &text);
+
+    bool failed() const { return failure_ != GuardrailFailure::None; }
+    GuardrailFailure failure() const { return failure_; }
+    /** Structured description of the latched failure. */
+    const std::string &report() const { return report_; }
+
+    /** Last-events dump, all threads (empty if the recorder is off). */
+    std::string flightDump() const;
+
+  private:
+    struct FlightEvent
+    {
+        enum class Kind : uint8_t { Commit, Squash, SkipDrain };
+        Kind kind;
+        Cycle cycle;
+        Addr pc;
+        Op op;
+        QueueId queue; ///< enqueue target / drained queue (or invalid)
+        uint32_t count; ///< drained entries (SkipDrain)
+    };
+
+    void record(CoreId core, ThreadId tid, const FlightEvent &e);
+
+    GuardrailConfig cfg_;
+    const MachineSpec *spec_;
+    uint32_t defaultQueueCap_;
+    std::unique_ptr<LockstepOracle> oracle_;
+    /** Ordered map so the dump walks threads deterministically. */
+    std::map<uint32_t, std::deque<FlightEvent>> flight_;
+    GuardrailFailure failure_ = GuardrailFailure::None;
+    std::string report_;
+};
+
+} // namespace debug
+} // namespace pipette
+
+#endif // PIPETTE_DEBUG_GUARDRAILS_H

@@ -1,0 +1,64 @@
+#include "debug/invariants.h"
+
+#include <sstream>
+
+namespace pipette {
+namespace debug {
+
+bool
+checkQrmConsistency(const Qrm &qrm, CoreId core, std::string *err)
+{
+    uint64_t held = 0;
+    for (QueueId q = 0; q < qrm.numQueues(); q++) {
+        Qrm::QueueDiag d = qrm.diag(q);
+        bool ordered = d.commHead <= d.specHead && d.specHead <= d.commTail &&
+                       d.commTail <= d.specTail;
+        bool bounded = d.specTail - d.commHead <= d.cap;
+        if (!ordered || !bounded) {
+            std::ostringstream oss;
+            oss << "QRM pointer invariant violated on core "
+                << static_cast<int>(core) << " queue " << static_cast<int>(q)
+                << ": specHead=" << d.specHead << " specTail=" << d.specTail
+                << " commHead=" << d.commHead << " commTail=" << d.commTail
+                << " cap=" << d.cap
+                << (!ordered ? " (ordering commHead<=specHead<=commTail<="
+                               "specTail broken)"
+                             : " (occupancy exceeds capacity)");
+            *err = oss.str();
+            return false;
+        }
+        held += d.specTail - d.commHead;
+    }
+    if (held != qrm.regsInUse() || qrm.regsInUse() > qrm.maxRegs()) {
+        std::ostringstream oss;
+        oss << "QRM register accounting violated on core "
+            << static_cast<int>(core) << ": sum of queue occupancy " << held
+            << " vs regsInUse " << qrm.regsInUse() << " (budget "
+            << qrm.maxRegs() << ")";
+        *err = oss.str();
+        return false;
+    }
+    return true;
+}
+
+bool
+checkConnectorCredits(CoreId fromCore, QueueId fromQueue, CoreId toCore,
+                      QueueId toQueue, size_t inflight,
+                      uint64_t destOccupancy, uint64_t destCapacity,
+                      std::string *err)
+{
+    if (inflight + destOccupancy <= destCapacity)
+        return true;
+    std::ostringstream oss;
+    oss << "connector credit conservation violated on c"
+        << static_cast<int>(fromCore) << ".q" << static_cast<int>(fromQueue)
+        << " -> c" << static_cast<int>(toCore) << ".q"
+        << static_cast<int>(toQueue) << ": inflight " << inflight
+        << " + dest occupancy " << destOccupancy << " > capacity "
+        << destCapacity;
+    *err = oss.str();
+    return false;
+}
+
+} // namespace debug
+} // namespace pipette

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Structural invariant checks, run once per cycle by the System when
+ * `GuardrailConfig::invariantChecks` is set (and at drain for the leak
+ * checks). Each check returns false and fills `err` with a structured
+ * description on the first violation; the run loop then stops with
+ * StopReason::InvariantViolation instead of crashing later on the
+ * corrupted state.
+ */
+
+#ifndef PIPETTE_DEBUG_INVARIANTS_H
+#define PIPETTE_DEBUG_INVARIANTS_H
+
+#include <string>
+
+#include "pipette/qrm.h"
+
+namespace pipette {
+namespace debug {
+
+/**
+ * QRM pointer consistency for every queue of one core:
+ * commHead <= specHead <= commTail <= specTail, occupancy within
+ * capacity, and the per-core register budget accounting
+ * (sum of totalSize == regsInUse <= maxRegs).
+ */
+bool checkQrmConsistency(const Qrm &qrm, CoreId core, std::string *err);
+
+/**
+ * Connector credit conservation: in-flight flits plus destination
+ * occupancy never exceed the destination capacity (the credit budget).
+ */
+bool checkConnectorCredits(CoreId fromCore, QueueId fromQueue,
+                           CoreId toCore, QueueId toQueue, size_t inflight,
+                           uint64_t destOccupancy, uint64_t destCapacity,
+                           std::string *err);
+
+} // namespace debug
+} // namespace pipette
+
+#endif // PIPETTE_DEBUG_INVARIANTS_H

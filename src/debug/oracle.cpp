@@ -1,0 +1,222 @@
+#include "debug/oracle.h"
+
+#include <sstream>
+
+namespace pipette {
+namespace debug {
+
+namespace {
+
+/** Human-readable form of a committed micro-op. */
+std::string
+disasm(const DynInst &inst)
+{
+    if (inst.si && inst.op == inst.si->op)
+        return inst.si->toString();
+    return opInfo(inst.op).name;
+}
+
+} // namespace
+
+LockstepOracle::LockstepOracle(const MachineSpec &spec,
+                               const SimMemory &initialMem,
+                               uint32_t defaultQueueCap)
+    : spec_(spec), interp_(spec_, &mem_, defaultQueueCap)
+{
+    mem_.copyFrom(initialMem);
+    interp_.setLockstep(true);
+    for (size_t i = 0; i < spec_.threads.size(); i++) {
+        const ThreadSpec &ts = spec_.threads[i];
+        threadIdx_[(static_cast<uint32_t>(ts.core) << 8) | ts.tid] = i;
+    }
+}
+
+size_t
+LockstepOracle::threadIndex(CoreId core, ThreadId tid) const
+{
+    auto it = threadIdx_.find((static_cast<uint32_t>(core) << 8) | tid);
+    panic_if(it == threadIdx_.end(), "oracle: commit from unknown thread c",
+             static_cast<int>(core), ".t", static_cast<int>(tid));
+    return it->second;
+}
+
+void
+LockstepOracle::fail(const std::string &text)
+{
+    diverged_ = true;
+    report_ = text;
+}
+
+bool
+LockstepOracle::onCommit(Cycle now, CoreId core, ThreadId tid,
+                         const DynInst &inst, const PhysRegFile &prf,
+                         const SimMemory &coreMem)
+{
+    if (diverged_)
+        return false;
+    size_t idx = threadIndex(core, tid);
+
+    std::ostringstream hdr;
+    hdr << "lockstep oracle divergence at cycle " << now << ", core "
+        << static_cast<int>(core) << " thread " << static_cast<int>(tid)
+        << ", commit #" << interp_.threadInstrs(idx) + 1 << "\n  pc " << inst.pc
+        << ": " << disasm(inst) << "\n";
+
+    if (interp_.threadHalted(idx)) {
+        fail(hdr.str() + "  core committed an instruction after the golden "
+                         "model halted this thread");
+        return false;
+    }
+
+    // First check: the commit streams must agree on *which* instruction
+    // retires next. A wrong-path commit or a mis-taken branch shows up
+    // here on the very next commit of the thread.
+    if (interp_.threadPc(idx) != inst.pc) {
+        std::ostringstream oss;
+        oss << hdr.str() << "  golden model is at pc "
+            << interp_.threadPc(idx) << ", core committed pc " << inst.pc;
+        fail(oss.str());
+        return false;
+    }
+
+    // An enqueue trap is a timing decision (the queue was skip-armed
+    // when the producer renamed); mirror the arm onto the golden queue
+    // so the interpreter takes the same trap.
+    if (inst.op == Op::ENQTRAP) {
+        interp_.setSkipArmed(core, static_cast<QueueId>(inst.cvQid), true);
+    }
+
+    // Step the golden thread until it retires exactly one instruction.
+    // A step may block on a queue whose producer is an RA or connector
+    // (non-speculative agents with no commit stream of their own):
+    // sweep them until the thread can proceed. A skiptc discard steps
+    // without retiring, hence the loop on the instruction counter.
+    uint64_t before = interp_.threadInstrs(idx);
+    uint64_t guard = 0;
+    while (interp_.threadInstrs(idx) == before) {
+        if (!interp_.stepThreadAt(idx) && !interp_.sweepAgents()) {
+            std::ostringstream oss;
+            oss << hdr.str()
+                << "  golden model is blocked on a queue here (no RA or "
+                   "connector can supply it), but the core committed";
+            fail(oss.str());
+            return false;
+        }
+        if (++guard > 1'000'000) {
+            fail(hdr.str() + "  golden model failed to retire after 1M "
+                             "steps (runaway skip drain?)");
+            return false;
+        }
+    }
+
+    // Architectural comparison: destination registers.
+    ArchRegId darch[DynInst::MAX_DESTS];
+    int ncmp = 0;
+    if (inst.op == Op::CVTRAP) {
+        darch[ncmp++] = reg::CVVAL;
+        darch[ncmp++] = reg::CVQID;
+        darch[ncmp++] = reg::CVRET;
+    } else if (inst.op == Op::ENQTRAP) {
+        darch[ncmp++] = reg::CVQID;
+        darch[ncmp++] = reg::CVRET;
+    } else if (inst.ndest == 1 && !inst.destIsQueue) {
+        darch[ncmp++] = inst.si->rd;
+    }
+    for (int d = 0; d < ncmp; d++) {
+        uint64_t got = prf.read(inst.dests[d]);
+        uint64_t want = interp_.reg(idx, darch[d]);
+        if (got != want) {
+            std::ostringstream oss;
+            oss << hdr.str() << "  dest r" << static_cast<int>(darch[d])
+                << ": core wrote " << got << ", golden model expects "
+                << want;
+            fail(oss.str());
+            return false;
+        }
+    }
+
+    // Enqueued entry: the golden push just happened, so it is the
+    // newest entry of the golden queue.
+    if (inst.destIsQueue) {
+        if (interp_.queueSize(core, inst.enqQueue) == 0) {
+            fail(hdr.str() + "  core enqueued but the golden queue is "
+                             "empty after the same instruction");
+            return false;
+        }
+        auto [want, wantCtrl] = interp_.queueBack(core, inst.enqQueue);
+        uint64_t got = prf.read(inst.dests[0]);
+        bool gotCtrl = inst.si->op == Op::ENQC;
+        if (got != want || gotCtrl != wantCtrl) {
+            std::ostringstream oss;
+            oss << hdr.str() << "  enqueue to q"
+                << static_cast<int>(inst.enqQueue) << ": core pushed "
+                << got << (gotCtrl ? " (ctrl)" : "")
+                << ", golden model pushed " << want
+                << (wantCtrl ? " (ctrl)" : "");
+            fail(oss.str());
+            return false;
+        }
+    }
+
+    // Stored memory: both models have applied the store by now.
+    if ((inst.isStore || inst.isAtomic) && inst.memSize > 0) {
+        uint64_t got = coreMem.read(inst.memAddr, inst.memSize);
+        uint64_t want = mem_.read(inst.memAddr, inst.memSize);
+        if (got != want) {
+            std::ostringstream oss;
+            oss << hdr.str() << "  memory [" << inst.memAddr << " +"
+                << static_cast<int>(inst.memSize) << "]: core has " << got
+                << ", golden model has " << want;
+            fail(oss.str());
+            return false;
+        }
+    }
+
+    if (inst.op == Op::HALT && !interp_.threadHalted(idx)) {
+        fail(hdr.str() + "  core committed HALT but the golden model "
+                         "thread is still running");
+        return false;
+    }
+    return true;
+}
+
+bool
+LockstepOracle::onSkipDrain(Cycle now, CoreId core, ThreadId tid, QueueId q,
+                            uint32_t n)
+{
+    if (diverged_)
+        return false;
+    for (uint32_t i = 0; i < n; i++) {
+        // The drained entries are committed in the core, but the golden
+        // producer (an RA or connector) may not have pushed them yet.
+        uint64_t guard = 0;
+        while (interp_.queueSize(core, q) == 0) {
+            if (!interp_.sweepAgents() || ++guard > 1'000'000) {
+                std::ostringstream oss;
+                oss << "lockstep oracle divergence at cycle " << now
+                    << ", core " << static_cast<int>(core) << " thread "
+                    << static_cast<int>(tid) << "\n  skip_to_ctrl drained "
+                    << n << " committed entries of q" << static_cast<int>(q)
+                    << ", but the golden queue ran dry after " << i;
+                fail(oss.str());
+                return false;
+            }
+        }
+        auto [v, ctrl] = interp_.popQueueFront(core, q);
+        if (ctrl) {
+            std::ostringstream oss;
+            oss << "lockstep oracle divergence at cycle " << now << ", core "
+                << static_cast<int>(core) << " thread "
+                << static_cast<int>(tid)
+                << "\n  skip_to_ctrl drain consumed a data entry, but the "
+                   "golden queue head of q"
+                << static_cast<int>(q) << " is a control value (" << v << ")";
+            fail(oss.str());
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace debug
+} // namespace pipette

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Lockstep commit oracle. Runs the golden-model functional interpreter
+ * (isa/interp.h) one retired instruction at a time alongside the
+ * out-of-order core: every commit the core makes is replayed on the
+ * interpreter and the architectural effects are compared immediately --
+ * PC of the committed instruction, destination register values (incl.
+ * CV trap payloads), enqueued queue entries, and stored memory. The run
+ * halts at the *first* diverging commit with a structured report,
+ * instead of an end-of-run memory diff that says nothing about where
+ * the pipeline went wrong.
+ *
+ * The interpreter runs in lockstep mode (Interp::setLockstep): it never
+ * takes skip-arming decisions on its own, because those are
+ * timing-dependent choices the OOO core already made. The oracle
+ * mirrors them explicitly: an ENQTRAP commit pre-arms the interpreter
+ * queue, and the core's non-speculative skip_to_ctrl drain is mirrored
+ * through onSkipDrain().
+ *
+ * Scope: the oracle assumes a race-free program whose cross-thread
+ * communication goes through Pipette queues (the intended programming
+ * model). Threads racing on shared memory can legitimately diverge
+ * from the sequential golden model and are not supported.
+ */
+
+#ifndef PIPETTE_DEBUG_ORACLE_H
+#define PIPETTE_DEBUG_ORACLE_H
+
+#include <string>
+#include <unordered_map>
+
+#include "core/dyn_inst.h"
+#include "isa/interp.h"
+#include "isa/machine_spec.h"
+#include "mem/sim_memory.h"
+#include "pipette/regfile.h"
+#include "sim/types.h"
+
+namespace pipette {
+namespace debug {
+
+/** Golden-model shadow of the whole system, stepped per commit. */
+class LockstepOracle
+{
+  public:
+    /** Snapshots the spec and the pre-run memory image. */
+    LockstepOracle(const MachineSpec &spec, const SimMemory &initialMem,
+                   uint32_t defaultQueueCap);
+
+    /**
+     * Verify one commit of thread (core, tid). Called from the core's
+     * commit stage after the instruction's architectural effects are
+     * applied (stores written, queue pointers advanced) but before it
+     * leaves the ROB. Returns false on the first divergence; report()
+     * then holds the structured description.
+     */
+    bool onCommit(Cycle now, CoreId core, ThreadId tid, const DynInst &inst,
+                  const PhysRegFile &prf, const SimMemory &coreMem);
+
+    /**
+     * Mirror the core's non-speculative skip_to_ctrl drain: n committed
+     * data entries of (core, q) were consumed outside commit.
+     */
+    bool onSkipDrain(Cycle now, CoreId core, ThreadId tid, QueueId q,
+                     uint32_t n);
+
+    bool diverged() const { return diverged_; }
+    const std::string &report() const { return report_; }
+
+  private:
+    size_t threadIndex(CoreId core, ThreadId tid) const;
+    void fail(const std::string &text);
+
+    MachineSpec spec_; ///< owned copy; interp_ references it
+    SimMemory mem_;    ///< golden memory image, evolves with the interp
+    Interp interp_;
+    std::unordered_map<uint32_t, size_t> threadIdx_; ///< (core<<8|tid)
+    bool diverged_ = false;
+    std::string report_;
+};
+
+} // namespace debug
+} // namespace pipette
+
+#endif // PIPETTE_DEBUG_ORACLE_H

@@ -22,13 +22,23 @@ Runner::run(WorkloadBase &wl, Variant v, const std::string &inputName,
     r.variant = v;
     r.numCores = numCores;
     r.finished = res.finished;
+    r.stopReason = res.stopReason;
+    r.diagnosis = res.diagnosis;
     r.cycles = res.cycles;
     r.instrs = res.instrs;
     r.ipc = res.cycles ? static_cast<double>(res.instrs) / res.cycles : 0;
     r.verified = res.finished && wl.verify(sys);
     if (!r.verified) {
-        warn(wl.name(), "/", variantName(v), " on ", inputName,
-             res.finished ? ": verification failed" : ": did not finish");
+        if (res.finished) {
+            warn(wl.name(), "/", variantName(v), " on ", inputName,
+                 ": verification failed (result mismatch)");
+        } else {
+            warn(wl.name(), "/", variantName(v), " on ", inputName,
+                 ": stopped early: ",
+                 System::stopReasonName(res.stopReason));
+            if (!res.diagnosis.empty())
+                warn("diagnosis:\n", res.diagnosis);
+        }
     }
     r.agg = sys.aggregateCoreStats();
     double tot = 0;
@@ -40,6 +50,17 @@ Runner::run(WorkloadBase &wl, Variant v, const std::string &inputName,
     }
     r.energy = computeEnergy(sys);
     return r;
+}
+
+std::string
+runStatus(const RunResult &r)
+{
+    if (r.verified)
+        return "yes";
+    if (r.finished)
+        return "NO (result mismatch)";
+    return std::string("NO (") + System::stopReasonName(r.stopReason) +
+           ")";
 }
 
 double

@@ -23,6 +23,12 @@ struct RunResult
     Variant variant = Variant::Serial;
     bool verified = false;
     bool finished = false;
+    /** Why the run stopped (distinguishes deadlock / guardrail stops
+     *  from a plain verification mismatch). */
+    System::StopReason stopReason = System::StopReason::None;
+    /** Structured failure report from the guardrails (empty when the
+     *  run finished cleanly). */
+    std::string diagnosis;
     Cycle cycles = 0;
     uint64_t instrs = 0;
     double ipc = 0;
@@ -52,6 +58,12 @@ class Runner
   private:
     SystemConfig base_;
 };
+
+/**
+ * Short status cell for report tables: "yes" for a verified run,
+ * otherwise the reason it is not ("NO (watchdog-deadlock)", ...).
+ */
+std::string runStatus(const RunResult &r);
 
 /** Geometric mean of a non-empty vector. */
 double gmean(const std::vector<double> &xs);

@@ -141,7 +141,9 @@ Interp::stepThread(FThread &t)
                  static_cast<int>(in.rs1));
         FQueue &q = queue(core, t.mapQ[in.rs1]);
         if (q.q.empty()) {
-            if (isSkip)
+            // In lockstep mode arming is dictated by the OOO core's
+            // commits (setSkipArmed), never decided here.
+            if (isSkip && !lockstep_)
                 q.skipArmed = true;
             return false;
         }
@@ -315,8 +317,9 @@ Interp::stepRa(FRa &ra)
     FQueue &out = queue(s.core, s.outQueue);
 
     // Propagate a consumer-side skip upstream so the real producer
-    // thread takes the enqueue trap (see DESIGN.md).
-    if (out.skipArmed && !in.skipArmed)
+    // thread takes the enqueue trap (see DESIGN.md). In lockstep mode
+    // the oracle mirrors the OOO core's arm decisions instead.
+    if (!lockstep_ && out.skipArmed && !in.skipArmed)
         in.skipArmed = true;
 
     if (out.full())
@@ -387,12 +390,23 @@ Interp::stepRa(FRa &ra)
 }
 
 bool
+Interp::sweepAgents()
+{
+    bool progressed = false;
+    for (FRa &ra : ras_)
+        progressed |= stepRa(ra);
+    for (const ConnectorSpec &c : spec_.connectors)
+        progressed |= stepConnector(c);
+    return progressed;
+}
+
+bool
 Interp::stepConnector(const ConnectorSpec &c)
 {
     FQueue &from = queue(c.fromCore, c.fromQueue);
     FQueue &to = queue(c.toCore, c.toQueue);
 
-    if (to.skipArmed && !from.skipArmed)
+    if (!lockstep_ && to.skipArmed && !from.skipArmed)
         from.skipArmed = true;
 
     if (from.q.empty() || to.full())

@@ -51,6 +51,61 @@ class Interp
     /** Instructions retired by thread `idx`. */
     uint64_t threadInstrs(size_t idx) const;
 
+    // --- Lockstep stepping API (debug/oracle.h) -----------------------
+    //
+    // The lockstep oracle replays the OOO core's commit stream one
+    // retired instruction at a time instead of calling run(). In this
+    // mode the interpreter must not take skip-arming decisions on its
+    // own (skiptc-on-empty arming, RA/connector arm propagation): those
+    // are timing-dependent choices the OOO core already made, and the
+    // oracle dictates them explicitly via setSkipArmed().
+
+    /** Enter/leave lockstep mode (suppresses interp-initiated arming). */
+    void setLockstep(bool on) { lockstep_ = on; }
+
+    size_t numThreads() const { return threads_.size(); }
+    Addr threadPc(size_t idx) const { return threads_[idx].pc; }
+    bool threadHalted(size_t idx) const { return threads_[idx].halted; }
+
+    /** Execute one step of thread `idx`; false if blocked on a queue.
+     *  A true return may be a skiptc discard (no instruction retired):
+     *  callers loop until threadInstrs() increments. */
+    bool stepThreadAt(size_t idx) { return stepThread(threads_[idx]); }
+
+    /** One pass over every RA and connector; true if any progressed. */
+    bool sweepAgents();
+
+    /** Force a queue's skip-armed state (mirrors an OOO arm decision). */
+    void
+    setSkipArmed(CoreId core, QueueId q, bool v)
+    {
+        queue(core, q).skipArmed = v;
+    }
+
+    size_t
+    queueSize(CoreId core, QueueId q)
+    {
+        return queue(core, q).q.size();
+    }
+
+    /** (value, ctrl) of the newest entry (the most recent push). */
+    std::pair<uint64_t, bool>
+    queueBack(CoreId core, QueueId q)
+    {
+        return queue(core, q).q.back();
+    }
+
+    /** Pop the oldest entry (mirrors the core's non-speculative
+     *  skip_to_ctrl drain, which consumes entries outside commit). */
+    std::pair<uint64_t, bool>
+    popQueueFront(CoreId core, QueueId q)
+    {
+        FQueue &fq = queue(core, q);
+        auto e = fq.q.front();
+        fq.q.pop_front();
+        return e;
+    }
+
   private:
     struct FQueue
     {
@@ -99,6 +154,7 @@ class Interp
     std::vector<FRa> ras_;
     std::unordered_map<uint32_t, FQueue> queues_;
     uint32_t defaultCap_;
+    bool lockstep_ = false;
 };
 
 } // namespace pipette

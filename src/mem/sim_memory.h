@@ -117,6 +117,22 @@ class SimMemory
     /** Number of mapped pages (for tests). */
     size_t mappedPages() const { return pages_.size(); }
 
+    /**
+     * Replace this memory's contents with a deep copy of another's.
+     * Used by the lockstep oracle to give the golden model a private
+     * snapshot of the populated address space at run start.
+     */
+    void
+    copyFrom(const SimMemory &other)
+    {
+        pages_.clear();
+        for (const auto &[num, page] : other.pages_) {
+            auto p = std::make_unique<uint8_t[]>(PAGE_SIZE);
+            std::memcpy(p.get(), page.get(), PAGE_SIZE);
+            pages_.emplace(num, std::move(p));
+        }
+    }
+
   private:
     const uint8_t *
     pageFor(Addr addr) const

@@ -15,6 +15,9 @@ Connector::Connector(const ConnectorSpec &spec, Qrm *fromQrm,
 void
 Connector::tick(Cycle now)
 {
+    if (now < stalledUntil_)
+        return; // fault-injected freeze: hold all state as-is
+
     // Skip propagation: consumer-side arm reaches the real producer --
     // but only while no control value is anywhere in the path (source
     // queue or in-flight flits). If one is on its way it will clear the

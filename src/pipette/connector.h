@@ -36,6 +36,19 @@ class Connector
     /** True when nothing is in flight (quiesce/teardown check). */
     bool idle() const { return inflight_.empty(); }
 
+    /**
+     * Fault injection (FaultKind::DropConnectorCredits): freeze the
+     * connector until the given cycle. No flits are sent or delivered
+     * while frozen; in-flight flits are retained, so entries are delayed
+     * but never lost or duplicated.
+     */
+    void injectStall(Cycle until) { stalledUntil_ = until; }
+
+    // --- Guardrail diagnostics ---
+    const ConnectorSpec &spec() const { return spec_; }
+    size_t inflightSize() const { return inflight_.size(); }
+    Cycle stalledUntil() const { return stalledUntil_; }
+
   private:
     struct Flit
     {
@@ -52,6 +65,7 @@ class Connector
     CoreStats *stats_;
     uint32_t latency_;
     uint32_t bandwidth_;
+    Cycle stalledUntil_ = 0; ///< fault injection; 0 = not stalled
     std::deque<Flit> inflight_;
 };
 

@@ -161,6 +161,38 @@ class Qrm
     void enqueueNonSpec(QueueId q, PhysRegId reg, bool ctrl);
 
     // --- Introspection ---
+    /** Pointer/state snapshot of one queue (guardrail diagnostics).
+     *  Invariant: commHead <= specHead <= commTail <= specTail and
+     *  specTail - commHead <= cap (checked by debug/invariants.h). */
+    struct QueueDiag
+    {
+        uint64_t specHead = 0, specTail = 0, commHead = 0, commTail = 0;
+        uint32_t cap = 0;
+        bool skipArmed = false;
+    };
+
+    QueueDiag
+    diag(QueueId q) const
+    {
+        const Queue &Q = at(q);
+        return QueueDiag{Q.specHead, Q.specTail, Q.commHead,
+                         Q.commTail,  Q.cap,     Q.skipArmed};
+    }
+
+    /**
+     * Fault injection (FaultKind::CorruptQueueState): push the committed
+     * tail past the speculative tail, breaking pointer consistency. The
+     * run loop applies this before any stage can consume the phantom
+     * entries, so the invariant checker must catch it first.
+     */
+    void
+    injectTailCorruption(QueueId q)
+    {
+        Queue &Q = at(q);
+        Q.commTail = Q.specTail + 1;
+        Q.version++;
+    }
+
     /** Committed occupancy (entries a consumer could dequeue). */
     uint64_t
     committedSize(QueueId q) const

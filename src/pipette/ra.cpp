@@ -28,6 +28,11 @@ RefAccel::issueLoad(Addr addr, Cycle now, CbEntry *entry)
 void
 RefAccel::tick(Cycle now)
 {
+    // Fault-injected freeze, checked before the idle memo so a stalled
+    // RA stays inert even when its queues mutate.
+    if (now < stalledUntil_)
+        return;
+
     // Idle fast path: no in-flight work and neither queue has changed
     // since the last do-nothing tick, so this tick cannot act either.
     if (idleValid_ && cb_.empty() && !pendingSecond_ && !scanning_ &&

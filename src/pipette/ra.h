@@ -52,6 +52,19 @@ class RefAccel
         return cb_.empty() && !scanning_ && !haveStart_ && !pendingSecond_;
     }
 
+    /**
+     * Fault injection (FaultKind::DelayRaCompletion): freeze the RA
+     * until the given cycle. Outstanding loads still complete into the
+     * completion buffer, but nothing is retired or newly issued, so the
+     * consumer side starves until the stall lifts.
+     */
+    void injectStall(Cycle until) { stalledUntil_ = until; }
+
+    // --- Guardrail diagnostics ---
+    const RaSpec &spec() const { return spec_; }
+    size_t cbSize() const { return cb_.size(); }
+    Cycle stalledUntil() const { return stalledUntil_; }
+
   private:
     /**
      * Completion-buffer entry. Entries live by value in the bounded
@@ -80,6 +93,7 @@ class RefAccel
     CoreStats *stats_;
     PortArbiter ports_;
 
+    Cycle stalledUntil_ = 0; ///< fault injection; 0 = not stalled
     BoundedDeque<CbEntry> cb_;
     bool scanning_ = false;
     bool haveStart_ = false;

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "sim/types.h"
 
@@ -138,6 +139,77 @@ struct MemConfig
     uint32_t coherencePenalty = 15;
 };
 
+/**
+ * One deterministic fault to inject mid-run (guardrail testing). Each
+ * kind exercises a different failure class the guardrails must detect:
+ * stalled connectors and RAs wedge the pipeline (watchdog + deadlock
+ * diagnoser), blocked pools starve rename (watchdog), flipped queue
+ * payloads corrupt data (lockstep oracle), and corrupted QRM pointers
+ * break structural invariants (invariant checker).
+ */
+enum class FaultKind : uint8_t
+{
+    /** Stall connector `index`: no sends or deliveries while active. */
+    DropConnectorCredits,
+    /** Stall RA `index`: it neither issues nor retires while active. */
+    DelayRaCompletion,
+    /** Rename on core `core` behaves as if the DynInst pool were empty. */
+    BlockDynInstPool,
+    /** Rename on core `core` behaves as if the checkpoint arena were empty. */
+    BlockCheckpointArena,
+    /** XOR bit `bit` into the committed head value of (core, queue). */
+    FlipQueuePayload,
+    /** Advance (core, queue)'s committed tail past its speculative tail. */
+    CorruptQueueState,
+};
+
+/** One scheduled fault. Interpretation of index/core/queue is per kind. */
+struct FaultInjection
+{
+    FaultKind kind = FaultKind::FlipQueuePayload;
+    /** First cycle the fault may apply (FlipQueuePayload retries until
+     *  the target queue has a committed data head). */
+    uint64_t atCycle = 0;
+    /** Cycles the fault stays active; 0 = rest of the run. Only
+     *  meaningful for the stall/block kinds. */
+    uint64_t duration = 0;
+    /** Connector or RA index, in MachineSpec declaration order. */
+    uint32_t index = 0;
+    CoreId core = 0;
+    QueueId queue = 0;
+    /** FlipQueuePayload: which bit (0-63) of the value to flip. */
+    uint32_t bit = 0;
+};
+
+/**
+ * Guardrail layer configuration (src/debug/). Everything defaults off;
+ * with the whole struct disabled the run loop takes no guardrail
+ * branches, so golden statistics stay bit-identical.
+ */
+struct GuardrailConfig
+{
+    /**
+     * Run the golden-model interpreter in lockstep, one step per
+     * committed instruction, and stop at the first diverging commit.
+     * Supports race-free programs (per-location single writer across
+     * threads); cross-thread shared-memory races diverge by design.
+     */
+    bool lockstepOracle = false;
+    /** Per-cycle QRM/credit invariant checks + leak accounting at drain. */
+    bool invariantChecks = false;
+    /** Per-thread flight-recorder depth in events (0 = off). */
+    uint32_t flightRecorderDepth = 0;
+    /** Deterministic fault plan (applied by the run loop). */
+    std::vector<FaultInjection> faults;
+
+    bool
+    enabled() const
+    {
+        return lockstepOracle || invariantChecks ||
+               flightRecorderDepth > 0 || !faults.empty();
+    }
+};
+
 /** Parameters of the whole simulated system. */
 struct SystemConfig
 {
@@ -154,6 +226,9 @@ struct SystemConfig
     uint64_t watchdogCycles = 500'000;
     /** Hard cap on simulated cycles (0 = unlimited). */
     uint64_t maxCycles = 0;
+
+    /** Debug guardrails (oracle, invariants, flight recorder, faults). */
+    GuardrailConfig guardrails;
 
     /** Human-readable one-line summary (Table IV style). */
     std::string summary() const;

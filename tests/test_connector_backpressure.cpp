@@ -1,0 +1,150 @@
+// Connector backpressure tests: a consumer-stalled connector must not
+// lose or duplicate entries, and credits (in-flight + destination
+// occupancy vs. destination capacity) must conserve across a forced
+// stall/resume -- checked every cycle by the invariant guardrail.
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "isa/assembler.h"
+
+namespace pipette {
+namespace {
+
+constexpr Reg QOUT = R::r11;
+constexpr Reg QIN = R::r12;
+
+/** Two cores bridged by a connector on queue 0; consumer folds with
+ *  add and the producer terminates with a CV. */
+struct CrossCorePipeline
+{
+    Program prod{"prod"};
+    Program cons{"cons"};
+    MachineSpec spec;
+    uint32_t n;
+
+    explicit CrossCorePipeline(uint32_t n_, bool slowConsumer = false)
+        : n(n_)
+    {
+        {
+            Asm a(&prod);
+            auto loop = a.label();
+            a.li(R::r1, 1);
+            a.bind(loop);
+            a.mov(QOUT, R::r1);
+            a.addi(R::r1, R::r1, 1);
+            a.blti(R::r1, n + 1, loop);
+            a.enqc(QOUT, R::zero);
+            a.halt();
+            a.finalize();
+        }
+        Addr handler;
+        {
+            Asm a(&cons);
+            auto loop = a.label();
+            auto hdl = a.label("h");
+            a.li(R::r1, 0);
+            a.bind(loop);
+            a.add(R::r1, R::r1, QIN);
+            if (slowConsumer) {
+                // Long dependency chain between dequeues so the
+                // destination queue backs up and throttles the sender.
+                a.mul(R::r2, R::r1, R::r1);
+                a.mul(R::r2, R::r2, R::r2);
+                a.mul(R::r2, R::r2, R::r2);
+            }
+            a.jmp(loop);
+            a.bind(hdl);
+            a.halt();
+            a.finalize();
+            handler = cons.labels().at("h");
+        }
+        spec.addThread(0, 0, &prod).queueMaps.push_back(
+            {QOUT.idx, 0, QueueDir::Out});
+        auto &tc = spec.addThread(1, 0, &cons);
+        tc.queueMaps.push_back({QIN.idx, 0, QueueDir::In});
+        tc.deqHandler = static_cast<int64_t>(handler);
+        spec.connectors.push_back({0, 0, 1, 0});
+    }
+
+    uint64_t
+    expect() const
+    {
+        return static_cast<uint64_t>(n) * (n + 1) / 2;
+    }
+};
+
+SystemConfig
+cfg2()
+{
+    SystemConfig cfg;
+    cfg.numCores = 2;
+    cfg.watchdogCycles = 200'000;
+    cfg.maxCycles = 50'000'000;
+    return cfg;
+}
+
+TEST(ConnectorBackpressure, SlowConsumerLosesNothing)
+{
+    // Tiny destination queue (4 credits) + slow consumer: the sender is
+    // credit-throttled for most of the run. Per-cycle credit invariants
+    // on, plus leak accounting at drain.
+    CrossCorePipeline p(800, /*slowConsumer=*/true);
+    p.spec.queueCaps.push_back({1, 0, 4});
+    SystemConfig cfg = cfg2();
+    cfg.guardrails.invariantChecks = true;
+    System sys(cfg);
+    sys.configure(p.spec);
+    auto res = sys.run();
+    ASSERT_TRUE(res.finished) << res.diagnosis;
+    EXPECT_EQ(res.stopReason, System::StopReason::Finished);
+    // Sum of 1..n is wrong if any entry was dropped or duplicated.
+    EXPECT_EQ(sys.core(1).readArchReg(0, 1), p.expect());
+    // Exactly n data values + 1 CV crossed the connector.
+    EXPECT_EQ(sys.core(0).stats().connectorTransfers,
+              static_cast<uint64_t>(p.n) + 1);
+}
+
+TEST(ConnectorBackpressure, CreditsConserveAcrossInjectedStallResume)
+{
+    // Freeze the connector mid-stream for 20k cycles, then resume. The
+    // invariant guardrail checks credit conservation every cycle
+    // through the stall and the refill burst after it; the final sum
+    // proves no entry was lost or duplicated across the transition.
+    CrossCorePipeline p(800);
+    SystemConfig cfg = cfg2();
+    cfg.guardrails.invariantChecks = true;
+    cfg.guardrails.faults.push_back(
+        {FaultKind::DropConnectorCredits, 1000, 20'000, 0, 0, 0, 0});
+    System sys(cfg);
+    sys.configure(p.spec);
+    auto res = sys.run();
+    ASSERT_TRUE(res.finished) << res.diagnosis;
+    EXPECT_EQ(res.stopReason, System::StopReason::Finished);
+    EXPECT_TRUE(res.diagnosis.empty()) << res.diagnosis;
+    EXPECT_EQ(sys.core(1).readArchReg(0, 1), p.expect());
+    EXPECT_EQ(sys.core(0).stats().connectorTransfers,
+              static_cast<uint64_t>(p.n) + 1);
+    // The stall delayed the run past the fault window.
+    EXPECT_GT(res.cycles, 21'000u);
+}
+
+TEST(ConnectorBackpressure, OracleCleanAcrossConnector)
+{
+    // Lockstep oracle across a cross-core stream: entry order is
+    // preserved by the connector, so the golden model must track the
+    // core commit-for-commit even though delivery timing differs.
+    CrossCorePipeline p(500);
+    SystemConfig cfg = cfg2();
+    cfg.guardrails.lockstepOracle = true;
+    cfg.guardrails.invariantChecks = true;
+    System sys(cfg);
+    sys.configure(p.spec);
+    auto res = sys.run();
+    ASSERT_TRUE(res.finished) << res.diagnosis;
+    EXPECT_EQ(res.stopReason, System::StopReason::Finished);
+    EXPECT_EQ(sys.core(1).readArchReg(0, 1), p.expect());
+}
+
+} // namespace
+} // namespace pipette

@@ -1,0 +1,427 @@
+// Guardrail tests (src/debug/): every injected fault class must be
+// caught by the matching guardrail -- a structured StopReason plus a
+// non-empty textual diagnosis, never a crash -- while clean runs with
+// every guardrail enabled still finish, verify, and pass the drain
+// leak accounting.
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "isa/assembler.h"
+
+namespace pipette {
+namespace {
+
+constexpr Reg QOUT = R::r11;
+constexpr Reg QIN = R::r12;
+
+SystemConfig
+guardCfg(uint32_t cores = 1)
+{
+    SystemConfig cfg;
+    cfg.numCores = cores;
+    cfg.watchdogCycles = 25'000;
+    cfg.maxCycles = 20'000'000;
+    return cfg;
+}
+
+/**
+ * Producer/consumer pipeline on core 0: the producer streams 1..n
+ * through queue 0 (optionally bounced through an indirect RA into
+ * queue 1) and terminates with a CV; the consumer folds with add.
+ */
+struct Pipeline
+{
+    Program prod{"prod"};
+    Program cons{"cons"};
+    MachineSpec spec;
+    uint32_t n;
+
+    static constexpr Addr ARR = 0x80000;
+
+    explicit Pipeline(uint32_t n_, bool useRa = false,
+                      bool slowConsumer = false)
+        : n(n_)
+    {
+        {
+            Asm a(&prod);
+            auto loop = a.label();
+            a.li(R::r1, 1);
+            a.bind(loop);
+            a.mov(QOUT, R::r1);
+            a.addi(R::r1, R::r1, 1);
+            a.blti(R::r1, n + 1, loop);
+            a.enqc(QOUT, R::zero);
+            a.halt();
+            a.finalize();
+        }
+        Addr handler;
+        {
+            Asm a(&cons);
+            auto loop = a.label();
+            auto hdl = a.label("h");
+            a.li(R::r1, 0);
+            a.bind(loop);
+            a.add(R::r1, R::r1, QIN);
+            if (slowConsumer) {
+                // Dependent mul chain: commit lags, the ROB fills, and
+                // committed entries pile up in the queue (so a payload
+                // fault always finds an un-dequeued committed head).
+                a.mul(R::r2, R::r1, R::r1);
+                a.mul(R::r2, R::r2, R::r2);
+                a.mul(R::r2, R::r2, R::r2);
+            }
+            a.jmp(loop);
+            a.bind(hdl);
+            a.halt();
+            a.finalize();
+            handler = cons.labels().at("h");
+        }
+        spec.addThread(0, 0, &prod).queueMaps.push_back(
+            {QOUT.idx, 0, QueueDir::Out});
+        auto &tc = spec.addThread(0, 1, &cons);
+        tc.deqHandler = static_cast<int64_t>(handler);
+        if (useRa) {
+            tc.queueMaps.push_back({QIN.idx, 1, QueueDir::In});
+            spec.ras.push_back({0, 0, 1, ARR, 8, RaMode::Indirect});
+        } else {
+            tc.queueMaps.push_back({QIN.idx, 0, QueueDir::In});
+        }
+    }
+
+    /** Host expectation of the consumer's r1 (no-RA shape). */
+    uint64_t
+    expect() const
+    {
+        return static_cast<uint64_t>(n) * (n + 1) / 2;
+    }
+};
+
+TEST(Guardrails, CleanRunWithEverythingOn)
+{
+    Pipeline p(400);
+    SystemConfig cfg = guardCfg();
+    cfg.guardrails.lockstepOracle = true;
+    cfg.guardrails.invariantChecks = true;
+    cfg.guardrails.flightRecorderDepth = 32;
+    System sys(cfg);
+    sys.configure(p.spec);
+    auto res = sys.run();
+    ASSERT_TRUE(res.finished) << res.diagnosis;
+    EXPECT_EQ(res.stopReason, System::StopReason::Finished);
+    EXPECT_FALSE(res.deadlock);
+    EXPECT_TRUE(res.diagnosis.empty()) << res.diagnosis;
+    EXPECT_EQ(sys.core(0).readArchReg(1, 1), p.expect());
+}
+
+TEST(Guardrails, OracleCatchesFlippedPayloadAtFirstBadCommit)
+{
+    // Reference: the same program without faults, to know how long a
+    // clean run takes.
+    Cycle cleanCycles;
+    {
+        Pipeline p(3000, false, /*slowConsumer=*/true);
+        System sys(guardCfg());
+        sys.configure(p.spec);
+        auto res = sys.run();
+        ASSERT_TRUE(res.finished);
+        ASSERT_EQ(sys.core(0).readArchReg(1, 1), p.expect());
+        cleanCycles = res.cycles;
+    }
+
+    Pipeline p(3000, false, /*slowConsumer=*/true);
+    SystemConfig cfg = guardCfg();
+    cfg.guardrails.lockstepOracle = true;
+    cfg.guardrails.faults.push_back(
+        {FaultKind::FlipQueuePayload, 2000, 0, 0, 0, 0, 17});
+    System sys(cfg);
+    sys.configure(p.spec);
+    auto res = sys.run();
+    EXPECT_FALSE(res.finished);
+    EXPECT_EQ(res.stopReason, System::StopReason::OracleDivergence);
+    ASSERT_FALSE(res.diagnosis.empty());
+    EXPECT_NE(res.diagnosis.find("lockstep oracle divergence"),
+              std::string::npos)
+        << res.diagnosis;
+    EXPECT_NE(res.diagnosis.find("golden model"), std::string::npos)
+        << res.diagnosis;
+    // Caught at the first diverging commit, not by comparing final
+    // state: the run stops well before a clean run finishes.
+    EXPECT_LT(res.cycles, cleanCycles);
+}
+
+TEST(Guardrails, OracleCleanAcrossSkipDrainAndEnqTraps)
+{
+    // Enqueue-trap producer + skiptc consumer (the non-speculative
+    // drain path the oracle mirrors through onSkipDrain).
+    Program prod("prod");
+    Addr enqHandler;
+    {
+        Asm a(&prod);
+        auto loop = a.label();
+        auto hdl = a.label("eh");
+        auto done = a.label("done");
+        a.li(R::r1, 0);
+        a.li(R::r2, 0);
+        a.bind(loop);
+        a.mov(QOUT, R::r1);
+        a.addi(R::r1, R::r1, 1);
+        a.jmp(loop);
+        a.bind(hdl);
+        a.addi(R::r2, R::r2, 1);
+        a.enqc(QOUT, R::r2);
+        a.beqi(R::r2, 2, done);
+        a.li(R::r1, 1000);
+        a.jmp(loop);
+        a.bind(done);
+        a.halt();
+        a.finalize();
+        enqHandler = prod.labels().at("eh");
+    }
+    Program cons("cons");
+    {
+        Asm a(&cons);
+        a.mov(R::r1, QIN);
+        a.skiptc(R::r2, QIN);
+        a.mov(R::r3, QIN);
+        a.skiptc(R::r4, QIN);
+        a.halt();
+        a.finalize();
+    }
+    MachineSpec spec;
+    auto &tp = spec.addThread(0, 0, &prod);
+    tp.queueMaps.push_back({QOUT.idx, 0, QueueDir::Out});
+    tp.enqHandler = static_cast<int64_t>(enqHandler);
+    spec.addThread(0, 1, &cons).queueMaps.push_back(
+        {QIN.idx, 0, QueueDir::In});
+    spec.queueCaps.push_back({0, 0, 8});
+
+    SystemConfig cfg = guardCfg();
+    cfg.guardrails.lockstepOracle = true;
+    cfg.guardrails.invariantChecks = true;
+    System sys(cfg);
+    sys.configure(spec);
+    auto res = sys.run();
+    ASSERT_TRUE(res.finished) << res.diagnosis;
+    EXPECT_EQ(res.stopReason, System::StopReason::Finished);
+    EXPECT_EQ(sys.core(0).readArchReg(1, 2), 1u);
+    EXPECT_EQ(sys.core(0).readArchReg(1, 4), 2u);
+}
+
+TEST(Guardrails, InvariantCheckCatchesCorruptQueueState)
+{
+    Pipeline p(2000);
+    SystemConfig cfg = guardCfg();
+    cfg.guardrails.invariantChecks = true;
+    cfg.guardrails.faults.push_back(
+        {FaultKind::CorruptQueueState, 1000, 0, 0, 0, 0, 0});
+    System sys(cfg);
+    sys.configure(p.spec);
+    auto res = sys.run();
+    EXPECT_FALSE(res.finished);
+    EXPECT_EQ(res.stopReason, System::StopReason::InvariantViolation);
+    ASSERT_FALSE(res.diagnosis.empty());
+    EXPECT_NE(res.diagnosis.find("QRM pointer invariant violated"),
+              std::string::npos)
+        << res.diagnosis;
+    // Caught the same cycle the fault landed, before any consumer could
+    // dequeue the phantom entry.
+    EXPECT_EQ(res.cycles, 1000u);
+}
+
+TEST(Guardrails, WatchdogDiagnosesBlockedDynInstPool)
+{
+    Program p("spin");
+    {
+        Asm a(&p);
+        auto loop = a.label();
+        a.li(R::r1, 0);
+        a.bind(loop);
+        a.addi(R::r1, R::r1, 1);
+        a.jmp(loop);
+        a.halt();
+        a.finalize();
+    }
+    MachineSpec spec;
+    spec.addThread(0, 0, &p);
+    SystemConfig cfg = guardCfg();
+    cfg.guardrails.faults.push_back(
+        {FaultKind::BlockDynInstPool, 200, 0, 0, 0, 0, 0});
+    System sys(cfg);
+    sys.configure(spec);
+    auto res = sys.run();
+    EXPECT_FALSE(res.finished);
+    EXPECT_TRUE(res.deadlock);
+    EXPECT_EQ(res.stopReason, System::StopReason::WatchdogDeadlock);
+    ASSERT_FALSE(res.diagnosis.empty());
+    EXPECT_NE(res.diagnosis.find("fault-injected block"),
+              std::string::npos)
+        << res.diagnosis;
+    EXPECT_NE(res.diagnosis.find("TRUE DEADLOCK"), std::string::npos)
+        << res.diagnosis;
+}
+
+TEST(Guardrails, WatchdogDiagnosesBlockedCheckpointArena)
+{
+    Program p("loop");
+    {
+        Asm a(&p);
+        auto loop = a.label();
+        a.li(R::r1, 0);
+        a.bind(loop);
+        a.addi(R::r1, R::r1, 1);
+        a.blti(R::r1, 1'000'000'000, loop); // branch: needs a checkpoint
+        a.halt();
+        a.finalize();
+    }
+    MachineSpec spec;
+    spec.addThread(0, 0, &p);
+    SystemConfig cfg = guardCfg();
+    cfg.guardrails.faults.push_back(
+        {FaultKind::BlockCheckpointArena, 200, 0, 0, 0, 0, 0});
+    System sys(cfg);
+    sys.configure(spec);
+    auto res = sys.run();
+    EXPECT_FALSE(res.finished);
+    EXPECT_EQ(res.stopReason, System::StopReason::WatchdogDeadlock);
+    EXPECT_NE(res.diagnosis.find("fault-injected block"),
+              std::string::npos)
+        << res.diagnosis;
+}
+
+TEST(Guardrails, WatchdogDiagnosesStalledRa)
+{
+    Pipeline p(400, /*useRa=*/true);
+    SystemConfig cfg = guardCfg();
+    cfg.guardrails.faults.push_back(
+        {FaultKind::DelayRaCompletion, 500, 0, 0, 0, 0, 0});
+    System sys(cfg);
+    for (uint32_t i = 0; i < 1024; i++)
+        sys.memory().write(Pipeline::ARR + 8 * i, 8, i * 7 + 3);
+    sys.configure(p.spec);
+    auto res = sys.run();
+    EXPECT_FALSE(res.finished);
+    EXPECT_EQ(res.stopReason, System::StopReason::WatchdogDeadlock);
+    ASSERT_FALSE(res.diagnosis.empty());
+    EXPECT_NE(res.diagnosis.find("ra core 0"), std::string::npos)
+        << res.diagnosis;
+    EXPECT_NE(res.diagnosis.find("STALLED"), std::string::npos)
+        << res.diagnosis;
+    EXPECT_NE(res.diagnosis.find("TRUE DEADLOCK"), std::string::npos)
+        << res.diagnosis;
+}
+
+TEST(Guardrails, WatchdogDiagnosesStalledConnectorWithFlightRecorder)
+{
+    Program prod("prod");
+    {
+        Asm a(&prod);
+        auto loop = a.label();
+        a.li(R::r1, 1);
+        a.bind(loop);
+        a.mov(QOUT, R::r1);
+        a.addi(R::r1, R::r1, 1);
+        a.blti(R::r1, 501, loop);
+        a.enqc(QOUT, R::zero);
+        a.halt();
+        a.finalize();
+    }
+    Program cons("cons");
+    Addr handler;
+    {
+        Asm a(&cons);
+        auto loop = a.label();
+        auto hdl = a.label("h");
+        a.li(R::r1, 0);
+        a.bind(loop);
+        a.add(R::r1, R::r1, QIN);
+        a.jmp(loop);
+        a.bind(hdl);
+        a.halt();
+        a.finalize();
+        handler = cons.labels().at("h");
+    }
+    MachineSpec spec;
+    spec.addThread(0, 0, &prod).queueMaps.push_back(
+        {QOUT.idx, 0, QueueDir::Out});
+    auto &tc = spec.addThread(1, 0, &cons);
+    tc.queueMaps.push_back({QIN.idx, 0, QueueDir::In});
+    tc.deqHandler = static_cast<int64_t>(handler);
+    spec.connectors.push_back({0, 0, 1, 0});
+
+    SystemConfig cfg = guardCfg(2);
+    cfg.guardrails.flightRecorderDepth = 16;
+    cfg.guardrails.faults.push_back(
+        {FaultKind::DropConnectorCredits, 500, 0, 0, 0, 0, 0});
+    System sys(cfg);
+    sys.configure(spec);
+    auto res = sys.run();
+    EXPECT_FALSE(res.finished);
+    EXPECT_EQ(res.stopReason, System::StopReason::WatchdogDeadlock);
+    ASSERT_FALSE(res.diagnosis.empty());
+    EXPECT_NE(res.diagnosis.find("connector c0.q0 -> c1.q0"),
+              std::string::npos)
+        << res.diagnosis;
+    EXPECT_NE(res.diagnosis.find("STALLED"), std::string::npos)
+        << res.diagnosis;
+    EXPECT_NE(res.diagnosis.find("flight recorder"), std::string::npos)
+        << res.diagnosis;
+}
+
+TEST(Guardrails, MaxCyclesStopReason)
+{
+    Program p("spin");
+    {
+        Asm a(&p);
+        auto loop = a.label();
+        a.bind(loop);
+        a.addi(R::r1, R::r1, 1);
+        a.jmp(loop);
+        a.halt();
+        a.finalize();
+    }
+    MachineSpec spec;
+    spec.addThread(0, 0, &p);
+    SystemConfig cfg = guardCfg();
+    cfg.maxCycles = 5000;
+    cfg.watchdogCycles = 1'000'000;
+    System sys(cfg);
+    sys.configure(spec);
+    auto res = sys.run();
+    EXPECT_FALSE(res.finished);
+    EXPECT_FALSE(res.deadlock);
+    EXPECT_EQ(res.stopReason, System::StopReason::MaxCycles);
+}
+
+TEST(Guardrails, RunForReportsNoneMidRun)
+{
+    Pipeline p(200);
+    System sys(guardCfg());
+    sys.configure(p.spec);
+    auto res = sys.runFor(50);
+    EXPECT_FALSE(res.finished);
+    EXPECT_EQ(res.stopReason, System::StopReason::None);
+    for (int i = 0; i < 10'000 && !res.finished; i++)
+        res = sys.runFor(5000);
+    ASSERT_TRUE(res.finished);
+    EXPECT_EQ(res.stopReason, System::StopReason::Finished);
+    EXPECT_EQ(sys.core(0).readArchReg(1, 1), p.expect());
+}
+
+TEST(Guardrails, StopReasonNames)
+{
+    EXPECT_STREQ(System::stopReasonName(System::StopReason::Finished),
+                 "finished");
+    EXPECT_STREQ(
+        System::stopReasonName(System::StopReason::WatchdogDeadlock),
+        "watchdog-deadlock");
+    EXPECT_STREQ(
+        System::stopReasonName(System::StopReason::OracleDivergence),
+        "oracle-divergence");
+    EXPECT_STREQ(
+        System::stopReasonName(System::StopReason::InvariantViolation),
+        "invariant-violation");
+}
+
+} // namespace
+} // namespace pipette
