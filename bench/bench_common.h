@@ -5,10 +5,17 @@
  * input construction (Table V/VI proxies at laptop scale), and the full
  * evaluation sweep used by Figs. 9-13.
  *
- * Flags: --quick (quarter-scale inputs, fewer of them) and --scale=F
- * (multiply all input sizes). The default sizes keep working sets a few
- * times larger than the scaled-down LLC, mirroring the paper's setup
- * (see EXPERIMENTS.md).
+ * Flags: --quick (quarter-scale inputs, fewer of them), --scale=F
+ * (multiply all input sizes), --jobs=N / --jobs N (simulate N sweep
+ * cells concurrently; default hardware concurrency, 1 = the serial
+ * path, no threads), and --fresh (ignore the on-disk sweep cache). The
+ * default sizes keep working sets a few times larger than the
+ * scaled-down LLC, mirroring the paper's setup (see EXPERIMENTS.md).
+ *
+ * Sweep cells are independent Systems, so the sweep runs them through
+ * parallel::SimJobPool. Results, progress lines, and the cached CSV are
+ * collected in submission order and are byte-identical for every
+ * --jobs value (DESIGN.md section 8).
  */
 
 #ifndef PIPETTE_BENCH_COMMON_H
@@ -16,9 +23,12 @@
 
 #include <cstring>
 #include <memory>
+#include <thread>
 
 #include "harness/report.h"
 #include "harness/runner.h"
+#include "parallel/sim_job_pool.h"
+#include "sim/hash.h"
 #include "workloads/bfs.h"
 #include "workloads/cc.h"
 #include "workloads/graph.h"
@@ -34,6 +44,9 @@ struct BenchOpts
 {
     double scale = 1.0;
     bool quick = false;
+    bool fresh = false;
+    /** Concurrent sweep cells; 0 = hardware concurrency. */
+    unsigned jobs = 0;
 
     static BenchOpts
     parse(int argc, char **argv)
@@ -42,12 +55,27 @@ struct BenchOpts
         for (int i = 1; i < argc; i++) {
             if (std::strcmp(argv[i], "--quick") == 0)
                 o.quick = true;
+            else if (std::strcmp(argv[i], "--fresh") == 0)
+                o.fresh = true;
             else if (std::strncmp(argv[i], "--scale=", 8) == 0)
                 o.scale = std::atof(argv[i] + 8);
+            else if (std::strncmp(argv[i], "--jobs=", 7) == 0)
+                o.jobs = static_cast<unsigned>(std::atoi(argv[i] + 7));
+            else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+                o.jobs = static_cast<unsigned>(std::atoi(argv[++i]));
         }
         if (o.quick)
             o.scale *= 0.25;
         return o;
+    }
+
+    unsigned
+    effectiveJobs() const
+    {
+        if (jobs)
+            return jobs;
+        unsigned hw = std::thread::hardware_concurrency();
+        return hw ? hw : 1;
     }
 };
 
@@ -77,6 +105,9 @@ struct AppInput
     std::shared_ptr<Graph> graph;         // graph apps
     std::shared_ptr<SparseMatrix> matA;   // spmm
     std::shared_ptr<SparseMatrix> matBt;  // spmm
+    /** Workload-parameter hash for inputs not covered by the fields
+     *  above (silo key/query counts, PRD iteration caps, ...). */
+    uint64_t paramHash = 0;
     std::function<std::unique_ptr<WorkloadBase>()> make;
 };
 
@@ -87,7 +118,7 @@ makeSuite(const BenchOpts &o)
     std::vector<AppInput> suite;
 
     auto addGraphApp = [&](const std::string &app, double appScale,
-                           auto makeFn) {
+                           uint64_t paramHash, auto makeFn) {
         auto inputs = makeTable5Inputs(o.scale * appScale);
         for (auto &gi : inputs) {
             if (o.quick && gi.name != "Co" && gi.name != "Rd")
@@ -96,23 +127,24 @@ makeSuite(const BenchOpts &o)
             ai.app = app;
             ai.input = gi.name;
             ai.graph = std::make_shared<Graph>(std::move(gi.graph));
+            ai.paramHash = paramHash;
             ai.make = [g = ai.graph, makeFn] { return makeFn(g.get()); };
             suite.push_back(std::move(ai));
         }
     };
 
-    addGraphApp("bfs", 0.6, [](const Graph *g) {
+    addGraphApp("bfs", 0.6, 0, [](const Graph *g) {
         return std::unique_ptr<WorkloadBase>(new BfsWorkload(g));
     });
-    addGraphApp("cc", 0.35, [](const Graph *g) {
+    addGraphApp("cc", 0.35, 0, [](const Graph *g) {
         return std::unique_ptr<WorkloadBase>(new CcWorkload(g));
     });
-    addGraphApp("prd", 0.3, [](const Graph *g) {
+    addGraphApp("prd", 0.3, 3, [](const Graph *g) {
         PrdParams p;
         p.maxIters = 3;
         return std::unique_ptr<WorkloadBase>(new PrdWorkload(g, p));
     });
-    addGraphApp("radii", 0.25, [](const Graph *g) {
+    addGraphApp("radii", 0.25, 16, [](const Graph *g) {
         RadiiParams p;
         p.numSources = 16;
         return std::unique_ptr<WorkloadBase>(new RadiiWorkload(g, p));
@@ -132,6 +164,7 @@ makeSuite(const BenchOpts &o)
                 makeSparseMatrix(ai.matA->n,
                                  ai.matA->avgNnzPerRow(), 777)
                     .transpose());
+            ai.paramHash = 6; // numCols
             ai.make = [a = ai.matA, bt = ai.matBt] {
                 SpmmWorkload::Options so;
                 so.numCols = 6;
@@ -153,6 +186,10 @@ makeSuite(const BenchOpts &o)
                                  static_cast<uint32_t>(120000 * o.scale));
         uint32_t queries =
             std::max(500u, static_cast<uint32_t>(5000 * o.scale));
+        Fnv1a ph;
+        ph.pod(keys);
+        ph.pod(queries);
+        ai.paramHash = ph.value();
         ai.make = [keys, queries] {
             SiloWorkload::Options so;
             so.numKeys = keys;
@@ -189,8 +226,9 @@ struct SweepResult
 };
 
 // The sweep backs Figs. 9-13; cache its results on disk so running all
-// bench binaries in sequence simulates the suite only once. Delete
-// pipette_sweep_*.csv (or pass --fresh) to force re-simulation.
+// bench binaries in sequence simulates the suite only once. The cache
+// is keyed by a fingerprint of the full SystemConfig plus every input
+// (below); pass --fresh to force re-simulation regardless.
 inline std::string
 sweepCachePath(const BenchOpts &o)
 {
@@ -200,12 +238,66 @@ sweepCachePath(const BenchOpts &o)
     return buf;
 }
 
+/**
+ * Fingerprint of everything the sweep's results depend on: the system
+ * configuration and, per suite cell, the workload name plus the actual
+ * input data (full CSR arrays -- cheap next to simulating them). A
+ * config or generator change therefore invalidates the cache instead of
+ * silently reloading stale rows.
+ */
+inline uint64_t
+sweepFingerprint(const BenchOpts &o, const std::vector<AppInput> &suite,
+                 bool includeStreaming)
+{
+    Fnv1a h;
+    h.pod(configFingerprint(baseConfig()));
+    h.pod(o.scale);
+    h.pod(o.quick);
+    h.pod(includeStreaming);
+    h.pod(static_cast<uint64_t>(suite.size()));
+    for (const AppInput &ai : suite) {
+        h.str(ai.app);
+        h.str(ai.input);
+        h.pod(ai.paramHash);
+        if (ai.graph) {
+            h.pod(ai.graph->numVertices);
+            h.vec(ai.graph->offsets);
+            h.vec(ai.graph->neighbors);
+        }
+        for (const auto &m : {ai.matA, ai.matBt}) {
+            if (!m)
+                continue;
+            h.pod(m->n);
+            h.vec(m->rowPtr);
+            h.vec(m->colIdx);
+            h.vec(m->values);
+        }
+    }
+    return h.value();
+}
+
 inline bool
-loadSweepCache(const std::string &path, SweepResult *out)
+loadSweepCache(const std::string &path, uint64_t fingerprint,
+               SweepResult *out)
 {
     FILE *f = std::fopen(path.c_str(), "r");
     if (!f)
         return false;
+    // Header: "# pipette-sweep v2 cfg=<hex fingerprint>". Headerless
+    // (pre-fingerprint) files fail the check and are re-simulated.
+    char line[128];
+    unsigned long long cached = 0;
+    if (!std::fgets(line, sizeof(line), f) ||
+        std::sscanf(line, "# pipette-sweep v2 cfg=%llx", &cached) != 1 ||
+        cached != fingerprint) {
+        std::fprintf(stderr,
+                     "  (sweep cache %s invalidated: config/input "
+                     "fingerprint %016llx != %016llx; re-simulating)\n",
+                     path.c_str(), cached,
+                     static_cast<unsigned long long>(fingerprint));
+        std::fclose(f);
+        return false;
+    }
     char app[32], input[32];
     int variant, verified, finished;
     unsigned long long cycles, instrs;
@@ -233,11 +325,14 @@ loadSweepCache(const std::string &path, SweepResult *out)
 }
 
 inline void
-saveSweepCache(const std::string &path, const SweepResult &res)
+saveSweepCache(const std::string &path, uint64_t fingerprint,
+               const SweepResult &res)
 {
     FILE *f = std::fopen(path.c_str(), "w");
     if (!f)
         return;
+    std::fprintf(f, "# pipette-sweep v2 cfg=%016llx\n",
+                 static_cast<unsigned long long>(fingerprint));
     for (const RunResult &r : res.runs) {
         std::fprintf(
             f, "%s,%s,%d,%d,%d,%llu,%llu,%.6f,%.6f,%.6f,%.6f,%.6f,"
@@ -254,35 +349,79 @@ saveSweepCache(const std::string &path, const SweepResult &res)
     std::fclose(f);
 }
 
+/**
+ * Run an ad-hoc batch of sweep cells under --jobs workers, results in
+ * submission order (shared by the sensitivity-sweep figure binaries).
+ */
+inline std::vector<RunResult>
+runJobs(const BenchOpts &o, const std::vector<parallel::SimJob> &jobs)
+{
+    parallel::SimJobPool pool(o.effectiveJobs());
+    return pool.runAll(jobs);
+}
+
+/** Convenience SimJob builder for the bench binaries. */
+template <typename MakeFn>
+inline parallel::SimJob
+simJob(const SystemConfig &cfg, MakeFn makeFn, Variant v,
+       const std::string &input, uint32_t numCores = 1)
+{
+    parallel::SimJob j;
+    j.config = cfg;
+    j.make = [makeFn](uint64_t) {
+        return std::unique_ptr<WorkloadBase>(makeFn());
+    };
+    j.variant = v;
+    j.input = input;
+    j.numCores = numCores;
+    return j;
+}
+
 inline SweepResult
 runSweep(const BenchOpts &o, bool includeStreaming = true)
 {
     SweepResult out;
+    auto suite = makeSuite(o);
+    uint64_t fingerprint = sweepFingerprint(o, suite, includeStreaming);
     std::string cache = sweepCachePath(o);
-    if (loadSweepCache(cache, &out)) {
+    if (!o.fresh && loadSweepCache(cache, fingerprint, &out)) {
         std::fprintf(stderr, "  (sweep results loaded from %s)\n",
                      cache.c_str());
         return out;
     }
-    Runner runner(baseConfig());
-    auto suite = makeSuite(o);
+
+    std::vector<parallel::SimJob> jobs;
+    std::vector<std::string> cellApp; // progress-line labels, by index
     for (AppInput &ai : suite) {
         for (Variant v : {Variant::Serial, Variant::DataParallel,
                           Variant::Pipette, Variant::Streaming}) {
             if (v == Variant::Streaming && !includeStreaming)
                 continue;
-            auto wl = ai.make();
             uint32_t cores = v == Variant::Streaming ? 4 : 1;
-            RunResult r = runner.run(*wl, v, ai.input, cores);
-            std::fprintf(stderr, "  ran %-6s %-7s %-14s %10llu cycles%s\n",
-                         ai.app.c_str(), ai.input.c_str(),
-                         variantName(v),
-                         static_cast<unsigned long long>(r.cycles),
-                         r.verified ? "" : "  [VERIFY FAILED]");
-            out.runs.push_back(std::move(r));
+            parallel::SimJob j;
+            j.config = baseConfig();
+            j.make = [make = ai.make](uint64_t) { return make(); };
+            j.variant = v;
+            j.input = ai.input;
+            j.numCores = cores;
+            j.seed = jobs.size();
+            jobs.push_back(std::move(j));
+            cellApp.push_back(ai.app);
         }
     }
-    saveSweepCache(cache, out);
+
+    parallel::SimJobPool pool(o.effectiveJobs());
+    if (pool.numWorkers() > 1)
+        std::fprintf(stderr, "  (sweep: %zu cells on %u workers)\n",
+                     jobs.size(), pool.numWorkers());
+    out.runs = pool.runAll(jobs, [&](size_t i, const RunResult &r) {
+        std::fprintf(stderr, "  ran %-6s %-7s %-14s %10llu cycles%s\n",
+                     cellApp[i].c_str(), jobs[i].input.c_str(),
+                     variantName(jobs[i].variant),
+                     static_cast<unsigned long long>(r.cycles),
+                     r.verified ? "" : "  [VERIFY FAILED]");
+    });
+    saveSweepCache(cache, fingerprint, out);
     return out;
 }
 

@@ -23,7 +23,6 @@ main(int argc, char **argv)
     std::printf("input: Rd road proxy, %u vertices, %u edges\n\n",
                 rd.numVertices, rd.numEdges());
 
-    Runner runner(baseConfig());
     struct Row
     {
         const char *name;
@@ -37,11 +36,12 @@ main(int argc, char **argv)
         {"streaming-4c", Variant::Streaming, 4},
     };
 
-    std::vector<RunResult> rs;
-    for (const Row &row : rows) {
-        BfsWorkload wl(&rd);
-        rs.push_back(runner.run(wl, row.v, "Rd", row.cores));
-    }
+    std::vector<parallel::SimJob> jobs;
+    for (const Row &row : rows)
+        jobs.push_back(simJob(
+            baseConfig(), [&rd] { return new BfsWorkload(&rd); }, row.v,
+            "Rd", row.cores));
+    std::vector<RunResult> rs = runJobs(o, jobs);
 
     Table t({"variant", "speedup-vs-serial", "core-IPC", "verified"});
     double serialCycles = static_cast<double>(rs[0].cycles);

@@ -25,18 +25,16 @@ main(int argc, char **argv)
 
     const uint32_t prfs[] = {180, 212, 244, 276, 308};
 
-    // Serial baseline at the default 212-entry PRF.
-    std::vector<double> serialCycles;
-    {
-        Runner r0(baseConfig());
-        for (auto *gi : picks) {
-            BfsWorkload wl(&gi->graph);
-            serialCycles.push_back(static_cast<double>(
-                r0.run(wl, Variant::Serial, gi->name).cycles));
-        }
-    }
+    // Every cell of the sweep -- the serial baselines at the default
+    // 212-entry PRF plus (PRF, input, variant) -- is an independent
+    // System, so batch them all through one job pool.
+    std::vector<parallel::SimJob> jobs;
+    for (auto *gi : picks)
+        jobs.push_back(simJob(
+            baseConfig(), [g = &gi->graph] { return new BfsWorkload(g); },
+            Variant::Serial, gi->name));
 
-    Table t({"PRF", "queue-cap", "data-parallel", "pipette"});
+    std::vector<uint32_t> queueCaps;
     for (uint32_t prf : prfs) {
         SystemConfig cfg = baseConfig();
         cfg.core.physRegs = prf;
@@ -46,21 +44,31 @@ main(int argc, char **argv)
         cfg.core.maxQueueRegs = mappable;
         cfg.core.queueCapacity =
             std::max(8u, 32 * mappable / 148);
-        Runner runner(cfg);
+        queueCaps.push_back(cfg.core.queueCapacity);
+        for (auto *gi : picks)
+            for (Variant v : {Variant::DataParallel, Variant::Pipette})
+                jobs.push_back(simJob(
+                    cfg, [g = &gi->graph] { return new BfsWorkload(g); },
+                    v, gi->name));
+    }
+    std::vector<RunResult> rs = runJobs(o, jobs);
+
+    std::vector<double> serialCycles;
+    for (size_t i = 0; i < picks.size(); i++)
+        serialCycles.push_back(static_cast<double>(rs[i].cycles));
+
+    Table t({"PRF", "queue-cap", "data-parallel", "pipette"});
+    size_t cell = picks.size();
+    for (size_t p = 0; p < std::size(prfs); p++) {
         std::vector<double> sDp, sPip;
         for (size_t i = 0; i < picks.size(); i++) {
-            BfsWorkload wlD(&picks[i]->graph);
-            auto rd = runner.run(wlD, Variant::DataParallel,
-                                 picks[i]->name);
             sDp.push_back(serialCycles[i] /
-                          static_cast<double>(rd.cycles));
-            BfsWorkload wlP(&picks[i]->graph);
-            auto rp = runner.run(wlP, Variant::Pipette, picks[i]->name);
+                          static_cast<double>(rs[cell++].cycles));
             sPip.push_back(serialCycles[i] /
-                           static_cast<double>(rp.cycles));
+                           static_cast<double>(rs[cell++].cycles));
         }
-        t.addRow({std::to_string(prf),
-                  std::to_string(cfg.core.queueCapacity),
+        t.addRow({std::to_string(prfs[p]),
+                  std::to_string(queueCaps[p]),
                   Table::num(gmean(sDp)), Table::num(gmean(sPip))});
     }
     t.print();

@@ -22,23 +22,29 @@ main(int argc, char **argv)
     std::printf("input: Rd road proxy, %u vertices, %u edges\n\n",
                 rd.numVertices, rd.numEdges());
 
-    Runner runner(baseConfig());
-    double serial;
-    {
-        BfsWorkload wl(&rd);
-        serial = static_cast<double>(
-            runner.run(wl, Variant::Serial, "Rd").cycles);
+    std::vector<parallel::SimJob> jobs;
+    jobs.push_back(simJob(
+        baseConfig(), [&rd] { return new BfsWorkload(&rd); },
+        Variant::Serial, "Rd"));
+    const uint32_t depths[] = {2, 3, 4};
+    for (uint32_t depth : depths) {
+        auto mk = [&rd, depth] {
+            BfsWorkload::Options opt;
+            opt.depth = depth;
+            return new BfsWorkload(&rd, opt);
+        };
+        jobs.push_back(simJob(baseConfig(), mk, Variant::PipetteNoRa,
+                              "Rd"));
+        jobs.push_back(simJob(baseConfig(), mk, Variant::Pipette, "Rd"));
     }
+    std::vector<RunResult> rs = runJobs(o, jobs);
 
+    double serial = static_cast<double>(rs[0].cycles);
     Table t({"stages", "no-RA", "with-RA"});
-    for (uint32_t depth : {2u, 3u, 4u}) {
-        BfsWorkload::Options opt;
-        opt.depth = depth;
-        BfsWorkload wlN(&rd, opt);
-        auto rn = runner.run(wlN, Variant::PipetteNoRa, "Rd");
-        BfsWorkload wlR(&rd, opt);
-        auto rr = runner.run(wlR, Variant::Pipette, "Rd");
-        t.addRow({std::to_string(depth) + "t",
+    for (size_t d = 0; d < std::size(depths); d++) {
+        const RunResult &rn = rs[1 + 2 * d];
+        const RunResult &rr = rs[2 + 2 * d];
+        t.addRow({std::to_string(depths[d]) + "t",
                   Table::num(serial / static_cast<double>(rn.cycles)),
                   Table::num(serial / static_cast<double>(rr.cycles))});
     }

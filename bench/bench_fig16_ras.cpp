@@ -16,7 +16,6 @@ main(int argc, char **argv)
     banner("Figure 16", "Pipette speedup from reference accelerators");
     printConfig(o);
 
-    Runner runner(baseConfig());
     // Representative input per app (road proxy for graphs, a mid-size
     // matrix for SpMM), like the paper's per-app averages.
     auto graphs = makeTable5Inputs(o.scale * 0.7);
@@ -27,52 +26,64 @@ main(int argc, char **argv)
     SparseMatrix Bt =
         makeSparseMatrix(A.n, A.avgNnzPerRow(), 777).transpose();
 
+    SiloWorkload::Options siloOpts;
+    siloOpts.numKeys = std::max(2000u,
+                                static_cast<uint32_t>(40000 * o.scale));
+    siloOpts.numQueries =
+        std::max(500u, static_cast<uint32_t>(4000 * o.scale));
+
+    // One (app, variant) pair per job: no-RA and with-RA cells for all
+    // six applications go through the pool as one batch.
+    struct Cell
+    {
+        const char *app;
+        const char *input;
+        std::function<WorkloadBase *()> mk;
+    };
+    const std::vector<Cell> cells = {
+        {"bfs", "Rd", [&rd] { return new BfsWorkload(&rd); }},
+        {"cc", "Sk", [&sk] { return new CcWorkload(&sk); }},
+        {"prd", "Sk",
+         [&sk] {
+             PrdParams p;
+             p.maxIters = 3;
+             return new PrdWorkload(&sk, p);
+         }},
+        {"radii", "Rd",
+         [&rd] {
+             RadiiParams p;
+             p.numSources = 16;
+             return new RadiiWorkload(&rd, p);
+         }},
+        {"spmm", "Cg",
+         [&A, &Bt] {
+             SpmmWorkload::Options so;
+             so.numCols = 6;
+             return new SpmmWorkload(&A, &Bt, so);
+         }},
+        {"silo", "ycsb-c",
+         [siloOpts] { return new SiloWorkload(siloOpts); }},
+    };
+
+    std::vector<parallel::SimJob> jobs;
+    for (const Cell &c : cells) {
+        jobs.push_back(simJob(baseConfig(), c.mk, Variant::PipetteNoRa,
+                              c.input));
+        jobs.push_back(simJob(baseConfig(), c.mk, Variant::Pipette,
+                              c.input));
+    }
+    std::vector<RunResult> rs = runJobs(o, jobs);
+
     Table t({"app", "no-RA", "with-RA", "RA-speedup"});
     std::vector<double> gains;
-    auto report = [&](const std::string &app, WorkloadBase &wlN,
-                      WorkloadBase &wlR, const std::string &input) {
-        auto rn = runner.run(wlN, Variant::PipetteNoRa, input);
-        auto rr = runner.run(wlR, Variant::Pipette, input);
+    for (size_t c = 0; c < cells.size(); c++) {
+        const RunResult &rn = rs[2 * c];
+        const RunResult &rr = rs[2 * c + 1];
         double gain = static_cast<double>(rn.cycles) /
                       static_cast<double>(rr.cycles);
         gains.push_back(gain);
-        t.addRow({app, "1.00", Table::num(gain), Table::num(gain)});
-    };
-
-    {
-        BfsWorkload a(&rd), b(&rd);
-        report("bfs", a, b, "Rd");
-    }
-    {
-        CcWorkload a(&sk), b(&sk);
-        report("cc", a, b, "Sk");
-    }
-    {
-        PrdParams p;
-        p.maxIters = 3;
-        PrdWorkload a(&sk, p), b(&sk, p);
-        report("prd", a, b, "Sk");
-    }
-    {
-        RadiiParams p;
-        p.numSources = 16;
-        RadiiWorkload a(&rd, p), b(&rd, p);
-        report("radii", a, b, "Rd");
-    }
-    {
-        SpmmWorkload::Options so;
-        so.numCols = 6;
-        SpmmWorkload a(&A, &Bt, so), b(&A, &Bt, so);
-        report("spmm", a, b, "Cg");
-    }
-    {
-        SiloWorkload::Options so;
-        so.numKeys = std::max(2000u,
-                              static_cast<uint32_t>(40000 * o.scale));
-        so.numQueries =
-            std::max(500u, static_cast<uint32_t>(4000 * o.scale));
-        SiloWorkload a(so), b(so);
-        report("silo", a, b, "ycsb-c");
+        t.addRow({cells[c].app, "1.00", Table::num(gain),
+                  Table::num(gain)});
     }
     t.addRow({"gmean", "1.00", Table::num(gmean(gains)),
               Table::num(gmean(gains))});

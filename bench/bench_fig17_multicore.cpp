@@ -20,31 +20,39 @@ main(int argc, char **argv)
     printConfig(o);
 
     auto inputs = makeTable5Inputs(o.scale * 0.5);
-    Runner runner(baseConfig());
+
+    // Four variants per graph, every cell independent: one pool batch.
+    std::vector<parallel::SimJob> jobs;
+    std::vector<const GraphInput *> picked;
+    for (const GraphInput &gi : inputs) {
+        if (o.quick && gi.name != "Co" && gi.name != "Rd")
+            continue;
+        picked.push_back(&gi);
+        auto mk = [g = &gi.graph] { return new BfsWorkload(g); };
+        jobs.push_back(simJob(baseConfig(), mk, Variant::Serial,
+                              gi.name, 1));
+        jobs.push_back(simJob(baseConfig(), mk, Variant::DataParallel,
+                              gi.name, 4));
+        jobs.push_back(simJob(baseConfig(), mk, Variant::Streaming,
+                              gi.name, 4));
+        jobs.push_back(simJob(baseConfig(), mk,
+                              Variant::MulticorePipette, gi.name, 4));
+    }
+    std::vector<RunResult> rs = runJobs(o, jobs);
 
     Table t({"graph", "serial-1c", "data-par-4c", "streaming-4c",
              "pipette-multicore-4c"});
     std::vector<double> gDp, gStr, gMc;
-    for (const GraphInput &gi : inputs) {
-        if (o.quick && gi.name != "Co" && gi.name != "Rd")
-            continue;
-        BfsWorkload w0(&gi.graph);
-        double serial = static_cast<double>(
-            runner.run(w0, Variant::Serial, gi.name, 1).cycles);
-        BfsWorkload w1(&gi.graph);
-        auto dp = runner.run(w1, Variant::DataParallel, gi.name, 4);
-        BfsWorkload w2(&gi.graph);
-        auto st = runner.run(w2, Variant::Streaming, gi.name, 4);
-        BfsWorkload w3(&gi.graph);
-        auto mc = runner.run(w3, Variant::MulticorePipette, gi.name, 4);
-        double sDp = serial / static_cast<double>(dp.cycles);
-        double sSt = serial / static_cast<double>(st.cycles);
-        double sMc = serial / static_cast<double>(mc.cycles);
+    for (size_t i = 0; i < picked.size(); i++) {
+        double serial = static_cast<double>(rs[4 * i].cycles);
+        double sDp = serial / static_cast<double>(rs[4 * i + 1].cycles);
+        double sSt = serial / static_cast<double>(rs[4 * i + 2].cycles);
+        double sMc = serial / static_cast<double>(rs[4 * i + 3].cycles);
         gDp.push_back(sDp);
         gStr.push_back(sSt);
         gMc.push_back(sMc);
-        t.addRow({gi.name, "1.00", Table::num(sDp), Table::num(sSt),
-                  Table::num(sMc)});
+        t.addRow({picked[i]->name, "1.00", Table::num(sDp),
+                  Table::num(sSt), Table::num(sMc)});
     }
     t.addRow({"gmean", "1.00", Table::num(gmean(gDp)),
               Table::num(gmean(gStr)), Table::num(gmean(gMc))});

@@ -1,5 +1,6 @@
 #include "harness/runner.h"
 
+#include <chrono>
 #include <cmath>
 
 namespace pipette {
@@ -8,6 +9,7 @@ RunResult
 Runner::run(WorkloadBase &wl, Variant v, const std::string &inputName,
             uint32_t numCores)
 {
+    auto hostStart = std::chrono::steady_clock::now();
     SystemConfig cfg = base_;
     cfg.numCores = numCores;
     System sys(cfg);
@@ -49,6 +51,9 @@ Runner::run(WorkloadBase &wl, Variant v, const std::string &inputName,
             tot ? static_cast<double>(r.agg.cpiCycles[i]) / tot : 0;
     }
     r.energy = computeEnergy(sys);
+    r.hostSeconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - hostStart)
+                        .count();
     return r;
 }
 

@@ -37,6 +37,10 @@ struct RunResult
     EnergyBreakdown energy;
     CoreStats agg;
     uint32_t numCores = 1;
+    /** Host wall-clock spent simulating this run, in seconds. Host-side
+     *  only -- never part of determinism comparisons or the sweep
+     *  cache. */
+    double hostSeconds = 0;
 };
 
 /** Runs workloads under a base hardware configuration. */

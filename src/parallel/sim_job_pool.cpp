@@ -1,0 +1,29 @@
+#include "parallel/sim_job_pool.h"
+
+namespace pipette::parallel {
+
+std::vector<RunResult>
+SimJobPool::runAll(const std::vector<SimJob> &jobs, const OnResult &onResult)
+{
+    std::vector<RunResult> results(jobs.size());
+    std::vector<TaskPool::Task> tasks;
+    tasks.reserve(jobs.size());
+    for (size_t i = 0; i < jobs.size(); i++) {
+        tasks.push_back([&jobs, &results, i] {
+            const SimJob &j = jobs[i];
+            Runner runner(j.config);
+            std::unique_ptr<WorkloadBase> wl = j.make(j.seed);
+            results[i] = runner.run(*wl, j.variant, j.input, j.numCores);
+        });
+    }
+    // results[i] is written by a worker before its done-flag flips and
+    // read by the collector after, so the TaskPool's batch mutex orders
+    // the two; no extra synchronization needed here.
+    pool_.run(std::move(tasks), [&](size_t i) {
+        if (onResult)
+            onResult(i, results[i]);
+    });
+    return results;
+}
+
+} // namespace pipette::parallel

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Host-parallel simulation runner: turns a batch of independent
+ * (config, workload, variant) sweep cells into tasks on a work-stealing
+ * TaskPool, one self-contained System per job, and collects RunResults
+ * in submission order.
+ *
+ * Determinism contract (DESIGN.md section 8):
+ *  - every job builds its own System, workload instance, and memory
+ *    image on the worker thread; jobs share only immutable inputs
+ *    (graphs / matrices built up front by the caller);
+ *  - each job's seed is assigned by the submitter (typically the job
+ *    index), never derived from scheduling, thread ids, or time;
+ *  - results and the onResult callback are delivered in submission
+ *    order on the calling thread.
+ * Consequently a batch's results -- and anything printed or written
+ * from onResult -- are byte-identical for every worker count. `workers
+ * == 1` runs inline on the calling thread with no threads spawned,
+ * reproducing the pre-pool serial harness exactly.
+ */
+
+#ifndef PIPETTE_PARALLEL_SIM_JOB_POOL_H
+#define PIPETTE_PARALLEL_SIM_JOB_POOL_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/runner.h"
+#include "parallel/task_pool.h"
+
+namespace pipette::parallel {
+
+/** One sweep cell: everything needed to simulate it in isolation. */
+struct SimJob
+{
+    /** Full hardware configuration for this cell (numCores included;
+     *  `numCores` below overrides it like Runner::run does). */
+    SystemConfig config;
+    /**
+     * Workload factory, invoked on the worker thread with the job's
+     * seed. Must be safe to run concurrently with other jobs' factories
+     * -- capture only immutable inputs. Factories that take no seed can
+     * ignore the argument.
+     */
+    std::function<std::unique_ptr<WorkloadBase>(uint64_t seed)> make;
+    Variant variant = Variant::Serial;
+    /** Input tag for reports ("Rd", "ycsb-c", ...). */
+    std::string input;
+    /** Core-count override (streaming/multicore variants need 4). */
+    uint32_t numCores = 1;
+    /** Deterministic per-job seed, set by the submitter. */
+    uint64_t seed = 0;
+};
+
+class SimJobPool
+{
+  public:
+    /** Invoked on the calling thread, in submission order. */
+    using OnResult = std::function<void(size_t, const RunResult &)>;
+
+    /** `workers` == 0 picks std::thread::hardware_concurrency(). */
+    explicit SimJobPool(unsigned workers = 0) : pool_(workers) {}
+
+    unsigned numWorkers() const { return pool_.numWorkers(); }
+
+    /**
+     * Simulate every job, `numWorkers()` cells at a time, and return
+     * results in submission order. Blocking; reusable across batches.
+     */
+    std::vector<RunResult> runAll(const std::vector<SimJob> &jobs,
+                                  const OnResult &onResult = {});
+
+  private:
+    TaskPool pool_;
+};
+
+} // namespace pipette::parallel
+
+#endif // PIPETTE_PARALLEL_SIM_JOB_POOL_H

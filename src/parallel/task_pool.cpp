@@ -1,0 +1,152 @@
+#include "parallel/task_pool.h"
+
+namespace pipette::parallel {
+
+TaskPool::TaskPool(unsigned workers)
+{
+    if (workers == 0) {
+        workers = std::thread::hardware_concurrency();
+        if (workers == 0)
+            workers = 1;
+    }
+    numWorkers_ = workers;
+    if (workers <= 1)
+        return; // inline mode: no threads, no deques
+    workers_.reserve(workers);
+    for (unsigned i = 0; i < workers; i++)
+        workers_.push_back(std::make_unique<Worker>());
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; i++)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+TaskPool::~TaskPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        shutdown_ = true;
+    }
+    wakeWorkers_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+bool
+TaskPool::popOwn(unsigned self, size_t *idx)
+{
+    Worker &w = *workers_[self];
+    std::lock_guard<std::mutex> lock(w.mtx);
+    if (w.pending.empty())
+        return false;
+    *idx = w.pending.back();
+    w.pending.pop_back();
+    return true;
+}
+
+bool
+TaskPool::stealAny(unsigned self, size_t *idx)
+{
+    // Sweep the other workers once, starting just past ourselves so
+    // thieves spread out instead of all hammering worker 0.
+    for (unsigned k = 1; k < numWorkers_; k++) {
+        Worker &w = *workers_[(self + k) % numWorkers_];
+        std::lock_guard<std::mutex> lock(w.mtx);
+        if (w.pending.empty())
+            continue;
+        *idx = w.pending.front();
+        w.pending.pop_front();
+        return true;
+    }
+    return false;
+}
+
+void
+TaskPool::execute(size_t idx)
+{
+    (*tasks_)[idx]();
+    std::lock_guard<std::mutex> lock(mtx_);
+    done_[idx] = 1;
+    remaining_--;
+    taskDone_.notify_one();
+}
+
+void
+TaskPool::workerLoop(unsigned self)
+{
+    uint64_t seenBatch = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mtx_);
+            wakeWorkers_.wait(lock, [&] {
+                return shutdown_ || (tasks_ && batchId_ != seenBatch);
+            });
+            if (shutdown_)
+                return;
+            seenBatch = batchId_;
+        }
+        // Drain: own work first, then steal. No task is ever added
+        // after the batch starts, so an empty sweep means this worker
+        // is finished with the batch.
+        size_t idx;
+        while (popOwn(self, &idx) || stealAny(self, &idx))
+            execute(idx);
+    }
+}
+
+void
+TaskPool::run(std::vector<Task> tasks,
+              const std::function<void(size_t)> &onDone)
+{
+    const size_t n = tasks.size();
+    if (n == 0)
+        return;
+
+    if (numWorkers_ <= 1) {
+        // Serial path: byte-identical to a plain loop, no threads.
+        for (size_t i = 0; i < n; i++) {
+            tasks[i]();
+            if (onDone)
+                onDone(i);
+        }
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        // Publish the batch BEFORE dealing indices: a worker still
+        // draining the previous batch may pop a new index as soon as it
+        // hits a deque, and reads tasks_ without taking mtx_ -- the
+        // per-worker deque mutex is what orders that read after these
+        // writes.
+        tasks_ = &tasks;
+        done_.assign(n, 0);
+        remaining_ = n;
+        batchId_++;
+        for (size_t i = 0; i < n; i++) {
+            Worker &w = *workers_[i % numWorkers_];
+            std::lock_guard<std::mutex> wl(w.mtx);
+            w.pending.push_back(i);
+        }
+    }
+    wakeWorkers_.notify_all();
+
+    // Ordered collector: deliver onDone for the contiguous completed
+    // prefix, dropping the lock around user code.
+    size_t delivered = 0;
+    std::unique_lock<std::mutex> lock(mtx_);
+    while (delivered < n) {
+        taskDone_.wait(lock, [&] { return done_[delivered] != 0; });
+        while (delivered < n && done_[delivered]) {
+            lock.unlock();
+            if (onDone)
+                onDone(delivered);
+            delivered++;
+            lock.lock();
+        }
+    }
+    // delivered == n implies every task ran; workers may still be
+    // mid-sweep over empty deques, but they no longer touch tasks_.
+    tasks_ = nullptr;
+}
+
+} // namespace pipette::parallel

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Fixed-size work-stealing thread pool with an ordered result
+ * collector. This is the host-parallel substrate under SimJobPool: it
+ * knows nothing about simulation, it just runs a batch of independent
+ * tasks across worker threads and delivers per-task completion
+ * notifications on the *calling* thread in submission order.
+ *
+ * Scheduling: each worker owns a deque of task indices. Tasks are dealt
+ * round-robin at batch start; a worker pops from the back of its own
+ * deque and, when empty, steals from the front of a victim's (classic
+ * work stealing, long-running stragglers migrate naturally). Deques are
+ * tiny (indices only) and guarded by per-worker mutexes -- simulation
+ * tasks run for milliseconds to seconds, so lock-free deques would buy
+ * nothing.
+ *
+ * Determinism contract: scheduling order is arbitrary, but the
+ * `onDone(i)` callback runs on the calling thread and is delivered in
+ * index order (callback i fires only after tasks 0..i have all
+ * finished). Anything the caller does in onDone -- printing progress,
+ * appending to a result file -- is therefore byte-identical for every
+ * worker count, including 1.
+ *
+ * A pool constructed with `workers <= 1` spawns no threads at all:
+ * run() executes tasks inline, in order, on the calling thread,
+ * reproducing a plain serial loop exactly.
+ */
+
+#ifndef PIPETTE_PARALLEL_TASK_POOL_H
+#define PIPETTE_PARALLEL_TASK_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pipette::parallel {
+
+class TaskPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /** `workers` == 0 picks std::thread::hardware_concurrency(). */
+    explicit TaskPool(unsigned workers = 0);
+    ~TaskPool();
+
+    TaskPool(const TaskPool &) = delete;
+    TaskPool &operator=(const TaskPool &) = delete;
+
+    unsigned numWorkers() const { return numWorkers_; }
+
+    /**
+     * Run every task to completion (blocking). `onDone(i)`, when
+     * provided, is invoked on the calling thread in index order. A pool
+     * outlives its batches: run() may be called repeatedly.
+     *
+     * Tasks must be independent -- they run concurrently in arbitrary
+     * order and must not touch shared mutable state without their own
+     * synchronization.
+     */
+    void run(std::vector<Task> tasks,
+             const std::function<void(size_t)> &onDone = {});
+
+  private:
+    /** One worker's deque of pending task indices. */
+    struct Worker
+    {
+        std::mutex mtx;
+        std::deque<size_t> pending;
+    };
+
+    void workerLoop(unsigned self);
+    bool popOwn(unsigned self, size_t *idx);
+    bool stealAny(unsigned self, size_t *idx);
+    void execute(size_t idx);
+
+    unsigned numWorkers_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+
+    // Batch state (one run() at a time), guarded by mtx_.
+    std::mutex mtx_;
+    std::condition_variable wakeWorkers_; ///< new batch / shutdown
+    std::condition_variable taskDone_;    ///< collector wakeup
+    std::vector<Task> *tasks_ = nullptr;
+    std::vector<char> done_;
+    size_t remaining_ = 0;
+    uint64_t batchId_ = 0;
+    bool shutdown_ = false;
+};
+
+} // namespace pipette::parallel
+
+#endif // PIPETTE_PARALLEL_TASK_POOL_H

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "sim/hash.h"
+
 namespace pipette {
 
 std::string
@@ -19,6 +21,85 @@ SystemConfig::summary() const
         << mem.l3.sizeBytes / 1024 << "KB, DRAM " << mem.dramLatency
         << "cy";
     return oss.str();
+}
+
+uint64_t
+configFingerprint(const SystemConfig &cfg)
+{
+    Fnv1a h;
+    h.pod(cfg.numCores);
+
+    const CoreConfig &c = cfg.core;
+    h.pod(c.smtThreads);
+    h.pod(c.fetchWidth);
+    h.pod(c.renameWidth);
+    h.pod(c.issueWidth);
+    h.pod(c.commitWidth);
+    h.pod(c.frontendDelay);
+    h.pod(c.robEntries);
+    h.pod(c.iqEntries);
+    h.pod(c.lqEntries);
+    h.pod(c.sqEntries);
+    h.pod(c.physRegs);
+    h.pod(c.fetchBufferEntries);
+    h.pod(c.storeBufferEntries);
+    h.pod(c.mispredictPenalty);
+    h.pod(c.numAlu);
+    h.pod(c.numMul);
+    h.pod(c.numDiv);
+    h.pod(c.numMemPorts);
+    h.pod(c.mulLatency);
+    h.pod(c.divLatency);
+    h.pod(c.gshareBits);
+    h.pod(c.btbEntries);
+    h.pod(c.pipetteEnabled);
+    h.pod(c.numQueues);
+    h.pod(c.queueCapacity);
+    h.pod(c.maxQueueRegs);
+    h.pod(c.numRAs);
+    h.pod(c.raCompletionBuf);
+    h.pod(c.dynInstPoolEntries);
+    h.pod(c.checkpointArenaEntries);
+
+    const MemConfig &m = cfg.mem;
+    h.pod(m.lineBytes);
+    for (const CacheConfig *cc : {&m.l1d, &m.l2, &m.l3}) {
+        h.pod(cc->sizeBytes);
+        h.pod(cc->ways);
+        h.pod(cc->latency);
+        h.pod(cc->mshrs);
+    }
+    h.pod(m.dramLatency);
+    h.pod(m.dramCyclesPerReq);
+    h.pod(m.dramChannels);
+    h.pod(m.prefetcherEnabled);
+    h.pod(m.pfStreams);
+    h.pod(m.pfDegree);
+    h.pod(m.coherencePenalty);
+
+    h.pod(cfg.connectorLatency);
+    h.pod(cfg.connectorBandwidth);
+    h.pod(cfg.watchdogCycles);
+    h.pod(cfg.maxCycles);
+
+    // Guardrails perturb results when enabled (faults by design, the
+    // oracle by stopping early on divergence), so they key the cache
+    // too.
+    const GuardrailConfig &g = cfg.guardrails;
+    h.pod(g.lockstepOracle);
+    h.pod(g.invariantChecks);
+    h.pod(g.flightRecorderDepth);
+    h.pod(static_cast<uint64_t>(g.faults.size()));
+    for (const FaultInjection &f : g.faults) {
+        h.pod(f.kind);
+        h.pod(f.atCycle);
+        h.pod(f.duration);
+        h.pod(f.index);
+        h.pod(f.core);
+        h.pod(f.queue);
+        h.pod(f.bit);
+    }
+    return h.value();
 }
 
 } // namespace pipette

@@ -234,6 +234,14 @@ struct SystemConfig
     std::string summary() const;
 };
 
+/**
+ * Stable 64-bit fingerprint over every simulation-affecting field of a
+ * SystemConfig (hashed field by field, never through struct padding).
+ * Keys the bench sweep's disk cache: any config edit changes the hash
+ * and invalidates cached results.
+ */
+uint64_t configFingerprint(const SystemConfig &cfg);
+
 } // namespace pipette
 
 #endif // PIPETTE_SIM_CONFIG_H

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Streaming FNV-1a fingerprinting for configurations and workload
+ * inputs. Used to key the on-disk sweep cache: a cache entry is valid
+ * only if the hash of the full SystemConfig plus every input it was
+ * simulated with matches, so editing a config can never silently
+ * reload stale results.
+ *
+ * Hash fields one by one (never whole structs): struct padding bytes
+ * are indeterminate and would make the fingerprint nondeterministic.
+ */
+
+#ifndef PIPETTE_SIM_HASH_H
+#define PIPETTE_SIM_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pipette {
+
+/** Incremental 64-bit FNV-1a hasher. */
+class Fnv1a
+{
+  public:
+    void
+    bytes(const void *p, size_t n)
+    {
+        const auto *b = static_cast<const unsigned char *>(p);
+        for (size_t i = 0; i < n; i++) {
+            h_ ^= b[i];
+            h_ *= 0x100000001b3ull;
+        }
+    }
+
+    /** Hash one integral/enum/float value by representation. */
+    template <typename T>
+    void
+    pod(const T &v)
+    {
+        bytes(&v, sizeof v);
+    }
+
+    /** Length-prefixed string (so "ab","c" != "a","bc"). */
+    void
+    str(const std::string &s)
+    {
+        pod(static_cast<uint64_t>(s.size()));
+        bytes(s.data(), s.size());
+    }
+
+    /** Length-prefixed vector of integral values. */
+    template <typename T>
+    void
+    vec(const std::vector<T> &v)
+    {
+        pod(static_cast<uint64_t>(v.size()));
+        if (!v.empty())
+            bytes(v.data(), v.size() * sizeof(T));
+    }
+
+    uint64_t value() const { return h_; }
+
+  private:
+    uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+} // namespace pipette
+
+#endif // PIPETTE_SIM_HASH_H

@@ -2,33 +2,57 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace pipette {
 namespace detail {
 
+// Serializes sink writes so messages from concurrently running Systems
+// (SimJobPool workers) come out whole lines, never interleaved
+// mid-message. Single fprintf calls are atomic on POSIX but panic/fatal
+// emit two, and this also covers platforms without that guarantee.
+namespace {
+std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+} // namespace
+
 [[noreturn]] void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(), file, line);
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(), file,
+                     line);
+    }
     std::abort();
 }
 
 [[noreturn]] void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(), file, line);
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(), file,
+                     line);
+    }
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(logMutex());
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(logMutex());
     std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 

@@ -1,0 +1,294 @@
+// Host-parallel runner tests (src/parallel/): TaskPool scheduling --
+// ordered collection, no lost or duplicated tasks, inline serial mode
+// -- and the SimJobPool determinism contract: the 12 golden workload
+// rows produce bit-identical statistics at every worker count, because
+// each job is a self-contained System and results are collected in
+// submission order.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+
+#include "parallel/sim_job_pool.h"
+#include "workloads/bfs.h"
+#include "workloads/cc.h"
+#include "workloads/graph.h"
+#include "workloads/matrix.h"
+#include "workloads/prd.h"
+#include "workloads/radii.h"
+#include "workloads/silo.h"
+#include "workloads/spmm.h"
+
+namespace pipette {
+namespace {
+
+using parallel::SimJob;
+using parallel::SimJobPool;
+using parallel::TaskPool;
+
+// ------------------------------------------------------------ TaskPool
+
+TEST(TaskPool, SingleWorkerRunsInlineOnCallerThread)
+{
+    TaskPool pool(1);
+    EXPECT_EQ(pool.numWorkers(), 1u);
+    std::thread::id caller = std::this_thread::get_id();
+    std::vector<std::thread::id> ranOn(3);
+    std::vector<TaskPool::Task> tasks;
+    for (size_t i = 0; i < ranOn.size(); i++)
+        tasks.push_back(
+            [&ranOn, i] { ranOn[i] = std::this_thread::get_id(); });
+    pool.run(std::move(tasks));
+    for (std::thread::id id : ranOn)
+        EXPECT_EQ(id, caller)
+            << "--jobs 1 must reproduce the serial path: no threads";
+}
+
+TEST(TaskPool, EmptyBatchIsANoOp)
+{
+    TaskPool pool(4);
+    size_t calls = 0;
+    pool.run({}, [&](size_t) { calls++; });
+    EXPECT_EQ(calls, 0u);
+}
+
+// Hammer the pool with far more tasks than workers, several batches on
+// the same pool: every task runs exactly once, and the collector
+// delivers 0,1,2,... regardless of scheduling.
+TEST(TaskPool, HammerOrderedCollectionNoLostNoDuplicated)
+{
+    for (unsigned workers : {2u, 4u, 8u}) {
+        TaskPool pool(workers);
+        EXPECT_EQ(pool.numWorkers(), workers);
+        for (int batch = 0; batch < 3; batch++) {
+            const size_t n = 150;
+            std::vector<std::atomic<int>> execs(n);
+            std::vector<int> values(n, -1);
+            std::vector<TaskPool::Task> tasks;
+            for (size_t i = 0; i < n; i++)
+                tasks.push_back([&execs, &values, i] {
+                    execs[i].fetch_add(1);
+                    values[i] = static_cast<int>(i) * 3 + 1;
+                });
+            std::vector<size_t> order;
+            pool.run(std::move(tasks), [&](size_t i) {
+                order.push_back(i);
+                // Ordered delivery: the task's own result must already
+                // be visible on the collector thread.
+                EXPECT_EQ(values[i], static_cast<int>(i) * 3 + 1);
+            });
+            ASSERT_EQ(order.size(), n)
+                << workers << " workers, batch " << batch;
+            for (size_t i = 0; i < n; i++) {
+                EXPECT_EQ(order[i], i) << "collection must be in order";
+                EXPECT_EQ(execs[i].load(), 1)
+                    << "task " << i << " lost or duplicated";
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------- SimJobPool
+
+TEST(SimJobPool, HammerTrivialJobsOrderedAndComplete)
+{
+    // >100 trivial cells sharing one immutable graph. Every job must
+    // finish, verify, arrive in order, and -- being identical -- report
+    // identical cycle counts even with maximal scheduling overlap.
+    Graph g = makeGridGraph(10, 10, 7);
+    SystemConfig cfg;
+    cfg.watchdogCycles = 200'000;
+    cfg.maxCycles = 100'000'000;
+
+    std::vector<SimJob> jobs(120);
+    for (size_t i = 0; i < jobs.size(); i++) {
+        jobs[i].config = cfg;
+        jobs[i].make = [&g](uint64_t) {
+            return std::make_unique<BfsWorkload>(&g);
+        };
+        jobs[i].variant = Variant::Serial;
+        jobs[i].input = "tiny";
+        jobs[i].seed = i;
+    }
+
+    SimJobPool pool(8);
+    std::vector<size_t> order;
+    std::vector<RunResult> rs = pool.runAll(jobs, [&](size_t i,
+                                                      const RunResult &r) {
+        order.push_back(i);
+        EXPECT_TRUE(r.verified);
+    });
+
+    ASSERT_EQ(rs.size(), jobs.size());
+    ASSERT_EQ(order.size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); i++) {
+        EXPECT_EQ(order[i], i);
+        EXPECT_TRUE(rs[i].finished);
+        EXPECT_TRUE(rs[i].verified);
+        EXPECT_EQ(rs[i].cycles, rs[0].cycles)
+            << "identical jobs must report identical simulated time";
+        EXPECT_EQ(rs[i].instrs, rs[0].instrs);
+    }
+}
+
+// ------------------------------------- parallel-vs-serial bit identity
+
+// The golden rows of tests/test_determinism.cpp, same configurations.
+struct GoldenCase
+{
+    const char *workload;
+    Variant variant;
+    uint64_t cycles;
+    uint64_t instrs;
+    uint64_t squashed;
+    uint64_t enqueues;
+    uint64_t dequeues;
+};
+
+const GoldenCase kGolden[] = {
+    {"bfs", Variant::Serial, 156469, 88660, 145543, 0, 0},
+    {"bfs", Variant::Pipette, 92599, 51220, 42536, 1735, 12615},
+    {"cc", Variant::Serial, 487852, 481468, 622204, 0, 0},
+    {"cc", Variant::Pipette, 394676, 362338, 131575, 16983, 74199},
+    {"radii", Variant::Serial, 6243995, 4545820, 9356785, 0, 0},
+    {"radii", Variant::Pipette, 3844583, 3561173, 2119712, 95487, 418781},
+    {"prd", Variant::Serial, 1798685, 1404987, 1768091, 0, 0},
+    {"prd", Variant::Pipette, 870350, 1298036, 556825, 48041, 172841},
+    {"spmm", Variant::Serial, 105304, 108495, 92332, 0, 0},
+    {"spmm", Variant::Pipette, 84148, 152320, 24679, 11711, 10469},
+    {"silo", Variant::Serial, 62467, 70723, 38944, 0, 0},
+    {"silo", Variant::Pipette, 34845, 75529, 14137, 1602, 1602},
+};
+
+/** Shared immutable inputs, built once on the main thread. */
+struct GoldenInputs
+{
+    Graph g = makeGridGraph(40, 40, 11);
+    SparseMatrix A = makeSparseMatrix(96, 8, 81);
+    SparseMatrix Bt = makeSparseMatrix(96, 8, 82).transpose();
+};
+
+std::unique_ptr<WorkloadBase>
+makeGoldenWorkload(const GoldenInputs &in, const std::string &name)
+{
+    if (name == "bfs")
+        return std::make_unique<BfsWorkload>(&in.g);
+    if (name == "cc")
+        return std::make_unique<CcWorkload>(&in.g);
+    if (name == "radii")
+        return std::make_unique<RadiiWorkload>(&in.g);
+    if (name == "prd")
+        return std::make_unique<PrdWorkload>(&in.g);
+    if (name == "spmm") {
+        SpmmWorkload::Options o;
+        o.numCols = 6;
+        return std::make_unique<SpmmWorkload>(&in.A, &in.Bt, o);
+    }
+    SiloWorkload::Options o;
+    o.numKeys = 2000;
+    o.numQueries = 400;
+    return std::make_unique<SiloWorkload>(o);
+}
+
+std::vector<SimJob>
+goldenJobs(const GoldenInputs &in)
+{
+    SystemConfig cfg;
+    cfg.watchdogCycles = 300'000;
+    cfg.maxCycles = 500'000'000;
+    std::vector<SimJob> jobs;
+    for (const GoldenCase &c : kGolden) {
+        SimJob j;
+        j.config = cfg;
+        j.make = [&in, name = std::string(c.workload)](uint64_t) {
+            return makeGoldenWorkload(in, name);
+        };
+        j.variant = c.variant;
+        j.input = c.workload;
+        j.seed = jobs.size();
+        jobs.push_back(std::move(j));
+    }
+    return jobs;
+}
+
+/** Every deterministic field of a result, flattened for == compare. */
+std::map<std::string, double>
+flatten(const RunResult &r)
+{
+    std::map<std::string, double> m;
+    r.agg.dump("core", m);
+    m["cycles"] = static_cast<double>(r.cycles);
+    m["instrs"] = static_cast<double>(r.instrs);
+    m["ipc"] = r.ipc;
+    m["verified"] = r.verified ? 1 : 0;
+    m["finished"] = r.finished ? 1 : 0;
+    for (size_t i = 0; i < NUM_CPI_BUCKETS; i++)
+        m["cpiFrac" + std::to_string(i)] = r.cpiFrac[i];
+    m["energy.coreDynamic"] = r.energy.coreDynamic;
+    m["energy.coreStatic"] = r.energy.coreStatic;
+    m["energy.cache"] = r.energy.cache;
+    m["energy.dram"] = r.energy.dram;
+    return m;
+}
+
+/** Inputs + the serial (--jobs 1, inline) reference, computed once and
+ *  reused by all three worker-count cases. */
+struct GoldenReference
+{
+    GoldenInputs in;
+    std::vector<RunResult> serial =
+        SimJobPool(1).runAll(goldenJobs(in));
+
+    static const GoldenReference &
+    get()
+    {
+        static GoldenReference ref;
+        return ref;
+    }
+};
+
+class ParallelBitIdentity : public testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ParallelBitIdentity, GoldenRowsMatchSerialExactly)
+{
+    const unsigned workers = GetParam();
+    const GoldenReference &ref = GoldenReference::get();
+    const std::vector<RunResult> &serial = ref.serial;
+    std::vector<SimJob> jobs = goldenJobs(ref.in);
+
+    // Parallel run under test.
+    std::vector<RunResult> par = SimJobPool(workers).runAll(jobs);
+
+    ASSERT_EQ(serial.size(), std::size(kGolden));
+    ASSERT_EQ(par.size(), std::size(kGolden));
+    for (size_t i = 0; i < std::size(kGolden); i++) {
+        const GoldenCase &c = kGolden[i];
+        SCOPED_TRACE(std::string(c.workload) + "/" +
+                     variantName(c.variant));
+        // Pinned to the seed goldens: parallel execution must not
+        // perturb simulated behavior at all.
+        EXPECT_TRUE(par[i].verified);
+        EXPECT_EQ(par[i].cycles, c.cycles);
+        EXPECT_EQ(par[i].instrs, c.instrs);
+        EXPECT_EQ(par[i].agg.squashedInstrs, c.squashed);
+        EXPECT_EQ(par[i].agg.enqueues, c.enqueues);
+        EXPECT_EQ(par[i].agg.dequeues, c.dequeues);
+        // And bit-identical to the serial path across the whole
+        // flattened stat set, not just the pinned counters.
+        EXPECT_EQ(flatten(par[i]), flatten(serial[i]));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Jobs, ParallelBitIdentity,
+                         testing::Values(2u, 4u, 8u),
+                         [](const testing::TestParamInfo<unsigned> &info) {
+                             return "jobs" +
+                                    std::to_string(info.param);
+                         });
+
+} // namespace
+} // namespace pipette

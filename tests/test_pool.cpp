@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <new>
 
@@ -14,16 +15,33 @@
 #include "workloads/bfs.h"
 
 // Host-heap instrumentation for the zero-allocation steady-state test:
-// count every operator-new in the process. Single-threaded, so a plain
-// counter is enough.
+// count every operator-new in the process. Atomic (relaxed -- it is
+// only a counter, not a synchronization point) so the count stays
+// correct when the binary also runs multithreaded code, e.g. under a
+// SimJobPool-style parallel runner.
 namespace {
-size_t g_hostAllocs = 0;
-}
+std::atomic<size_t> g_hostAllocs{0};
+
+/**
+ * Snapshot-delta reader: scope the measurement to a region instead of
+ * comparing raw counter values inline, so tests read one coherent
+ * delta even if other allocations happen around the region.
+ */
+struct AllocCounterScope
+{
+    size_t start = g_hostAllocs.load(std::memory_order_relaxed);
+    size_t
+    delta() const
+    {
+        return g_hostAllocs.load(std::memory_order_relaxed) - start;
+    }
+};
+} // namespace
 
 void *
 operator new(size_t n)
 {
-    g_hostAllocs++;
+    g_hostAllocs.fetch_add(1, std::memory_order_relaxed);
     if (void *p = std::malloc(n))
         return p;
     throw std::bad_alloc();
@@ -32,7 +50,7 @@ operator new(size_t n)
 void *
 operator new[](size_t n)
 {
-    g_hostAllocs++;
+    g_hostAllocs.fetch_add(1, std::memory_order_relaxed);
     if (void *p = std::malloc(n))
         return p;
     throw std::bad_alloc();
@@ -41,7 +59,7 @@ operator new[](size_t n)
 void *
 operator new(size_t n, std::align_val_t al)
 {
-    g_hostAllocs++;
+    g_hostAllocs.fetch_add(1, std::memory_order_relaxed);
     if (void *p = std::aligned_alloc(static_cast<size_t>(al), n))
         return p;
     throw std::bad_alloc();
@@ -50,7 +68,7 @@ operator new(size_t n, std::align_val_t al)
 void *
 operator new[](size_t n, std::align_val_t al)
 {
-    g_hostAllocs++;
+    g_hostAllocs.fetch_add(1, std::memory_order_relaxed);
     if (void *p = std::aligned_alloc(static_cast<size_t>(al), n))
         return p;
     throw std::bad_alloc();
@@ -274,10 +292,9 @@ TEST(PoolIntegration, ZeroHostAllocationsInSteadyState)
     ASSERT_FALSE(res.finished) << "warmup consumed the whole run; "
                                   "enlarge the graph";
 
-    size_t allocsBefore = g_hostAllocs;
+    AllocCounterScope steadyState;
     res = sys.runFor(10'000);
-    size_t allocsAfterWarmup = g_hostAllocs - allocsBefore;
-    EXPECT_EQ(allocsAfterWarmup, 0u)
+    EXPECT_EQ(steadyState.delta(), 0u)
         << "steady-state simulation must not touch the host heap";
 
     // And the run still completes correctly afterwards.
