@@ -48,6 +48,19 @@ struct BenchOpts
     /** Concurrent sweep cells; 0 = hardware concurrency. */
     unsigned jobs = 0;
 
+    // Observability (src/obs/): --sample-interval=N,
+    // --trace-perfetto=FILE, --trace-pipeview=FILE, --histograms,
+    // --trace-from=C / --trace-cycles=N (cycle window), --trace-only
+    // (skip the sweep, run just the instrumented case).
+    uint32_t sampleInterval = 0;
+    std::string sampleCsvPath;
+    std::string perfettoPath;
+    std::string pipeviewPath;
+    bool histograms = false;
+    uint64_t traceFrom = 0;
+    uint64_t traceCycles = 0;
+    bool traceOnly = false;
+
     static BenchOpts
     parse(int argc, char **argv)
     {
@@ -63,6 +76,23 @@ struct BenchOpts
                 o.jobs = static_cast<unsigned>(std::atoi(argv[i] + 7));
             else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
                 o.jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+            else if (std::strncmp(argv[i], "--sample-interval=", 18) == 0)
+                o.sampleInterval =
+                    static_cast<uint32_t>(std::atoi(argv[i] + 18));
+            else if (std::strncmp(argv[i], "--sample-csv=", 13) == 0)
+                o.sampleCsvPath = argv[i] + 13;
+            else if (std::strncmp(argv[i], "--trace-perfetto=", 17) == 0)
+                o.perfettoPath = argv[i] + 17;
+            else if (std::strncmp(argv[i], "--trace-pipeview=", 17) == 0)
+                o.pipeviewPath = argv[i] + 17;
+            else if (std::strcmp(argv[i], "--histograms") == 0)
+                o.histograms = true;
+            else if (std::strncmp(argv[i], "--trace-from=", 13) == 0)
+                o.traceFrom = std::strtoull(argv[i] + 13, nullptr, 10);
+            else if (std::strncmp(argv[i], "--trace-cycles=", 15) == 0)
+                o.traceCycles = std::strtoull(argv[i] + 15, nullptr, 10);
+            else if (std::strcmp(argv[i], "--trace-only") == 0)
+                o.traceOnly = true;
         }
         if (o.quick)
             o.scale *= 0.25;
@@ -76,6 +106,30 @@ struct BenchOpts
             return jobs;
         unsigned hw = std::thread::hardware_concurrency();
         return hw ? hw : 1;
+    }
+
+    /** Any observability collection requested on the command line. */
+    bool
+    obsRequested() const
+    {
+        return sampleInterval > 0 || histograms || !perfettoPath.empty() ||
+               !pipeviewPath.empty();
+    }
+
+    /** Apply the observability flags to a run's SystemConfig. */
+    void
+    applyObservability(SystemConfig &cfg) const
+    {
+        ObservabilityConfig &o = cfg.observability;
+        o.sampleInterval = sampleInterval;
+        o.sampleCsvPath = sampleCsvPath;
+        o.histograms = histograms;
+        o.perfetto = !perfettoPath.empty();
+        o.perfettoPath = perfettoPath;
+        o.pipeview = !pipeviewPath.empty();
+        o.pipeviewPath = pipeviewPath;
+        o.traceFrom = traceFrom;
+        o.traceCycles = traceCycles;
     }
 };
 

@@ -23,6 +23,23 @@ main(int argc, char **argv)
     std::printf("input: Rd road proxy, %u vertices, %u edges\n\n",
                 rd.numVertices, rd.numEdges());
 
+    // --trace-*/--sample-*/--histograms: re-run the Pipette variant
+    // alone with the observability layer on (the sweep rows above stay
+    // un-instrumented so their timing is comparable across figures).
+    if (o.obsRequested()) {
+        SystemConfig cfg = baseConfig();
+        o.applyObservability(cfg);
+        Runner runner(cfg);
+        BfsWorkload wl(&rd);
+        RunResult r = runner.run(wl, Variant::Pipette, "Rd", 1);
+        std::printf("instrumented bfs/pipette: %llu cycles, IPC %.3f, "
+                    "verified=%s\n\n",
+                    static_cast<unsigned long long>(r.cycles), r.ipc,
+                    runStatus(r).c_str());
+        if (o.traceOnly)
+            return 0;
+    }
+
     struct Row
     {
         const char *name;

@@ -18,6 +18,66 @@ main(int argc, char **argv)
            "Cycle breakdown (CPI stacks) relative to data-parallel");
     printConfig(o);
 
+    // --sample-interval=N: time-resolved variant of this figure. Drive
+    // one BFS/Pipette System directly so the interval sampler's rows
+    // are reachable, print the per-interval CPI stack, and write
+    // fig11_intervals.csv alongside the --sample-csv dump.
+    if (o.sampleInterval > 0) {
+        auto inputs = makeTable5Inputs(o.scale * 0.6);
+        Graph &rd = inputs.back().graph; // "Rd"
+        SystemConfig cfg = baseConfig();
+        o.applyObservability(cfg);
+        System sys(cfg);
+        BfsWorkload wl(&rd);
+        BuildContext ctx(&sys);
+        wl.build(ctx, Variant::Pipette);
+        sys.configure(ctx.spec);
+        auto res = sys.run();
+        std::printf("bfs/pipette on Rd: %llu cycles, %llu instrs\n\n",
+                    static_cast<unsigned long long>(res.cycles),
+                    static_cast<unsigned long long>(res.instrs));
+
+        Table t({"cycle", "instrs", "issue", "backend", "queue",
+                 "other"});
+        const auto &rows = sys.observer()->sampleRows();
+        FILE *f = std::fopen("fig11_intervals.csv", "w");
+        if (f)
+            std::fprintf(f, "cycle,instrs,cpi_issue,cpi_backend,"
+                            "cpi_queue,cpi_other\n");
+        for (const auto &row : rows) {
+            double tot = 0;
+            for (size_t b = 0; b < NUM_CPI_BUCKETS; b++)
+                tot += static_cast<double>(row.cpi[b]);
+            std::array<double, NUM_CPI_BUCKETS> frac = {};
+            for (size_t b = 0; b < NUM_CPI_BUCKETS; b++)
+                frac[b] =
+                    tot ? static_cast<double>(row.cpi[b]) / tot : 0;
+            t.addRow({std::to_string(row.cycle),
+                      std::to_string(row.instrs), Table::num(frac[0]),
+                      Table::num(frac[1]), Table::num(frac[2]),
+                      Table::num(frac[3])});
+            if (f) {
+                std::fprintf(
+                    f, "%llu,%llu,%llu,%llu,%llu,%llu\n",
+                    static_cast<unsigned long long>(row.cycle),
+                    static_cast<unsigned long long>(row.instrs),
+                    static_cast<unsigned long long>(row.cpi[0]),
+                    static_cast<unsigned long long>(row.cpi[1]),
+                    static_cast<unsigned long long>(row.cpi[2]),
+                    static_cast<unsigned long long>(row.cpi[3]));
+            }
+        }
+        if (f) {
+            std::fclose(f);
+            std::printf("\nper-interval CPI stack written to "
+                        "fig11_intervals.csv\n");
+        }
+        t.print();
+        if (o.traceOnly)
+            return 0;
+        std::printf("\n");
+    }
+
     SweepResult sweep = runSweep(o);
 
     Table t({"app", "variant", "total", "issue", "backend", "queue",

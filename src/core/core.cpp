@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "debug/guardrails.h"
+#include "obs/observer.h"
 
 namespace pipette {
 
@@ -541,6 +542,8 @@ Core::renameOne(ThreadId tid, Cycle now)
     inst->histAtPred = fi.histAtPred;
     inst->isCondBranch = effOp == si.op && info.isCondBranch;
     inst->isIndirect = effOp == si.op && info.isIndirectJump;
+    inst->fetchReady = fi.readyCycle;
+    inst->renameCycle = now;
 
     if (effOp == Op::CVTRAP) {
         // Consume the CV, deliver payload, redirect to the handler.
@@ -704,6 +707,7 @@ Core::applyWriteback(const DynInstPtr &inst,
         stats_.regWrites++;
     }
     inst->executed = true;
+    inst->completeCycle = eq_->now();
 }
 
 void
@@ -781,7 +785,8 @@ Core::tryExecuteLoad(const DynInstPtr &inst, Cycle now)
     SimMemory *mem = mem_;
     PhysRegFile *prf = &prf_;
     CoreStats *st = &stats_;
-    hier_->access(id_, addr, false, now, [inst, mem, prf, st, addr, size] {
+    Cycle done = hier_->access(id_, addr, false, now,
+                               [inst, mem, prf, st, addr, size] {
         inst->pendingCompletions--;
         if (inst->squashed) {
             if (inst->pendingCompletions == 0) {
@@ -797,6 +802,9 @@ Core::tryExecuteLoad(const DynInstPtr &inst, Cycle now)
         }
         inst->executed = true;
     });
+    // access() completes the callback at exactly `done`, so recording it
+    // now keeps the completion lambda capture-free of observability.
+    inst->completeCycle = done;
     return true;
 }
 
@@ -845,7 +853,8 @@ Core::executeInst(const DynInstPtr &inst, Cycle now)
         inst->pendingCompletions++;
         PhysRegFile *prf = &prf_;
         CoreStats *st = &stats_;
-        hier_->access(id_, addr, true, now, [inst, prf, st, old] {
+        Cycle done = hier_->access(id_, addr, true, now,
+                                   [inst, prf, st, old] {
             inst->pendingCompletions--;
             if (inst->squashed) {
                 panic("atomic squashed while in flight");
@@ -856,6 +865,7 @@ Core::executeInst(const DynInstPtr &inst, Cycle now)
             }
             inst->executed = true;
         });
+        inst->completeCycle = done;
         return true;
     }
 
@@ -1057,6 +1067,7 @@ Core::issue(Cycle now)
             break; // ports accounted inside executeInst
         }
         inst->issued = true;
+        inst->issueCycle = now;
         inst->inIQ = false;
         iqOccupancy_--;
         issuedThisCycle_++;
@@ -1211,6 +1222,8 @@ Core::commit(Cycle now)
             }
             if (guardrails_)
                 guardrails_->onCommit(now, id_, tid, *inst, prf_, *mem_);
+            if (obs_)
+                obs_->onRetire(now, id_, tid, *inst);
             bool isHalt = inst->op == Op::HALT;
             t.rob.pop_front(); // may release `inst` back to the pool
             budget--;
@@ -1350,6 +1363,29 @@ Core::collectWaitInfo(Cycle now,
             now < poolBlockedUntil_ || now < ckptBlockedUntil_;
         out->push_back(w);
     }
+}
+
+void
+Core::setObserver(obs::Observer *o)
+{
+    obs_ = o;
+    qrm_.setObserver(o, id_);
+}
+
+obs::ThreadState
+Core::threadObsState(ThreadId tid) const
+{
+    const ThreadCtx &t = threads_[tid];
+    if (t.halted)
+        return obs::ThreadState::Halted;
+    switch (t.renameStall) {
+      case StallReason::None: return obs::ThreadState::Run;
+      case StallReason::QueueEmpty: return obs::ThreadState::QueueEmpty;
+      case StallReason::QueueFull: return obs::ThreadState::QueueFull;
+      case StallReason::Resource: return obs::ThreadState::Resource;
+      case StallReason::Empty: return obs::ThreadState::Frontend;
+    }
+    return obs::ThreadState::Frontend;
 }
 
 std::string

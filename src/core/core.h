@@ -47,6 +47,11 @@ namespace debug {
 class Guardrails;
 } // namespace debug
 
+namespace obs {
+class Observer;
+enum class ThreadState : uint8_t;
+} // namespace obs
+
 /** One simulated OOO SMT core. */
 class Core
 {
@@ -111,6 +116,21 @@ class Core
      * bit-identical with guardrails off.
      */
     void setGuardrails(debug::Guardrails *g) { guardrails_ = g; }
+
+    /**
+     * Attach the observability hook target (stage timestamps, retire
+     * trace, QRM occupancy). Same contract as setGuardrails: null (the
+     * default) makes every hook site a single pointer test.
+     */
+    void setObserver(obs::Observer *o);
+
+    /** Active thread ids, ascending (observability polling). */
+    const std::vector<ThreadId> &activeThreadIds() const
+    {
+        return activeTids_;
+    }
+    /** Current pipeline state of a thread (Perfetto stall track). */
+    obs::ThreadState threadObsState(ThreadId tid) const;
 
     /**
      * Fault injection (FaultKind::BlockDynInstPool /
@@ -316,6 +336,8 @@ class Core
 
     /** Guardrail hooks; null = disabled (single-branch hook sites). */
     debug::Guardrails *guardrails_ = nullptr;
+    /** Observability hooks; null = disabled (single-branch hook sites). */
+    obs::Observer *obs_ = nullptr;
     /** Fault injection: rename sees the pool/arena as exhausted. */
     Cycle poolBlockedUntil_ = 0;
     Cycle ckptBlockedUntil_ = 0;

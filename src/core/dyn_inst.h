@@ -99,6 +99,14 @@ struct DynInst
     bool isStore = false;
     bool isAtomic = false;
 
+    // --- Stage timestamps (observability; see obs/observer.h) ---
+    /** Cycle the fetched instruction became renameable. */
+    Cycle fetchReady = 0;
+    Cycle renameCycle = 0;
+    Cycle issueCycle = 0;
+    /** Writeback cycle (the last one, for multi-completion ops). */
+    Cycle completeCycle = 0;
+
     // --- Pool management (see sim/pool.h) ---
     uint32_t poolRefs = 0;
     ObjectPool<DynInst> *poolOwner = nullptr;

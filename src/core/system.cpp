@@ -76,6 +76,28 @@ System::configure(const MachineSpec &spec)
     for (auto &core : cores_)
         core->configure();
 
+    if (cfg_.observability.enabled()) {
+        obs_ = std::make_unique<obs::Observer>(cfg_);
+        for (auto &core : cores_) {
+            core->setObserver(obs_.get());
+            for (ThreadId tid : core->activeThreadIds())
+                obs_->registerThread(core->id(), tid);
+        }
+        for (size_t i = 0; i < ras_.size(); i++) {
+            const RaSpec &rs = ras_[i]->spec();
+            ras_[i]->setObserver(obs_.get(), static_cast<uint32_t>(i));
+            obs_->registerRa(static_cast<uint32_t>(i), rs.core,
+                             rs.inQueue, rs.outQueue);
+        }
+        for (size_t i = 0; i < connectors_.size(); i++) {
+            const ConnectorSpec &cs = connectors_[i]->spec();
+            connectors_[i]->setObserver(obs_.get(),
+                                        static_cast<uint32_t>(i));
+            obs_->registerConnector(static_cast<uint32_t>(i), cs.fromCore,
+                                    cs.fromQueue, cs.toCore, cs.toQueue);
+        }
+    }
+
     if (cfg_.guardrails.enabled()) {
         guardrails_ = std::make_unique<debug::Guardrails>(
             cfg_.guardrails, &spec_, cfg_.core.queueCapacity);
@@ -293,6 +315,10 @@ System::runFor(Cycle n)
     while (stepNow_ < stop) {
         stepNow_++;
         eq_.runUntil(stepNow_);
+        // Timestamp the observability hooks before any stage can fire
+        // one this cycle.
+        if (obs_)
+            obs_->beginCycle(stepNow_);
 
         if (!faultsPending_.empty())
             applyFaults(stepNow_);
@@ -319,6 +345,9 @@ System::runFor(Cycle n)
             ra->tick(stepNow_);
         for (auto &conn : connectors_)
             conn->tick(stepNow_);
+
+        if (obs_)
+            observeCycle(stepNow_);
 
         if (guardrails_ && guardrails_->failed()) {
             res.stopReason =
@@ -375,7 +404,82 @@ System::runFor(Cycle n)
                 guardrails_->reportInvariantViolation(err);
         }
     }
+
+    // Terminal stop: export whatever the observability layer collected
+    // (idempotent across resumed runFor() calls).
+    if (obs_ && res.stopReason != StopReason::None)
+        finishObservability(res.stopReason);
     return res;
+}
+
+void
+System::observeCycle(Cycle now)
+{
+    if (obs_->wantPoll()) {
+        for (auto &core : cores_) {
+            for (ThreadId tid : core->activeThreadIds()) {
+                obs_->threadState(core->id(), tid,
+                                  core->threadObsState(tid));
+            }
+            obs_->coreCpi(core->id(), core->stats().cpiCycles);
+        }
+        for (size_t i = 0; i < ras_.size(); i++) {
+            obs_->raState(static_cast<uint32_t>(i), ras_[i]->cbSize(),
+                          !ras_[i]->idle());
+        }
+        for (size_t i = 0; i < connectors_.size(); i++) {
+            obs_->connectorState(static_cast<uint32_t>(i),
+                                 connectors_[i]->inflightSize());
+        }
+    }
+    if (obs_->sampleDue(now))
+        obs_->sample(now, buildSampleInput());
+}
+
+obs::Observer::SampleInput
+System::buildSampleInput()
+{
+    obs::Observer::SampleInput in;
+    in.agg = aggregateCoreStats();
+    for (uint32_t c = 0; c < cores_.size(); c++) {
+        in.l1Misses += hier_.l1Stats(c).misses;
+        in.l2Misses += hier_.l2Stats(c).misses;
+    }
+    in.l3Misses = hier_.l3Stats().misses;
+    in.mem = hier_.memStats();
+    obsQueueOcc_.clear();
+    for (const auto &core : cores_) {
+        for (QueueId q = 0; q < core->qrm().numQueues(); q++)
+            obsQueueOcc_.push_back(core->qrm().committedSize(q));
+    }
+    in.queueOcc = obsQueueOcc_.data();
+    return in;
+}
+
+void
+System::finishObservability(StopReason reason)
+{
+    // On an abnormal stop, lay the flight-recorder ring over the trace
+    // so the final events are visible next to the polled state.
+    bool failureStop = reason == StopReason::WatchdogDeadlock ||
+                       reason == StopReason::OracleDivergence ||
+                       reason == StopReason::InvariantViolation;
+    if (guardrails_ && failureStop) {
+        for (const debug::Guardrails::FlightEventView &e :
+             guardrails_->flightEvents()) {
+            std::string desc =
+                std::string("flight:") + e.kind + " " + e.opName;
+            if (e.pc)
+                desc += " pc=" + std::to_string(e.pc);
+            if (e.queue >= 0)
+                desc += " q" + std::to_string(e.queue);
+            if (e.count)
+                desc += " x" + std::to_string(e.count);
+            obs_->addFlightInstant(e.core, e.tid, e.cycle, desc);
+        }
+    }
+    obs_->finalize(buildSampleInput(), stepNow_);
+    obs_->writeFiles();
 }
 
 CoreStats
@@ -385,30 +489,13 @@ System::aggregateCoreStats() const
     for (const auto &core : cores_) {
         const CoreStats &s = core->stats();
         agg.cycles = std::max(agg.cycles, s.cycles);
-        agg.committedInstrs += s.committedInstrs;
-        agg.issuedUops += s.issuedUops;
-        agg.squashedInstrs += s.squashedInstrs;
-        agg.fetchedInstrs += s.fetchedInstrs;
-        agg.branches += s.branches;
-        agg.mispredicts += s.mispredicts;
-        agg.loads += s.loads;
-        agg.stores += s.stores;
-        agg.atomics += s.atomics;
-        agg.enqueues += s.enqueues;
-        agg.dequeues += s.dequeues;
-        agg.ctrlValues += s.ctrlValues;
-        agg.cvTraps += s.cvTraps;
-        agg.enqTraps += s.enqTraps;
-        agg.skipDiscards += s.skipDiscards;
-        agg.queueFullStalls += s.queueFullStalls;
-        agg.queueEmptyStalls += s.queueEmptyStalls;
-        agg.dynInstPoolStalls += s.dynInstPoolStalls;
-        agg.checkpointStalls += s.checkpointStalls;
-        agg.regReads += s.regReads;
-        agg.regWrites += s.regWrites;
-        agg.raAccesses += s.raAccesses;
-        agg.raCvForwards += s.raCvForwards;
-        agg.connectorTransfers += s.connectorTransfers;
+        // Every registered scalar counter sums across cores; the stats.h
+        // static_assert guarantees the registry is complete.
+#define PIPETTE_AGG_STAT(name) agg.name += s.name;
+        PIPETTE_CORE_STAT_COUNTERS(PIPETTE_AGG_STAT)
+#undef PIPETTE_AGG_STAT
+        for (size_t t = 0; t < 8; t++)
+            agg.committedPerThread[t] += s.committedPerThread[t];
         for (size_t i = 0; i < NUM_CPI_BUCKETS; i++)
             agg.cpiCycles[i] += s.cpiCycles[i];
     }
@@ -422,6 +509,8 @@ System::dumpStats() const
     for (size_t c = 0; c < cores_.size(); c++)
         cores_[c]->stats().dump("core" + std::to_string(c), out);
     hier_.dumpStats(out);
+    if (obs_)
+        obs_->dumpStats(out);
     return out;
 }
 

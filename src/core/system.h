@@ -24,6 +24,7 @@
 
 #include "core/core.h"
 #include "debug/guardrails.h"
+#include "obs/observer.h"
 #include "pipette/connector.h"
 #include "pipette/ra.h"
 
@@ -89,6 +90,10 @@ class System
     /** Flatten everything into a name -> value map. */
     std::map<std::string, double> dumpStats() const;
 
+    /** Observability layer; null unless cfg.observability is enabled. */
+    obs::Observer *observer() { return obs_.get(); }
+    const obs::Observer *observer() const { return obs_.get(); }
+
   private:
     /** Apply due fault injections; removes one-shot faults once taken. */
     void applyFaults(Cycle now);
@@ -98,6 +103,14 @@ class System
     std::string diagnose(Cycle now, Cycle sinceCommit);
     /** Post-finish quiesce + pool/register leak accounting ("" = ok). */
     std::string drainLeakCheck();
+
+    /** Per-cycle observability work after the ticks: Perfetto state
+     *  polling inside the trace window plus due interval samples. */
+    void observeCycle(Cycle now);
+    /** Snapshot of everything the interval sampler consumes. */
+    obs::Observer::SampleInput buildSampleInput();
+    /** Terminal-stop export: flight import, finalize, file writes. */
+    void finishObservability(StopReason reason);
 
     SystemConfig cfg_;
     EventQueue eq_;
@@ -115,6 +128,10 @@ class System
     std::unique_ptr<debug::Guardrails> guardrails_;
     /** Faults not yet (fully) applied; drained as they fire. */
     std::vector<FaultInjection> faultsPending_;
+    /** Observability layer; null = off (single-branch hook sites). */
+    std::unique_ptr<obs::Observer> obs_;
+    /** Scratch per-(core, queue) occupancy buffer for the sampler. */
+    std::vector<uint64_t> obsQueueOcc_;
 };
 
 } // namespace pipette

@@ -112,5 +112,34 @@ Guardrails::flightDump() const
     return oss.str();
 }
 
+std::vector<Guardrails::FlightEventView>
+Guardrails::flightEvents() const
+{
+    std::vector<FlightEventView> out;
+    for (const auto &[key, ring] : flight_) {
+        for (const FlightEvent &e : ring) {
+            FlightEventView v;
+            v.core = key >> 8;
+            v.tid = key & 0xff;
+            switch (e.kind) {
+              case FlightEvent::Kind::Commit: v.kind = "commit"; break;
+              case FlightEvent::Kind::Squash: v.kind = "squash"; break;
+              case FlightEvent::Kind::SkipDrain:
+                v.kind = "skip-drain";
+                break;
+            }
+            v.cycle = e.cycle;
+            v.pc = e.pc;
+            v.opName = opInfo(e.op).name;
+            v.queue = e.queue == INVALID_QUEUE
+                          ? -1
+                          : static_cast<int>(e.queue);
+            v.count = e.count;
+            out.push_back(v);
+        }
+    }
+    return out;
+}
+
 } // namespace debug
 } // namespace pipette

@@ -23,6 +23,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/dyn_inst.h"
 #include "debug/oracle.h"
@@ -73,6 +74,24 @@ class Guardrails
 
     /** Last-events dump, all threads (empty if the recorder is off). */
     std::string flightDump() const;
+
+    /** One flight-recorder event in export form (observability trace). */
+    struct FlightEventView
+    {
+        CoreId core = 0;
+        ThreadId tid = 0;
+        /** "commit" / "squash" / "skip-drain". */
+        const char *kind = "";
+        Cycle cycle = 0;
+        Addr pc = 0;
+        const char *opName = "";
+        /** Enqueue target / drained queue; -1 = none. */
+        int queue = -1;
+        uint32_t count = 0;
+    };
+    /** Flattened recorder contents, thread-ordered then ring-ordered
+     *  (empty if the recorder is off). */
+    std::vector<FlightEventView> flightEvents() const;
 
   private:
     struct FlightEvent

@@ -51,6 +51,25 @@ Runner::run(WorkloadBase &wl, Variant v, const std::string &inputName,
             tot ? static_cast<double>(r.agg.cpiCycles[i]) / tot : 0;
     }
     r.energy = computeEnergy(sys);
+    const ObservabilityConfig &ocfg = cfg.observability;
+    if (ocfg.enabled()) {
+        // The System wrote the trace files at the terminal stop; tell
+        // the user where they landed.
+        if (ocfg.perfetto && !ocfg.perfettoPath.empty()) {
+            inform(wl.name(), "/", variantName(v),
+                   ": Perfetto trace written to ", ocfg.perfettoPath,
+                   " (open in ui.perfetto.dev)");
+        }
+        if (ocfg.pipeview && !ocfg.pipeviewPath.empty()) {
+            inform(wl.name(), "/", variantName(v),
+                   ": O3PipeView trace written to ", ocfg.pipeviewPath,
+                   " (open in Konata)");
+        }
+        if (ocfg.sampleInterval && !ocfg.sampleCsvPath.empty()) {
+            inform(wl.name(), "/", variantName(v),
+                   ": interval samples written to ", ocfg.sampleCsvPath);
+        }
+    }
     r.hostSeconds = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - hostStart)
                         .count();

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Log2-bucketed histogram for observability counters. Bucket i counts
+ * samples whose bit width is i (bucket 0 holds exactly the value 0,
+ * bucket 1 holds 1, bucket 2 holds 2-3, bucket 3 holds 4-7, ...), so a
+ * 64-bit sample space folds into 65 fixed buckets with no allocation
+ * per sample. Distributions, not means, are what explain queue
+ * throughput cliffs (BlockFIFO/MultiFIFO; ISSUE 5).
+ */
+
+#ifndef PIPETTE_OBS_HISTOGRAM_H
+#define PIPETTE_OBS_HISTOGRAM_H
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace pipette {
+namespace obs {
+
+/** Fixed-size log2 histogram of uint64 samples. */
+class Log2Histogram
+{
+  public:
+    static constexpr size_t NUM_BUCKETS = 65;
+
+    void
+    add(uint64_t v)
+    {
+        buckets_[std::bit_width(v)]++;
+        count_++;
+        sum_ += v;
+        if (count_ == 1 || v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+
+    uint64_t count() const { return count_; }
+    uint64_t sum() const { return sum_; }
+    uint64_t min() const { return count_ ? min_ : 0; }
+    uint64_t max() const { return max_; }
+    uint64_t bucket(size_t i) const { return buckets_[i]; }
+
+    double
+    mean() const
+    {
+        return count_ ? static_cast<double>(sum_) /
+                            static_cast<double>(count_)
+                      : 0.0;
+    }
+
+    /** Total across all buckets (== count(); used by the tests). */
+    uint64_t
+    bucketTotal() const
+    {
+        uint64_t t = 0;
+        for (uint64_t b : buckets_)
+            t += b;
+        return t;
+    }
+
+    /**
+     * Flatten under `prefix`: count/sum/min/max/mean plus one
+     * "bucket<i>" key per non-empty bucket. Key set is a deterministic
+     * function of the recorded samples.
+     */
+    void
+    dump(const std::string &prefix,
+         std::map<std::string, double> &out) const
+    {
+        out[prefix + ".count"] = static_cast<double>(count_);
+        out[prefix + ".sum"] = static_cast<double>(sum_);
+        out[prefix + ".min"] = static_cast<double>(min());
+        out[prefix + ".max"] = static_cast<double>(max_);
+        out[prefix + ".mean"] = mean();
+        for (size_t i = 0; i < NUM_BUCKETS; i++) {
+            if (buckets_[i]) {
+                out[prefix + ".bucket" + std::to_string(i)] =
+                    static_cast<double>(buckets_[i]);
+            }
+        }
+    }
+
+  private:
+    std::array<uint64_t, NUM_BUCKETS> buckets_ = {};
+    uint64_t count_ = 0;
+    uint64_t sum_ = 0;
+    uint64_t min_ = 0;
+    uint64_t max_ = 0;
+};
+
+} // namespace obs
+} // namespace pipette
+
+#endif // PIPETTE_OBS_HISTOGRAM_H

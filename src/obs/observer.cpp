@@ -1,0 +1,650 @@
+#include "obs/observer.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "isa/opcodes.h"
+#include "sim/logging.h"
+
+namespace pipette {
+namespace obs {
+
+namespace {
+
+/** Escape a string for inclusion in a JSON string literal. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** gem5 O3PipeView traces use 500 ticks per cycle (1 GHz @ ps/2). */
+constexpr uint64_t PIPEVIEW_TICKS_PER_CYCLE = 500;
+
+} // namespace
+
+const char *
+threadStateName(ThreadState s)
+{
+    switch (s) {
+      case ThreadState::Run: return "run";
+      case ThreadState::QueueEmpty: return "stall:queue-empty";
+      case ThreadState::QueueFull: return "stall:queue-full";
+      case ThreadState::Resource: return "stall:resource";
+      case ThreadState::Frontend: return "stall:frontend";
+      case ThreadState::Halted: return "halted";
+      default: return "?";
+    }
+}
+
+Observer::Observer(const SystemConfig &cfg)
+    : cfg_(cfg.observability), numCores_(cfg.numCores),
+      numQueues_(cfg.core.numQueues), smtThreads_(cfg.core.smtThreads),
+      frontendDelay_(cfg.core.frontendDelay)
+{
+    traceEnd_ = cfg_.traceCycles ? cfg_.traceFrom + cfg_.traceCycles
+                                 : ~0ull;
+    queues_.resize(static_cast<size_t>(numCores_) * numQueues_);
+    threads_.resize(static_cast<size_t>(numCores_) * smtThreads_);
+    cpiPrev_.assign(numCores_, {});
+    cpiNextEmit_.assign(numCores_, cfg_.traceFrom);
+    nextSample_ = cfg_.sampleInterval;
+
+    if (cfg_.sampleInterval) {
+        csv_ = "cycle,instrs,uops,squashed";
+        for (size_t i = 0; i < NUM_CPI_BUCKETS; i++) {
+            csv_ += ",cpi_";
+            csv_ += cpiBucketName(static_cast<CpiBucket>(i));
+        }
+        csv_ += ",loads,stores,enqueues,dequeues,l1_misses,l2_misses,"
+                "l3_misses,dram_reads,dram_writes";
+        for (uint32_t c = 0; c < numCores_; c++) {
+            for (uint32_t q = 0; q < numQueues_; q++) {
+                csv_ += ",c" + std::to_string(c) + "q" +
+                        std::to_string(q) + "_occ";
+            }
+        }
+        csv_ += "\n";
+    }
+
+    if (cfg_.perfetto) {
+        for (uint32_t c = 0; c < numCores_; c++)
+            evMeta(c + 1, 0, "process_name",
+                   "core " + std::to_string(c));
+        evMeta(raPid(), 0, "process_name", "reference accelerators");
+        evMeta(connPid(), 0, "process_name", "connectors");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Track registration
+
+void
+Observer::registerThread(CoreId core, ThreadId tid)
+{
+    ThreadTrack &t = threads_[ti(core, tid)];
+    t.registered = true;
+    if (cfg_.perfetto) {
+        evMeta(core + 1, tid + 1, "thread_name",
+               "t" + std::to_string(tid));
+    }
+}
+
+void
+Observer::registerRa(uint32_t idx, CoreId core, QueueId in, QueueId out)
+{
+    if (ras_.size() <= idx)
+        ras_.resize(idx + 1);
+    RaTrack &r = ras_[idx];
+    r.registered = true;
+    r.core = core;
+    r.in = in;
+    r.out = out;
+    if (cfg_.perfetto) {
+        evMeta(raPid(), idx + 1, "thread_name",
+               "ra" + std::to_string(idx) + " c" + std::to_string(core) +
+                   " q" + std::to_string(in) + "->q" +
+                   std::to_string(out));
+    }
+}
+
+void
+Observer::registerConnector(uint32_t idx, CoreId from, QueueId fromQ,
+                            CoreId to, QueueId toQ)
+{
+    if (conns_.size() <= idx)
+        conns_.resize(idx + 1);
+    ConnTrack &c = conns_[idx];
+    c.registered = true;
+    c.from = from;
+    c.fromQ = fromQ;
+    c.to = to;
+    c.toQ = toQ;
+    if (cfg_.perfetto) {
+        evMeta(connPid(), idx + 1, "thread_name",
+               "conn" + std::to_string(idx) + " c" + std::to_string(from) +
+                   "q" + std::to_string(fromQ) + "->c" +
+                   std::to_string(to) + "q" + std::to_string(toQ));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lifecycle
+
+void
+Observer::beginCycle(Cycle now)
+{
+    now_ = now;
+    traceActive_ = (cfg_.perfetto || cfg_.pipeview) &&
+                   now >= cfg_.traceFrom && now < traceEnd_;
+}
+
+// ---------------------------------------------------------------------
+// Hot hooks
+
+void
+Observer::onQueuePush(CoreId core, QueueId q, uint64_t occAfter)
+{
+    QueueTrack &t = qt(core, q);
+    t.pushes++;
+    if (cfg_.histograms) {
+        // Committed occupancy the entry found on arrival.
+        t.occ.add(occAfter - 1);
+        t.enqCycles.push_back(now_);
+    }
+    if (traceActive_ && cfg_.perfetto && occAfter != t.lastCounter) {
+        t.lastCounter = occAfter;
+        evCounter(core + 1,
+                  "q" + std::to_string(q) + " occupancy", now_,
+                  occAfter);
+    }
+}
+
+void
+Observer::onQueuePop(CoreId core, QueueId q, uint64_t occAfter)
+{
+    QueueTrack &t = qt(core, q);
+    t.pops++;
+    if (cfg_.histograms && !t.enqCycles.empty()) {
+        // Committed order is FIFO, so the oldest unconsumed entry is the
+        // one leaving.
+        t.wait.add(now_ - t.enqCycles.front());
+        t.enqCycles.pop_front();
+    }
+    if (traceActive_ && cfg_.perfetto && occAfter != t.lastCounter) {
+        t.lastCounter = occAfter;
+        evCounter(core + 1,
+                  "q" + std::to_string(q) + " occupancy", now_,
+                  occAfter);
+    }
+}
+
+void
+Observer::onRaLatency(uint32_t idx, Cycle latency)
+{
+    if (ras_.size() <= idx)
+        ras_.resize(idx + 1);
+    if (cfg_.histograms)
+        ras_[idx].latency.add(latency);
+}
+
+void
+Observer::onConnectorCreditStall(uint32_t idx, Cycle now)
+{
+    if (conns_.size() <= idx)
+        conns_.resize(idx + 1);
+    ConnTrack &c = conns_[idx];
+    if (c.lastStallCycle + 1 == now) {
+        c.runLen++;
+    } else {
+        flushConnRun(c, idx);
+        c.runStart = now;
+        c.runLen = 1;
+    }
+    c.lastStallCycle = now;
+}
+
+void
+Observer::flushConnRun(ConnTrack &c, uint32_t idx)
+{
+    if (!c.runLen)
+        return;
+    if (cfg_.histograms)
+        c.stall.add(c.runLen);
+    if (cfg_.perfetto && c.runStart >= cfg_.traceFrom &&
+        c.runStart < traceEnd_) {
+        evSlice(connPid(), idx + 1, "credit stall", c.runStart, c.runLen);
+    }
+    c.runLen = 0;
+}
+
+void
+Observer::onRetire(Cycle now, CoreId core, ThreadId tid,
+                   const DynInst &inst)
+{
+    if (!traceActive_ || !cfg_.pipeview)
+        return;
+    // Stage cycles are captured on the pooled DynInst as it flows
+    // through the pipeline; the core tick order guarantees
+    // fetch <= decode <= rename = dispatch <= issue < complete <= retire.
+    uint64_t fetchReady = inst.fetchReady;
+    uint64_t fetch =
+        fetchReady > frontendDelay_ ? fetchReady - frontendDelay_ : 0;
+    // Multi-core traces need globally unique instruction ids.
+    uint64_t uid = numCores_ > 1
+                       ? static_cast<uint64_t>(core) * 100000000ull +
+                             inst.seq
+                       : inst.seq;
+    std::string disasm = inst.si && inst.op == inst.si->op
+                             ? inst.si->toString()
+                             : opInfo(inst.op).name;
+    char buf[256];
+    snprintf(buf, sizeof(buf),
+             "O3PipeView:fetch:%" PRIu64 ":0x%08" PRIx64 ":0:%" PRIu64
+             ":t%u %s\n",
+             fetch * PIPEVIEW_TICKS_PER_CYCLE, inst.pc, uid, tid,
+             disasm.c_str());
+    pipeview_ += buf;
+    snprintf(buf, sizeof(buf),
+             "O3PipeView:decode:%" PRIu64 "\n"
+             "O3PipeView:rename:%" PRIu64 "\n"
+             "O3PipeView:dispatch:%" PRIu64 "\n"
+             "O3PipeView:issue:%" PRIu64 "\n"
+             "O3PipeView:complete:%" PRIu64 "\n"
+             "O3PipeView:retire:%" PRIu64 ":store:0\n",
+             fetchReady * PIPEVIEW_TICKS_PER_CYCLE,
+             inst.renameCycle * PIPEVIEW_TICKS_PER_CYCLE,
+             inst.renameCycle * PIPEVIEW_TICKS_PER_CYCLE,
+             inst.issueCycle * PIPEVIEW_TICKS_PER_CYCLE,
+             inst.completeCycle * PIPEVIEW_TICKS_PER_CYCLE,
+             now * PIPEVIEW_TICKS_PER_CYCLE);
+    pipeview_ += buf;
+}
+
+// ---------------------------------------------------------------------
+// Perfetto polling
+
+void
+Observer::threadState(CoreId core, ThreadId tid, ThreadState s)
+{
+    ThreadTrack &t = threads_[ti(core, tid)];
+    uint8_t code = static_cast<uint8_t>(s);
+    if (t.state == code)
+        return;
+    if (t.state != 0xff) {
+        evSlice(core + 1, tid + 1,
+                threadStateName(static_cast<ThreadState>(t.state)),
+                t.sliceStart, now_ - t.sliceStart);
+    }
+    t.state = code;
+    t.sliceStart = now_;
+}
+
+void
+Observer::raState(uint32_t idx, uint64_t cbSize, bool busy)
+{
+    if (ras_.size() <= idx)
+        ras_.resize(idx + 1);
+    RaTrack &r = ras_[idx];
+    if (cbSize != r.lastCb) {
+        r.lastCb = cbSize;
+        evCounter(raPid(), "ra" + std::to_string(idx) + " cbuf", now_,
+                  cbSize);
+    }
+    if (busy != r.busy) {
+        if (r.busy)
+            evSlice(raPid(), idx + 1, "busy", r.busyStart,
+                    now_ - r.busyStart);
+        r.busy = busy;
+        r.busyStart = now_;
+    }
+}
+
+void
+Observer::connectorState(uint32_t idx, uint64_t inflight)
+{
+    if (conns_.size() <= idx)
+        conns_.resize(idx + 1);
+    ConnTrack &c = conns_[idx];
+    if (inflight != c.lastInflight) {
+        c.lastInflight = inflight;
+        evCounter(connPid(), "conn" + std::to_string(idx) + " inflight",
+                  now_, inflight);
+    }
+}
+
+void
+Observer::coreCpi(CoreId core,
+                  const std::array<uint64_t, NUM_CPI_BUCKETS> &cum)
+{
+    if (now_ < cpiNextEmit_[core])
+        return;
+    cpiNextEmit_[core] = now_ + CPI_EMIT_PERIOD;
+    std::string args;
+    for (size_t i = 0; i < NUM_CPI_BUCKETS; i++) {
+        if (i)
+            args += ',';
+        args += '"';
+        args += cpiBucketName(static_cast<CpiBucket>(i));
+        args += "\":";
+        args += std::to_string(cum[i] - cpiPrev_[core][i]);
+    }
+    cpiPrev_[core] = cum;
+    char buf[128];
+    snprintf(buf, sizeof(buf),
+             "{\"name\":\"cpi stack\",\"ph\":\"C\",\"pid\":%u,"
+             "\"tid\":0,\"ts\":%" PRIu64 ",\"args\":{",
+             core + 1, now_);
+    events_.push_back(std::string(buf) + args + "}}");
+}
+
+// ---------------------------------------------------------------------
+// Interval sampling
+
+void
+Observer::sample(Cycle now, const SampleInput &in)
+{
+    const CoreStats &a = in.agg;
+    const CoreStats &p = prev_.agg;
+
+    SampleRow row;
+    row.cycle = now;
+    row.instrs = a.committedInstrs - p.committedInstrs;
+    row.uops = a.issuedUops - p.issuedUops;
+    row.squashed = a.squashedInstrs - p.squashedInstrs;
+    for (size_t i = 0; i < NUM_CPI_BUCKETS; i++)
+        row.cpi[i] = a.cpiCycles[i] - p.cpiCycles[i];
+
+    char buf[512];
+    int n = snprintf(
+        buf, sizeof(buf),
+        "%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+        ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+        ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+        ",%" PRIu64 ",%" PRIu64,
+        now, row.instrs, row.uops, row.squashed, row.cpi[0], row.cpi[1],
+        row.cpi[2], row.cpi[3], a.loads - p.loads, a.stores - p.stores,
+        a.enqueues - p.enqueues, a.dequeues - p.dequeues,
+        in.l1Misses - prev_.l1Misses, in.l2Misses - prev_.l2Misses,
+        in.l3Misses - prev_.l3Misses,
+        in.mem.dramReads - prev_.mem.dramReads,
+        in.mem.dramWrites - prev_.mem.dramWrites);
+    csv_.append(buf, n);
+    size_t nq = static_cast<size_t>(numCores_) * numQueues_;
+    for (size_t i = 0; i < nq; i++) {
+        csv_ += ',';
+        csv_ += std::to_string(in.queueOcc ? in.queueOcc[i] : 0);
+    }
+    csv_ += '\n';
+
+    rows_.push_back(row);
+    prev_ = in;
+    prev_.queueOcc = nullptr; // not owned; only scalars carry over
+    lastSample_ = now;
+    nextSample_ = now + cfg_.sampleInterval;
+}
+
+// ---------------------------------------------------------------------
+// Flight-recorder import
+
+void
+Observer::addFlightInstant(CoreId core, ThreadId tid, Cycle cycle,
+                           const std::string &desc)
+{
+    if (!cfg_.perfetto)
+        return;
+    evInstant(core + 1, tid + 1, desc, cycle);
+}
+
+// ---------------------------------------------------------------------
+// Finalize / export
+
+void
+Observer::closeOpenSlices(Cycle endCycle)
+{
+    for (uint32_t c = 0; c < numCores_; c++) {
+        for (uint32_t t = 0; t < smtThreads_; t++) {
+            ThreadTrack &tt = threads_[ti(c, t)];
+            if (tt.state != 0xff && endCycle > tt.sliceStart) {
+                evSlice(c + 1, t + 1,
+                        threadStateName(
+                            static_cast<ThreadState>(tt.state)),
+                        tt.sliceStart, endCycle - tt.sliceStart);
+            }
+            tt.state = 0xff;
+        }
+    }
+    for (size_t i = 0; i < ras_.size(); i++) {
+        RaTrack &r = ras_[i];
+        if (r.busy && endCycle > r.busyStart) {
+            evSlice(raPid(), static_cast<uint32_t>(i) + 1, "busy",
+                    r.busyStart, endCycle - r.busyStart);
+        }
+        r.busy = false;
+    }
+}
+
+void
+Observer::finalize(const SampleInput &in, Cycle now)
+{
+    if (finalized_)
+        return;
+    finalized_ = true;
+    now_ = now;
+    for (size_t i = 0; i < conns_.size(); i++)
+        flushConnRun(conns_[i], static_cast<uint32_t>(i));
+    if (cfg_.perfetto)
+        closeOpenSlices(now);
+    // Final partial interval, so the CSV totals match the run totals.
+    if (cfg_.sampleInterval && now > lastSample_)
+        sample(now, in);
+}
+
+std::string
+Observer::perfettoJson() const
+{
+    std::string out = "{\"traceEvents\":[\n";
+    for (size_t i = 0; i < events_.size(); i++) {
+        out += events_[i];
+        if (i + 1 < events_.size())
+            out += ',';
+        out += '\n';
+    }
+    out += "],\"displayTimeUnit\":\"ns\"}\n";
+    return out;
+}
+
+void
+Observer::writeFiles()
+{
+    if (filesWritten_)
+        return;
+    filesWritten_ = true;
+    auto writeTo = [](const std::string &path, const std::string &data) {
+        if (path.empty())
+            return;
+        FILE *f = fopen(path.c_str(), "w");
+        if (!f) {
+            warn("obs: cannot open ", path, " for writing");
+            return;
+        }
+        fwrite(data.data(), 1, data.size(), f);
+        fclose(f);
+    };
+    if (cfg_.perfetto)
+        writeTo(cfg_.perfettoPath, perfettoJson());
+    if (cfg_.pipeview)
+        writeTo(cfg_.pipeviewPath, pipeview_);
+    if (cfg_.sampleInterval)
+        writeTo(cfg_.sampleCsvPath, csv_);
+}
+
+void
+Observer::dumpStats(std::map<std::string, double> &out) const
+{
+    if (cfg_.sampleInterval)
+        out["obs.samples"] = static_cast<double>(rows_.size());
+    if (!cfg_.histograms)
+        return;
+    for (uint32_t c = 0; c < numCores_; c++) {
+        for (uint32_t q = 0; q < numQueues_; q++) {
+            const QueueTrack &t = qt(c, q);
+            if (!t.pushes && !t.pops)
+                continue;
+            std::string prefix =
+                "obs.c" + std::to_string(c) + ".q" + std::to_string(q);
+            t.occ.dump(prefix + ".occ", out);
+            t.wait.dump(prefix + ".wait", out);
+        }
+    }
+    for (size_t i = 0; i < ras_.size(); i++) {
+        if (ras_[i].latency.count()) {
+            ras_[i].latency.dump(
+                "obs.ra" + std::to_string(i) + ".latency", out);
+        }
+    }
+    for (size_t i = 0; i < conns_.size(); i++) {
+        if (conns_[i].stall.count()) {
+            conns_[i].stall.dump(
+                "obs.conn" + std::to_string(i) + ".creditStall", out);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Introspection
+
+Observer::QueueTrack &
+Observer::qt(CoreId core, QueueId q)
+{
+    return queues_[static_cast<size_t>(core) * numQueues_ + q];
+}
+
+const Observer::QueueTrack &
+Observer::qt(CoreId core, QueueId q) const
+{
+    return queues_[static_cast<size_t>(core) * numQueues_ + q];
+}
+
+size_t
+Observer::ti(CoreId core, ThreadId tid) const
+{
+    return static_cast<size_t>(core) * smtThreads_ + tid;
+}
+
+uint64_t
+Observer::queuePushes(CoreId core, QueueId q) const
+{
+    return qt(core, q).pushes;
+}
+
+uint64_t
+Observer::queuePops(CoreId core, QueueId q) const
+{
+    return qt(core, q).pops;
+}
+
+uint64_t
+Observer::totalQueuePushes() const
+{
+    uint64_t t = 0;
+    for (const QueueTrack &q : queues_)
+        t += q.pushes;
+    return t;
+}
+
+const Log2Histogram &
+Observer::occupancyHist(CoreId core, QueueId q) const
+{
+    return qt(core, q).occ;
+}
+
+const Log2Histogram &
+Observer::waitHist(CoreId core, QueueId q) const
+{
+    return qt(core, q).wait;
+}
+
+const Log2Histogram &
+Observer::raLatencyHist(uint32_t idx) const
+{
+    return ras_[idx].latency;
+}
+
+const Log2Histogram &
+Observer::connStallHist(uint32_t idx) const
+{
+    return conns_[idx].stall;
+}
+
+// ---------------------------------------------------------------------
+// Perfetto event emission. 1 simulated cycle = 1 trace microsecond.
+
+void
+Observer::evSlice(uint32_t pid, uint32_t tid, const char *name, Cycle ts,
+                  Cycle dur)
+{
+    char buf[224];
+    snprintf(buf, sizeof(buf),
+             "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":%u,\"tid\":%u,"
+             "\"ts\":%" PRIu64 ",\"dur\":%" PRIu64 "}",
+             name, pid, tid, ts, dur);
+    events_.push_back(buf);
+}
+
+void
+Observer::evCounter(uint32_t pid, const std::string &name, Cycle ts,
+                    uint64_t value)
+{
+    char buf[224];
+    snprintf(buf, sizeof(buf),
+             "{\"name\":\"%s\",\"ph\":\"C\",\"pid\":%u,\"tid\":0,"
+             "\"ts\":%" PRIu64 ",\"args\":{\"value\":%" PRIu64 "}}",
+             name.c_str(), pid, ts, value);
+    events_.push_back(buf);
+}
+
+void
+Observer::evInstant(uint32_t pid, uint32_t tid, const std::string &name,
+                    Cycle ts)
+{
+    char buf[288];
+    snprintf(buf, sizeof(buf),
+             "{\"name\":\"%s\",\"ph\":\"i\",\"pid\":%u,\"tid\":%u,"
+             "\"ts\":%" PRIu64 ",\"s\":\"t\"}",
+             jsonEscape(name).c_str(), pid, tid, ts);
+    events_.push_back(buf);
+}
+
+void
+Observer::evMeta(uint32_t pid, uint32_t tid, const char *metaName,
+                 const std::string &value)
+{
+    char buf[288];
+    snprintf(buf, sizeof(buf),
+             "{\"name\":\"%s\",\"ph\":\"M\",\"pid\":%u,\"tid\":%u,"
+             "\"args\":{\"name\":\"%s\"}}",
+             metaName, pid, tid, jsonEscape(value).c_str());
+    events_.push_back(buf);
+}
+
+} // namespace obs
+} // namespace pipette

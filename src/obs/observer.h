@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Deterministic observability layer (ISSUE 5): the single object every
+ * instrumentation hook in the simulator talks to when
+ * `SystemConfig::observability` is enabled. Three pillars:
+ *
+ *  - interval sampling: every N cycles the System feeds a snapshot of
+ *    the aggregate core/cache/memory stats plus per-queue occupancy;
+ *    the Observer stores the deltas as a time series (CSV export);
+ *  - histograms: log2-bucketed per-queue occupancy-at-enqueue and
+ *    dequeue-wait latency, per-RA indirection latency, and per-
+ *    connector credit-stall run length, folded into the flattened
+ *    stats map under "obs." keys;
+ *  - trace export: a Chrome/Perfetto JSON trace (thread stall-state
+ *    slices, RA busy slices, queue/RA/connector counter tracks, CPI
+ *    counters, flight-recorder instants) and a gem5-style O3PipeView
+ *    text trace (per-instruction fetch/decode/rename/dispatch/issue/
+ *    complete/retire ticks, viewable in Konata), both bounded by the
+ *    configured cycle window.
+ *
+ * Contract (mirrors the PR 3 guardrails pattern): the cores, QRMs, RAs,
+ * and connectors hold a null Observer pointer by default and every hook
+ * site is a single branch, so with observability off the simulation is
+ * bit-identical and the hot path allocation-free. Even when on, the
+ * Observer only reads -- simulated timing and statistics never change.
+ * Everything recorded is a pure function of simulated state, so traces
+ * and CSVs are byte-identical across repeated runs and host-parallel
+ * sweep execution.
+ */
+
+#ifndef PIPETTE_OBS_OBSERVER_H
+#define PIPETTE_OBS_OBSERVER_H
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/dyn_inst.h"
+#include "obs/histogram.h"
+#include "sim/config.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace pipette {
+namespace obs {
+
+/** Thread pipeline state for the Perfetto stall-state track. */
+enum class ThreadState : uint8_t
+{
+    Run,        ///< renamed at least one micro-op this cycle
+    QueueEmpty, ///< rename blocked on an empty Pipette queue
+    QueueFull,  ///< rename blocked on a full Pipette queue
+    Resource,   ///< rename blocked on ROB/IQ/LSQ/PRF/pool
+    Frontend,   ///< nothing renameable (fetch/redirect latency)
+    Halted,
+    NumStates,
+};
+
+const char *threadStateName(ThreadState s);
+
+/** Per-run observability state; owned by the System, hooked by all. */
+class Observer
+{
+  public:
+    explicit Observer(const SystemConfig &cfg);
+
+    const ObservabilityConfig &config() const { return cfg_; }
+
+    // ---- Track registration (System::configure) ----
+    void registerThread(CoreId core, ThreadId tid);
+    void registerRa(uint32_t idx, CoreId core, QueueId in, QueueId out);
+    void registerConnector(uint32_t idx, CoreId from, QueueId fromQ,
+                           CoreId to, QueueId toQ);
+
+    // ---- Per-cycle lifecycle (System::runFor) ----
+    /** Called before the cores tick; establishes the hook timestamp and
+     *  the trace-window state for this cycle. */
+    void beginCycle(Cycle now);
+    /** Collectors are inside the trace window this cycle. */
+    bool traceActive() const { return traceActive_; }
+    /** The Perfetto poll (thread/RA/connector state) is wanted. */
+    bool wantPoll() const { return traceActive_ && cfg_.perfetto; }
+    Cycle now() const { return now_; }
+
+    bool
+    sampleDue(Cycle now) const
+    {
+        return cfg_.sampleInterval && now >= nextSample_;
+    }
+
+    // ---- Hot hooks (single null-check at every call site) ----
+    /** Entry became committed in (core, q); occAfter = committed size. */
+    void onQueuePush(CoreId core, QueueId q, uint64_t occAfter);
+    /** Committed entry consumed from (core, q). */
+    void onQueuePop(CoreId core, QueueId q, uint64_t occAfter);
+    /** RA issued an indirection load completing after `latency` cycles. */
+    void onRaLatency(uint32_t idx, Cycle latency);
+    /** Connector had data to send but no credits this cycle. */
+    void onConnectorCreditStall(uint32_t idx, Cycle now);
+    /** Instruction committed (O3PipeView block; stage timestamps are
+     *  carried on the pooled DynInst). */
+    void onRetire(Cycle now, CoreId core, ThreadId tid,
+                  const DynInst &inst);
+
+    // ---- Perfetto poll (System, once per cycle inside the window) ----
+    void threadState(CoreId core, ThreadId tid, ThreadState s);
+    void raState(uint32_t idx, uint64_t cbSize, bool busy);
+    void connectorState(uint32_t idx, uint64_t inflight);
+    /** Cumulative CPI-stack counters; deltas are emitted as a counter
+     *  track every CPI_EMIT_PERIOD cycles. */
+    void coreCpi(CoreId core,
+                 const std::array<uint64_t, NUM_CPI_BUCKETS> &cum);
+
+    // ---- Interval sampling (System) ----
+    struct SampleInput
+    {
+        CoreStats agg;
+        uint64_t l1Misses = 0;
+        uint64_t l2Misses = 0;
+        uint64_t l3Misses = 0;
+        MemStats mem;
+        /** Instantaneous committed occupancy, core-major, one entry per
+         *  (core, queue). */
+        const uint64_t *queueOcc = nullptr;
+    };
+    void sample(Cycle now, const SampleInput &in);
+
+    /** One stored interval row (bench access; full data is in the CSV). */
+    struct SampleRow
+    {
+        Cycle cycle = 0;
+        uint64_t instrs = 0;
+        uint64_t uops = 0;
+        uint64_t squashed = 0;
+        std::array<uint64_t, NUM_CPI_BUCKETS> cpi = {};
+    };
+    const std::vector<SampleRow> &sampleRows() const { return rows_; }
+
+    // ---- Flight-recorder import (System, on an abnormal stop) ----
+    void addFlightInstant(CoreId core, ThreadId tid, Cycle cycle,
+                          const std::string &desc);
+
+    // ---- Finalize / export ----
+    /** Close open slices, emit the final partial sample. Idempotent. */
+    void finalize(const SampleInput &in, Cycle now);
+    /** Write configured output files (no-op for empty paths). */
+    void writeFiles();
+
+    std::string perfettoJson() const;
+    const std::string &pipeviewText() const { return pipeview_; }
+    const std::string &intervalCsv() const { return csv_; }
+
+    /** Fold histograms and sample counts into the flattened stat map. */
+    void dumpStats(std::map<std::string, double> &out) const;
+
+    // ---- Introspection (tests) ----
+    uint64_t queuePushes(CoreId core, QueueId q) const;
+    uint64_t queuePops(CoreId core, QueueId q) const;
+    uint64_t totalQueuePushes() const;
+    const Log2Histogram &occupancyHist(CoreId core, QueueId q) const;
+    const Log2Histogram &waitHist(CoreId core, QueueId q) const;
+    const Log2Histogram &raLatencyHist(uint32_t idx) const;
+    const Log2Histogram &connStallHist(uint32_t idx) const;
+
+  private:
+    /** Cycles between Perfetto CPI-counter emissions. */
+    static constexpr Cycle CPI_EMIT_PERIOD = 64;
+
+    struct QueueTrack
+    {
+        uint64_t pushes = 0;
+        uint64_t pops = 0;
+        Log2Histogram occ;  ///< committed occupancy at enqueue
+        Log2Histogram wait; ///< commit-to-consume latency
+        /** Commit timestamps of unconsumed entries (committed pointers
+         *  are strictly FIFO, so a deque matches pops to pushes). */
+        std::deque<Cycle> enqCycles;
+        uint64_t lastCounter = ~0ull; ///< last emitted occupancy
+    };
+
+    struct ThreadTrack
+    {
+        bool registered = false;
+        uint8_t state = 0xff; ///< 0xff = no open slice
+        Cycle sliceStart = 0;
+    };
+
+    struct RaTrack
+    {
+        bool registered = false;
+        CoreId core = 0;
+        QueueId in = 0, out = 0;
+        Log2Histogram latency;
+        uint64_t lastCb = ~0ull;
+        bool busy = false;
+        Cycle busyStart = 0;
+    };
+
+    struct ConnTrack
+    {
+        bool registered = false;
+        CoreId from = 0, to = 0;
+        QueueId fromQ = 0, toQ = 0;
+        Log2Histogram stall; ///< credit-stall run lengths (cycles)
+        uint64_t lastInflight = ~0ull;
+        Cycle lastStallCycle = ~0ull;
+        Cycle runStart = 0;
+        uint64_t runLen = 0;
+    };
+
+    QueueTrack &qt(CoreId core, QueueId q);
+    const QueueTrack &qt(CoreId core, QueueId q) const;
+    size_t ti(CoreId core, ThreadId tid) const;
+
+    /** End the current credit-stall run: histogram + Perfetto slice. */
+    void flushConnRun(ConnTrack &c, uint32_t idx);
+    void closeOpenSlices(Cycle endCycle);
+
+    // Perfetto event emission (each appends one JSON object string).
+    void evSlice(uint32_t pid, uint32_t tid, const char *name, Cycle ts,
+                 Cycle dur);
+    void evCounter(uint32_t pid, const std::string &name, Cycle ts,
+                   uint64_t value);
+    void evInstant(uint32_t pid, uint32_t tid, const std::string &name,
+                   Cycle ts);
+    void evMeta(uint32_t pid, uint32_t tid, const char *metaName,
+                const std::string &value);
+
+    uint32_t raPid() const { return numCores_ + 1; }
+    uint32_t connPid() const { return numCores_ + 2; }
+
+    ObservabilityConfig cfg_;
+    uint32_t numCores_;
+    uint32_t numQueues_;
+    uint32_t smtThreads_;
+    uint32_t frontendDelay_;
+    Cycle traceEnd_; ///< first cycle past the trace window
+
+    Cycle now_ = 0;
+    bool traceActive_ = false;
+    bool finalized_ = false;
+    bool filesWritten_ = false;
+
+    std::vector<QueueTrack> queues_;   ///< core-major
+    std::vector<ThreadTrack> threads_; ///< core * smtThreads + tid
+    std::vector<RaTrack> ras_;
+    std::vector<ConnTrack> conns_;
+
+    // CPI counter state, per core.
+    std::vector<std::array<uint64_t, NUM_CPI_BUCKETS>> cpiPrev_;
+    std::vector<Cycle> cpiNextEmit_;
+
+    // Interval sampler state.
+    Cycle nextSample_ = 0;
+    Cycle lastSample_ = 0;
+    SampleInput prev_;
+    std::vector<SampleRow> rows_;
+    std::string csv_;
+
+    std::vector<std::string> events_; ///< Perfetto JSON objects
+    std::string pipeview_;
+};
+
+} // namespace obs
+} // namespace pipette
+
+#endif // PIPETTE_OBS_OBSERVER_H

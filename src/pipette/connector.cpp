@@ -1,5 +1,7 @@
 #include "pipette/connector.h"
 
+#include "obs/observer.h"
+
 namespace pipette {
 
 Connector::Connector(const ConnectorSpec &spec, Qrm *fromQrm,
@@ -52,8 +54,13 @@ Connector::tick(Cycle now)
         if (!fromQrm_->canDequeueNonSpec(spec_.fromQueue))
             break;
         uint64_t credits = toQrm_->capacity(spec_.toQueue);
-        if (inflight_.size() + toQrm_->totalSize(spec_.toQueue) >= credits)
+        if (inflight_.size() + toQrm_->totalSize(spec_.toQueue) >= credits) {
+            // Data was available (canDequeueNonSpec passed) but no
+            // credits: a genuine backpressure stall cycle.
+            if (obs_)
+                obs_->onConnectorCreditStall(obsIdx_, now);
             break;
+        }
         bool ctrl = false;
         PhysRegId r = fromQrm_->dequeueNonSpec(spec_.fromQueue, &ctrl);
         Flit f;

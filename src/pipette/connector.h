@@ -49,6 +49,18 @@ class Connector
     size_t inflightSize() const { return inflight_.size(); }
     Cycle stalledUntil() const { return stalledUntil_; }
 
+    /**
+     * Attach the observability hook target (credit-stall events). Null
+     * (the default) disables the hook: the site is a single pointer
+     * test (the guardrails pattern).
+     */
+    void
+    setObserver(obs::Observer *o, uint32_t idx)
+    {
+        obs_ = o;
+        obsIdx_ = idx;
+    }
+
   private:
     struct Flit
     {
@@ -67,6 +79,10 @@ class Connector
     uint32_t bandwidth_;
     Cycle stalledUntil_ = 0; ///< fault injection; 0 = not stalled
     std::deque<Flit> inflight_;
+
+    /** Observability hooks; null = disabled. */
+    obs::Observer *obs_ = nullptr;
+    uint32_t obsIdx_ = 0;
 };
 
 } // namespace pipette

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/observer.h"
+
 namespace pipette {
 
 Qrm::Qrm(uint32_t numQueues, uint32_t defaultCap, uint32_t maxTotalRegs)
@@ -62,6 +64,8 @@ Qrm::commitEnqueue(QueueId q)
     Q.version++;
     panic_if(Q.commTail == Q.specTail, "commitEnqueue with no spec entry");
     Q.commTail++;
+    if (obs_)
+        obs_->onQueuePush(obsCore_, q, Q.commTail - Q.specHead);
 }
 
 bool
@@ -110,6 +114,8 @@ Qrm::commitDequeue(QueueId q)
     Q.commHead++;
     regsInUse_--;
     regsVersion_++;
+    if (obs_)
+        obs_->onQueuePop(obsCore_, q, Q.commTail - Q.specHead);
     return r;
 }
 
@@ -142,6 +148,8 @@ Qrm::dequeueNonSpec(QueueId q, bool *ctrl)
     Q.specHead++;
     regsInUse_--;
     regsVersion_++;
+    if (obs_)
+        obs_->onQueuePop(obsCore_, q, Q.commTail - Q.specHead);
     return r;
 }
 
@@ -160,6 +168,8 @@ Qrm::enqueueNonSpec(QueueId q, PhysRegId reg, bool ctrl)
     regsVersion_++;
     if (ctrl)
         Q.skipArmed = false;
+    if (obs_)
+        obs_->onQueuePush(obsCore_, q, Q.commTail - Q.specHead);
 }
 
 std::string

@@ -31,11 +31,27 @@
 
 namespace pipette {
 
+namespace obs {
+class Observer;
+} // namespace obs
+
 /** Queue Register Map: all Pipette queues of one core. */
 class Qrm
 {
   public:
     Qrm(uint32_t numQueues, uint32_t defaultCap, uint32_t maxTotalRegs);
+
+    /**
+     * Attach the observability hook target (committed push/pop events,
+     * occupancy). Null (the default) disables the hooks: each hook site
+     * is a single pointer test (the guardrails pattern).
+     */
+    void
+    setObserver(obs::Observer *o, CoreId core)
+    {
+        obs_ = o;
+        obsCore_ = core;
+    }
 
     uint32_t numQueues() const { return static_cast<uint32_t>(qs_.size()); }
     void setCapacity(QueueId q, uint32_t cap);
@@ -239,6 +255,10 @@ class Qrm
     uint32_t maxRegs_;
     uint32_t regsInUse_ = 0;
     uint64_t regsVersion_ = 1;
+
+    /** Observability hooks; null = disabled. */
+    obs::Observer *obs_ = nullptr;
+    CoreId obsCore_ = 0;
 };
 
 } // namespace pipette

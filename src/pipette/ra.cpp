@@ -1,5 +1,7 @@
 #include "pipette/ra.h"
 
+#include "obs/observer.h"
+
 namespace pipette {
 
 RefAccel::RefAccel(const RaSpec &spec, uint32_t completionBufEntries,
@@ -19,10 +21,15 @@ RefAccel::issueLoad(Addr addr, Cycle now, CbEntry *entry)
     SimMemory *mem = mem_;
     uint32_t bytes = spec_.elemBytes;
     stats_->raAccesses++;
-    hier_->access(spec_.core, addr, false, now, [entry, mem, addr, bytes] {
+    Cycle done = hier_->access(spec_.core, addr, false, now,
+                               [entry, mem, addr, bytes] {
         entry->value = mem->read(addr, bytes);
         entry->done = true;
     });
+    // access() completes at exactly `done`; record the indirection
+    // latency here so the completion lambda stays observability-free.
+    if (obs_)
+        obs_->onRaLatency(obsIdx_, done - now);
 }
 
 void

@@ -65,6 +65,18 @@ class RefAccel
     size_t cbSize() const { return cb_.size(); }
     Cycle stalledUntil() const { return stalledUntil_; }
 
+    /**
+     * Attach the observability hook target (indirection-load latency).
+     * Null (the default) disables the hook: the site is a single
+     * pointer test (the guardrails pattern).
+     */
+    void
+    setObserver(obs::Observer *o, uint32_t idx)
+    {
+        obs_ = o;
+        obsIdx_ = idx;
+    }
+
   private:
     /**
      * Completion-buffer entry. Entries live by value in the bounded
@@ -111,6 +123,10 @@ class RefAccel
     bool idleValid_ = false;
     uint64_t idleInV_ = 0;
     uint64_t idleOutV_ = 0;
+
+    /** Observability hooks; null = disabled. */
+    obs::Observer *obs_ = nullptr;
+    uint32_t obsIdx_ = 0;
 };
 
 } // namespace pipette

@@ -99,6 +99,15 @@ configFingerprint(const SystemConfig &cfg)
         h.pod(f.queue);
         h.pod(f.bit);
     }
+    // Observability never perturbs simulated state, but sampling and
+    // histograms add "obs." keys to the flattened stats map, so they
+    // key the cache. The trace collectors and every output-side setting
+    // (paths, trace window) are deliberately excluded: they only decide
+    // what gets exported, and hashing them would spuriously invalidate
+    // sweep caches between plain and traced runs of the same machine.
+    const ObservabilityConfig &o = cfg.observability;
+    h.pod(o.sampleInterval);
+    h.pod(o.histograms);
     return h.value();
 }
 

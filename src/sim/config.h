@@ -210,6 +210,50 @@ struct GuardrailConfig
     }
 };
 
+/**
+ * Observability layer configuration (src/obs/). Everything defaults
+ * off; with the whole struct disabled the run loop and every hook site
+ * reduce to a single null-pointer test (the guardrails pattern), so
+ * golden statistics stay bit-identical. The layer never feeds back into
+ * simulated state: even when enabled, simulated timing and statistics
+ * are unchanged -- it only records.
+ */
+struct ObservabilityConfig
+{
+    /**
+     * Interval-sampling period in cycles (0 = off). Every N cycles the
+     * System snapshots deltas of the aggregate core/cache/memory stats
+     * plus per-queue occupancy into an in-memory time series,
+     * exportable as CSV (sampleCsvPath or Observer::intervalCsv()).
+     */
+    uint32_t sampleInterval = 0;
+    /**
+     * Log2-bucketed histograms: per-queue occupancy-at-enqueue and
+     * dequeue-wait latency, per-RA indirection latency, and per-
+     * connector credit-stall run length. Folded into the flattened
+     * stats map under "obs." keys.
+     */
+    bool histograms = false;
+    /** Collect a Chrome/Perfetto JSON trace (see trace window below). */
+    bool perfetto = false;
+    /** Collect a gem5-style O3PipeView text trace (Konata-compatible). */
+    bool pipeview = false;
+    /** Output paths; empty = keep in memory only (tests use accessors). */
+    std::string perfettoPath;
+    std::string pipeviewPath;
+    std::string sampleCsvPath;
+    /** First cycle the trace collectors are active. */
+    uint64_t traceFrom = 0;
+    /** Trace-window length in cycles (0 = to the end of the run). */
+    uint64_t traceCycles = 0;
+
+    bool
+    enabled() const
+    {
+        return sampleInterval > 0 || histograms || perfetto || pipeview;
+    }
+};
+
 /** Parameters of the whole simulated system. */
 struct SystemConfig
 {
@@ -229,6 +273,9 @@ struct SystemConfig
 
     /** Debug guardrails (oracle, invariants, flight recorder, faults). */
     GuardrailConfig guardrails;
+
+    /** Observability (interval sampling, histograms, trace export). */
+    ObservabilityConfig observability;
 
     /** Human-readable one-line summary (Table IV style). */
     std::string summary() const;

@@ -27,32 +27,14 @@ CoreStats::dump(const std::string &prefix,
                 std::map<std::string, double> &out) const
 {
     out[prefix + ".cycles"] = static_cast<double>(cycles);
-    out[prefix + ".committedInstrs"] = static_cast<double>(committedInstrs);
-    out[prefix + ".issuedUops"] = static_cast<double>(issuedUops);
-    out[prefix + ".squashedInstrs"] = static_cast<double>(squashedInstrs);
-    out[prefix + ".fetchedInstrs"] = static_cast<double>(fetchedInstrs);
-    out[prefix + ".branches"] = static_cast<double>(branches);
-    out[prefix + ".mispredicts"] = static_cast<double>(mispredicts);
-    out[prefix + ".loads"] = static_cast<double>(loads);
-    out[prefix + ".stores"] = static_cast<double>(stores);
-    out[prefix + ".atomics"] = static_cast<double>(atomics);
-    out[prefix + ".enqueues"] = static_cast<double>(enqueues);
-    out[prefix + ".dequeues"] = static_cast<double>(dequeues);
-    out[prefix + ".ctrlValues"] = static_cast<double>(ctrlValues);
-    out[prefix + ".cvTraps"] = static_cast<double>(cvTraps);
-    out[prefix + ".enqTraps"] = static_cast<double>(enqTraps);
-    out[prefix + ".queueFullStalls"] = static_cast<double>(queueFullStalls);
-    out[prefix + ".queueEmptyStalls"] =
-        static_cast<double>(queueEmptyStalls);
-    out[prefix + ".dynInstPoolStalls"] =
-        static_cast<double>(dynInstPoolStalls);
-    out[prefix + ".checkpointStalls"] =
-        static_cast<double>(checkpointStalls);
-    out[prefix + ".regReads"] = static_cast<double>(regReads);
-    out[prefix + ".regWrites"] = static_cast<double>(regWrites);
-    out[prefix + ".raAccesses"] = static_cast<double>(raAccesses);
-    out[prefix + ".connectorTransfers"] =
-        static_cast<double>(connectorTransfers);
+#define PIPETTE_DUMP_STAT(name)                                         \
+    out[prefix + "." #name] = static_cast<double>(name);
+    PIPETTE_CORE_STAT_COUNTERS(PIPETTE_DUMP_STAT)
+#undef PIPETTE_DUMP_STAT
+    for (size_t t = 0; t < 8; t++) {
+        out[prefix + ".committedPerThread" + std::to_string(t)] =
+            static_cast<double>(committedPerThread[t]);
+    }
     out[prefix + ".ipc"] = ipc();
     for (size_t i = 0; i < NUM_CPI_BUCKETS; i++) {
         out[prefix + ".cpi." + cpiBucketName(static_cast<CpiBucket>(i))] =

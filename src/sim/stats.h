@@ -35,6 +35,49 @@ constexpr size_t NUM_CPI_BUCKETS =
 /** Name of a CPI bucket for reports. */
 const char *cpiBucketName(CpiBucket b);
 
+/**
+ * Registry of every scalar event counter in CoreStats. dump() and the
+ * cross-core aggregation iterate this list, so a counter added to the
+ * struct but not the registry can never be silently dropped from the
+ * flattened map: the sizeof static_assert below fails until the new
+ * field is registered here (or the special-cased cycles/per-thread/CPI
+ * fields are updated alongside it).
+ */
+#define PIPETTE_CORE_STAT_COUNTERS(X)                                   \
+    X(committedInstrs)                                                  \
+    X(issuedUops)                                                       \
+    X(squashedInstrs)                                                   \
+    X(fetchedInstrs)                                                    \
+    X(branches)                                                         \
+    X(mispredicts)                                                      \
+    X(loads)                                                            \
+    X(stores)                                                           \
+    X(atomics)                                                          \
+    X(enqueues)                                                         \
+    X(dequeues)                                                         \
+    X(ctrlValues)                                                       \
+    X(cvTraps)                                                          \
+    X(enqTraps)                                                         \
+    X(skipDiscards)                                                     \
+    X(queueFullStalls)                                                  \
+    X(queueEmptyStalls)                                                 \
+    X(dynInstPoolStalls)                                                \
+    X(checkpointStalls)                                                 \
+    X(regReads)                                                         \
+    X(regWrites)                                                        \
+    X(raAccesses)                                                       \
+    X(raCvForwards)                                                     \
+    X(connectorTransfers)
+
+/** Number of counters in PIPETTE_CORE_STAT_COUNTERS. */
+constexpr size_t NUM_CORE_STAT_COUNTERS = [] {
+    size_t n = 0;
+#define PIPETTE_COUNT_STAT(name) n++;
+    PIPETTE_CORE_STAT_COUNTERS(PIPETTE_COUNT_STAT)
+#undef PIPETTE_COUNT_STAT
+    return n;
+}();
+
 /** Per-core statistics. */
 struct CoreStats
 {
@@ -72,6 +115,17 @@ struct CoreStats
     void dump(const std::string &prefix,
               std::map<std::string, double> &out) const;
 };
+
+// Completeness guard: cycles + the registered counters + the per-thread
+// commit array + the CPI stack account for every byte of the struct. A
+// new field changes sizeof and trips this until it is registered above
+// (scalar counters) or handled explicitly (arrays / special fields) in
+// dump() and System::aggregateCoreStats().
+static_assert(sizeof(CoreStats) ==
+                  sizeof(uint64_t) * (1 + NUM_CORE_STAT_COUNTERS + 8) +
+                      sizeof(std::array<uint64_t, NUM_CPI_BUCKETS>),
+              "CoreStats field not registered in "
+              "PIPETTE_CORE_STAT_COUNTERS");
 
 /** Per-cache statistics. */
 struct CacheStats

@@ -1,0 +1,481 @@
+// Observability-layer tests (ISSUE 5): the obs layer must (a) never
+// perturb simulated behavior, (b) produce byte-identical output across
+// repeated runs and host-parallel execution, and (c) produce internally
+// consistent histograms, interval samples, and traces (monotonic
+// O3PipeView stages, structurally valid Perfetto JSON).
+
+#include <gtest/gtest.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+
+#include "core/system.h"
+#include "parallel/sim_job_pool.h"
+#include "workloads/bfs.h"
+#include "workloads/cc.h"
+#include "workloads/graph.h"
+
+namespace pipette {
+namespace {
+
+// Golden bfs/Pipette numbers from test_determinism.cpp: the obs layer
+// must reproduce them exactly even with every collector enabled.
+constexpr uint64_t BFS_PIPETTE_CYCLES = 92599;
+constexpr uint64_t BFS_PIPETTE_INSTRS = 51220;
+
+SystemConfig
+testCfg()
+{
+    SystemConfig cfg;
+    cfg.watchdogCycles = 300'000;
+    cfg.maxCycles = 500'000'000;
+    return cfg;
+}
+
+struct ObsRun
+{
+    std::unique_ptr<Graph> g;
+    std::unique_ptr<System> sys;
+    System::RunResult res;
+};
+
+ObsRun
+runBfs(const ObservabilityConfig &ocfg, Variant v = Variant::Pipette)
+{
+    ObsRun o;
+    o.g = std::make_unique<Graph>(makeGridGraph(40, 40, 11));
+    SystemConfig cfg = testCfg();
+    cfg.observability = ocfg;
+    o.sys = std::make_unique<System>(cfg);
+    BfsWorkload wl(o.g.get());
+    BuildContext ctx(o.sys.get());
+    wl.build(ctx, v);
+    o.sys->configure(ctx.spec);
+    o.res = o.sys->run();
+    return o;
+}
+
+ObservabilityConfig
+allOn()
+{
+    ObservabilityConfig o;
+    o.sampleInterval = 1000;
+    o.histograms = true;
+    o.perfetto = true;
+    o.pipeview = true;
+    return o;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return "";
+    std::string out;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    std::fclose(f);
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Non-perturbation
+
+TEST(Observability, EnabledLayerDoesNotPerturbSimulation)
+{
+    ObsRun off = runBfs(ObservabilityConfig{});
+    ObsRun on = runBfs(allOn());
+    ASSERT_TRUE(off.res.finished);
+    ASSERT_TRUE(on.res.finished);
+    EXPECT_EQ(off.res.cycles, BFS_PIPETTE_CYCLES);
+    EXPECT_EQ(off.res.instrs, BFS_PIPETTE_INSTRS);
+    EXPECT_EQ(on.res.cycles, off.res.cycles);
+    EXPECT_EQ(on.res.instrs, off.res.instrs);
+
+    // Every simulated statistic must match; the obs-on dump only adds
+    // "obs." keys on top.
+    std::map<std::string, double> offStats = off.sys->dumpStats();
+    std::map<std::string, double> onStats = on.sys->dumpStats();
+    for (const auto &[k, v] : offStats) {
+        auto it = onStats.find(k);
+        ASSERT_NE(it, onStats.end()) << k;
+        EXPECT_EQ(it->second, v) << k;
+    }
+    for (const auto &[k, v] : onStats) {
+        if (offStats.find(k) == offStats.end())
+            EXPECT_EQ(k.rfind("obs.", 0), 0u) << "unexpected new key " << k;
+    }
+    EXPECT_GT(onStats.size(), offStats.size());
+}
+
+// ---------------------------------------------------------------------
+// Histograms
+
+TEST(Observability, HistogramTotalsMatchQueueTraffic)
+{
+    ObservabilityConfig ocfg;
+    ocfg.histograms = true;
+    ObsRun r = runBfs(ocfg);
+    ASSERT_TRUE(r.res.finished);
+    const obs::Observer *ob = r.sys->observer();
+    ASSERT_NE(ob, nullptr);
+
+    const SystemConfig &cfg = r.sys->config();
+    uint64_t pushes = 0, pops = 0;
+    for (uint32_t q = 0; q < cfg.core.numQueues; q++) {
+        const obs::Log2Histogram &occ = ob->occupancyHist(0, q);
+        const obs::Log2Histogram &wait = ob->waitHist(0, q);
+        // Exactly one occupancy sample per committed enqueue, one wait
+        // sample per committed dequeue, and bucket totals that cover
+        // every sample (no value escapes the log2 bucketing).
+        EXPECT_EQ(occ.count(), ob->queuePushes(0, q)) << "q" << q;
+        EXPECT_EQ(occ.bucketTotal(), occ.count()) << "q" << q;
+        EXPECT_EQ(wait.count(), ob->queuePops(0, q)) << "q" << q;
+        EXPECT_EQ(wait.bucketTotal(), wait.count()) << "q" << q;
+        pushes += ob->queuePushes(0, q);
+        pops += ob->queuePops(0, q);
+    }
+    EXPECT_GT(pushes, 0u);
+    EXPECT_LE(pops, pushes);
+
+    // Core enqueues are a subset of all committed pushes (the RA also
+    // pushes into its output queue).
+    CoreStats agg = r.sys->aggregateCoreStats();
+    EXPECT_GE(pushes, agg.enqueues);
+    EXPECT_EQ(ob->totalQueuePushes(), pushes);
+
+    // The histograms land in the flattened stats map under obs. keys.
+    std::map<std::string, double> stats = r.sys->dumpStats();
+    uint64_t dumped = 0;
+    for (uint32_t q = 0; q < cfg.core.numQueues; q++) {
+        auto it = stats.find("obs.c0.q" + std::to_string(q) +
+                             ".occ.count");
+        if (it != stats.end())
+            dumped += static_cast<uint64_t>(it->second);
+    }
+    EXPECT_EQ(dumped, pushes);
+}
+
+// ---------------------------------------------------------------------
+// Interval sampling
+
+TEST(Observability, SampleRowDeltasSumToRunTotals)
+{
+    ObservabilityConfig ocfg;
+    ocfg.sampleInterval = 1000;
+    ObsRun r = runBfs(ocfg);
+    ASSERT_TRUE(r.res.finished);
+    const obs::Observer *ob = r.sys->observer();
+    ASSERT_NE(ob, nullptr);
+
+    const auto &rows = ob->sampleRows();
+    ASSERT_GT(rows.size(), 10u); // ~92k cycles / 1k interval
+    uint64_t instrs = 0, cpi = 0;
+    Cycle prevCycle = 0;
+    for (const auto &row : rows) {
+        EXPECT_GT(row.cycle, prevCycle);
+        prevCycle = row.cycle;
+        instrs += row.instrs;
+        for (size_t b = 0; b < NUM_CPI_BUCKETS; b++)
+            cpi += row.cpi[b];
+    }
+    // The finalize() partial sample makes the deltas telescope to the
+    // whole run.
+    EXPECT_EQ(instrs, r.res.instrs);
+    CoreStats agg = r.sys->aggregateCoreStats();
+    uint64_t cpiTotal = 0;
+    for (size_t b = 0; b < NUM_CPI_BUCKETS; b++)
+        cpiTotal += agg.cpiCycles[b];
+    EXPECT_EQ(cpi, cpiTotal);
+
+    // CSV: one header plus one line per stored row.
+    const std::string &csv = ob->intervalCsv();
+    size_t lines = 0;
+    for (char c : csv)
+        lines += c == '\n';
+    EXPECT_EQ(lines, rows.size() + 1);
+    EXPECT_EQ(csv.rfind("cycle,instrs,uops,squashed", 0), 0u);
+
+    std::map<std::string, double> stats = r.sys->dumpStats();
+    EXPECT_EQ(stats.at("obs.samples"),
+              static_cast<double>(rows.size()));
+}
+
+// ---------------------------------------------------------------------
+// Traces
+
+/** Parse one O3PipeView block's seven stage ticks; returns false at
+ *  end of input and asserts on malformed blocks. */
+bool
+nextPipeviewBlock(const std::string &text, size_t *pos,
+                  uint64_t ticks[7])
+{
+    size_t p = *pos;
+    if (p >= text.size())
+        return false;
+    auto line = [&]() {
+        size_t e = text.find('\n', p);
+        EXPECT_NE(e, std::string::npos);
+        std::string l = text.substr(p, e - p);
+        p = e + 1;
+        return l;
+    };
+    std::string fetch = line();
+    EXPECT_EQ(sscanf(fetch.c_str(), "O3PipeView:fetch:%" SCNu64 ":",
+                     &ticks[0]),
+              1)
+        << fetch;
+    static const char *stages[] = {"decode", "rename", "dispatch",
+                                   "issue", "complete"};
+    for (int i = 0; i < 5; i++) {
+        std::string l = line();
+        std::string fmt =
+            std::string("O3PipeView:") + stages[i] + ":%" SCNu64;
+        EXPECT_EQ(sscanf(l.c_str(), fmt.c_str(), &ticks[i + 1]), 1) << l;
+    }
+    std::string retire = line();
+    EXPECT_EQ(sscanf(retire.c_str(), "O3PipeView:retire:%" SCNu64 ":",
+                     &ticks[6]),
+              1)
+        << retire;
+    *pos = p;
+    return true;
+}
+
+TEST(Observability, PipeviewTraceIsMonotonicAndNonEmpty)
+{
+    ObservabilityConfig ocfg;
+    ocfg.pipeview = true;
+    ObsRun r = runBfs(ocfg);
+    ASSERT_TRUE(r.res.finished);
+    const std::string &pv = r.sys->observer()->pipeviewText();
+    ASSERT_FALSE(pv.empty());
+
+    size_t pos = 0, blocks = 0;
+    uint64_t ticks[7];
+    uint64_t lastRetire = 0;
+    while (nextPipeviewBlock(pv, &pos, ticks)) {
+        blocks++;
+        // Stage order within one instruction, all on 500-tick cycles.
+        for (int i = 0; i < 7; i++)
+            EXPECT_EQ(ticks[i] % 500, 0u);
+        for (int i = 0; i < 6; i++)
+            EXPECT_LE(ticks[i], ticks[i + 1]) << "block " << blocks;
+        // Retire (commit) order is the emission order on one core.
+        EXPECT_GE(ticks[6], lastRetire);
+        lastRetire = ticks[6];
+    }
+    // One block per committed instruction.
+    EXPECT_EQ(blocks, r.res.instrs);
+}
+
+TEST(Observability, TraceWindowBoundsCollection)
+{
+    ObservabilityConfig ocfg;
+    ocfg.pipeview = true;
+    ocfg.traceFrom = 10'000;
+    ocfg.traceCycles = 5'000;
+    ObsRun r = runBfs(ocfg);
+    ASSERT_TRUE(r.res.finished);
+    const std::string &pv = r.sys->observer()->pipeviewText();
+    ASSERT_FALSE(pv.empty());
+    size_t pos = 0, blocks = 0;
+    uint64_t ticks[7];
+    while (nextPipeviewBlock(pv, &pos, ticks)) {
+        blocks++;
+        EXPECT_GE(ticks[6], 10'000u * 500);
+        EXPECT_LT(ticks[6], 15'000u * 500);
+    }
+    EXPECT_GT(blocks, 0u);
+    EXPECT_LT(blocks, r.res.instrs); // strictly a window, not the run
+}
+
+TEST(Observability, PerfettoJsonIsStructurallySound)
+{
+    ObservabilityConfig ocfg;
+    ocfg.perfetto = true;
+    ObsRun r = runBfs(ocfg);
+    ASSERT_TRUE(r.res.finished);
+    std::string json = r.sys->observer()->perfettoJson();
+    ASSERT_FALSE(json.empty());
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("\"displayTimeUnit\":\"ns\""),
+              std::string::npos);
+    // All four event kinds show up: metadata, slices, counters exist in
+    // any Pipette run; instants only on abnormal stops.
+    EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(json.find("process_name"), std::string::npos);
+    EXPECT_NE(json.find("stall:"), std::string::npos);
+
+    // Brace balance outside string literals: cheap structural parse.
+    int depth = 0;
+    bool inStr = false, esc = false;
+    for (char c : json) {
+        if (esc) {
+            esc = false;
+        } else if (inStr) {
+            if (c == '\\')
+                esc = true;
+            else if (c == '"')
+                inStr = false;
+        } else if (c == '"') {
+            inStr = true;
+        } else if (c == '{' || c == '[') {
+            depth++;
+        } else if (c == '}' || c == ']') {
+            depth--;
+            EXPECT_GE(depth, 0);
+        }
+    }
+    EXPECT_EQ(depth, 0);
+    EXPECT_FALSE(inStr);
+}
+
+// ---------------------------------------------------------------------
+// Determinism
+
+TEST(Observability, OutputsAreByteIdenticalAcrossRuns)
+{
+    ObsRun a = runBfs(allOn());
+    ObsRun b = runBfs(allOn());
+    ASSERT_TRUE(a.res.finished);
+    ASSERT_TRUE(b.res.finished);
+    EXPECT_EQ(a.sys->observer()->perfettoJson(),
+              b.sys->observer()->perfettoJson());
+    EXPECT_EQ(a.sys->observer()->pipeviewText(),
+              b.sys->observer()->pipeviewText());
+    EXPECT_EQ(a.sys->observer()->intervalCsv(),
+              b.sys->observer()->intervalCsv());
+    EXPECT_EQ(a.sys->dumpStats(), b.sys->dumpStats());
+}
+
+// The same instrumented batch through SimJobPool must write the same
+// trace bytes no matter how many workers simulate it (DESIGN.md
+// section 8 extended to the obs layer).
+TEST(Observability, TraceFilesAreByteIdenticalAcrossJobCounts)
+{
+    auto g = std::make_shared<Graph>(makeGridGraph(40, 40, 11));
+
+    auto makeBatch = [&](const std::string &tag) {
+        std::vector<parallel::SimJob> jobs;
+        struct Cell
+        {
+            Variant v;
+            bool cc;
+        };
+        const Cell cells[] = {{Variant::Pipette, false},
+                              {Variant::Serial, false},
+                              {Variant::Pipette, true},
+                              {Variant::Serial, true}};
+        for (size_t i = 0; i < 4; i++) {
+            parallel::SimJob j;
+            j.config = testCfg();
+            ObservabilityConfig &o = j.config.observability;
+            o.sampleInterval = 1000;
+            o.histograms = true;
+            o.perfetto = true;
+            o.pipeview = true;
+            std::string base = "obs_jobs_" + tag + std::to_string(i);
+            o.perfettoPath = base + ".perfetto.json";
+            o.pipeviewPath = base + ".pipeview";
+            o.sampleCsvPath = base + ".csv";
+            bool cc = cells[i].cc;
+            j.make = [g, cc](uint64_t) -> std::unique_ptr<WorkloadBase> {
+                if (cc)
+                    return std::make_unique<CcWorkload>(g.get());
+                return std::make_unique<BfsWorkload>(g.get());
+            };
+            j.variant = cells[i].v;
+            j.input = "grid";
+            j.seed = i;
+            jobs.push_back(std::move(j));
+        }
+        return jobs;
+    };
+
+    parallel::SimJobPool serial(1), wide(4);
+    std::vector<RunResult> ra = serial.runAll(makeBatch("a"));
+    std::vector<RunResult> rb = wide.runAll(makeBatch("b"));
+    ASSERT_EQ(ra.size(), rb.size());
+    for (size_t i = 0; i < ra.size(); i++) {
+        EXPECT_EQ(ra[i].cycles, rb[i].cycles) << "job " << i;
+        for (const char *ext : {".perfetto.json", ".pipeview", ".csv"}) {
+            std::string a =
+                readFile("obs_jobs_a" + std::to_string(i) + ext);
+            std::string b =
+                readFile("obs_jobs_b" + std::to_string(i) + ext);
+            EXPECT_FALSE(a.empty()) << "job " << i << ext;
+            EXPECT_EQ(a, b) << "job " << i << ext;
+            std::remove(
+                ("obs_jobs_a" + std::to_string(i) + ext).c_str());
+            std::remove(
+                ("obs_jobs_b" + std::to_string(i) + ext).c_str());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Config fingerprint policy
+
+TEST(Observability, FingerprintIgnoresTraceOutputsButNotStatKeys)
+{
+    SystemConfig base = testCfg();
+    uint64_t fp = configFingerprint(base);
+
+    // Pure output-side settings (trace collectors, paths, window) do
+    // not change simulated results or the stats key set, so the sweep
+    // cache stays valid.
+    SystemConfig t = base;
+    t.observability.perfetto = true;
+    t.observability.perfettoPath = "x.json";
+    t.observability.pipeview = true;
+    t.observability.pipeviewPath = "x.pipeview";
+    t.observability.traceFrom = 5;
+    t.observability.traceCycles = 100;
+    EXPECT_EQ(configFingerprint(t), fp);
+
+    // Sampling and histograms add "obs." keys to the flattened stats
+    // map, so they must invalidate cached stat dumps.
+    SystemConfig s = base;
+    s.observability.sampleInterval = 1000;
+    EXPECT_NE(configFingerprint(s), fp);
+    SystemConfig h = base;
+    h.observability.histograms = true;
+    EXPECT_NE(configFingerprint(h), fp);
+}
+
+// ---------------------------------------------------------------------
+// Flight-recorder import on abnormal stop
+
+TEST(Observability, FlightEventsLandInPerfettoOnWatchdogStop)
+{
+    auto g = std::make_unique<Graph>(makeGridGraph(40, 40, 11));
+    SystemConfig cfg = testCfg();
+    cfg.watchdogCycles = 25'000;
+    cfg.observability.perfetto = true;
+    cfg.guardrails.flightRecorderDepth = 8;
+    cfg.guardrails.faults.push_back(
+        {FaultKind::BlockDynInstPool, 2000, 0, 0, 0, 0, 0});
+    System sys(cfg);
+    BfsWorkload wl(g.get());
+    BuildContext ctx(&sys);
+    wl.build(ctx, Variant::Pipette);
+    sys.configure(ctx.spec);
+    auto res = sys.run();
+    ASSERT_FALSE(res.finished);
+    EXPECT_EQ(res.stopReason, System::StopReason::WatchdogDeadlock);
+
+    std::string json = sys.observer()->perfettoJson();
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("flight:commit"), std::string::npos);
+}
+
+} // namespace
+} // namespace pipette

@@ -1,0 +1,105 @@
+// Stats-registry completeness (ISSUE 5 satellite): every CoreStats
+// counter must reach the flattened dump map and the cross-core
+// aggregation. The PIPETTE_CORE_STAT_COUNTERS X-macro is the single
+// source of truth (a sizeof static_assert in stats.h ties the struct to
+// it); these tests pin the dumped key set to the registry and check the
+// aggregate against the per-core dumps of a real multi-core run.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/system.h"
+#include "workloads/bfs.h"
+#include "workloads/graph.h"
+
+namespace pipette {
+namespace {
+
+TEST(StatsCoverage, DumpKeySetMatchesRegistryExactly)
+{
+    CoreStats s;
+    std::map<std::string, double> out;
+    s.dump("core0", out);
+
+    std::set<std::string> expected;
+    expected.insert("core0.cycles");
+#define PIPETTE_EXPECT_STAT(name) expected.insert("core0." #name);
+    PIPETTE_CORE_STAT_COUNTERS(PIPETTE_EXPECT_STAT)
+#undef PIPETTE_EXPECT_STAT
+    for (size_t t = 0; t < 8; t++)
+        expected.insert("core0.committedPerThread" + std::to_string(t));
+    expected.insert("core0.ipc");
+    for (size_t i = 0; i < NUM_CPI_BUCKETS; i++) {
+        expected.insert(std::string("core0.cpi.") +
+                        cpiBucketName(static_cast<CpiBucket>(i)));
+    }
+
+    std::set<std::string> actual;
+    for (const auto &[k, v] : out)
+        actual.insert(k);
+    EXPECT_EQ(actual, expected);
+    EXPECT_EQ(out.size(),
+              1 + NUM_CORE_STAT_COUNTERS + 8 + 1 + NUM_CPI_BUCKETS);
+}
+
+// Aggregate a 4-core streaming run and cross-check every registered
+// counter (plus cycles, the per-thread commits, and the CPI stack)
+// against the sum of the per-core dumps. A counter dropped from
+// System::aggregateCoreStats (the pre-ISSUE-5 bug for
+// committedPerThread) fails here on the first workload that touches it.
+TEST(StatsCoverage, AggregateSumsEveryCounterAcrossCores)
+{
+    Graph g = makeGridGraph(40, 40, 11);
+    SystemConfig cfg;
+    cfg.numCores = 4;
+    cfg.watchdogCycles = 300'000;
+    cfg.maxCycles = 500'000'000;
+    System sys(cfg);
+    BfsWorkload wl(&g);
+    BuildContext ctx(&sys);
+    wl.build(ctx, Variant::Streaming);
+    sys.configure(ctx.spec);
+    auto res = sys.run();
+    ASSERT_TRUE(res.finished);
+
+    std::map<std::string, double> aggDump;
+    sys.aggregateCoreStats().dump("agg", aggDump);
+    std::map<std::string, double> full = sys.dumpStats();
+
+    // cycles is wall-clock semantics: the aggregate takes the max
+    // across cores, not the sum.
+    double maxCycles = 0;
+    for (uint32_t c = 0; c < cfg.numCores; c++) {
+        maxCycles = std::max(
+            maxCycles, full.at("core" + std::to_string(c) + ".cycles"));
+    }
+    EXPECT_EQ(maxCycles, aggDump.at("agg.cycles"));
+
+    std::vector<std::string> names;
+#define PIPETTE_NAME_STAT(name) names.push_back(#name);
+    PIPETTE_CORE_STAT_COUNTERS(PIPETTE_NAME_STAT)
+#undef PIPETTE_NAME_STAT
+    for (size_t t = 0; t < 8; t++)
+        names.push_back("committedPerThread" + std::to_string(t));
+    for (size_t i = 0; i < NUM_CPI_BUCKETS; i++) {
+        names.push_back(std::string("cpi.") +
+                        cpiBucketName(static_cast<CpiBucket>(i)));
+    }
+
+    for (const std::string &n : names) {
+        double sum = 0;
+        for (uint32_t c = 0; c < cfg.numCores; c++)
+            sum += full.at("core" + std::to_string(c) + "." + n);
+        EXPECT_EQ(sum, aggDump.at("agg." + n)) << "counter " << n;
+    }
+
+    // The run must actually exercise the Pipette-specific counters, or
+    // the sum check above proves nothing about them.
+    EXPECT_GT(aggDump.at("agg.enqueues"), 0);
+    EXPECT_GT(aggDump.at("agg.dequeues"), 0);
+    EXPECT_GT(aggDump.at("agg.connectorTransfers"), 0);
+}
+
+} // namespace
+} // namespace pipette
