@@ -8,19 +8,26 @@
  * Flags: --quick (quarter-scale inputs, fewer of them), --scale=F
  * (multiply all input sizes), --jobs=N / --jobs N (simulate N sweep
  * cells concurrently; default hardware concurrency, 1 = the serial
- * path, no threads), and --fresh (ignore the on-disk sweep cache). The
- * default sizes keep working sets a few times larger than the
+ * path, no threads), --core-jobs=N (host workers *inside* each
+ * multicore System's epoch scheduler; default 1, composes with --jobs:
+ * each sweep worker may fan its simulated cores out over N host
+ * threads), --stats-out=FILE (write every run's flattened counters for
+ * determinism diffs), and --fresh (ignore the on-disk sweep cache).
+ * The default sizes keep working sets a few times larger than the
  * scaled-down LLC, mirroring the paper's setup (see EXPERIMENTS.md).
  *
  * Sweep cells are independent Systems, so the sweep runs them through
  * parallel::SimJobPool. Results, progress lines, and the cached CSV are
  * collected in submission order and are byte-identical for every
- * --jobs value (DESIGN.md section 8).
+ * --jobs value (DESIGN.md section 8) and every --core-jobs value
+ * (DESIGN.md section 10).
  */
 
 #ifndef PIPETTE_BENCH_COMMON_H
 #define PIPETTE_BENCH_COMMON_H
 
+#include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <thread>
@@ -47,6 +54,41 @@ struct BenchOpts
     bool fresh = false;
     /** Concurrent sweep cells; 0 = hardware concurrency. */
     unsigned jobs = 0;
+    /** Host workers per multicore System (epoch scheduler); 1 = the
+     *  inline phase, no extra threads. Results never depend on this. */
+    unsigned coreJobs = 1;
+    /** When set, write every run's flattened counters to this file
+     *  (CI determinism diffs across --core-jobs values). */
+    std::string statsOutPath;
+
+    /**
+     * Strict worker-count flag value. atoi silently turned "--jobs x"
+     * into 0 (= hardware concurrency) and "--jobs -3" into a huge
+     * unsigned; both now abort with a clear message, as does an
+     * explicit "--jobs 0" (auto is spelled by omitting the flag).
+     */
+    static unsigned
+    parseWorkerCount(const char *flag, const char *s)
+    {
+        char *end = nullptr;
+        errno = 0;
+        long v = std::strtol(s, &end, 10);
+        if (end == s || *end != '\0' || errno == ERANGE || v < 0) {
+            std::fprintf(stderr,
+                         "error: %s expects a positive integer, got "
+                         "'%s'\n",
+                         flag, s);
+            std::exit(2);
+        }
+        if (v == 0) {
+            std::fprintf(stderr,
+                         "error: %s 0 is not valid (omit %s entirely "
+                         "for the default)\n",
+                         flag, flag);
+            std::exit(2);
+        }
+        return static_cast<unsigned>(v);
+    }
 
     // Observability (src/obs/): --sample-interval=N,
     // --trace-perfetto=FILE, --trace-pipeview=FILE, --histograms,
@@ -73,9 +115,17 @@ struct BenchOpts
             else if (std::strncmp(argv[i], "--scale=", 8) == 0)
                 o.scale = std::atof(argv[i] + 8);
             else if (std::strncmp(argv[i], "--jobs=", 7) == 0)
-                o.jobs = static_cast<unsigned>(std::atoi(argv[i] + 7));
+                o.jobs = parseWorkerCount("--jobs", argv[i] + 7);
             else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
-                o.jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+                o.jobs = parseWorkerCount("--jobs", argv[++i]);
+            else if (std::strncmp(argv[i], "--core-jobs=", 12) == 0)
+                o.coreJobs =
+                    parseWorkerCount("--core-jobs", argv[i] + 12);
+            else if (std::strcmp(argv[i], "--core-jobs") == 0 &&
+                     i + 1 < argc)
+                o.coreJobs = parseWorkerCount("--core-jobs", argv[++i]);
+            else if (std::strncmp(argv[i], "--stats-out=", 12) == 0)
+                o.statsOutPath = argv[i] + 12;
             else if (std::strncmp(argv[i], "--sample-interval=", 18) == 0)
                 o.sampleInterval =
                     static_cast<uint32_t>(std::atoi(argv[i] + 18));
@@ -414,6 +464,52 @@ runJobs(const BenchOpts &o, const std::vector<parallel::SimJob> &jobs)
     return pool.runAll(jobs);
 }
 
+/**
+ * Stamp --core-jobs on every multicore cell. The epoch scheduler makes
+ * simulated results independent of the value, so this is purely a
+ * host-side throughput knob (it composes with the sweep's --jobs).
+ */
+inline void
+applyCoreJobs(const BenchOpts &o, std::vector<parallel::SimJob> *jobs)
+{
+    for (parallel::SimJob &j : *jobs) {
+        if (j.numCores > 1 || j.config.numCores > 1)
+            j.config.coreJobs = o.coreJobs;
+    }
+}
+
+/**
+ * Write every run's identity plus its full flattened counter registry,
+ * in submission order. CI diffs this file byte-for-byte between
+ * --core-jobs values as the determinism smoke check.
+ */
+inline void
+writeStatsOut(const std::string &path, const std::vector<RunResult> &rs)
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "error: cannot open %s for writing\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    for (size_t i = 0; i < rs.size(); i++) {
+        const RunResult &r = rs[i];
+        std::fprintf(f, "run%zu %s,%s variant=%d cores=%u cycles=%llu "
+                        "instrs=%llu verified=%d finished=%d\n",
+                     i, r.workload.c_str(), r.input.c_str(),
+                     static_cast<int>(r.variant), r.numCores,
+                     static_cast<unsigned long long>(r.cycles),
+                     static_cast<unsigned long long>(r.instrs),
+                     r.verified ? 1 : 0, r.finished ? 1 : 0);
+        std::map<std::string, double> m;
+        r.agg.dump("agg", m);
+        for (const auto &kv : m)
+            std::fprintf(f, "run%zu %s %.17g\n", i, kv.first.c_str(),
+                         kv.second);
+    }
+    std::fclose(f);
+}
+
 /** Convenience SimJob builder for the bench binaries. */
 template <typename MakeFn>
 inline parallel::SimJob
@@ -463,6 +559,10 @@ runSweep(const BenchOpts &o, bool includeStreaming = true)
             cellApp.push_back(ai.app);
         }
     }
+
+    // Host-side knob only: cached rows from a different --core-jobs
+    // value are still valid, so it is applied after fingerprinting.
+    applyCoreJobs(o, &jobs);
 
     parallel::SimJobPool pool(o.effectiveJobs());
     if (pool.numWorkers() > 1)

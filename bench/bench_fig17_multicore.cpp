@@ -38,7 +38,10 @@ main(int argc, char **argv)
         jobs.push_back(simJob(baseConfig(), mk,
                               Variant::MulticorePipette, gi.name, 4));
     }
+    applyCoreJobs(o, &jobs);
     std::vector<RunResult> rs = runJobs(o, jobs);
+    if (!o.statsOutPath.empty())
+        writeStatsOut(o.statsOutPath, rs);
 
     Table t({"graph", "serial-1c", "data-par-4c", "streaming-4c",
              "pipette-multicore-4c"});
@@ -57,6 +60,66 @@ main(int argc, char **argv)
     t.addRow({"gmean", "1.00", Table::num(gmean(gDp)),
               Table::num(gmean(gStr)), Table::num(gmean(gMc))});
     t.print();
+
+    // Host-side speedup of the intra-System epoch scheduler: rerun the
+    // multicore-Pipette cells with core-jobs=1 and compare wall clock.
+    // Simulated results must be byte-identical (the epoch scheduler's
+    // determinism contract), so diverging cycle counts are a hard fail.
+    {
+        FILE *f = std::fopen("BENCH_sweep.json", "w");
+        if (f) {
+            std::fprintf(f,
+                         "{\n  \"bench\": \"fig17_multicore\",\n"
+                         "  \"core_jobs\": %u,\n  \"runs\": [\n",
+                         o.coreJobs);
+            std::vector<double> hostSpeedups;
+            for (size_t i = 0; i < picked.size(); i++) {
+                size_t mc = 4 * i + 3; // MulticorePipette cell
+                double hostN = rs[mc].hostSeconds;
+                double host1 = hostN;
+                if (o.coreJobs > 1) {
+                    std::vector<parallel::SimJob> base{jobs[mc]};
+                    base[0].config.coreJobs = 1;
+                    std::vector<RunResult> r1 = runJobs(o, base);
+                    host1 = r1[0].hostSeconds;
+                    if (r1[0].cycles != rs[mc].cycles) {
+                        std::fprintf(stderr,
+                                     "FATAL: --core-jobs %u changed "
+                                     "simulated cycles on %s (%llu != "
+                                     "%llu)\n",
+                                     o.coreJobs, picked[i]->name.c_str(),
+                                     (unsigned long long)rs[mc].cycles,
+                                     (unsigned long long)r1[0].cycles);
+                        std::fclose(f);
+                        return 1;
+                    }
+                }
+                double sp = hostN > 0 ? host1 / hostN : 1.0;
+                hostSpeedups.push_back(sp);
+                std::fprintf(f,
+                             "    {\"graph\": \"%s\", "
+                             "\"variant\": \"multicore-pipette\", "
+                             "\"sim_cycles\": %llu, "
+                             "\"host_s_core_jobs_1\": %.4f, "
+                             "\"host_s_core_jobs_n\": %.4f, "
+                             "\"host_speedup\": %.3f}%s\n",
+                             picked[i]->name.c_str(),
+                             (unsigned long long)rs[mc].cycles, host1,
+                             hostN, sp,
+                             i + 1 < picked.size() ? "," : "");
+            }
+            std::fprintf(f, "  ],\n  \"gmean_host_speedup\": %.3f\n}\n",
+                         gmean(hostSpeedups));
+            std::fclose(f);
+            if (o.coreJobs > 1) {
+                std::printf("\nhost-side: --core-jobs %u ran the "
+                            "4-core cells %.2fx faster than core-jobs "
+                            "1 (gmean, identical simulated results); "
+                            "details in BENCH_sweep.json\n",
+                            o.coreJobs, gmean(hostSpeedups));
+            }
+        }
+    }
     std::printf("\npaper shape: 16-thread data-parallel reaches only "
                 "~3.8x over serial; streaming is limited by per-stage "
                 "load imbalance; multicore Pipette performs best "

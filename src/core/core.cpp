@@ -61,7 +61,7 @@ Core::Core(CoreId id, const CoreConfig &cfg, SimMemory *mem,
       pool_(dynInstPoolCapacity(cfg)),
       prf_(cfg.physRegs),
       qrm_(cfg.numQueues, cfg.queueCapacity, cfg.maxQueueRegs),
-      bpred_(cfg, cfg.smtThreads)
+      bpred_(cfg, cfg.smtThreads), memView_(mem)
 {
     threads_.resize(cfg.smtThreads);
     for (ThreadCtx &t : threads_) {
@@ -782,11 +782,15 @@ Core::tryExecuteLoad(const DynInstPtr &inst, Cycle now)
     inst->memAddr = addr;
     inst->memSize = size;
     inst->pendingCompletions++;
-    SimMemory *mem = mem_;
+    // Through the view: in epoch mode the shared memory only holds
+    // state up to the last edge, and this core's younger committed
+    // stores forward from its private buffer.
+    const EpochMemView *mem = &memView_;
     PhysRegFile *prf = &prf_;
     CoreStats *st = &stats_;
+    EventQueue *eqp = eq_;
     Cycle done = hier_->access(id_, addr, false, now,
-                               [inst, mem, prf, st, addr, size] {
+                               [inst, mem, prf, st, addr, size, eqp] {
         inst->pendingCompletions--;
         if (inst->squashed) {
             if (inst->pendingCompletions == 0) {
@@ -801,11 +805,38 @@ Core::tryExecuteLoad(const DynInstPtr &inst, Cycle now)
             st->regWrites++;
         }
         inst->executed = true;
+        // In epoch mode the issue-time `done` below is PENDING; the
+        // callback runs at the true completion cycle either way.
+        inst->completeCycle = eqp->now();
     });
-    // access() completes the callback at exactly `done`, so recording it
-    // now keeps the completion lambda capture-free of observability.
     inst->completeCycle = done;
     return true;
+}
+
+void
+Core::replayAtomicAtEdge(const DeferredAtomic &op, Cycle edge)
+{
+    DynInstPtr inst = op.inst;
+    uint64_t old = mem_->read(op.addr, op.size);
+    AtomicResult ar = evalAtomic(inst->si->op, old, op.v2, op.vd);
+    if (ar.doStore)
+        mem_->write(op.addr, op.size, ar.newValue);
+    PhysRegFile *prf = &prf_;
+    CoreStats *st = &stats_;
+    EventQueue *eqp = eq_;
+    hier_->accessAtEdge(id_, op.addr, true, op.issue, edge,
+                        [inst, prf, st, old, eqp] {
+        inst->pendingCompletions--;
+        if (inst->squashed) {
+            panic("atomic squashed while in flight");
+        }
+        if (inst->ndest > 0) {
+            prf->write(inst->dests[0], old);
+            st->regWrites++;
+        }
+        inst->executed = true;
+        inst->completeCycle = eqp->now();
+    });
 }
 
 bool
@@ -842,15 +873,23 @@ Core::executeInst(const DynInstPtr &inst, Cycle now)
         readSources(inst, &v1, &v2, &vd);
         Addr addr = v1;
         uint8_t size = info.memBytes;
-        uint64_t old = mem_->read(addr, size);
-        AtomicResult ar = evalAtomic(si.op, old, v2, vd);
-        if (ar.doStore)
-            mem_->write(addr, size, ar.newValue);
         inst->memAddr = addr;
         inst->memSize = size;
         stats_.atomics++;
         threads_[inst->tid].pendingFences.erase(inst->seq);
         inst->pendingCompletions++;
+        if (epochDefer_) {
+            // Epoch mode: the read-modify-write touches shared memory,
+            // so its functional effect and cache access replay at the
+            // epoch edge in deterministic (issue, core, seq) order.
+            deferredAtomics_.push_back(
+                {now, inst->seq, addr, size, v2, vd, inst});
+            return true;
+        }
+        uint64_t old = mem_->read(addr, size);
+        AtomicResult ar = evalAtomic(si.op, old, v2, vd);
+        if (ar.doStore)
+            mem_->write(addr, size, ar.newValue);
         PhysRegFile *prf = &prf_;
         CoreStats *st = &stats_;
         Cycle done = hier_->access(id_, addr, true, now,
@@ -1173,7 +1212,8 @@ Core::commit(Cycle now)
             if (inst->isStore) {
                 if (t.storeBuffer.size() >= cfg_.storeBufferEntries)
                     break;
-                mem_->write(inst->memAddr, inst->memSize, inst->storeData);
+                memView_.write(now, inst->memAddr, inst->memSize,
+                               inst->storeData);
                 t.storeBuffer.push_back({inst->memAddr, inst->memSize});
                 stats_.stores++;
             }

@@ -145,6 +145,44 @@ class Core
     void collectWaitInfo(Cycle now,
                          std::vector<debug::ThreadWaitInfo> *out) const;
 
+    /**
+     * Epoch scheduler support. With epoch-defer on, executeInst records
+     * each atomic's operands instead of applying its read-modify-write:
+     * atomics touch shared memory, so their functional effect and cache
+     * access replay serially at the epoch edge, merged across cores in
+     * (issue, core, seq) order by the System.
+     */
+    struct DeferredAtomic
+    {
+        Cycle issue;
+        uint64_t seq;
+        Addr addr;
+        uint8_t size;
+        uint64_t v2;
+        uint64_t vd;
+        DynInstPtr inst;
+    };
+    /**
+     * Epoch-defer also turns on the write-buffering memory view: plain
+     * stores stay private to this core until the System drains them at
+     * the epoch edge, so the shared SimMemory is read-only while core
+     * phases run on concurrent host threads.
+     */
+    void
+    setEpochDefer(bool on)
+    {
+        epochDefer_ = on;
+        memView_.setBuffering(on);
+    }
+    std::vector<DeferredAtomic> &deferredAtomics()
+    {
+        return deferredAtomics_;
+    }
+    /** Replay one deferred atomic at an epoch edge (serial context). */
+    void replayAtomicAtEdge(const DeferredAtomic &op, Cycle edge);
+    /** This core's memory view (RAs on this core read through it). */
+    EpochMemView &memView() { return memView_; }
+
   private:
     struct FetchedInst
     {
@@ -341,6 +379,12 @@ class Core
     /** Fault injection: rename sees the pool/arena as exhausted. */
     Cycle poolBlockedUntil_ = 0;
     Cycle ckptBlockedUntil_ = 0;
+
+    /** Epoch scheduler: defer atomics to the epoch edge. */
+    bool epochDefer_ = false;
+    std::vector<DeferredAtomic> deferredAtomics_;
+    /** Write-buffering memory view (pass-through when not deferring). */
+    EpochMemView memView_;
 };
 
 } // namespace pipette

@@ -6,20 +6,35 @@
 
 namespace pipette {
 
+namespace {
+
+std::vector<std::unique_ptr<EventQueue>>
+makeEventQueues(uint32_t n)
+{
+    std::vector<std::unique_ptr<EventQueue>> eqs;
+    for (uint32_t i = 0; i < n; i++)
+        eqs.push_back(std::make_unique<EventQueue>());
+    return eqs;
+}
+
+} // namespace
+
 System::System(const SystemConfig &cfg)
-    : cfg_(cfg), hier_(cfg.mem, cfg.numCores, &eq_)
+    : cfg_(cfg), eqs_(makeEventQueues(cfg.numCores ? cfg.numCores : 1)),
+      hier_(cfg.mem, cfg.numCores, eqs_[0].get())
 {
     for (uint32_t c = 0; c < cfg.numCores; c++) {
         cores_.push_back(std::make_unique<Core>(c, cfg.core, &mem_,
-                                                &hier_, &eq_));
+                                                &hier_, eqs_[c].get()));
     }
 }
 
 System::~System()
 {
     // Pending events hold handles into the cores' DynInst pools; drop
-    // them while the cores (declared after eq_) are still alive.
-    eq_.clear();
+    // them while the cores (declared after eqs_) are still alive.
+    for (auto &eq : eqs_)
+        eq->clear();
 }
 
 const char *
@@ -59,7 +74,7 @@ System::configure(const MachineSpec &spec)
                  "too many reference accelerators configured");
         ras_.push_back(std::make_unique<RefAccel>(
             rs, cfg_.core.raCompletionBuf, &core->qrm(), &core->prf(),
-            &mem_, &hier_, &eq_, &core->stats(),
+            &mem_, &hier_, eqs_[rs.core].get(), &core->stats(),
             [core] { return core->tryUseMemPort(); }));
     }
     for (const ConnectorSpec &cs : spec.connectors) {
@@ -120,6 +135,56 @@ System::configure(const MachineSpec &spec)
                 break;
             }
         }
+    }
+
+    // Multicore systems always run the epoch-barrier scheduler (the
+    // legacy cycle loop stays bit-exact for single-core systems), so
+    // results depend only on the epoch length -- never on coreJobs.
+    if (cores_.size() > 1) {
+        Cycle e = cfg_.epochLength;
+        if (!e) {
+            // Auto: the shortest cross-core latency, so deferring every
+            // cross-core effect to the edge only ever reorders events
+            // that were concurrent anyway.
+            Cycle cacheGap = cfg_.mem.l3.latency > cfg_.mem.l2.latency
+                                 ? cfg_.mem.l3.latency - cfg_.mem.l2.latency
+                                 : 1;
+            e = cfg_.connectorLatency
+                    ? std::min<Cycle>(cfg_.connectorLatency, cacheGap)
+                    : cacheGap;
+        }
+        epochLen_ = std::max<Cycle>(e, 1);
+
+        std::vector<EventQueue *> eqp;
+        for (auto &eq : eqs_)
+            eqp.push_back(eq.get());
+        hier_.setEpochMode(std::move(eqp));
+        for (auto &core : cores_)
+            core->setEpochDefer(true);
+        for (auto &conn : connectors_)
+            conn->setEpochMode();
+        if (obs_)
+            obs_->setJournalMode(true);
+
+        rasByCore_.resize(cores_.size());
+        connFrom_.resize(cores_.size());
+        connTo_.resize(cores_.size());
+        for (auto &ra : ras_) {
+            rasByCore_[ra->spec().core].push_back(ra.get());
+            // An RA runs in its core's partition, so it reads through
+            // that core's write-buffering view (own stores forward;
+            // remote stores become visible at the next edge).
+            ra->setMemView(&cores_[ra->spec().core]->memView());
+        }
+        for (auto &conn : connectors_) {
+            connFrom_[conn->spec().fromCore].push_back(conn.get());
+            connTo_[conn->spec().toCore].push_back(conn.get());
+        }
+        // The lockstep oracle and the commit trace write shared state
+        // from inside the core tick; run those phases on one host
+        // thread (same epoch algorithm, so results are unchanged).
+        epochInline_ =
+            guardrails_ != nullptr || cfg_.core.traceFile != nullptr;
     }
 }
 
@@ -239,19 +304,39 @@ System::drainLeakCheck()
     // ticking the halted machine until the event queue stays empty for
     // a comfortable margin (the writeback ring spans 256 cycles).
     Cycle qn = stepNow_;
-    uint32_t calm = 0;
-    while (calm < 512) {
-        if (qn - stepNow_ > 1'000'000)
-            return "drain: event queue failed to quiesce within 1M cycles";
-        qn++;
-        eq_.runUntil(qn);
-        for (auto &core : cores_)
-            core->tick(qn);
-        for (auto &ra : ras_)
-            ra->tick(qn);
-        for (auto &conn : connectors_)
-            conn->tick(qn);
-        calm = eq_.empty() ? calm + 1 : 0;
+    uint64_t calm = 0;
+    if (cores_.size() > 1) {
+        // Multicore: drain in inline epochs (the run loop only stops at
+        // epoch edges, so deferred state is exchanged consistently).
+        while (calm < 512) {
+            if (qn - stepNow_ > 1'000'000)
+                return "drain: event queues failed to quiesce within "
+                       "1M cycles";
+            Cycle to = qn + epochLen_;
+            for (size_t c = 0; c < cores_.size(); c++)
+                tickCorePartition(c, qn, to);
+            epochEdgeExchange(to);
+            qn = to;
+            bool settled = !hier_.epochOpsPending();
+            for (auto &eq : eqs_)
+                settled &= eq->empty();
+            calm = settled ? calm + epochLen_ : 0;
+        }
+    } else {
+        while (calm < 512) {
+            if (qn - stepNow_ > 1'000'000)
+                return "drain: event queue failed to quiesce within "
+                       "1M cycles";
+            qn++;
+            eqs_[0]->runUntil(qn);
+            for (auto &core : cores_)
+                core->tick(qn);
+            for (auto &ra : ras_)
+                ra->tick(qn);
+            for (auto &conn : connectors_)
+                conn->tick(qn);
+            calm = eqs_[0]->empty() ? calm + 1 : 0;
+        }
     }
 
     std::ostringstream oss;
@@ -312,9 +397,13 @@ System::runFor(Cycle n)
     Cycle stop = n > ~static_cast<Cycle>(0) - stepNow_
                      ? ~static_cast<Cycle>(0)
                      : stepNow_ + n;
+    if (cores_.size() > 1) {
+        // Multicore: epoch-barrier scheduler (see epochLoop).
+        epochLoop(stop, watchInvariants, &res);
+    } else
     while (stepNow_ < stop) {
         stepNow_++;
-        eq_.runUntil(stepNow_);
+        eqs_[0]->runUntil(stepNow_);
         // Timestamp the observability hooks before any stage can fire
         // one this cycle.
         if (obs_)
@@ -410,6 +499,187 @@ System::runFor(Cycle n)
     if (obs_ && res.stopReason != StopReason::None)
         finishObservability(res.stopReason);
     return res;
+}
+
+void
+System::epochLoop(Cycle stop, bool watchInvariants, RunResult *res)
+{
+    while (stepNow_ < stop) {
+        // --- Epoch start (serial): faults and invariants against the
+        // edge-consistent state, exactly once per epoch.
+        if (!faultsPending_.empty())
+            applyFaults(stepNow_);
+        if (watchInvariants) {
+            std::string err;
+            if (!checkInvariants(&err)) {
+                if (guardrails_)
+                    guardrails_->reportInvariantViolation(err);
+                res->stopReason = StopReason::InvariantViolation;
+                res->diagnosis = err;
+                break;
+            }
+        }
+
+        Cycle epochEnd = stepNow_ + epochLen_;
+        if (epochEnd > stop)
+            epochEnd = stop;
+        if (cfg_.maxCycles && cfg_.maxCycles > stepNow_ &&
+            epochEnd > cfg_.maxCycles)
+            epochEnd = cfg_.maxCycles;
+
+        // --- Phase: every core partition advances privately.
+        runEpochPhase(stepNow_, epochEnd);
+        stepNow_ = epochEnd;
+
+        // --- Edge (serial): cross-core exchange, then bookkeeping.
+        epochEdgeExchange(stepNow_);
+        if (obs_) {
+            obs_->beginCycle(stepNow_);
+            observeCycle(stepNow_);
+        }
+        if (guardrails_ && guardrails_->failed()) {
+            res->stopReason =
+                guardrails_->failure() ==
+                        debug::GuardrailFailure::OracleDivergence
+                    ? StopReason::OracleDivergence
+                    : StopReason::InvariantViolation;
+            res->diagnosis = guardrails_->report();
+            break;
+        }
+        bool allHalted = true;
+        for (auto &core : cores_)
+            allHalted &= core->allHalted();
+        if (allHalted) {
+            res->finished = true;
+            res->stopReason = StopReason::Finished;
+            break;
+        }
+        for (auto &core : cores_)
+            stepLastProgress_ =
+                std::max(stepLastProgress_, core->lastCommitCycle());
+        if (stepNow_ - stepLastProgress_ > cfg_.watchdogCycles) {
+            res->deadlock = true;
+            res->stopReason = StopReason::WatchdogDeadlock;
+            res->diagnosis =
+                diagnose(stepNow_, stepNow_ - stepLastProgress_);
+            warn("watchdog: no commit for ", cfg_.watchdogCycles,
+                 " cycles at cycle ", stepNow_, "\n", res->diagnosis);
+            break;
+        }
+        if (cfg_.maxCycles && stepNow_ >= cfg_.maxCycles) {
+            res->stopReason = StopReason::MaxCycles;
+            break;
+        }
+    }
+}
+
+void
+System::tickCorePartition(size_t c, Cycle from, Cycle to)
+{
+    Core *core = cores_[c].get();
+    EventQueue *eq = eqs_[c].get();
+    obs::Observer *obs = obs_.get();
+    for (Cycle cy = from + 1; cy <= to; cy++) {
+        if (obs)
+            obs->setCoreCycle(static_cast<CoreId>(c), cy);
+        eq->runUntil(cy);
+        core->tick(cy);
+        for (RefAccel *ra : rasByCore_[c])
+            ra->tick(cy);
+        for (Connector *conn : connFrom_[c])
+            conn->tickProducer(cy);
+        for (Connector *conn : connTo_[c])
+            conn->tickConsumer(cy);
+    }
+}
+
+void
+System::runEpochPhase(Cycle from, Cycle to)
+{
+    size_t n = cores_.size();
+    uint32_t workers = std::min<uint32_t>(
+        cfg_.coreJobs ? cfg_.coreJobs : 1, static_cast<uint32_t>(n));
+    if (epochInline_ || workers <= 1) {
+        for (size_t c = 0; c < n; c++)
+            tickCorePartition(c, from, to);
+        return;
+    }
+    if (!corePool_)
+        corePool_ = std::make_unique<parallel::TaskPool>(workers);
+    std::vector<parallel::TaskPool::Task> tasks;
+    tasks.reserve(n);
+    for (size_t c = 0; c < n; c++) {
+        tasks.push_back(
+            [this, c, from, to] { tickCorePartition(c, from, to); });
+    }
+    corePool_->run(std::move(tasks));
+}
+
+void
+System::epochEdgeExchange(Cycle edge)
+{
+    // 1. Shared-hierarchy effects: replay every deferred L1-miss-level
+    // operation in (issue, core, seq) order against the real L2/L3.
+    hier_.flushEpochEdge(edge);
+
+    // 2. Plain stores committed during the phase, merged across cores
+    // by (commit cycle, core id); each core's buffer is already in
+    // commit order. They drain before the atomics so an atomic
+    // replaying at this edge reads everything the epoch wrote.
+    {
+        std::vector<size_t> sp(cores_.size(), 0);
+        for (;;) {
+            size_t best = cores_.size();
+            for (size_t c = 0; c < cores_.size(); c++) {
+                const auto &v = cores_[c]->memView().pending();
+                if (sp[c] >= v.size())
+                    continue;
+                if (best == cores_.size() ||
+                    v[sp[c]].cycle <
+                        cores_[best]->memView().pending()[sp[best]].cycle)
+                    best = c;
+            }
+            if (best == cores_.size())
+                break;
+            const EpochMemView::BufferedStore &s =
+                cores_[best]->memView().pending()[sp[best]];
+            mem_.write(s.addr, s.size, s.val);
+            sp[best]++;
+        }
+        for (auto &core : cores_)
+            core->memView().clearPending();
+    }
+
+    // 3. Atomics, in the same deterministic global order. They run
+    // after the flush so no line is still PENDING when they access.
+    std::vector<size_t> pos(cores_.size(), 0);
+    for (;;) {
+        size_t best = cores_.size();
+        for (size_t c = 0; c < cores_.size(); c++) {
+            const auto &v = cores_[c]->deferredAtomics();
+            if (pos[c] >= v.size())
+                continue;
+            if (best == cores_.size() ||
+                v[pos[c]].issue <
+                    cores_[best]->deferredAtomics()[pos[best]].issue)
+                best = c;
+        }
+        if (best == cores_.size())
+            break;
+        cores_[best]->replayAtomicAtEdge(
+            cores_[best]->deferredAtomics()[pos[best]], edge);
+        pos[best]++;
+    }
+    for (auto &core : cores_)
+        core->deferredAtomics().clear();
+
+    // 4. Connector cross-core exchange, in declaration order.
+    for (auto &conn : connectors_)
+        conn->epochEdge(edge);
+
+    // 5. Observability journal replay (global (cycle, core) order).
+    if (obs_)
+        obs_->flushJournal();
 }
 
 void

@@ -25,6 +25,7 @@
 #include "core/core.h"
 #include "debug/guardrails.h"
 #include "obs/observer.h"
+#include "parallel/task_pool.h"
 #include "pipette/connector.h"
 #include "pipette/ra.h"
 
@@ -94,7 +95,32 @@ class System
     obs::Observer *observer() { return obs_.get(); }
     const obs::Observer *observer() const { return obs_.get(); }
 
+    /**
+     * Epoch length of the multicore scheduler (1 for single-core
+     * systems, which keep the legacy cycle loop). Exposed for tests.
+     */
+    Cycle epochLength() const { return epochLen_; }
+
   private:
+    /**
+     * Multicore run loop (epoch-barrier scheduler). The simulated
+     * cores -- each with its private L1/L2, QRM, RAs, event queue, and
+     * connector halves -- advance independently through an epoch of
+     * `epochLen_` cycles; every cross-core effect (L1-miss service
+     * against the shared L3/DRAM, connector flit handoff and credits,
+     * atomics, invalidations, observability) is exchanged only at the
+     * epoch edge, serially, in deterministic core-ID order. The phase
+     * can therefore fan out over `cfg.coreJobs` host workers with
+     * byte-identical results at any worker count.
+     */
+    void epochLoop(Cycle stop, bool watchInvariants, RunResult *res);
+    /** One core partition's slice of an epoch phase: cycles (from, to]. */
+    void tickCorePartition(size_t c, Cycle from, Cycle to);
+    /** Run one epoch phase across all cores (parallel or inline). */
+    void runEpochPhase(Cycle from, Cycle to);
+    /** Serial cross-core exchange at an epoch edge. */
+    void epochEdgeExchange(Cycle edge);
+
     /** Apply due fault injections; removes one-shot faults once taken. */
     void applyFaults(Cycle now);
     /** Per-cycle structural checks; false + err on first violation. */
@@ -113,13 +139,27 @@ class System
     void finishObservability(StopReason reason);
 
     SystemConfig cfg_;
-    EventQueue eq_;
+    /** One event queue per core so partitions can advance privately;
+     *  eqs_[0] doubles as the single queue of the legacy loop. */
+    std::vector<std::unique_ptr<EventQueue>> eqs_;
     SimMemory mem_;
     MemoryHierarchy hier_;
     std::vector<std::unique_ptr<Core>> cores_;
     std::vector<std::unique_ptr<RefAccel>> ras_;
     std::vector<std::unique_ptr<Connector>> connectors_;
     bool configured_ = false;
+
+    // --- Epoch scheduler state (multicore only) ---
+    Cycle epochLen_ = 1;
+    /** Guardrails / commit tracing touch shared state from the core
+     *  tick, so the phase must stay on one host thread. */
+    bool epochInline_ = false;
+    /** Lazily created host pool for the phase (min(coreJobs, cores)). */
+    std::unique_ptr<parallel::TaskPool> corePool_;
+    /** Partition membership, by core: RAs and connector halves. */
+    std::vector<std::vector<RefAccel *>> rasByCore_;
+    std::vector<std::vector<Connector *>> connFrom_;
+    std::vector<std::vector<Connector *>> connTo_;
     Cycle stepNow_ = 0;          ///< runFor() cursor
     Cycle stepLastProgress_ = 0; ///< runFor() watchdog cursor
 

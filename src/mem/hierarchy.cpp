@@ -1,5 +1,7 @@
 #include "mem/hierarchy.h"
 
+#include <algorithm>
+
 namespace pipette {
 
 MemoryHierarchy::MemoryHierarchy(const MemConfig &cfg, uint32_t numCores,
@@ -127,6 +129,23 @@ Cycle
 MemoryHierarchy::access(CoreId core, Addr addr, bool isWrite, Cycle now,
                         Callback cb)
 {
+    if (epochMode_) {
+        Cycle done = accessEpoch(core, addr, isWrite, now, cb);
+        if (done == PENDING)
+            return PENDING; // cb was captured by the deferred op
+        if (cb)
+            coreEqs_[core]->schedule(done, std::move(cb));
+        return done;
+    }
+    Cycle done = accessNow(core, addr, isWrite, now);
+    if (cb)
+        eq_->schedule(done, std::move(cb));
+    return done;
+}
+
+Cycle
+MemoryHierarchy::accessNow(CoreId core, Addr addr, bool isWrite, Cycle now)
+{
     PerCore &pc = perCore_[core];
     uint64_t lineAddr = addr / cfg_.lineBytes;
 
@@ -185,8 +204,212 @@ MemoryHierarchy::access(CoreId core, Addr addr, bool isWrite, Cycle now,
     if (pc.prefetcher)
         pc.prefetcher->observe(lineAddr, wasMiss, now);
 
+    return done;
+}
+
+Cycle
+MemoryHierarchy::accessEpoch(CoreId core, Addr addr, bool isWrite,
+                             Cycle now, Callback &cb)
+{
+    PerCore &pc = perCore_[core];
+    uint64_t lineAddr = addr / cfg_.lineBytes;
+
+    pc.l1Stats.accesses++;
+    Cycle done;
+    CacheArray::Line *l1line = pc.l1->lookup(lineAddr);
+    bool wasMiss = l1line == nullptr;
+    if (l1line) {
+        if (l1line->prefetched) {
+            pc.l1Stats.prefetchHits++;
+            l1line->prefetched = false;
+        }
+        if (isWrite)
+            l1line->dirty = true;
+        Cycle penalty = 0;
+        if (isWrite) {
+            // The penalty is decided against the frozen (start-of-
+            // epoch) L3 image; the directory mutation itself replays
+            // at the edge in deterministic order.
+            penalty = writeProbePenalty(core, lineAddr);
+            if (penalty) {
+                pc.epochOps.push_back({DeferredOp::Kind::Probe, true,
+                                       false, now, pc.epochSeq++,
+                                       lineAddr, 0, Callback()});
+            }
+        }
+        Cycle fill = pc.inflightLines.lookup(lineAddr);
+        if (fill == PENDING) {
+            // Completion depends on a miss deferred to the edge.
+            pc.epochOps.push_back({DeferredOp::Kind::Waiter, isWrite,
+                                   true, now, pc.epochSeq++, lineAddr,
+                                   penalty, std::move(cb)});
+            done = PENDING;
+        } else {
+            done = now + cfg_.l1d.latency;
+            // A "hit" on a line whose fill is still in flight
+            // completes no earlier than the fill.
+            if (fill > done)
+                done = fill;
+            done += penalty;
+        }
+    } else {
+        pc.l1Stats.misses++;
+        Cycle fill = pc.inflightLines.lookup(lineAddr);
+        if (fill == PENDING) {
+            // Coalesce with a miss deferred earlier this epoch.
+            pc.epochOps.push_back({DeferredOp::Kind::Waiter, isWrite,
+                                   false, now, pc.epochSeq++, lineAddr,
+                                   0, std::move(cb)});
+            done = PENDING;
+        } else if (fill > now) {
+            // Coalesce with an already-resolved in-flight miss.
+            done = fill;
+        } else {
+            // New miss: L1 bookkeeping now, the shared L2-miss/L3/DRAM
+            // path at the edge.
+            pc.epochOps.push_back({DeferredOp::Kind::Miss, isWrite,
+                                   false, now, pc.epochSeq++, lineAddr,
+                                   0, std::move(cb)});
+            pc.inflightLines.insert(lineAddr, PENDING, now);
+            auto ins = pc.l1->insert(lineAddr, isWrite, false);
+            if (ins.evictedDirty)
+                pc.l1Stats.writebacks++;
+            done = PENDING;
+        }
+    }
+
+    if (pc.prefetcher)
+        pc.prefetcher->observe(lineAddr, wasMiss, now);
+    return done;
+}
+
+Cycle
+MemoryHierarchy::writeProbePenalty(CoreId core, uint64_t lineAddr) const
+{
+    // Read-only probe (touch=false, no LRU update) of the L3, which is
+    // frozen during phases, so concurrent probes from other cores'
+    // phases are host-race-free.
+    const CacheArray::Line *l3line = l3_->lookup(lineAddr, false);
+    if (l3line && (l3line->sharers & ~(1u << core)))
+        return cfg_.coherencePenalty;
+    return 0;
+}
+
+void
+MemoryHierarchy::setEpochMode(std::vector<EventQueue *> eqs)
+{
+    fatal_if(eqs.size() != numCores_,
+             "epoch mode needs one event queue per core");
+    epochMode_ = true;
+    coreEqs_ = std::move(eqs);
+}
+
+bool
+MemoryHierarchy::epochOpsPending() const
+{
+    for (const PerCore &pc : perCore_)
+        if (!pc.epochOps.empty())
+            return true;
+    return false;
+}
+
+void
+MemoryHierarchy::flushEpochEdge(Cycle edge)
+{
+    // Deterministic global replay order: (issue cycle, core id,
+    // per-core sequence). Each core's vector is already sorted by
+    // (issue, seq) -- ops are appended in phase order -- so a k-way
+    // merge over the per-core vectors realizes the global order.
+    std::vector<size_t> pos(numCores_, 0);
+    while (true) {
+        int best = -1;
+        for (uint32_t c = 0; c < numCores_; c++) {
+            if (pos[c] >= perCore_[c].epochOps.size())
+                continue;
+            if (best < 0 ||
+                perCore_[c].epochOps[pos[c]].issue <
+                    perCore_[best].epochOps[pos[best]].issue) {
+                best = static_cast<int>(c);
+            }
+        }
+        if (best < 0)
+            break;
+        CoreId core = static_cast<CoreId>(best);
+        PerCore &pc = perCore_[core];
+        DeferredOp &op = pc.epochOps[pos[best]++];
+        switch (op.kind) {
+          case DeferredOp::Kind::Miss: {
+            Cycle start = pc.l1Mshrs.admit(op.issue + cfg_.l1d.latency);
+            Cycle done =
+                accessBelowL1(core, op.line, op.isWrite, start, false);
+            pc.l1Mshrs.track(done);
+            pc.inflightLines.insert(op.line, done, edge);
+            if (op.cb) {
+                coreEqs_[core]->schedule(std::max(done, edge),
+                                         std::move(op.cb));
+            }
+            break;
+          }
+          case DeferredOp::Kind::Prefetch: {
+            Cycle start = pc.l1Mshrs.admit(op.issue + cfg_.l1d.latency);
+            Cycle done = accessBelowL1(core, op.line, false, start, true);
+            pc.l1Mshrs.track(done);
+            pc.inflightLines.insert(op.line, done, edge);
+            break;
+          }
+          case DeferredOp::Kind::Waiter: {
+            // The miss (or prefetch) that made this line PENDING is
+            // from the same core with a lower (issue, seq), so it has
+            // already replayed and patched the completion time.
+            Cycle fill = pc.inflightLines.lookup(op.line);
+            panic_if(fill == 0 || fill == PENDING,
+                     "epoch waiter with unresolved fill for line ",
+                     op.line);
+            Cycle done =
+                op.isHit
+                    ? std::max(op.issue + cfg_.l1d.latency, fill) +
+                          op.extra
+                    : fill;
+            if (op.cb) {
+                coreEqs_[core]->schedule(std::max(done, edge),
+                                         std::move(op.cb));
+            }
+            break;
+          }
+          case DeferredOp::Kind::Probe: {
+            CacheArray::Line *l3line = l3_->lookup(op.line, false);
+            if (l3line && (l3line->sharers & ~(1u << core))) {
+                for (uint32_t o = 0; o < numCores_; o++) {
+                    if (o != core && (l3line->sharers & (1u << o))) {
+                        perCore_[o].l1->invalidate(op.line);
+                        perCore_[o].l2->invalidate(op.line);
+                        perCore_[o].l1Stats.invalidations++;
+                    }
+                }
+                l3line->sharers = 1u << core;
+                l3line->owner = core;
+                l3line->ownerValid = true;
+            }
+            break;
+          }
+        }
+    }
+    for (uint32_t c = 0; c < numCores_; c++) {
+        perCore_[c].epochOps.clear();
+        perCore_[c].epochSeq = 0;
+    }
+}
+
+Cycle
+MemoryHierarchy::accessAtEdge(CoreId core, Addr addr, bool isWrite,
+                              Cycle issue, Cycle edge, Callback cb)
+{
+    // Runs serially at an epoch edge, after flushEpochEdge(): no
+    // PENDING lines remain, so the full legacy path is safe.
+    Cycle done = accessNow(core, addr, isWrite, issue);
+    done = std::max(done, edge);
     if (cb)
-        eq_->schedule(done, std::move(cb));
+        coreEqs_[core]->schedule(done, std::move(cb));
     return done;
 }
 
@@ -197,8 +420,18 @@ MemoryHierarchy::prefetchLine(CoreId core, uint64_t lineAddr, Cycle now)
     if (pc.l1->lookup(lineAddr, false))
         return;
     if (pc.inflightLines.lookup(lineAddr) > now)
-        return;
+        return; // in flight (or PENDING on a deferred miss)
     pc.l1Stats.prefetches++;
+    if (epochMode_) {
+        pc.epochOps.push_back({DeferredOp::Kind::Prefetch, false, false,
+                               now, pc.epochSeq++, lineAddr, 0,
+                               Callback()});
+        pc.inflightLines.insert(lineAddr, PENDING, now);
+        auto ins = pc.l1->insert(lineAddr, false, true);
+        if (ins.evictedDirty)
+            pc.l1Stats.writebacks++;
+        return;
+    }
     Cycle start = pc.l1Mshrs.admit(now + cfg_.l1d.latency);
     Cycle done = accessBelowL1(core, lineAddr, false, start, true);
     pc.l1Mshrs.track(done);

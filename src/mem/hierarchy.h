@@ -145,16 +145,59 @@ class MemoryHierarchy
     /** Completion callback; inline storage, so scheduling is alloc-free. */
     using Callback = EventQueue::Callback;
 
+    /**
+     * Sentinel returned by access() in epoch mode when the completion
+     * cycle is not knowable until the epoch edge (the access misses in
+     * the private L1 or depends on a deferred miss). The callback still
+     * fires -- at the edge-resolved completion cycle -- so callers that
+     * need the real cycle read it there.
+     */
+    static constexpr Cycle PENDING = ~0ull;
+
     MemoryHierarchy(const MemConfig &cfg, uint32_t numCores,
                     EventQueue *eq);
 
     /**
      * Issue a demand access. The callback (may be null for stores) is
      * scheduled on the event queue at the completion cycle; the
-     * completion cycle is also returned for bookkeeping.
+     * completion cycle is also returned for bookkeeping. In epoch mode
+     * anything that would touch shared state (L2 miss path, L3,
+     * coherence mutations) is deferred to the next epoch edge and
+     * PENDING is returned; private-L1 hits on resolved lines complete
+     * inline exactly as in legacy mode.
      */
     Cycle access(CoreId core, Addr addr, bool isWrite, Cycle now,
                  Callback cb);
+
+    /**
+     * Switch to epoch-barrier mode: phase-time access() calls touch
+     * only the calling core's private state, all shared-state effects
+     * replay serially in flushEpochEdge(), and callbacks are scheduled
+     * on that core's own event queue. `eqs` must have one queue per
+     * core.
+     */
+    void setEpochMode(std::vector<EventQueue *> eqs);
+
+    /**
+     * Replay every deferred access of the ending epoch against the
+     * shared L2-miss/L3/DRAM path, in the deterministic global order
+     * (issue cycle, core id, per-core sequence). Patches in-flight
+     * line completions and schedules the deferred callbacks at
+     * max(completion, edge).
+     */
+    void flushEpochEdge(Cycle edge);
+
+    /**
+     * Run one access through the full legacy (serial) path at an epoch
+     * edge -- used for replaying deferred atomics after
+     * flushEpochEdge(), when no PENDING lines remain. The callback is
+     * scheduled on the core's event queue at max(completion, edge).
+     */
+    Cycle accessAtEdge(CoreId core, Addr addr, bool isWrite, Cycle issue,
+                       Cycle edge, Callback cb);
+
+    /** Any deferred operations not yet replayed? (drain loop) */
+    bool epochOpsPending() const;
 
     /** L1D hit latency (fast path known statically). */
     uint32_t l1Latency() const { return cfg_.l1d.latency; }
@@ -192,6 +235,34 @@ class MemoryHierarchy
         void track(Cycle done) { inflight.push(done); }
     };
 
+    /**
+     * One phase-time access whose shared-state effects were deferred
+     * to the epoch edge. Appended in phase order, so each core's
+     * vector is already sorted by (issue, seq).
+     */
+    struct DeferredOp
+    {
+        enum class Kind : uint8_t
+        {
+            Miss,     ///< new L1 miss: run accessBelowL1 at the edge
+            Waiter,   ///< completion coalesced onto a deferred miss
+            Probe,    ///< write-hit ownership upgrade in the L3
+            Prefetch, ///< prefetch miss: like Miss, no callback
+        };
+        Kind kind;
+        bool isWrite = false;
+        /** Waiter: L1 hit (adds the hit latency floor) vs coalesced
+         *  miss (completes exactly at the resolved fill). */
+        bool isHit = false;
+        Cycle issue;
+        uint64_t seq;
+        uint64_t line;
+        /** Waiter: extra latency (write coherence penalty) on top of
+         *  the resolved fill time. */
+        Cycle extra = 0;
+        Callback cb;
+    };
+
     struct PerCore
     {
         std::unique_ptr<CacheArray> l1;
@@ -203,6 +274,9 @@ class MemoryHierarchy
         // Coalescing: completion time of in-flight L1 misses per line.
         InflightLineMap inflightLines;
         std::unique_ptr<StreamPrefetcher> prefetcher;
+        // Epoch mode: this core's deferred shared-state operations.
+        std::vector<DeferredOp> epochOps;
+        uint64_t epochSeq = 0;
     };
 
     /** Timing of the path below the L1 (L2 -> L3 -> DRAM). */
@@ -212,6 +286,20 @@ class MemoryHierarchy
     Cycle dramAccess(uint64_t lineAddr, bool isWrite, Cycle start);
     /** Issue a hardware prefetch of a line into the given core's L1. */
     void prefetchLine(CoreId core, uint64_t lineAddr, Cycle now);
+    /** The legacy serial access body (no callback scheduling). */
+    Cycle accessNow(CoreId core, Addr addr, bool isWrite, Cycle now);
+    /** Epoch-mode phase-time access body (may defer and return PENDING). */
+    Cycle accessEpoch(CoreId core, Addr addr, bool isWrite, Cycle now,
+                      Callback &cb);
+    /** Coherence penalty a write hit would pay, from the frozen L3. */
+    Cycle writeProbePenalty(CoreId core, uint64_t lineAddr) const;
+
+    /** Event queue completions for this core are delivered on. */
+    EventQueue *
+    coreEq(CoreId core) const
+    {
+        return epochMode_ ? coreEqs_[core] : eq_;
+    }
 
     const MemConfig cfg_;
     uint32_t numCores_;
@@ -222,6 +310,8 @@ class MemoryHierarchy
     CacheStats l3Stats_;
     MemStats memStats_;
     std::vector<Cycle> dramChannelFree_;
+    bool epochMode_ = false;
+    std::vector<EventQueue *> coreEqs_;
 };
 
 } // namespace pipette

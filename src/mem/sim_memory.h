@@ -5,15 +5,26 @@
  *
  * Reads of unmapped memory return zero without allocating, so wrong-path
  * (speculative) accesses with garbage addresses are always safe.
+ *
+ * Pages live in a two-level radix table of atomic pointers rather than a
+ * hash map so the epoch-barrier multicore scheduler can run per-core
+ * phases on different host threads without locking: lookups are acquire
+ * loads, and page/chunk allocation is a compare-and-swap race where the
+ * loser frees its copy. Distinct simulated addresses are therefore
+ * host-race-free under concurrent access. Concurrent plain accesses to
+ * the *same* address from different simulated cores are a data race in
+ * the simulated program -- the workload contract requires atomics (whose
+ * functional effect is applied serially at epoch edges) or a barrier for
+ * cross-core sharing.
  */
 
 #ifndef PIPETTE_MEM_SIM_MEMORY_H
 #define PIPETTE_MEM_SIM_MEMORY_H
 
+#include <array>
+#include <atomic>
 #include <cstring>
-#include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/logging.h"
@@ -27,6 +38,20 @@ class SimMemory
   public:
     static constexpr uint32_t PAGE_BITS = 16;
     static constexpr uint64_t PAGE_SIZE = 1ull << PAGE_BITS;
+    /** Second-level (chunk) fan-out in pages. */
+    static constexpr uint32_t CHUNK_BITS = 12;
+    static constexpr uint64_t CHUNK_PAGES = 1ull << CHUNK_BITS;
+    /** First-level (root) fan-out in chunks. */
+    static constexpr uint32_t ROOT_BITS = 12;
+    static constexpr uint64_t ROOT_CHUNKS = 1ull << ROOT_BITS;
+    /** Addressable bits: 12 + 12 + 16 = a 1 TiB simulated space. */
+    static constexpr uint32_t ADDR_BITS =
+        ROOT_BITS + CHUNK_BITS + PAGE_BITS;
+
+    SimMemory() = default;
+    SimMemory(const SimMemory &) = delete;
+    SimMemory &operator=(const SimMemory &) = delete;
+    ~SimMemory() { releaseAll(); }
 
     /** Read `size` bytes (1,2,4,8) at addr, zero-extended to 64 bits. */
     uint64_t
@@ -115,44 +140,193 @@ class SimMemory
     }
 
     /** Number of mapped pages (for tests). */
-    size_t mappedPages() const { return pages_.size(); }
+    size_t
+    mappedPages() const
+    {
+        return mappedCount_.load(std::memory_order_relaxed);
+    }
 
     /**
      * Replace this memory's contents with a deep copy of another's.
      * Used by the lockstep oracle to give the golden model a private
-     * snapshot of the populated address space at run start.
+     * snapshot of the populated address space at run start. Not safe
+     * concurrently with writes to either memory.
      */
     void
     copyFrom(const SimMemory &other)
     {
-        pages_.clear();
-        for (const auto &[num, page] : other.pages_) {
-            auto p = std::make_unique<uint8_t[]>(PAGE_SIZE);
-            std::memcpy(p.get(), page.get(), PAGE_SIZE);
-            pages_.emplace(num, std::move(p));
+        releaseAll();
+        for (uint64_t r = 0; r < ROOT_CHUNKS; r++) {
+            const Chunk *oc =
+                other.root_[r].load(std::memory_order_acquire);
+            if (!oc)
+                continue;
+            Chunk *c = nullptr;
+            for (uint64_t i = 0; i < CHUNK_PAGES; i++) {
+                const uint8_t *op =
+                    (*oc)[i].load(std::memory_order_acquire);
+                if (!op)
+                    continue;
+                if (!c) {
+                    c = new Chunk();
+                    root_[r].store(c, std::memory_order_release);
+                }
+                uint8_t *p = new uint8_t[PAGE_SIZE];
+                std::memcpy(p, op, PAGE_SIZE);
+                (*c)[i].store(p, std::memory_order_release);
+                mappedCount_.fetch_add(1, std::memory_order_relaxed);
+            }
         }
     }
 
   private:
+    using Chunk = std::array<std::atomic<uint8_t *>, CHUNK_PAGES>;
+
     const uint8_t *
     pageFor(Addr addr) const
     {
-        auto it = pages_.find(addr >> PAGE_BITS);
-        return it == pages_.end() ? nullptr : it->second.get();
+        uint64_t pn = addr >> PAGE_BITS;
+        if (pn >> (ROOT_BITS + CHUNK_BITS))
+            return nullptr; // beyond the radix: reads as unmapped
+        const Chunk *c =
+            root_[pn >> CHUNK_BITS].load(std::memory_order_acquire);
+        if (!c)
+            return nullptr;
+        return (*c)[pn & (CHUNK_PAGES - 1)].load(
+            std::memory_order_acquire);
     }
 
     uint8_t *
     pageForAlloc(Addr addr)
     {
-        auto &p = pages_[addr >> PAGE_BITS];
-        if (!p) {
-            p = std::make_unique<uint8_t[]>(PAGE_SIZE);
-            std::memset(p.get(), 0, PAGE_SIZE);
+        uint64_t pn = addr >> PAGE_BITS;
+        // Stores are architectural (commit-time), so an out-of-range
+        // address is a workload layout bug, not a wrong-path access.
+        panic_if(pn >> (ROOT_BITS + CHUNK_BITS),
+                 "write beyond the ", ADDR_BITS,
+                 "-bit simulated address space at ", addr);
+        std::atomic<Chunk *> &rslot = root_[pn >> CHUNK_BITS];
+        Chunk *c = rslot.load(std::memory_order_acquire);
+        if (!c) {
+            Chunk *fresh = new Chunk();
+            if (rslot.compare_exchange_strong(c, fresh,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire))
+                c = fresh;
+            else
+                delete fresh; // another thread won the install race
         }
-        return p.get();
+        std::atomic<uint8_t *> &slot = (*c)[pn & (CHUNK_PAGES - 1)];
+        uint8_t *p = slot.load(std::memory_order_acquire);
+        if (!p) {
+            uint8_t *fresh = new uint8_t[PAGE_SIZE]();
+            if (slot.compare_exchange_strong(p, fresh,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+                p = fresh;
+                mappedCount_.fetch_add(1, std::memory_order_relaxed);
+            } else {
+                delete[] fresh;
+            }
+        }
+        return p;
     }
 
-    std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> pages_;
+    void
+    releaseAll()
+    {
+        for (std::atomic<Chunk *> &rslot : root_) {
+            Chunk *c = rslot.load(std::memory_order_relaxed);
+            if (!c)
+                continue;
+            for (std::atomic<uint8_t *> &slot : *c)
+                delete[] slot.load(std::memory_order_relaxed);
+            delete c;
+            rslot.store(nullptr, std::memory_order_relaxed);
+        }
+        mappedCount_.store(0, std::memory_order_relaxed);
+    }
+
+    std::array<std::atomic<Chunk *>, ROOT_CHUNKS> root_{};
+    std::atomic<size_t> mappedCount_{0};
+};
+
+/**
+ * Per-core write-buffering view of a SimMemory for the epoch-barrier
+ * multicore scheduler. During a phase, plain stores are buffered here
+ * (in commit order) instead of landing in the shared memory; reads
+ * forward byte-accurately from the owning core's own buffer over the
+ * epoch-start contents. The System drains every core's buffer at the
+ * epoch edge, serially, merged by (commit cycle, core id). The shared
+ * SimMemory is therefore read-only while phases run concurrently --
+ * cross-core plain-memory visibility is epoch-granular and
+ * deterministic at any host worker count -- while a core always sees
+ * its own stores immediately.
+ *
+ * With buffering off (the default, and the single-core legacy loop)
+ * writes pass straight through and reads are plain base reads.
+ */
+class EpochMemView
+{
+  public:
+    explicit EpochMemView(SimMemory *base) : base_(base) {}
+
+    struct BufferedStore
+    {
+        Cycle cycle; ///< commit cycle (merge key across cores)
+        Addr addr;
+        uint32_t size;
+        uint64_t val;
+    };
+
+    void
+    setBuffering(bool on)
+    {
+        buffering_ = on;
+        buf_.clear();
+    }
+    bool buffering() const { return buffering_; }
+
+    /** Read with store-to-load forwarding from this view's buffer. */
+    uint64_t
+    read(Addr addr, uint32_t size) const
+    {
+        uint64_t v = base_->read(addr, size);
+        // Overlay buffered stores oldest-first so the newest write to
+        // any byte wins, handling partial overlaps byte-accurately.
+        for (const BufferedStore &s : buf_) {
+            if (s.addr + s.size <= addr || addr + size <= s.addr)
+                continue;
+            for (uint32_t i = 0; i < size; i++) {
+                Addr a = addr + i;
+                if (a < s.addr || a >= s.addr + s.size)
+                    continue;
+                uint64_t byte = (s.val >> (8 * (a - s.addr))) & 0xff;
+                v = (v & ~(0xffull << (8 * i))) | (byte << (8 * i));
+            }
+        }
+        return v;
+    }
+
+    /** Commit a store: buffered in epoch mode, immediate otherwise. */
+    void
+    write(Cycle now, Addr addr, uint32_t size, uint64_t val)
+    {
+        if (!buffering_) {
+            base_->write(addr, size, val);
+            return;
+        }
+        buf_.push_back({now, addr, size, val});
+    }
+
+    /** Stores awaiting the edge drain, in commit order. */
+    const std::vector<BufferedStore> &pending() const { return buf_; }
+    void clearPending() { buf_.clear(); }
+
+  private:
+    SimMemory *base_;
+    bool buffering_ = false;
+    std::vector<BufferedStore> buf_;
 };
 
 /** Bump allocator carving regions out of a SimMemory address space. */

@@ -163,6 +163,17 @@ Observer::beginCycle(Cycle now)
 void
 Observer::onQueuePush(CoreId core, QueueId q, uint64_t occAfter)
 {
+    if (journal_) {
+        journals_[core].push_back(
+            {JEntry::Kind::QPush, 0, coreNow_[core], q, occAfter, {}});
+        return;
+    }
+    pushImpl(core, q, occAfter);
+}
+
+void
+Observer::pushImpl(CoreId core, QueueId q, uint64_t occAfter)
+{
     QueueTrack &t = qt(core, q);
     t.pushes++;
     if (cfg_.histograms) {
@@ -180,6 +191,17 @@ Observer::onQueuePush(CoreId core, QueueId q, uint64_t occAfter)
 
 void
 Observer::onQueuePop(CoreId core, QueueId q, uint64_t occAfter)
+{
+    if (journal_) {
+        journals_[core].push_back(
+            {JEntry::Kind::QPop, 0, coreNow_[core], q, occAfter, {}});
+        return;
+    }
+    popImpl(core, q, occAfter);
+}
+
+void
+Observer::popImpl(CoreId core, QueueId q, uint64_t occAfter)
 {
     QueueTrack &t = qt(core, q);
     t.pops++;
@@ -200,6 +222,20 @@ Observer::onQueuePop(CoreId core, QueueId q, uint64_t occAfter)
 void
 Observer::onRaLatency(uint32_t idx, Cycle latency)
 {
+    if (journal_) {
+        // RAs are always registered before the run starts, so the
+        // track's core (== the partition this hook fires in) is valid.
+        CoreId core = ras_[idx].core;
+        journals_[core].push_back(
+            {JEntry::Kind::RaLat, 0, coreNow_[core], idx, latency, {}});
+        return;
+    }
+    raLatImpl(idx, latency);
+}
+
+void
+Observer::raLatImpl(uint32_t idx, Cycle latency)
+{
     if (ras_.size() <= idx)
         ras_.resize(idx + 1);
     if (cfg_.histograms)
@@ -208,6 +244,19 @@ Observer::onRaLatency(uint32_t idx, Cycle latency)
 
 void
 Observer::onConnectorCreditStall(uint32_t idx, Cycle now)
+{
+    if (journal_) {
+        // Fired from the producer half, i.e. the from-core partition.
+        CoreId core = conns_[idx].from;
+        journals_[core].push_back(
+            {JEntry::Kind::ConnStall, 0, now, idx, 0, {}});
+        return;
+    }
+    connStallImpl(idx, now);
+}
+
+void
+Observer::connStallImpl(uint32_t idx, Cycle now)
 {
     if (conns_.size() <= idx)
         conns_.resize(idx + 1);
@@ -240,27 +289,49 @@ void
 Observer::onRetire(Cycle now, CoreId core, ThreadId tid,
                    const DynInst &inst)
 {
+    if (journal_) {
+        if (!cfg_.pipeview || now < cfg_.traceFrom || now >= traceEnd_)
+            return;
+        JEntry e;
+        e.kind = JEntry::Kind::Retire;
+        e.tid = tid;
+        e.cycle = now;
+        e.ri = {inst.seq,         inst.pc,         inst.si,
+                inst.op,          inst.fetchReady, inst.renameCycle,
+                inst.issueCycle,  inst.completeCycle};
+        journals_[core].push_back(e);
+        return;
+    }
     if (!traceActive_ || !cfg_.pipeview)
         return;
+    retireImpl(now, core, tid,
+               {inst.seq, inst.pc, inst.si, inst.op, inst.fetchReady,
+                inst.renameCycle, inst.issueCycle, inst.completeCycle});
+}
+
+void
+Observer::retireImpl(Cycle now, CoreId core, ThreadId tid,
+                     const RetireInfo &ri)
+{
     // Stage cycles are captured on the pooled DynInst as it flows
     // through the pipeline; the core tick order guarantees
     // fetch <= decode <= rename = dispatch <= issue < complete <= retire.
-    uint64_t fetchReady = inst.fetchReady;
+    uint64_t fetchReady = ri.fetchReady;
     uint64_t fetch =
         fetchReady > frontendDelay_ ? fetchReady - frontendDelay_ : 0;
     // Multi-core traces need globally unique instruction ids.
     uint64_t uid = numCores_ > 1
                        ? static_cast<uint64_t>(core) * 100000000ull +
-                             inst.seq
-                       : inst.seq;
-    std::string disasm = inst.si && inst.op == inst.si->op
-                             ? inst.si->toString()
-                             : opInfo(inst.op).name;
+                             ri.seq
+                       : ri.seq;
+    std::string disasm = ri.si && ri.op == ri.si->op
+                             ? ri.si->toString()
+                             : opInfo(ri.op).name;
     char buf[256];
     snprintf(buf, sizeof(buf),
              "O3PipeView:fetch:%" PRIu64 ":0x%08" PRIx64 ":0:%" PRIu64
              ":t%u %s\n",
-             fetch * PIPEVIEW_TICKS_PER_CYCLE, inst.pc, uid, tid,
+             fetch * PIPEVIEW_TICKS_PER_CYCLE, ri.pc, uid, tid,
              disasm.c_str());
     pipeview_ += buf;
     snprintf(buf, sizeof(buf),
@@ -271,12 +342,69 @@ Observer::onRetire(Cycle now, CoreId core, ThreadId tid,
              "O3PipeView:complete:%" PRIu64 "\n"
              "O3PipeView:retire:%" PRIu64 ":store:0\n",
              fetchReady * PIPEVIEW_TICKS_PER_CYCLE,
-             inst.renameCycle * PIPEVIEW_TICKS_PER_CYCLE,
-             inst.renameCycle * PIPEVIEW_TICKS_PER_CYCLE,
-             inst.issueCycle * PIPEVIEW_TICKS_PER_CYCLE,
-             inst.completeCycle * PIPEVIEW_TICKS_PER_CYCLE,
+             ri.renameCycle * PIPEVIEW_TICKS_PER_CYCLE,
+             ri.renameCycle * PIPEVIEW_TICKS_PER_CYCLE,
+             ri.issueCycle * PIPEVIEW_TICKS_PER_CYCLE,
+             ri.completeCycle * PIPEVIEW_TICKS_PER_CYCLE,
              now * PIPEVIEW_TICKS_PER_CYCLE);
     pipeview_ += buf;
+}
+
+// ---------------------------------------------------------------------
+// Epoch-journal mode
+
+void
+Observer::setJournalMode(bool on)
+{
+    journal_ = on;
+    coreNow_.assign(numCores_, 0);
+    journals_.assign(numCores_, {});
+}
+
+void
+Observer::flushJournal()
+{
+    // K-way merge of the per-core journals: each is already cycle-
+    // ordered, and strict < on the cycle makes the lowest core win
+    // ties, giving the deterministic (cycle, core, insertion) order.
+    std::vector<size_t> pos(journals_.size(), 0);
+    for (;;) {
+        size_t best = journals_.size();
+        for (size_t c = 0; c < journals_.size(); c++) {
+            if (pos[c] >= journals_[c].size())
+                continue;
+            if (best == journals_.size() ||
+                journals_[c][pos[c]].cycle <
+                    journals_[best][pos[best]].cycle)
+                best = c;
+        }
+        if (best == journals_.size())
+            break;
+        const JEntry &e = journals_[best][pos[best]++];
+        now_ = e.cycle;
+        traceActive_ = (cfg_.perfetto || cfg_.pipeview) &&
+                       e.cycle >= cfg_.traceFrom && e.cycle < traceEnd_;
+        CoreId core = static_cast<CoreId>(best);
+        switch (e.kind) {
+          case JEntry::Kind::QPush:
+            pushImpl(core, static_cast<QueueId>(e.a), e.b);
+            break;
+          case JEntry::Kind::QPop:
+            popImpl(core, static_cast<QueueId>(e.a), e.b);
+            break;
+          case JEntry::Kind::RaLat:
+            raLatImpl(e.a, e.b);
+            break;
+          case JEntry::Kind::ConnStall:
+            connStallImpl(e.a, e.cycle);
+            break;
+          case JEntry::Kind::Retire:
+            retireImpl(e.cycle, core, e.tid, e.ri);
+            break;
+        }
+    }
+    for (auto &j : journals_)
+        j.clear();
 }
 
 // ---------------------------------------------------------------------

@@ -77,6 +77,28 @@ class Observer
     /** Called before the cores tick; establishes the hook timestamp and
      *  the trace-window state for this cycle. */
     void beginCycle(Cycle now);
+
+    // ---- Epoch-journal mode (multicore epoch scheduler) ----
+    /**
+     * When on, the hot hooks append to per-core journals instead of
+     * mutating shared trace/histogram state, so they are safe to call
+     * from concurrent core partitions. flushJournal() replays the
+     * entries serially at each epoch edge in a deterministic global
+     * order -- (cycle, core, per-core insertion order) -- so every
+     * derived artifact (histograms, Perfetto events, pipeview text) is
+     * identical at any host worker count.
+     */
+    void setJournalMode(bool on);
+    bool journalMode() const { return journal_; }
+    /** Phase-local timestamp for hooks fired from `core`'s partition
+     *  (the shared now_ is not written during phases). */
+    void
+    setCoreCycle(CoreId core, Cycle cy)
+    {
+        coreNow_[core] = cy;
+    }
+    /** Replay and clear the journaled hook events (epoch edge, serial). */
+    void flushJournal();
     /** Collectors are inside the trace window this cycle. */
     bool traceActive() const { return traceActive_; }
     /** The Perfetto poll (thread/RA/connector state) is wanted. */
@@ -209,9 +231,51 @@ class Observer
         uint64_t runLen = 0;
     };
 
+    /** Retire fields copied out of the pooled DynInst at hook time (the
+     *  pool recycles the instruction long before the epoch edge). */
+    struct RetireInfo
+    {
+        uint64_t seq = 0;
+        Addr pc = 0;
+        const Instr *si = nullptr;
+        Op op = Op::NOP;
+        Cycle fetchReady = 0;
+        Cycle renameCycle = 0;
+        Cycle issueCycle = 0;
+        Cycle completeCycle = 0;
+    };
+
+    /** One journaled hook invocation (epoch-journal mode). */
+    struct JEntry
+    {
+        enum class Kind : uint8_t
+        {
+            QPush,
+            QPop,
+            RaLat,
+            ConnStall,
+            Retire,
+        };
+        Kind kind;
+        ThreadId tid = 0; ///< Retire only
+        Cycle cycle = 0;
+        uint32_t a = 0; ///< queue id (QPush/QPop) or track idx
+        uint64_t b = 0; ///< occAfter (QPush/QPop) or latency (RaLat)
+        RetireInfo ri;  ///< Retire only
+    };
+
     QueueTrack &qt(CoreId core, QueueId q);
     const QueueTrack &qt(CoreId core, QueueId q) const;
     size_t ti(CoreId core, ThreadId tid) const;
+
+    // Legacy hook bodies, shared by the direct hooks and the journal
+    // replay (which establishes now_/traceActive_ per entry first).
+    void pushImpl(CoreId core, QueueId q, uint64_t occAfter);
+    void popImpl(CoreId core, QueueId q, uint64_t occAfter);
+    void raLatImpl(uint32_t idx, Cycle latency);
+    void connStallImpl(uint32_t idx, Cycle now);
+    void retireImpl(Cycle now, CoreId core, ThreadId tid,
+                    const RetireInfo &ri);
 
     /** End the current credit-stall run: histogram + Perfetto slice. */
     void flushConnRun(ConnTrack &c, uint32_t idx);
@@ -260,6 +324,11 @@ class Observer
 
     std::vector<std::string> events_; ///< Perfetto JSON objects
     std::string pipeview_;
+
+    // Epoch-journal mode state.
+    bool journal_ = false;
+    std::vector<Cycle> coreNow_;            ///< per-partition hook clock
+    std::vector<std::vector<JEntry>> journals_; ///< per-core, in order
 };
 
 } // namespace obs

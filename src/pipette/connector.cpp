@@ -72,4 +72,94 @@ Connector::tick(Cycle now)
     }
 }
 
+void
+Connector::setEpochMode()
+{
+    // Initial credit snapshot; refreshed at every epoch edge.
+    uint64_t cap = toQrm_->capacity(spec_.toQueue);
+    uint64_t used = toQrm_->totalSize(spec_.toQueue);
+    creditBudget_ = cap > used ? cap - used : 0;
+}
+
+void
+Connector::tickProducer(Cycle now)
+{
+    if (now < stalledUntil_)
+        return; // fault-injected freeze (applied at epoch edges)
+    for (uint32_t b = 0; b < bandwidth_; b++) {
+        if (!fromQrm_->canDequeueNonSpec(spec_.fromQueue))
+            break;
+        if (creditBudget_ == 0) {
+            // Data was available but no credits as of the last epoch
+            // edge: a backpressure stall cycle. Credits freed by the
+            // consumer mid-epoch are not observable until the edge.
+            if (obs_)
+                obs_->onConnectorCreditStall(obsIdx_, now);
+            break;
+        }
+        bool ctrl = false;
+        PhysRegId r = fromQrm_->dequeueNonSpec(spec_.fromQueue, &ctrl);
+        Flit f;
+        f.arrival = now + latency_;
+        f.value = fromPrf_->read(r);
+        f.ctrl = ctrl;
+        fromPrf_->free(r);
+        outbox_.push_back(f);
+        creditBudget_--;
+    }
+}
+
+void
+Connector::tickConsumer(Cycle now)
+{
+    if (now < stalledUntil_)
+        return;
+    while (!inbox_.empty() && inbox_.front().arrival <= now) {
+        if (!toQrm_->canEnqueueNonSpec(spec_.toQueue) ||
+            toPrf_->numFree() == 0) {
+            break;
+        }
+        const Flit &f = inbox_.front();
+        PhysRegId r = toPrf_->alloc();
+        toPrf_->write(r, f.value);
+        toQrm_->enqueueNonSpec(spec_.toQueue, r, f.ctrl);
+        inbox_.pop_front();
+        deliveredThisEpoch_++;
+    }
+}
+
+void
+Connector::epochEdge(Cycle now)
+{
+    // Transfer stats live in the from-core's CoreStats, which the
+    // consumer half (to-core partition) must not touch mid-epoch.
+    stats_->connectorTransfers += deliveredThisEpoch_;
+    deliveredThisEpoch_ = 0;
+
+    // Hand this epoch's sends to the consumer. Epoch length never
+    // exceeds the network latency, so nothing in the outbox could have
+    // arrived mid-epoch, and arrival order is preserved by appending.
+    while (!outbox_.empty()) {
+        inbox_.push_back(outbox_.front());
+        outbox_.pop_front();
+    }
+
+    // Skip propagation, against edge-consistent state (same rule as
+    // the serial tick: no control value anywhere in the path).
+    if (now >= stalledUntil_ && toQrm_->skipArmed(spec_.toQueue) &&
+        !fromQrm_->skipArmed(spec_.fromQueue)) {
+        bool ctrlInPath = fromQrm_->hasAnyCtrl(spec_.fromQueue);
+        for (const Flit &f : inbox_)
+            ctrlInPath |= f.ctrl;
+        if (!ctrlInPath)
+            fromQrm_->armSkip(spec_.fromQueue);
+    }
+
+    // Fresh credit snapshot: capacity minus everything already in the
+    // destination queue or on the wire.
+    uint64_t cap = toQrm_->capacity(spec_.toQueue);
+    uint64_t used = toQrm_->totalSize(spec_.toQueue) + inbox_.size();
+    creditBudget_ = cap > used ? cap - used : 0;
+}
+
 } // namespace pipette

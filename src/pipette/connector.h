@@ -33,8 +33,32 @@ class Connector
     /** Advance one cycle. */
     void tick(Cycle now);
 
+    /**
+     * Epoch-barrier mode (multicore scheduler): the producer and
+     * consumer halves of tick() run in their cores' partitions, so
+     * each touches only that core's QRM/PRF; everything cross-core
+     * (flit handoff, credit snapshot, transfer stats, skip arming)
+     * happens in epochEdge(), serially, in connector declaration
+     * order. Credits freed by consumer dequeues mid-epoch become
+     * visible to the producer only at the next edge.
+     */
+    void setEpochMode();
+    /** Producer half: send flits into the outbox, bounded by the
+     *  credit budget snapshotted at the last epoch edge. Runs in the
+     *  fromCore partition. */
+    void tickProducer(Cycle now);
+    /** Consumer half: deliver inbox flits that have arrived. Runs in
+     *  the toCore partition. */
+    void tickConsumer(Cycle now);
+    /** Cross-core exchange at the epoch edge (serial). */
+    void epochEdge(Cycle now);
+
     /** True when nothing is in flight (quiesce/teardown check). */
-    bool idle() const { return inflight_.empty(); }
+    bool
+    idle() const
+    {
+        return inflight_.empty() && inbox_.empty() && outbox_.empty();
+    }
 
     /**
      * Fault injection (FaultKind::DropConnectorCredits): freeze the
@@ -46,7 +70,11 @@ class Connector
 
     // --- Guardrail diagnostics ---
     const ConnectorSpec &spec() const { return spec_; }
-    size_t inflightSize() const { return inflight_.size(); }
+    size_t
+    inflightSize() const
+    {
+        return inflight_.size() + inbox_.size() + outbox_.size();
+    }
     Cycle stalledUntil() const { return stalledUntil_; }
 
     /**
@@ -79,6 +107,17 @@ class Connector
     uint32_t bandwidth_;
     Cycle stalledUntil_ = 0; ///< fault injection; 0 = not stalled
     std::deque<Flit> inflight_;
+
+    // --- Epoch mode state ---
+    /** Flits sent this epoch; handed to the inbox at the edge. */
+    std::deque<Flit> outbox_;
+    /** Flits visible to the consumer half. */
+    std::deque<Flit> inbox_;
+    /** Credits the producer may spend this epoch (edge snapshot). */
+    uint64_t creditBudget_ = 0;
+    /** Deliveries this epoch; folded into the from-core's stats (a
+     *  cross-partition write) at the edge. */
+    uint64_t deliveredThisEpoch_ = 0;
 
     /** Observability hooks; null = disabled. */
     obs::Observer *obs_ = nullptr;

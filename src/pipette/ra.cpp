@@ -18,18 +18,21 @@ RefAccel::RefAccel(const RaSpec &spec, uint32_t completionBufEntries,
 void
 RefAccel::issueLoad(Addr addr, Cycle now, CbEntry *entry)
 {
-    SimMemory *mem = mem_;
     uint32_t bytes = spec_.elemBytes;
     stats_->raAccesses++;
-    Cycle done = hier_->access(spec_.core, addr, false, now,
-                               [entry, mem, addr, bytes] {
-        entry->value = mem->read(addr, bytes);
+    hier_->access(spec_.core, addr, false, now,
+                  [this, entry, addr, bytes, now] {
+        entry->value =
+            view_ ? view_->read(addr, bytes) : mem_->read(addr, bytes);
         entry->done = true;
+        // The callback runs at exactly the completion cycle (in epoch
+        // mode the issue-time return is PENDING, so the latency is
+        // only knowable here). The histogram add commutes, so legacy
+        // stats are unchanged by recording at completion instead of
+        // issue.
+        if (obs_)
+            obs_->onRaLatency(obsIdx_, eq_->now() - now);
     });
-    // access() completes at exactly `done`; record the indirection
-    // latency here so the completion lambda stays observability-free.
-    if (obs_)
-        obs_->onRaLatency(obsIdx_, done - now);
 }
 
 void

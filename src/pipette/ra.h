@@ -77,6 +77,13 @@ class RefAccel
         obsIdx_ = idx;
     }
 
+    /**
+     * Epoch scheduler: read through the owning core's write-buffering
+     * memory view instead of the shared SimMemory, so RA loads see the
+     * core's own in-epoch stores but never race a concurrent phase.
+     */
+    void setMemView(const EpochMemView *v) { view_ = v; }
+
   private:
     /**
      * Completion-buffer entry. Entries live by value in the bounded
@@ -127,6 +134,8 @@ class RefAccel
     /** Observability hooks; null = disabled. */
     obs::Observer *obs_ = nullptr;
     uint32_t obsIdx_ = 0;
+    /** Epoch-mode memory view; null = read the shared memory. */
+    const EpochMemView *view_ = nullptr;
 };
 
 } // namespace pipette

@@ -23,6 +23,30 @@ SystemConfig::summary() const
     return oss.str();
 }
 
+// Field-count tripwire for the fingerprint below: adding a field to
+// any config struct changes its size and fails these asserts, forcing
+// whoever adds it to decide whether the new field keys the sweep cache
+// (hash it in configFingerprint) or is output-side only (document the
+// exclusion), then update the expected size. Sizes are ABI-specific,
+// so the check is scoped to the platform CI runs on.
+#if defined(__x86_64__) && defined(__linux__)
+static_assert(sizeof(CoreConfig) == 128,
+              "CoreConfig changed: update configFingerprint, then this");
+static_assert(sizeof(CacheConfig) == 16,
+              "CacheConfig changed: update configFingerprint, then this");
+static_assert(sizeof(MemConfig) == 80,
+              "MemConfig changed: update configFingerprint, then this");
+static_assert(sizeof(FaultInjection) == 40,
+              "FaultInjection changed: update configFingerprint, then this");
+static_assert(sizeof(GuardrailConfig) == 32,
+              "GuardrailConfig changed: update configFingerprint, then this");
+static_assert(sizeof(ObservabilityConfig) == 120,
+              "ObservabilityConfig changed: update configFingerprint, "
+              "then this");
+static_assert(sizeof(SystemConfig) == 400,
+              "SystemConfig changed: update configFingerprint, then this");
+#endif
+
 uint64_t
 configFingerprint(const SystemConfig &cfg)
 {
@@ -81,6 +105,14 @@ configFingerprint(const SystemConfig &cfg)
     h.pod(cfg.connectorBandwidth);
     h.pod(cfg.watchdogCycles);
     h.pod(cfg.maxCycles);
+    // epochLength quantizes cross-core exchanges, so it changes
+    // multicore simulated timing. coreJobs is byte-invisible by
+    // construction (it only picks host worker counts), but it is
+    // hashed anyway so a sweep cache row records exactly the config it
+    // ran under -- the cost is a one-time cache invalidation, never a
+    // stale hit.
+    h.pod(cfg.coreJobs);
+    h.pod(cfg.epochLength);
 
     // Guardrails perturb results when enabled (faults by design, the
     // oracle by stopping early on divergence), so they key the cache

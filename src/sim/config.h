@@ -271,6 +271,28 @@ struct SystemConfig
     /** Hard cap on simulated cycles (0 = unlimited). */
     uint64_t maxCycles = 0;
 
+    /**
+     * Host worker threads simulating this System's cores in parallel
+     * (intra-System parallelism, --core-jobs). Multicore systems
+     * (numCores > 1) always run the epoch-barrier scheduler, so
+     * simulated results are byte-identical at any value of this knob;
+     * it only selects how many host threads execute the per-core
+     * partitions between epoch edges. Ignored when numCores == 1
+     * (single-core systems keep the cycle-serial loop). Composes with
+     * the outer SimJobPool sweep parallelism (--jobs): each sweep
+     * worker may itself fan out over coreJobs host threads.
+     */
+    uint32_t coreJobs = 1;
+    /**
+     * Epoch length in cycles for the epoch-barrier scheduler
+     * (0 = auto: min(connectorLatency, l3.latency - l2.latency),
+     * clamped to >= 1). Cross-core effects are exchanged only at
+     * epoch edges, so this changes multicore simulated timing and is
+     * part of the config fingerprint. Must not exceed connectorLatency
+     * or flits could arrive within their send epoch.
+     */
+    uint32_t epochLength = 0;
+
     /** Debug guardrails (oracle, invariants, flight recorder, faults). */
     GuardrailConfig guardrails;
 

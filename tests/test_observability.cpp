@@ -451,6 +451,62 @@ TEST(Observability, FingerprintIgnoresTraceOutputsButNotStatKeys)
     EXPECT_NE(configFingerprint(h), fp);
 }
 
+TEST(Observability, FingerprintCoversEpochSchedulerKnobs)
+{
+    SystemConfig base = testCfg();
+    uint64_t fp = configFingerprint(base);
+
+    // epochLength quantizes cross-core exchange, changing multicore
+    // simulated timing; coreJobs is result-invisible by contract but
+    // still keys the cache so a row records the exact config it ran
+    // under.
+    SystemConfig e = base;
+    e.epochLength = 8;
+    EXPECT_NE(configFingerprint(e), fp);
+    SystemConfig c = base;
+    c.coreJobs = 4;
+    EXPECT_NE(configFingerprint(c), fp);
+}
+
+// ---------------------------------------------------------------------
+// Epoch scheduler: obs outputs across core-jobs
+
+// A multicore System journals its hooks per core partition and replays
+// them at epoch edges in global (cycle, core) order, so every obs
+// product -- histograms, samples, traces, the obs.* stat keys -- must
+// be byte-identical at any intra-System worker count.
+TEST(Observability, ObsOutputsIdenticalAcrossCoreJobs)
+{
+    auto g = std::make_unique<Graph>(makeGridGraph(40, 40, 11));
+    auto runStreaming = [&](unsigned coreJobs) {
+        ObsRun o;
+        SystemConfig cfg = testCfg();
+        cfg.numCores = 4;
+        cfg.coreJobs = coreJobs;
+        cfg.observability = allOn();
+        o.sys = std::make_unique<System>(cfg);
+        BfsWorkload wl(g.get());
+        BuildContext ctx(o.sys.get());
+        wl.build(ctx, Variant::Streaming);
+        o.sys->configure(ctx.spec);
+        o.res = o.sys->run();
+        return o;
+    };
+    ObsRun a = runStreaming(1);
+    ObsRun b = runStreaming(4);
+    ASSERT_TRUE(a.res.finished);
+    ASSERT_TRUE(b.res.finished);
+    EXPECT_EQ(a.res.cycles, b.res.cycles);
+    EXPECT_EQ(a.res.instrs, b.res.instrs);
+    EXPECT_EQ(a.sys->dumpStats(), b.sys->dumpStats());
+    EXPECT_EQ(a.sys->observer()->perfettoJson(),
+              b.sys->observer()->perfettoJson());
+    EXPECT_EQ(a.sys->observer()->pipeviewText(),
+              b.sys->observer()->pipeviewText());
+    EXPECT_EQ(a.sys->observer()->intervalCsv(),
+              b.sys->observer()->intervalCsv());
+}
+
 // ---------------------------------------------------------------------
 // Flight-recorder import on abnormal stop
 

@@ -290,5 +290,79 @@ INSTANTIATE_TEST_SUITE_P(Jobs, ParallelBitIdentity,
                                     std::to_string(info.param);
                          });
 
+// ------------------------- intra-System core-jobs bit identity
+//
+// The epoch-barrier scheduler's contract: a multicore System produces
+// byte-identical results whether its core partitions share one host
+// thread (coreJobs 1) or fan out over several, composed with any outer
+// SimJobPool worker count.
+
+std::vector<SimJob>
+multicoreJobs(const GoldenInputs &in, unsigned coreJobs)
+{
+    SystemConfig cfg;
+    cfg.watchdogCycles = 300'000;
+    cfg.maxCycles = 500'000'000;
+    cfg.coreJobs = coreJobs;
+    const Variant variants[] = {Variant::DataParallel, Variant::Streaming,
+                                Variant::MulticorePipette};
+    std::vector<SimJob> jobs;
+    for (Variant v : variants) {
+        SimJob j;
+        j.config = cfg;
+        j.make = [&in](uint64_t) {
+            return std::make_unique<BfsWorkload>(&in.g);
+        };
+        j.variant = v;
+        j.input = "grid";
+        j.numCores = 4;
+        j.seed = jobs.size();
+        jobs.push_back(std::move(j));
+    }
+    return jobs;
+}
+
+struct CoreJobsCase
+{
+    unsigned jobs;
+    unsigned coreJobs;
+};
+
+class CoreJobsBitIdentity : public testing::TestWithParam<CoreJobsCase>
+{
+};
+
+TEST_P(CoreJobsBitIdentity, MulticoreRowsMatchCoreJobs1Exactly)
+{
+    const CoreJobsCase c = GetParam();
+    const GoldenInputs &in = GoldenReference::get().in;
+    // Reference: coreJobs 1 (inline phase), outer pool inline too.
+    static const std::vector<RunResult> *ref = nullptr;
+    if (!ref) {
+        static std::vector<RunResult> r =
+            SimJobPool(1).runAll(multicoreJobs(GoldenReference::get().in, 1));
+        ref = &r;
+    }
+    std::vector<RunResult> par =
+        SimJobPool(c.jobs).runAll(multicoreJobs(in, c.coreJobs));
+    ASSERT_EQ(par.size(), ref->size());
+    for (size_t i = 0; i < par.size(); i++) {
+        SCOPED_TRACE("variant " + std::string(variantName(
+                         multicoreJobs(in, 1)[i].variant)));
+        EXPECT_TRUE(par[i].finished);
+        EXPECT_TRUE(par[i].verified);
+        EXPECT_EQ(flatten(par[i]), flatten((*ref)[i]));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, CoreJobsBitIdentity,
+    testing::Values(CoreJobsCase{1, 2}, CoreJobsCase{1, 4},
+                    CoreJobsCase{4, 2}, CoreJobsCase{4, 4}),
+    [](const testing::TestParamInfo<CoreJobsCase> &info) {
+        return "jobs" + std::to_string(info.param.jobs) + "corejobs" +
+               std::to_string(info.param.coreJobs);
+    });
+
 } // namespace
 } // namespace pipette
