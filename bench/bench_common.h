@@ -90,6 +90,47 @@ struct BenchOpts
         return static_cast<unsigned>(v);
     }
 
+    /**
+     * Strict u64 flag value, same contract as parseWorkerCount (zero
+     * is spelled by omitting the flag, never "--flag 0").
+     */
+    static uint64_t
+    parseCount64(const char *flag, const char *s)
+    {
+        char *end = nullptr;
+        errno = 0;
+        unsigned long long v = std::strtoull(s, &end, 10);
+        if (end == s || *end != '\0' || errno == ERANGE ||
+            std::strchr(s, '-')) {
+            std::fprintf(stderr,
+                         "error: %s expects a positive integer, got "
+                         "'%s'\n",
+                         flag, s);
+            std::exit(2);
+        }
+        if (v == 0) {
+            std::fprintf(stderr,
+                         "error: %s 0 is not valid (omit %s entirely "
+                         "for the default)\n",
+                         flag, flag);
+            std::exit(2);
+        }
+        return v;
+    }
+
+    // Sampled simulation (src/sample/): --sample-period=N turns it on
+    // (checkpoint every N retired instructions); --sample-window=N /
+    // --sample-warmup=N size the detailed windows. Distinct from the
+    // observability flag --sample-interval below, which samples
+    // counters over time inside a full detailed run.
+    uint64_t samplePeriod = 0;
+    uint64_t sampleWindow = 0;
+    uint64_t sampleWarmup = 0;
+    /** Override the multicore epoch length in cycles (0 = default).
+     *  Simulated results are epoch-length-dependent, so this keys the
+     *  config fingerprint like any other config field. */
+    uint64_t epochLength = 0;
+
     // Observability (src/obs/): --sample-interval=N,
     // --trace-perfetto=FILE, --trace-pipeview=FILE, --histograms,
     // --trace-from=C / --trace-cycles=N (cycle window), --trace-only
@@ -126,6 +167,18 @@ struct BenchOpts
                 o.coreJobs = parseWorkerCount("--core-jobs", argv[++i]);
             else if (std::strncmp(argv[i], "--stats-out=", 12) == 0)
                 o.statsOutPath = argv[i] + 12;
+            else if (std::strncmp(argv[i], "--sample-period=", 16) == 0)
+                o.samplePeriod =
+                    parseCount64("--sample-period", argv[i] + 16);
+            else if (std::strncmp(argv[i], "--sample-window=", 16) == 0)
+                o.sampleWindow =
+                    parseCount64("--sample-window", argv[i] + 16);
+            else if (std::strncmp(argv[i], "--sample-warmup=", 16) == 0)
+                o.sampleWarmup =
+                    parseCount64("--sample-warmup", argv[i] + 16);
+            else if (std::strncmp(argv[i], "--epoch-length=", 15) == 0)
+                o.epochLength =
+                    parseCount64("--epoch-length", argv[i] + 15);
             else if (std::strncmp(argv[i], "--sample-interval=", 18) == 0)
                 o.sampleInterval =
                     static_cast<uint32_t>(std::atoi(argv[i] + 18));
@@ -180,6 +233,27 @@ struct BenchOpts
         o.pipeviewPath = pipeviewPath;
         o.traceFrom = traceFrom;
         o.traceCycles = traceCycles;
+    }
+
+    /** Sampled simulation requested on the command line. */
+    bool
+    samplingRequested() const
+    {
+        return samplePeriod > 0;
+    }
+
+    /** Apply the sampling + epoch flags to a run's SystemConfig. */
+    void
+    applySampling(SystemConfig &cfg) const
+    {
+        if (samplePeriod)
+            cfg.sampling.period = samplePeriod;
+        if (sampleWindow)
+            cfg.sampling.window = sampleWindow;
+        if (sampleWarmup)
+            cfg.sampling.warmup = sampleWarmup;
+        if (epochLength)
+            cfg.epochLength = static_cast<uint32_t>(epochLength);
     }
 };
 

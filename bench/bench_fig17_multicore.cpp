@@ -38,6 +38,8 @@ main(int argc, char **argv)
         jobs.push_back(simJob(baseConfig(), mk,
                               Variant::MulticorePipette, gi.name, 4));
     }
+    for (parallel::SimJob &j : jobs)
+        o.applySampling(j.config); // --epoch-length override
     applyCoreJobs(o, &jobs);
     std::vector<RunResult> rs = runJobs(o, jobs);
     if (!o.statsOutPath.empty())
@@ -68,16 +70,26 @@ main(int argc, char **argv)
     {
         FILE *f = std::fopen("BENCH_sweep.json", "w");
         if (f) {
+            // With the default short epochs the per-phase work is below
+            // kEpochParallelMinWork, so every multicore cell reports
+            // auto_inline = true: the System ignored --core-jobs and
+            // ran inline (host_speedup 1.0 by construction). Passing
+            // --epoch-length past the threshold re-enables the pool.
+            bool autoInline = true;
+            for (size_t i = 0; i < picked.size(); i++)
+                autoInline = autoInline && rs[4 * i + 3].epochAutoInline;
             std::fprintf(f,
                          "{\n  \"bench\": \"fig17_multicore\",\n"
-                         "  \"core_jobs\": %u,\n  \"runs\": [\n",
-                         o.coreJobs);
+                         "  \"core_jobs\": %u,\n"
+                         "  \"auto_inline_fallback\": %s,\n"
+                         "  \"runs\": [\n",
+                         o.coreJobs, autoInline ? "true" : "false");
             std::vector<double> hostSpeedups;
             for (size_t i = 0; i < picked.size(); i++) {
                 size_t mc = 4 * i + 3; // MulticorePipette cell
                 double hostN = rs[mc].hostSeconds;
                 double host1 = hostN;
-                if (o.coreJobs > 1) {
+                if (o.coreJobs > 1 && !rs[mc].epochAutoInline) {
                     std::vector<parallel::SimJob> base{jobs[mc]};
                     base[0].config.coreJobs = 1;
                     std::vector<RunResult> r1 = runJobs(o, base);
@@ -100,18 +112,27 @@ main(int argc, char **argv)
                              "    {\"graph\": \"%s\", "
                              "\"variant\": \"multicore-pipette\", "
                              "\"sim_cycles\": %llu, "
+                             "\"auto_inline\": %s, "
                              "\"host_s_core_jobs_1\": %.4f, "
                              "\"host_s_core_jobs_n\": %.4f, "
                              "\"host_speedup\": %.3f}%s\n",
                              picked[i]->name.c_str(),
-                             (unsigned long long)rs[mc].cycles, host1,
-                             hostN, sp,
+                             (unsigned long long)rs[mc].cycles,
+                             rs[mc].epochAutoInline ? "true" : "false",
+                             host1, hostN, sp,
                              i + 1 < picked.size() ? "," : "");
             }
             std::fprintf(f, "  ],\n  \"gmean_host_speedup\": %.3f\n}\n",
                          gmean(hostSpeedups));
             std::fclose(f);
-            if (o.coreJobs > 1) {
+            if (o.coreJobs > 1 && autoInline) {
+                std::printf("\nhost-side: --core-jobs %u requested but "
+                            "the epoch auto-inline fallback engaged "
+                            "(epoch work below the parallel threshold); "
+                            "pass --epoch-length to re-enable the "
+                            "pool; details in BENCH_sweep.json\n",
+                            o.coreJobs);
+            } else if (o.coreJobs > 1) {
                 std::printf("\nhost-side: --core-jobs %u ran the "
                             "4-core cells %.2fx faster than core-jobs "
                             "1 (gmean, identical simulated results); "

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Sampled-simulation accuracy + speed check (DESIGN.md section 11).
+ *
+ * Default mode (the CI gate): run BFS/Pipette on tier-1-sized inputs
+ * both exactly (full detailed simulation) and sampled (fast-forward +
+ * detailed windows), sweep a few operating points, and print the
+ * extrapolated-vs-exact cycle error for each. The documented operating
+ * point (period 20000, window 10000, warmup 2000) must stay within the
+ * 3% error bound or the binary exits non-zero.
+ *
+ * --big: additionally run a million-scale R-MAT graph (>= 100x the
+ * paper-scale Co proxy) sampled AND fully detailed, and report the
+ * host wall-clock speedup; the sampled run must be >= 10x faster.
+ *
+ * --sample-period/--sample-window/--sample-warmup override the gate's
+ * operating point (the 3% check then applies to the override).
+ */
+
+#include "bench_common.h"
+#include "sample/sampler.h"
+
+using namespace pipette;
+using namespace pipette::bench;
+
+namespace {
+
+struct OperatingPoint
+{
+    uint64_t period;
+    uint64_t window;
+    uint64_t warmup;
+    bool gate; // the documented point CI hard-fails on
+};
+
+struct ErrorRow
+{
+    double errPct = 0.0;
+    bool ok = false;
+};
+
+ErrorRow
+sampledError(const SystemConfig &base, const Graph *g,
+             const OperatingPoint &pt, uint64_t exactCycles,
+             unsigned jobs, Table *t, const std::string &input)
+{
+    SystemConfig cfg = base;
+    cfg.sampling.period = pt.period;
+    cfg.sampling.window = pt.window;
+    cfg.sampling.warmup = pt.warmup;
+    BfsWorkload wl(g);
+    sample::SampleReport rep =
+        sample::runSampled(cfg, wl, Variant::Pipette, jobs);
+
+    ErrorRow row;
+    row.ok = rep.ok && rep.verified;
+    row.errPct =
+        exactCycles
+            ? 100.0 *
+                  std::abs(static_cast<double>(rep.extrapCycles) -
+                           static_cast<double>(exactCycles)) /
+                  static_cast<double>(exactCycles)
+            : 100.0;
+    char period[32], win[32], err[32];
+    std::snprintf(period, sizeof(period), "%llu",
+                  (unsigned long long)pt.period);
+    std::snprintf(win, sizeof(win), "%llu/%llu",
+                  (unsigned long long)pt.window,
+                  (unsigned long long)pt.warmup);
+    std::snprintf(err, sizeof(err), "%.2f%%%s", row.errPct,
+                  pt.gate ? "  <- gate" : "");
+    t->addRow({input, period, win, std::to_string(rep.windows),
+               Table::num(rep.cpi, 3),
+               std::to_string((unsigned long long)rep.extrapCycles),
+               std::to_string((unsigned long long)exactCycles), err,
+               row.ok ? "yes" : "NO"});
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOpts o = BenchOpts::parse(argc, argv);
+    bool big = false;
+    for (int i = 1; i < argc; i++)
+        if (std::strcmp(argv[i], "--big") == 0)
+            big = true;
+
+    banner("Sampled simulation",
+           "extrapolated CPI error vs exact detailed runs");
+
+    SystemConfig base = baseConfig();
+    unsigned jobs = o.effectiveJobs();
+
+    // Tier-1-sized inputs: the same generators and scale class the
+    // unit tests use, big enough for a dozen sampling windows.
+    struct Input
+    {
+        std::string name;
+        Graph g;
+    };
+    std::vector<Input> inputs;
+    inputs.push_back({"rmat-8k", makeRmatGraph(8192, 32768, 11)});
+    inputs.push_back({"grid-64", makeGridGraph(64, 64, 5)});
+
+    // Operating points: the documented default plus a coarser and a
+    // finer period for the sweep table. CLI overrides replace the gate
+    // point.
+    std::vector<OperatingPoint> pts = {
+        {10'000, 10'000, 2'000, false},
+        {20'000, 10'000, 2'000, true},
+        {40'000, 10'000, 2'000, false},
+    };
+    if (o.samplingRequested()) {
+        pts.clear();
+        pts.push_back({o.samplePeriod,
+                       o.sampleWindow ? o.sampleWindow : 10'000,
+                       o.sampleWarmup ? o.sampleWarmup : 2'000, true});
+    }
+
+    Table t({"input", "period", "window/warm", "wins", "cpi",
+             "extrap-cycles", "exact-cycles", "error", "ok"});
+    bool gatePass = true;
+    for (const Input &in : inputs) {
+        Runner r(base);
+        BfsWorkload wl(&in.g);
+        RunResult exact = r.run(wl, Variant::Pipette, in.name, 1);
+        if (!exact.verified) {
+            std::fprintf(stderr, "FATAL: exact run on %s failed\n",
+                         in.name.c_str());
+            return 1;
+        }
+        for (const OperatingPoint &pt : pts) {
+            ErrorRow row = sampledError(base, &in.g, pt, exact.cycles,
+                                        jobs, &t, in.name);
+            if (pt.gate && (!row.ok || row.errPct > 3.0))
+                gatePass = false;
+        }
+    }
+    t.print();
+    if (!gatePass) {
+        std::fprintf(stderr,
+                     "\nFAIL: sampled CPI error exceeded the 3%% bound "
+                     "(or a run failed) at the gate operating point\n");
+        return 1;
+    }
+    std::printf("\ngate: CPI error within 3%% at the documented "
+                "operating point (period 20000, window 10000, warmup "
+                "2000)\n");
+
+    if (big) {
+        // >= 100x the paper-scale Co proxy (16384 vertices / 55000
+        // edges at scale 1): 1.64M vertices, 11M edges.
+        banner("Sampled simulation, million-scale",
+               "host wall-clock: sampled vs full detailed");
+        Graph g = makeRmatGraph(1'638'400, 11'000'000, 11);
+
+        SystemConfig cfg = base;
+        cfg.sampling.period = 4'000'000;
+        cfg.sampling.window = 20'000;
+        cfg.sampling.warmup = 5'000;
+        o.applySampling(cfg);
+        BfsWorkload wlS(&g);
+        sample::SampleReport rep =
+            sample::runSampled(cfg, wlS, Variant::Pipette, jobs);
+        std::printf("sampled:  %llu instrs, %u windows, cpi %.3f, "
+                    "extrap %llu cycles, %.2fs host%s\n",
+                    (unsigned long long)rep.ffInstrs, rep.windows,
+                    rep.cpi, (unsigned long long)rep.extrapCycles,
+                    rep.hostSeconds, rep.verified ? "" : "  [VERIFY FAILED]");
+        std::printf("          (build %.2fs, fast-forward %.2fs, "
+                    "windows %.2fs)\n",
+                    rep.buildSeconds, rep.ffSeconds, rep.windowSeconds);
+        if (!rep.ok || !rep.verified) {
+            std::fprintf(stderr, "FATAL: big sampled run failed\n");
+            return 1;
+        }
+
+        Runner r(base);
+        BfsWorkload wlE(&g);
+        RunResult exact = r.run(wlE, Variant::Pipette, "rmat-1.6M", 1);
+        double errPct =
+            exact.cycles
+                ? 100.0 *
+                      std::abs(static_cast<double>(rep.extrapCycles) -
+                               static_cast<double>(exact.cycles)) /
+                      static_cast<double>(exact.cycles)
+                : 100.0;
+        double speedup = rep.hostSeconds > 0
+                             ? exact.hostSeconds / rep.hostSeconds
+                             : 0.0;
+        std::printf("detailed: %llu instrs, %llu cycles, %.2fs host\n",
+                    (unsigned long long)exact.instrs,
+                    (unsigned long long)exact.cycles,
+                    exact.hostSeconds);
+        std::printf("big-run: %.1fx host speedup, %.2f%% cycle error\n",
+                    speedup, errPct);
+        if (speedup < 10.0) {
+            std::fprintf(stderr,
+                         "FAIL: sampled run only %.1fx faster than "
+                         "full detailed (need >= 10x)\n",
+                         speedup);
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -19,6 +19,7 @@
 #include "isa/interp.h"
 #include "mem/hierarchy.h"
 #include "pipette/qrm.h"
+#include "sample/warm_model.h"
 #include "workloads/bfs.h"
 
 namespace pipette {
@@ -119,6 +120,67 @@ BM_CoreCycles(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 200'000);
 }
 BENCHMARK(BM_CoreCycles)->Unit(benchmark::kMillisecond);
+
+/**
+ * Bare fast-forward throughput: the golden interpreter running BFS
+ * with no hooks attached -- the ceiling the warming hooks are measured
+ * against (and the speed hook-detached stretches of the fast-forward
+ * run at).
+ */
+void
+BM_FFInstrs(benchmark::State &state)
+{
+    Graph g = makeRmatGraph(4096, 16384, 11);
+    uint64_t instrs = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        SystemConfig cfg;
+        System sys(cfg);
+        BfsWorkload wl(&g);
+        BuildContext ctx(&sys);
+        wl.build(ctx, Variant::Pipette);
+        Interp in(ctx.spec, &sys.memory(), cfg.core.queueCapacity);
+        state.ResumeTiming();
+        auto r = in.run();
+        instrs += r.instrs;
+        benchmark::DoNotOptimize(r.instrs);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(instrs));
+}
+BENCHMARK(BM_FFInstrs)->Unit(benchmark::kMillisecond);
+
+/**
+ * Fast-forward (warming) throughput: the golden interpreter running
+ * BFS with the sampling warm hooks attached -- cache-tag + stream-
+ * prefetcher + branch-predictor mirroring on every commit. This is the
+ * speed sampled simulation covers the instructions between detailed
+ * windows at; compare items_per_second against BM_InterpInstrs (bare
+ * interpreter) for the warming overhead and against BM_BfsKips for the
+ * fast-forward-vs-detailed gap.
+ */
+void
+BM_FFWarmInstrs(benchmark::State &state)
+{
+    Graph g = makeRmatGraph(4096, 16384, 11);
+    uint64_t instrs = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        SystemConfig cfg;
+        System sys(cfg);
+        BfsWorkload wl(&g);
+        BuildContext ctx(&sys);
+        wl.build(ctx, Variant::Pipette);
+        Interp in(ctx.spec, &sys.memory(), cfg.core.queueCapacity);
+        sample::WarmModel warm(cfg);
+        in.setHooks(&warm);
+        state.ResumeTiming();
+        auto r = in.run();
+        instrs += r.instrs;
+        benchmark::DoNotOptimize(r.instrs);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(instrs));
+}
+BENCHMARK(BM_FFWarmInstrs)->Unit(benchmark::kMillisecond);
 
 /**
  * End-to-end host throughput: run BFS to completion and report KIPS

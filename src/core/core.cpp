@@ -163,6 +163,31 @@ Core::configure()
     }
 }
 
+void
+Core::restoreThreadState(ThreadId tid, Addr pc, bool halted,
+                         const std::array<uint64_t, NUM_ARCH_REGS> &regs)
+{
+    panic_if(!configured_, "restoreThreadState before configure");
+    ThreadCtx &t = threads_[tid];
+    panic_if(!t.active, "restore of inactive thread ", tid);
+    t.pc = pc;
+    t.halted = halted;
+    t.haltFetched = halted;
+    // r0 keeps its pinned zero; everything else takes the snapshot
+    // value through the existing rename mapping.
+    for (uint32_t r = 1; r < NUM_ARCH_REGS; r++)
+        prf_.write(t.renameMap[r], regs[r]);
+}
+
+void
+Core::preloadQueueEntry(QueueId q, uint64_t value, bool ctrl)
+{
+    panic_if(!configured_, "preloadQueueEntry before configure");
+    PhysRegId p = prf_.alloc();
+    prf_.write(p, value);
+    qrm_.enqueueNonSpec(q, p, ctrl);
+}
+
 bool
 Core::allHalted() const
 {

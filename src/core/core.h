@@ -106,6 +106,27 @@ class Core
         return threads_[tid].instrsCommitted;
     }
 
+    // --- Sampling checkpoint restore (src/sample/) --------------------
+    //
+    // A detailed measurement window is a freshly built System whose
+    // architectural state is overwritten with an interpreter snapshot
+    // before the first cycle. Only valid after configure() and before
+    // the first tick.
+
+    /** Overwrite one thread's PC, halt flag, and architectural regs. */
+    void restoreThreadState(ThreadId tid, Addr pc, bool halted,
+                            const std::array<uint64_t, NUM_ARCH_REGS> &regs);
+
+    /**
+     * Append one committed entry to a queue, backed by a freshly
+     * allocated physical register (mirrors how non-speculative agents
+     * enqueue, so the register-conservation invariant holds).
+     */
+    void preloadQueueEntry(QueueId q, uint64_t value, bool ctrl);
+
+    /** Branch predictor access for warm-state install. */
+    BranchPredictor &bpred() { return bpred_; }
+
     /** Debug dump: per-thread PC and stall state. */
     std::string debugString() const;
 

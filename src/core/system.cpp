@@ -8,6 +8,16 @@ namespace pipette {
 
 namespace {
 
+/**
+ * Minimum simulated work per epoch phase (epoch length x cores, in
+ * core-cycles) for the host core pool to beat inline execution. Below
+ * this, per-phase task dispatch + barrier wakeup cost more than the
+ * partition ticks themselves (measured with bench_fig17_multicore: the
+ * default 24-cycle auto epoch x 4 cores loses ~20% host time through
+ * the pool, while phases of a few thousand core-cycles amortize it).
+ */
+constexpr Cycle kEpochParallelMinWork = 4096;
+
 std::vector<std::unique_ptr<EventQueue>>
 makeEventQueues(uint32_t n)
 {
@@ -185,6 +195,18 @@ System::configure(const MachineSpec &spec)
         // thread (same epoch algorithm, so results are unchanged).
         epochInline_ =
             guardrails_ != nullptr || cfg_.core.traceFile != nullptr;
+
+        // Host-side: fanning a phase over the core pool only pays off
+        // when the phase carries enough simulated work to amortize task
+        // dispatch and the barrier wakeup. Below the threshold the
+        // handoff dominates and --core-jobs makes the host *slower*
+        // (BENCH_sweep.json gmean 0.79 at the default 24-cycle epoch),
+        // so fall back to inline phases. The threshold is a fixed
+        // core-cycles-per-phase count, not a host measurement, so the
+        // decision is reproducible everywhere and identical at any
+        // --core-jobs value.
+        epochAutoInline_ =
+            epochLen_ * cores_.size() < kEpochParallelMinWork;
     }
 }
 
@@ -599,7 +621,7 @@ System::runEpochPhase(Cycle from, Cycle to)
     size_t n = cores_.size();
     uint32_t workers = std::min<uint32_t>(
         cfg_.coreJobs ? cfg_.coreJobs : 1, static_cast<uint32_t>(n));
-    if (epochInline_ || workers <= 1) {
+    if (epochInline_ || epochAutoInline_ || workers <= 1) {
         for (size_t c = 0; c < n; c++)
             tickCorePartition(c, from, to);
         return;
@@ -781,7 +803,41 @@ System::dumpStats() const
     hier_.dumpStats(out);
     if (obs_)
         obs_->dumpStats(out);
+    // Record the phase-dispatch decision (a pure config function, so
+    // byte-identical at any --core-jobs value).
+    if (cores_.size() > 1)
+        out["sim.epochAutoInline"] = epochAutoInline_ ? 1.0 : 0.0;
     return out;
+}
+
+void
+System::restoreArchState(const ArchSnapshot &snap)
+{
+    panic_if(!configured_, "restoreArchState before configure");
+    panic_if(snap.threads.size() != spec_.threads.size(),
+             "snapshot thread count ", snap.threads.size(),
+             " != spec ", spec_.threads.size());
+    for (size_t i = 0; i < snap.threads.size(); i++) {
+        const ThreadSpec &ts = spec_.threads[i];
+        const ArchSnapshot::Thread &st = snap.threads[i];
+        cores_[ts.core]->restoreThreadState(ts.tid, st.pc, st.halted,
+                                            st.regs);
+    }
+    for (const ArchSnapshot::Queue &q : snap.queues) {
+        Core &core = *cores_[q.core];
+        for (const auto &[v, ctrl] : q.entries)
+            core.preloadQueueEntry(q.id, v, ctrl);
+        // After the entries: a ctrl preload clears the arm, exactly as
+        // a live ctrl push would, so the snapshot's arm state must win.
+        core.qrm().setSkipArmed(q.id, q.skipArmed);
+    }
+    panic_if(snap.ras.size() != ras_.size(), "snapshot RA count ",
+             snap.ras.size(), " != spec ", ras_.size());
+    for (size_t i = 0; i < snap.ras.size(); i++) {
+        const ArchSnapshot::Ra &r = snap.ras[i];
+        ras_[i]->restoreFunctionalState(r.scanning, r.haveStart, r.start,
+                                        r.cur, r.end);
+    }
 }
 
 } // namespace pipette

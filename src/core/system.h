@@ -24,6 +24,7 @@
 
 #include "core/core.h"
 #include "debug/guardrails.h"
+#include "isa/arch_snapshot.h"
 #include "obs/observer.h"
 #include "parallel/task_pool.h"
 #include "pipette/connector.h"
@@ -101,6 +102,24 @@ class System
      */
     Cycle epochLength() const { return epochLen_; }
 
+    /**
+     * True when the epoch scheduler decided at configure() that a
+     * phase carries too little work to amortize host-pool dispatch and
+     * will run inline regardless of coreJobs. Pure function of the
+     * config, so the decision -- and every simulated result -- is
+     * identical at any --core-jobs value.
+     */
+    bool epochAutoInline() const { return epochAutoInline_; }
+
+    /**
+     * Sampling checkpoint restore (src/sample/): overwrite the
+     * architectural state of every thread, queue, and RA with an
+     * interpreter snapshot. Memory state arrives separately through
+     * SimMemory::setPageSource. Only valid after configure() and
+     * before the first cycle.
+     */
+    void restoreArchState(const ArchSnapshot &snap);
+
   private:
     /**
      * Multicore run loop (epoch-barrier scheduler). The simulated
@@ -154,6 +173,8 @@ class System
     /** Guardrails / commit tracing touch shared state from the core
      *  tick, so the phase must stay on one host thread. */
     bool epochInline_ = false;
+    /** Phase too small to amortize host-pool dispatch (see above). */
+    bool epochAutoInline_ = false;
     /** Lazily created host pool for the phase (min(coreJobs, cores)). */
     std::unique_ptr<parallel::TaskPool> corePool_;
     /** Partition membership, by core: RAs and connector halves. */

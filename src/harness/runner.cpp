@@ -42,6 +42,7 @@ Runner::run(WorkloadBase &wl, Variant v, const std::string &inputName,
                 warn("diagnosis:\n", res.diagnosis);
         }
     }
+    r.epochAutoInline = sys.epochAutoInline();
     r.agg = sys.aggregateCoreStats();
     double tot = 0;
     for (size_t i = 0; i < NUM_CPI_BUCKETS; i++)

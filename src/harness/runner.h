@@ -37,6 +37,10 @@ struct RunResult
     EnergyBreakdown energy;
     CoreStats agg;
     uint32_t numCores = 1;
+    /** Multicore phase dispatch fell back to the inline path because
+     *  epochLength x numCores is below the parallel-work threshold
+     *  (pure config function; see sim.epochAutoInline). */
+    bool epochAutoInline = false;
     /** Host wall-clock spent simulating this run, in seconds. Host-side
      *  only -- never part of determinism comparisons or the sweep
      *  cache. */

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Architectural checkpoint captured from the golden interpreter at a
+ * sampling boundary and restored into a detailed System before a
+ * measurement window runs (see src/sample/ and DESIGN.md §11).
+ *
+ * The snapshot covers exactly the state the ISA makes architectural:
+ * per-thread PC + integer registers + halt flag, the committed contents
+ * of every Pipette queue (values with their control marks, plus the
+ * consumer-side skip arm), and the functional scan cursor of every
+ * reference accelerator. Memory is checkpointed separately through the
+ * SimMemory copy-on-write journal; microarchitectural warm state
+ * (cache tags, branch predictor) rides in sample::WarmState.
+ */
+
+#ifndef PIPETTE_ISA_ARCH_SNAPSHOT_H
+#define PIPETTE_ISA_ARCH_SNAPSHOT_H
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace pipette {
+
+/** Full architectural state of a machine at one committed instant. */
+struct ArchSnapshot
+{
+    /** One hardware thread, in MachineSpec::threads order. */
+    struct Thread
+    {
+        Addr pc = 0;
+        bool halted = false;
+        std::array<uint64_t, NUM_ARCH_REGS> regs = {};
+        /** Instructions this thread had retired at the snapshot. */
+        uint64_t instrs = 0;
+    };
+
+    /** One Pipette queue, sorted by (core, id) for determinism. */
+    struct Queue
+    {
+        CoreId core = 0;
+        QueueId id = 0;
+        bool skipArmed = false;
+        /** Committed entries oldest-first: (value, ctrl mark). */
+        std::vector<std::pair<uint64_t, bool>> entries;
+    };
+
+    /** One reference accelerator's functional cursor, in spec order. */
+    struct Ra
+    {
+        bool scanning = false;
+        bool haveStart = false;
+        uint64_t start = 0, cur = 0, end = 0;
+    };
+
+    std::vector<Thread> threads;
+    std::vector<Queue> queues;
+    std::vector<Ra> ras;
+    /** Machine-wide retired-instruction count at the snapshot. */
+    uint64_t totalInstrs = 0;
+};
+
+} // namespace pipette
+
+#endif // PIPETTE_ISA_ARCH_SNAPSHOT_H

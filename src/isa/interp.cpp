@@ -1,5 +1,7 @@
 #include "isa/interp.h"
 
+#include <algorithm>
+
 #include "sim/logging.h"
 
 namespace pipette {
@@ -27,20 +29,20 @@ Interp::Interp(const MachineSpec &spec, SimMemory *mem,
             panic_if(m.archReg == reg::ZERO, "cannot queue-map r0");
             t.mapDir[m.archReg] = m.dir == QueueDir::In ? 0 : 1;
             t.mapQ[m.archReg] = m.queue;
-            queue(ts.core, m.queue); // materialize
+            t.qp[m.archReg] = &queue(ts.core, m.queue); // materialize
         }
         threads_.push_back(t);
     }
     for (const RaSpec &rs : spec.ras) {
         FRa ra;
         ra.spec = &rs;
-        queue(rs.core, rs.inQueue);
-        queue(rs.core, rs.outQueue);
+        ra.in = &queue(rs.core, rs.inQueue);
+        ra.out = &queue(rs.core, rs.outQueue);
         ras_.push_back(ra);
     }
     for (const ConnectorSpec &cs : spec.connectors) {
-        queue(cs.fromCore, cs.fromQueue);
-        queue(cs.toCore, cs.toQueue);
+        connQ_.emplace_back(&queue(cs.fromCore, cs.fromQueue),
+                            &queue(cs.toCore, cs.toQueue));
     }
     for (const QueueCapSpec &qc : spec.queueCaps)
         queue(qc.core, qc.queue).cap = qc.capacity;
@@ -70,6 +72,21 @@ Interp::threadInstrs(size_t idx) const
 Interp::Result
 Interp::run(uint64_t maxRounds)
 {
+    return runUntil(UINT64_MAX, maxRounds);
+}
+
+uint64_t
+Interp::totalInstrs() const
+{
+    uint64_t total = 0;
+    for (const FThread &t : threads_)
+        total += t.instrs;
+    return total;
+}
+
+Interp::Result
+Interp::runUntil(uint64_t targetInstrs, uint64_t maxRounds)
+{
     uint64_t rounds = 0;
     while (rounds < maxRounds) {
         rounds++;
@@ -83,21 +100,76 @@ Interp::run(uint64_t maxRounds)
         }
         for (FRa &ra : ras_)
             progressed |= stepRa(ra);
-        for (const ConnectorSpec &c : spec_.connectors)
-            progressed |= stepConnector(c);
+        for (size_t i = 0; i < connQ_.size(); i++)
+            progressed |= stepConnector(i);
 
-        uint64_t total = 0;
-        for (const FThread &t : threads_)
-            total += t.instrs;
+        uint64_t total = totalInstrs();
         if (allHalted)
             return {Status::Done, total, rounds};
+        if (total >= targetInstrs)
+            return {Status::Target, total, rounds};
         if (!progressed)
             return {Status::Deadlock, total, rounds};
     }
-    uint64_t total = 0;
-    for (const FThread &t : threads_)
-        total += t.instrs;
-    return {Status::StepLimit, total, rounds};
+    return {Status::StepLimit, totalInstrs(), rounds};
+}
+
+ArchSnapshot
+Interp::snapshot() const
+{
+    ArchSnapshot s;
+    for (const FThread &t : threads_) {
+        ArchSnapshot::Thread st;
+        st.pc = t.pc;
+        st.halted = t.halted;
+        st.regs = t.regs;
+        st.instrs = t.instrs;
+        s.threads.push_back(st);
+        s.totalInstrs += t.instrs;
+    }
+    // queues_ is a hash map: emit in (core, id) key order so the
+    // snapshot -- and everything derived from it -- is deterministic.
+    std::vector<uint32_t> keys;
+    keys.reserve(queues_.size());
+    for (const auto &kv : queues_)
+        keys.push_back(kv.first);
+    std::sort(keys.begin(), keys.end());
+    for (uint32_t k : keys) {
+        const FQueue &fq = queues_.at(k);
+        ArchSnapshot::Queue sq;
+        sq.core = k >> 8;
+        sq.id = static_cast<QueueId>(k & 0xff);
+        sq.skipArmed = fq.skipArmed;
+        sq.entries.reserve(fq.size());
+        for (size_t i = 0; i < fq.size(); i++)
+            sq.entries.push_back(fq.at(i));
+        s.queues.push_back(std::move(sq));
+    }
+    for (const FRa &ra : ras_)
+        s.ras.push_back({ra.scanning, ra.haveStart, ra.start, ra.cur,
+                         ra.end});
+    return s;
+}
+
+void
+Interp::clampQueueCaps(uint32_t perCoreRegBudget)
+{
+    std::unordered_map<CoreId, std::vector<FQueue *>> byCore;
+    for (auto &kv : queues_)
+        byCore[kv.first >> 8].push_back(&kv.second);
+    for (auto &[core, qs] : byCore) {
+        uint64_t sum = 0;
+        for (const FQueue *q : qs)
+            sum += q->cap;
+        if (sum <= perCoreRegBudget)
+            continue;
+        // Shrink uniformly; a floor of 4 keeps every RA mode live
+        // (IndirectPair/KV need 2 output slots at once).
+        auto each = std::max<uint32_t>(
+            4, perCoreRegBudget / static_cast<uint32_t>(qs.size()));
+        for (FQueue *q : qs)
+            q->cap = std::min(q->cap, each);
+    }
 }
 
 bool
@@ -123,7 +195,7 @@ Interp::stepThread(FThread &t)
         ArchRegId r = srcs[i];
         panic_if(t.mapDir[r] == 1, "read of output-mapped r",
                  static_cast<int>(r), " in ", in.toString());
-        if (t.mapDir[r] == 0 && queue(core, t.mapQ[r]).q.empty())
+        if (t.mapDir[r] == 0 && t.qp[r]->empty())
             return false; // blocked on empty queue
         for (int j = 0; j < i; j++) {
             panic_if(t.mapDir[r] == 0 && t.mapDir[srcs[j]] == 0 &&
@@ -139,8 +211,8 @@ Interp::stepThread(FThread &t)
     if (isPeek || isSkip) {
         panic_if(t.mapDir[in.rs1] != 0, "peek/skiptc on non-input-mapped r",
                  static_cast<int>(in.rs1));
-        FQueue &q = queue(core, t.mapQ[in.rs1]);
-        if (q.q.empty()) {
+        FQueue &q = *t.qp[in.rs1];
+        if (q.empty()) {
             // In lockstep mode arming is dictated by the OOO core's
             // commits (setSkipArmed), never decided here.
             if (isSkip && !lockstep_)
@@ -166,19 +238,19 @@ Interp::stepThread(FThread &t)
         ArchRegId r = srcs[i];
         if (t.mapDir[r] != 0)
             continue;
-        FQueue &q = queue(core, t.mapQ[r]);
-        if (q.q.front().second) {
-            uint64_t v = q.q.front().first;
-            q.q.pop_front();
+        FQueue &q = *t.qp[r];
+        if (q.front().second) {
+            uint64_t v = q.front().first;
+            q.pop_front();
             cvTrap(t.mapQ[r], v);
             return true;
         }
     }
     if (isPeek) {
-        FQueue &q = queue(core, t.mapQ[in.rs1]);
-        if (q.q.front().second) {
-            uint64_t v = q.q.front().first;
-            q.q.pop_front();
+        FQueue &q = *t.qp[in.rs1];
+        if (q.front().second) {
+            uint64_t v = q.front().first;
+            q.pop_front();
             cvTrap(t.mapQ[in.rs1], v);
             return true;
         }
@@ -189,7 +261,7 @@ Interp::stepThread(FThread &t)
     panic_if(in.op == Op::ENQC && !enq, "enqc destination is not "
              "output-mapped: ", in.toString());
     if (enq) {
-        FQueue &q = queue(core, t.mapQ[in.rd]);
+        FQueue &q = *t.qp[in.rd];
         if (q.skipArmed && in.op != Op::ENQC) {
             // Enqueue trap: redirect to the enqueue control handler; the
             // enqueue does not happen and no source is consumed.
@@ -208,15 +280,15 @@ Interp::stepThread(FThread &t)
 
     // --- SKIPTC main behaviour (head is data or ctrl, queue nonempty) ---
     if (isSkip) {
-        FQueue &q = queue(core, t.mapQ[in.rs1]);
-        auto [v, ctrl] = q.q.front();
-        q.q.pop_front();
+        FQueue &q = *t.qp[in.rs1];
+        auto [v, ctrl] = q.front();
+        q.pop_front();
         if (!ctrl)
             return true; // discarded one data value; pc unchanged
         q.skipArmed = false;
         if (in.rd != reg::ZERO) {
             if (enq)
-                queue(core, t.mapQ[in.rd]).push(v, false);
+                t.qp[in.rd]->push(v, false);
             else
                 t.regs[in.rd] = v;
         }
@@ -230,9 +302,9 @@ Interp::stepThread(FThread &t)
     for (int i = 0; i < nsrcs; i++) {
         ArchRegId r = srcs[i];
         if (t.mapDir[r] == 0) {
-            FQueue &q = queue(core, t.mapQ[r]);
-            vals[i] = q.q.front().first;
-            q.q.pop_front();
+            FQueue &q = *t.qp[r];
+            vals[i] = q.front().first;
+            q.pop_front();
         } else {
             vals[i] = t.regs[r];
         }
@@ -255,27 +327,36 @@ Interp::stepThread(FThread &t)
     Addr nextPc = t.pc + 1;
 
     if (isPeek) {
-        result = queue(core, t.mapQ[in.rs1]).q.front().first;
+        result = t.qp[in.rs1]->front().first;
     } else if (in.op == Op::ENQC) {
         result = v1;
     } else if (info.isLoad && !info.isAtomic) {
-        result = mem_->read(v1 + static_cast<uint64_t>(in.imm),
-                            info.memBytes);
+        Addr addr = v1 + static_cast<uint64_t>(in.imm);
+        result = readMem(addr, info.memBytes);
+        if (hooks_)
+            hooks_->touchMem(core, addr, info.memBytes, false);
     } else if (info.isStore && !info.isAtomic) {
-        mem_->write(v1 + static_cast<uint64_t>(in.imm), info.memBytes, v2);
+        Addr addr = v1 + static_cast<uint64_t>(in.imm);
+        mem_->write(addr, info.memBytes, v2);
+        if (hooks_)
+            hooks_->touchMem(core, addr, info.memBytes, true);
     } else if (info.isAtomic) {
         Addr addr = v1;
-        uint64_t old = mem_->read(addr, info.memBytes);
+        uint64_t old = readMem(addr, info.memBytes);
         AtomicResult ar = evalAtomic(in.op, old, v2, vd);
         if (ar.doStore)
             mem_->write(addr, info.memBytes, ar.newValue);
         result = old;
+        if (hooks_)
+            hooks_->touchMem(core, addr, info.memBytes, true);
     } else if (info.isCondBranch) {
         bool useImm = in.op >= Op::BEQI && in.op <= Op::BGEI;
         bool taken = evalBranch(in.op, v1,
                                 useImm ? static_cast<uint64_t>(in.imm) : v2);
         if (taken)
             nextPc = static_cast<Addr>(in.target);
+        if (hooks_)
+            hooks_->condBranch(core, t.spec->tid, t.pc, taken);
     } else if (in.op == Op::JMP) {
         nextPc = static_cast<Addr>(in.target);
     } else if (in.op == Op::JAL) {
@@ -283,6 +364,8 @@ Interp::stepThread(FThread &t)
         nextPc = static_cast<Addr>(in.target);
     } else if (in.op == Op::JR) {
         nextPc = v1;
+        if (hooks_)
+            hooks_->indirect(core, t.spec->tid, t.pc, nextPc);
     } else if (in.op == Op::HALT) {
         t.halted = true;
         t.instrs++;
@@ -299,7 +382,7 @@ Interp::stepThread(FThread &t)
         panic_if(t.mapDir[in.rd] == 0, "write to input-mapped r",
                  static_cast<int>(in.rd), " in ", in.toString());
         if (enq)
-            queue(core, t.mapQ[in.rd]).push(result, in.op == Op::ENQC);
+            t.qp[in.rd]->push(result, in.op == Op::ENQC);
         else
             t.regs[in.rd] = result;
     }
@@ -309,12 +392,42 @@ Interp::stepThread(FThread &t)
     return true;
 }
 
+/**
+ * Hot-path load with a one-page cache. Page storage is written in
+ * place and never relocated once allocated, so a cached non-null page
+ * pointer stays valid and sees every later store; a cached null falls
+ * through to the authoritative slow path. Memories with a checkpoint
+ * page source bypass the cache entirely (a copy-on-write can replace
+ * the backing page mid-run).
+ */
+uint64_t
+Interp::readMem(Addr addr, uint32_t size)
+{
+    if (((addr ^ (addr + size - 1)) >> SimMemory::PAGE_BITS) == 0 &&
+        !mem_->hasSource()) {
+        uint64_t pn = addr >> SimMemory::PAGE_BITS;
+        if (pn != rdPn_) {
+            rdPn_ = pn;
+            rdPage_ = mem_->peekPage(pn);
+        }
+        if (rdPage_) {
+            const uint8_t *b =
+                rdPage_ + (addr & (SimMemory::PAGE_SIZE - 1));
+            uint64_t v = 0;
+            for (uint32_t i = 0; i < size; i++)
+                v |= static_cast<uint64_t>(b[i]) << (8 * i);
+            return v;
+        }
+    }
+    return mem_->read(addr, size);
+}
+
 bool
 Interp::stepRa(FRa &ra)
 {
     const RaSpec &s = *ra.spec;
-    FQueue &in = queue(s.core, s.inQueue);
-    FQueue &out = queue(s.core, s.outQueue);
+    FQueue &in = *ra.in;
+    FQueue &out = *ra.out;
 
     // Propagate a consumer-side skip upstream so the real producer
     // thread takes the enqueue trap (see DESIGN.md). In lockstep mode
@@ -326,55 +439,68 @@ Interp::stepRa(FRa &ra)
         return false;
 
     if (s.mode == RaMode::Scan && ra.scanning) {
-        out.push(mem_->read(s.base + ra.cur * s.elemBytes, s.elemBytes),
-                 false);
+        Addr addr = s.base + ra.cur * s.elemBytes;
+        out.push(readMem(addr, s.elemBytes), false);
+        if (hooks_)
+            hooks_->touchMem(s.core, addr, s.elemBytes, false);
         ra.cur++;
         if (ra.cur >= ra.end)
             ra.scanning = false;
         return true;
     }
 
-    if (in.q.empty())
+    if (in.empty())
         return false;
-    auto [v, ctrl] = in.q.front();
+    auto [v, ctrl] = in.front();
 
     if (ctrl) {
         panic_if(s.mode == RaMode::Scan && ra.haveStart,
                  "control value between scan start and end");
-        in.q.pop_front();
+        in.pop_front();
         out.push(v, true);
         return true;
     }
 
     if (s.mode == RaMode::Indirect) {
-        in.q.pop_front();
-        out.push(mem_->read(s.base + v * s.elemBytes, s.elemBytes), false);
+        in.pop_front();
+        Addr addr = s.base + v * s.elemBytes;
+        out.push(readMem(addr, s.elemBytes), false);
+        if (hooks_)
+            hooks_->touchMem(s.core, addr, s.elemBytes, false);
         return true;
     }
 
     if (s.mode == RaMode::IndirectPair) {
         // Needs space for both outputs (the timing model retires them
         // back to back; keep the functional model all-or-nothing).
-        if (out.q.size() + 2 > out.cap)
+        if (out.size() + 2 > out.cap)
             return false;
-        in.q.pop_front();
-        out.push(mem_->read(s.base + v * s.elemBytes, s.elemBytes), false);
-        out.push(mem_->read(s.base + (v + 1) * s.elemBytes, s.elemBytes),
-                 false);
+        in.pop_front();
+        Addr addr = s.base + v * s.elemBytes;
+        out.push(readMem(addr, s.elemBytes), false);
+        out.push(readMem(addr + s.elemBytes, s.elemBytes), false);
+        if (hooks_) {
+            hooks_->touchMem(s.core, addr, s.elemBytes, false);
+            hooks_->touchMem(s.core, addr + s.elemBytes, s.elemBytes,
+                             false);
+        }
         return true;
     }
 
     if (s.mode == RaMode::IndirectKV) {
-        if (out.q.size() + 2 > out.cap)
+        if (out.size() + 2 > out.cap)
             return false;
-        in.q.pop_front();
+        in.pop_front();
         out.push(v, false);
-        out.push(mem_->read(s.base + v * s.elemBytes, s.elemBytes), false);
+        Addr addr = s.base + v * s.elemBytes;
+        out.push(readMem(addr, s.elemBytes), false);
+        if (hooks_)
+            hooks_->touchMem(s.core, addr, s.elemBytes, false);
         return true;
     }
 
     // Scan mode: collect start, then end.
-    in.q.pop_front();
+    in.pop_front();
     if (!ra.haveStart) {
         ra.start = v;
         ra.haveStart = true;
@@ -395,24 +521,24 @@ Interp::sweepAgents()
     bool progressed = false;
     for (FRa &ra : ras_)
         progressed |= stepRa(ra);
-    for (const ConnectorSpec &c : spec_.connectors)
-        progressed |= stepConnector(c);
+    for (size_t i = 0; i < connQ_.size(); i++)
+        progressed |= stepConnector(i);
     return progressed;
 }
 
 bool
-Interp::stepConnector(const ConnectorSpec &c)
+Interp::stepConnector(size_t idx)
 {
-    FQueue &from = queue(c.fromCore, c.fromQueue);
-    FQueue &to = queue(c.toCore, c.toQueue);
+    FQueue &from = *connQ_[idx].first;
+    FQueue &to = *connQ_[idx].second;
 
     if (!lockstep_ && to.skipArmed && !from.skipArmed)
         from.skipArmed = true;
 
-    if (from.q.empty() || to.full())
+    if (from.empty() || to.full())
         return false;
-    auto [v, ctrl] = from.q.front();
-    from.q.pop_front();
+    auto [v, ctrl] = from.front();
+    from.pop_front();
     to.push(v, ctrl);
     return true;
 }

@@ -13,12 +13,13 @@
 #ifndef PIPETTE_ISA_INTERP_H
 #define PIPETTE_ISA_INTERP_H
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <unordered_map>
 #include <vector>
 
+#include "isa/arch_snapshot.h"
 #include "isa/machine_spec.h"
 #include "mem/sim_memory.h"
 #include "sim/types.h"
@@ -29,7 +30,7 @@ namespace pipette {
 class Interp
 {
   public:
-    enum class Status { Done, Deadlock, StepLimit };
+    enum class Status { Done, Deadlock, StepLimit, Target };
 
     struct Result
     {
@@ -40,11 +41,63 @@ class Interp
         uint64_t rounds;
     };
 
+    /**
+     * Warming hooks for the sampling fast-forward (src/sample/):
+     * functional memory touches and branch outcomes are mirrored into
+     * lightweight cache-tag / branch-predictor models so a detailed
+     * window starts from warmed microarchitectural state. Null (the
+     * default) disables every site at the cost of one pointer test.
+     */
+    class FFHooks
+    {
+      public:
+        virtual ~FFHooks() = default;
+        /** A load/store/atomic/RA access of `bytes` bytes at `addr`. */
+        virtual void touchMem(CoreId core, Addr addr, uint32_t bytes,
+                              bool isWrite) = 0;
+        /** A conditional branch at `pc` resolved `taken`. */
+        virtual void condBranch(CoreId core, ThreadId tid, Addr pc,
+                                bool taken) = 0;
+        /** An indirect jump at `pc` resolved to `target`. */
+        virtual void indirect(CoreId core, ThreadId tid, Addr pc,
+                              Addr target) = 0;
+    };
+
     Interp(const MachineSpec &spec, SimMemory *mem,
            uint32_t defaultQueueCap = 32);
 
     /** Run until completion, deadlock, or the round limit. */
     Result run(uint64_t maxRounds = 500'000'000);
+
+    /**
+     * Fast-forward: run until the machine-wide retired-instruction
+     * count reaches `targetInstrs` (Status::Target), with completion,
+     * deadlock, and the round limit stopping early as in run(). Stops
+     * at a round boundary, so the machine state is a consistent
+     * snapshot point (no agent is mid-transfer).
+     */
+    Result runUntil(uint64_t targetInstrs,
+                    uint64_t maxRounds = 500'000'000);
+
+    /** Machine-wide retired-instruction count so far. */
+    uint64_t totalInstrs() const;
+
+    /** Attach/detach fast-forward warming hooks (null = off). */
+    void setHooks(FFHooks *h) { hooks_ = h; }
+
+    /** Architectural state at the current round boundary. */
+    ArchSnapshot snapshot() const;
+
+    /**
+     * Sampling support: clamp queue capacities so one core's total
+     * committed queue occupancy can never exceed `perCoreRegBudget`
+     * entries. Checkpoint restore preloads every committed entry into
+     * a physical register, so the budget must leave the detailed
+     * core's PRF room for the pinned architectural registers and
+     * in-flight rename. Call before the first step; functional results
+     * are capacity-independent, only the blocking schedule shifts.
+     */
+    void clampQueueCaps(uint32_t perCoreRegBudget);
 
     /** Architectural register value of thread `idx` in spec order. */
     uint64_t reg(size_t idx, ArchRegId r) const;
@@ -85,14 +138,14 @@ class Interp
     size_t
     queueSize(CoreId core, QueueId q)
     {
-        return queue(core, q).q.size();
+        return queue(core, q).size();
     }
 
     /** (value, ctrl) of the newest entry (the most recent push). */
     std::pair<uint64_t, bool>
     queueBack(CoreId core, QueueId q)
     {
-        return queue(core, q).q.back();
+        return queue(core, q).back();
     }
 
     /** Pop the oldest entry (mirrors the core's non-speculative
@@ -101,26 +154,75 @@ class Interp
     popQueueFront(CoreId core, QueueId q)
     {
         FQueue &fq = queue(core, q);
-        auto e = fq.q.front();
-        fq.q.pop_front();
+        auto e = fq.front();
+        fq.pop_front();
         return e;
     }
 
   private:
     struct FQueue
     {
-        std::deque<std::pair<uint64_t, bool>> q; // (value, ctrl)
+        // Flat ring storage for (value, ctrl) entries: queue ops run on
+        // nearly every interpreted instruction, and an explicit
+        // head/count ring beats std::deque's block bookkeeping by a
+        // wide margin on the fast-forward path.
+        std::vector<std::pair<uint64_t, bool>> buf;
+        size_t head = 0;
+        size_t count = 0;
         uint32_t cap = 32;
         bool skipArmed = false;
 
-        bool full() const { return q.size() >= cap; }
+        bool empty() const { return count == 0; }
+        size_t size() const { return count; }
+        bool full() const { return count >= cap; }
+
+        size_t
+        wrap(size_t i) const
+        {
+            return i >= buf.size() ? i - buf.size() : i;
+        }
+
+        /** Oldest entry (callers guard non-empty). */
+        const std::pair<uint64_t, bool> &front() const { return buf[head]; }
+        /** Newest entry. */
+        const std::pair<uint64_t, bool> &back() const
+        {
+            return buf[wrap(head + count - 1)];
+        }
+        /** i-th oldest entry. */
+        const std::pair<uint64_t, bool> &at(size_t i) const
+        {
+            return buf[wrap(head + i)];
+        }
+
+        void
+        pop_front()
+        {
+            head = wrap(head + 1);
+            count--;
+        }
 
         void
         push(uint64_t v, bool ctrl)
         {
             if (ctrl)
                 skipArmed = false;
-            q.emplace_back(v, ctrl);
+            if (buf.size() < cap)
+                grow(); // caps only change before stepping; cold
+            buf[wrap(head + count)] = {v, ctrl};
+            count++;
+        }
+
+        /** Re-linearize into a ring sized for the current cap. */
+        void
+        grow()
+        {
+            std::vector<std::pair<uint64_t, bool>> nb(
+                std::max<size_t>(cap, count));
+            for (size_t i = 0; i < count; i++)
+                nb[i] = at(i);
+            buf = std::move(nb);
+            head = 0;
         }
     };
 
@@ -131,6 +233,10 @@ class Interp
         std::array<uint64_t, NUM_ARCH_REGS> regs = {};
         std::array<int8_t, NUM_ARCH_REGS> mapDir; // -1 none, 0 in, 1 out
         std::array<QueueId, NUM_ARCH_REGS> mapQ;
+        /** Mapped-queue pointers, resolved once at construction
+         *  (unordered_map references are stable) so the per-instruction
+         *  path never hashes. */
+        std::array<FQueue *, NUM_ARCH_REGS> qp = {};
         bool halted = false;
         uint64_t instrs = 0;
     };
@@ -138,6 +244,8 @@ class Interp
     struct FRa
     {
         const RaSpec *spec;
+        FQueue *in = nullptr;  ///< resolved once (stable references)
+        FQueue *out = nullptr;
         bool scanning = false;
         bool haveStart = false;
         uint64_t start = 0, cur = 0, end = 0;
@@ -146,15 +254,22 @@ class Interp
     FQueue &queue(CoreId core, QueueId q);
     bool stepThread(FThread &t);
     bool stepRa(FRa &ra);
-    bool stepConnector(const ConnectorSpec &c);
+    bool stepConnector(size_t idx);
+    uint64_t readMem(Addr addr, uint32_t size);
 
     const MachineSpec &spec_;
     SimMemory *mem_;
     std::vector<FThread> threads_;
     std::vector<FRa> ras_;
+    /** Endpoint pointers per spec_.connectors entry (stable refs). */
+    std::vector<std::pair<FQueue *, FQueue *>> connQ_;
     std::unordered_map<uint32_t, FQueue> queues_;
     uint32_t defaultCap_;
     bool lockstep_ = false;
+    FFHooks *hooks_ = nullptr;
+    /** One-page read cache for readMem (see interp.cpp). */
+    uint64_t rdPn_ = ~0ull;
+    const uint8_t *rdPage_ = nullptr;
 };
 
 } // namespace pipette

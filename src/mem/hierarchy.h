@@ -204,6 +204,21 @@ class MemoryHierarchy
 
     const CacheStats &l1Stats(CoreId c) const { return perCore_[c].l1Stats; }
     const CacheStats &l2Stats(CoreId c) const { return perCore_[c].l2Stats; }
+
+    /**
+     * Direct tag-array access for the sampling scheduler: warmed cache
+     * state is installed into a window System by whole-array assignment
+     * before detailed execution starts. Not for use mid-run.
+     */
+    CacheArray &l1Array(CoreId c) { return *perCore_[c].l1; }
+    CacheArray &l2Array(CoreId c) { return *perCore_[c].l2; }
+    CacheArray &l3Array() { return *l3_; }
+    /** Null when the prefetcher is disabled by config. */
+    StreamPrefetcher *
+    prefetcherFor(CoreId c)
+    {
+        return perCore_[c].prefetcher.get();
+    }
     const CacheStats &l3Stats() const { return l3Stats_; }
     const MemStats &memStats() const { return memStats_; }
 

@@ -23,13 +23,6 @@ class MemoryHierarchy;
 class StreamPrefetcher
 {
   public:
-    StreamPrefetcher(const MemConfig &cfg, CoreId core,
-                     MemoryHierarchy *hier);
-
-    /** Observe a demand access (line address); may issue prefetches. */
-    void observe(uint64_t lineAddr, bool wasMiss, Cycle now);
-
-  private:
     struct Stream
     {
         uint64_t lastLine = 0;
@@ -39,6 +32,30 @@ class StreamPrefetcher
         bool valid = false;
     };
 
+    /** Detached training state (sampled-simulation checkpoints warm a
+     *  mirror of the stream table and install it into each window). */
+    struct State
+    {
+        std::vector<Stream> streams;
+        uint64_t tick = 0;
+    };
+
+    StreamPrefetcher(const MemConfig &cfg, CoreId core,
+                     MemoryHierarchy *hier);
+
+    /** Observe a demand access (line address); may issue prefetches. */
+    void observe(uint64_t lineAddr, bool wasMiss, Cycle now);
+
+    State state() const { return {streams_, tick_}; }
+    void
+    restore(const State &s)
+    {
+        streams_ = s.streams;
+        streams_.resize(cfg_.pfStreams);
+        tick_ = s.tick;
+    }
+
+  private:
     const MemConfig &cfg_;
     CoreId core_;
     MemoryHierarchy *hier_;

@@ -48,10 +48,64 @@ class SimMemory
     static constexpr uint32_t ADDR_BITS =
         ROOT_BITS + CHUNK_BITS + PAGE_BITS;
 
+    /**
+     * Backing source for copy-on-write checkpoint restore (sampling):
+     * when a lookup misses the radix, the page is resolved read-only
+     * from the source; the first write copies the source page into a
+     * freshly allocated radix page. Pages absent from the source too
+     * read as zero, as usual.
+     */
+    class PageSource
+    {
+      public:
+        virtual ~PageSource() = default;
+        /** Page contents for page number `pn`, or null if unmapped. */
+        virtual const uint8_t *page(uint64_t pn) const = 0;
+    };
+
+    /**
+     * Write notification for copy-on-write journaling (sampling): fired
+     * once per touched page, before the bytes mutate, so the observer
+     * can capture the pre-image.
+     */
+    class WriteObserver
+    {
+      public:
+        virtual ~WriteObserver() = default;
+        virtual void onPageWrite(uint64_t pn) = 0;
+    };
+
     SimMemory() = default;
     SimMemory(const SimMemory &) = delete;
     SimMemory &operator=(const SimMemory &) = delete;
     ~SimMemory() { releaseAll(); }
+
+    /** Attach/detach the checkpoint page source (null = none). */
+    void setPageSource(const PageSource *src) { source_ = src; }
+
+    /** Whether a checkpoint page source is attached (disables the
+     *  interpreter's page-pointer cache: CoW can replace pages). */
+    bool hasSource() const { return source_ != nullptr; }
+
+    /** Attach/detach the pre-image write observer (null = none). */
+    void setWriteObserver(WriteObserver *obs) { writeObs_ = obs; }
+
+    /**
+     * Drop every mapped page (the page source, if any, is kept). Used
+     * by the sampling scheduler to discard workload-build contents
+     * before pointing a window System at checkpointed state.
+     */
+    void reset() { releaseAll(); }
+
+    /**
+     * Read-only view of a page by page number, resolving through the
+     * page source; null if unmapped everywhere (reads as zero).
+     */
+    const uint8_t *
+    peekPage(uint64_t pn) const
+    {
+        return pageFor(pn << PAGE_BITS);
+    }
 
     /** Read `size` bytes (1,2,4,8) at addr, zero-extended to 64 bits. */
     uint64_t
@@ -83,12 +137,16 @@ class SimMemory
     write(Addr addr, uint32_t size, uint64_t val)
     {
         if (((addr ^ (addr + size - 1)) >> PAGE_BITS) == 0) {
+            if (writeObs_)
+                writeObs_->onPageWrite(addr >> PAGE_BITS);
             uint8_t *b = pageForAlloc(addr) + (addr & (PAGE_SIZE - 1));
             for (uint32_t i = 0; i < size; i++)
                 b[i] = static_cast<uint8_t>(val >> (8 * i));
             return;
         }
         for (uint32_t i = 0; i < size; i++) {
+            if (writeObs_ && (i == 0 || (((addr + i) & (PAGE_SIZE - 1)) == 0)))
+                writeObs_->onPageWrite((addr + i) >> PAGE_BITS);
             uint8_t *p = pageForAlloc(addr + i);
             p[(addr + i) & (PAGE_SIZE - 1)] =
                 static_cast<uint8_t>(val >> (8 * i));
@@ -191,9 +249,12 @@ class SimMemory
         const Chunk *c =
             root_[pn >> CHUNK_BITS].load(std::memory_order_acquire);
         if (!c)
-            return nullptr;
-        return (*c)[pn & (CHUNK_PAGES - 1)].load(
+            return source_ ? source_->page(pn) : nullptr;
+        const uint8_t *p = (*c)[pn & (CHUNK_PAGES - 1)].load(
             std::memory_order_acquire);
+        if (!p && source_)
+            return source_->page(pn);
+        return p;
     }
 
     uint8_t *
@@ -220,6 +281,13 @@ class SimMemory
         uint8_t *p = slot.load(std::memory_order_acquire);
         if (!p) {
             uint8_t *fresh = new uint8_t[PAGE_SIZE]();
+            // Copy-on-write: seed the private page from the checkpoint
+            // source before publishing it, so the first write to a
+            // source-backed page keeps every untouched byte.
+            if (source_) {
+                if (const uint8_t *base = source_->page(pn))
+                    std::memcpy(fresh, base, PAGE_SIZE);
+            }
             if (slot.compare_exchange_strong(p, fresh,
                                              std::memory_order_acq_rel,
                                              std::memory_order_acquire)) {
@@ -249,6 +317,8 @@ class SimMemory
 
     std::array<std::atomic<Chunk *>, ROOT_CHUNKS> root_{};
     std::atomic<size_t> mappedCount_{0};
+    const PageSource *source_ = nullptr;
+    WriteObserver *writeObs_ = nullptr;
 };
 
 /**

@@ -84,6 +84,25 @@ class RefAccel
      */
     void setMemView(const EpochMemView *v) { view_ = v; }
 
+    /**
+     * Sampling checkpoint restore: install the golden interpreter's
+     * functional scan cursor before a detailed window starts. The
+     * completion buffer stays empty (in-flight loads are transient
+     * timing state a checkpoint deliberately excludes; see DESIGN.md
+     * §11). Only valid before the first tick of a run.
+     */
+    void
+    restoreFunctionalState(bool scanning, bool haveStart, uint64_t start,
+                           uint64_t cur, uint64_t end)
+    {
+        scanning_ = scanning;
+        haveStart_ = haveStart;
+        start_ = start;
+        cur_ = cur;
+        end_ = end;
+        idleValid_ = false;
+    }
+
   private:
     /**
      * Completion-buffer entry. Entries live by value in the bounded

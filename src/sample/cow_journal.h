@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Copy-on-write page journal for sampling checkpoints.
+ *
+ * The fast-forward interpreter runs against one live SimMemory. Instead
+ * of deep-copying the address space at every checkpoint, the journal
+ * observes writes (SimMemory::WriteObserver) and saves each page's
+ * pre-image the *first* time the page is written within the current
+ * interval. Memory as of checkpoint k is then reconstructed lazily:
+ * the first pre-image of a page in intervals k.. is its content at k;
+ * a page never written after k still has its checkpoint-k bytes in the
+ * live memory. A null pre-image records "was unmapped" (reads as
+ * zero), distinct from "not journaled".
+ *
+ * After the fast-forward completes the journal is immutable, so any
+ * number of window Systems can resolve pages through it concurrently
+ * (detailed windows fan out over host workers).
+ */
+
+#ifndef PIPETTE_SAMPLE_COW_JOURNAL_H
+#define PIPETTE_SAMPLE_COW_JOURNAL_H
+
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/sim_memory.h"
+
+namespace pipette::sample {
+
+/** Interval-stamped page pre-images over one live SimMemory. */
+class CowJournal : public SimMemory::WriteObserver
+{
+  public:
+    explicit CowJournal(const SimMemory *live) : live_(live) {}
+
+    /** Open interval k (= current count); pre-images land here. */
+    void beginInterval() { intervals_.emplace_back(); }
+
+    size_t intervals() const { return intervals_.size(); }
+
+    void
+    onPageWrite(uint64_t pn) override
+    {
+        if (intervals_.empty())
+            return; // writes before the first checkpoint need no journal
+        size_t gen = intervals_.size();
+        // Stores cluster heavily by page, so remember the last (page,
+        // interval) handled and skip the hash probe on repeats.
+        if (pn == lastPn_ && gen == lastGen_)
+            return;
+        lastPn_ = pn;
+        lastGen_ = gen;
+        // First touch per interval only: the pre-image of a page that
+        // is written many times within one interval is its content at
+        // the interval's start, which the first write captures.
+        auto [it, fresh] = lastTouched_.try_emplace(pn, gen);
+        if (!fresh) {
+            if (it->second == gen)
+                return;
+            it->second = gen;
+        }
+        auto &m = intervals_.back();
+        const uint8_t *p = live_->peekPage(pn);
+        if (!p) {
+            m.emplace(pn, nullptr); // pre-image: unmapped, reads zero
+            return;
+        }
+        auto copy = std::make_unique<uint8_t[]>(SimMemory::PAGE_SIZE);
+        std::memcpy(copy.get(), p, SimMemory::PAGE_SIZE);
+        m.emplace(pn, std::move(copy));
+    }
+
+    /**
+     * Page contents as of the start of interval k: the oldest
+     * pre-image at or after k, else the live memory (the page was
+     * never written after checkpoint k). Null = unmapped (zero).
+     * Only valid once journaling has stopped (immutable journal).
+     */
+    const uint8_t *
+    resolve(size_t k, uint64_t pn) const
+    {
+        for (size_t j = k; j < intervals_.size(); j++) {
+            auto it = intervals_[j].find(pn);
+            if (it != intervals_[j].end())
+                return it->second ? it->second.get() : nullptr;
+        }
+        return live_->peekPage(pn);
+    }
+
+  private:
+    using PageMap =
+        std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>>;
+
+    const SimMemory *live_;
+    std::vector<PageMap> intervals_;
+    /** pn -> newest interval (1-based size at touch) with a pre-image. */
+    std::unordered_map<uint64_t, size_t> lastTouched_;
+    /** One-entry repeat filter in front of lastTouched_. */
+    uint64_t lastPn_ = ~0ull;
+    size_t lastGen_ = 0;
+};
+
+/** Adapter presenting "memory as of checkpoint k" to a window System. */
+class WindowSource : public SimMemory::PageSource
+{
+  public:
+    WindowSource(const CowJournal *journal, size_t k)
+        : journal_(journal), k_(k)
+    {
+    }
+
+    const uint8_t *
+    page(uint64_t pn) const override
+    {
+        return journal_->resolve(k_, pn);
+    }
+
+  private:
+    const CowJournal *journal_;
+    size_t k_;
+};
+
+} // namespace pipette::sample
+
+#endif // PIPETTE_SAMPLE_COW_JOURNAL_H

@@ -1,0 +1,294 @@
+#include "sample/sampler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "parallel/task_pool.h"
+#include "sample/cow_journal.h"
+#include "sample/warm_model.h"
+#include "sim/logging.h"
+
+namespace pipette::sample {
+
+namespace {
+
+/**
+ * Checkpoint cap: bounds host memory (each checkpoint carries a warmed
+ * cache/bpred copy, a few hundred KB). When the cap trips, the
+ * remaining instructions fast-forward uncovered and the report says so
+ * (truncated) -- no silent coverage loss. Choose a larger period
+ * instead of relying on the cap.
+ */
+constexpr size_t kMaxCheckpoints = 256;
+
+/**
+ * Warming horizon (instructions): the microarchitectural state a
+ * window inherits only depends on the recent access history -- caches,
+ * branch predictors, and prefetch streams forget anything older than
+ * their own capacity. With periods longer than this horizon the warm
+ * hooks stay detached until the fast-forward is within the horizon of
+ * the next checkpoint, so most of the period runs at bare-interpreter
+ * speed. Periods at or below the horizon (every tier-1 accuracy-gate
+ * operating point) warm continuously and are byte-identical to the
+ * pre-horizon behaviour. 250k instructions touch lines worth many
+ * times the 512 KB L3 (the largest warmed structure, 8k lines), so the
+ * horizon refills every level from scratch several times over.
+ */
+constexpr uint64_t kWarmHorizon = 250'000;
+
+struct Checkpoint
+{
+    ArchSnapshot arch;
+    WarmState warm;
+};
+
+struct WindowMeasure
+{
+    bool ok = false;
+    uint64_t cycles = 0;
+    uint64_t instrs = 0;
+};
+
+/**
+ * Queue-occupancy budget for the fast-forward: checkpoint restore
+ * backs every committed queue entry with a freshly allocated physical
+ * register, so total occupancy must leave the PRF room for the pinned
+ * architectural registers plus a rename burst. Functional results are
+ * capacity-independent for race-free programs; only the interpreter's
+ * blocking schedule shifts.
+ */
+uint32_t
+queueRegBudget(const CoreConfig &c)
+{
+    uint32_t pinned = NUM_ARCH_REGS * c.smtThreads;
+    uint32_t rename = 2 * c.renameWidth;
+    uint32_t slack =
+        c.physRegs > pinned + rename ? c.physRegs - pinned - rename : 4;
+    return std::min(c.maxQueueRegs, slack);
+}
+
+/** Strip everything that must not run inside a measurement window. */
+SystemConfig
+windowConfig(const SystemConfig &cfg)
+{
+    SystemConfig w = cfg;
+    w.sampling = SamplingConfig{};
+    w.guardrails = GuardrailConfig{};
+    w.observability = ObservabilityConfig{};
+    w.core.traceFile = nullptr;
+    // Window-level parallelism comes from the window fan-out itself;
+    // nesting the per-core pool inside it would oversubscribe the host.
+    w.coreJobs = 1;
+    return w;
+}
+
+/**
+ * Run one detailed window from checkpoint k. A fresh System resolves
+ * memory through the journal, takes the architectural snapshot and the
+ * warmed microarchitectural state, then executes in chunks until it
+ * passes warmup + window retired instructions (or stops early at
+ * program end). Measured cycles/instructions are taken at chunk
+ * boundaries, so the chunk size is part of the (deterministic) regime.
+ */
+WindowMeasure
+runWindow(const SystemConfig &wCfg, const MachineSpec &spec,
+          const CowJournal &journal, size_t k, const Checkpoint &ckpt,
+          uint64_t warmup, uint64_t window)
+{
+    WindowSource src(&journal, k);
+    System sys(wCfg);
+    sys.memory().setPageSource(&src);
+    sys.configure(spec);
+    sys.restoreArchState(ckpt.arch);
+    for (uint32_t c = 0; c < sys.numCores(); c++) {
+        sys.hierarchy().l1Array(c) = ckpt.warm.l1[c];
+        sys.hierarchy().l2Array(c) = ckpt.warm.l2[c];
+        sys.core(c).bpred() = ckpt.warm.bpred[c];
+        if (StreamPrefetcher *pf = sys.hierarchy().prefetcherFor(c))
+            pf->restore(ckpt.warm.pf[c]);
+    }
+    sys.hierarchy().l3Array() = ckpt.warm.l3;
+
+    uint64_t target0 = warmup;
+    uint64_t target1 = warmup + window;
+    Cycle chunk = std::max<Cycle>(
+        256, std::min<Cycle>(2048, (target1 ? target1 : 1) / 8));
+
+    WindowMeasure m;
+    bool past0 = false;
+    uint64_t c0 = 0, i0 = 0;
+    while (true) {
+        System::RunResult r = sys.runFor(chunk);
+        if (!past0 && r.instrs >= target0) {
+            past0 = true;
+            c0 = r.cycles;
+            i0 = r.instrs;
+        }
+        if (past0 && r.instrs >= target1 && r.instrs > i0) {
+            m.ok = true;
+            m.cycles = r.cycles - c0;
+            m.instrs = r.instrs - i0;
+            return m;
+        }
+        if (r.stopReason != System::StopReason::None) {
+            // Program end (or an abnormal stop) inside the window:
+            // keep the partial measurement when anything committed
+            // past the warmup.
+            if (past0 && r.instrs > i0 &&
+                r.stopReason == System::StopReason::Finished) {
+                m.ok = true;
+                m.cycles = r.cycles - c0;
+                m.instrs = r.instrs - i0;
+            }
+            return m;
+        }
+    }
+}
+
+} // namespace
+
+SampleReport
+runSampled(const SystemConfig &cfg, WorkloadBase &wl, Variant v,
+           unsigned jobs)
+{
+    panic_if(!cfg.sampling.enabled(),
+             "runSampled with sampling.period == 0");
+    auto t0 = std::chrono::steady_clock::now();
+    const uint64_t period = cfg.sampling.period;
+    const uint64_t window = cfg.sampling.window;
+    const uint64_t warmup = cfg.sampling.warmup;
+
+    SampleReport rep;
+    auto lap = [&t0] {
+        auto now = std::chrono::steady_clock::now();
+        double d = std::chrono::duration<double>(now - t0).count();
+        return d;
+    };
+
+    // --- Build once; the spec and programs are shared by every window.
+    System buildSys(cfg);
+    BuildContext ctx(&buildSys);
+    wl.build(ctx, v);
+    rep.buildSeconds = lap();
+
+    // --- Fast-forward with warming + journaling + checkpoints.
+    Interp interp(ctx.spec, &buildSys.memory(), cfg.core.queueCapacity);
+    interp.clampQueueCaps(queueRegBudget(cfg.core));
+    WarmModel warm(cfg);
+    interp.setHooks(&warm);
+    CowJournal journal(&buildSys.memory());
+    buildSys.memory().setWriteObserver(&journal);
+
+    std::vector<Checkpoint> ckpts;
+    Interp::Result ff{Interp::Status::Deadlock, 0, 0};
+    for (size_t k = 0;; k++) {
+        if (k >= kMaxCheckpoints) {
+            rep.truncated = true;
+            warn("sampling: checkpoint cap (", kMaxCheckpoints,
+                 ") hit at instr ", interp.totalInstrs(),
+                 "; the remainder fast-forwards unmeasured -- raise "
+                 "--sample-period");
+            // No further checkpoints, so the warm state is dead weight:
+            // run the tail bare.
+            interp.setHooks(nullptr);
+            ff = interp.run();
+            break;
+        }
+        ckpts.push_back({interp.snapshot(), warm.state()});
+        journal.beginInterval();
+        uint64_t target = (k + 1) * period;
+        if (period > kWarmHorizon) {
+            // Bare fast-forward (journal stays attached -- memory
+            // reconstruction needs every pre-image), then re-attach the
+            // warm hooks for the horizon leading into the checkpoint.
+            interp.setHooks(nullptr);
+            ff = interp.runUntil(target - kWarmHorizon);
+            interp.setHooks(&warm);
+            if (ff.status != Interp::Status::Target)
+                break;
+        }
+        ff = interp.runUntil(target);
+        if (ff.status != Interp::Status::Target)
+            break;
+    }
+    buildSys.memory().setWriteObserver(nullptr);
+    interp.setHooks(nullptr);
+
+    rep.ffStatus = ff.status;
+    rep.ffInstrs = ff.instrs;
+    rep.ffRounds = ff.rounds;
+    rep.windows = static_cast<uint32_t>(ckpts.size());
+    if (ff.status == Interp::Status::Done)
+        rep.verified = wl.verify(buildSys);
+    rep.ffSeconds = lap() - rep.buildSeconds;
+
+    // --- Detailed windows: inline, or fanned out over a host pool.
+    // Slot-addressed results + in-order reduction make the outcome
+    // byte-identical at any worker count.
+    const SystemConfig wCfg = windowConfig(cfg);
+    std::vector<WindowMeasure> slots(ckpts.size());
+    auto measure = [&](size_t k) {
+        slots[k] = runWindow(wCfg, ctx.spec, journal, k, ckpts[k],
+                             warmup, window);
+    };
+    if (jobs <= 1 || ckpts.size() <= 1) {
+        for (size_t k = 0; k < ckpts.size(); k++)
+            measure(k);
+    } else {
+        parallel::TaskPool pool(
+            std::min<unsigned>(jobs, static_cast<unsigned>(ckpts.size())));
+        std::vector<parallel::TaskPool::Task> tasks;
+        tasks.reserve(ckpts.size());
+        for (size_t k = 0; k < ckpts.size(); k++)
+            tasks.push_back([&measure, k] { measure(k); });
+        pool.run(std::move(tasks));
+    }
+
+    rep.windowSeconds = lap() - rep.buildSeconds - rep.ffSeconds;
+
+    // --- Extrapolate in checkpoint order.
+    uint64_t sumCycles = 0, sumInstrs = 0;
+    for (const WindowMeasure &m : slots) {
+        if (!m.ok)
+            continue;
+        rep.windowsOk++;
+        sumCycles += m.cycles;
+        sumInstrs += m.instrs;
+    }
+    rep.measuredCycles = sumCycles;
+    rep.measuredInstrs = sumInstrs;
+    if (sumInstrs) {
+        rep.cpi = static_cast<double>(sumCycles) /
+                  static_cast<double>(sumInstrs);
+        rep.extrapCycles = static_cast<uint64_t>(
+            static_cast<unsigned __int128>(sumCycles) * rep.ffInstrs /
+            sumInstrs);
+    }
+    rep.ok = ff.status == Interp::Status::Done && rep.windowsOk > 0;
+
+    rep.stats["sim.sampled"] = 1.0;
+    rep.stats["sample.period"] = static_cast<double>(period);
+    rep.stats["sample.window"] = static_cast<double>(window);
+    rep.stats["sample.warmup"] = static_cast<double>(warmup);
+    rep.stats["sample.windows"] = rep.windows;
+    rep.stats["sample.windowsOk"] = rep.windowsOk;
+    rep.stats["sample.truncated"] = rep.truncated ? 1.0 : 0.0;
+    rep.stats["sample.ffInstrs"] = static_cast<double>(rep.ffInstrs);
+    rep.stats["sample.measuredInstrs"] =
+        static_cast<double>(rep.measuredInstrs);
+    rep.stats["sample.measuredCycles"] =
+        static_cast<double>(rep.measuredCycles);
+    rep.stats["sample.cpi"] = rep.cpi;
+    rep.stats["sample.extrapCycles"] =
+        static_cast<double>(rep.extrapCycles);
+
+    rep.hostSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    return rep;
+}
+
+} // namespace pipette::sample

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Sampled-simulation scheduler (SMARTS/SimPoint-style; DESIGN.md §11).
+ *
+ * State machine per run:
+ *
+ *   FAST-FORWARD  the golden interpreter executes the program
+ *                 functionally at interpreter speed, warming cache
+ *                 tags + branch predictors (WarmModel) and journaling
+ *                 memory pre-images (CowJournal);
+ *   CHECKPOINT    every `period` retired instructions: architectural
+ *                 snapshot (threads, queues, RAs) + warmed-state copy;
+ *   WINDOW        from each checkpoint, a fresh detailed System is
+ *                 restored (memory through the copy-on-write journal)
+ *                 and runs `warmup + window` instructions; cycles and
+ *                 instructions after the warmup are measured;
+ *   EXTRAPOLATE   whole-run cycles = exact retired instructions x the
+ *                 measured aggregate CPI.
+ *
+ * Windows are independent, so they run inline or fan out across a host
+ * worker pool; results land in index-addressed slots and are reduced
+ * in checkpoint order, making every derived number byte-identical at
+ * any worker count and across repeated runs.
+ */
+
+#ifndef PIPETTE_SAMPLE_SAMPLER_H
+#define PIPETTE_SAMPLE_SAMPLER_H
+
+#include <map>
+#include <string>
+
+#include "isa/interp.h"
+#include "sim/config.h"
+#include "workloads/workload.h"
+
+namespace pipette::sample {
+
+/** Everything a sampled run produces. */
+struct SampleReport
+{
+    /** Fast-forward ran to completion and >= 1 window measured. */
+    bool ok = false;
+    /** Functional output check against the host reference passed. */
+    bool verified = false;
+
+    Interp::Status ffStatus = Interp::Status::Deadlock;
+    /** Exact machine-wide retired instructions (from the interpreter). */
+    uint64_t ffInstrs = 0;
+    uint64_t ffRounds = 0;
+
+    uint32_t windows = 0;   ///< checkpoints taken
+    uint32_t windowsOk = 0; ///< windows that produced a measurement
+    /** Checkpoint cap hit: later instructions are uncovered (logged). */
+    bool truncated = false;
+
+    /** Aggregate detailed measurement across ok windows (exact). */
+    uint64_t measuredInstrs = 0;
+    uint64_t measuredCycles = 0;
+    /** Extrapolated whole-run numbers (estimates, kept separate). */
+    double cpi = 0.0;
+    uint64_t extrapCycles = 0;
+
+    /** Host wall-clock of the whole sampled run (never in stats). */
+    double hostSeconds = 0.0;
+    /** Host-side phase breakdown (build/FF+checkpoint/windows). */
+    double buildSeconds = 0.0;
+    double ffSeconds = 0.0;
+    double windowSeconds = 0.0;
+
+    /**
+     * Flattened "sample.*" counters plus "sim.sampled" = 1. Exact
+     * counters (ffInstrs, measured*) and extrapolated ones (cpi,
+     * extrapCycles) carry distinct key names so downstream tooling can
+     * never mistake an estimate for a measurement.
+     */
+    std::map<std::string, double> stats;
+};
+
+/**
+ * Run `wl` (variant `v`) under the sampling regime in cfg.sampling,
+ * fanning detailed windows over `jobs` host workers (<= 1 = inline).
+ * cfg.sampling.period must be non-zero. The workload is built once;
+ * window Systems share its spec and reconstruct memory through the
+ * journal. Byte-identical results at any `jobs` value.
+ */
+SampleReport runSampled(const SystemConfig &cfg, WorkloadBase &wl,
+                        Variant v, unsigned jobs);
+
+} // namespace pipette::sample
+
+#endif // PIPETTE_SAMPLE_SAMPLER_H

@@ -1,0 +1,227 @@
+#include "sample/warm_model.h"
+
+namespace pipette::sample {
+
+WarmModel::WarmModel(const SystemConfig &cfg)
+    : lineBytes_(cfg.mem.lineBytes),
+      numCores_(cfg.numCores ? cfg.numCores : 1),
+      pfEnabled_(cfg.mem.prefetcherEnabled),
+      pfDegree_(cfg.mem.pfDegree),
+      l3_(cfg.mem.l3, cfg.mem.lineBytes, "warmL3")
+{
+    for (uint32_t c = 0; c < numCores_; c++) {
+        l1_.emplace_back(cfg.mem.l1d, cfg.mem.lineBytes, "warmL1");
+        l2_.emplace_back(cfg.mem.l2, cfg.mem.lineBytes, "warmL2");
+        bpred_.emplace_back(cfg.core, cfg.core.smtThreads);
+        pf_.emplace_back();
+        pf_.back().streams.resize(cfg.mem.pfStreams);
+    }
+}
+
+void
+WarmModel::touchMem(CoreId core, Addr addr, uint32_t bytes, bool isWrite)
+{
+    uint64_t first = addr / lineBytes_;
+    uint64_t last = (addr + (bytes ? bytes : 1) - 1) / lineBytes_;
+    touchLine(core, first, isWrite);
+    if (last != first)
+        touchLine(core, last, isWrite);
+}
+
+/**
+ * Mirror MemoryHierarchy::accessNow / accessBelowL1 on the warm tag
+ * arrays: same lookup/insert/invalidate sequence, same coherence and
+ * inclusion actions, no MSHRs, latencies, or stats. The stream
+ * prefetcher is mirrored too (observeStream below), since its
+ * prefetch-ahead lines are a steady-state part of the cache contents.
+ */
+void
+WarmModel::touchLine(CoreId core, uint64_t lineAddr, bool isWrite)
+{
+    CacheArray::Line *l1line = l1_[core].lookup(lineAddr);
+    bool wasMiss = l1line == nullptr;
+    if (l1line) {
+        l1line->prefetched = false;
+        if (isWrite) {
+            l1line->dirty = true;
+            // Ownership probe against the shared directory.
+            CacheArray::Line *l3line = l3_.lookup(lineAddr, false);
+            if (l3line && (l3line->sharers & ~(1u << core))) {
+                for (uint32_t o = 0; o < numCores_; o++) {
+                    if (o != core && (l3line->sharers & (1u << o))) {
+                        l1_[o].invalidate(lineAddr);
+                        l2_[o].invalidate(lineAddr);
+                    }
+                }
+                l3line->sharers = 1u << core;
+                l3line->owner = core;
+                l3line->ownerValid = true;
+            }
+        }
+        observeStream(core, lineAddr, wasMiss);
+        return;
+    }
+    l1_[core].insert(lineAddr, isWrite, false);
+
+    CacheArray::Line *l2line = l2_[core].lookup(lineAddr);
+    if (l2line) {
+        if (isWrite)
+            l2line->dirty = true;
+        observeStream(core, lineAddr, wasMiss);
+        return;
+    }
+
+    CacheArray::Line *l3line = l3_.lookup(lineAddr);
+    if (l3line) {
+        l3line->prefetched = false;
+        if (isWrite) {
+            uint32_t remote = l3line->sharers & ~(1u << core);
+            if (remote) {
+                for (uint32_t o = 0; o < numCores_; o++) {
+                    if (remote & (1u << o)) {
+                        l1_[o].invalidate(lineAddr);
+                        l2_[o].invalidate(lineAddr);
+                    }
+                }
+            }
+            l3line->sharers = 1u << core;
+            l3line->owner = core;
+            l3line->ownerValid = true;
+            l3line->dirty = true;
+        } else {
+            if (l3line->ownerValid && l3line->owner != core)
+                l3line->ownerValid = false;
+            l3line->sharers |= 1u << core;
+        }
+    } else {
+        auto ins = l3_.insert(lineAddr, isWrite, false);
+        if (ins.evictedValid) {
+            // Inclusive L3: back-invalidate private copies.
+            for (uint32_t o = 0; o < numCores_; o++) {
+                l1_[o].invalidate(ins.victimLineAddr);
+                l2_[o].invalidate(ins.victimLineAddr);
+            }
+        }
+        CacheArray::Line *nl = l3_.lookup(lineAddr, false);
+        nl->sharers = 1u << core;
+        nl->ownerValid = isWrite;
+        nl->owner = core;
+    }
+
+    l2_[core].insert(lineAddr, isWrite, false);
+    observeStream(core, lineAddr, wasMiss);
+}
+
+/**
+ * Mirror StreamPrefetcher::observe on the warm stream table: identical
+ * stream advance / allocate / direction-flip rules, with the prefetch
+ * issue redirected into the warm arrays (warmPrefetchLine). Timing
+ * (MSHR admits, inflight dedup) is dropped like everywhere else in the
+ * warm model.
+ */
+void
+WarmModel::observeStream(CoreId core, uint64_t lineAddr, bool wasMiss)
+{
+    if (!pfEnabled_)
+        return;
+    StreamPrefetcher::State &st = pf_[core];
+    for (StreamPrefetcher::Stream &s : st.streams) {
+        if (!s.valid)
+            continue;
+        if (lineAddr == s.lastLine + static_cast<uint64_t>(s.stride)) {
+            s.lastLine = lineAddr;
+            s.confidence++;
+            s.lruTick = ++st.tick;
+            if (s.confidence >= 2) {
+                for (uint32_t k = 1; k <= pfDegree_; k++) {
+                    warmPrefetchLine(
+                        core,
+                        lineAddr + static_cast<uint64_t>(s.stride) * k);
+                }
+            }
+            return;
+        }
+        if (lineAddr == s.lastLine)
+            return; // repeated access, not a new stream
+    }
+    if (!wasMiss)
+        return;
+    StreamPrefetcher::Stream *victim = &st.streams[0];
+    for (StreamPrefetcher::Stream &s : st.streams) {
+        if (!s.valid) {
+            victim = &s;
+            break;
+        }
+        if (s.lruTick < victim->lruTick)
+            victim = &s;
+    }
+    int64_t stride = 1;
+    for (StreamPrefetcher::Stream &s : st.streams) {
+        if (s.valid && lineAddr + 1 == s.lastLine) {
+            stride = -1;
+            break;
+        }
+    }
+    victim->valid = true;
+    victim->lastLine = lineAddr;
+    victim->stride = stride;
+    victim->confidence = 0;
+    victim->lruTick = ++st.tick;
+}
+
+/** Mirror MemoryHierarchy::prefetchLine: L2/L3 read walk + L1 install
+ *  with the prefetched mark, skipped when the line is already in L1. */
+void
+WarmModel::warmPrefetchLine(CoreId core, uint64_t lineAddr)
+{
+    if (l1_[core].lookup(lineAddr, false))
+        return;
+
+    CacheArray::Line *l2line = l2_[core].lookup(lineAddr);
+    if (!l2line) {
+        CacheArray::Line *l3line = l3_.lookup(lineAddr);
+        if (l3line) {
+            l3line->prefetched = false;
+            if (l3line->ownerValid && l3line->owner != core)
+                l3line->ownerValid = false;
+            l3line->sharers |= 1u << core;
+        } else {
+            auto ins = l3_.insert(lineAddr, false, true);
+            if (ins.evictedValid) {
+                for (uint32_t o = 0; o < numCores_; o++) {
+                    l1_[o].invalidate(ins.victimLineAddr);
+                    l2_[o].invalidate(ins.victimLineAddr);
+                }
+            }
+            CacheArray::Line *nl = l3_.lookup(lineAddr, false);
+            nl->sharers = 1u << core;
+            nl->ownerValid = false;
+            nl->owner = core;
+        }
+        l2_[core].insert(lineAddr, false, true);
+    }
+    l1_[core].insert(lineAddr, false, true);
+}
+
+void
+WarmModel::condBranch(CoreId core, ThreadId tid, Addr pc, bool taken)
+{
+    // Replay the detailed core's predict -> resolve sequence: the
+    // speculative history update at predict, PHT training with the
+    // history-at-predict, and the squash-path history repair when the
+    // prediction was wrong.
+    BranchPredictor &bp = bpred_[core];
+    uint64_t h = bp.history(tid);
+    bool pred = bp.predictCond(tid, pc);
+    bp.updateCond(tid, pc, taken, h);
+    if (pred != taken)
+        bp.restoreHistory(tid, h, taken);
+}
+
+void
+WarmModel::indirect(CoreId core, ThreadId tid, Addr pc, Addr target)
+{
+    bpred_[core].updateIndirect(tid, pc, target);
+}
+
+} // namespace pipette::sample

@@ -43,7 +43,9 @@ static_assert(sizeof(GuardrailConfig) == 32,
 static_assert(sizeof(ObservabilityConfig) == 120,
               "ObservabilityConfig changed: update configFingerprint, "
               "then this");
-static_assert(sizeof(SystemConfig) == 400,
+static_assert(sizeof(SamplingConfig) == 24,
+              "SamplingConfig changed: update configFingerprint, then this");
+static_assert(sizeof(SystemConfig) == 424,
               "SystemConfig changed: update configFingerprint, then this");
 #endif
 
@@ -140,6 +142,16 @@ configFingerprint(const SystemConfig &cfg)
     const ObservabilityConfig &o = cfg.observability;
     h.pod(o.sampleInterval);
     h.pod(o.histograms);
+
+    // Sampling replaces the exact whole-run cycle count with an
+    // extrapolated one, and period/window/warmup all move the estimate,
+    // so every field keys the cache. The host-side --jobs fan-out is
+    // byte-invisible by construction (ordered collection) and has no
+    // field here.
+    const SamplingConfig &sp = cfg.sampling;
+    h.pod(sp.period);
+    h.pod(sp.window);
+    h.pod(sp.warmup);
     return h.value();
 }
 

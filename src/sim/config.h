@@ -254,6 +254,28 @@ struct ObservabilityConfig
     }
 };
 
+/**
+ * Sampled-simulation regime (src/sample/): functionally fast-forward
+ * through the golden interpreter (warming caches and branch
+ * predictors), checkpoint every `period` retired instructions, run a
+ * detailed window of `warmup + window` instructions from each
+ * checkpoint, and extrapolate whole-run cycles from the measured
+ * windows (SMARTS-style). Off by default (period = 0): the detailed
+ * model runs the whole program and nothing changes. Sampled stats are
+ * deterministic -- byte-identical across runs and at any --jobs value.
+ */
+struct SamplingConfig
+{
+    /** Retired instructions between checkpoints (0 = sampling off). */
+    uint64_t period = 0;
+    /** Measured (post-warmup) instructions per detailed window. */
+    uint64_t window = 10'000;
+    /** Detailed warmup instructions per window, excluded from CPI. */
+    uint64_t warmup = 2'000;
+
+    bool enabled() const { return period != 0; }
+};
+
 /** Parameters of the whole simulated system. */
 struct SystemConfig
 {
@@ -298,6 +320,9 @@ struct SystemConfig
 
     /** Observability (interval sampling, histograms, trace export). */
     ObservabilityConfig observability;
+
+    /** Sampled simulation (src/sample/; off unless period > 0). */
+    SamplingConfig sampling;
 
     /** Human-readable one-line summary (Table IV style). */
     std::string summary() const;

@@ -1,0 +1,240 @@
+// Sampled + fast-forward simulation tests (src/sample/): checkpoint
+// round-trips into the detailed model, byte-identical sampled stats at
+// any --jobs value and across repeated runs, queue-cap clamping, and
+// configFingerprint coverage of the sampling knobs.
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "isa/interp.h"
+#include "sample/cow_journal.h"
+#include "sample/sampler.h"
+#include "sample/warm_model.h"
+#include "workloads/bfs.h"
+
+namespace pipette {
+namespace {
+
+Graph
+testGraph()
+{
+    return makeRmatGraph(512, 2048, 9);
+}
+
+SystemConfig
+testConfig()
+{
+    SystemConfig cfg;
+    cfg.watchdogCycles = 200'000;
+    cfg.maxCycles = 100'000'000;
+    return cfg;
+}
+
+/** Render a stats map with full double precision (byte-identity). */
+std::string
+statsString(const std::map<std::string, double> &m)
+{
+    std::string out;
+    char buf[64];
+    for (const auto &[k, v] : m) {
+        snprintf(buf, sizeof(buf), "%.17g", v);
+        out += k;
+        out += '=';
+        out += buf;
+        out += '\n';
+    }
+    return out;
+}
+
+// A window restored from a checkpoint taken before the first committed
+// instruction must replay the entire run: same full flattened stat set
+// as an uninterrupted detailed simulation, same verified output. This
+// pins the restore path end to end -- thread state, queue preload, RA
+// cursors, page-source memory, and warm-state install must all be
+// exact no-ops at instruction zero.
+TEST(SampleCheckpoint, RestoreAtStartBitIdenticalToFreshRun)
+{
+    Graph g = testGraph();
+    SystemConfig cfg = testConfig();
+
+    // Uninterrupted detailed run.
+    System plain(cfg);
+    BfsWorkload wlPlain(&g);
+    BuildContext ctxPlain(&plain);
+    wlPlain.build(ctxPlain, Variant::Pipette);
+    plain.configure(ctxPlain.spec);
+    System::RunResult rPlain = plain.run();
+    ASSERT_TRUE(rPlain.finished);
+    ASSERT_TRUE(wlPlain.verify(plain));
+    auto statsPlain = plain.dumpStats();
+
+    // Checkpoint at instruction zero: build a separate live memory,
+    // snapshot the unstepped interpreter, and restore into a fresh
+    // System that reads memory through the (empty) journal.
+    System ffSys(cfg);
+    BfsWorkload wl(&g);
+    BuildContext ctx(&ffSys);
+    wl.build(ctx, Variant::Pipette);
+    Interp interp(ctx.spec, &ffSys.memory(), cfg.core.queueCapacity);
+    sample::WarmModel warm(cfg);
+    sample::CowJournal journal(&ffSys.memory());
+    ArchSnapshot snap = interp.snapshot();
+    sample::WarmState warmState = warm.state();
+
+    sample::WindowSource src(&journal, 0);
+    System win(cfg);
+    win.memory().setPageSource(&src);
+    win.configure(ctx.spec);
+    win.restoreArchState(snap);
+    for (uint32_t c = 0; c < win.numCores(); c++) {
+        win.hierarchy().l1Array(c) = warmState.l1[c];
+        win.hierarchy().l2Array(c) = warmState.l2[c];
+        win.core(c).bpred() = warmState.bpred[c];
+        if (StreamPrefetcher *pf = win.hierarchy().prefetcherFor(c))
+            pf->restore(warmState.pf[c]);
+    }
+    win.hierarchy().l3Array() = warmState.l3;
+
+    System::RunResult rWin = win.run();
+    ASSERT_TRUE(rWin.finished);
+    EXPECT_TRUE(wl.verify(win));
+    EXPECT_EQ(rWin.cycles, rPlain.cycles);
+    EXPECT_EQ(rWin.instrs, rPlain.instrs);
+    EXPECT_EQ(statsString(win.dumpStats()), statsString(statsPlain));
+}
+
+// A checkpoint taken mid-run (fast-forward to an arbitrary commit,
+// with warming and journaling active) must restore into a detailed
+// System that runs to completion and produces the exact architectural
+// output -- the reference distances -- even though the fast-forward
+// continued past the checkpoint and overwrote the live memory.
+TEST(SampleCheckpoint, MidRunRestoreCompletesAndVerifies)
+{
+    Graph g = testGraph();
+    SystemConfig cfg = testConfig();
+
+    System ffSys(cfg);
+    BfsWorkload wl(&g);
+    BuildContext ctx(&ffSys);
+    wl.build(ctx, Variant::Pipette);
+
+    Interp interp(ctx.spec, &ffSys.memory(), cfg.core.queueCapacity);
+    interp.clampQueueCaps(64);
+    sample::WarmModel warm(cfg);
+    interp.setHooks(&warm);
+    sample::CowJournal journal(&ffSys.memory());
+    ffSys.memory().setWriteObserver(&journal);
+
+    Interp::Result mid = interp.runUntil(8'000);
+    ASSERT_EQ(mid.status, Interp::Status::Target);
+    ArchSnapshot snap = interp.snapshot();
+    sample::WarmState warmState = warm.state();
+    journal.beginInterval(); // checkpoint covers everything after it
+
+    Interp::Result fin = interp.run();
+    ASSERT_EQ(fin.status, Interp::Status::Done);
+    ffSys.memory().setWriteObserver(nullptr);
+    ASSERT_TRUE(wl.verify(ffSys)); // functional fast-forward is exact
+
+    sample::WindowSource src(&journal, 0);
+    System win(cfg);
+    win.memory().setPageSource(&src);
+    win.configure(ctx.spec);
+    win.restoreArchState(snap);
+    for (uint32_t c = 0; c < win.numCores(); c++) {
+        win.hierarchy().l1Array(c) = warmState.l1[c];
+        win.hierarchy().l2Array(c) = warmState.l2[c];
+        win.core(c).bpred() = warmState.bpred[c];
+        if (StreamPrefetcher *pf = win.hierarchy().prefetcherFor(c))
+            pf->restore(warmState.pf[c]);
+    }
+    win.hierarchy().l3Array() = warmState.l3;
+
+    System::RunResult r = win.run();
+    EXPECT_TRUE(r.finished) << "stop: "
+                            << System::stopReasonName(r.stopReason)
+                            << " " << r.diagnosis;
+    EXPECT_GT(r.instrs, 0u);
+    EXPECT_TRUE(wl.verify(win));
+}
+
+// Sampled-mode stats must be byte-identical across repeated runs and
+// across --jobs values: the window fan-out writes slot-addressed
+// results reduced in checkpoint order, so host scheduling can never
+// leak into the numbers.
+TEST(SampledRun, StatsByteIdenticalAcrossJobsAndRuns)
+{
+    Graph g = testGraph();
+    SystemConfig cfg = testConfig();
+    cfg.sampling.period = 4'000;
+    cfg.sampling.window = 1'500;
+    cfg.sampling.warmup = 500;
+
+    BfsWorkload wl1(&g), wl2(&g), wl3(&g);
+    sample::SampleReport a =
+        sample::runSampled(cfg, wl1, Variant::Pipette, 1);
+    sample::SampleReport b =
+        sample::runSampled(cfg, wl2, Variant::Pipette, 1);
+    sample::SampleReport c =
+        sample::runSampled(cfg, wl3, Variant::Pipette, 4);
+
+    ASSERT_TRUE(a.ok);
+    EXPECT_TRUE(a.verified);
+    EXPECT_GE(a.windows, 4u) << "period too large for this input";
+    EXPECT_EQ(a.windowsOk, a.windows);
+
+    EXPECT_EQ(statsString(a.stats), statsString(b.stats));
+    EXPECT_EQ(statsString(a.stats), statsString(c.stats));
+    EXPECT_EQ(a.extrapCycles, c.extrapCycles);
+
+    // Extrapolated and exact counters stay separate.
+    EXPECT_EQ(a.stats.count("sample.extrapCycles"), 1u);
+    EXPECT_EQ(a.stats.count("sample.ffInstrs"), 1u);
+    EXPECT_EQ(a.stats.at("sim.sampled"), 1.0);
+}
+
+// Clamped queue capacities keep the interpreter's functional results
+// exact (capacities only change the blocking schedule), and bound the
+// committed occupancy a checkpoint can carry.
+TEST(SampleFastForward, ClampedQueueCapsKeepFunctionalResults)
+{
+    Graph g = testGraph();
+    SystemConfig cfg = testConfig();
+
+    System sys(cfg);
+    BfsWorkload wl(&g);
+    BuildContext ctx(&sys);
+    wl.build(ctx, Variant::Pipette);
+
+    Interp interp(ctx.spec, &sys.memory(), cfg.core.queueCapacity);
+    interp.clampQueueCaps(32); // much tighter than the default budget
+    Interp::Result r = interp.run();
+    ASSERT_EQ(r.status, Interp::Status::Done);
+    EXPECT_TRUE(wl.verify(sys));
+
+    ArchSnapshot snap = interp.snapshot();
+    for (const auto &q : snap.queues)
+        EXPECT_LE(q.entries.size(), 32u);
+}
+
+// The sampling knobs change the reported numbers, so they must key the
+// sweep cache.
+TEST(SamplingConfigTest, FieldsKeyTheFingerprint)
+{
+    SystemConfig base;
+    SystemConfig p = base, w = base, u = base;
+    p.sampling.period = 100'000;
+    w.sampling.window = base.sampling.window + 1;
+    u.sampling.warmup = base.sampling.warmup + 1;
+
+    EXPECT_EQ(configFingerprint(base), configFingerprint(SystemConfig{}));
+    EXPECT_NE(configFingerprint(base), configFingerprint(p));
+    EXPECT_NE(configFingerprint(base), configFingerprint(w));
+    EXPECT_NE(configFingerprint(base), configFingerprint(u));
+}
+
+} // namespace
+} // namespace pipette
