@@ -35,6 +35,8 @@
 #include "harness/report.h"
 #include "harness/runner.h"
 #include "parallel/sim_job_pool.h"
+#include "resilience/crc32.h"
+#include "resilience/error.h"
 #include "sim/hash.h"
 #include "workloads/bfs.h"
 #include "workloads/cc.h"
@@ -144,6 +146,25 @@ struct BenchOpts
     uint64_t traceCycles = 0;
     bool traceOnly = false;
 
+    // Resilience (src/resilience/; DESIGN.md section 12):
+    // --checkpoint-out=FILE (durable resumable checkpoint at every
+    // sample boundary), --resume=FILE (continue an interrupted sampled
+    // run), --window-timeout-ms=N (wall-clock budget per detailed
+    // window), --max-checkpoints=N (checkpoint cap override), and the
+    // deterministic test hooks --interrupt-at-checkpoint=N /
+    // --inject-window-failures=N / --inject-window-hang-ms=N /
+    // --fault-window=K used by CI to exercise the drain/retry paths
+    // without timing races. Numeric values parse strictly (parseCount64:
+    // zero/garbage abort; off is spelled by omitting the flag).
+    std::string checkpointOutPath;
+    std::string resumePath;
+    uint64_t windowTimeoutMs = 0;
+    uint64_t maxCheckpoints = 0;
+    uint64_t interruptAtCheckpoint = 0;
+    uint64_t injectWindowFailures = 0;
+    uint64_t injectWindowHangMs = 0;
+    uint64_t faultWindow = 0;
+
     static BenchOpts
     parse(int argc, char **argv)
     {
@@ -196,6 +217,33 @@ struct BenchOpts
                 o.traceCycles = std::strtoull(argv[i] + 15, nullptr, 10);
             else if (std::strcmp(argv[i], "--trace-only") == 0)
                 o.traceOnly = true;
+            else if (std::strncmp(argv[i], "--checkpoint-out=", 17) == 0)
+                o.checkpointOutPath = argv[i] + 17;
+            else if (std::strncmp(argv[i], "--resume=", 9) == 0)
+                o.resumePath = argv[i] + 9;
+            else if (std::strncmp(argv[i], "--window-timeout-ms=", 20) ==
+                     0)
+                o.windowTimeoutMs =
+                    parseCount64("--window-timeout-ms", argv[i] + 20);
+            else if (std::strncmp(argv[i], "--max-checkpoints=", 18) ==
+                     0)
+                o.maxCheckpoints =
+                    parseCount64("--max-checkpoints", argv[i] + 18);
+            else if (std::strncmp(argv[i], "--interrupt-at-checkpoint=",
+                                  26) == 0)
+                o.interruptAtCheckpoint = parseCount64(
+                    "--interrupt-at-checkpoint", argv[i] + 26);
+            else if (std::strncmp(argv[i], "--inject-window-failures=",
+                                  25) == 0)
+                o.injectWindowFailures = parseCount64(
+                    "--inject-window-failures", argv[i] + 25);
+            else if (std::strncmp(argv[i], "--inject-window-hang-ms=",
+                                  24) == 0)
+                o.injectWindowHangMs = parseCount64(
+                    "--inject-window-hang-ms", argv[i] + 24);
+            else if (std::strncmp(argv[i], "--fault-window=", 15) == 0)
+                o.faultWindow =
+                    parseCount64("--fault-window", argv[i] + 15);
         }
         if (o.quick)
             o.scale *= 0.25;
@@ -254,6 +302,37 @@ struct BenchOpts
             cfg.sampling.warmup = sampleWarmup;
         if (epochLength)
             cfg.epochLength = static_cast<uint32_t>(epochLength);
+    }
+
+    /** Any resilience flag requested on the command line. */
+    bool
+    resilienceRequested() const
+    {
+        return !checkpointOutPath.empty() || !resumePath.empty() ||
+               windowTimeoutMs || maxCheckpoints ||
+               interruptAtCheckpoint || injectWindowFailures ||
+               injectWindowHangMs;
+    }
+
+    /**
+     * Apply the resilience flags to a run's SystemConfig. The paths
+     * are output-side (never fingerprinted); every numeric knob keys
+     * the fingerprint, so a --resume run must repeat the originals.
+     */
+    void
+    applyResilience(SystemConfig &cfg) const
+    {
+        ResilienceConfig &rz = cfg.resilience;
+        rz.checkpointOutPath = checkpointOutPath;
+        rz.resumePath = resumePath;
+        rz.windowTimeoutMs = windowTimeoutMs;
+        rz.interruptAtCheckpoint = interruptAtCheckpoint;
+        rz.injectWindowFailures =
+            static_cast<uint32_t>(injectWindowFailures);
+        rz.injectWindowHangMs = injectWindowHangMs;
+        rz.faultWindow = static_cast<uint32_t>(faultWindow);
+        if (maxCheckpoints)
+            cfg.sampling.maxCheckpoints = maxCheckpoints;
     }
 };
 
@@ -454,6 +533,15 @@ sweepFingerprint(const BenchOpts &o, const std::vector<AppInput> &suite,
     return h.value();
 }
 
+/**
+ * Load the sweep cache. The file is trusted only after three checks:
+ * the v2 header's config/input fingerprint must match, every row must
+ * parse exactly, and the trailing "# crc32=<hex>" line must match the
+ * CRC32 of the row bytes. Anything else -- a truncated write, a flipped
+ * bit, a hand-edited row, a pre-CRC file -- invalidates the cache with
+ * a message and the suite re-simulates; corrupt bytes can never load
+ * as results.
+ */
 inline bool
 loadSweepCache(const std::string &path, uint64_t fingerprint,
                SweepResult *out)
@@ -463,7 +551,7 @@ loadSweepCache(const std::string &path, uint64_t fingerprint,
         return false;
     // Header: "# pipette-sweep v2 cfg=<hex fingerprint>". Headerless
     // (pre-fingerprint) files fail the check and are re-simulated.
-    char line[128];
+    char line[512];
     unsigned long long cached = 0;
     if (!std::fgets(line, sizeof(line), f) ||
         std::sscanf(line, "# pipette-sweep v2 cfg=%llx", &cached) != 1 ||
@@ -476,19 +564,38 @@ loadSweepCache(const std::string &path, uint64_t fingerprint,
         std::fclose(f);
         return false;
     }
-    char app[32], input[32];
-    int variant, verified, finished;
-    unsigned long long cycles, instrs;
-    RunResult r;
-    while (std::fscanf(f,
-                       "%31[^,],%31[^,],%d,%d,%d,%llu,%llu,%lf,"
-                       "%lf,%lf,%lf,%lf,%lf,%lf,%lf,%lf,%u\n",
-                       app, input, &variant, &verified, &finished,
-                       &cycles, &instrs, &r.ipc, &r.cpiFrac[0],
-                       &r.cpiFrac[1], &r.cpiFrac[2], &r.cpiFrac[3],
-                       &r.energy.coreDynamic, &r.energy.coreStatic,
-                       &r.energy.cache, &r.energy.dram,
-                       &r.numCores) == 17) {
+    auto invalidate = [&](const char *why) {
+        std::fprintf(stderr,
+                     "  (sweep cache %s invalidated: %s; "
+                     "re-simulating)\n",
+                     path.c_str(), why);
+        std::fclose(f);
+        out->runs.clear();
+        return false;
+    };
+    resilience::Crc32 crc;
+    bool sawTrailer = false;
+    unsigned long long trailer = 0;
+    while (std::fgets(line, sizeof(line), f)) {
+        if (std::sscanf(line, "# crc32=%llx", &trailer) == 1) {
+            sawTrailer = true;
+            break;
+        }
+        crc.update(line, std::strlen(line));
+        char app[32], input[32];
+        int variant, verified, finished;
+        unsigned long long cycles, instrs;
+        RunResult r;
+        if (std::sscanf(line,
+                        "%31[^,],%31[^,],%d,%d,%d,%llu,%llu,%lf,"
+                        "%lf,%lf,%lf,%lf,%lf,%lf,%lf,%lf,%u",
+                        app, input, &variant, &verified, &finished,
+                        &cycles, &instrs, &r.ipc, &r.cpiFrac[0],
+                        &r.cpiFrac[1], &r.cpiFrac[2], &r.cpiFrac[3],
+                        &r.energy.coreDynamic, &r.energy.coreStatic,
+                        &r.energy.cache, &r.energy.dram,
+                        &r.numCores) != 17)
+            return invalidate("malformed row");
         r.workload = app;
         r.input = input;
         r.variant = static_cast<Variant>(variant);
@@ -498,6 +605,13 @@ loadSweepCache(const std::string &path, uint64_t fingerprint,
         r.instrs = instrs;
         out->runs.push_back(r);
     }
+    if (!sawTrailer)
+        return invalidate("missing CRC trailer (truncated or pre-CRC "
+                          "file)");
+    if (trailer != crc.value())
+        return invalidate("CRC mismatch (corrupt bytes)");
+    if (std::fgets(line, sizeof(line), f))
+        return invalidate("trailing bytes after the CRC line");
     std::fclose(f);
     return !out->runs.empty();
 }
@@ -511,10 +625,16 @@ saveSweepCache(const std::string &path, uint64_t fingerprint,
         return;
     std::fprintf(f, "# pipette-sweep v2 cfg=%016llx\n",
                  static_cast<unsigned long long>(fingerprint));
+    // The trailer CRC covers exactly the row bytes between the header
+    // and the "# crc32=" line, so rows are formatted once into a
+    // buffer, hashed, then written.
+    resilience::Crc32 crc;
     for (const RunResult &r : res.runs) {
-        std::fprintf(
-            f, "%s,%s,%d,%d,%d,%llu,%llu,%.6f,%.6f,%.6f,%.6f,%.6f,"
-               "%.3f,%.3f,%.3f,%.3f,%u\n",
+        char row[512];
+        int n = std::snprintf(
+            row, sizeof(row),
+            "%s,%s,%d,%d,%d,%llu,%llu,%.6f,%.6f,%.6f,%.6f,%.6f,"
+            "%.3f,%.3f,%.3f,%.3f,%u\n",
             r.workload.c_str(), r.input.c_str(),
             static_cast<int>(r.variant), r.verified ? 1 : 0,
             r.finished ? 1 : 0,
@@ -523,7 +643,12 @@ saveSweepCache(const std::string &path, uint64_t fingerprint,
             r.cpiFrac[0], r.cpiFrac[1], r.cpiFrac[2], r.cpiFrac[3],
             r.energy.coreDynamic, r.energy.coreStatic, r.energy.cache,
             r.energy.dram, r.numCores);
+        if (n < 0 || n >= static_cast<int>(sizeof(row)))
+            continue; // over-long row: drop rather than corrupt
+        crc.update(row, static_cast<size_t>(n));
+        std::fputs(row, f);
     }
+    std::fprintf(f, "# crc32=%08x\n", crc.value());
     std::fclose(f);
 }
 

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Resilience driver (DESIGN.md section 12): one sampled BFS/Pipette
+ * run under the durable-checkpoint / interrupt / window-fault flags,
+ * with the process exit code taken from the error taxonomy. CI drives
+ * it four ways:
+ *
+ *   interrupt   --checkpoint-out=F --interrupt-at-checkpoint=N
+ *               drains at the Nth boundary, leaves a resumable file,
+ *               exits 130;
+ *   resume      --resume=F (plus the original flags) continues the run
+ *               to completion; its --stats-out dump must be
+ *               byte-identical to an uninterrupted run's;
+ *   corrupt     --resume=<bit-flipped or truncated F> must exit 4
+ *               (checkpoint-corrupt), never crash;
+ *   fault       --inject-window-failures=2 --fault-window=K completes
+ *               with sample.windowsFailed=1 and exit 0 (degraded, not
+ *               dead).
+ *
+ * Real signals work too (SIGINT/SIGTERM are installed cooperatively);
+ * the deterministic hook exists so CI needs no timing races.
+ */
+
+#include "bench_common.h"
+#include "resilience/interrupt.h"
+#include "sample/sampler.h"
+
+using namespace pipette;
+using namespace pipette::bench;
+
+namespace {
+
+void
+writeSampleStats(const std::string &path, const sample::SampleReport &rep)
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "error: cannot open %s for writing\n",
+                     path.c_str());
+        std::exit(resilience::exitCode(
+            resilience::SimError::HostResource));
+    }
+    // Sorted map order + %.17g round-trip formatting: the dump is
+    // byte-comparable across runs (the resume determinism gate).
+    for (const auto &kv : rep.stats)
+        std::fprintf(f, "%s %.17g\n", kv.first.c_str(), kv.second);
+    std::fprintf(f, "verified %d\n", rep.verified ? 1 : 0);
+    std::fclose(f);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOpts o = BenchOpts::parse(argc, argv);
+
+    banner("Resilience",
+           "durable checkpoint/resume + fault-tolerant sampled run");
+
+    // The documented sampled operating point on the tier-1-sized R-MAT
+    // input (deterministic generator; same seed everywhere).
+    SystemConfig cfg = baseConfig();
+    cfg.sampling.period = 20'000;
+    cfg.sampling.window = 10'000;
+    cfg.sampling.warmup = 2'000;
+    o.applySampling(cfg);
+    o.applyResilience(cfg);
+
+    resilience::installSignalHandlers();
+
+    Graph g = makeRmatGraph(8192, 32768, 11);
+    BfsWorkload wl(&g);
+    sample::SampleReport rep =
+        sample::runSampled(cfg, wl, Variant::Pipette, o.effectiveJobs());
+
+    std::printf("%s%s: %u windows (%u ok, %u failed, %u retried), "
+                "%llu ff-instrs, cpi %.3f, extrap %llu cycles\n",
+                rep.resumed ? "resumed " : "",
+                rep.interrupted ? "interrupted" : "run",
+                rep.windows, rep.windowsOk, rep.windowsFailed,
+                rep.windowRetries,
+                static_cast<unsigned long long>(rep.ffInstrs), rep.cpi,
+                static_cast<unsigned long long>(rep.extrapCycles));
+    if (rep.error != resilience::SimError::None) {
+        std::fprintf(stderr, "result: %s%s%s\n",
+                     resilience::simErrorName(rep.error),
+                     rep.errorMsg.empty() ? "" : ": ",
+                     rep.errorMsg.c_str());
+    }
+
+    if (!o.statsOutPath.empty())
+        writeSampleStats(o.statsOutPath, rep);
+
+    if (rep.error != resilience::SimError::None)
+        return resilience::exitCode(rep.error);
+    if (!rep.ok || !rep.verified) {
+        std::fprintf(stderr, "FAIL: sampled run did not complete "
+                             "verified\n");
+        return 1;
+    }
+    return 0;
+}

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "sim/config.h"
+#include "sim/logging.h"
 #include "sim/types.h"
 
 namespace pipette {
@@ -36,6 +37,34 @@ class BranchPredictor
     bool predictIndirect(ThreadId tid, Addr pc, Addr *target) const;
     void updateIndirect(ThreadId tid, Addr pc, Addr target);
 
+    struct BtbEntry
+    {
+        Addr pc = ~0ull;
+        Addr target = 0;
+        ThreadId tid = 0;
+    };
+
+    // --- Durable-checkpoint support (src/resilience/) ----------------
+    //
+    // Field-by-field serialization of the trained state; restore
+    // requires identically sized tables, which the loader guarantees by
+    // rebuilding the predictor from the same CoreConfig.
+
+    const std::vector<uint8_t> &rawPht() const { return pht_; }
+    const std::vector<BtbEntry> &rawBtb() const { return btb_; }
+    const std::vector<uint64_t> &rawHist() const { return hist_; }
+    void
+    restoreRaw(std::vector<uint8_t> &&pht, std::vector<BtbEntry> &&btb,
+               std::vector<uint64_t> &&hist)
+    {
+        panic_if(pht.size() != pht_.size() || btb.size() != btb_.size() ||
+                     hist.size() != hist_.size(),
+                 "BranchPredictor::restoreRaw geometry mismatch");
+        pht_ = std::move(pht);
+        btb_ = std::move(btb);
+        hist_ = std::move(hist);
+    }
+
   private:
     uint32_t
     phtIndex(ThreadId tid, Addr pc, uint64_t hist) const
@@ -51,12 +80,6 @@ class BranchPredictor
 
     std::vector<uint8_t> pht_; // 2-bit counters
     uint32_t phtMask_;
-    struct BtbEntry
-    {
-        Addr pc = ~0ull;
-        Addr target = 0;
-        ThreadId tid = 0;
-    };
     std::vector<BtbEntry> btb_;
     uint32_t btbMask_;
     std::vector<uint64_t> hist_;

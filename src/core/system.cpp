@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "debug/invariants.h"
+#include "resilience/interrupt.h"
 
 namespace pipette {
 
@@ -57,6 +58,7 @@ System::stopReasonName(StopReason r)
       case StopReason::OracleDivergence: return "oracle-divergence";
       case StopReason::InvariantViolation: return "invariant-violation";
       case StopReason::MaxCycles: return "max-cycles";
+      case StopReason::Interrupted: return "interrupted";
     }
     return "?";
 }
@@ -490,6 +492,12 @@ System::runFor(Cycle n)
             res.stopReason = StopReason::MaxCycles;
             break;
         }
+        // Cooperative SIGINT/SIGTERM: drain at the next cycle edge so
+        // the caller can emit a resumable checkpoint + partial stats.
+        if (resilience::interruptRequested()) {
+            res.stopReason = StopReason::Interrupted;
+            break;
+        }
     }
     res.cycles = stepNow_;
     for (auto &core : cores_)
@@ -590,6 +598,13 @@ System::epochLoop(Cycle stop, bool watchInvariants, RunResult *res)
         }
         if (cfg_.maxCycles && stepNow_ >= cfg_.maxCycles) {
             res->stopReason = StopReason::MaxCycles;
+            break;
+        }
+        // Interrupt poll only at epoch edges: partition ticks between
+        // edges stay signal-free so all cores stop at the same cycle
+        // regardless of host worker scheduling.
+        if (resilience::interruptRequested()) {
+            res->stopReason = StopReason::Interrupted;
             break;
         }
     }

@@ -54,6 +54,7 @@ class System
         OracleDivergence,   ///< lockstep oracle caught a wrong commit
         InvariantViolation, ///< structural invariant check failed
         MaxCycles,          ///< cfg.maxCycles reached
+        Interrupted,        ///< cooperative SIGINT/SIGTERM drain
     };
 
     static const char *stopReasonName(StopReason r);

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <cmath>
 
+#include "sim/logging.h"
+
 namespace pipette {
 
 RunResult
@@ -10,6 +12,37 @@ Runner::run(WorkloadBase &wl, Variant v, const std::string &inputName,
             uint32_t numCores)
 {
     auto hostStart = std::chrono::steady_clock::now();
+    RunResult r;
+    r.workload = wl.name();
+    r.input = inputName;
+    r.variant = v;
+    r.numCores = numCores;
+
+    // While this scope is alive, fatal() (bad config, bad input)
+    // throws instead of exiting, so one broken cell in a sweep is
+    // isolated into a structured result instead of killing every
+    // sibling run.
+    FatalThrowScope throwScope;
+    try {
+        runInner(wl, v, inputName, numCores, r);
+    } catch (const resilience::SimException &e) {
+        r.error = e.error();
+        r.diagnosis = e.what();
+        r.verified = false;
+        warn(wl.name(), "/", variantName(v), " on ", inputName, ": ",
+             resilience::simErrorName(r.error), ": ", e.what());
+    }
+    r.hostSeconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - hostStart)
+                        .count();
+    return r;
+}
+
+void
+Runner::runInner(WorkloadBase &wl, Variant v,
+                 const std::string &inputName, uint32_t numCores,
+                 RunResult &r)
+{
     SystemConfig cfg = base_;
     cfg.numCores = numCores;
     System sys(cfg);
@@ -18,17 +51,27 @@ Runner::run(WorkloadBase &wl, Variant v, const std::string &inputName,
     sys.configure(ctx.spec);
     auto res = sys.run();
 
-    RunResult r;
-    r.workload = wl.name();
-    r.input = inputName;
-    r.variant = v;
-    r.numCores = numCores;
     r.finished = res.finished;
     r.stopReason = res.stopReason;
     r.diagnosis = res.diagnosis;
     r.cycles = res.cycles;
     r.instrs = res.instrs;
     r.ipc = res.cycles ? static_cast<double>(res.instrs) / res.cycles : 0;
+    // Map guardrail / drain stops onto the error taxonomy so callers
+    // (and process exit codes) can distinguish simulator bugs from
+    // user error or a cooperative interrupt.
+    switch (res.stopReason) {
+      case System::StopReason::WatchdogDeadlock:
+      case System::StopReason::OracleDivergence:
+      case System::StopReason::InvariantViolation:
+        r.error = resilience::SimError::InternalInvariant;
+        break;
+      case System::StopReason::Interrupted:
+        r.error = resilience::SimError::Interrupted;
+        break;
+      default:
+        break;
+    }
     r.verified = res.finished && wl.verify(sys);
     if (!r.verified) {
         if (res.finished) {
@@ -71,10 +114,6 @@ Runner::run(WorkloadBase &wl, Variant v, const std::string &inputName,
                    ": interval samples written to ", ocfg.sampleCsvPath);
         }
     }
-    r.hostSeconds = std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - hostStart)
-                        .count();
-    return r;
 }
 
 std::string
@@ -84,6 +123,14 @@ runStatus(const RunResult &r)
         return "yes";
     if (r.finished)
         return "NO (result mismatch)";
+    // Errors caught before/without a System run (a fatal() during
+    // build, a worker fault) have no stop reason; name the taxonomy
+    // class instead.
+    if (r.stopReason == System::StopReason::None &&
+        r.error != resilience::SimError::None) {
+        return std::string("NO (") + resilience::simErrorName(r.error) +
+               ")";
+    }
     return std::string("NO (") + System::stopReasonName(r.stopReason) +
            ")";
 }

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "harness/energy.h"
+#include "resilience/error.h"
 #include "workloads/workload.h"
 
 namespace pipette {
@@ -29,6 +30,15 @@ struct RunResult
     /** Structured failure report from the guardrails (empty when the
      *  run finished cleanly). */
     std::string diagnosis;
+    /**
+     * Error-taxonomy class for the failure (DESIGN.md §12). None for
+     * verified runs and plain result mismatches; guardrail stops map to
+     * InternalInvariant, cooperative signal drains to Interrupted, and
+     * a fatal()/SimException escaping the build or run is caught under
+     * a FatalThrowScope and recorded here instead of killing the
+     * process (its message lands in `diagnosis`).
+     */
+    resilience::SimError error = resilience::SimError::None;
     Cycle cycles = 0;
     uint64_t instrs = 0;
     double ipc = 0;
@@ -64,6 +74,11 @@ class Runner
     SystemConfig &config() { return base_; }
 
   private:
+    /** Body of run(): everything that may fatal()/throw. */
+    void runInner(WorkloadBase &wl, Variant v,
+                  const std::string &inputName, uint32_t numCores,
+                  RunResult &r);
+
     SystemConfig base_;
 };
 

@@ -152,6 +152,50 @@ Interp::snapshot() const
 }
 
 void
+Interp::restore(const ArchSnapshot &s)
+{
+    panic_if(s.threads.size() != threads_.size() ||
+                 s.ras.size() != ras_.size(),
+             "ArchSnapshot shape mismatch in Interp::restore");
+    for (size_t i = 0; i < threads_.size(); i++) {
+        FThread &t = threads_[i];
+        const ArchSnapshot::Thread &st = s.threads[i];
+        t.pc = st.pc;
+        t.halted = st.halted;
+        t.regs = st.regs;
+        t.regs[reg::ZERO] = 0;
+        t.instrs = st.instrs;
+    }
+    // The snapshot was emitted from an identical queue set, but queues
+    // empty at the snapshot carry no entry list -- clear everything
+    // first so they do not keep stale contents.
+    for (auto &kv : queues_) {
+        kv.second.head = 0;
+        kv.second.count = 0;
+        kv.second.skipArmed = false;
+    }
+    for (const ArchSnapshot::Queue &sq : s.queues) {
+        FQueue &fq = queue(sq.core, sq.id);
+        for (const auto &e : sq.entries)
+            fq.push(e.first, e.second);
+        fq.skipArmed = sq.skipArmed; // after pushes (ctrl pushes disarm)
+    }
+    for (size_t i = 0; i < ras_.size(); i++) {
+        FRa &ra = ras_[i];
+        const ArchSnapshot::Ra &sr = s.ras[i];
+        ra.scanning = sr.scanning;
+        ra.haveStart = sr.haveStart;
+        ra.start = sr.start;
+        ra.cur = sr.cur;
+        ra.end = sr.end;
+    }
+    // The restored address space may have replaced the page the read
+    // cache points at.
+    rdPn_ = ~0ull;
+    rdPage_ = nullptr;
+}
+
+void
 Interp::clampQueueCaps(uint32_t perCoreRegBudget)
 {
     std::unordered_map<CoreId, std::vector<FQueue *>> byCore;

@@ -89,6 +89,16 @@ class Interp
     ArchSnapshot snapshot() const;
 
     /**
+     * Install a previously captured snapshot (durable-checkpoint
+     * resume): thread PCs/registers/retire counts, queue contents and
+     * skip arms, and RA cursors are replaced wholesale; memory is
+     * restored separately (journal + page images). The snapshot must
+     * come from a machine built on the same MachineSpec with the same
+     * queue-capacity clamp, which the resume path validates up front.
+     */
+    void restore(const ArchSnapshot &s);
+
+    /**
      * Sampling support: clamp queue capacities so one core's total
      * committed queue occupancy can never exceed `perCoreRegBudget`
      * entries. Checkpoint restore preloads every committed entry into

@@ -60,6 +60,26 @@ class CacheArray
     uint32_t numSets() const { return numSets_; }
     const char *name() const { return name_; }
 
+    // --- Durable-checkpoint support (src/resilience/) ----------------
+    //
+    // The tag array is serialized field by field (never through struct
+    // padding); restore requires an array of identical geometry, which
+    // the loader guarantees by rebuilding it from the same CacheConfig.
+
+    /** Raw line state, set-major (numSets * ways entries). */
+    const std::vector<Line> &rawLines() const { return lines_; }
+    /** LRU clock at the snapshot. */
+    uint64_t rawTick() const { return tick_; }
+    /** Install previously captured line state; geometry must match. */
+    void
+    restoreRaw(std::vector<Line> &&lines, uint64_t tick)
+    {
+        panic_if(lines.size() != lines_.size(),
+                 "CacheArray::restoreRaw geometry mismatch on ", name_);
+        lines_ = std::move(lines);
+        tick_ = tick;
+    }
+
   private:
     uint32_t setIndex(uint64_t lineAddr) const
     {

@@ -153,6 +153,19 @@ class SimMemory
         }
     }
 
+    /**
+     * Install a full page image (durable-checkpoint resume): allocate
+     * the page and overwrite all PAGE_SIZE bytes. Bypasses the write
+     * observer -- restore happens before journaling (re)starts, so the
+     * installed bytes are the baseline, not a journaled write.
+     */
+    void
+    installPage(uint64_t pn, const uint8_t *bytes)
+    {
+        uint8_t *p = pageForAlloc(pn << PAGE_BITS);
+        std::memcpy(p, bytes, PAGE_SIZE);
+    }
+
     /** Copy a host array of 64-bit words into simulated memory. */
     void
     writeArray64(Addr addr, const uint64_t *data, size_t n)

@@ -1,5 +1,8 @@
 #include "parallel/sim_job_pool.h"
 
+#include "resilience/error.h"
+#include "sim/logging.h"
+
 namespace pipette::parallel {
 
 std::vector<RunResult>
@@ -11,9 +14,28 @@ SimJobPool::runAll(const std::vector<SimJob> &jobs, const OnResult &onResult)
     for (size_t i = 0; i < jobs.size(); i++) {
         tasks.push_back([&jobs, &results, i] {
             const SimJob &j = jobs[i];
-            Runner runner(j.config);
-            std::unique_ptr<WorkloadBase> wl = j.make(j.seed);
-            results[i] = runner.run(*wl, j.variant, j.input, j.numCores);
+            // Runner::run catches SimException itself; this outer
+            // guard isolates anything escaping workload construction
+            // or the pool plumbing (a fatal() in make(), bad_alloc)
+            // into a WorkerFault result instead of terminating every
+            // sibling job with the worker thread.
+            FatalThrowScope throwScope;
+            try {
+                Runner runner(j.config);
+                std::unique_ptr<WorkloadBase> wl = j.make(j.seed);
+                results[i] =
+                    runner.run(*wl, j.variant, j.input, j.numCores);
+            } catch (const std::exception &e) {
+                RunResult r;
+                r.input = j.input;
+                r.variant = j.variant;
+                r.numCores = j.numCores;
+                r.error = resilience::SimError::WorkerFault;
+                r.diagnosis = e.what();
+                warn("worker fault on job ", i, " (", j.input,
+                     "): ", e.what());
+                results[i] = std::move(r);
+            }
         });
     }
     // results[i] is written by a worker before its done-flag flips and

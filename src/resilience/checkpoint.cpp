@@ -1,0 +1,692 @@
+#include "resilience/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "resilience/crc32.h"
+
+namespace pipette::resilience {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'I', 'P', 'C', 'K', 'P', 'T', '1'};
+constexpr uint32_t kVersion = 1;
+
+enum SectionId : uint32_t
+{
+    SEC_HEADER = 1,
+    SEC_CKPTS = 2,
+    SEC_JOURNAL = 3,
+    SEC_LIVEPAGES = 4,
+    SEC_END = 5,
+};
+
+// ---------------------------------------------------------------------
+// Little-endian byte sink/cursor. Serialization goes field by field --
+// never through struct memory -- so padding bytes and host struct
+// layout can't leak into (or be corrupted by) the file format.
+
+struct ByteSink
+{
+    std::vector<uint8_t> buf;
+
+    void
+    u8(uint8_t v)
+    {
+        buf.push_back(v);
+    }
+    void
+    u32(uint32_t v)
+    {
+        for (int i = 0; i < 4; i++)
+            buf.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+    void
+    u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; i++)
+            buf.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+    void
+    bytes(const void *p, size_t n)
+    {
+        const uint8_t *b = static_cast<const uint8_t *>(p);
+        buf.insert(buf.end(), b, b + n);
+    }
+};
+
+/** Bounds-checked reader: any overrun latches fail and yields zeros,
+ *  so corrupt payloads parse to garbage values, never to UB. */
+struct Cursor
+{
+    const uint8_t *p;
+    size_t n;
+    size_t off = 0;
+    bool fail = false;
+
+    bool
+    need(size_t k)
+    {
+        if (fail || n - off < k) {
+            fail = true;
+            return false;
+        }
+        return true;
+    }
+    uint8_t
+    u8()
+    {
+        if (!need(1))
+            return 0;
+        return p[off++];
+    }
+    uint32_t
+    u32()
+    {
+        if (!need(4))
+            return 0;
+        uint32_t v = 0;
+        for (int i = 0; i < 4; i++)
+            v |= static_cast<uint32_t>(p[off++]) << (8 * i);
+        return v;
+    }
+    uint64_t
+    u64()
+    {
+        if (!need(8))
+            return 0;
+        uint64_t v = 0;
+        for (int i = 0; i < 8; i++)
+            v |= static_cast<uint64_t>(p[off++]) << (8 * i);
+        return v;
+    }
+    bool
+    bytes(void *dst, size_t k)
+    {
+        if (!need(k))
+            return false;
+        std::memcpy(dst, p + off, k);
+        off += k;
+        return true;
+    }
+    size_t remaining() const { return fail ? 0 : n - off; }
+};
+
+// --------------------------------------------------------------- write
+
+void
+putHeader(ByteSink &s, const SampleCheckpointHeader &h)
+{
+    s.u64(h.configFp);
+    s.u64(h.period);
+    s.u64(h.window);
+    s.u64(h.warmup);
+    s.u64(h.maxCheckpoints);
+    s.u32(h.numThreads);
+    s.u32(h.numRas);
+    s.u32(h.numCores);
+    s.u8(h.ffDone ? 1 : 0);
+    s.u8(h.ffStatus);
+    s.u8(h.truncated ? 1 : 0);
+    s.u64(h.ffInstrs);
+    s.u64(h.ffRounds);
+}
+
+void
+putArch(ByteSink &s, const ArchSnapshot &a)
+{
+    s.u32(static_cast<uint32_t>(a.threads.size()));
+    for (const ArchSnapshot::Thread &t : a.threads) {
+        s.u64(t.pc);
+        s.u8(t.halted ? 1 : 0);
+        s.u64(t.instrs);
+        for (uint64_t r : t.regs)
+            s.u64(r);
+    }
+    s.u32(static_cast<uint32_t>(a.queues.size()));
+    for (const ArchSnapshot::Queue &q : a.queues) {
+        s.u32(q.core);
+        s.u32(q.id);
+        s.u8(q.skipArmed ? 1 : 0);
+        s.u32(static_cast<uint32_t>(q.entries.size()));
+        for (const auto &e : q.entries) {
+            s.u64(e.first);
+            s.u8(e.second ? 1 : 0);
+        }
+    }
+    s.u32(static_cast<uint32_t>(a.ras.size()));
+    for (const ArchSnapshot::Ra &r : a.ras) {
+        s.u8(static_cast<uint8_t>((r.scanning ? 1 : 0) |
+                                  (r.haveStart ? 2 : 0)));
+        s.u64(r.start);
+        s.u64(r.cur);
+        s.u64(r.end);
+    }
+    s.u64(a.totalInstrs);
+}
+
+void
+putCacheArray(ByteSink &s, const CacheArray &c)
+{
+    s.u64(c.rawTick());
+    const std::vector<CacheArray::Line> &lines = c.rawLines();
+    s.u32(static_cast<uint32_t>(lines.size()));
+    for (const CacheArray::Line &l : lines) {
+        s.u64(l.tag);
+        s.u8(static_cast<uint8_t>((l.valid ? 1 : 0) | (l.dirty ? 2 : 0) |
+                                  (l.prefetched ? 4 : 0) |
+                                  (l.ownerValid ? 8 : 0)));
+        s.u32(l.sharers);
+        s.u32(l.owner);
+        s.u64(l.lruTick);
+    }
+}
+
+void
+putWarm(ByteSink &s, const sample::WarmState &w)
+{
+    s.u32(static_cast<uint32_t>(w.l1.size()));
+    for (size_t c = 0; c < w.l1.size(); c++) {
+        putCacheArray(s, w.l1[c]);
+        putCacheArray(s, w.l2[c]);
+    }
+    putCacheArray(s, w.l3);
+    s.u32(static_cast<uint32_t>(w.bpred.size()));
+    for (const BranchPredictor &bp : w.bpred) {
+        const auto &pht = bp.rawPht();
+        s.u32(static_cast<uint32_t>(pht.size()));
+        s.bytes(pht.data(), pht.size());
+        const auto &btb = bp.rawBtb();
+        s.u32(static_cast<uint32_t>(btb.size()));
+        for (const BranchPredictor::BtbEntry &e : btb) {
+            s.u64(e.pc);
+            s.u64(e.target);
+            s.u32(e.tid);
+        }
+        const auto &hist = bp.rawHist();
+        s.u32(static_cast<uint32_t>(hist.size()));
+        for (uint64_t h : hist)
+            s.u64(h);
+    }
+    s.u32(static_cast<uint32_t>(w.pf.size()));
+    for (const StreamPrefetcher::State &st : w.pf) {
+        s.u64(st.tick);
+        s.u32(static_cast<uint32_t>(st.streams.size()));
+        for (const StreamPrefetcher::Stream &m : st.streams) {
+            s.u64(m.lastLine);
+            s.u64(static_cast<uint64_t>(m.stride));
+            s.u32(m.confidence);
+            s.u64(m.lruTick);
+            s.u8(m.valid ? 1 : 0);
+        }
+    }
+}
+
+/** Page maps iterate in hash order; emit sorted so files from the same
+ *  state are byte-identical (determinism contract, DESIGN.md §12). */
+std::vector<uint64_t>
+sortedPns(const sample::CowJournal::PageMap &m)
+{
+    std::vector<uint64_t> pns;
+    pns.reserve(m.size());
+    for (const auto &kv : m)
+        pns.push_back(kv.first);
+    std::sort(pns.begin(), pns.end());
+    return pns;
+}
+
+void
+putSection(FILE *f, uint32_t id, const ByteSink &s, bool *ok)
+{
+    ByteSink hd;
+    hd.u32(id);
+    hd.u64(s.buf.size());
+    hd.u32(crc32(s.buf.data(), s.buf.size()));
+    if (std::fwrite(hd.buf.data(), 1, hd.buf.size(), f) != hd.buf.size())
+        *ok = false;
+    if (!s.buf.empty() &&
+        std::fwrite(s.buf.data(), 1, s.buf.size(), f) != s.buf.size())
+        *ok = false;
+}
+
+// ---------------------------------------------------------------- read
+
+bool
+getArch(Cursor &c, ArchSnapshot *a)
+{
+    uint32_t nThreads = c.u32();
+    if (nThreads > c.remaining() / (8 + 1 + 8))
+        return false;
+    for (uint32_t i = 0; i < nThreads; i++) {
+        ArchSnapshot::Thread t;
+        t.pc = c.u64();
+        t.halted = c.u8() != 0;
+        t.instrs = c.u64();
+        for (size_t r = 0; r < t.regs.size(); r++)
+            t.regs[r] = c.u64();
+        a->threads.push_back(t);
+    }
+    uint32_t nQueues = c.u32();
+    if (nQueues > c.remaining() / (4 + 4 + 1 + 4))
+        return false;
+    for (uint32_t i = 0; i < nQueues; i++) {
+        ArchSnapshot::Queue q;
+        q.core = static_cast<CoreId>(c.u32());
+        q.id = static_cast<QueueId>(c.u32());
+        q.skipArmed = c.u8() != 0;
+        uint32_t nEntries = c.u32();
+        if (nEntries > c.remaining() / (8 + 1))
+            return false;
+        q.entries.reserve(nEntries);
+        for (uint32_t e = 0; e < nEntries; e++) {
+            uint64_t v = c.u64();
+            bool ctrl = c.u8() != 0;
+            q.entries.emplace_back(v, ctrl);
+        }
+        a->queues.push_back(std::move(q));
+    }
+    uint32_t nRas = c.u32();
+    if (nRas > c.remaining() / (1 + 8 + 8 + 8))
+        return false;
+    for (uint32_t i = 0; i < nRas; i++) {
+        ArchSnapshot::Ra r;
+        uint8_t flags = c.u8();
+        r.scanning = (flags & 1) != 0;
+        r.haveStart = (flags & 2) != 0;
+        r.start = c.u64();
+        r.cur = c.u64();
+        r.end = c.u64();
+        a->ras.push_back(r);
+    }
+    a->totalInstrs = c.u64();
+    return !c.fail;
+}
+
+bool
+getCacheArray(Cursor &c, CacheArray *dst)
+{
+    uint64_t tick = c.u64();
+    uint32_t nLines = c.u32();
+    if (nLines != dst->rawLines().size())
+        return false;
+    if (nLines > c.remaining() / (8 + 1 + 4 + 4 + 8))
+        return false;
+    std::vector<CacheArray::Line> lines;
+    lines.reserve(nLines);
+    for (uint32_t i = 0; i < nLines; i++) {
+        CacheArray::Line l;
+        l.tag = c.u64();
+        uint8_t flags = c.u8();
+        l.valid = (flags & 1) != 0;
+        l.dirty = (flags & 2) != 0;
+        l.prefetched = (flags & 4) != 0;
+        l.ownerValid = (flags & 8) != 0;
+        l.sharers = c.u32();
+        l.owner = c.u32();
+        l.lruTick = c.u64();
+        lines.push_back(l);
+    }
+    if (c.fail)
+        return false;
+    dst->restoreRaw(std::move(lines), tick);
+    return true;
+}
+
+/** Empty WarmState with the geometry `cfg` dictates (mirrors the
+ *  WarmModel constructor; restore then fills the arrays in place). */
+sample::WarmState
+makeWarmShape(const SystemConfig &cfg)
+{
+    uint32_t cores = cfg.numCores ? cfg.numCores : 1;
+    sample::WarmState w{{},
+                        {},
+                        CacheArray(cfg.mem.l3, cfg.mem.lineBytes, "warmL3"),
+                        {},
+                        {}};
+    for (uint32_t c = 0; c < cores; c++) {
+        w.l1.emplace_back(cfg.mem.l1d, cfg.mem.lineBytes, "warmL1");
+        w.l2.emplace_back(cfg.mem.l2, cfg.mem.lineBytes, "warmL2");
+        w.bpred.emplace_back(cfg.core, cfg.core.smtThreads);
+        w.pf.emplace_back();
+        w.pf.back().streams.resize(cfg.mem.pfStreams);
+    }
+    return w;
+}
+
+bool
+getWarm(Cursor &c, const SystemConfig &cfg, sample::WarmState *w)
+{
+    uint32_t cores = c.u32();
+    if (cores != w->l1.size())
+        return false;
+    for (uint32_t i = 0; i < cores; i++) {
+        if (!getCacheArray(c, &w->l1[i]) || !getCacheArray(c, &w->l2[i]))
+            return false;
+    }
+    if (!getCacheArray(c, &w->l3))
+        return false;
+
+    uint32_t nBpred = c.u32();
+    if (nBpred != w->bpred.size())
+        return false;
+    for (uint32_t i = 0; i < nBpred; i++) {
+        BranchPredictor &bp = w->bpred[i];
+        uint32_t phtSize = c.u32();
+        if (phtSize != bp.rawPht().size() || phtSize > c.remaining())
+            return false;
+        std::vector<uint8_t> pht(phtSize);
+        if (!c.bytes(pht.data(), phtSize))
+            return false;
+        uint32_t btbSize = c.u32();
+        if (btbSize != bp.rawBtb().size() ||
+            btbSize > c.remaining() / (8 + 8 + 4))
+            return false;
+        std::vector<BranchPredictor::BtbEntry> btb(btbSize);
+        for (uint32_t e = 0; e < btbSize; e++) {
+            btb[e].pc = c.u64();
+            btb[e].target = c.u64();
+            btb[e].tid = static_cast<ThreadId>(c.u32());
+        }
+        uint32_t histSize = c.u32();
+        if (histSize != bp.rawHist().size() ||
+            histSize > c.remaining() / 8)
+            return false;
+        std::vector<uint64_t> hist(histSize);
+        for (uint32_t e = 0; e < histSize; e++)
+            hist[e] = c.u64();
+        if (c.fail)
+            return false;
+        bp.restoreRaw(std::move(pht), std::move(btb), std::move(hist));
+    }
+
+    uint32_t nPf = c.u32();
+    if (nPf != w->pf.size())
+        return false;
+    for (uint32_t i = 0; i < nPf; i++) {
+        StreamPrefetcher::State &st = w->pf[i];
+        st.tick = c.u64();
+        uint32_t nStreams = c.u32();
+        if (nStreams != cfg.mem.pfStreams ||
+            nStreams > c.remaining() / (8 + 8 + 4 + 8 + 1))
+            return false;
+        st.streams.assign(nStreams, StreamPrefetcher::Stream{});
+        for (uint32_t m = 0; m < nStreams; m++) {
+            StreamPrefetcher::Stream &sm = st.streams[m];
+            sm.lastLine = c.u64();
+            sm.stride = static_cast<int64_t>(c.u64());
+            sm.confidence = c.u32();
+            sm.lruTick = c.u64();
+            sm.valid = c.u8() != 0;
+        }
+    }
+    return !c.fail;
+}
+
+bool
+getPageMap(Cursor &c, sample::CowJournal::PageMap *m)
+{
+    uint64_t nPages = c.u64();
+    if (nPages > c.remaining() / (8 + 1))
+        return false;
+    for (uint64_t i = 0; i < nPages; i++) {
+        uint64_t pn = c.u64();
+        bool mapped = c.u8() != 0;
+        if (!mapped) {
+            m->emplace(pn, nullptr);
+            continue;
+        }
+        auto page = std::make_unique<uint8_t[]>(SimMemory::PAGE_SIZE);
+        if (!c.bytes(page.get(), SimMemory::PAGE_SIZE))
+            return false;
+        m->emplace(pn, std::move(page));
+    }
+    return !c.fail;
+}
+
+} // namespace
+
+bool
+saveSampleCheckpoint(const std::string &path,
+                     const SampleCheckpointHeader &hdr,
+                     const std::vector<CheckpointRef> &ckpts,
+                     const sample::CowJournal &journal,
+                     const SimMemory &live, std::string *err)
+{
+    std::string tmp = path + ".tmp";
+    FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f) {
+        if (err)
+            *err = "cannot open " + tmp + " for writing";
+        return false;
+    }
+    bool ok = true;
+    if (std::fwrite(kMagic, 1, sizeof(kMagic), f) != sizeof(kMagic))
+        ok = false;
+    {
+        ByteSink v;
+        v.u32(kVersion);
+        if (std::fwrite(v.buf.data(), 1, v.buf.size(), f) != v.buf.size())
+            ok = false;
+    }
+
+    {
+        ByteSink s;
+        putHeader(s, hdr);
+        putSection(f, SEC_HEADER, s, &ok);
+    }
+    {
+        ByteSink s;
+        s.u32(static_cast<uint32_t>(ckpts.size()));
+        for (const CheckpointRef &ck : ckpts) {
+            putArch(s, *ck.arch);
+            putWarm(s, *ck.warm);
+        }
+        putSection(f, SEC_CKPTS, s, &ok);
+    }
+    {
+        ByteSink s;
+        const auto &intervals = journal.intervalMaps();
+        s.u32(static_cast<uint32_t>(intervals.size()));
+        for (const sample::CowJournal::PageMap &m : intervals) {
+            s.u64(m.size());
+            for (uint64_t pn : sortedPns(m)) {
+                const auto &page = m.at(pn);
+                s.u64(pn);
+                s.u8(page ? 1 : 0);
+                if (page)
+                    s.bytes(page.get(), SimMemory::PAGE_SIZE);
+            }
+        }
+        putSection(f, SEC_JOURNAL, s, &ok);
+    }
+    {
+        // The FF-dirtied set is the union of every interval's
+        // pre-imaged pages: any page whose content diverged from the
+        // deterministic workload rebuild was written at least once
+        // after the first boundary, and the first write journaled it.
+        sample::CowJournal::PageMap dirty;
+        for (const sample::CowJournal::PageMap &m : journal.intervalMaps())
+            for (const auto &kv : m)
+                dirty.try_emplace(kv.first, nullptr);
+        ByteSink s;
+        s.u64(dirty.size());
+        for (uint64_t pn : sortedPns(dirty)) {
+            const uint8_t *page = live.peekPage(pn);
+            s.u64(pn);
+            s.u8(page ? 1 : 0);
+            if (page)
+                s.bytes(page, SimMemory::PAGE_SIZE);
+        }
+        putSection(f, SEC_LIVEPAGES, s, &ok);
+    }
+    putSection(f, SEC_END, ByteSink{}, &ok);
+
+    if (std::fflush(f) != 0)
+        ok = false;
+    if (std::fclose(f) != 0)
+        ok = false;
+    if (ok && std::rename(tmp.c_str(), path.c_str()) != 0)
+        ok = false;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        if (err)
+            *err = "I/O error writing " + tmp;
+    }
+    return ok;
+}
+
+LoadStatus
+loadSampleCheckpoint(const std::string &path, const SystemConfig &cfg,
+                     SampleCheckpointData *out)
+{
+    auto corrupt = [&path](const std::string &what) {
+        return LoadStatus{SimError::CheckpointCorrupt,
+                          "checkpoint " + path + ": " + what};
+    };
+
+    FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return {SimError::HostResource,
+                "cannot open checkpoint " + path + " for reading"};
+    std::vector<uint8_t> file;
+    {
+        uint8_t buf[1 << 16];
+        size_t n;
+        while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            file.insert(file.end(), buf, buf + n);
+        bool readErr = std::ferror(f) != 0;
+        std::fclose(f);
+        if (readErr)
+            return {SimError::HostResource,
+                    "I/O error reading checkpoint " + path};
+    }
+
+    Cursor top{file.data(), file.size()};
+    char magic[8];
+    if (!top.bytes(magic, sizeof(magic)) ||
+        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        return corrupt("bad magic (not a pipette checkpoint)");
+    uint32_t version = top.u32();
+    if (top.fail || version != kVersion)
+        return corrupt("unsupported version " + std::to_string(version));
+
+    bool sawHeader = false, sawCkpts = false, sawJournal = false,
+         sawLive = false, sawEnd = false;
+    while (!sawEnd) {
+        uint32_t id = top.u32();
+        uint64_t len = top.u64();
+        uint32_t crc = top.u32();
+        if (top.fail || len > top.remaining())
+            return corrupt("truncated section table");
+        const uint8_t *payload = file.data() + top.off;
+        if (crc32(payload, static_cast<size_t>(len)) != crc)
+            return corrupt("section " + std::to_string(id) +
+                           " CRC mismatch (truncated or corrupt file)");
+        Cursor c{payload, static_cast<size_t>(len)};
+        top.off += static_cast<size_t>(len);
+
+        switch (id) {
+          case SEC_HEADER: {
+            SampleCheckpointHeader &h = out->hdr;
+            h.configFp = c.u64();
+            h.period = c.u64();
+            h.window = c.u64();
+            h.warmup = c.u64();
+            h.maxCheckpoints = c.u64();
+            h.numThreads = c.u32();
+            h.numRas = c.u32();
+            h.numCores = c.u32();
+            h.ffDone = c.u8() != 0;
+            h.ffStatus = c.u8();
+            h.truncated = c.u8() != 0;
+            h.ffInstrs = c.u64();
+            h.ffRounds = c.u64();
+            if (c.fail)
+                return corrupt("truncated header section");
+            if (h.configFp != configFingerprint(cfg)) {
+                return {SimError::ConfigError,
+                        "checkpoint " + path +
+                            " was taken under a different configuration "
+                            "(fingerprint mismatch); resume with the "
+                            "original flags"};
+            }
+            sawHeader = true;
+            break;
+          }
+          case SEC_CKPTS: {
+            if (!sawHeader)
+                return corrupt("checkpoint section before header");
+            uint32_t n = c.u32();
+            if (n > c.remaining() / 4)
+                return corrupt("implausible checkpoint count");
+            for (uint32_t i = 0; i < n; i++) {
+                LoadedCheckpoint ck{ArchSnapshot{}, makeWarmShape(cfg)};
+                if (!getArch(c, &ck.arch) || !getWarm(c, cfg, &ck.warm))
+                    return corrupt("malformed checkpoint " +
+                                   std::to_string(i));
+                out->ckpts.push_back(std::move(ck));
+            }
+            sawCkpts = true;
+            break;
+          }
+          case SEC_JOURNAL: {
+            uint32_t n = c.u32();
+            if (n > c.remaining() / 8)
+                return corrupt("implausible journal interval count");
+            for (uint32_t i = 0; i < n; i++) {
+                sample::CowJournal::PageMap m;
+                if (!getPageMap(c, &m))
+                    return corrupt("malformed journal interval " +
+                                   std::to_string(i));
+                out->intervals.push_back(std::move(m));
+            }
+            sawJournal = true;
+            break;
+          }
+          case SEC_LIVEPAGES: {
+            sample::CowJournal::PageMap m;
+            if (!getPageMap(c, &m))
+                return corrupt("malformed live-page section");
+            for (auto &kv : m) {
+                if (kv.second)
+                    out->livePages.emplace_back(kv.first,
+                                                std::move(kv.second));
+            }
+            std::sort(out->livePages.begin(), out->livePages.end(),
+                      [](const auto &a, const auto &b) {
+                          return a.first < b.first;
+                      });
+            sawLive = true;
+            break;
+          }
+          case SEC_END:
+            sawEnd = true;
+            break;
+          default:
+            return corrupt("unknown section id " + std::to_string(id));
+        }
+    }
+    if (!sawHeader || !sawCkpts || !sawJournal || !sawLive)
+        return corrupt("missing section (truncated file)");
+
+    // Structural cross-checks the per-section parses can't see.
+    const SampleCheckpointHeader &h = out->hdr;
+    if (out->ckpts.empty())
+        return corrupt("no checkpoints in file");
+    // Mid-FF files are written after checkpoint k is captured but
+    // before interval k opens; FF-done files have one (possibly still
+    // filling) interval per checkpoint.
+    if (!h.ffDone && out->intervals.size() + 1 != out->ckpts.size())
+        return corrupt("interval/checkpoint count mismatch");
+    if (h.ffDone && out->intervals.size() != out->ckpts.size())
+        return corrupt("interval/checkpoint count mismatch");
+    for (const LoadedCheckpoint &ck : out->ckpts) {
+        if (ck.arch.threads.size() != h.numThreads ||
+            ck.arch.ras.size() != h.numRas)
+            return corrupt("checkpoint shape disagrees with header");
+    }
+    return {};
+}
+
+} // namespace pipette::resilience

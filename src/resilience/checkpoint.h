@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Durable on-disk sampling checkpoints (DESIGN.md §12).
+ *
+ * A checkpoint file captures everything a sampled run (src/sample/)
+ * needs to continue after the process dies: the run's config
+ * fingerprint and sampling parameters, every (ArchSnapshot, WarmState)
+ * checkpoint taken so far, the copy-on-write journal's per-interval
+ * page pre-images, and the live contents of every page the
+ * fast-forward has dirtied (so the rebuilt workload memory can be
+ * patched back to the boundary state). Files are written atomically
+ * (tmp + rename) at sample-period boundaries, and every section
+ * carries a CRC32 so truncation or bit flips load as
+ * SimError::CheckpointCorrupt with a clean message -- never undefined
+ * behaviour.
+ *
+ * Binary layout (version 1, little-endian):
+ *
+ *   magic "PIPCKPT1" (8 bytes) | version u32
+ *   sections: id u32 | payloadLen u64 | crc32(payload) u32 | payload
+ *     HEADER    fingerprint, sampling params, shape, FF progress
+ *     CKPTS     every (ArchSnapshot, WarmState), oldest first
+ *     JOURNAL   per interval: sorted (pn, mapped, page bytes)
+ *     LIVEPAGES sorted (pn, page bytes) of the FF-dirtied set
+ *     END       zero-length terminator
+ */
+
+#ifndef PIPETTE_RESILIENCE_CHECKPOINT_H
+#define PIPETTE_RESILIENCE_CHECKPOINT_H
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "isa/arch_snapshot.h"
+#include "resilience/error.h"
+#include "sample/cow_journal.h"
+#include "sample/warm_model.h"
+#include "sim/config.h"
+
+namespace pipette::resilience {
+
+/** Fixed-size facts about the run the checkpoint belongs to. */
+struct SampleCheckpointHeader
+{
+    /** configFingerprint of the run; resume refuses a mismatch. */
+    uint64_t configFp = 0;
+    uint64_t period = 0;
+    uint64_t window = 0;
+    uint64_t warmup = 0;
+    uint64_t maxCheckpoints = 0;
+    /** Machine shape, double-checked against the rebuilt spec. */
+    uint32_t numThreads = 0;
+    uint32_t numRas = 0;
+    uint32_t numCores = 0;
+    /** Fast-forward progress: false = resume continues the FF from the
+     *  last checkpoint; true = FF finished, only windows remain. */
+    bool ffDone = false;
+    /** Interp::Status at FF end (meaningful iff ffDone). */
+    uint8_t ffStatus = 0;
+    /** The checkpoint cap tripped before this file was written. */
+    bool truncated = false;
+    uint64_t ffInstrs = 0;
+    uint64_t ffRounds = 0;
+};
+
+/** One deserialized checkpoint. */
+struct LoadedCheckpoint
+{
+    ArchSnapshot arch;
+    sample::WarmState warm;
+};
+
+/** Everything loadSampleCheckpoint() produces. */
+struct SampleCheckpointData
+{
+    SampleCheckpointHeader hdr;
+    std::vector<LoadedCheckpoint> ckpts;
+    std::vector<sample::CowJournal::PageMap> intervals;
+    /** Live contents of every FF-dirtied page at the boundary. */
+    std::vector<std::pair<uint64_t, std::unique_ptr<uint8_t[]>>>
+        livePages;
+};
+
+/** Borrowed view of one in-memory checkpoint for serialization. */
+struct CheckpointRef
+{
+    const ArchSnapshot *arch;
+    const sample::WarmState *warm;
+};
+
+/**
+ * Atomically write a checkpoint file (tmp + rename). The dirty-page
+ * set is derived from the journal (union of all interval pre-images)
+ * and read from `live`. Returns false with *err set on host I/O
+ * failure -- the caller warns and keeps running (a failed save must
+ * never kill the run it exists to protect).
+ */
+bool saveSampleCheckpoint(const std::string &path,
+                          const SampleCheckpointHeader &hdr,
+                          const std::vector<CheckpointRef> &ckpts,
+                          const sample::CowJournal &journal,
+                          const SimMemory &live, std::string *err);
+
+/** Load outcome: None on success, else the class + a clean message. */
+struct LoadStatus
+{
+    SimError error = SimError::None;
+    std::string message;
+
+    bool ok() const { return error == SimError::None; }
+};
+
+/**
+ * Load and fully validate a checkpoint file. Classifications:
+ * HostResource (unreadable file), CheckpointCorrupt (bad magic /
+ * version / CRC / truncated or malformed payload), ConfigError (the
+ * file's fingerprint or machine shape does not match `cfg`). Every
+ * read is bounds-checked; corrupt input can never index out of range.
+ */
+LoadStatus loadSampleCheckpoint(const std::string &path,
+                                const SystemConfig &cfg,
+                                SampleCheckpointData *out);
+
+} // namespace pipette::resilience
+
+#endif // PIPETTE_RESILIENCE_CHECKPOINT_H

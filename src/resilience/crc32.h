@@ -1,0 +1,69 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) used to guard
+ * every durable artifact: each checkpoint section and the sweep CSV
+ * cache carry a CRC so truncation and bit flips are detected instead
+ * of parsed (DESIGN.md §12). Table-driven, byte at a time -- integrity
+ * checking is nowhere near any hot path.
+ */
+
+#ifndef PIPETTE_RESILIENCE_CRC32_H
+#define PIPETTE_RESILIENCE_CRC32_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace pipette::resilience {
+
+namespace detail {
+inline const std::array<uint32_t, 256> &
+crcTable()
+{
+    static const std::array<uint32_t, 256> table = [] {
+        std::array<uint32_t, 256> t{};
+        for (uint32_t i = 0; i < 256; i++) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; k++)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+} // namespace detail
+
+/** Incremental CRC-32; feed bytes, read value() any time. */
+class Crc32
+{
+  public:
+    void
+    update(const void *data, size_t n)
+    {
+        const uint8_t *p = static_cast<const uint8_t *>(data);
+        const auto &t = detail::crcTable();
+        uint32_t c = state_;
+        for (size_t i = 0; i < n; i++)
+            c = t[(c ^ p[i]) & 0xff] ^ (c >> 8);
+        state_ = c;
+    }
+
+    uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+  private:
+    uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/** One-shot convenience. */
+inline uint32_t
+crc32(const void *data, size_t n)
+{
+    Crc32 c;
+    c.update(data, n);
+    return c.value();
+}
+
+} // namespace pipette::resilience
+
+#endif // PIPETTE_RESILIENCE_CRC32_H

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Structured error taxonomy for host-level fault tolerance
+ * (DESIGN.md §12). Every way a run can fail is classified into one of
+ * a small set of SimError classes, each mapped to a distinct process
+ * exit code, so scripts and CI can tell a corrupt checkpoint from an
+ * out-of-budget worker without parsing stderr.
+ *
+ * The taxonomy rides on SimException, which recoverable layers
+ * (Runner, SimJobPool workers, the sampling window fan-out) catch and
+ * convert into a structured result instead of letting it kill the
+ * process. panic() stays an abort: it flags simulator bugs where the
+ * process state itself is suspect.
+ */
+
+#ifndef PIPETTE_RESILIENCE_ERROR_H
+#define PIPETTE_RESILIENCE_ERROR_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace pipette::resilience {
+
+/** Failure classes, coarsest useful grain (each gets an exit code). */
+enum class SimError : uint8_t
+{
+    None = 0,          ///< no error
+    ConfigError,       ///< bad configuration / flag combination
+    InputError,        ///< bad or unverifiable workload input
+    CheckpointCorrupt, ///< checkpoint/cache file failed validation
+    HostResource,      ///< host-side I/O or resource failure
+    WorkerFault,       ///< a window/sweep worker failed or timed out
+    InternalInvariant, ///< guardrail stop (divergence, invariant, wedge)
+    Interrupted,       ///< cooperative SIGINT/SIGTERM drain
+};
+
+inline const char *
+simErrorName(SimError e)
+{
+    switch (e) {
+      case SimError::None: return "none";
+      case SimError::ConfigError: return "config-error";
+      case SimError::InputError: return "input-error";
+      case SimError::CheckpointCorrupt: return "checkpoint-corrupt";
+      case SimError::HostResource: return "host-resource";
+      case SimError::WorkerFault: return "worker-fault";
+      case SimError::InternalInvariant: return "internal-invariant";
+      case SimError::Interrupted: return "interrupted";
+    }
+    return "unknown";
+}
+
+/**
+ * Process exit code per class (DESIGN.md §12 table). 1 is left to
+ * generic "run did not pass" failures (verification mismatches, bench
+ * gates), 2 matches the strict flag-parsing convention already used by
+ * the bench binaries, and 130 is the shell convention for SIGINT.
+ */
+inline int
+exitCode(SimError e)
+{
+    switch (e) {
+      case SimError::None: return 0;
+      case SimError::ConfigError: return 2;
+      case SimError::InputError: return 3;
+      case SimError::CheckpointCorrupt: return 4;
+      case SimError::HostResource: return 5;
+      case SimError::WorkerFault: return 6;
+      case SimError::InternalInvariant: return 7;
+      case SimError::Interrupted: return 130;
+    }
+    return 1;
+}
+
+/** A classified, catchable failure (what fatal() raises when scoped). */
+class SimException : public std::runtime_error
+{
+  public:
+    SimException(SimError e, const std::string &msg)
+        : std::runtime_error(msg), error_(e)
+    {
+    }
+
+    SimError error() const { return error_; }
+
+  private:
+    SimError error_;
+};
+
+} // namespace pipette::resilience
+
+#endif // PIPETTE_RESILIENCE_ERROR_H

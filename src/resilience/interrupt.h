@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Cooperative SIGINT/SIGTERM handling (DESIGN.md §12). The handler
+ * only sets a lock-free flag; the run loops (System's cycle loop, the
+ * epoch scheduler's edge, the sampling fast-forward at checkpoint
+ * boundaries, the window fan-out between windows) poll it and drain at
+ * the next consistent point -- emitting a final resumable checkpoint
+ * and partial stats instead of dying mid-state. A second signal while
+ * the first is still draining force-exits immediately with the
+ * Interrupted exit code.
+ *
+ * Header-only on purpose: the flag is an inline atomic, so the core
+ * run loop can poll it without linking pipette_resilience (which sits
+ * above pipette_core in the layering).
+ */
+
+#ifndef PIPETTE_RESILIENCE_INTERRUPT_H
+#define PIPETTE_RESILIENCE_INTERRUPT_H
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+
+#include "resilience/error.h"
+
+namespace pipette::resilience {
+
+namespace detail {
+inline std::atomic<bool> g_interrupt{false};
+} // namespace detail
+
+/** Poll site for run loops (relaxed: a late observation only delays
+ *  the drain by one poll interval). */
+inline bool
+interruptRequested()
+{
+    return detail::g_interrupt.load(std::memory_order_relaxed);
+}
+
+/** Set the flag programmatically (tests, deterministic drains). */
+inline void
+requestInterrupt()
+{
+    detail::g_interrupt.store(true, std::memory_order_relaxed);
+}
+
+/** Clear the flag (after a drain completed, or in test teardown). */
+inline void
+clearInterrupt()
+{
+    detail::g_interrupt.store(false, std::memory_order_relaxed);
+}
+
+namespace detail {
+// Async-signal-safe: lock-free atomic ops and _Exit only.
+inline void
+signalHandler(int)
+{
+    if (g_interrupt.exchange(true, std::memory_order_relaxed))
+        std::_Exit(exitCode(SimError::Interrupted)); // second signal
+}
+} // namespace detail
+
+/** Route SIGINT/SIGTERM to the cooperative flag. */
+inline void
+installSignalHandlers()
+{
+    struct sigaction sa = {};
+    sa.sa_handler = detail::signalHandler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0; // interrupt blocking syscalls: drain promptly
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
+
+/** Restore default dispositions (test teardown). */
+inline void
+uninstallSignalHandlers()
+{
+    struct sigaction sa = {};
+    sa.sa_handler = SIG_DFL;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
+
+} // namespace pipette::resilience
+
+#endif // PIPETTE_RESILIENCE_INTERRUPT_H

@@ -33,6 +33,10 @@ namespace pipette::sample {
 class CowJournal : public SimMemory::WriteObserver
 {
   public:
+    /** Pre-images of one interval; null page = "was unmapped". */
+    using PageMap =
+        std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>>;
+
     explicit CowJournal(const SimMemory *live) : live_(live) {}
 
     /** Open interval k (= current count); pre-images land here. */
@@ -89,10 +93,34 @@ class CowJournal : public SimMemory::WriteObserver
         return live_->peekPage(pn);
     }
 
-  private:
-    using PageMap =
-        std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>>;
+    // --- Durable-checkpoint support (src/resilience/) ----------------
 
+    /** Every interval's pre-image map (serialization; read-only). */
+    const std::vector<PageMap> &intervalMaps() const { return intervals_; }
+
+    /**
+     * Rebuild the journal from deserialized intervals (resume).
+     * Reconstructs lastTouched_ so journaling can continue seamlessly:
+     * a page's newest recorded interval decides whether the next write
+     * in the now-open interval captures a fresh pre-image.
+     */
+    void
+    restore(std::vector<PageMap> &&intervals)
+    {
+        intervals_ = std::move(intervals);
+        lastTouched_.clear();
+        for (size_t j = 0; j < intervals_.size(); j++) {
+            for (const auto &kv : intervals_[j]) {
+                auto [it, fresh] = lastTouched_.try_emplace(kv.first, j + 1);
+                if (!fresh && it->second < j + 1)
+                    it->second = j + 1;
+            }
+        }
+        lastPn_ = ~0ull;
+        lastGen_ = 0;
+    }
+
+  private:
     const SimMemory *live_;
     std::vector<PageMap> intervals_;
     /** pn -> newest interval (1-based size at touch) with a pre-image. */

@@ -1,11 +1,15 @@
 #include "sample/sampler.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "parallel/task_pool.h"
+#include "resilience/checkpoint.h"
+#include "resilience/interrupt.h"
 #include "sample/cow_journal.h"
 #include "sample/warm_model.h"
 #include "sim/logging.h"
@@ -13,15 +17,6 @@
 namespace pipette::sample {
 
 namespace {
-
-/**
- * Checkpoint cap: bounds host memory (each checkpoint carries a warmed
- * cache/bpred copy, a few hundred KB). When the cap trips, the
- * remaining instructions fast-forward uncovered and the report says so
- * (truncated) -- no silent coverage loss. Choose a larger period
- * instead of relying on the cap.
- */
-constexpr size_t kMaxCheckpoints = 256;
 
 /**
  * Warming horizon (instructions): the microarchitectural state a
@@ -77,6 +72,9 @@ windowConfig(const SystemConfig &cfg)
     w.sampling = SamplingConfig{};
     w.guardrails = GuardrailConfig{};
     w.observability = ObservabilityConfig{};
+    // Fault injection / checkpointing acts at the sampler level; the
+    // nested window System must never re-enter it.
+    w.resilience = ResilienceConfig{};
     w.core.traceFile = nullptr;
     // Window-level parallelism comes from the window fan-out itself;
     // nesting the per-core pool inside it would oversubscribe the host.
@@ -91,12 +89,39 @@ windowConfig(const SystemConfig &cfg)
  * passes warmup + window retired instructions (or stops early at
  * program end). Measured cycles/instructions are taken at chunk
  * boundaries, so the chunk size is part of the (deterministic) regime.
+ *
+ * Host-fault tolerance (`rz`, `attempt`): when a wall-clock timeout is
+ * configured the deadline is checked at chunk boundaries and tripping
+ * it throws SimError::WorkerFault; the test-only injection knobs make
+ * targeted attempts throw or stall so the retry/exclusion machinery is
+ * exercisable deterministically. Either way the caller retries once
+ * and excludes the window on a second failure.
  */
 WindowMeasure
 runWindow(const SystemConfig &wCfg, const MachineSpec &spec,
           const CowJournal &journal, size_t k, const Checkpoint &ckpt,
-          uint64_t warmup, uint64_t window)
+          uint64_t warmup, uint64_t window, const ResilienceConfig &rz,
+          unsigned attempt)
 {
+    using hostclock = std::chrono::steady_clock;
+    const bool targeted =
+        rz.faultInjectionEnabled() && k == rz.faultWindow;
+    if (targeted && attempt < rz.injectWindowFailures) {
+        throw resilience::SimException(
+            resilience::SimError::WorkerFault,
+            "injected window failure (test hook)");
+    }
+    const bool timed = rz.windowTimeoutMs > 0;
+    hostclock::time_point deadline{};
+    if (timed) {
+        deadline = hostclock::now() +
+                   std::chrono::milliseconds(rz.windowTimeoutMs);
+    }
+    if (targeted && rz.injectWindowHangMs) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(rz.injectWindowHangMs));
+    }
+
     WindowSource src(&journal, k);
     System sys(wCfg);
     sys.memory().setPageSource(&src);
@@ -120,6 +145,14 @@ runWindow(const SystemConfig &wCfg, const MachineSpec &spec,
     bool past0 = false;
     uint64_t c0 = 0, i0 = 0;
     while (true) {
+        // Checked before (not after) each chunk so a window that just
+        // produced its measurement is never discarded by the deadline.
+        if (timed && hostclock::now() > deadline) {
+            throw resilience::SimException(
+                resilience::SimError::WorkerFault,
+                detail::format("window exceeded --window-timeout-ms=",
+                               rz.windowTimeoutMs));
+        }
         System::RunResult r = sys.runFor(chunk);
         if (!past0 && r.instrs >= target0) {
             past0 = true;
@@ -155,10 +188,13 @@ runSampled(const SystemConfig &cfg, WorkloadBase &wl, Variant v,
 {
     panic_if(!cfg.sampling.enabled(),
              "runSampled with sampling.period == 0");
+    fatal_if(cfg.sampling.maxCheckpoints == 0,
+             "sampling.maxCheckpoints must be >= 1");
     auto t0 = std::chrono::steady_clock::now();
     const uint64_t period = cfg.sampling.period;
     const uint64_t window = cfg.sampling.window;
     const uint64_t warmup = cfg.sampling.warmup;
+    const ResilienceConfig &rz = cfg.resilience;
 
     SampleReport rep;
     auto lap = [&t0] {
@@ -177,63 +213,210 @@ runSampled(const SystemConfig &cfg, WorkloadBase &wl, Variant v,
     Interp interp(ctx.spec, &buildSys.memory(), cfg.core.queueCapacity);
     interp.clampQueueCaps(queueRegBudget(cfg.core));
     WarmModel warm(cfg);
-    interp.setHooks(&warm);
     CowJournal journal(&buildSys.memory());
-    buildSys.memory().setWriteObserver(&journal);
 
     std::vector<Checkpoint> ckpts;
     Interp::Result ff{Interp::Status::Deadlock, 0, 0};
-    for (size_t k = 0;; k++) {
-        if (k >= kMaxCheckpoints) {
-            rep.truncated = true;
-            warn("sampling: checkpoint cap (", kMaxCheckpoints,
-                 ") hit at instr ", interp.totalInstrs(),
-                 "; the remainder fast-forwards unmeasured -- raise "
-                 "--sample-period");
-            // No further checkpoints, so the warm state is dead weight:
-            // run the tail bare.
-            interp.setHooks(nullptr);
-            ff = interp.run();
-            break;
+    bool ffSkipped = false;   // resume file had the FF already finished
+    bool resumedMid = false;  // continue the FF from the last checkpoint
+    bool selfInterrupted = false; // interrupt came from the test hook
+    size_t startK = 0;
+
+    // --- Resume: patch the freshly built run back to the boundary the
+    // checkpoint file captured, then fall into the normal FF loop (or
+    // straight to the windows). No measurement is ever persisted, so
+    // every window reruns and the stat dump is byte-identical to an
+    // uninterrupted run's.
+    if (!rz.resumePath.empty()) {
+        resilience::SampleCheckpointData loaded;
+        resilience::LoadStatus st =
+            resilience::loadSampleCheckpoint(rz.resumePath, cfg, &loaded);
+        if (!st.ok()) {
+            rep.error = st.error;
+            rep.errorMsg = st.message;
+            warn("sampling: resume from ", rz.resumePath,
+                 " failed: ", st.message);
+            return rep;
         }
-        ckpts.push_back({interp.snapshot(), warm.state()});
-        journal.beginInterval();
-        uint64_t target = (k + 1) * period;
-        if (period > kWarmHorizon) {
-            // Bare fast-forward (journal stays attached -- memory
-            // reconstruction needs every pre-image), then re-attach the
-            // warm hooks for the horizon leading into the checkpoint.
-            interp.setHooks(nullptr);
-            ff = interp.runUntil(target - kWarmHorizon);
-            interp.setHooks(&warm);
+        rep.resumed = true;
+        rep.truncated = loaded.hdr.truncated;
+        journal.restore(std::move(loaded.intervals));
+        for (const auto &pg : loaded.livePages)
+            buildSys.memory().installPage(pg.first, pg.second.get());
+        ckpts.reserve(loaded.ckpts.size());
+        for (resilience::LoadedCheckpoint &lc : loaded.ckpts)
+            ckpts.push_back({std::move(lc.arch), std::move(lc.warm)});
+        if (loaded.hdr.ffDone) {
+            ffSkipped = true;
+            ff = {static_cast<Interp::Status>(loaded.hdr.ffStatus),
+                  loaded.hdr.ffInstrs, loaded.hdr.ffRounds};
+        } else {
+            interp.restore(ckpts.back().arch);
+            warm.restore(ckpts.back().warm);
+            startK = ckpts.size() - 1;
+            resumedMid = true;
+        }
+    }
+
+    const uint64_t configFp = configFingerprint(cfg);
+    auto saveDurable = [&](bool ffDone) {
+        if (rz.checkpointOutPath.empty() || ckpts.empty())
+            return;
+        resilience::SampleCheckpointHeader hdr;
+        hdr.configFp = configFp;
+        hdr.period = period;
+        hdr.window = window;
+        hdr.warmup = warmup;
+        hdr.maxCheckpoints = cfg.sampling.maxCheckpoints;
+        hdr.numThreads =
+            static_cast<uint32_t>(ckpts[0].arch.threads.size());
+        hdr.numRas = static_cast<uint32_t>(ckpts[0].arch.ras.size());
+        hdr.numCores = cfg.numCores;
+        hdr.ffDone = ffDone;
+        hdr.ffStatus = static_cast<uint8_t>(ff.status);
+        hdr.truncated = rep.truncated;
+        hdr.ffInstrs = ffDone ? ff.instrs : interp.totalInstrs();
+        hdr.ffRounds = ff.rounds;
+        std::vector<resilience::CheckpointRef> refs;
+        refs.reserve(ckpts.size());
+        for (const Checkpoint &c : ckpts)
+            refs.push_back({&c.arch, &c.warm});
+        std::string err;
+        if (!resilience::saveSampleCheckpoint(rz.checkpointOutPath, hdr,
+                                              refs, journal,
+                                              buildSys.memory(), &err)) {
+            // A failed save (host resource) must never kill the run it
+            // exists to protect.
+            warn("sampling: checkpoint write to ", rz.checkpointOutPath,
+                 " failed: ", err);
+        }
+    };
+
+    if (!ffSkipped) {
+        interp.setHooks(&warm);
+        buildSys.memory().setWriteObserver(&journal);
+        for (size_t k = startK;; k++) {
+            if (k >= cfg.sampling.maxCheckpoints) {
+                rep.truncated = true;
+                warn("sampling: checkpoint cap (",
+                     cfg.sampling.maxCheckpoints, ") hit at instr ",
+                     interp.totalInstrs(),
+                     "; the remainder fast-forwards unmeasured -- raise "
+                     "--sample-period or --max-checkpoints");
+                // No further checkpoints, so the warm state is dead
+                // weight: run the tail bare.
+                interp.setHooks(nullptr);
+                ff = interp.run();
+                break;
+            }
+            if (resumedMid && k == startK) {
+                // Checkpoint k came from the resume file; skip the
+                // re-capture and re-open its journal interval below.
+                resumedMid = false;
+            } else {
+                ckpts.push_back({interp.snapshot(), warm.state()});
+                // Boundary save: the file now holds checkpoints 0..k
+                // and complete intervals 0..k-1.
+                saveDurable(false);
+                // Deterministic-interrupt hook: fires only when a
+                // *fresh* capture reaches the target count, so a
+                // resumed run (whose count starts past it) completes.
+                if (rz.interruptAtCheckpoint &&
+                    ckpts.size() == rz.interruptAtCheckpoint) {
+                    resilience::requestInterrupt();
+                    selfInterrupted = true;
+                }
+            }
+            if (resilience::interruptRequested()) {
+                rep.interrupted = true;
+                ff.instrs = interp.totalInstrs();
+                break;
+            }
+            journal.beginInterval();
+            uint64_t target = (k + 1) * period;
+            if (period > kWarmHorizon) {
+                // Bare fast-forward (journal stays attached -- memory
+                // reconstruction needs every pre-image), then re-attach
+                // the warm hooks for the horizon leading into the
+                // checkpoint.
+                interp.setHooks(nullptr);
+                ff = interp.runUntil(target - kWarmHorizon);
+                interp.setHooks(&warm);
+                if (ff.status != Interp::Status::Target)
+                    break;
+            }
+            ff = interp.runUntil(target);
             if (ff.status != Interp::Status::Target)
                 break;
         }
-        ff = interp.runUntil(target);
-        if (ff.status != Interp::Status::Target)
-            break;
+        buildSys.memory().setWriteObserver(nullptr);
+        interp.setHooks(nullptr);
+        if (rep.interrupted) {
+            rep.error = resilience::SimError::Interrupted;
+            rep.errorMsg = "interrupted at sample boundary";
+            if (rz.checkpointOutPath.empty()) {
+                warn("sampling: interrupted with no --checkpoint-out; "
+                     "progress is not resumable");
+            } else {
+                inform("sampling: interrupted; resume with --resume=",
+                       rz.checkpointOutPath);
+            }
+        } else {
+            // FF finished: persist the final (windows-only) checkpoint
+            // so a later kill during the window phase is resumable too.
+            saveDurable(true);
+        }
     }
-    buildSys.memory().setWriteObserver(nullptr);
-    interp.setHooks(nullptr);
 
     rep.ffStatus = ff.status;
     rep.ffInstrs = ff.instrs;
     rep.ffRounds = ff.rounds;
     rep.windows = static_cast<uint32_t>(ckpts.size());
-    if (ff.status == Interp::Status::Done)
+    if (!rep.interrupted && ff.status == Interp::Status::Done)
         rep.verified = wl.verify(buildSys);
     rep.ffSeconds = lap() - rep.buildSeconds;
 
     // --- Detailed windows: inline, or fanned out over a host pool.
     // Slot-addressed results + in-order reduction make the outcome
-    // byte-identical at any worker count.
+    // byte-identical at any worker count. Each window runs under
+    // exception isolation: a host fault (or injected one) is retried
+    // once inline, and a second failure excludes just that window.
     const SystemConfig wCfg = windowConfig(cfg);
     std::vector<WindowMeasure> slots(ckpts.size());
+    std::atomic<uint32_t> windowRetries{0}, windowsFailed{0};
     auto measure = [&](size_t k) {
-        slots[k] = runWindow(wCfg, ctx.spec, journal, k, ckpts[k],
-                             warmup, window);
+        FatalThrowScope throwScope;
+        for (unsigned attempt = 0; attempt < 2; attempt++) {
+            // Cooperative drain: skip remaining windows (and the
+            // retry) once an interrupt is pending.
+            if (resilience::interruptRequested())
+                return;
+            try {
+                slots[k] = runWindow(wCfg, ctx.spec, journal, k,
+                                     ckpts[k], warmup, window, rz,
+                                     attempt);
+                return;
+            } catch (const std::exception &e) {
+                if (attempt == 0) {
+                    windowRetries.fetch_add(1,
+                                            std::memory_order_relaxed);
+                    warn("sampling: window ", k, " failed (", e.what(),
+                         "); retrying once");
+                } else {
+                    windowsFailed.fetch_add(1,
+                                            std::memory_order_relaxed);
+                    warn("sampling: window ", k, " failed twice (",
+                         e.what(),
+                         "); excluded -- its period is unmeasured and "
+                         "the extrapolation error bound is degraded");
+                }
+            }
+        }
     };
-    if (jobs <= 1 || ckpts.size() <= 1) {
+    if (rep.interrupted) {
+        // Drained at a boundary: no windows run; the durable
+        // checkpoint (if any) carries everything needed to finish.
+    } else if (jobs <= 1 || ckpts.size() <= 1) {
         for (size_t k = 0; k < ckpts.size(); k++)
             measure(k);
     } else {
@@ -244,6 +427,17 @@ runSampled(const SystemConfig &cfg, WorkloadBase &wl, Variant v,
         for (size_t k = 0; k < ckpts.size(); k++)
             tasks.push_back([&measure, k] { measure(k); });
         pool.run(std::move(tasks));
+    }
+    rep.windowRetries = windowRetries.load(std::memory_order_relaxed);
+    rep.windowsFailed = windowsFailed.load(std::memory_order_relaxed);
+
+    // A real signal can also land during the window phase; report the
+    // partial result as interrupted (the FF-done checkpoint, if one
+    // was requested, already makes it resumable).
+    if (!rep.interrupted && resilience::interruptRequested()) {
+        rep.interrupted = true;
+        rep.error = resilience::SimError::Interrupted;
+        rep.errorMsg = "interrupted during detailed windows";
     }
 
     rep.windowSeconds = lap() - rep.buildSeconds - rep.ffSeconds;
@@ -266,7 +460,14 @@ runSampled(const SystemConfig &cfg, WorkloadBase &wl, Variant v,
             static_cast<unsigned __int128>(sumCycles) * rep.ffInstrs /
             sumInstrs);
     }
-    rep.ok = ff.status == Interp::Status::Done && rep.windowsOk > 0;
+    rep.ok = ff.status == Interp::Status::Done && rep.windowsOk > 0 &&
+             !rep.interrupted;
+
+    // The test hook's synthetic interrupt must not leak into later
+    // runs in this process; a real signal's flag stays set so a whole
+    // sweep drains.
+    if (selfInterrupted)
+        resilience::clearInterrupt();
 
     rep.stats["sim.sampled"] = 1.0;
     rep.stats["sample.period"] = static_cast<double>(period);
@@ -275,6 +476,18 @@ runSampled(const SystemConfig &cfg, WorkloadBase &wl, Variant v,
     rep.stats["sample.windows"] = rep.windows;
     rep.stats["sample.windowsOk"] = rep.windowsOk;
     rep.stats["sample.truncated"] = rep.truncated ? 1.0 : 0.0;
+    // The checkpoint-cap truncation used to be warn-only; it now also
+    // lands in the stat dump so CI and sweep consumers see the
+    // coverage loss without scraping stderr. Emitted (like every key
+    // here) on every run -- a resumed run's dump must be byte-identical
+    // to an uninterrupted one's, so no key is conditional.
+    rep.stats["sample.checkpointsTruncated"] =
+        rep.truncated ? 1.0 : 0.0;
+    rep.stats["sample.windowsFailed"] =
+        static_cast<double>(rep.windowsFailed);
+    rep.stats["sample.windowRetries"] =
+        static_cast<double>(rep.windowRetries);
+    rep.stats["sample.interrupted"] = rep.interrupted ? 1.0 : 0.0;
     rep.stats["sample.ffInstrs"] = static_cast<double>(rep.ffInstrs);
     rep.stats["sample.measuredInstrs"] =
         static_cast<double>(rep.measuredInstrs);

@@ -30,6 +30,7 @@
 #include <string>
 
 #include "isa/interp.h"
+#include "resilience/error.h"
 #include "sim/config.h"
 #include "workloads/workload.h"
 
@@ -52,6 +53,28 @@ struct SampleReport
     uint32_t windowsOk = 0; ///< windows that produced a measurement
     /** Checkpoint cap hit: later instructions are uncovered (logged). */
     bool truncated = false;
+
+    /**
+     * Error-taxonomy class (DESIGN.md §12): None for clean runs
+     * (including degraded-but-complete ones with failed windows),
+     * Interrupted for a cooperative signal drain, the loader's class
+     * when --resume fails, with the human-readable message in
+     * errorMsg.
+     */
+    resilience::SimError error = resilience::SimError::None;
+    std::string errorMsg;
+    /** Windows excluded after failing twice (fault / timeout). The
+     *  extrapolation skips their periods; its error bound degrades. */
+    uint32_t windowsFailed = 0;
+    /** First-attempt window failures that were retried inline. */
+    uint32_t windowRetries = 0;
+    /** A SIGINT/SIGTERM (or the deterministic test hook) drained the
+     *  run at a sample boundary; the report is partial. */
+    bool interrupted = false;
+    /** This run continued from a --resume checkpoint file. Never a
+     *  stats key: a resumed run's stat dump is byte-identical to an
+     *  uninterrupted one's. */
+    bool resumed = false;
 
     /** Aggregate detailed measurement across ok windows (exact). */
     uint64_t measuredInstrs = 0;

@@ -60,6 +60,18 @@ class WarmModel : public Interp::FFHooks
     /** Copy the current warmed state out (checkpoint capture). */
     WarmState state() const { return {l1_, l2_, l3_, bpred_, pf_}; }
 
+    /** Install a captured state (durable-checkpoint resume): warming
+     *  continues from exactly the boundary the state was taken at. */
+    void
+    restore(const WarmState &s)
+    {
+        l1_ = s.l1;
+        l2_ = s.l2;
+        l3_ = s.l3;
+        bpred_ = s.bpred;
+        pf_ = s.pf;
+    }
+
   private:
     void touchLine(CoreId core, uint64_t lineAddr, bool isWrite);
     void observeStream(CoreId core, uint64_t lineAddr, bool wasMiss);

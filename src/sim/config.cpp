@@ -43,9 +43,12 @@ static_assert(sizeof(GuardrailConfig) == 32,
 static_assert(sizeof(ObservabilityConfig) == 120,
               "ObservabilityConfig changed: update configFingerprint, "
               "then this");
-static_assert(sizeof(SamplingConfig) == 24,
+static_assert(sizeof(SamplingConfig) == 32,
               "SamplingConfig changed: update configFingerprint, then this");
-static_assert(sizeof(SystemConfig) == 424,
+static_assert(sizeof(ResilienceConfig) == 104,
+              "ResilienceConfig changed: update configFingerprint, "
+              "then this");
+static_assert(sizeof(SystemConfig) == 536,
               "SystemConfig changed: update configFingerprint, then this");
 #endif
 
@@ -152,6 +155,20 @@ configFingerprint(const SystemConfig &cfg)
     h.pod(sp.period);
     h.pod(sp.window);
     h.pod(sp.warmup);
+    h.pod(sp.maxCheckpoints);
+
+    // Resilience: the window timeout and the fault-injection /
+    // deterministic-interrupt knobs change which windows contribute to
+    // the extrapolation (or whether the run completes at all), so they
+    // key the cache. The checkpoint-out and resume paths are excluded:
+    // resume identity is the fingerprint itself, and where a checkpoint
+    // is written or read from never changes simulated results.
+    const ResilienceConfig &rz = cfg.resilience;
+    h.pod(rz.windowTimeoutMs);
+    h.pod(rz.interruptAtCheckpoint);
+    h.pod(rz.injectWindowFailures);
+    h.pod(rz.injectWindowHangMs);
+    h.pod(rz.faultWindow);
     return h.value();
 }
 

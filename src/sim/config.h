@@ -272,8 +272,70 @@ struct SamplingConfig
     uint64_t window = 10'000;
     /** Detailed warmup instructions per window, excluded from CPI. */
     uint64_t warmup = 2'000;
+    /**
+     * Checkpoint cap: bounds host memory (each checkpoint carries a
+     * warmed cache/bpred copy, a few hundred KB). When the cap trips,
+     * the remaining instructions fast-forward uncovered and the run is
+     * flagged (warn + sample.checkpointsTruncated); choose a larger
+     * period instead of relying on the cap. Changes which instructions
+     * are measured, so it keys the config fingerprint.
+     */
+    uint64_t maxCheckpoints = 256;
 
     bool enabled() const { return period != 0; }
+};
+
+/**
+ * Host-level fault tolerance for sampled runs (src/resilience/;
+ * DESIGN.md §12). Defaults are all off: no checkpoint file, no resume,
+ * no window timeout, no injected faults -- and the sampled regime is
+ * byte-identical to PR 7 behaviour.
+ */
+struct ResilienceConfig
+{
+    /**
+     * Durable checkpoint output path ("" = off). Written atomically
+     * (tmp + rename) at every sample-period boundary and again when
+     * the fast-forward completes, so an interrupted or killed run can
+     * continue via resumePath. Output-side only: never part of the
+     * config fingerprint.
+     */
+    std::string checkpointOutPath;
+    /**
+     * Resume a sampled run from this checkpoint file ("" = off). The
+     * file's embedded fingerprint must match this config -- resume
+     * identity is the fingerprint, so the path itself is (like the
+     * output path) never hashed.
+     */
+    std::string resumePath;
+    /**
+     * Wall-clock budget per detailed window in milliseconds (0 = no
+     * timeout). A window that exceeds it is abandoned at the next
+     * chunk boundary, retried once inline, and on the second failure
+     * excluded from extrapolation (sample.windowsFailed).
+     */
+    uint64_t windowTimeoutMs = 0;
+    /**
+     * Deterministic-interrupt test hook: behave as if SIGINT arrived
+     * once N checkpoints have been captured (0 = off). Lets tests and
+     * CI exercise the exact cooperative-drain path a real signal takes
+     * without timing races.
+     */
+    uint64_t interruptAtCheckpoint = 0;
+    /** Fault injection (tests): the first N attempts of window
+     *  `faultWindow` throw before running (0 = off). */
+    uint32_t injectWindowFailures = 0;
+    /** Fault injection (tests): every attempt of window `faultWindow`
+     *  sleeps this long first, tripping the wall-clock watchdog. */
+    uint64_t injectWindowHangMs = 0;
+    /** Target window index for the two injection knobs above. */
+    uint32_t faultWindow = 0;
+
+    bool
+    faultInjectionEnabled() const
+    {
+        return injectWindowFailures > 0 || injectWindowHangMs > 0;
+    }
 };
 
 /** Parameters of the whole simulated system. */
@@ -323,6 +385,10 @@ struct SystemConfig
 
     /** Sampled simulation (src/sample/; off unless period > 0). */
     SamplingConfig sampling;
+
+    /** Host fault tolerance: checkpoints, resume, window timeouts
+     *  (src/resilience/; everything off by default). */
+    ResilienceConfig resilience;
 
     /** Human-readable one-line summary (Table IV style). */
     std::string summary() const;

@@ -4,7 +4,25 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "resilience/error.h"
+
 namespace pipette {
+
+namespace {
+/** Depth of FatalThrowScope nesting on this thread (> 0 = throw). */
+thread_local int g_fatalThrowDepth = 0;
+} // namespace
+
+FatalThrowScope::FatalThrowScope()
+{
+    g_fatalThrowDepth++;
+}
+
+FatalThrowScope::~FatalThrowScope()
+{
+    g_fatalThrowDepth--;
+}
+
 namespace detail {
 
 // Serializes sink writes so messages from concurrently running Systems
@@ -39,7 +57,14 @@ fatalImpl(const char *file, int line, const std::string &msg)
         std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(), file,
                      line);
     }
-    std::exit(1);
+    // Under a FatalThrowScope the error is recoverable: the scope
+    // holder (Runner, a pool worker, the window fan-out) converts it
+    // into a structured result. Otherwise exit with the taxonomy code
+    // for user/config errors.
+    if (g_fatalThrowDepth > 0)
+        throw resilience::SimException(resilience::SimError::ConfigError,
+                                       msg);
+    std::exit(resilience::exitCode(resilience::SimError::ConfigError));
 }
 
 void

@@ -19,6 +19,27 @@ namespace detail {
 [[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
+} // namespace detail
+
+/**
+ * While an instance is alive on the current thread, fatal() throws a
+ * resilience::SimException (class ConfigError) instead of exiting the
+ * process. Recoverable layers -- Runner::run, SimJobPool workers, the
+ * sampling window fan-out -- hold one so a bad cell or window is
+ * isolated into a structured error result instead of killing every
+ * sibling run (DESIGN.md §12). Unscoped fatal() still exits, with the
+ * ConfigError taxonomy exit code. Nestable; thread-local.
+ */
+class FatalThrowScope
+{
+  public:
+    FatalThrowScope();
+    ~FatalThrowScope();
+    FatalThrowScope(const FatalThrowScope &) = delete;
+    FatalThrowScope &operator=(const FatalThrowScope &) = delete;
+};
+
+namespace detail {
 
 /** Minimal printf-free formatter: concatenates stream-formattable args. */
 template <typename... Args>

@@ -1,0 +1,609 @@
+// Resilience tests (src/resilience/; DESIGN.md section 12): durable
+// checkpoint round-trips, interrupt-then-resume byte-identity at any
+// --jobs value, fuzz-style corruption (truncations + bit flips load as
+// CheckpointCorrupt, never UB), host-fault-tolerant window execution
+// (retry once, exclude on the second failure, wall-clock timeout), the
+// error taxonomy's exit codes, cooperative signal handling, worker
+// fault isolation in SimJobPool, and the sweep cache's CRC trailer.
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_common.h"
+#include "core/system.h"
+#include "parallel/sim_job_pool.h"
+#include "resilience/checkpoint.h"
+#include "resilience/crc32.h"
+#include "resilience/error.h"
+#include "resilience/interrupt.h"
+#include "sample/sampler.h"
+#include "workloads/bfs.h"
+
+namespace pipette {
+namespace {
+
+Graph
+testGraph()
+{
+    return makeRmatGraph(512, 2048, 9);
+}
+
+SystemConfig
+sampledConfig()
+{
+    SystemConfig cfg;
+    cfg.watchdogCycles = 200'000;
+    cfg.maxCycles = 100'000'000;
+    cfg.sampling.period = 4'000;
+    cfg.sampling.window = 1'500;
+    cfg.sampling.warmup = 500;
+    return cfg;
+}
+
+/** Render a stats map with full double precision (byte-identity). */
+std::string
+statsString(const std::map<std::string, double> &m)
+{
+    std::string out;
+    char buf[64];
+    for (const auto &[k, v] : m) {
+        snprintf(buf, sizeof(buf), "%.17g", v);
+        out += k;
+        out += '=';
+        out += buf;
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+tmpPath(const std::string &name)
+{
+    return testing::TempDir() + "pipette_resilience_" + name;
+}
+
+std::vector<uint8_t>
+readAll(const std::string &path)
+{
+    FILE *f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr) << path;
+    std::vector<uint8_t> bytes;
+    if (!f)
+        return bytes;
+    uint8_t buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        bytes.insert(bytes.end(), buf, buf + n);
+    std::fclose(f);
+    return bytes;
+}
+
+void
+writeAll(const std::string &path, const std::vector<uint8_t> &bytes)
+{
+    FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr) << path;
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f),
+              bytes.size());
+    std::fclose(f);
+}
+
+// ---------------------------------------------------------------------
+// Error taxonomy.
+
+// Every error class carries a distinct name and a distinct process
+// exit code (scripts key on both), and the codes avoid the shell's
+// reserved 1 and the signal range except the conventional 130.
+TEST(ErrorTaxonomy, ExitCodesAndNamesAreDistinct)
+{
+    using resilience::SimError;
+    const SimError all[] = {
+        SimError::None,           SimError::ConfigError,
+        SimError::InputError,     SimError::CheckpointCorrupt,
+        SimError::HostResource,   SimError::WorkerFault,
+        SimError::InternalInvariant, SimError::Interrupted,
+    };
+    std::vector<int> codes;
+    std::vector<std::string> names;
+    for (SimError e : all) {
+        codes.push_back(resilience::exitCode(e));
+        names.push_back(resilience::simErrorName(e));
+    }
+    for (size_t i = 0; i < codes.size(); i++) {
+        for (size_t j = i + 1; j < codes.size(); j++) {
+            EXPECT_NE(codes[i], codes[j]) << names[i];
+            EXPECT_NE(names[i], names[j]);
+        }
+    }
+    EXPECT_EQ(resilience::exitCode(SimError::None), 0);
+    EXPECT_EQ(resilience::exitCode(SimError::CheckpointCorrupt), 4);
+    EXPECT_EQ(resilience::exitCode(SimError::Interrupted), 130);
+}
+
+// Under a FatalThrowScope, fatal() becomes a structured, catchable
+// ConfigError instead of process death.
+TEST(ErrorTaxonomy, FatalThrowsUnderScope)
+{
+    FatalThrowScope scope;
+    try {
+        fatal("scoped fatal for test");
+        FAIL() << "fatal() returned";
+    } catch (const resilience::SimException &e) {
+        EXPECT_EQ(e.error(), resilience::SimError::ConfigError);
+        EXPECT_NE(std::string(e.what()).find("scoped fatal"),
+                  std::string::npos);
+    }
+}
+
+// Without a scope, fatal() still terminates -- with the taxonomy's
+// config-error code, not a generic 1.
+TEST(ErrorTaxonomyDeathTest, UnscopedFatalExitsWithConfigCode)
+{
+    EXPECT_EXIT(fatal("unscoped fatal for test"),
+                testing::ExitedWithCode(2), "unscoped fatal");
+}
+
+// ---------------------------------------------------------------------
+// CRC32.
+
+TEST(Crc32, MatchesIeeeReferenceVector)
+{
+    // The canonical IEEE 802.3 check value.
+    EXPECT_EQ(resilience::crc32("123456789", 9), 0xCBF43926u);
+    resilience::Crc32 inc;
+    inc.update("1234", 4);
+    inc.update("56789", 5);
+    EXPECT_EQ(inc.value(), 0xCBF43926u);
+    EXPECT_EQ(resilience::crc32("", 0), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Cooperative interrupt.
+
+TEST(Interrupt, SignalHandlerSetsFlagOnce)
+{
+    resilience::clearInterrupt();
+    resilience::installSignalHandlers();
+    ASSERT_FALSE(resilience::interruptRequested());
+    std::raise(SIGTERM);
+    EXPECT_TRUE(resilience::interruptRequested());
+    resilience::uninstallSignalHandlers();
+    resilience::clearInterrupt();
+}
+
+// A second signal must not wait for the cooperative drain: the handler
+// hard-exits with the interrupted code.
+TEST(InterruptDeathTest, SecondSignalHardExits130)
+{
+    EXPECT_EXIT(
+        {
+            resilience::installSignalHandlers();
+            std::raise(SIGINT);
+            std::raise(SIGINT);
+        },
+        testing::ExitedWithCode(130), "");
+}
+
+// A pending interrupt drains a detailed System at the next cycle edge
+// and surfaces through the Runner as the Interrupted class.
+TEST(Interrupt, SystemDrainsWithInterruptedStopReason)
+{
+    Graph g = testGraph();
+    resilience::requestInterrupt();
+    Runner r(SystemConfig{});
+    BfsWorkload wl(&g);
+    RunResult res = r.run(wl, Variant::Pipette, "rmat-512", 1);
+    resilience::clearInterrupt();
+    EXPECT_EQ(res.stopReason, System::StopReason::Interrupted);
+    EXPECT_EQ(res.error, resilience::SimError::Interrupted);
+    EXPECT_FALSE(res.verified);
+    EXPECT_STREQ(System::stopReasonName(res.stopReason), "interrupted");
+}
+
+// ---------------------------------------------------------------------
+// Durable checkpoint / resume.
+
+// The tentpole gate: a run interrupted at a sample boundary and then
+// resumed from its durable checkpoint must produce a stat dump
+// byte-identical to an uninterrupted run's -- at any --jobs value.
+TEST(DurableCheckpoint, InterruptThenResumeByteIdenticalStats)
+{
+    Graph g = testGraph();
+    const std::string ck = tmpPath("resume.ckpt");
+
+    // Uninterrupted reference (no resilience flags).
+    SystemConfig clean = sampledConfig();
+    BfsWorkload wlClean(&g);
+    sample::SampleReport ref =
+        sample::runSampled(clean, wlClean, Variant::Pipette, 1);
+    ASSERT_TRUE(ref.ok);
+    ASSERT_TRUE(ref.verified);
+    ASSERT_GE(ref.windows, 4u);
+
+    // Interrupted run: drains at the 2nd checkpoint, leaves the file.
+    SystemConfig cfg = sampledConfig();
+    cfg.resilience.checkpointOutPath = ck;
+    cfg.resilience.interruptAtCheckpoint = 2;
+    BfsWorkload wlInt(&g);
+    sample::SampleReport inter =
+        sample::runSampled(cfg, wlInt, Variant::Pipette, 1);
+    EXPECT_TRUE(inter.interrupted);
+    EXPECT_FALSE(inter.ok);
+    EXPECT_EQ(inter.error, resilience::SimError::Interrupted);
+    EXPECT_EQ(inter.windows, 2u);
+    EXPECT_FALSE(resilience::interruptRequested())
+        << "test-hook interrupt leaked";
+
+    // Resume (same flags: the numeric knobs key the fingerprint), at
+    // two different worker counts.
+    for (unsigned jobs : {1u, 4u}) {
+        SystemConfig rcfg = sampledConfig();
+        rcfg.resilience.resumePath = ck;
+        rcfg.resilience.interruptAtCheckpoint = 2;
+        BfsWorkload wlRes(&g);
+        sample::SampleReport res =
+            sample::runSampled(rcfg, wlRes, Variant::Pipette, jobs);
+        ASSERT_EQ(res.error, resilience::SimError::None)
+            << res.errorMsg;
+        EXPECT_TRUE(res.resumed);
+        EXPECT_TRUE(res.ok);
+        EXPECT_TRUE(res.verified);
+        EXPECT_EQ(statsString(res.stats), statsString(ref.stats))
+            << "resumed run diverged at jobs=" << jobs;
+        EXPECT_EQ(res.extrapCycles, ref.extrapCycles);
+    }
+    std::remove(ck.c_str());
+}
+
+// A checkpoint written when the fast-forward completes makes the
+// window phase itself resumable: loading it skips the FF and reruns
+// every window, still byte-identical.
+TEST(DurableCheckpoint, FfDoneCheckpointResumesWindowsOnly)
+{
+    Graph g = testGraph();
+    const std::string ck = tmpPath("ffdone.ckpt");
+
+    SystemConfig cfg = sampledConfig();
+    cfg.resilience.checkpointOutPath = ck;
+    BfsWorkload wl1(&g);
+    sample::SampleReport full =
+        sample::runSampled(cfg, wl1, Variant::Pipette, 1);
+    ASSERT_TRUE(full.ok);
+
+    SystemConfig rcfg = sampledConfig();
+    rcfg.resilience.resumePath = ck;
+    BfsWorkload wl2(&g);
+    sample::SampleReport res =
+        sample::runSampled(rcfg, wl2, Variant::Pipette, 2);
+    ASSERT_EQ(res.error, resilience::SimError::None) << res.errorMsg;
+    EXPECT_TRUE(res.resumed);
+    EXPECT_TRUE(res.ok);
+    EXPECT_TRUE(res.verified);
+    EXPECT_EQ(statsString(res.stats), statsString(full.stats));
+    std::remove(ck.c_str());
+}
+
+// A resumed run's stat registry carries no resumed-only key: identical
+// key set, so downstream diffing needs no special-casing.
+TEST(DurableCheckpoint, ResumeAddsNoStatKeys)
+{
+    Graph g = testGraph();
+    SystemConfig clean = sampledConfig();
+    BfsWorkload wl(&g);
+    sample::SampleReport rep =
+        sample::runSampled(clean, wl, Variant::Pipette, 1);
+    ASSERT_TRUE(rep.ok);
+    EXPECT_EQ(rep.stats.count("sample.interrupted"), 1u);
+    EXPECT_EQ(rep.stats.count("sample.windowsFailed"), 1u);
+    EXPECT_EQ(rep.stats.count("sample.windowRetries"), 1u);
+    EXPECT_EQ(rep.stats.count("sample.checkpointsTruncated"), 1u);
+    EXPECT_EQ(rep.stats.count("sample.resumed"), 0u);
+    EXPECT_EQ(rep.stats.at("sample.interrupted"), 0.0);
+}
+
+// Loading a file written under different (fingerprinted) flags is a
+// ConfigError with an actionable message, not silent wrong results.
+TEST(DurableCheckpoint, FingerprintMismatchIsConfigError)
+{
+    Graph g = testGraph();
+    const std::string ck = tmpPath("fpmis.ckpt");
+
+    SystemConfig cfg = sampledConfig();
+    cfg.resilience.checkpointOutPath = ck;
+    cfg.resilience.interruptAtCheckpoint = 2;
+    BfsWorkload wl1(&g);
+    sample::runSampled(cfg, wl1, Variant::Pipette, 1);
+
+    SystemConfig other = sampledConfig(); // knob omitted: different fp
+    other.resilience.resumePath = ck;
+    BfsWorkload wl2(&g);
+    sample::SampleReport res =
+        sample::runSampled(other, wl2, Variant::Pipette, 1);
+    EXPECT_EQ(res.error, resilience::SimError::ConfigError);
+    EXPECT_FALSE(res.ok);
+    EXPECT_NE(res.errorMsg.find("fingerprint"), std::string::npos);
+    std::remove(ck.c_str());
+}
+
+// Fuzz-style robustness: truncations at many lengths and bit flips at
+// many offsets must every one load as a structured CheckpointCorrupt
+// (the fingerprint happens to be unreadable for some truncations --
+// still never a crash, hang, or silent success).
+TEST(DurableCheckpoint, TruncationsAndBitFlipsLoadAsCorrupt)
+{
+    Graph g = testGraph();
+    const std::string ck = tmpPath("fuzz.ckpt");
+    const std::string mut = tmpPath("fuzz_mut.ckpt");
+
+    SystemConfig cfg = sampledConfig();
+    cfg.resilience.checkpointOutPath = ck;
+    cfg.resilience.interruptAtCheckpoint = 2;
+    BfsWorkload wl(&g);
+    sample::runSampled(cfg, wl, Variant::Pipette, 1);
+
+    const std::vector<uint8_t> good = readAll(ck);
+    ASSERT_GT(good.size(), 64u);
+
+    // Sanity: the untouched file loads.
+    resilience::SampleCheckpointData data;
+    ASSERT_TRUE(
+        resilience::loadSampleCheckpoint(ck, cfg, &data).ok());
+
+    // Truncations, including 0 and a cut inside every region.
+    for (size_t frac = 0; frac < 16; frac++) {
+        std::vector<uint8_t> t(
+            good.begin(),
+            good.begin() +
+                static_cast<ptrdiff_t>(good.size() * frac / 16));
+        writeAll(mut, t);
+        resilience::SampleCheckpointData d;
+        resilience::LoadStatus st =
+            resilience::loadSampleCheckpoint(mut, cfg, &d);
+        EXPECT_EQ(st.error, resilience::SimError::CheckpointCorrupt)
+            << "truncated to " << t.size() << " bytes: " << st.message;
+    }
+
+    // Bit flips spread across the file (magic, header, checkpoints,
+    // journal, live pages, section framing).
+    for (size_t i = 0; i < 24; i++) {
+        size_t off = good.size() * i / 24;
+        std::vector<uint8_t> t = good;
+        t[off] ^= 0x40;
+        writeAll(mut, t);
+        resilience::SampleCheckpointData d;
+        resilience::LoadStatus st =
+            resilience::loadSampleCheckpoint(mut, cfg, &d);
+        EXPECT_EQ(st.error, resilience::SimError::CheckpointCorrupt)
+            << "bit flip at offset " << off << ": " << st.message;
+    }
+
+    // Missing file: a host problem, not corruption.
+    resilience::SampleCheckpointData d;
+    EXPECT_EQ(resilience::loadSampleCheckpoint(tmpPath("nope.ckpt"),
+                                               cfg, &d)
+                  .error,
+              resilience::SimError::HostResource);
+
+    std::remove(ck.c_str());
+    std::remove(mut.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Host-fault-tolerant windows.
+
+// One injected failure: retried inline, measurement unchanged.
+TEST(WindowFaults, SingleFaultRetriesAndMatchesCleanRun)
+{
+    Graph g = testGraph();
+    BfsWorkload wl1(&g), wl2(&g);
+    SystemConfig clean = sampledConfig();
+    sample::SampleReport ref =
+        sample::runSampled(clean, wl1, Variant::Pipette, 1);
+    ASSERT_TRUE(ref.ok);
+
+    SystemConfig cfg = sampledConfig();
+    cfg.resilience.injectWindowFailures = 1;
+    cfg.resilience.faultWindow = 1;
+    sample::SampleReport rep =
+        sample::runSampled(cfg, wl2, Variant::Pipette, 2);
+    EXPECT_TRUE(rep.ok);
+    EXPECT_TRUE(rep.verified);
+    EXPECT_EQ(rep.windowRetries, 1u);
+    EXPECT_EQ(rep.windowsFailed, 0u);
+    EXPECT_EQ(rep.windowsOk, rep.windows);
+    // The retried window measures identically, so the extrapolation
+    // matches the clean run exactly.
+    EXPECT_EQ(rep.extrapCycles, ref.extrapCycles);
+    EXPECT_EQ(rep.measuredCycles, ref.measuredCycles);
+}
+
+// Two injected failures: the window is excluded, the run completes
+// degraded (the acceptance gate: windowsFailed == 1, still a report).
+TEST(WindowFaults, DoubleFaultExcludesWindowRunCompletes)
+{
+    Graph g = testGraph();
+    BfsWorkload wl(&g);
+    SystemConfig cfg = sampledConfig();
+    cfg.resilience.injectWindowFailures = 2;
+    cfg.resilience.faultWindow = 1;
+    sample::SampleReport rep =
+        sample::runSampled(cfg, wl, Variant::Pipette, 2);
+    EXPECT_TRUE(rep.ok) << "a lost window must degrade, not kill";
+    EXPECT_TRUE(rep.verified);
+    EXPECT_EQ(rep.windowsFailed, 1u);
+    EXPECT_EQ(rep.windowRetries, 1u);
+    EXPECT_EQ(rep.windowsOk, rep.windows - 1);
+    EXPECT_EQ(rep.stats.at("sample.windowsFailed"), 1.0);
+    EXPECT_EQ(rep.error, resilience::SimError::None);
+    EXPECT_GT(rep.extrapCycles, 0u);
+}
+
+// A hung window trips the wall-clock watchdog on both attempts and is
+// excluded; the rest of the run is unaffected.
+TEST(WindowFaults, HangTripsTimeoutAndExcludesWindow)
+{
+    Graph g = testGraph();
+    BfsWorkload wl(&g);
+    SystemConfig cfg = sampledConfig();
+    cfg.resilience.windowTimeoutMs = 25;
+    cfg.resilience.injectWindowHangMs = 120;
+    cfg.resilience.faultWindow = 0;
+    sample::SampleReport rep =
+        sample::runSampled(cfg, wl, Variant::Pipette, 1);
+    EXPECT_TRUE(rep.ok);
+    EXPECT_EQ(rep.windowsFailed, 1u);
+    EXPECT_EQ(rep.windowsOk, rep.windows - 1);
+}
+
+// ---------------------------------------------------------------------
+// Worker fault isolation.
+
+// A job whose workload factory throws becomes one WorkerFault result;
+// sibling jobs complete untouched.
+TEST(WorkerFaults, PoolIsolatesAThrowingJob)
+{
+    Graph g = testGraph();
+    std::vector<parallel::SimJob> jobs;
+    for (int i = 0; i < 3; i++) {
+        parallel::SimJob j;
+        j.config = SystemConfig{};
+        j.variant = Variant::Pipette;
+        j.input = "rmat-512";
+        if (i == 1) {
+            j.make = [](uint64_t) -> std::unique_ptr<WorkloadBase> {
+                throw std::runtime_error("factory exploded");
+            };
+        } else {
+            j.make = [&g](uint64_t) {
+                return std::unique_ptr<WorkloadBase>(
+                    new BfsWorkload(&g));
+            };
+        }
+        jobs.push_back(std::move(j));
+    }
+    parallel::SimJobPool pool(2);
+    std::vector<RunResult> rs = pool.runAll(jobs);
+    ASSERT_EQ(rs.size(), 3u);
+    EXPECT_TRUE(rs[0].verified);
+    EXPECT_TRUE(rs[2].verified);
+    EXPECT_EQ(rs[1].error, resilience::SimError::WorkerFault);
+    EXPECT_FALSE(rs[1].verified);
+    EXPECT_NE(rs[1].diagnosis.find("factory exploded"),
+              std::string::npos);
+    EXPECT_EQ(runStatus(rs[1]), "NO (worker-fault)");
+}
+
+// A fatal() inside a job (bad config caught during build/run) is a
+// structured ConfigError result under the Runner's throw scope.
+TEST(WorkerFaults, RunnerTurnsFatalIntoConfigErrorResult)
+{
+    Graph g = testGraph();
+    // Multicore BFS on one core is a user error the build rejects with
+    // fatal(); under the Runner's scope it must come back structured.
+    Runner r(SystemConfig{});
+    BfsWorkload wl(&g);
+    RunResult res =
+        r.run(wl, Variant::MulticorePipette, "rmat-512", 1);
+    EXPECT_FALSE(res.verified);
+    EXPECT_EQ(res.error, resilience::SimError::ConfigError);
+    EXPECT_FALSE(res.diagnosis.empty());
+}
+
+// ---------------------------------------------------------------------
+// Sweep cache CRC trailer.
+
+bench::SweepResult
+fakeSweep()
+{
+    bench::SweepResult s;
+    for (int i = 0; i < 3; i++) {
+        RunResult r;
+        r.workload = "bfs";
+        r.input = "in" + std::to_string(i);
+        r.variant = Variant::Pipette;
+        r.verified = true;
+        r.finished = true;
+        r.cycles = 1000 + static_cast<uint64_t>(i);
+        r.instrs = 900 + static_cast<uint64_t>(i);
+        r.ipc = 0.9;
+        r.numCores = 1;
+        s.runs.push_back(r);
+    }
+    return s;
+}
+
+TEST(SweepCacheCrc, RoundTripLoadsAndCorruptBytesInvalidate)
+{
+    const std::string path = tmpPath("sweep.csv");
+    const uint64_t fp = 0x1234abcdull;
+    bench::SweepResult ref = fakeSweep();
+    bench::saveSweepCache(path, fp, ref);
+
+    bench::SweepResult out;
+    ASSERT_TRUE(bench::loadSweepCache(path, fp, &out));
+    ASSERT_EQ(out.runs.size(), ref.runs.size());
+    EXPECT_EQ(out.runs[1].cycles, ref.runs[1].cycles);
+
+    // The file ends with the CRC trailer.
+    std::vector<uint8_t> bytes = readAll(path);
+    std::string text(bytes.begin(), bytes.end());
+    EXPECT_NE(text.find("# crc32="), std::string::npos);
+
+    // A flipped digit inside a row fails the CRC and invalidates.
+    std::vector<uint8_t> flipped = bytes;
+    size_t pos = text.find("1001");
+    ASSERT_NE(pos, std::string::npos);
+    flipped[pos] = '7';
+    writeAll(path, flipped);
+    bench::SweepResult bad;
+    EXPECT_FALSE(bench::loadSweepCache(path, fp, &bad));
+    EXPECT_TRUE(bad.runs.empty()) << "corrupt rows must not leak out";
+
+    // Dropping the trailer (a truncated write) invalidates too.
+    std::string cut = text.substr(0, text.find("# crc32="));
+    writeAll(path,
+             std::vector<uint8_t>(cut.begin(), cut.end()));
+    bench::SweepResult trunc;
+    EXPECT_FALSE(bench::loadSweepCache(path, fp, &trunc));
+
+    // Wrong fingerprint never loads, CRC or not.
+    bench::saveSweepCache(path, fp, ref);
+    bench::SweepResult wrongFp;
+    EXPECT_FALSE(bench::loadSweepCache(path, fp + 1, &wrongFp));
+
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Fingerprint coverage of the new knobs.
+
+TEST(ResilienceConfigTest, KnobsKeyTheFingerprintPathsDoNot)
+{
+    SystemConfig base;
+    const uint64_t fp = configFingerprint(base);
+
+    SystemConfig a = base, b = base, c = base, d = base, e = base;
+    a.resilience.windowTimeoutMs = 100;
+    b.resilience.interruptAtCheckpoint = 3;
+    c.resilience.injectWindowFailures = 1;
+    d.resilience.injectWindowHangMs = 5;
+    e.sampling.maxCheckpoints = base.sampling.maxCheckpoints + 1;
+    EXPECT_NE(configFingerprint(a), fp);
+    EXPECT_NE(configFingerprint(b), fp);
+    EXPECT_NE(configFingerprint(c), fp);
+    EXPECT_NE(configFingerprint(d), fp);
+    EXPECT_NE(configFingerprint(e), fp);
+
+    // Output/input paths are resume identity, not simulated identity.
+    SystemConfig p = base;
+    p.resilience.checkpointOutPath = "/tmp/somewhere.ckpt";
+    p.resilience.resumePath = "/tmp/elsewhere.ckpt";
+    EXPECT_EQ(configFingerprint(p), fp);
+}
+
+} // namespace
+} // namespace pipette
