@@ -11,6 +11,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
@@ -122,6 +124,55 @@ BM_CoreCycles(benchmark::State &state)
 BENCHMARK(BM_CoreCycles)->Unit(benchmark::kMillisecond);
 
 /**
+ * Stall-heavy, DRAM-bound cycle throughput: serial BFS over an R-MAT
+ * graph whose frontier walks random neighbor lists far larger than the
+ * LLC, on a memory system with slow DRAM (400 cycles) and no stream
+ * prefetcher -- so the single thread spends most cycles quiesced
+ * behind DRAM fills and the fills arrive in clustered waves rather
+ * than a staggered prefetch drizzle. Captured with cycle elision on
+ * and off; the ratio between the two rows is the headline host-speed
+ * win of stall-aware skip-ahead (DESIGN.md section 13), and
+ * `skipped_frac` reports what fraction of simulated cycles the
+ * quiescence oracle elided.
+ */
+void
+BM_CoreCyclesStall(benchmark::State &state, bool elision)
+{
+    Graph g = makeRmatGraph(65536, 262144, 11);
+    uint64_t cycles = 0;
+    uint64_t skipped = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        SystemConfig cfg;
+        cfg.maxCycles = 200'000;
+        cfg.cycleElision = elision;
+        cfg.mem.dramLatency = 400;
+        cfg.mem.prefetcherEnabled = false;
+        System sys(cfg);
+        BfsWorkload wl(&g);
+        BuildContext ctx(&sys);
+        wl.build(ctx, Variant::Serial);
+        sys.configure(ctx.spec);
+        state.ResumeTiming();
+        auto res = sys.run();
+        cycles += res.cycles;
+        benchmark::DoNotOptimize(res.cycles);
+        state.PauseTiming();
+        skipped += static_cast<uint64_t>(
+            sys.dumpStats().at("sim.skippedCycles"));
+        state.ResumeTiming();
+    }
+    state.SetItemsProcessed(state.iterations() * 200'000);
+    state.counters["skipped_frac"] =
+        cycles ? static_cast<double>(skipped) / static_cast<double>(cycles)
+               : 0.0;
+}
+BENCHMARK_CAPTURE(BM_CoreCyclesStall, rmat_serial_skip, true)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_CoreCyclesStall, rmat_serial_noskip, false)
+    ->Unit(benchmark::kMillisecond);
+
+/**
  * Bare fast-forward throughput: the golden interpreter running BFS
  * with no hooks attached -- the ceiling the warming hooks are measured
  * against (and the speed hook-detached stretches of the fast-forward
@@ -222,9 +273,39 @@ BENCHMARK_CAPTURE(BM_BfsKips, pipette, Variant::Pipette)
 } // namespace
 } // namespace pipette
 
+// Build type baked in by bench/CMakeLists.txt; host-perf numbers from
+// unoptimized builds are meaningless against the pinned CI floors.
+#ifndef PIPETTE_BENCH_BUILD_TYPE
+#define PIPETTE_BENCH_BUILD_TYPE ""
+#endif
+
 int
 main(int argc, char **argv)
 {
+    // Tag every JSON artifact with the build type, warn loudly when it
+    // is not Release, and hard-fail when the CI speed gate demands an
+    // optimized build (PIPETTE_BENCH_REQUIRE_RELEASE=1).
+    const char *buildType =
+        PIPETTE_BENCH_BUILD_TYPE[0] ? PIPETTE_BENCH_BUILD_TYPE
+                                    : "unspecified";
+    bool release = std::strcmp(buildType, "Release") == 0;
+    if (!release) {
+        std::fprintf(stderr,
+                     "WARNING: bench_sim_speed built as '%s', not Release; "
+                     "host-perf numbers are not comparable to pinned "
+                     "floors.\n",
+                     buildType);
+        const char *req = std::getenv("PIPETTE_BENCH_REQUIRE_RELEASE");
+        if (req && req[0] && std::strcmp(req, "0") != 0) {
+            std::fprintf(stderr,
+                         "FATAL: PIPETTE_BENCH_REQUIRE_RELEASE is set but "
+                         "this is a '%s' build; rebuild with "
+                         "-DCMAKE_BUILD_TYPE=Release.\n",
+                         buildType);
+            return 2;
+        }
+    }
+
     // Emit the JSON artifact by default so CI and future PRs can diff
     // host-perf numbers; explicit --benchmark_out still wins.
     std::vector<char *> args(argv, argv + argc);
@@ -241,6 +322,8 @@ main(int argc, char **argv)
     benchmark::Initialize(&nargs, args.data());
     if (benchmark::ReportUnrecognizedArguments(nargs, args.data()))
         return 1;
+    benchmark::AddCustomContext("build_type", buildType);
+    benchmark::AddCustomContext("release_build", release ? "yes" : "no");
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     return 0;

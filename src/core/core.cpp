@@ -214,6 +214,11 @@ Core::tick(Cycle now)
     aluUsed_ = 0;
     mulUsed_ = 0;
     issuedThisCycle_ = 0;
+    tickActive_ = false;
+    snapQueueEmpty_ = stats_.queueEmptyStalls;
+    snapQueueFull_ = stats_.queueFullStalls;
+    snapPoolStalls_ = stats_.dynInstPoolStalls;
+    snapCkptStalls_ = stats_.checkpointStalls;
 
     processWritebacks(now);
     commit(now);
@@ -253,6 +258,7 @@ Core::fetch(Cycle now)
     fetchRr_++;
     if (best < 0)
         return;
+    tickActive_ = true; // a fetchable thread always fetches >= 1 instr
 
     ThreadCtx &t = threads_[best];
     ThreadId tid = static_cast<ThreadId>(best);
@@ -324,6 +330,7 @@ Core::rename(Cycle now)
             t.renameStall = st;
             if (st != StallReason::None)
                 break;
+            tickActive_ = true;
             width--;
         }
     }
@@ -500,10 +507,19 @@ Core::renameOne(ThreadId tid, Cycle now)
                     stats_.skipDiscards++;
                     drained++;
                 }
-                if (drained > 0 && guardrails_)
-                    guardrails_->onSkipDrain(now, id_, tid, q, drained);
-                if (!qrm_.hasInflightCtrl(q))
-                    qrm_.armSkip(q);
+                if (drained > 0) {
+                    // The drain cycle's stat deltas (skipDiscards)
+                    // differ from the memo-hit retries that follow, so
+                    // it can never serve as an elision template.
+                    tickActive_ = true;
+                    if (guardrails_)
+                        guardrails_->onSkipDrain(now, id_, tid, q,
+                                                 drained);
+                }
+                if (!qrm_.hasInflightCtrl(q)) {
+                    qrm_.armSkip(q); // queue-state mutation
+                    tickActive_ = true;
+                }
             }
             return queueStall(StallReason::QueueEmpty);
         }
@@ -743,6 +759,7 @@ Core::scheduleWriteback(const DynInstPtr &inst, Cycle when,
     Cycle now = eq_->now();
     if (when > now && when - now < WB_RING) {
         wbRing_[when % WB_RING].push_back(WbEntry{inst, vals});
+        wbCount_++;
         return;
     }
     eq_->schedule(when, [this, inst, vals] { applyWriteback(inst, vals); });
@@ -752,6 +769,10 @@ void
 Core::processWritebacks(Cycle now)
 {
     auto &slot = wbRing_[now % WB_RING];
+    if (slot.empty())
+        return;
+    tickActive_ = true;
+    wbCount_ -= static_cast<uint32_t>(slot.size());
     for (WbEntry &e : slot)
         applyWriteback(e.inst, e.vals);
     slot.clear();
@@ -1032,6 +1053,8 @@ Core::issue(Cycle now)
     // the seq recorded at rename; a mismatch means the pool slot was
     // recycled (squash) and the entry is stale.
     std::vector<PhysRegId> &readyLog = prf_.readyLog();
+    if (!readyLog.empty())
+        tickActive_ = true; // wakeups mutate waitCnt/eligible state
     for (PhysRegId r : readyLog) {
         std::vector<IqWaiter> &ws = regWaiters_[r];
         for (const IqWaiter &wt : ws) {
@@ -1135,6 +1158,7 @@ Core::issue(Cycle now)
         inst->inIQ = false;
         iqOccupancy_--;
         issuedThisCycle_++;
+        tickActive_ = true;
         stats_.issuedUops++;
         stats_.regReads += inst->nsrc;
         if (inst->isCondBranch || inst->isIndirect) {
@@ -1292,6 +1316,7 @@ Core::commit(Cycle now)
             bool isHalt = inst->op == Op::HALT;
             t.rob.pop_front(); // may release `inst` back to the pool
             budget--;
+            tickActive_ = true;
             stats_.committedInstrs++;
             if (tid < 8)
                 stats_.committedPerThread[tid]++;
@@ -1317,6 +1342,7 @@ Core::drainStoreBuffers(Cycle now)
             return;
         auto [addr, size] = t.storeBuffer.front();
         t.storeBuffer.pop_front();
+        tickActive_ = true;
         hier_->access(id_, addr, true, now, nullptr);
     }
 }
@@ -1359,7 +1385,65 @@ Core::accountCpi(Cycle now)
         else
             bucket = CpiBucket::Other;
     }
-    stats_.cpiCycles[static_cast<size_t>(bucket)]++;
+    lastBucket_ = static_cast<size_t>(bucket);
+    stats_.cpiCycles[lastBucket_]++;
+}
+
+// ------------------------------------------------- cycle elision (§13)
+
+Cycle
+Core::nextSelfActivity(Cycle now) const
+{
+    Cycle next = EventQueue::NEVER;
+    if (wbCount_ > 0) {
+        // Every ring entry lies within (now, now + WB_RING):
+        // scheduleWriteback bounds it at insert time and the run loop
+        // never jumps past a nonempty slot, so the first nonempty slot
+        // by offset is the earliest pending writeback.
+        for (uint32_t d = 1; d < WB_RING; d++) {
+            if (!wbRing_[(now + d) % WB_RING].empty()) {
+                next = now + d;
+                break;
+            }
+        }
+    }
+    for (ThreadId tid : activeTids_) {
+        const ThreadCtx &t = threads_[tid];
+        if (t.halted)
+            continue;
+        if (t.fetchBlockedUntil > now)
+            next = std::min(next, t.fetchBlockedUntil);
+        if (!t.fetchQ.empty() && t.fetchQ.front().readyCycle > now)
+            next = std::min(next, t.fetchQ.front().readyCycle);
+    }
+    return next;
+}
+
+void
+Core::elide(uint64_t k)
+{
+    // A quiescent tick bumps: cycles, one CPI bucket, and (per stalled
+    // thread, via the queue-stall memo or the pure resource gates) the
+    // rename stall counters. Those bumps are a pure function of the
+    // frozen state, so the deltas the last executed tick produced are
+    // exactly what each elided cycle would produce.
+    uint64_t dEmpty = stats_.queueEmptyStalls - snapQueueEmpty_;
+    uint64_t dFull = stats_.queueFullStalls - snapQueueFull_;
+    uint64_t dPool = stats_.dynInstPoolStalls - snapPoolStalls_;
+    uint64_t dCkpt = stats_.checkpointStalls - snapCkptStalls_;
+    stats_.queueEmptyStalls += dEmpty * k;
+    stats_.queueFullStalls += dFull * k;
+    stats_.dynInstPoolStalls += dPool * k;
+    stats_.checkpointStalls += dCkpt * k;
+    stats_.cycles += k;
+    stats_.cpiCycles[lastBucket_] += k;
+    stats_.skippedCycles += k;
+    stats_.skipWindows++;
+    // The round-robin pivots advance once per cycle unconditionally;
+    // uint32 wraparound matches single-stepping k times exactly.
+    fetchRr_ += static_cast<uint32_t>(k);
+    renameRr_ += static_cast<uint32_t>(k);
+    commitRr_ += static_cast<uint32_t>(k);
 }
 
 void

@@ -67,6 +67,35 @@ class Core
     /** Advance one cycle. */
     void tick(Cycle now);
 
+    // --- Stall-aware cycle elision (DESIGN.md §13) --------------------
+    /**
+     * True when the last tick() mutated no simulated state: no fetch,
+     * rename, issue, writeback, commit, store-buffer drain, or queue
+     * skip-arm happened. The only statistics such a tick moves are the
+     * per-cycle stall/CPI counters, and those are a pure function of
+     * the frozen state -- so until one of this core's own deadlines
+     * (nextSelfActivity) matures or an external agent (event queue,
+     * RA, connector) mutates shared state, every subsequent tick
+     * repeats the exact same no-op with the exact same stat deltas.
+     */
+    bool tickQuiescent() const { return !tickActive_; }
+    /**
+     * Earliest future cycle at which this core's self-scheduled work
+     * matures with no external help: the first nonempty writeback-ring
+     * slot, a fetch redirect penalty expiring, or the frontend delay
+     * of the oldest fetched instruction maturing. EventQueue::NEVER
+     * when only external events can unfreeze it.
+     */
+    Cycle nextSelfActivity(Cycle now) const;
+    /**
+     * Credit k elided cycles in bulk: every counter a frozen tick
+     * bumps (cycles, the CPI bucket, the rename stall counters, the
+     * round-robin pivots) advances by exactly k times the delta the
+     * last executed tick produced, so every stat stays a pure function
+     * of simulated time -- bit-identical with elision off.
+     */
+    void elide(uint64_t k);
+
     bool allHalted() const;
     CoreId id() const { return id_; }
     const CoreConfig &config() const { return cfg_; }
@@ -392,6 +421,20 @@ class Core
     Cycle lastCommit_ = 0;
     CoreStats stats_;
     bool configured_ = false;
+
+    // Cycle-elision state (DESIGN.md §13).
+    /** Any simulated-state mutation during the current tick sets this. */
+    bool tickActive_ = true;
+    /** Entries currently in wbRing_ (gates the deadline scan). */
+    uint32_t wbCount_ = 0;
+    /** CPI bucket of the last tick (bulk credit target). */
+    size_t lastBucket_ = 0;
+    /** Tick-entry snapshots of the per-cycle rename stall counters;
+     *  elide() replays (current - snapshot) per elided cycle. */
+    uint64_t snapQueueEmpty_ = 0;
+    uint64_t snapQueueFull_ = 0;
+    uint64_t snapPoolStalls_ = 0;
+    uint64_t snapCkptStalls_ = 0;
 
     /** Guardrail hooks; null = disabled (single-branch hook sites). */
     debug::Guardrails *guardrails_ = nullptr;

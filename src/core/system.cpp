@@ -418,6 +418,13 @@ System::runFor(Cycle n)
     if (guardrails_)
         guardrails_->beginRun(mem_);
     bool watchInvariants = cfg_.guardrails.invariantChecks;
+    // Cycle elision requires every diagnostic mode that watches (or
+    // perturbs) individual cycles to be off: any guardrail -- lockstep
+    // oracle, per-cycle invariant checks, fault plans, flight recorder
+    // -- forces single-stepping with identical diagnostics. The commit
+    // trace is unaffected (elided cycles commit nothing) and per-cycle
+    // trace collectors are handled by the traceActive() gate below.
+    bool elide = cfg_.cycleElision && !guardrails_;
     Cycle stop = n > ~static_cast<Cycle>(0) - stepNow_
                      ? ~static_cast<Cycle>(0)
                      : stepNow_ + n;
@@ -497,6 +504,55 @@ System::runFor(Cycle n)
         if (resilience::interruptRequested()) {
             res.stopReason = StopReason::Interrupted;
             break;
+        }
+
+        // --- Stall-aware cycle elision (DESIGN.md §13). When this
+        // cycle mutated nothing anywhere, every following cycle repeats
+        // it verbatim until the earliest self-reported deadline: jump
+        // the clock there and credit the per-cycle stats in bulk.
+        // Guardrail modes never reach here (elide is false); the clamps
+        // keep every time-triggered action -- watchdog, maxCycles,
+        // interval samples, the trace-window opening -- on exactly the
+        // cycle it fires at when single-stepping, so results are
+        // bit-identical with the skip off.
+        if (elide && (!obs_ || !obs_->traceActive())) {
+            bool quiet = cores_[0]->tickQuiescent();
+            for (auto &ra : ras_)
+                quiet &= ra->tickQuiescent();
+            for (auto &conn : connectors_)
+                quiet &= conn->tickQuiescent();
+            if (!quiet)
+                continue;
+            Cycle dl = eqs_[0]->nextDeadline();
+            dl = std::min(dl, cores_[0]->nextSelfActivity(stepNow_));
+            for (auto &conn : connectors_)
+                dl = std::min(dl, conn->nextSelfActivity(stepNow_));
+            if (dl <= stepNow_ + 1)
+                continue;
+            Cycle target = std::min(dl - 1, stop);
+            if (cfg_.maxCycles)
+                target = std::min(target, cfg_.maxCycles);
+            // The watchdog-firing cycle itself ticks normally
+            // (saturate: no progress + no watchdog = spin, as when
+            // single-stepping, just without burning host time).
+            Cycle noFire = stepLastProgress_ +
+                           std::min(cfg_.watchdogCycles,
+                                    ~static_cast<Cycle>(0) -
+                                        stepLastProgress_);
+            target = std::min(target, noFire);
+            if (obs_) {
+                Cycle ns = obs_->nextSampleCycle();
+                if (ns)
+                    target = std::min(target, ns - 1);
+                const ObservabilityConfig &oc = cfg_.observability;
+                if ((oc.perfetto || oc.pipeview) &&
+                    stepNow_ < oc.traceFrom)
+                    target = std::min(target, oc.traceFrom - 1);
+            }
+            if (target > stepNow_) {
+                cores_[0]->elide(target - stepNow_);
+                stepNow_ = target;
+            }
         }
     }
     res.cycles = stepNow_;
@@ -616,6 +672,14 @@ System::tickCorePartition(size_t c, Cycle from, Cycle to)
     Core *core = cores_[c].get();
     EventQueue *eq = eqs_[c].get();
     obs::Observer *obs = obs_.get();
+    // Cycle elision inside a partition clamps to the epoch edge `to`:
+    // watchdog, maxCycles, interval samples, and interrupts are all
+    // edge-only in epoch mode, so the edge is the only extra deadline.
+    // Per-cycle trace collectors disable the skip wholesale (cheap and
+    // conservative: trace runs are diagnostic, not throughput, runs).
+    bool elide = cfg_.cycleElision && !guardrails_ &&
+                 !(obs && (cfg_.observability.perfetto ||
+                           cfg_.observability.pipeview));
     for (Cycle cy = from + 1; cy <= to; cy++) {
         if (obs)
             obs->setCoreCycle(static_cast<CoreId>(c), cy);
@@ -627,6 +691,29 @@ System::tickCorePartition(size_t c, Cycle from, Cycle to)
             conn->tickProducer(cy);
         for (Connector *conn : connTo_[c])
             conn->tickConsumer(cy);
+
+        if (!elide || cy >= to)
+            continue;
+        bool quiet = core->tickQuiescent();
+        for (RefAccel *ra : rasByCore_[c])
+            quiet &= ra->tickQuiescent();
+        for (Connector *conn : connFrom_[c])
+            quiet &= conn->producerQuiescent();
+        for (Connector *conn : connTo_[c])
+            quiet &= conn->consumerQuiescent();
+        if (!quiet)
+            continue;
+        Cycle dl = eq->nextDeadline();
+        dl = std::min(dl, core->nextSelfActivity(cy));
+        for (Connector *conn : connTo_[c])
+            dl = std::min(dl, conn->nextInboxArrival(cy));
+        if (dl <= cy + 1)
+            continue;
+        Cycle target = std::min(dl - 1, to);
+        if (target > cy) {
+            core->elide(target - cy);
+            cy = target;
+        }
     }
 }
 
@@ -822,6 +909,12 @@ System::dumpStats() const
     // byte-identical at any --core-jobs value).
     if (cores_.size() > 1)
         out["sim.epochAutoInline"] = epochAutoInline_ ? 1.0 : 0.0;
+    // Elision totals, aggregated across cores: how much of the run the
+    // quiescence oracle fast-forwarded. Host-speed metadata only --
+    // every other row is identical with the skip off.
+    CoreStats agg = aggregateCoreStats();
+    out["sim.skippedCycles"] = static_cast<double>(agg.skippedCycles);
+    out["sim.skipWindows"] = static_cast<double>(agg.skipWindows);
     return out;
 }
 

@@ -111,6 +111,18 @@ class Observer
         return cfg_.sampleInterval && now >= nextSample_;
     }
 
+    /**
+     * Cycle elision (DESIGN.md §13): the run loop clamps clock skips to
+     * the next interval-sampler emission so every sample row is taken
+     * at exactly the cycle it would be taken at when single-stepping.
+     * Returns 0 when the sampler is disabled (no clamp needed).
+     */
+    Cycle
+    nextSampleCycle() const
+    {
+        return cfg_.sampleInterval ? nextSample_ : 0;
+    }
+
     // ---- Hot hooks (single null-check at every call site) ----
     /** Entry became committed in (core, q); occAfter = committed size. */
     void onQueuePush(CoreId core, QueueId q, uint64_t occAfter);

@@ -17,6 +17,11 @@ Connector::Connector(const ConnectorSpec &spec, Qrm *fromQrm,
 void
 Connector::tick(Cycle now)
 {
+    // Fault-injected freezes only exist under fault plans, which imply
+    // guardrails and therefore single-stepping -- elision never needs a
+    // stalledUntil_ deadline.
+    tickActive_ = false;
+
     if (now < stalledUntil_)
         return; // fault-injected freeze: hold all state as-is
 
@@ -30,8 +35,10 @@ Connector::tick(Cycle now)
         bool ctrlInPath = fromQrm_->hasAnyCtrl(spec_.fromQueue);
         for (const Flit &f : inflight_)
             ctrlInPath |= f.ctrl;
-        if (!ctrlInPath)
+        if (!ctrlInPath) {
             fromQrm_->armSkip(spec_.fromQueue);
+            tickActive_ = true;
+        }
     }
 
     // Deliver arrived flits into the destination queue.
@@ -46,6 +53,7 @@ Connector::tick(Cycle now)
         toQrm_->enqueueNonSpec(spec_.toQueue, r, f.ctrl);
         inflight_.pop_front();
         stats_->connectorTransfers++;
+        tickActive_ = true;
     }
 
     // Send new flits, limited by bandwidth and credits: in-flight plus
@@ -56,9 +64,13 @@ Connector::tick(Cycle now)
         uint64_t credits = toQrm_->capacity(spec_.toQueue);
         if (inflight_.size() + toQrm_->totalSize(spec_.toQueue) >= credits) {
             // Data was available (canDequeueNonSpec passed) but no
-            // credits: a genuine backpressure stall cycle.
-            if (obs_)
+            // credits: a genuine backpressure stall cycle. The hook's
+            // run-length tracking is per-cycle observer state, so an
+            // observed stall counts as activity (DESIGN.md §13).
+            if (obs_) {
                 obs_->onConnectorCreditStall(obsIdx_, now);
+                tickActive_ = true;
+            }
             break;
         }
         bool ctrl = false;
@@ -69,6 +81,7 @@ Connector::tick(Cycle now)
         f.ctrl = ctrl;
         fromPrf_->free(r);
         inflight_.push_back(f);
+        tickActive_ = true;
     }
 }
 
@@ -84,6 +97,7 @@ Connector::setEpochMode()
 void
 Connector::tickProducer(Cycle now)
 {
+    prodActive_ = false;
     if (now < stalledUntil_)
         return; // fault-injected freeze (applied at epoch edges)
     for (uint32_t b = 0; b < bandwidth_; b++) {
@@ -93,8 +107,11 @@ Connector::tickProducer(Cycle now)
             // Data was available but no credits as of the last epoch
             // edge: a backpressure stall cycle. Credits freed by the
             // consumer mid-epoch are not observable until the edge.
-            if (obs_)
+            // Observed stalls count as activity (see tick()).
+            if (obs_) {
                 obs_->onConnectorCreditStall(obsIdx_, now);
+                prodActive_ = true;
+            }
             break;
         }
         bool ctrl = false;
@@ -106,12 +123,14 @@ Connector::tickProducer(Cycle now)
         fromPrf_->free(r);
         outbox_.push_back(f);
         creditBudget_--;
+        prodActive_ = true;
     }
 }
 
 void
 Connector::tickConsumer(Cycle now)
 {
+    consActive_ = false;
     if (now < stalledUntil_)
         return;
     while (!inbox_.empty() && inbox_.front().arrival <= now) {
@@ -125,6 +144,7 @@ Connector::tickConsumer(Cycle now)
         toQrm_->enqueueNonSpec(spec_.toQueue, r, f.ctrl);
         inbox_.pop_front();
         deliveredThisEpoch_++;
+        consActive_ = true;
     }
 }
 

@@ -12,11 +12,13 @@
 #ifndef PIPETTE_RT_CONNECTOR_H
 #define PIPETTE_RT_CONNECTOR_H
 
+#include <algorithm>
 #include <deque>
 
 #include "isa/machine_spec.h"
 #include "pipette/qrm.h"
 #include "pipette/regfile.h"
+#include "sim/event_queue.h"
 #include "sim/stats.h"
 #include "sim/types.h"
 
@@ -58,6 +60,52 @@ class Connector
     idle() const
     {
         return inflight_.empty() && inbox_.empty() && outbox_.empty();
+    }
+
+    // --- Stall-aware cycle elision (DESIGN.md §13) --------------------
+    /**
+     * True when the last legacy tick() mutated nothing: no send, no
+     * delivery, no skip propagation -- and, with an observer attached,
+     * no credit-stall hook fired (the hook's run-length tracking is
+     * per-cycle observer state, so a credit-stalled connector under
+     * observation must single-step).
+     */
+    bool tickQuiescent() const { return !tickActive_; }
+    /**
+     * Earliest future cycle at which legacy in-flight data matures: the
+     * head flit's arrival while still in transit. Deliveries blocked on
+     * a full destination queue and sends blocked on data/credits have
+     * no self-deadline -- they unfreeze only through other agents'
+     * activity.
+     */
+    Cycle
+    nextSelfActivity(Cycle now) const
+    {
+        if (!inflight_.empty() && inflight_.front().arrival > now)
+            return inflight_.front().arrival;
+        return EventQueue::NEVER;
+    }
+    /**
+     * Epoch-mode halves of tickQuiescent(). The halves run in
+     * different cores' partitions -- potentially on different host
+     * threads -- so each keeps its own activity flag; a shared one
+     * would be a data race under --core-jobs > 1.
+     */
+    bool producerQuiescent() const { return !prodActive_; }
+    bool consumerQuiescent() const { return !consActive_; }
+    /**
+     * Epoch-mode consumer-half deadline: the inbox head's arrival when
+     * still in transit. Read only from the toCore partition (the inbox
+     * mutates only there and at the serial epoch edge). The producer
+     * half has no self-deadline: sends are gated purely on input data
+     * and the edge-snapshotted credit budget.
+     */
+    Cycle
+    nextInboxArrival(Cycle now) const
+    {
+        if (!inbox_.empty() && inbox_.front().arrival > now)
+            return inbox_.front().arrival;
+        return EventQueue::NEVER;
     }
 
     /**
@@ -118,6 +166,12 @@ class Connector
     /** Deliveries this epoch; folded into the from-core's stats (a
      *  cross-partition write) at the edge. */
     uint64_t deliveredThisEpoch_ = 0;
+
+    /** Any mutation during the current legacy tick() sets this. */
+    bool tickActive_ = true;
+    /** Per-half activity flags for epoch mode (see producerQuiescent). */
+    bool prodActive_ = true;
+    bool consActive_ = true;
 
     /** Observability hooks; null = disabled. */
     obs::Observer *obs_ = nullptr;

@@ -38,8 +38,12 @@ RefAccel::issueLoad(Addr addr, Cycle now, CbEntry *entry)
 void
 RefAccel::tick(Cycle now)
 {
+    tickActive_ = false;
+
     // Fault-injected freeze, checked before the idle memo so a stalled
-    // RA stays inert even when its queues mutate.
+    // RA stays inert even when its queues mutate. (Fault plans imply
+    // guardrails, which force single-stepping, so elision never sees a
+    // stalled RA as quiescent-until-a-deadline.)
     if (now < stalledUntil_)
         return;
 
@@ -58,8 +62,10 @@ RefAccel::tick(Cycle now)
         bool ctrlInPath = qrm_->hasAnyCtrl(spec_.inQueue);
         for (size_t i = 0; i < cb_.size(); i++)
             ctrlInPath |= cb_[i].ctrl;
-        if (!ctrlInPath)
+        if (!ctrlInPath) {
             qrm_->armSkip(spec_.inQueue);
+            tickActive_ = true;
+        }
     }
 
     // 1. Retire completed entries, in order, into the output queue.
@@ -76,12 +82,15 @@ RefAccel::tick(Cycle now)
         cb_.pop_front();
         retired++;
     }
+    if (retired > 0)
+        tickActive_ = true;
 
     // 2. Issue new work (one item per cycle).
     if (pendingSecond_) {
         // Second load of an IndirectPair waiting for a port.
         if (!ports_())
             return;
+        tickActive_ = true;
         issueLoad(pendingAddr_, now, pendingEntry_);
         pendingSecond_ = false;
         pendingEntry_ = nullptr;
@@ -94,6 +103,7 @@ RefAccel::tick(Cycle now)
     if (spec_.mode == RaMode::Scan && scanning_) {
         if (!ports_())
             return;
+        tickActive_ = true;
         cb_.push_back(CbEntry{});
         issueLoad(spec_.base + cur_ * spec_.elemBytes, now, &cb_.back());
         cur_++;
@@ -115,6 +125,7 @@ RefAccel::tick(Cycle now)
 
     bool headCtrl = qrm_->headCtrl(spec_.inQueue);
     if (headCtrl) {
+        tickActive_ = true;
         // Forward the CV through the completion buffer to keep ordering.
         panic_if(spec_.mode == RaMode::Scan && haveStart_,
                  "control value between scan start and end");
@@ -132,6 +143,7 @@ RefAccel::tick(Cycle now)
     if (spec_.mode == RaMode::Indirect) {
         if (!ports_())
             return;
+        tickActive_ = true;
         bool ctrl = false;
         PhysRegId r = qrm_->dequeueNonSpec(spec_.inQueue, &ctrl);
         uint64_t idx = prf_->read(r);
@@ -144,6 +156,7 @@ RefAccel::tick(Cycle now)
     if (spec_.mode == RaMode::IndirectPair) {
         if (cb_.size() + 2 > cbCapacity_ || !ports_())
             return;
+        tickActive_ = true;
         bool ctrl = false;
         PhysRegId r = qrm_->dequeueNonSpec(spec_.inQueue, &ctrl);
         uint64_t idx = prf_->read(r);
@@ -163,6 +176,7 @@ RefAccel::tick(Cycle now)
     if (spec_.mode == RaMode::IndirectKV) {
         if (cb_.size() + 2 > cbCapacity_ || !ports_())
             return;
+        tickActive_ = true;
         bool ctrl = false;
         PhysRegId r = qrm_->dequeueNonSpec(spec_.inQueue, &ctrl);
         uint64_t idx = prf_->read(r);
@@ -177,6 +191,7 @@ RefAccel::tick(Cycle now)
     }
 
     // Scan mode: consume start then end.
+    tickActive_ = true;
     bool ctrl = false;
     PhysRegId r = qrm_->dequeueNonSpec(spec_.inQueue, &ctrl);
     uint64_t v = prf_->read(r);

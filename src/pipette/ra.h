@@ -45,6 +45,17 @@ class RefAccel
     /** Advance one cycle. */
     void tick(Cycle now);
 
+    /**
+     * Cycle elision (DESIGN.md §13): true when the last tick() mutated
+     * nothing -- no retire, no issue, no dequeue, no skip propagation.
+     * A quiescent RA has no time-gated work of its own: its in-flight
+     * loads complete through the event queue (whose deadline the run
+     * loop consults) and everything else it waits on -- queue space,
+     * free registers, input entries -- mutates only through other
+     * agents' activity.
+     */
+    bool tickQuiescent() const { return !tickActive_; }
+
     /** True if the RA holds no in-flight work (for quiesce checks). */
     bool
     idle() const
@@ -149,6 +160,8 @@ class RefAccel
     bool idleValid_ = false;
     uint64_t idleInV_ = 0;
     uint64_t idleOutV_ = 0;
+    /** Any mutation during the current tick sets this (elision). */
+    bool tickActive_ = true;
 
     /** Observability hooks; null = disabled. */
     obs::Observer *obs_ = nullptr;

@@ -48,7 +48,7 @@ static_assert(sizeof(SamplingConfig) == 32,
 static_assert(sizeof(ResilienceConfig) == 104,
               "ResilienceConfig changed: update configFingerprint, "
               "then this");
-static_assert(sizeof(SystemConfig) == 536,
+static_assert(sizeof(SystemConfig) == 544,
               "SystemConfig changed: update configFingerprint, then this");
 #endif
 
@@ -118,6 +118,10 @@ configFingerprint(const SystemConfig &cfg)
     // stale hit.
     h.pod(cfg.coreJobs);
     h.pod(cfg.epochLength);
+    // Cycle elision is byte-invisible by construction (the bit-identity
+    // matrix in test_skip proves it), but hashed for the same reason as
+    // coreJobs: a cache row records exactly the config it ran under.
+    h.pod(cfg.cycleElision);
 
     // Guardrails perturb results when enabled (faults by design, the
     // oracle by stopping early on divergence), so they key the cache

@@ -377,6 +377,20 @@ struct SystemConfig
      */
     uint32_t epochLength = 0;
 
+    /**
+     * Stall-aware cycle elision (DESIGN.md §13): when every simulated
+     * structure is provably quiescent, the run loop jumps the clock to
+     * the earliest future cycle at which anything can make progress and
+     * credits all per-cycle statistics in bulk. On by default; results
+     * are bit-identical with it off (`--no-skip`), it only changes host
+     * speed. Hashed into the config fingerprint anyway (the coreJobs
+     * policy): a cache row records exactly the config it ran under.
+     * Guardrail modes (lockstep oracle, per-cycle invariant checks,
+     * fault plans) and the commit trace force single-stepping
+     * regardless of this flag.
+     */
+    bool cycleElision = true;
+
     /** Debug guardrails (oracle, invariants, flight recorder, faults). */
     GuardrailConfig guardrails;
 

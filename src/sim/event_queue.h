@@ -115,6 +115,47 @@ class EventQueue
     Cycle now() const { return now_; }
     size_t pending() const { return pending_; }
 
+    /** nextDeadline() result when no event is pending. */
+    static constexpr Cycle NEVER = ~static_cast<Cycle>(0);
+
+    /**
+     * Earliest cycle at which a pending event fires, or NEVER when the
+     * queue is empty. Events already due (stragglers scheduled at
+     * == now_ since the last runUntil) report now_ itself -- "not
+     * quiescent" -- never a future cycle. Cost is one wheel scan capped
+     * by the far heap's front, and it is only paid on cycles the run
+     * loop has already found fully quiescent.
+     */
+    Cycle
+    nextDeadline() const
+    {
+        if (pending_ == 0)
+            return NEVER;
+        if (dueAt(now_))
+            return now_;
+        // The heap front caps the scan: wheel entries all lie within
+        // (now_, now_ + WHEEL_SPAN) here (schedule() bounds them below
+        // now_ + WHEEL_SPAN and dueAt(now_) just cleared <= now_), so
+        // the first nonempty bucket by offset is the earliest.
+        Cycle best = heap_.empty() ? NEVER : heap_.front().when;
+        if (wheelCount_ > 0) {
+            for (uint32_t d = 1; d < WHEEL_SPAN; d++) {
+                Cycle c = now_ + d;
+                if (c >= best)
+                    break;
+                if (wheel_[c & (WHEEL_SPAN - 1)].head) {
+                    best = c;
+                    break;
+                }
+            }
+        }
+        return best;
+    }
+
+    /** Total callbacks run so far; delta across a runUntil tells the
+     *  caller whether any event fired in that stretch. */
+    uint64_t executed() const { return executed_; }
+
     /** Events that took the near-future (bucket array) path. */
     uint64_t nearScheduled() const { return nearScheduled_; }
     /** Events that fell back to the far-future heap. */
@@ -208,12 +249,14 @@ class EventQueue
                 freeNode(n); // safe: cb is moved out already
                 wheelCount_--;
                 pending_--;
+                executed_++;
                 cb();
             } else if (haveHeap) {
                 std::pop_heap(heap_.begin(), heap_.end(), laterThan);
                 Event ev = std::move(heap_.back());
                 heap_.pop_back();
                 pending_--;
+                executed_++;
                 ev.cb();
             } else {
                 break;
@@ -231,6 +274,7 @@ class EventQueue
     Cycle now_ = 0;
     uint64_t nearScheduled_ = 0;
     uint64_t farScheduled_ = 0;
+    uint64_t executed_ = 0;
 };
 
 } // namespace pipette

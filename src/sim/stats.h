@@ -67,7 +67,9 @@ const char *cpiBucketName(CpiBucket b);
     X(regWrites)                                                        \
     X(raAccesses)                                                       \
     X(raCvForwards)                                                     \
-    X(connectorTransfers)
+    X(connectorTransfers)                                               \
+    X(skippedCycles)                                                    \
+    X(skipWindows)
 
 /** Number of counters in PIPETTE_CORE_STAT_COUNTERS. */
 constexpr size_t NUM_CORE_STAT_COUNTERS = [] {
@@ -109,6 +111,12 @@ struct CoreStats
     uint64_t raAccesses = 0;
     uint64_t raCvForwards = 0;
     uint64_t connectorTransfers = 0;
+    /** Cycles the quiescence oracle elided (credited in bulk; included
+     *  in `cycles`, so cycles stays the total simulated time). */
+    uint64_t skippedCycles = 0;
+    /** Contiguous elided stretches (skippedCycles / skipWindows = mean
+     *  skip length). */
+    uint64_t skipWindows = 0;
     std::array<uint64_t, NUM_CPI_BUCKETS> cpiCycles = {};
 
     double ipc() const;

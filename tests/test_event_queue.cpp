@@ -155,5 +155,61 @@ TEST(TimingWheel, ClearDropsEverything)
     EXPECT_EQ(fired, 0);
 }
 
+// --- nextDeadline / executed (cycle-elision oracle, DESIGN.md §13) ---
+
+TEST(TimingWheel, NextDeadlineIsNeverWhenEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.nextDeadline(), EventQueue::NEVER);
+    eq.runUntil(100);
+    EXPECT_EQ(eq.nextDeadline(), EventQueue::NEVER);
+}
+
+TEST(TimingWheel, NextDeadlineFindsWheelAndHeapEvents)
+{
+    EventQueue eq;
+    eq.schedule(7, [] {});
+    EXPECT_EQ(eq.nextDeadline(), 7u);
+    // A far (heap) event behind the wheel event changes nothing...
+    eq.schedule(2 * EventQueue::WHEEL_SPAN, [] {});
+    EXPECT_EQ(eq.nextDeadline(), 7u);
+    // ...and becomes the deadline once the wheel event has fired.
+    eq.runUntil(10);
+    EXPECT_EQ(eq.nextDeadline(), 2 * EventQueue::WHEEL_SPAN);
+}
+
+TEST(TimingWheel, NextDeadlineReportsDueNowAsNow)
+{
+    // A straggler scheduled at == now_ means "not quiescent": the
+    // deadline is now itself, never a future cycle.
+    EventQueue eq;
+    eq.runUntil(50);
+    eq.schedule(50, [] {});
+    EXPECT_EQ(eq.nextDeadline(), 50u);
+}
+
+TEST(TimingWheel, NextDeadlineHeapFrontCapsTheWheelScan)
+{
+    // After time advances, a once-far heap event can be nearer than
+    // the first nonempty wheel bucket; the scan must not walk past it.
+    EventQueue eq;
+    eq.schedule(EventQueue::WHEEL_SPAN + 76, [] {}); // heap at t=1100
+    eq.runUntil(EventQueue::WHEEL_SPAN + 26);        // now 26 before it
+    eq.schedule(EventQueue::WHEEL_SPAN + 526, [] {}); // wheel, farther
+    EXPECT_EQ(eq.nextDeadline(), EventQueue::WHEEL_SPAN + 76);
+}
+
+TEST(TimingWheel, ExecutedCountsFiredCallbacksOnBothPaths)
+{
+    EventQueue eq;
+    eq.schedule(3, [] {});                           // wheel
+    eq.schedule(2 * EventQueue::WHEEL_SPAN, [] {});  // heap
+    EXPECT_EQ(eq.executed(), 0u);
+    eq.runUntil(3);
+    EXPECT_EQ(eq.executed(), 1u);
+    eq.runUntil(3 * EventQueue::WHEEL_SPAN);
+    EXPECT_EQ(eq.executed(), 2u);
+}
+
 } // namespace
 } // namespace pipette

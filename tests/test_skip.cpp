@@ -1,0 +1,371 @@
+// Bit-identity tests for stall-aware cycle elision (DESIGN.md §13).
+// The quiescence oracle lets the run loop jump over provably dead
+// cycles; these tests prove the jump is invisible: every simulated
+// statistic is bit-identical with the skip on and off, across all 12
+// golden workload rows, with observability attached, in sampled mode,
+// and under the multicore epoch scheduler at several --core-jobs
+// values. A synthetic all-stall program then checks the oracle really
+// elides (most of a DRAM-bound pointer chase) and credits the same
+// CPI buckets the single-stepped run accumulates.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+#include "isa/assembler.h"
+#include "sample/sampler.h"
+#include "workloads/bfs.h"
+#include "workloads/cc.h"
+#include "workloads/graph.h"
+#include "workloads/matrix.h"
+#include "workloads/prd.h"
+#include "workloads/radii.h"
+#include "workloads/silo.h"
+#include "workloads/spmm.h"
+
+namespace pipette {
+namespace {
+
+/**
+ * Drop the elision totals from a dump: they record how the run was
+ * executed on the host (how many cycles were fast-forwarded), not what
+ * it simulated, and are the only keys allowed to differ between a
+ * skip-on and a skip-off run of the same configuration.
+ */
+std::map<std::string, double>
+stripSkipKeys(const std::map<std::string, double> &m)
+{
+    std::map<std::string, double> out;
+    for (const auto &[k, v] : m) {
+        if (k.find("skippedCycles") != std::string::npos ||
+            k.find("skipWindows") != std::string::npos)
+            continue;
+        out.emplace(k, v);
+    }
+    return out;
+}
+
+struct SkipCase
+{
+    const char *workload;
+    Variant variant;
+};
+
+// The 12 golden rows of test_determinism.cpp.
+const SkipCase kCases[] = {
+    {"bfs", Variant::Serial},    {"bfs", Variant::Pipette},
+    {"cc", Variant::Serial},     {"cc", Variant::Pipette},
+    {"radii", Variant::Serial},  {"radii", Variant::Pipette},
+    {"prd", Variant::Serial},    {"prd", Variant::Pipette},
+    {"spmm", Variant::Serial},   {"spmm", Variant::Pipette},
+    {"silo", Variant::Serial},   {"silo", Variant::Pipette},
+};
+
+std::string
+caseName(const testing::TestParamInfo<SkipCase> &info)
+{
+    return std::string(info.param.workload) + "_" +
+           variantName(info.param.variant);
+}
+
+std::unique_ptr<WorkloadBase>
+makeWorkload(const std::string &name, Graph *g, SparseMatrix *A,
+             SparseMatrix *Bt)
+{
+    if (name == "bfs")
+        return std::make_unique<BfsWorkload>(g);
+    if (name == "cc")
+        return std::make_unique<CcWorkload>(g);
+    if (name == "radii")
+        return std::make_unique<RadiiWorkload>(g);
+    if (name == "prd")
+        return std::make_unique<PrdWorkload>(g);
+    if (name == "spmm") {
+        SpmmWorkload::Options o;
+        o.numCols = 6;
+        return std::make_unique<SpmmWorkload>(A, Bt, o);
+    }
+    SiloWorkload::Options o;
+    o.numKeys = 2000;
+    o.numQueries = 400;
+    return std::make_unique<SiloWorkload>(o);
+}
+
+struct RunOutcome
+{
+    System::RunResult res;
+    CoreStats agg;
+    std::map<std::string, double> stats;
+    bool verified = false;
+};
+
+/** Run one golden case (same inputs as test_determinism.cpp) with the
+ *  elision toggle and optional observability set explicitly. */
+RunOutcome
+runCase(const std::string &workload, Variant v, bool elision,
+        bool obsOn = false)
+{
+    Graph g = makeGridGraph(40, 40, 11);
+    SparseMatrix A = makeSparseMatrix(96, 8, 81);
+    SparseMatrix B = makeSparseMatrix(96, 8, 82);
+    SparseMatrix Bt = B.transpose();
+
+    SystemConfig cfg;
+    cfg.watchdogCycles = 300'000;
+    cfg.maxCycles = 500'000'000;
+    cfg.cycleElision = elision;
+    if (obsOn) {
+        cfg.observability.sampleInterval = 2'000;
+        cfg.observability.histograms = true;
+    }
+    System sys(cfg);
+    auto wl = makeWorkload(workload, &g, &A, &Bt);
+    BuildContext ctx(&sys);
+    wl->build(ctx, v);
+    sys.configure(ctx.spec);
+
+    RunOutcome out;
+    out.res = sys.run();
+    out.agg = sys.aggregateCoreStats();
+    out.stats = sys.dumpStats();
+    out.verified = wl->verify(sys);
+    return out;
+}
+
+class SkipIdentity : public testing::TestWithParam<SkipCase>
+{
+};
+
+// Elision on vs off: every simulated statistic in the full dump must
+// match bit for bit (only the elision totals themselves may differ).
+TEST_P(SkipIdentity, FullDumpBitIdentical)
+{
+    const SkipCase &c = GetParam();
+    RunOutcome on = runCase(c.workload, c.variant, true);
+    RunOutcome off = runCase(c.workload, c.variant, false);
+    ASSERT_TRUE(on.res.finished);
+    ASSERT_TRUE(off.res.finished);
+    EXPECT_TRUE(on.verified);
+    EXPECT_EQ(on.res.cycles, off.res.cycles);
+    EXPECT_EQ(on.res.instrs, off.res.instrs);
+    EXPECT_EQ(stripSkipKeys(on.stats), stripSkipKeys(off.stats));
+
+    // The skip-off run must not elide anything.
+    EXPECT_EQ(off.agg.skippedCycles, 0u);
+    EXPECT_EQ(off.agg.skipWindows, 0u);
+}
+
+// Same matrix with the observability layer attached: samples and
+// histograms clamp and fragment the skips but every simulated row --
+// including every obs.* row -- stays identical.
+TEST_P(SkipIdentity, FullDumpBitIdenticalWithObservability)
+{
+    const SkipCase &c = GetParam();
+    RunOutcome on = runCase(c.workload, c.variant, true, true);
+    RunOutcome off = runCase(c.workload, c.variant, false, true);
+    ASSERT_TRUE(on.res.finished);
+    ASSERT_TRUE(off.res.finished);
+    EXPECT_EQ(on.res.cycles, off.res.cycles);
+    EXPECT_EQ(stripSkipKeys(on.stats), stripSkipKeys(off.stats));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGoldenRows, SkipIdentity,
+                         testing::ValuesIn(kCases), caseName);
+
+// Sampled mode: detailed windows inherit the toggle through the window
+// config copy; the sampled report (windows, extrapolations, exact
+// counters) must be bit-identical with the skip on and off.
+TEST(SkipSampled, SampledReportBitIdentical)
+{
+    Graph g = makeRmatGraph(512, 2048, 9);
+    SystemConfig cfg;
+    cfg.watchdogCycles = 200'000;
+    cfg.maxCycles = 100'000'000;
+    cfg.sampling.period = 4'000;
+    cfg.sampling.window = 1'500;
+    cfg.sampling.warmup = 500;
+
+    cfg.cycleElision = true;
+    BfsWorkload wlOn(&g);
+    sample::SampleReport on =
+        sample::runSampled(cfg, wlOn, Variant::Pipette, 1);
+
+    cfg.cycleElision = false;
+    BfsWorkload wlOff(&g);
+    sample::SampleReport off =
+        sample::runSampled(cfg, wlOff, Variant::Pipette, 1);
+
+    ASSERT_TRUE(on.ok);
+    ASSERT_TRUE(off.ok);
+    EXPECT_TRUE(on.verified);
+    EXPECT_EQ(on.windows, off.windows);
+    EXPECT_EQ(on.extrapCycles, off.extrapCycles);
+    EXPECT_EQ(stripSkipKeys(on.stats), stripSkipKeys(off.stats));
+}
+
+/** Multicore epoch-scheduler run (Streaming on 4 cores). */
+RunOutcome
+runStreaming(const std::string &workload, unsigned coreJobs, bool elision)
+{
+    Graph g = makeGridGraph(40, 40, 11);
+    SparseMatrix A = makeSparseMatrix(96, 8, 81);
+    SparseMatrix B = makeSparseMatrix(96, 8, 82);
+    SparseMatrix Bt = B.transpose();
+
+    SystemConfig cfg;
+    cfg.numCores = 4;
+    cfg.coreJobs = coreJobs;
+    cfg.watchdogCycles = 300'000;
+    cfg.maxCycles = 500'000'000;
+    cfg.cycleElision = elision;
+    System sys(cfg);
+    auto wl = makeWorkload(workload, &g, &A, &Bt);
+    BuildContext ctx(&sys);
+    wl->build(ctx, Variant::Streaming);
+    sys.configure(ctx.spec);
+
+    RunOutcome out;
+    out.res = sys.run();
+    out.agg = sys.aggregateCoreStats();
+    out.stats = sys.dumpStats();
+    out.verified = wl->verify(sys);
+    return out;
+}
+
+class SkipIdentityMulticore : public testing::TestWithParam<SkipCase>
+{
+};
+
+// Epoch mode: partition-local elision clamps to the epoch edge and must
+// be invisible at any --core-jobs value. Each workload is checked at
+// core-jobs 2 and 4 against the single-stepped core-jobs 1 reference.
+TEST_P(SkipIdentityMulticore, EpochElisionBitIdenticalAcrossCoreJobs)
+{
+    const SkipCase &c = GetParam();
+    RunOutcome ref = runStreaming(c.workload, 1, false);
+    ASSERT_TRUE(ref.res.finished);
+    auto refStats = stripSkipKeys(ref.stats);
+    for (unsigned coreJobs : {2u, 4u}) {
+        RunOutcome on = runStreaming(c.workload, coreJobs, true);
+        ASSERT_TRUE(on.res.finished);
+        EXPECT_TRUE(on.verified);
+        EXPECT_EQ(on.res.cycles, ref.res.cycles) << coreJobs;
+        EXPECT_EQ(on.res.instrs, ref.res.instrs) << coreJobs;
+        EXPECT_EQ(stripSkipKeys(on.stats), refStats) << coreJobs;
+    }
+}
+
+// One Streaming case per workload keeps the matrix bounded; the
+// single-core legs above already cover both golden variants.
+const SkipCase kMulticoreCases[] = {
+    {"bfs", Variant::Streaming},  {"cc", Variant::Streaming},
+    {"prd", Variant::Streaming},  {"spmm", Variant::Streaming},
+    {"silo", Variant::Streaming},
+};
+
+INSTANTIATE_TEST_SUITE_P(StreamingWorkloads, SkipIdentityMulticore,
+                         testing::ValuesIn(kMulticoreCases), caseName);
+
+// ---------------------------------------------------------------------
+// Synthetic all-stall program
+
+/**
+ * A DRAM-bound pointer chase: every load depends on the previous one
+ * and the chain is a random permutation over a region much larger than
+ * the LLC, so the core spends nearly all its time quiescent, waiting on
+ * one in-flight miss. The oracle must fast-forward each wait straight
+ * to the event-queue deadline.
+ */
+TEST(SkipAllStall, ChaseSkipsToEventQueueDeadline)
+{
+    constexpr uint64_t kBase = 0x100000;
+    constexpr uint64_t kLines = 16384; // 1 MiB at 64 B/line: 2x the L3
+    constexpr uint64_t kHops = 512;
+
+    auto run = [&](bool elision) {
+        // Singly-linked random cycle over the lines (xorshift walk
+        // visiting a deterministic permutation).
+        std::vector<uint64_t> order(kLines);
+        uint64_t x = 99991;
+        for (uint64_t i = 0; i < kLines; i++) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            order[i] = i;
+            std::swap(order[i], order[x % (i + 1)]);
+        }
+
+        Program p("chase");
+        Asm a(&p);
+        a.li(R::r1, kBase + order[0] * 64);
+        a.li(R::r2, kHops);
+        auto loop = a.label();
+        a.bind(loop);
+        a.ld(R::r1, R::r1, 0); // next pointer: serialized miss chain
+        a.addi(R::r2, R::r2, -1);
+        a.bnei(R::r2, 0, loop);
+        a.halt();
+        a.finalize();
+
+        SystemConfig cfg;
+        cfg.watchdogCycles = 300'000;
+        cfg.maxCycles = 500'000'000;
+        cfg.cycleElision = elision;
+        System sys(cfg);
+        for (uint64_t i = 0; i < kLines; i++) {
+            uint64_t next = order[(i + 1) % kLines];
+            sys.memory().write(kBase + order[i] * 64, 8,
+                               kBase + next * 64);
+        }
+        MachineSpec spec;
+        spec.addThread(0, 0, &p);
+        sys.configure(spec);
+
+        RunOutcome out;
+        out.res = sys.run();
+        out.agg = sys.aggregateCoreStats();
+        out.stats = sys.dumpStats();
+        return out;
+    };
+
+    RunOutcome on = run(true);
+    RunOutcome off = run(false);
+    ASSERT_TRUE(on.res.finished);
+    ASSERT_TRUE(off.res.finished);
+
+    // Invisible: identical cycles and a bit-identical dump, including
+    // every CPI-stack bucket the elided cycles were credited to.
+    EXPECT_EQ(on.res.cycles, off.res.cycles);
+    EXPECT_EQ(stripSkipKeys(on.stats), stripSkipKeys(off.stats));
+    for (size_t b = 0; b < NUM_CPI_BUCKETS; b++)
+        EXPECT_EQ(on.agg.cpiCycles[b], off.agg.cpiCycles[b]) << b;
+
+    // Effective: the chase is almost entirely stall time, so the
+    // oracle must elide the bulk of the run in long stretches (a skip
+    // that stopped short of the event-queue deadline would fragment
+    // into many short windows and tick far more cycles).
+    EXPECT_EQ(off.agg.skippedCycles, 0u);
+    EXPECT_GT(on.agg.skippedCycles, on.res.cycles / 2);
+    ASSERT_GT(on.agg.skipWindows, 0u);
+    EXPECT_GT(on.agg.skippedCycles / on.agg.skipWindows, 8u);
+    EXPECT_EQ(on.stats.at("sim.skippedCycles"),
+              static_cast<double>(on.agg.skippedCycles));
+}
+
+// The toggle is part of the configuration identity: a cached result row
+// must record whether it was produced with elision available, like any
+// other config field (the coreJobs precedent).
+TEST(SkipConfig, ToggleKeysTheFingerprint)
+{
+    SystemConfig a;
+    SystemConfig b;
+    b.cycleElision = false;
+    EXPECT_NE(configFingerprint(a), configFingerprint(b));
+}
+
+} // namespace
+} // namespace pipette
