@@ -34,6 +34,7 @@
 
 #include "harness/report.h"
 #include "harness/runner.h"
+#include "hostprof/hostprof.h"
 #include "parallel/sim_job_pool.h"
 #include "resilience/crc32.h"
 #include "resilience/error.h"
@@ -77,6 +78,14 @@ struct BenchOpts
     /** When set, write every run's flattened counters to this file
      *  (CI determinism diffs across --core-jobs values). */
     std::string statsOutPath;
+    /** --host-prof=FILE: enable host self-profiling (src/hostprof/)
+     *  and write the machine-readable run manifest here at exit.
+     *  Host-side only: never fingerprinted, never in determinism
+     *  diffs; simulated results are byte-identical on/off. */
+    std::string hostProfPath;
+    /** --host-trace=FILE: Chrome-trace timeline of host phases
+     *  (implies --host-prof-style instrumentation being live). */
+    std::string hostTracePath;
 
     /**
      * Strict worker-count flag value. atoi silently turned "--jobs x"
@@ -133,6 +142,35 @@ struct BenchOpts
             std::exit(2);
         }
         return v;
+    }
+
+    /**
+     * Strict output-path flag value (PR 6/7 pattern): empty paths are
+     * a config error, and writability is probed at parse time (append
+     * mode, so an existing file is untouched) so an unwritable
+     * directory fails fast with the HostResource exit code instead of
+     * after minutes of simulation.
+     */
+    static std::string
+    parseOutPath(const char *flag, const char *s)
+    {
+        if (*s == '\0') {
+            std::fprintf(stderr,
+                         "error: %s expects a file path, got an empty "
+                         "string\n",
+                         flag);
+            std::exit(
+                resilience::exitCode(resilience::SimError::ConfigError));
+        }
+        FILE *f = std::fopen(s, "ab");
+        if (!f) {
+            std::fprintf(stderr, "error: %s %s is not writable: %s\n",
+                         flag, s, std::strerror(errno));
+            std::exit(
+                resilience::exitCode(resilience::SimError::HostResource));
+        }
+        std::fclose(f);
+        return s;
     }
 
     // Sampled simulation (src/sample/): --sample-period=N turns it on
@@ -207,6 +245,12 @@ struct BenchOpts
                 o.coreJobs = parseWorkerCount("--core-jobs", argv[++i]);
             else if (std::strncmp(argv[i], "--stats-out=", 12) == 0)
                 o.statsOutPath = argv[i] + 12;
+            else if (std::strncmp(argv[i], "--host-prof=", 12) == 0)
+                o.hostProfPath =
+                    parseOutPath("--host-prof", argv[i] + 12);
+            else if (std::strncmp(argv[i], "--host-trace=", 13) == 0)
+                o.hostTracePath =
+                    parseOutPath("--host-trace", argv[i] + 13);
             else if (std::strncmp(argv[i], "--sample-period=", 16) == 0)
                 o.samplePeriod =
                     parseCount64("--sample-period", argv[i] + 16);
@@ -266,6 +310,14 @@ struct BenchOpts
         }
         if (o.quick)
             o.scale *= 0.25;
+        // Host profiling switches on before any instrumented work so
+        // the profile clock covers the whole run (the manifest's
+        // wall-time coverage is measured against it).
+        if (!o.hostProfPath.empty() || !o.hostTracePath.empty()) {
+            hostprof::setEnabled(true);
+            if (!o.hostTracePath.empty())
+                hostprof::setTraceEnabled(true);
+        }
         return o;
     }
 
@@ -394,6 +446,7 @@ struct AppInput
 inline std::vector<AppInput>
 makeSuite(const BenchOpts &o)
 {
+    hostprof::ScopedPhase hp(hostprof::Phase::InputGen);
     std::vector<AppInput> suite;
 
     auto addGraphApp = [&](const std::string &app, double appScale,
@@ -568,6 +621,7 @@ inline bool
 loadSweepCache(const std::string &path, uint64_t fingerprint,
                SweepResult *out)
 {
+    hostprof::ScopedPhase hp(hostprof::Phase::SweepCacheIO);
     FILE *f = std::fopen(path.c_str(), "r");
     if (!f)
         return false;
@@ -642,6 +696,7 @@ inline void
 saveSweepCache(const std::string &path, uint64_t fingerprint,
                const SweepResult &res)
 {
+    hostprof::ScopedPhase hp(hostprof::Phase::SweepCacheIO);
     FILE *f = std::fopen(path.c_str(), "w");
     if (!f)
         return;
@@ -806,6 +861,72 @@ runSweep(const BenchOpts &o, bool includeStreaming = true)
     });
     saveSweepCache(cache, fingerprint, out);
     return out;
+}
+
+/**
+ * End-of-run host-profiling export: write the manifest (--host-prof)
+ * and the Chrome trace (--host-trace) if requested. `bench` names the
+ * invoking binary; `hostSecondsTotal` is the sum of the run
+ * hostSeconds the bench collected (0 = not tracked);
+ * `autoInlineReason` explains a kEpochParallelMinWork fallback (empty
+ * = none taken). Returns the HostResource exit code on I/O failure, 0
+ * otherwise -- callers `return finishHostProf(...)` as their last
+ * statement (or OR it into their own status).
+ */
+inline int
+finishHostProf(const BenchOpts &o, const std::string &bench,
+               double hostSecondsTotal = 0,
+               const std::string &autoInlineReason = {})
+{
+    if (o.hostProfPath.empty() && o.hostTracePath.empty())
+        return 0;
+    int rc = 0;
+    std::string err;
+    if (!o.hostProfPath.empty()) {
+        hostprof::ManifestMeta meta;
+        meta.bench = bench;
+        meta.configFingerprint = configFingerprint(baseConfig());
+        meta.hostSecondsTotal = hostSecondsTotal;
+        meta.autoInlineReason = autoInlineReason;
+        if (!hostprof::writeManifest(o.hostProfPath, meta, &err)) {
+            std::fprintf(stderr, "error: --host-prof: %s\n",
+                         err.c_str());
+            rc = resilience::exitCode(resilience::SimError::HostResource);
+        } else {
+            std::fprintf(stderr, "  (host profile written to %s)\n",
+                         o.hostProfPath.c_str());
+        }
+    }
+    if (!o.hostTracePath.empty()) {
+        if (!hostprof::writeTrace(o.hostTracePath, &err)) {
+            std::fprintf(stderr, "error: --host-trace: %s\n",
+                         err.c_str());
+            rc = resilience::exitCode(resilience::SimError::HostResource);
+        } else {
+            std::fprintf(stderr, "  (host trace written to %s; open in "
+                                 "ui.perfetto.dev)\n",
+                         o.hostTracePath.c_str());
+        }
+    }
+    return rc;
+}
+
+/** Compose the one-line explanation fig17 rows / manifests carry for
+ *  the epoch scheduler's auto-inline fallback ("" = none taken). */
+inline std::string
+autoInlineReason(bool fellBack, Cycle epochLen, uint32_t numCores)
+{
+    if (!fellBack)
+        return "";
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "epoch %llu x %u cores = %llu core-cycles/phase < "
+                  "kEpochParallelMinWork=%llu",
+                  static_cast<unsigned long long>(epochLen), numCores,
+                  static_cast<unsigned long long>(epochLen * numCores),
+                  static_cast<unsigned long long>(
+                      System::kEpochParallelMinWork));
+    return buf;
 }
 
 } // namespace pipette::bench

@@ -18,7 +18,11 @@ main(int argc, char **argv)
                        "(road-network graph, 4-thread SMT core)");
     printConfig(o);
 
-    auto inputs = makeTable5Inputs(o.scale * 0.6);
+    std::vector<GraphInput> inputs;
+    {
+        hostprof::ScopedPhase hp(hostprof::Phase::InputGen);
+        inputs = makeTable5Inputs(o.scale * 0.6);
+    }
     Graph &rd = inputs.back().graph; // "Rd"
     std::printf("input: Rd road proxy, %u vertices, %u edges\n\n",
                 rd.numVertices, rd.numEdges());
@@ -37,7 +41,8 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(r.cycles), r.ipc,
                     runStatus(r).c_str());
         if (o.traceOnly)
-            return 0;
+            return finishHostProf(o, "fig02_bfs_overview",
+                                  r.hostSeconds);
     }
 
     struct Row
@@ -72,5 +77,8 @@ main(int argc, char **argv)
     std::printf("\npaper shape: serial IPC ~0.43; data-parallel only "
                 "~1.3x; Pipette ~4.9x with IPC ~2.4;\n"
                 "streaming comparable to Pipette despite 4 cores.\n");
-    return 0;
+    double hostTotal = 0;
+    for (const RunResult &r : rs)
+        hostTotal += r.hostSeconds;
+    return finishHostProf(o, "fig02_bfs_overview", hostTotal);
 }

@@ -19,7 +19,11 @@ main(int argc, char **argv)
            "Multicore BFS: data vs pipeline parallelism across 4 cores");
     printConfig(o);
 
-    auto inputs = makeTable5Inputs(o.scale * 0.5);
+    std::vector<GraphInput> inputs;
+    {
+        hostprof::ScopedPhase hp(hostprof::Phase::InputGen);
+        inputs = makeTable5Inputs(o.scale * 0.5);
+    }
 
     // Four variants per graph, every cell independent: one pool batch.
     std::vector<parallel::SimJob> jobs;
@@ -108,18 +112,32 @@ main(int argc, char **argv)
                 }
                 double sp = hostN > 0 ? host1 / hostN : 1.0;
                 hostSpeedups.push_back(sp);
+                // Host-prof fields answer *why* the speedup is what it
+                // is: barrier-wait % of pooled worker time, per-epoch
+                // partition imbalance, and the auto-inline reason. All
+                // zeros / empty unless --host-prof/--host-trace was on.
+                const hostprof::EpochSummary &he = rs[mc].hostEpoch;
                 std::fprintf(f,
                              "    {\"graph\": \"%s\", "
                              "\"variant\": \"multicore-pipette\", "
                              "\"sim_cycles\": %llu, "
                              "\"auto_inline\": %s, "
+                             "\"auto_inline_reason\": \"%s\", "
                              "\"host_s_core_jobs_1\": %.4f, "
                              "\"host_s_core_jobs_n\": %.4f, "
-                             "\"host_speedup\": %.3f}%s\n",
+                             "\"host_speedup\": %.3f, "
+                             "\"barrier_wait_pct\": %.1f, "
+                             "\"imbalance_p50_us\": %.3f, "
+                             "\"imbalance_p99_us\": %.3f}%s\n",
                              picked[i]->name.c_str(),
                              (unsigned long long)rs[mc].cycles,
                              rs[mc].epochAutoInline ? "true" : "false",
-                             host1, hostN, sp,
+                             autoInlineReason(rs[mc].epochAutoInline,
+                                              rs[mc].epochLength,
+                                              rs[mc].numCores)
+                                 .c_str(),
+                             host1, hostN, sp, he.barrierWaitFrac * 100,
+                             he.imbalanceP50Us, he.imbalanceP99Us,
                              i + 1 < picked.size() ? "," : "");
             }
             std::fprintf(f, "  ],\n  \"gmean_host_speedup\": %.3f\n}\n",
@@ -146,5 +164,14 @@ main(int argc, char **argv)
                 "load imbalance; multicore Pipette performs best "
                 "(~5.9x) by replicating stages and partitioning "
                 "neighbors across cores through connectors.\n");
-    return 0;
+
+    double hostTotal = 0;
+    std::string inlineReason;
+    for (const RunResult &r : rs) {
+        hostTotal += r.hostSeconds;
+        if (inlineReason.empty() && r.epochAutoInline)
+            inlineReason = autoInlineReason(true, r.epochLength,
+                                            r.numCores);
+    }
+    return finishHostProf(o, "fig17_multicore", hostTotal, inlineReason);
 }

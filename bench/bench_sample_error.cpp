@@ -102,8 +102,11 @@ main(int argc, char **argv)
         Graph g;
     };
     std::vector<Input> inputs;
-    inputs.push_back({"rmat-8k", makeRmatGraph(8192, 32768, 11)});
-    inputs.push_back({"grid-64", makeGridGraph(64, 64, 5)});
+    {
+        hostprof::ScopedPhase hp(hostprof::Phase::InputGen);
+        inputs.push_back({"rmat-8k", makeRmatGraph(8192, 32768, 11)});
+        inputs.push_back({"grid-64", makeGridGraph(64, 64, 5)});
+    }
 
     // Operating points: the documented default plus a coarser and a
     // finer period for the sweep table. CLI overrides replace the gate
@@ -205,5 +208,5 @@ main(int argc, char **argv)
             return 1;
         }
     }
-    return 0;
+    return finishHostProf(o, "sample_error");
 }

@@ -1,23 +1,25 @@
 #include "core/system.h"
 
+#include <chrono>
 #include <sstream>
 
 #include "debug/invariants.h"
 #include "resilience/interrupt.h"
+#include "sim/logging.h"
 
 namespace pipette {
 
 namespace {
 
-/**
- * Minimum simulated work per epoch phase (epoch length x cores, in
- * core-cycles) for the host core pool to beat inline execution. Below
- * this, per-phase task dispatch + barrier wakeup cost more than the
- * partition ticks themselves (measured with bench_fig17_multicore: the
- * default 24-cycle auto epoch x 4 cores loses ~20% host time through
- * the pool, while phases of a few thousand core-cycles amortize it).
- */
-constexpr Cycle kEpochParallelMinWork = 4096;
+/** Raw steady-clock ns for epoch-phase durations (host-side only). */
+uint64_t
+rawNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
 
 std::vector<std::unique_ptr<EventQueue>>
 makeEventQueues(uint32_t n)
@@ -42,6 +44,8 @@ System::System(const SystemConfig &cfg)
 
 System::~System()
 {
+    if (epochProf_.epochs)
+        hostprof::mergeEpoch(epochProf_);
     // Pending events hold handles into the cores' DynInst pools; drop
     // them while the cores (declared after eqs_) are still alive.
     for (auto &eq : eqs_)
@@ -209,6 +213,25 @@ System::configure(const MachineSpec &spec)
         // --core-jobs value.
         epochAutoInline_ =
             epochLen_ * cores_.size() < kEpochParallelMinWork;
+
+        // The fallback silently ignores --core-jobs, which reads as "a
+        // flat 1.0x speedup" in sweeps; say why, once per process (a
+        // sweep configures hundreds of Systems).
+        if (epochAutoInline_ && cfg_.coreJobs > 1) {
+            static std::atomic<bool> hinted{false};
+            if (!hinted.exchange(true)) {
+                warn("epoch scheduler: phase work ",
+                     epochLen_ * cores_.size(), " core-cycles (epoch ",
+                     epochLen_, " x ", cores_.size(),
+                     " cores) is below kEpochParallelMinWork=",
+                     kEpochParallelMinWork,
+                     "; running epoch phases inline despite "
+                     "--core-jobs ",
+                     cfg_.coreJobs,
+                     ". Raise --epoch-length to amortize pool "
+                     "dispatch.");
+            }
+        }
     }
 }
 
@@ -516,6 +539,8 @@ System::runFor(Cycle n)
         // cycle it fires at when single-stepping, so results are
         // bit-identical with the skip off.
         if (elide && (!obs_ || !obs_->traceActive())) {
+            hostprof::ScopedPhase hpScan(
+                hostprof::Phase::ElisionScan);
             bool quiet = cores_[0]->tickQuiescent();
             for (auto &ra : ras_)
                 quiet &= ra->tickQuiescent();
@@ -550,6 +575,8 @@ System::runFor(Cycle n)
                     target = std::min(target, oc.traceFrom - 1);
             }
             if (target > stepNow_) {
+                if (hostprof::enabled())
+                    hostprof::recordSkipWindow(target - stepNow_);
                 cores_[0]->elide(target - stepNow_);
                 stepNow_ = target;
             }
@@ -669,6 +696,10 @@ System::epochLoop(Cycle stop, bool watchInvariants, RunResult *res)
 void
 System::tickCorePartition(size_t c, Cycle from, Cycle to)
 {
+    // Attributed to whichever host thread runs the partition (a pool
+    // worker or, inline, the coordinator), so the host trace shows the
+    // per-worker phase lanes.
+    hostprof::ScopedPhase hpPhase(hostprof::Phase::EpochPhase);
     Core *core = cores_[c].get();
     EventQueue *eq = eqs_[c].get();
     obs::Observer *obs = obs_.get();
@@ -694,6 +725,7 @@ System::tickCorePartition(size_t c, Cycle from, Cycle to)
 
         if (!elide || cy >= to)
             continue;
+        hostprof::ScopedPhase hpScan(hostprof::Phase::ElisionScan);
         bool quiet = core->tickQuiescent();
         for (RefAccel *ra : rasByCore_[c])
             quiet &= ra->tickQuiescent();
@@ -711,6 +743,8 @@ System::tickCorePartition(size_t c, Cycle from, Cycle to)
             continue;
         Cycle target = std::min(dl - 1, to);
         if (target > cy) {
+            if (hostprof::enabled())
+                hostprof::recordSkipWindow(target - cy);
             core->elide(target - cy);
             cy = target;
         }
@@ -723,20 +757,67 @@ System::runEpochPhase(Cycle from, Cycle to)
     size_t n = cores_.size();
     uint32_t workers = std::min<uint32_t>(
         cfg_.coreJobs ? cfg_.coreJobs : 1, static_cast<uint32_t>(n));
+    const bool prof = hostprof::enabled();
     if (epochInline_ || epochAutoInline_ || workers <= 1) {
+        uint64_t t0 = prof ? rawNs() : 0;
         for (size_t c = 0; c < n; c++)
             tickCorePartition(c, from, to);
+        if (prof) {
+            // Inline phase: wall == work, no barrier, no imbalance.
+            uint64_t w = rawNs() - t0;
+            epochProf_.epochs++;
+            epochProf_.phaseWorkNs += w;
+            epochProf_.phaseWallNs += w;
+        }
         return;
     }
     if (!corePool_)
         corePool_ = std::make_unique<parallel::TaskPool>(workers);
     std::vector<parallel::TaskPool::Task> tasks;
     tasks.reserve(n);
+    if (prof && epochDurNs_.size() != n)
+        epochDurNs_.assign(n, 0);
     for (size_t c = 0; c < n; c++) {
-        tasks.push_back(
-            [this, c, from, to] { tickCorePartition(c, from, to); });
+        if (prof) {
+            // Slot-indexed duration writes: each worker owns its
+            // partition's slot, and the pool barrier orders the
+            // caller's reads after them.
+            tasks.push_back([this, c, from, to] {
+                uint64_t t0 = rawNs();
+                tickCorePartition(c, from, to);
+                epochDurNs_[c] = rawNs() - t0;
+            });
+        } else {
+            tasks.push_back(
+                [this, c, from, to] { tickCorePartition(c, from, to); });
+        }
     }
-    corePool_->run(std::move(tasks));
+    if (!prof) {
+        corePool_->run(std::move(tasks));
+        return;
+    }
+    uint64_t t0 = rawNs();
+    {
+        hostprof::ScopedPhase hpBarrier(hostprof::Phase::EpochBarrier);
+        corePool_->run(std::move(tasks));
+    }
+    uint64_t wall = rawNs() - t0;
+    uint64_t work = 0, dmin = ~uint64_t{0}, dmax = 0;
+    for (size_t c = 0; c < n; c++) {
+        uint64_t d = epochDurNs_[c];
+        work += d;
+        dmin = std::min(dmin, d);
+        dmax = std::max(dmax, d);
+    }
+    epochProf_.epochs++;
+    epochProf_.pooledEpochs++;
+    epochProf_.phaseWorkNs += work;
+    epochProf_.phaseWallNs += wall;
+    uint64_t wallWorkers = wall * workers;
+    epochProf_.wallWorkersNs += wallWorkers;
+    if (wallWorkers > work)
+        epochProf_.barrierWaitNs += wallWorkers - work;
+    epochProf_.imbalanceNs.add(dmax - dmin);
 }
 
 void

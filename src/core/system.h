@@ -24,6 +24,7 @@
 
 #include "core/core.h"
 #include "debug/guardrails.h"
+#include "hostprof/hostprof.h"
 #include "isa/arch_snapshot.h"
 #include "obs/observer.h"
 #include "parallel/task_pool.h"
@@ -113,6 +114,20 @@ class System
     bool epochAutoInline() const { return epochAutoInline_; }
 
     /**
+     * Minimum simulated work (epoch length x cores) per epoch phase
+     * below which the scheduler auto-inlines instead of dispatching to
+     * the host pool. Public so benches/tests can explain the fallback.
+     */
+    static constexpr Cycle kEpochParallelMinWork = 4096;
+
+    /** Host-side epoch-scheduler telemetry for this System (zeros
+     *  unless host profiling was enabled during the run). */
+    const hostprof::EpochTelemetry &epochTelemetry() const
+    {
+        return epochProf_;
+    }
+
+    /**
      * Sampling checkpoint restore (src/sample/): overwrite the
      * architectural state of every thread, queue, and RA with an
      * interpreter snapshot. Memory state arrives separately through
@@ -184,6 +199,12 @@ class System
     std::vector<std::vector<Connector *>> connTo_;
     Cycle stepNow_ = 0;          ///< runFor() cursor
     Cycle stepLastProgress_ = 0; ///< runFor() watchdog cursor
+    /** Host-side epoch telemetry, single-writer on the coordinating
+     *  thread; merged into the hostprof globals at destruction. */
+    hostprof::EpochTelemetry epochProf_;
+    /** Per-partition tick durations (raw ns) of the current pooled
+     *  phase; slot-indexed, so workers write race-free. */
+    std::vector<uint64_t> epochDurNs_;
 
     /** Software spec copy for deadlock diagnosis and the oracle. */
     MachineSpec spec_;

@@ -47,9 +47,16 @@ Runner::runInner(WorkloadBase &wl, Variant v,
     cfg.numCores = numCores;
     System sys(cfg);
     BuildContext ctx(&sys);
-    wl.build(ctx, v);
-    sys.configure(ctx.spec);
-    auto res = sys.run();
+    {
+        hostprof::ScopedPhase hp(hostprof::Phase::Build);
+        wl.build(ctx, v);
+        sys.configure(ctx.spec);
+    }
+    System::RunResult res;
+    {
+        hostprof::ScopedPhase hp(hostprof::Phase::DetailedSim);
+        res = sys.run();
+    }
 
     r.finished = res.finished;
     r.stopReason = res.stopReason;
@@ -72,7 +79,10 @@ Runner::runInner(WorkloadBase &wl, Variant v,
       default:
         break;
     }
-    r.verified = res.finished && wl.verify(sys);
+    {
+        hostprof::ScopedPhase hp(hostprof::Phase::Verify);
+        r.verified = res.finished && wl.verify(sys);
+    }
     if (!r.verified) {
         if (res.finished) {
             warn(wl.name(), "/", variantName(v), " on ", inputName,
@@ -86,6 +96,9 @@ Runner::runInner(WorkloadBase &wl, Variant v,
         }
     }
     r.epochAutoInline = sys.epochAutoInline();
+    r.epochLength = sys.epochLength();
+    if (hostprof::enabled())
+        r.hostEpoch = hostprof::summarizeEpoch(sys.epochTelemetry());
     r.agg = sys.aggregateCoreStats();
     double tot = 0;
     for (size_t i = 0; i < NUM_CPI_BUCKETS; i++)

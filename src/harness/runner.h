@@ -11,6 +11,7 @@
 #include <string>
 
 #include "harness/energy.h"
+#include "hostprof/hostprof.h"
 #include "resilience/error.h"
 #include "workloads/workload.h"
 
@@ -51,10 +52,17 @@ struct RunResult
      *  epochLength x numCores is below the parallel-work threshold
      *  (pure config function; see sim.epochAutoInline). */
     bool epochAutoInline = false;
+    /** Epoch length the multicore scheduler ran with (1 = single-core
+     *  legacy loop); lets reports explain the auto-inline decision. */
+    Cycle epochLength = 1;
     /** Host wall-clock spent simulating this run, in seconds. Host-side
      *  only -- never part of determinism comparisons or the sweep
      *  cache. */
     double hostSeconds = 0;
+    /** Epoch-scheduler host telemetry (barrier-wait fraction, partition
+     *  imbalance). All zeros unless host profiling was on. Host-side
+     *  only, like hostSeconds. */
+    hostprof::EpochSummary hostEpoch;
 };
 
 /** Runs workloads under a base hardware configuration. */

@@ -1,0 +1,572 @@
+#include "hostprof/hostprof.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace pipette::hostprof {
+
+namespace detail {
+
+std::atomic<bool> g_on{false};
+
+namespace {
+
+std::atomic<bool> g_trace{false};
+/** Profile-clock origin, steady-clock ns since its epoch (0 = unset). */
+std::atomic<int64_t> g_t0{0};
+
+int64_t
+rawNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+uint64_t
+nowNs()
+{
+    int64_t t0 = g_t0.load(std::memory_order_relaxed);
+    int64_t d = rawNs() - t0;
+    return d > 0 ? static_cast<uint64_t>(d) : 0;
+}
+
+/** Phases recorded as trace slices. The elision scan fires every
+ *  simulated cycle -- aggregate-only, or the trace would drown. */
+constexpr bool
+phaseTraced(Phase p)
+{
+    return p != Phase::ElisionScan;
+}
+
+struct TraceEvent
+{
+    uint64_t startNs;
+    uint64_t endNs;
+    Phase phase;
+};
+
+} // namespace
+
+/**
+ * One thread's aggregation slab. The per-phase counters are atomics so
+ * snapshot() can read them while worker threads are live; all writes
+ * come from the owning thread (relaxed adds, no contention). The frame
+ * stack and trace buffer are owner-only.
+ */
+struct ThreadSlab
+{
+    static constexpr int kMaxDepth = 8;
+    static constexpr size_t kMaxEvents = 1u << 16;
+
+    struct Frame
+    {
+        Phase p;
+        uint64_t sliceStart; ///< exclusive-time slice origin
+        uint64_t scopeStart; ///< full-span origin (trace slices)
+    };
+
+    std::array<std::atomic<uint64_t>, kNumPhases> ns{};
+    std::array<std::atomic<uint64_t>, kNumPhases> cnt{};
+    Frame stack[kMaxDepth];
+    int depth = 0;
+    std::vector<TraceEvent> events;
+    std::atomic<uint64_t> dropped{0};
+    uint32_t tid = 0;
+};
+
+namespace {
+
+struct Registry
+{
+    std::mutex mu;
+    /** Slabs are never freed: a thread may exit while its counters are
+     *  still part of the profile, so the registry owns them for the
+     *  life of the process. */
+    std::vector<std::unique_ptr<ThreadSlab>> slabs;
+
+    // Pool telemetry (multi-writer: relaxed atomic adds).
+    std::atomic<uint64_t> poolBusyNs{0};
+    std::atomic<uint64_t> poolIdleNs{0};
+    std::atomic<uint64_t> poolSteals{0};
+    std::atomic<uint64_t> poolTasks{0};
+    std::atomic<uint64_t> poolLifetimeNs{0};
+    std::atomic<uint64_t> poolWorkers{0};
+
+    // Low-frequency multi-writer aggregates, guarded by histMu.
+    std::mutex histMu;
+    obs::Log2Histogram skipHist;
+    EpochTelemetry epoch;
+};
+
+Registry &
+reg()
+{
+    static Registry r;
+    return r;
+}
+
+} // namespace
+
+ThreadSlab *
+slab()
+{
+    thread_local ThreadSlab *tls = nullptr;
+    if (!tls) {
+        Registry &r = reg();
+        std::lock_guard<std::mutex> lock(r.mu);
+        r.slabs.push_back(std::make_unique<ThreadSlab>());
+        tls = r.slabs.back().get();
+        tls->tid = static_cast<uint32_t>(r.slabs.size() - 1);
+    }
+    return tls;
+}
+
+ThreadSlab *
+enterPhase(ThreadSlab *s, Phase p)
+{
+    if (s->depth >= ThreadSlab::kMaxDepth)
+        return nullptr;
+    uint64_t now = nowNs();
+    if (s->depth > 0) {
+        ThreadSlab::Frame &par = s->stack[s->depth - 1];
+        s->ns[static_cast<size_t>(par.p)].fetch_add(
+            now - par.sliceStart, std::memory_order_relaxed);
+    }
+    s->stack[s->depth++] = {p, now, now};
+    s->cnt[static_cast<size_t>(p)].fetch_add(1,
+                                             std::memory_order_relaxed);
+    return s;
+}
+
+void
+exitPhase(ThreadSlab *s)
+{
+    ThreadSlab::Frame &f = s->stack[--s->depth];
+    uint64_t now = nowNs();
+    s->ns[static_cast<size_t>(f.p)].fetch_add(now - f.sliceStart,
+                                              std::memory_order_relaxed);
+    if (g_trace.load(std::memory_order_relaxed) && phaseTraced(f.p)) {
+        if (s->events.size() < ThreadSlab::kMaxEvents)
+            s->events.push_back({f.scopeStart, now, f.p});
+        else
+            s->dropped.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Resume the parent's exclusive-time slice.
+    if (s->depth > 0)
+        s->stack[s->depth - 1].sliceStart = now;
+}
+
+} // namespace detail
+
+using detail::reg;
+
+const char *
+phaseName(Phase p)
+{
+    switch (p) {
+      case Phase::Build: return "build";
+      case Phase::InputGen: return "input_gen";
+      case Phase::DetailedSim: return "detailed_sim";
+      case Phase::FastForward: return "fast_forward";
+      case Phase::CheckpointCapture: return "checkpoint_capture";
+      case Phase::WindowSim: return "window_sim";
+      case Phase::EpochPhase: return "epoch_phase";
+      case Phase::EpochBarrier: return "epoch_barrier";
+      case Phase::ElisionScan: return "elision_scan";
+      case Phase::SweepCacheIO: return "sweep_cache_io";
+      case Phase::Verify: return "verify";
+      case Phase::NUM_PHASES: break;
+    }
+    return "unknown";
+}
+
+void
+setEnabled(bool on)
+{
+    if (on && !detail::g_t0.load(std::memory_order_relaxed))
+        detail::g_t0.store(detail::rawNs(), std::memory_order_relaxed);
+    detail::g_on.store(on, std::memory_order_relaxed);
+}
+
+void
+setTraceEnabled(bool on)
+{
+    detail::g_trace.store(on, std::memory_order_relaxed);
+}
+
+void
+reset()
+{
+    detail::Registry &r = reg();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (auto &s : r.slabs) {
+        for (size_t i = 0; i < kNumPhases; i++) {
+            s->ns[i].store(0, std::memory_order_relaxed);
+            s->cnt[i].store(0, std::memory_order_relaxed);
+        }
+        s->depth = 0;
+        s->events.clear();
+        s->dropped.store(0, std::memory_order_relaxed);
+    }
+    r.poolBusyNs.store(0, std::memory_order_relaxed);
+    r.poolIdleNs.store(0, std::memory_order_relaxed);
+    r.poolSteals.store(0, std::memory_order_relaxed);
+    r.poolTasks.store(0, std::memory_order_relaxed);
+    r.poolLifetimeNs.store(0, std::memory_order_relaxed);
+    r.poolWorkers.store(0, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> hlock(r.histMu);
+        r.skipHist = obs::Log2Histogram{};
+        r.epoch = EpochTelemetry{};
+    }
+    detail::g_t0.store(detail::rawNs(), std::memory_order_relaxed);
+}
+
+double
+profileSeconds()
+{
+    if (!detail::g_t0.load(std::memory_order_relaxed))
+        return 0.0;
+    return static_cast<double>(detail::nowNs()) * 1e-9;
+}
+
+void
+addPoolBusy(uint64_t ns)
+{
+    reg().poolBusyNs.fetch_add(ns, std::memory_order_relaxed);
+}
+
+void
+addPoolIdle(uint64_t ns)
+{
+    reg().poolIdleNs.fetch_add(ns, std::memory_order_relaxed);
+}
+
+void
+addPoolSteal()
+{
+    reg().poolSteals.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+addPoolTasks(uint64_t n)
+{
+    reg().poolTasks.fetch_add(n, std::memory_order_relaxed);
+}
+
+void
+addPoolLifetime(uint64_t ns, unsigned workers)
+{
+    detail::Registry &r = reg();
+    r.poolLifetimeNs.fetch_add(ns, std::memory_order_relaxed);
+    r.poolWorkers.fetch_add(workers, std::memory_order_relaxed);
+}
+
+void
+recordSkipWindow(uint64_t cycles)
+{
+    detail::Registry &r = reg();
+    std::lock_guard<std::mutex> lock(r.histMu);
+    r.skipHist.add(cycles);
+}
+
+void
+EpochTelemetry::merge(const EpochTelemetry &o)
+{
+    epochs += o.epochs;
+    pooledEpochs += o.pooledEpochs;
+    phaseWorkNs += o.phaseWorkNs;
+    phaseWallNs += o.phaseWallNs;
+    wallWorkersNs += o.wallWorkersNs;
+    barrierWaitNs += o.barrierWaitNs;
+    imbalanceNs.merge(o.imbalanceNs);
+}
+
+void
+mergeEpoch(const EpochTelemetry &t)
+{
+    detail::Registry &r = reg();
+    std::lock_guard<std::mutex> lock(r.histMu);
+    r.epoch.merge(t);
+}
+
+double
+histPercentile(const obs::Log2Histogram &h, double q)
+{
+    uint64_t total = h.count();
+    if (!total)
+        return 0.0;
+    uint64_t target = static_cast<uint64_t>(
+        q * static_cast<double>(total));
+    if (target >= total)
+        target = total - 1;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < obs::Log2Histogram::NUM_BUCKETS; i++) {
+        seen += h.bucket(i);
+        if (seen > target) {
+            // Upper bound of bucket i: 0, 1, 3, 7, ... (2^(i-1)..2^i-1).
+            if (i == 0)
+                return 0.0;
+            return static_cast<double>((uint64_t{1} << i) - 1);
+        }
+    }
+    return static_cast<double>(h.max());
+}
+
+EpochSummary
+summarizeEpoch(const EpochTelemetry &t)
+{
+    EpochSummary s;
+    s.epochs = t.epochs;
+    s.pooledEpochs = t.pooledEpochs;
+    if (t.wallWorkersNs) {
+        s.barrierWaitFrac = static_cast<double>(t.barrierWaitNs) /
+                            static_cast<double>(t.wallWorkersNs);
+    }
+    s.imbalanceP50Us = histPercentile(t.imbalanceNs, 0.50) * 1e-3;
+    s.imbalanceP99Us = histPercentile(t.imbalanceNs, 0.99) * 1e-3;
+    s.imbalanceMaxUs = static_cast<double>(t.imbalanceNs.max()) * 1e-3;
+    return s;
+}
+
+Snapshot
+snapshot()
+{
+    detail::Registry &r = reg();
+    Snapshot out;
+    {
+        std::lock_guard<std::mutex> lock(r.mu);
+        for (auto &s : r.slabs) {
+            for (size_t i = 0; i < kNumPhases; i++) {
+                out.phases[i].ns +=
+                    s->ns[i].load(std::memory_order_relaxed);
+                out.phases[i].count +=
+                    s->cnt[i].load(std::memory_order_relaxed);
+            }
+            out.traceEvents += s->events.size();
+            out.traceDropped +=
+                s->dropped.load(std::memory_order_relaxed);
+        }
+    }
+    out.poolBusyNs = r.poolBusyNs.load(std::memory_order_relaxed);
+    out.poolIdleNs = r.poolIdleNs.load(std::memory_order_relaxed);
+    out.poolSteals = r.poolSteals.load(std::memory_order_relaxed);
+    out.poolTasks = r.poolTasks.load(std::memory_order_relaxed);
+    out.poolLifetimeNs = r.poolLifetimeNs.load(std::memory_order_relaxed);
+    out.poolWorkersSpawned = r.poolWorkers.load(std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(r.histMu);
+        out.skipWindowLen = r.skipHist;
+        out.epoch = r.epoch;
+    }
+    out.wallSeconds = profileSeconds();
+    return out;
+}
+
+namespace {
+
+/** Minimal JSON string escaper (quotes, backslash, control chars). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(c) & 0xff);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+double
+secs(uint64_t ns)
+{
+    return static_cast<double>(ns) * 1e-9;
+}
+
+} // namespace
+
+bool
+writeManifest(const std::string &path, const ManifestMeta &meta,
+              std::string *err)
+{
+    Snapshot s = snapshot();
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        if (err)
+            *err = "cannot open " + path + " for writing: " +
+                   std::strerror(errno);
+        return false;
+    }
+    std::fprintf(f, "{\n  \"pipette_host_prof\": 1,\n");
+    std::fprintf(f, "  \"bench\": \"%s\",\n",
+                 jsonEscape(meta.bench).c_str());
+    std::fprintf(f,
+                 "  \"build\": {\"describe\": \"%s\", \"compiler\": "
+                 "\"%s\"},\n",
+                 jsonEscape(buildDescribe()).c_str(),
+                 jsonEscape(buildCompiler()).c_str());
+    // The fingerprint identifies what was simulated; host-prof flags
+    // are deliberately NOT part of it (DESIGN.md §14 contract).
+    std::fprintf(f, "  \"config_fingerprint\": \"%016llx\",\n",
+                 static_cast<unsigned long long>(meta.configFingerprint));
+    std::fprintf(f, "  \"wall_seconds\": %.6f,\n", s.wallSeconds);
+    std::fprintf(f, "  \"host_seconds_total\": %.6f,\n",
+                 meta.hostSecondsTotal);
+
+    uint64_t phaseNsTotal = 0;
+    std::fprintf(f, "  \"phases\": {\n");
+    for (size_t i = 0; i < kNumPhases; i++) {
+        phaseNsTotal += s.phases[i].ns;
+        std::fprintf(f,
+                     "    \"%s\": {\"seconds\": %.6f, \"count\": "
+                     "%llu}%s\n",
+                     phaseName(static_cast<Phase>(i)),
+                     secs(s.phases[i].ns),
+                     static_cast<unsigned long long>(s.phases[i].count),
+                     i + 1 < kNumPhases ? "," : "");
+    }
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"phase_seconds_total\": %.6f,\n",
+                 secs(phaseNsTotal));
+    std::fprintf(f, "  \"phase_wall_coverage\": %.4f,\n",
+                 s.wallSeconds > 0 ? secs(phaseNsTotal) / s.wallSeconds
+                                   : 0.0);
+
+    std::fprintf(
+        f,
+        "  \"pool\": {\"workers_spawned\": %llu, \"tasks\": %llu, "
+        "\"steals\": %llu, \"busy_seconds\": %.6f, \"idle_seconds\": "
+        "%.6f, \"lifetime_seconds\": %.6f},\n",
+        static_cast<unsigned long long>(s.poolWorkersSpawned),
+        static_cast<unsigned long long>(s.poolTasks),
+        static_cast<unsigned long long>(s.poolSteals),
+        secs(s.poolBusyNs), secs(s.poolIdleNs), secs(s.poolLifetimeNs));
+
+    EpochSummary es = summarizeEpoch(s.epoch);
+    std::fprintf(
+        f,
+        "  \"epoch\": {\"epochs\": %llu, \"pooled_epochs\": %llu, "
+        "\"phase_work_seconds\": %.6f, \"phase_wall_seconds\": %.6f, "
+        "\"barrier_wait_seconds\": %.6f, \"barrier_wait_frac\": %.4f, "
+        "\"imbalance_us\": {\"p50\": %.3f, \"p99\": %.3f, \"max\": "
+        "%.3f}, \"auto_inline_reason\": \"%s\"},\n",
+        static_cast<unsigned long long>(s.epoch.epochs),
+        static_cast<unsigned long long>(s.epoch.pooledEpochs),
+        secs(s.epoch.phaseWorkNs), secs(s.epoch.phaseWallNs),
+        secs(s.epoch.barrierWaitNs), es.barrierWaitFrac,
+        es.imbalanceP50Us, es.imbalanceP99Us, es.imbalanceMaxUs,
+        jsonEscape(meta.autoInlineReason).c_str());
+
+    const obs::Log2Histogram &sw = s.skipWindowLen;
+    std::fprintf(
+        f,
+        "  \"elision\": {\"skip_windows\": %llu, \"skipped_cycles\": "
+        "%llu, \"window_len_cycles\": {\"mean\": %.1f, \"p50\": %.0f, "
+        "\"p99\": %.0f, \"max\": %llu}, \"scan_seconds\": %.6f, "
+        "\"scans\": %llu},\n",
+        static_cast<unsigned long long>(sw.count()),
+        static_cast<unsigned long long>(sw.sum()), sw.mean(),
+        histPercentile(sw, 0.50), histPercentile(sw, 0.99),
+        static_cast<unsigned long long>(sw.max()),
+        secs(s.phases[static_cast<size_t>(Phase::ElisionScan)].ns),
+        static_cast<unsigned long long>(
+            s.phases[static_cast<size_t>(Phase::ElisionScan)].count));
+
+    std::fprintf(f,
+                 "  \"trace\": {\"events\": %llu, \"dropped\": %llu}\n",
+                 static_cast<unsigned long long>(s.traceEvents),
+                 static_cast<unsigned long long>(s.traceDropped));
+    std::fprintf(f, "}\n");
+    bool ok = std::ferror(f) == 0;
+    if (std::fclose(f) != 0)
+        ok = false;
+    if (!ok && err)
+        *err = "write to " + path + " failed";
+    return ok;
+}
+
+bool
+writeTrace(const std::string &path, std::string *err)
+{
+    detail::Registry &r = reg();
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        if (err)
+            *err = "cannot open " + path + " for writing: " +
+                   std::strerror(errno);
+        return false;
+    }
+    // Chrome trace-event JSON, same envelope as the obs Perfetto
+    // exporter: metadata ("M") thread names + complete ("X") slices,
+    // timestamps in microseconds since the profile clock started.
+    std::fprintf(f, "{\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n");
+    bool first = true;
+    std::lock_guard<std::mutex> lock(r.mu);
+    std::fprintf(f,
+                 "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": "
+                 "1, \"args\": {\"name\": \"pipette-host\"}}");
+    first = false;
+    for (auto &s : r.slabs) {
+        std::fprintf(f,
+                     ",\n{\"name\": \"thread_name\", \"ph\": \"M\", "
+                     "\"pid\": 1, \"tid\": %u, \"args\": {\"name\": "
+                     "\"host-%u\"}}",
+                     s->tid, s->tid);
+        for (const detail::TraceEvent &e : s->events) {
+            std::fprintf(f,
+                         ",\n{\"name\": \"%s\", \"cat\": \"hostprof\", "
+                         "\"ph\": \"X\", \"pid\": 1, \"tid\": %u, "
+                         "\"ts\": %.3f, \"dur\": %.3f}",
+                         phaseName(e.phase), s->tid,
+                         static_cast<double>(e.startNs) * 1e-3,
+                         static_cast<double>(e.endNs - e.startNs) *
+                             1e-3);
+        }
+    }
+    (void)first;
+    std::fprintf(f, "\n]}\n");
+    bool ok = std::ferror(f) == 0;
+    if (std::fclose(f) != 0)
+        ok = false;
+    if (!ok && err)
+        *err = "write to " + path + " failed";
+    return ok;
+}
+
+const char *
+buildDescribe()
+{
+#ifdef PIPETTE_HOSTPROF_GIT_DESC
+    return PIPETTE_HOSTPROF_GIT_DESC;
+#else
+    return "unknown";
+#endif
+}
+
+const char *
+buildCompiler()
+{
+#ifdef __VERSION__
+    return "g++ " __VERSION__;
+#else
+    return "unknown";
+#endif
+}
+
+} // namespace pipette::hostprof

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Host-side self-profiling (DESIGN.md §14): where does the *host's*
+ * time go when it simulates? Scoped steady-clock phase timers over the
+ * big host phases (interpreter fast-forward, checkpoint capture,
+ * detailed window sim, epoch phase vs. barrier wait, elision oracle
+ * scans, sweep-cache I/O), worker telemetry for the TaskPool
+ * (busy/idle/steal/tasks), epoch-scheduler telemetry (per-epoch
+ * max-min partition imbalance, barrier-wait fraction), elision
+ * telemetry (skip-window length distribution), and two exporters: a
+ * machine-readable run manifest (--host-prof) and a Chrome-trace
+ * timeline of host phases (--host-trace).
+ *
+ * Non-perturbation contract (the guardrails/obs pattern): the layer is
+ * always compiled and off by default; every hook site is a single
+ * relaxed-atomic branch when off, so the simulated machine -- every
+ * stat, every cycle, every random draw -- is byte-identical with
+ * profiling on or off. All state is process-global and host-side: none
+ * of it enters SystemConfig, configFingerprint, the sweep cache, or
+ * the --stats-out determinism dumps.
+ *
+ * Aggregation is allocation-free in steady state: each thread owns a
+ * fixed slab of per-phase counters (registered once, on the thread's
+ * first timed scope) and scopes nest by pausing the parent frame, so
+ * per-phase times are *exclusive* and sum to at most the thread's wall
+ * time.
+ */
+
+#ifndef PIPETTE_HOSTPROF_HOSTPROF_H
+#define PIPETTE_HOSTPROF_HOSTPROF_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "obs/histogram.h"
+
+namespace pipette::hostprof {
+
+/** The host-phase taxonomy (DESIGN.md §14 table). */
+enum class Phase : uint8_t
+{
+    Build,             ///< workload build + System configure
+    InputGen,          ///< synthetic input construction (bench suites)
+    DetailedSim,       ///< full detailed run loop (System::run)
+    FastForward,       ///< interpreter fast-forward (sampled mode)
+    CheckpointCapture, ///< arch snapshot + warm-state copy + durable save
+    WindowSim,         ///< one detailed measurement window
+    EpochPhase,        ///< core-partition ticks of one epoch (per worker)
+    EpochBarrier,      ///< coordinator waiting on the epoch-phase pool
+    ElisionScan,       ///< quiescence-oracle scans + deadline computation
+    SweepCacheIO,      ///< sweep CSV cache load/save
+    Verify,            ///< host reference verification
+    NUM_PHASES
+};
+
+constexpr size_t kNumPhases = static_cast<size_t>(Phase::NUM_PHASES);
+
+const char *phaseName(Phase p);
+
+namespace detail {
+extern std::atomic<bool> g_on;
+struct ThreadSlab;
+/** This thread's slab (registered on first use; never freed). */
+ThreadSlab *slab();
+/** Enter/exit a timed frame; enter returns null on stack overflow. */
+ThreadSlab *enterPhase(ThreadSlab *s, Phase p);
+void exitPhase(ThreadSlab *s);
+} // namespace detail
+
+/** Single-branch hook gate: false costs one relaxed atomic load. */
+inline bool
+enabled()
+{
+    return detail::g_on.load(std::memory_order_relaxed);
+}
+
+/**
+ * Master switch. Turning profiling on (re)starts the profile clock;
+ * existing counters are kept (call reset() for a clean slate). Flip it
+ * only from the main thread while no instrumented work is in flight.
+ */
+void setEnabled(bool on);
+
+/** Record host-phase trace events for writeTrace(). Implies overhead
+ *  per scope; independent of setEnabled only in that both default off
+ *  (tracing without enabling records nothing). */
+void setTraceEnabled(bool on);
+
+/** Zero every counter, histogram, and trace buffer and restart the
+ *  profile clock. Only call while no instrumented work is in flight. */
+void reset();
+
+/** Seconds since the profile clock started (setEnabled/reset). */
+double profileSeconds();
+
+/**
+ * RAII exclusive-time phase scope. When profiling is off, construction
+ * is one relaxed load and destruction one branch. When on: the parent
+ * frame (if any) is paused, so concurrent-phase time is never double
+ * counted and per-thread phase times sum to <= thread wall time.
+ */
+class ScopedPhase
+{
+  public:
+    explicit ScopedPhase(Phase p)
+    {
+        if (enabled())
+            slab_ = detail::enterPhase(detail::slab(), p);
+    }
+    ~ScopedPhase()
+    {
+        if (slab_)
+            detail::exitPhase(slab_);
+    }
+    ScopedPhase(const ScopedPhase &) = delete;
+    ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+  private:
+    detail::ThreadSlab *slab_ = nullptr;
+};
+
+// --- TaskPool worker telemetry (called by parallel::TaskPool) --------
+
+void addPoolBusy(uint64_t ns);
+void addPoolIdle(uint64_t ns);
+void addPoolSteal();
+void addPoolTasks(uint64_t n);
+/** Total worker-thread lifetime of one destroyed pool: (join - spawn)
+ *  summed across its workers, plus the worker count itself. */
+void addPoolLifetime(uint64_t ns, unsigned workers);
+
+// --- Elision telemetry -----------------------------------------------
+
+/** One skip window of `cycles` simulated cycles was elided. */
+void recordSkipWindow(uint64_t cycles);
+
+// --- Epoch-scheduler telemetry ---------------------------------------
+
+/**
+ * Per-System epoch-scheduler telemetry, accumulated single-writer on
+ * the System's coordinating thread and merged into the global registry
+ * when the System dies. All host-side nanoseconds.
+ */
+struct EpochTelemetry
+{
+    uint64_t epochs = 0;        ///< epoch phases run (inline + pooled)
+    uint64_t pooledEpochs = 0;  ///< phases dispatched to the core pool
+    uint64_t phaseWorkNs = 0;   ///< sum of per-partition tick durations
+    uint64_t phaseWallNs = 0;   ///< sum of phase wall times
+    uint64_t wallWorkersNs = 0; ///< sum of wall x pool workers (pooled)
+    uint64_t barrierWaitNs = 0; ///< sum of (wall x workers - work)
+    /** Per-epoch max-min partition duration, ns (pooled phases). */
+    obs::Log2Histogram imbalanceNs;
+
+    void merge(const EpochTelemetry &o);
+};
+
+/** Merge one System's telemetry into the process-global registry. */
+void mergeEpoch(const EpochTelemetry &t);
+
+/** Derived headline numbers for reports (fig17 rows, the manifest). */
+struct EpochSummary
+{
+    uint64_t epochs = 0;
+    uint64_t pooledEpochs = 0;
+    /** Fraction of pooled worker-seconds spent waiting at the barrier:
+     *  barrierWaitNs / wallWorkersNs (0 when nothing pooled). */
+    double barrierWaitFrac = 0;
+    double imbalanceP50Us = 0;
+    double imbalanceP99Us = 0;
+    double imbalanceMaxUs = 0;
+};
+
+EpochSummary summarizeEpoch(const EpochTelemetry &t);
+
+/**
+ * Approximate quantile of a log2 histogram: the upper bound of the
+ * bucket holding the q-th sample (exact for the bucket, coarse within
+ * it -- good enough for p50/p99 telemetry).
+ */
+double histPercentile(const obs::Log2Histogram &h, double q);
+
+// --- Snapshot + exporters --------------------------------------------
+
+/** Everything the layer has aggregated, summed across threads. */
+struct Snapshot
+{
+    struct PhaseAgg
+    {
+        uint64_t ns = 0;
+        uint64_t count = 0;
+    };
+    std::array<PhaseAgg, kNumPhases> phases{};
+    uint64_t poolBusyNs = 0;
+    uint64_t poolIdleNs = 0;
+    uint64_t poolSteals = 0;
+    uint64_t poolTasks = 0;
+    uint64_t poolLifetimeNs = 0;
+    uint64_t poolWorkersSpawned = 0;
+    EpochTelemetry epoch;
+    obs::Log2Histogram skipWindowLen; ///< simulated cycles per window
+    uint64_t traceEvents = 0;
+    uint64_t traceDropped = 0;
+    double wallSeconds = 0; ///< profileSeconds() at snapshot time
+};
+
+Snapshot snapshot();
+
+/** Caller-supplied context stamped into the manifest. */
+struct ManifestMeta
+{
+    std::string bench;            ///< invoking binary / scenario name
+    uint64_t configFingerprint = 0;
+    double hostSecondsTotal = 0;  ///< sum of RunResult::hostSeconds
+    std::string autoInlineReason; ///< empty = no auto-inline fallback
+};
+
+/**
+ * Write the machine-readable run manifest (--host-prof): build info,
+ * config fingerprint, wall seconds, every phase/worker/epoch/elision
+ * metric. Returns false with *err set on I/O failure. The manifest is
+ * host-side telemetry only -- it never feeds the determinism diffs.
+ */
+bool writeManifest(const std::string &path, const ManifestMeta &meta,
+                   std::string *err);
+
+/**
+ * Write the recorded host-phase slices as a Chrome trace-event JSON
+ * (--host-trace; the same "traceEvents" format the obs Perfetto
+ * exporter emits, so it opens in ui.perfetto.dev next to a guest
+ * trace). Requires setTraceEnabled(true) during the run.
+ */
+bool writeTrace(const std::string &path, std::string *err);
+
+/** Compile-time build description ("git-describe-style"). */
+const char *buildDescribe();
+const char *buildCompiler();
+
+} // namespace pipette::hostprof
+
+#endif // PIPETTE_HOSTPROF_HOSTPROF_H

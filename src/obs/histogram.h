@@ -52,6 +52,22 @@ class Log2Histogram
                       : 0.0;
     }
 
+    /** Accumulate another histogram into this one. */
+    void
+    merge(const Log2Histogram &o)
+    {
+        if (o.count_) {
+            if (count_ == 0 || o.min_ < min_)
+                min_ = o.min_;
+            if (o.max_ > max_)
+                max_ = o.max_;
+        }
+        for (size_t i = 0; i < NUM_BUCKETS; i++)
+            buckets_[i] += o.buckets_[i];
+        count_ += o.count_;
+        sum_ += o.sum_;
+    }
+
     /** Total across all buckets (== count(); used by the tests). */
     uint64_t
     bucketTotal() const

@@ -1,6 +1,25 @@
 #include "parallel/task_pool.h"
 
+#include <chrono>
+
+#include "hostprof/hostprof.h"
+
 namespace pipette::parallel {
+
+namespace {
+
+/** Raw steady-clock ns (hostprof keeps its own origin; only durations
+ *  cross the boundary, so raw timestamps are fine here). */
+uint64_t
+rawNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
 
 TaskPool::TaskPool(unsigned workers)
 {
@@ -18,6 +37,8 @@ TaskPool::TaskPool(unsigned workers)
     threads_.reserve(workers);
     for (unsigned i = 0; i < workers; i++)
         threads_.emplace_back([this, i] { workerLoop(i); });
+    if (hostprof::enabled())
+        spawnRawNs_ = rawNs();
 }
 
 TaskPool::~TaskPool()
@@ -29,6 +50,10 @@ TaskPool::~TaskPool()
     wakeWorkers_.notify_all();
     for (std::thread &t : threads_)
         t.join();
+    if (spawnRawNs_) {
+        hostprof::addPoolLifetime((rawNs() - spawnRawNs_) * numWorkers_,
+                                  numWorkers_);
+    }
 }
 
 bool
@@ -75,11 +100,18 @@ TaskPool::workerLoop(unsigned self)
 {
     uint64_t seenBatch = 0;
     for (;;) {
+        // Profiling gate is re-read each round trip so a pool that
+        // outlives a setEnabled() flip starts/stops counting at the
+        // next batch boundary; off costs one relaxed load per batch.
+        const bool prof = hostprof::enabled();
         {
+            uint64_t t0 = prof ? rawNs() : 0;
             std::unique_lock<std::mutex> lock(mtx_);
             wakeWorkers_.wait(lock, [&] {
                 return shutdown_ || (tasks_ && batchId_ != seenBatch);
             });
+            if (prof)
+                hostprof::addPoolIdle(rawNs() - t0);
             if (shutdown_)
                 return;
             seenBatch = batchId_;
@@ -88,8 +120,24 @@ TaskPool::workerLoop(unsigned self)
         // after the batch starts, so an empty sweep means this worker
         // is finished with the batch.
         size_t idx;
-        while (popOwn(self, &idx) || stealAny(self, &idx))
-            execute(idx);
+        for (;;) {
+            bool stolen = false;
+            if (!popOwn(self, &idx)) {
+                if (!stealAny(self, &idx))
+                    break;
+                stolen = true;
+            }
+            if (prof) {
+                if (stolen)
+                    hostprof::addPoolSteal();
+                uint64_t t0 = rawNs();
+                execute(idx);
+                hostprof::addPoolBusy(rawNs() - t0);
+                hostprof::addPoolTasks(1);
+            } else {
+                execute(idx);
+            }
+        }
     }
 }
 

@@ -31,6 +31,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -82,6 +83,8 @@ class TaskPool
     unsigned numWorkers_;
     std::vector<std::unique_ptr<Worker>> workers_;
     std::vector<std::thread> threads_;
+    /** Worker spawn time (raw steady ns); 0 = hostprof was off. */
+    uint64_t spawnRawNs_ = 0;
 
     // Batch state (one run() at a time), guarded by mtx_.
     std::mutex mtx_;

@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "hostprof/hostprof.h"
 #include "parallel/task_pool.h"
 #include "resilience/checkpoint.h"
 #include "resilience/interrupt.h"
@@ -206,7 +207,10 @@ runSampled(const SystemConfig &cfg, WorkloadBase &wl, Variant v,
     // --- Build once; the spec and programs are shared by every window.
     System buildSys(cfg);
     BuildContext ctx(&buildSys);
-    wl.build(ctx, v);
+    {
+        hostprof::ScopedPhase hp(hostprof::Phase::Build);
+        wl.build(ctx, v);
+    }
     rep.buildSeconds = lap();
 
     // --- Fast-forward with warming + journaling + checkpoints.
@@ -262,6 +266,7 @@ runSampled(const SystemConfig &cfg, WorkloadBase &wl, Variant v,
     auto saveDurable = [&](bool ffDone) {
         if (rz.checkpointOutPath.empty() || ckpts.empty())
             return;
+        hostprof::ScopedPhase hp(hostprof::Phase::CheckpointCapture);
         resilience::SampleCheckpointHeader hdr;
         hdr.configFp = configFp;
         hdr.period = period;
@@ -306,7 +311,11 @@ runSampled(const SystemConfig &cfg, WorkloadBase &wl, Variant v,
                 // No further checkpoints, so the warm state is dead
                 // weight: run the tail bare.
                 interp.setHooks(nullptr);
-                ff = interp.run();
+                {
+                    hostprof::ScopedPhase hp(
+                        hostprof::Phase::FastForward);
+                    ff = interp.run();
+                }
                 break;
             }
             if (resumedMid && k == startK) {
@@ -314,7 +323,11 @@ runSampled(const SystemConfig &cfg, WorkloadBase &wl, Variant v,
                 // re-capture and re-open its journal interval below.
                 resumedMid = false;
             } else {
-                ckpts.push_back({interp.snapshot(), warm.state()});
+                {
+                    hostprof::ScopedPhase hp(
+                        hostprof::Phase::CheckpointCapture);
+                    ckpts.push_back({interp.snapshot(), warm.state()});
+                }
                 // Boundary save: the file now holds checkpoints 0..k
                 // and complete intervals 0..k-1.
                 saveDurable(false);
@@ -340,12 +353,19 @@ runSampled(const SystemConfig &cfg, WorkloadBase &wl, Variant v,
                 // the warm hooks for the horizon leading into the
                 // checkpoint.
                 interp.setHooks(nullptr);
-                ff = interp.runUntil(target - kWarmHorizon);
+                {
+                    hostprof::ScopedPhase hp(
+                        hostprof::Phase::FastForward);
+                    ff = interp.runUntil(target - kWarmHorizon);
+                }
                 interp.setHooks(&warm);
                 if (ff.status != Interp::Status::Target)
                     break;
             }
-            ff = interp.runUntil(target);
+            {
+                hostprof::ScopedPhase hp(hostprof::Phase::FastForward);
+                ff = interp.runUntil(target);
+            }
             if (ff.status != Interp::Status::Target)
                 break;
         }
@@ -372,8 +392,10 @@ runSampled(const SystemConfig &cfg, WorkloadBase &wl, Variant v,
     rep.ffInstrs = ff.instrs;
     rep.ffRounds = ff.rounds;
     rep.windows = static_cast<uint32_t>(ckpts.size());
-    if (!rep.interrupted && ff.status == Interp::Status::Done)
+    if (!rep.interrupted && ff.status == Interp::Status::Done) {
+        hostprof::ScopedPhase hp(hostprof::Phase::Verify);
         rep.verified = wl.verify(buildSys);
+    }
     rep.ffSeconds = lap() - rep.buildSeconds;
 
     // --- Detailed windows: inline, or fanned out over a host pool.
@@ -385,6 +407,7 @@ runSampled(const SystemConfig &cfg, WorkloadBase &wl, Variant v,
     std::vector<WindowMeasure> slots(ckpts.size());
     std::atomic<uint32_t> windowRetries{0}, windowsFailed{0};
     auto measure = [&](size_t k) {
+        hostprof::ScopedPhase hp(hostprof::Phase::WindowSim);
         FatalThrowScope throwScope;
         for (unsigned attempt = 0; attempt < 2; attempt++) {
             // Cooperative drain: skip remaining windows (and the

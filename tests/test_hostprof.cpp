@@ -1,0 +1,629 @@
+// Host-side self-profiling tests (DESIGN.md §14). The layer's whole
+// contract is that it *observes without perturbing*: every simulated
+// statistic must be byte-identical with profiling on or off, across all
+// 12 golden workload rows, under the sweep-level SimJobPool at several
+// --jobs values, and under the multicore epoch scheduler at several
+// --core-jobs values. On top of the identity matrix: the manifest must
+// be well-formed with phase times that sum to at most the wall clock,
+// worker busy+idle must account for the pool's thread lifetime, the
+// config fingerprint must not see the profiling switches, and the
+// steady-state run loop must stay allocation-free with profiling off.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/system.h"
+#include "harness/runner.h"
+#include "hostprof/hostprof.h"
+#include "parallel/sim_job_pool.h"
+#include "parallel/task_pool.h"
+#include "sim/config.h"
+#include "workloads/bfs.h"
+#include "workloads/cc.h"
+#include "workloads/graph.h"
+#include "workloads/matrix.h"
+#include "workloads/prd.h"
+#include "workloads/radii.h"
+#include "workloads/silo.h"
+#include "workloads/spmm.h"
+
+// Host-heap instrumentation for the zero-allocation steady-state test
+// (same pattern as test_pool.cpp): count every operator-new in the
+// process with a relaxed atomic.
+namespace {
+std::atomic<size_t> g_hostAllocs{0};
+
+struct AllocCounterScope
+{
+    size_t start = g_hostAllocs.load(std::memory_order_relaxed);
+    size_t
+    delta() const
+    {
+        return g_hostAllocs.load(std::memory_order_relaxed) - start;
+    }
+};
+} // namespace
+
+void *
+operator new(size_t n)
+{
+    g_hostAllocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](size_t n)
+{
+    g_hostAllocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new(size_t n, std::align_val_t al)
+{
+    g_hostAllocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::aligned_alloc(static_cast<size_t>(al), n))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](size_t n, std::align_val_t al)
+{
+    g_hostAllocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::aligned_alloc(static_cast<size_t>(al), n))
+        return p;
+    throw std::bad_alloc();
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, size_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, size_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+namespace pipette {
+namespace {
+
+/** Turn profiling on for one test body and always turn it off again,
+ *  so test order can never leak the switch into another test. */
+struct ProfGuard
+{
+    explicit ProfGuard(bool trace = false)
+    {
+        hostprof::reset();
+        hostprof::setEnabled(true);
+        if (trace)
+            hostprof::setTraceEnabled(true);
+    }
+    ~ProfGuard()
+    {
+        hostprof::setTraceEnabled(false);
+        hostprof::setEnabled(false);
+    }
+};
+
+/** Drop the elision totals (host-execution detail, may fragment
+ *  differently across --core-jobs values; see test_skip.cpp). */
+std::map<std::string, double>
+stripSkipKeys(const std::map<std::string, double> &m)
+{
+    std::map<std::string, double> out;
+    for (const auto &[k, v] : m) {
+        if (k.find("skippedCycles") != std::string::npos ||
+            k.find("skipWindows") != std::string::npos)
+            continue;
+        out.emplace(k, v);
+    }
+    return out;
+}
+
+struct GoldenCase
+{
+    const char *workload;
+    Variant variant;
+};
+
+// The 12 golden rows of test_determinism.cpp.
+const GoldenCase kCases[] = {
+    {"bfs", Variant::Serial},    {"bfs", Variant::Pipette},
+    {"cc", Variant::Serial},     {"cc", Variant::Pipette},
+    {"radii", Variant::Serial},  {"radii", Variant::Pipette},
+    {"prd", Variant::Serial},    {"prd", Variant::Pipette},
+    {"spmm", Variant::Serial},   {"spmm", Variant::Pipette},
+    {"silo", Variant::Serial},   {"silo", Variant::Pipette},
+};
+
+std::string
+caseName(const testing::TestParamInfo<GoldenCase> &info)
+{
+    return std::string(info.param.workload) + "_" +
+           variantName(info.param.variant);
+}
+
+std::unique_ptr<WorkloadBase>
+makeWorkload(const std::string &name, const Graph *g,
+             const SparseMatrix *A, const SparseMatrix *Bt)
+{
+    if (name == "bfs")
+        return std::make_unique<BfsWorkload>(g);
+    if (name == "cc")
+        return std::make_unique<CcWorkload>(g);
+    if (name == "radii")
+        return std::make_unique<RadiiWorkload>(g);
+    if (name == "prd")
+        return std::make_unique<PrdWorkload>(g);
+    if (name == "spmm") {
+        SpmmWorkload::Options o;
+        o.numCols = 6;
+        return std::make_unique<SpmmWorkload>(A, Bt, o);
+    }
+    SiloWorkload::Options o;
+    o.numKeys = 2000;
+    o.numQueries = 400;
+    return std::make_unique<SiloWorkload>(o);
+}
+
+SystemConfig
+goldenConfig()
+{
+    SystemConfig cfg;
+    cfg.watchdogCycles = 300'000;
+    cfg.maxCycles = 500'000'000;
+    cfg.cycleElision = true;
+    return cfg;
+}
+
+struct RunOutcome
+{
+    System::RunResult res;
+    CoreStats agg;
+    std::map<std::string, double> stats;
+    bool verified = false;
+};
+
+/** One golden single-core run (same inputs as test_determinism.cpp). */
+RunOutcome
+runCase(const std::string &workload, Variant v)
+{
+    Graph g = makeGridGraph(40, 40, 11);
+    SparseMatrix A = makeSparseMatrix(96, 8, 81);
+    SparseMatrix B = makeSparseMatrix(96, 8, 82);
+    SparseMatrix Bt = B.transpose();
+
+    System sys(goldenConfig());
+    auto wl = makeWorkload(workload, &g, &A, &Bt);
+    BuildContext ctx(&sys);
+    wl->build(ctx, v);
+    sys.configure(ctx.spec);
+
+    RunOutcome out;
+    out.res = sys.run();
+    out.agg = sys.aggregateCoreStats();
+    out.stats = sys.dumpStats();
+    out.verified = wl->verify(sys);
+    return out;
+}
+
+/** Multicore epoch-scheduler run (Streaming on 4 cores). */
+RunOutcome
+runStreaming(const std::string &workload, unsigned coreJobs,
+             uint32_t epochLength = 0)
+{
+    Graph g = makeGridGraph(40, 40, 11);
+    SparseMatrix A = makeSparseMatrix(96, 8, 81);
+    SparseMatrix B = makeSparseMatrix(96, 8, 82);
+    SparseMatrix Bt = B.transpose();
+
+    SystemConfig cfg = goldenConfig();
+    cfg.numCores = 4;
+    cfg.coreJobs = coreJobs;
+    if (epochLength)
+        cfg.epochLength = epochLength;
+    System sys(cfg);
+    auto wl = makeWorkload(workload, &g, &A, &Bt);
+    BuildContext ctx(&sys);
+    wl->build(ctx, Variant::Streaming);
+    sys.configure(ctx.spec);
+
+    RunOutcome out;
+    out.res = sys.run();
+    out.agg = sys.aggregateCoreStats();
+    out.stats = sys.dumpStats();
+    out.verified = wl->verify(sys);
+    return out;
+}
+
+class HostProfIdentity : public testing::TestWithParam<GoldenCase>
+{
+};
+
+// The non-perturbation contract, row by row: the full stats dump --
+// including the elision totals, since the toggle does not change how
+// the run executes -- must be byte-identical with profiling (and
+// tracing) on vs off.
+TEST_P(HostProfIdentity, FullDumpBitIdenticalOnVsOff)
+{
+    const GoldenCase &c = GetParam();
+    RunOutcome off = runCase(c.workload, c.variant);
+    ASSERT_TRUE(off.res.finished);
+
+    RunOutcome on;
+    {
+        ProfGuard prof(/*trace=*/true);
+        on = runCase(c.workload, c.variant);
+    }
+    ASSERT_TRUE(on.res.finished);
+    EXPECT_TRUE(on.verified);
+    EXPECT_EQ(on.res.cycles, off.res.cycles);
+    EXPECT_EQ(on.res.instrs, off.res.instrs);
+    EXPECT_EQ(on.stats, off.stats);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGoldenRows, HostProfIdentity,
+                         testing::ValuesIn(kCases), caseName);
+
+// Multicore: the epoch scheduler is the most instrumented code path
+// (EpochPhase/EpochBarrier scopes, partition timing, imbalance
+// histogram). Profiling must be invisible at core-jobs 1 and 4, both
+// with the default epoch (auto-inline path) and with an epoch long
+// enough to actually dispatch to the pool.
+TEST(HostProfIdentityMulticore, EpochSchedulerBitIdentical)
+{
+    for (const char *wl : {"bfs", "silo"}) {
+        for (uint32_t epochLength : {0u, 2048u}) {
+            RunOutcome off = runStreaming(wl, 1, epochLength);
+            ASSERT_TRUE(off.res.finished) << wl;
+            auto offStats = stripSkipKeys(off.stats);
+            for (unsigned coreJobs : {1u, 4u}) {
+                RunOutcome on;
+                {
+                    ProfGuard prof(/*trace=*/true);
+                    on = runStreaming(wl, coreJobs, epochLength);
+                }
+                ASSERT_TRUE(on.res.finished) << wl << coreJobs;
+                EXPECT_TRUE(on.verified) << wl << coreJobs;
+                EXPECT_EQ(on.res.cycles, off.res.cycles)
+                    << wl << coreJobs;
+                EXPECT_EQ(on.res.instrs, off.res.instrs)
+                    << wl << coreJobs;
+                if (coreJobs == 1)
+                    EXPECT_EQ(on.stats, off.stats) << wl;
+                else
+                    EXPECT_EQ(stripSkipKeys(on.stats), offStats)
+                        << wl << coreJobs;
+            }
+        }
+    }
+}
+
+// Sweep-level parallelism: all 12 golden rows through the SimJobPool
+// with profiling on at --jobs 1 and 4 must reproduce the profiling-off
+// serial reference byte for byte (agg dump included).
+TEST(HostProfIdentityJobs, SimJobPoolBitIdenticalAcrossJobs)
+{
+    Graph g = makeGridGraph(40, 40, 11);
+    SparseMatrix A = makeSparseMatrix(96, 8, 81);
+    SparseMatrix B = makeSparseMatrix(96, 8, 82);
+    SparseMatrix Bt = B.transpose();
+
+    std::vector<parallel::SimJob> jobs;
+    for (const GoldenCase &c : kCases) {
+        parallel::SimJob j;
+        j.config = goldenConfig();
+        j.make = [&g, &A, &Bt, w = std::string(c.workload)](uint64_t) {
+            return makeWorkload(w, &g, &A, &Bt);
+        };
+        j.variant = c.variant;
+        j.input = c.workload;
+        j.seed = jobs.size();
+        jobs.push_back(std::move(j));
+    }
+
+    auto dumps = [](const std::vector<RunResult> &rs) {
+        std::vector<std::map<std::string, double>> out;
+        for (const RunResult &r : rs) {
+            std::map<std::string, double> m;
+            r.agg.dump("agg", m);
+            m["cycles"] = static_cast<double>(r.cycles);
+            m["instrs"] = static_cast<double>(r.instrs);
+            m["verified"] = r.verified ? 1 : 0;
+            out.push_back(std::move(m));
+        }
+        return out;
+    };
+
+    parallel::SimJobPool serial(1);
+    auto ref = dumps(serial.runAll(jobs));
+    ASSERT_EQ(ref.size(), jobs.size());
+
+    ProfGuard prof;
+    for (unsigned workers : {1u, 4u}) {
+        parallel::SimJobPool pool(workers);
+        auto got = dumps(pool.runAll(jobs));
+        ASSERT_EQ(got.size(), ref.size()) << workers;
+        for (size_t i = 0; i < ref.size(); i++)
+            EXPECT_EQ(got[i], ref[i]) << jobs[i].input << " jobs="
+                                      << workers;
+    }
+}
+
+// The profiling switches live outside SystemConfig by construction;
+// the sweep-cache fingerprint must not move when they flip.
+TEST(HostProf, ConfigFingerprintIgnoresProfiling)
+{
+    SystemConfig cfg = goldenConfig();
+    uint64_t off = configFingerprint(cfg);
+    {
+        ProfGuard prof(/*trace=*/true);
+        EXPECT_EQ(configFingerprint(cfg), off);
+    }
+    EXPECT_EQ(configFingerprint(cfg), off);
+}
+
+// Phase accounting: exclusive times must sum to at most the profile
+// wall clock, the big phases of a detailed run must be present, and
+// the elision telemetry must agree exactly with the simulator's own
+// skip counters.
+TEST(HostProf, SnapshotPhasesSumBelowWallAndElisionMatches)
+{
+    ProfGuard prof;
+    Runner r(goldenConfig());
+    Graph g = makeGridGraph(40, 40, 11);
+    BfsWorkload wl(&g);
+    RunResult res = r.run(wl, Variant::Pipette, "grid", 1);
+    ASSERT_TRUE(res.verified);
+
+    hostprof::Snapshot s = hostprof::snapshot();
+    EXPECT_GT(s.wallSeconds, 0.0);
+
+    uint64_t sumNs = 0;
+    for (const auto &p : s.phases)
+        sumNs += p.ns;
+    // Single-threaded here, so the per-thread bound is a process bound.
+    EXPECT_LE(static_cast<double>(sumNs) * 1e-9, s.wallSeconds);
+
+    auto agg = [&s](hostprof::Phase p) {
+        return s.phases[static_cast<size_t>(p)];
+    };
+    EXPECT_EQ(agg(hostprof::Phase::Build).count, 1u);
+    EXPECT_EQ(agg(hostprof::Phase::DetailedSim).count, 1u);
+    EXPECT_GT(agg(hostprof::Phase::DetailedSim).ns, 0u);
+    EXPECT_EQ(agg(hostprof::Phase::Verify).count, 1u);
+
+    // Elision telemetry == simulator skip counters, window for window.
+    EXPECT_EQ(s.skipWindowLen.count(), res.agg.skipWindows);
+    EXPECT_EQ(s.skipWindowLen.sum(), res.agg.skippedCycles);
+    EXPECT_GT(res.agg.skipWindows, 0u);
+}
+
+// Epoch-scheduler telemetry: a pooled multicore run must account its
+// phase work against the pool wall clock sanely (work <= wall x
+// workers, barrier wait = the difference, imbalance histogram fed once
+// per pooled epoch).
+TEST(HostProf, EpochTelemetryAccountsPooledPhases)
+{
+    ProfGuard prof;
+    Graph g = makeGridGraph(40, 40, 11);
+    SystemConfig cfg = goldenConfig();
+    cfg.numCores = 4;
+    cfg.coreJobs = 2;
+    cfg.epochLength = 2048; // 2048 x 4 cores >= kEpochParallelMinWork
+    ASSERT_GE(static_cast<uint64_t>(cfg.epochLength) * 4,
+              System::kEpochParallelMinWork);
+
+    System sys(cfg);
+    BfsWorkload wl(&g);
+    BuildContext ctx(&sys);
+    wl.build(ctx, Variant::Streaming);
+    sys.configure(ctx.spec);
+    ASSERT_TRUE(sys.run().finished);
+    EXPECT_TRUE(wl.verify(sys));
+
+    const hostprof::EpochTelemetry &t = sys.epochTelemetry();
+    EXPECT_GT(t.epochs, 0u);
+    EXPECT_GT(t.pooledEpochs, 0u);
+    EXPECT_LE(t.pooledEpochs, t.epochs);
+    EXPECT_GT(t.phaseWorkNs, 0u);
+    EXPECT_LE(t.phaseWorkNs, t.wallWorkersNs);
+    EXPECT_LE(t.barrierWaitNs, t.wallWorkersNs);
+    EXPECT_EQ(t.imbalanceNs.count(), t.pooledEpochs);
+
+    hostprof::EpochSummary sum = hostprof::summarizeEpoch(t);
+    EXPECT_EQ(sum.epochs, t.epochs);
+    EXPECT_GE(sum.barrierWaitFrac, 0.0);
+    EXPECT_LE(sum.barrierWaitFrac, 1.0);
+    EXPECT_GE(sum.imbalanceP99Us, sum.imbalanceP50Us);
+}
+
+// Worker telemetry: every nanosecond of a pool worker's life is either
+// busy (executing) or idle (waiting), so busy + idle must account for
+// the pool's summed thread lifetime, and the task/spawn counters must
+// be exact.
+TEST(HostProf, PoolBusyPlusIdleAccountsForLifetime)
+{
+    constexpr unsigned kWorkers = 4;
+    constexpr size_t kTasks = 32;
+    ProfGuard prof;
+    {
+        parallel::TaskPool pool(kWorkers);
+        ASSERT_EQ(pool.numWorkers(), kWorkers);
+        // Let the workers sit idle for a bit, then spin.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        std::vector<parallel::TaskPool::Task> tasks;
+        for (size_t i = 0; i < kTasks; i++)
+            tasks.push_back([] {
+                auto until = std::chrono::steady_clock::now() +
+                             std::chrono::milliseconds(2);
+                while (std::chrono::steady_clock::now() < until) {
+                }
+            });
+        pool.run(std::move(tasks));
+    } // dtor joins and records lifetime
+
+    hostprof::Snapshot s = hostprof::snapshot();
+    EXPECT_EQ(s.poolWorkersSpawned, kWorkers);
+    EXPECT_EQ(s.poolTasks, kTasks);
+    EXPECT_GT(s.poolLifetimeNs, 0u);
+    // ~64ms of spinning across the batch.
+    EXPECT_GT(s.poolBusyNs, 10'000'000u);
+    EXPECT_GT(s.poolIdleNs, 0u);
+
+    double accounted = static_cast<double>(s.poolBusyNs + s.poolIdleNs);
+    double lifetime = static_cast<double>(s.poolLifetimeNs);
+    // Loose bounds: spawn ramp and loop overhead are unaccounted, and
+    // clocks are read at slightly different points.
+    EXPECT_GT(accounted, 0.5 * lifetime);
+    EXPECT_LT(accounted, 1.10 * lifetime + 5e6);
+}
+
+// The manifest and trace exporters: files get written, look like the
+// documented JSON, and the manifest's phase accounting covers the run.
+TEST(HostProf, ManifestAndTraceWellFormed)
+{
+    ProfGuard prof(/*trace=*/true);
+    Runner r(goldenConfig());
+    Graph g = makeGridGraph(40, 40, 11);
+    BfsWorkload wl(&g);
+    RunResult res = r.run(wl, Variant::Pipette, "grid", 1);
+    ASSERT_TRUE(res.verified);
+
+    auto slurp = [](const std::string &path) {
+        std::string out;
+        FILE *f = std::fopen(path.c_str(), "rb");
+        EXPECT_NE(f, nullptr) << path;
+        if (!f)
+            return out;
+        char buf[4096];
+        size_t n;
+        while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            out.append(buf, n);
+        std::fclose(f);
+        return out;
+    };
+    auto balanced = [](const std::string &s) {
+        long depth = 0;
+        for (char c : s) {
+            if (c == '{' || c == '[')
+                depth++;
+            else if (c == '}' || c == ']')
+                depth--;
+            if (depth < 0)
+                return false;
+        }
+        return depth == 0;
+    };
+
+    std::string dir = testing::TempDir();
+    std::string mpath = dir + "/pipette_hostprof_manifest.json";
+    std::string tpath = dir + "/pipette_hostprof_trace.json";
+    std::string err;
+
+    hostprof::ManifestMeta meta;
+    meta.bench = "test_hostprof";
+    meta.configFingerprint = configFingerprint(goldenConfig());
+    meta.hostSecondsTotal = res.hostSeconds;
+    ASSERT_TRUE(hostprof::writeManifest(mpath, meta, &err)) << err;
+    ASSERT_TRUE(hostprof::writeTrace(tpath, &err)) << err;
+
+    std::string m = slurp(mpath);
+    ASSERT_FALSE(m.empty());
+    EXPECT_EQ(m.front(), '{');
+    EXPECT_TRUE(balanced(m));
+    for (const char *key :
+         {"\"pipette_host_prof\"", "\"bench\": \"test_hostprof\"",
+          "\"build\"", "\"config_fingerprint\"", "\"phases\"",
+          "\"detailed_sim\"", "\"phase_wall_coverage\"", "\"pool\"",
+          "\"epoch\"", "\"elision\"", "\"wall_seconds\""})
+        EXPECT_NE(m.find(key), std::string::npos) << key;
+
+    std::string t = slurp(tpath);
+    ASSERT_FALSE(t.empty());
+    EXPECT_TRUE(balanced(t));
+    EXPECT_NE(t.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(t.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(t.find("detailed_sim"), std::string::npos);
+
+    std::remove(mpath.c_str());
+    std::remove(tpath.c_str());
+}
+
+TEST(HostProf, WritersFailCleanlyOnBadPath)
+{
+    ProfGuard prof;
+    std::string err;
+    hostprof::ManifestMeta meta;
+    EXPECT_FALSE(hostprof::writeManifest(
+        "/nonexistent-dir/never/manifest.json", meta, &err));
+    EXPECT_FALSE(err.empty());
+    err.clear();
+    EXPECT_FALSE(
+        hostprof::writeTrace("/nonexistent-dir/never/trace.json", &err));
+    EXPECT_FALSE(err.empty());
+}
+
+// With profiling off (the default), the instrumented steady-state run
+// loop must stay allocation-free: every hook is a single relaxed load.
+TEST(HostProf, ZeroHostAllocationsInSteadyStateWhenOff)
+{
+    ASSERT_FALSE(hostprof::enabled());
+    Graph g = makeGridGraph(24, 24, 5);
+    SystemConfig cfg;
+    cfg.watchdogCycles = 200'000;
+    cfg.maxCycles = 500'000'000;
+    cfg.cycleElision = true;
+    System sys(cfg);
+    BfsWorkload wl(&g);
+    BuildContext ctx(&sys);
+    wl.build(ctx, Variant::Pipette);
+    sys.configure(ctx.spec);
+
+    System::RunResult warm = sys.runFor(30'000);
+    ASSERT_EQ(warm.stopReason, System::StopReason::None);
+
+    AllocCounterScope scope;
+    sys.runFor(10'000);
+    EXPECT_EQ(scope.delta(), 0u);
+}
+
+} // namespace
+} // namespace pipette
